@@ -1,0 +1,56 @@
+"""Figure 11: sensitivity of ABae to the Stage-1 fraction C.
+
+Paper claim: ABae outperforms uniform sampling for C in [0.3, 0.7]; extreme
+values (0.1, 0.9) can underperform, which is why the paper recommends
+30-50% of the budget in Stage 1.
+"""
+
+from conftest import write_result
+
+from repro.experiments import figures
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import format_curve_table
+
+
+def test_fig11_sensitivity_to_stage_split(benchmark, bench_config, results_dir):
+    config = ExperimentConfig(
+        budgets=(10_000,),
+        num_trials=15,
+        dataset_size=bench_config.dataset_size,
+        seed=bench_config.seed,
+    )
+    sweeps = benchmark.pedantic(
+        figures.figure11_sensitivity_stage_split,
+        args=(config,),
+        kwargs={
+            "datasets": ("celeba", "trec05p"),
+            "fractions": (0.1, 0.3, 0.5, 0.7, 0.9),
+            "budget": 10_000,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    write_result(
+        results_dir,
+        "fig11_sensitivity_c",
+        "\n\n".join(
+            format_curve_table(sweep, title=f"{sweep.name}: RMSE vs 100*C")
+            for sweep in sweeps
+        ),
+    )
+
+    for sweep in sweeps:
+        abae = sweep.curves["abae"]
+        uniform = sweep.curves["uniform"]
+        # ABae beats uniform across the recommended range of C.  Individual
+        # cells are noisy at this trial count, so require wins in at least
+        # two of the three recommended settings and no blow-up in the third.
+        recommended = (30, 50, 70)
+        wins = sum(
+            1 for c in recommended
+            if abae.value_at(c) < uniform.value_at(c)
+        )
+        assert wins >= 2, sweep.name
+        assert all(
+            abae.value_at(c) < 1.3 * uniform.value_at(c) for c in recommended
+        ), sweep.name

@@ -1,0 +1,42 @@
+"""Figure 12: combining proxies via logistic regression.
+
+Paper claim: ABae with the logistic-regression-combined proxy outperforms
+uniform sampling and is competitive with (or better than) the best single
+proxy — it effectively "ignores" low-quality proxies.
+"""
+
+from conftest import write_result
+
+from repro.experiments import figures
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import format_curve_table
+
+
+def test_fig12_proxy_combination(benchmark, bench_config, results_dir):
+    config = ExperimentConfig(
+        budgets=(2_000, 6_000),
+        num_trials=10,
+        dataset_size=bench_config.dataset_size,
+        seed=bench_config.seed,
+    )
+    sweeps = benchmark.pedantic(
+        figures.figure12_proxy_combination,
+        args=(config,),
+        kwargs={"scenarios": ("trec05p", "synthetic")},
+        rounds=1,
+        iterations=1,
+    )
+    write_result(
+        results_dir,
+        "fig12_proxy_combination",
+        "\n\n".join(format_curve_table(sweep) for sweep in sweeps),
+    )
+
+    for sweep in sweeps:
+        improvements = sweep.improvement(baseline="uniform", method="abae-logistic")
+        assert max(improvements.values()) > 1.0, sweep.name
+        # The combined proxy should not be far worse than the single best proxy.
+        combined = sweep.curves["abae-logistic"]
+        single = sweep.curves["abae-single"]
+        largest_budget = max(combined.budgets)
+        assert combined.value_at(largest_budget) < 2.0 * single.value_at(largest_budget)

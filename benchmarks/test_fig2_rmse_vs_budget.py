@@ -1,0 +1,31 @@
+"""Figure 2: sampling budget vs RMSE, ABae vs uniform sampling.
+
+Paper claim: ABae outperforms uniform sampling on every dataset and budget,
+by up to ~1.5-2.3x in RMSE at a fixed budget.
+"""
+
+from conftest import BENCH_DATASETS, write_result
+
+from repro.experiments import figures
+from repro.experiments.reporting import format_curve_table, format_improvement_summary
+
+
+def test_fig2_rmse_vs_budget(benchmark, bench_config, results_dir):
+    sweeps = benchmark.pedantic(
+        figures.figure2_rmse_vs_budget,
+        args=(bench_config,),
+        kwargs={"datasets": BENCH_DATASETS},
+        rounds=1,
+        iterations=1,
+    )
+    tables = [format_curve_table(sweep) for sweep in sweeps]
+    tables.append(format_improvement_summary(sweeps))
+    write_result(results_dir, "fig2_rmse_vs_budget", "\n\n".join(tables))
+
+    for sweep in sweeps:
+        improvements = sweep.improvement(baseline="uniform", method="abae")
+        # ABae wins at the largest budget on every dataset, and its advantage
+        # somewhere in the sweep is substantial (the paper reports up to 2.3x).
+        largest_budget = max(improvements)
+        assert improvements[largest_budget] > 1.0, sweep.name
+        assert max(improvements.values()) > 1.1, sweep.name

@@ -1,0 +1,33 @@
+"""Figure 3: low sampling budgets (500-1,000) vs RMSE.
+
+Paper claim: even at small sample sizes ABae outperforms or matches
+uniform sampling in all cases.
+"""
+
+from conftest import BENCH_DATASETS, write_result
+
+from repro.experiments import figures
+from repro.experiments.reporting import format_curve_table
+
+
+def test_fig3_low_budget(benchmark, bench_config, results_dir):
+    sweeps = benchmark.pedantic(
+        figures.figure3_low_budget,
+        args=(bench_config,),
+        kwargs={"datasets": BENCH_DATASETS},
+        rounds=1,
+        iterations=1,
+    )
+    write_result(
+        results_dir,
+        "fig3_low_budget",
+        "\n\n".join(format_curve_table(sweep) for sweep in sweeps),
+    )
+
+    for sweep in sweeps:
+        improvements = sweep.improvement(baseline="uniform", method="abae")
+        # "Outperforms or matches": allow sampling noise at these tiny
+        # budgets and trial counts, but ABae must not lose badly anywhere
+        # and must win somewhere in the sweep.
+        assert all(ratio > 0.6 for ratio in improvements.values()), sweep.name
+        assert max(improvements.values()) > 1.0, sweep.name

@@ -1,0 +1,30 @@
+"""Figure 4: sampling budget vs normalized Q-error (night-street, trec05p).
+
+Paper claim: ABae outperforms uniform sampling on Q-error by 14-70%.
+"""
+
+from conftest import write_result
+
+from repro.experiments import figures
+from repro.experiments.reporting import format_curve_table
+
+
+def test_fig4_normalized_q_error(benchmark, bench_config, results_dir):
+    sweeps = benchmark.pedantic(
+        figures.figure4_q_error,
+        args=(bench_config,),
+        kwargs={"datasets": ("night-street", "trec05p")},
+        rounds=1,
+        iterations=1,
+    )
+    write_result(
+        results_dir,
+        "fig4_qerror",
+        "\n\n".join(format_curve_table(sweep) for sweep in sweeps),
+    )
+
+    for sweep in sweeps:
+        improvements = sweep.improvement(baseline="uniform", method="abae")
+        assert max(improvements.values()) > 1.0, sweep.name
+        # Q-error is a positive quantity; sanity-check the magnitudes.
+        assert all(v >= 0 for v in sweep.curves["abae"].values)

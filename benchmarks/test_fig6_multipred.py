@@ -1,0 +1,30 @@
+"""Figure 6: ABae-MultiPred vs single-proxy ABae vs uniform sampling.
+
+Paper claim: ABae-MultiPred outperforms uniform sampling and the
+single-proxy variants on both the night-street multi-predicate query and
+the synthetic two-predicate workload.
+"""
+
+from conftest import write_result
+
+from repro.experiments import figures
+from repro.experiments.reporting import format_curve_table
+
+
+def test_fig6_multipred(benchmark, bench_config, results_dir):
+    sweeps = benchmark.pedantic(
+        figures.figure6_multipred,
+        args=(bench_config,),
+        kwargs={"scenarios": ("night-street", "synthetic")},
+        rounds=1,
+        iterations=1,
+    )
+    write_result(
+        results_dir,
+        "fig6_multipred",
+        "\n\n".join(format_curve_table(sweep) for sweep in sweeps),
+    )
+
+    for sweep in sweeps:
+        improvements = sweep.improvement(baseline="uniform", method="abae-multi")
+        assert max(improvements.values()) > 1.0, sweep.name

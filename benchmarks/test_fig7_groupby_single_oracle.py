@@ -1,0 +1,37 @@
+"""Figure 7: ABae-GroupBy (single oracle) — max-RMSE over groups vs budget.
+
+Paper claim: the minimax allocation outperforms uniform sampling (and the
+equal-split baseline trails the minimax allocation) on both the celeba
+hair-colour query and the 4-group synthetic workload.
+"""
+
+from conftest import write_result
+
+from repro.experiments import figures
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import format_curve_table
+
+
+def test_fig7_groupby_single_oracle(benchmark, bench_config, results_dir):
+    config = ExperimentConfig(
+        budgets=(2_000, 6_000),
+        num_trials=10,
+        dataset_size=bench_config.dataset_size,
+        seed=bench_config.seed,
+    )
+    sweeps = benchmark.pedantic(
+        figures.figure7_groupby_single_oracle,
+        args=(config,),
+        kwargs={"scenarios": ("celeba", "synthetic")},
+        rounds=1,
+        iterations=1,
+    )
+    write_result(
+        results_dir,
+        "fig7_groupby_single_oracle",
+        "\n\n".join(format_curve_table(sweep) for sweep in sweeps),
+    )
+
+    for sweep in sweeps:
+        improvements = sweep.improvement(baseline="uniform", method="minimax")
+        assert max(improvements.values()) > 1.0, sweep.name

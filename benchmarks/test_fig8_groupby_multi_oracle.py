@@ -1,0 +1,36 @@
+"""Figure 8: ABae-GroupBy (multiple oracles) — max-RMSE over groups vs budget.
+
+Paper claim: the minimax allocation outperforms uniform sampling when each
+group requires its own oracle (budget normalized by the number of groups).
+"""
+
+from conftest import write_result
+
+from repro.experiments import figures
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import format_curve_table
+
+
+def test_fig8_groupby_multi_oracle(benchmark, bench_config, results_dir):
+    config = ExperimentConfig(
+        budgets=(1_000, 3_000),
+        num_trials=10,
+        dataset_size=bench_config.dataset_size,
+        seed=bench_config.seed,
+    )
+    sweeps = benchmark.pedantic(
+        figures.figure8_groupby_multi_oracle,
+        args=(config,),
+        kwargs={"scenarios": ("celeba", "synthetic")},
+        rounds=1,
+        iterations=1,
+    )
+    write_result(
+        results_dir,
+        "fig8_groupby_multi_oracle",
+        "\n\n".join(format_curve_table(sweep) for sweep in sweeps),
+    )
+
+    for sweep in sweeps:
+        improvements = sweep.improvement(baseline="uniform", method="minimax")
+        assert max(improvements.values()) > 1.0, sweep.name

@@ -1,0 +1,44 @@
+"""Figure 9: lesion study — full ABae vs no-sample-reuse vs uniform sampling.
+
+Paper claim: both components matter; in particular removing sample reuse
+substantially harms accuracy, and even the no-reuse variant's structure
+differs visibly from uniform sampling.
+"""
+
+from conftest import BENCH_DATASETS, write_result
+
+from repro.experiments import figures
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import format_curve_table
+
+
+def test_fig9_lesion(benchmark, bench_config, results_dir):
+    config = ExperimentConfig(
+        budgets=(10_000,),
+        num_trials=15,
+        dataset_size=bench_config.dataset_size,
+        seed=bench_config.seed,
+    )
+    sweeps = benchmark.pedantic(
+        figures.figure9_lesion,
+        args=(config,),
+        kwargs={"datasets": BENCH_DATASETS, "budget": 10_000},
+        rounds=1,
+        iterations=1,
+    )
+    write_result(
+        results_dir,
+        "fig9_lesion",
+        "\n\n".join(format_curve_table(sweep) for sweep in sweeps),
+    )
+
+    wins = 0
+    for sweep in sweeps:
+        full = sweep.curves["abae"].values[0]
+        no_reuse = sweep.curves["abae-no-reuse"].values[0]
+        uniform = sweep.curves["uniform"].values[0]
+        assert full < uniform, sweep.name
+        if full <= no_reuse * 1.05:
+            wins += 1
+    # Sample reuse should help (or at least not hurt) on most datasets.
+    assert wins >= len(sweeps) - 1

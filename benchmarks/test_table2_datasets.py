@@ -1,0 +1,36 @@
+"""Table 2: dataset summary (sizes, predicates, proxies, positive rates)."""
+
+from conftest import write_result
+
+from repro.experiments import figures
+from repro.experiments.reporting import format_table
+
+
+def test_table2_dataset_summary(benchmark, bench_config, results_dir):
+    rows = benchmark.pedantic(
+        figures.table2_dataset_summary, args=(bench_config,), rounds=1, iterations=1
+    )
+    assert len(rows) == 6
+
+    table = format_table(
+        ["dataset", "paper size", "emulated size", "predicate", "positive rate", "proxy corr"],
+        [
+            [
+                r["dataset"],
+                r["paper_size"],
+                r["emulated_size"],
+                r["predicate"],
+                r["positive_rate"],
+                r["proxy_correlation"],
+            ]
+            for r in rows
+        ],
+        title="Table 2: dataset summary (emulated)",
+    )
+    write_result(results_dir, "table2_datasets", table)
+
+    # Every emulated proxy must be informative and every predicate selective
+    # but non-empty, matching the character of the paper's datasets.
+    for row in rows:
+        assert 0.01 < row["positive_rate"] < 0.99
+        assert row["proxy_correlation"] > 0.2

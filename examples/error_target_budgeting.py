@@ -1,0 +1,82 @@
+"""Budgeting for a target confidence-interval width.
+
+A common way to use an AQP system is backwards from a precision target:
+"I need the average within ±0.05 with 95% confidence — how many oracle
+calls will that take?".  This example uses the until-width driver (an
+online-aggregation-style extension of ABae) and compares the budget it
+needs against uniform sampling driven the same way.
+
+Run with::
+
+    python examples/error_target_budgeting.py
+"""
+
+import numpy as np
+
+from repro.core import run_abae_until_width, run_uniform
+from repro.core.bootstrap import bootstrap_confidence_interval
+from repro.stats.rng import RandomState
+from repro.synth import make_dataset
+
+TARGET_WIDTH = 0.10
+MAX_BUDGET = 20_000
+
+
+def uniform_calls_until_width(scenario, target_width, max_budget, rng, batch=500):
+    """Grow a uniform sample in batches until its bootstrap CI is narrow enough."""
+    spent = 0
+    result = None
+    while spent < max_budget:
+        spent = min(spent + batch, max_budget)
+        result = run_uniform(
+            num_records=scenario.num_records,
+            oracle=scenario.make_oracle(),
+            statistic=scenario.statistic_values,
+            budget=spent,
+            with_ci=True,
+            num_bootstrap=200,
+            rng=RandomState(rng.integers(0, 2**31 - 1)),
+        )
+        if result.ci.width <= target_width:
+            break
+    return spent, result
+
+
+def main() -> None:
+    scenario = make_dataset("celeba", seed=9, size=100_000)
+    truth = scenario.ground_truth()
+    print(f"dataset: {scenario.name}, exact answer: {truth:.4f}")
+    print(f"target 95% CI width: {TARGET_WIDTH}\n")
+
+    abae_result = run_abae_until_width(
+        proxy=scenario.proxy,
+        oracle=scenario.make_oracle(),
+        statistic=scenario.statistic_values,
+        target_width=TARGET_WIDTH,
+        max_budget=MAX_BUDGET,
+        num_bootstrap=200,
+        rng=RandomState(1),
+    )
+    print("ABae (adaptive, until-width)")
+    print(f"  oracle calls used: {abae_result.oracle_calls}")
+    print(f"  estimate: {abae_result.estimate:.4f}, "
+          f"CI width: {abae_result.ci.width:.4f}")
+    print("  convergence trace (calls -> width):")
+    for point in abae_result.details["trace"]:
+        print(f"    {point['oracle_calls']:>6d} -> {point['ci_width']:.4f}")
+
+    uniform_calls, uniform_result = uniform_calls_until_width(
+        scenario, TARGET_WIDTH, MAX_BUDGET, RandomState(2)
+    )
+    print("\nUniform sampling (grown until the same width)")
+    print(f"  oracle calls used: {uniform_calls}")
+    print(f"  estimate: {uniform_result.estimate:.4f}, "
+          f"CI width: {uniform_result.ci.width:.4f}")
+
+    if abae_result.oracle_calls:
+        ratio = uniform_calls / abae_result.oracle_calls
+        print(f"\nABae reached the target with {ratio:.2f}x fewer oracle calls.")
+
+
+if __name__ == "__main__":
+    main()

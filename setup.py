@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment has an older setuptools without PEP-660 editable
+wheel support (and no ``wheel`` package), so ``pip install -e .`` needs the
+legacy ``setup.py``-based code path (``--no-use-pep517``).  All metadata
+lives in ``pyproject.toml``; this file only exists to enable that path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,81 @@
+"""repro — a reproduction of ABae (VLDB 2021).
+
+"Accelerating Approximate Aggregation Queries with Expensive Predicates"
+(Kang, Guibas, Bailis, Hashimoto, Sun, Zaharia; PVLDB 14(11), 2021).
+
+The package is organized as:
+
+* :mod:`repro.core` — the ABae sampling algorithms and extensions;
+* :mod:`repro.query` — the SQL-like query language of Figure 1 and its
+  planner/executor;
+* :mod:`repro.dataset`, :mod:`repro.oracle`, :mod:`repro.proxy` — the data,
+  expensive-predicate and proxy-model substrates;
+* :mod:`repro.stats`, :mod:`repro.optim` — statistics and optimization
+  building blocks;
+* :mod:`repro.synth` — synthetic emulators of the paper's six datasets;
+* :mod:`repro.experiments` — the harness that regenerates every figure.
+
+Quickstart::
+
+    from repro import ABae
+    from repro.synth import make_dataset
+
+    scenario = make_dataset("trec05p", seed=0)
+    sampler = ABae(
+        proxy=scenario.proxy,
+        oracle=scenario.oracle,
+        statistic=scenario.statistic_values,
+    )
+    result = sampler.estimate(budget=10_000, with_ci=True, seed=1)
+    print(result.estimate, result.ci)
+"""
+
+from repro.core import (
+    ABae,
+    And,
+    ConfidenceInterval,
+    EstimateResult,
+    GroupByResult,
+    GroupSpec,
+    Not,
+    Or,
+    PredicateLeaf,
+    Stratification,
+    UniformSampler,
+    combine_proxies,
+    rank_proxies,
+    run_abae,
+    run_abae_multipred,
+    run_groupby_multi_oracle,
+    run_groupby_single_oracle,
+    run_uniform,
+    select_proxy,
+)
+from repro.query import execute_query, parse_query
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ABae",
+    "UniformSampler",
+    "run_abae",
+    "run_uniform",
+    "run_abae_multipred",
+    "run_groupby_single_oracle",
+    "run_groupby_multi_oracle",
+    "GroupSpec",
+    "PredicateLeaf",
+    "And",
+    "Or",
+    "Not",
+    "rank_proxies",
+    "select_proxy",
+    "combine_proxies",
+    "ConfidenceInterval",
+    "EstimateResult",
+    "GroupByResult",
+    "Stratification",
+    "execute_query",
+    "parse_query",
+    "__version__",
+]

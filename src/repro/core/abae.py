@@ -1,0 +1,321 @@
+"""The ABae two-stage sampling algorithm (Algorithm 1).
+
+This is the paper's primary contribution: accelerate ``AVG`` / ``SUM`` /
+``COUNT`` queries with an expensive predicate by
+
+1. stratifying records by proxy-score quantile,
+2. spending a pilot fraction of the oracle budget uniformly across strata
+   to estimate each stratum's positive rate ``p_k`` and statistic spread
+   ``sigma_k``,
+3. spending the rest proportional to ``sqrt(p_hat_k) * sigma_hat_k``
+   (the plug-in optimal allocation of Proposition 1), and
+4. combining per-stratum estimates into
+   ``sum_k p_hat_k mu_hat_k / sum_k p_hat_k``,
+   reusing samples from both stages (the lesion study shows reuse matters).
+
+The public entry points are the :class:`ABae` facade (construct once, call
+:meth:`ABae.estimate`) and the lower-level :func:`run_abae` function used by
+the extensions, which exposes every knob explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.allocation import allocation_from_estimates
+from repro.core.bootstrap import bootstrap_confidence_interval
+from repro.core.estimators import combine_estimates, estimate_all_strata
+from repro.core.results import EstimateResult
+from repro.core.stratification import Stratification
+from repro.core.types import SamplingBudget, StratumSample
+from repro.proxy.base import Proxy, PrecomputedProxy
+from repro.stats.rng import RandomState
+from repro.stats.sampling import (
+    proportional_integer_allocation,
+    sample_without_replacement,
+)
+
+__all__ = ["ABae", "run_abae", "draw_stratum_sample", "bounded_allocation"]
+
+StatisticLike = Union[Callable[[int], float], Sequence[float], np.ndarray]
+
+
+def _normalize_statistic(statistic: StatisticLike) -> Callable[[int], float]:
+    """Accept either a per-record callable or a precomputed value array."""
+    if callable(statistic):
+        return statistic
+    values = np.asarray(statistic, dtype=float)
+
+    def lookup(index: int) -> float:
+        return float(values[index])
+
+    return lookup
+
+
+def draw_stratum_sample(
+    stratum_index: int,
+    candidate_indices: np.ndarray,
+    n: int,
+    oracle: Callable[[int], bool],
+    statistic: Callable[[int], float],
+    rng: RandomState,
+) -> StratumSample:
+    """Sample ``n`` records without replacement and label them with the oracle.
+
+    The statistic is only evaluated for records that satisfy the predicate
+    (its value is undefined otherwise — e.g. ``count_cars`` of a frame with
+    no cars filtered by ``count_cars > 0``); non-matching draws carry NaN.
+    """
+    drawn = sample_without_replacement(candidate_indices, n, rng)
+    matches = np.empty(drawn.shape[0], dtype=bool)
+    values = np.full(drawn.shape[0], np.nan, dtype=float)
+    for i, record_index in enumerate(drawn):
+        is_match = bool(oracle(int(record_index)))
+        matches[i] = is_match
+        if is_match:
+            values[i] = float(statistic(int(record_index)))
+    return StratumSample(
+        stratum=stratum_index, indices=drawn, matches=matches, values=values
+    )
+
+
+def bounded_allocation(
+    weights: Sequence[float], total: int, capacities: Sequence[int]
+) -> List[int]:
+    """Proportional integer allocation that respects per-stratum capacities.
+
+    Strata are finite; Stage 2 cannot draw more records from a stratum than
+    remain unsampled.  We allocate proportionally, clip at each capacity,
+    and redistribute the clipped budget among strata that still have room,
+    repeating until either the budget is exhausted or no capacity remains.
+    """
+    caps = np.asarray(capacities, dtype=np.int64)
+    w = np.asarray(weights, dtype=float)
+    if caps.shape != w.shape:
+        raise ValueError("weights and capacities must have the same shape")
+    allocation = np.zeros_like(caps)
+    remaining_budget = int(total)
+    active = caps > 0
+    while remaining_budget > 0 and active.any():
+        active_weights = np.where(active, w, 0.0)
+        if active_weights.sum() == 0:
+            active_weights = active.astype(float)
+        proposal = np.array(
+            proportional_integer_allocation(active_weights, remaining_budget),
+            dtype=np.int64,
+        )
+        headroom = caps - allocation
+        granted = np.minimum(proposal, headroom)
+        if granted.sum() == 0:
+            # Weights point only at full strata; spread one sample at a time.
+            for k in np.nonzero(headroom > 0)[0]:
+                if remaining_budget == 0:
+                    break
+                allocation[k] += 1
+                remaining_budget -= 1
+            break
+        allocation += granted
+        remaining_budget -= int(granted.sum())
+        active = (caps - allocation) > 0
+    return allocation.tolist()
+
+
+def run_abae(
+    proxy: Union[Proxy, Sequence[float]],
+    oracle: Callable[[int], bool],
+    statistic: StatisticLike,
+    budget: int,
+    num_strata: int = 5,
+    stage1_fraction: float = 0.5,
+    reuse_samples: bool = True,
+    stratification: Optional[Stratification] = None,
+    with_ci: bool = False,
+    alpha: float = 0.05,
+    num_bootstrap: int = 1000,
+    rng: Optional[RandomState] = None,
+) -> EstimateResult:
+    """Execute Algorithm 1 once and return the estimate (optionally with a CI).
+
+    Parameters
+    ----------
+    proxy:
+        A :class:`~repro.proxy.base.Proxy` or a raw score vector in [0, 1].
+    oracle:
+        The expensive predicate, ``record_index -> bool``.  Each draw calls
+        it exactly once per distinct record.
+    statistic:
+        The expression aggregated over (callable or precomputed array).  It
+        is only evaluated for records satisfying the predicate.
+    budget:
+        Total number of oracle invocations allowed (the ORACLE LIMIT).
+    num_strata:
+        K, the number of proxy-quantile strata.
+    stage1_fraction:
+        C, the fraction of the budget spent in the pilot stage.
+    reuse_samples:
+        Whether Stage-1 samples are folded into the final estimates (the
+        paper's default; turning this off reproduces the lesion study).
+    stratification:
+        Pre-built stratification to use instead of proxy quantiles (used by
+        ablations); when given, ``proxy`` is only used for its length check.
+    with_ci / alpha / num_bootstrap:
+        Bootstrap confidence-interval controls (Algorithm 2).
+    rng:
+        Source of randomness; defaults to a fresh seed-0 generator.
+    """
+    rng = rng or RandomState(0)
+    if isinstance(proxy, Proxy):
+        proxy_obj = proxy
+    else:
+        proxy_obj = PrecomputedProxy(np.asarray(proxy, dtype=float), name="scores")
+    statistic_fn = _normalize_statistic(statistic)
+
+    if stratification is None:
+        stratification = Stratification.by_proxy_quantile(proxy_obj, num_strata)
+    elif stratification.num_records != len(proxy_obj):
+        raise ValueError(
+            "provided stratification covers a different number of records "
+            f"({stratification.num_records}) than the proxy ({len(proxy_obj)})"
+        )
+    num_strata = stratification.num_strata
+
+    split = SamplingBudget.from_fraction(budget, num_strata, stage1_fraction)
+
+    # ---- Stage 1: pilot sampling, N1 draws from every stratum -------------------
+    stage1_samples: List[StratumSample] = []
+    for k in range(num_strata):
+        stage1_samples.append(
+            draw_stratum_sample(
+                k,
+                stratification.stratum(k),
+                split.stage1_per_stratum,
+                oracle,
+                statistic_fn,
+                rng,
+            )
+        )
+
+    stage1_estimates = estimate_all_strata(stage1_samples)
+    allocation_weights = allocation_from_estimates(stage1_estimates)
+
+    # ---- Stage 2: allocate the remaining budget by the plug-in optimum ----------
+    remaining_capacity = [
+        stratification.stratum(k).size - stage1_samples[k].num_draws
+        for k in range(num_strata)
+    ]
+    stage2_counts = bounded_allocation(
+        allocation_weights, split.stage2_total, remaining_capacity
+    )
+
+    stage2_samples: List[StratumSample] = []
+    for k in range(num_strata):
+        already_drawn = set(stage1_samples[k].indices.tolist())
+        fresh_candidates = np.array(
+            [i for i in stratification.stratum(k) if i not in already_drawn],
+            dtype=np.int64,
+        )
+        stage2_samples.append(
+            draw_stratum_sample(
+                k, fresh_candidates, stage2_counts[k], oracle, statistic_fn, rng
+            )
+        )
+
+    # ---- Combine -----------------------------------------------------------------
+    if reuse_samples:
+        final_samples = [
+            stage1_samples[k].extend(stage2_samples[k]) for k in range(num_strata)
+        ]
+    else:
+        final_samples = stage2_samples
+    final_estimates = estimate_all_strata(final_samples)
+    estimate = combine_estimates(final_estimates)
+
+    oracle_calls = sum(s.num_draws for s in stage1_samples) + sum(
+        s.num_draws for s in stage2_samples
+    )
+
+    ci = None
+    if with_ci:
+        ci = bootstrap_confidence_interval(
+            final_samples, alpha=alpha, num_bootstrap=num_bootstrap, rng=rng
+        )
+
+    return EstimateResult(
+        estimate=estimate,
+        ci=ci,
+        oracle_calls=oracle_calls,
+        strata_estimates=final_estimates,
+        samples=final_samples,
+        method="abae" if reuse_samples else "abae-no-reuse",
+        details={
+            "num_strata": num_strata,
+            "stage1_per_stratum": split.stage1_per_stratum,
+            "stage2_total": split.stage2_total,
+            "stage2_counts": list(stage2_counts),
+            "allocation_weights": allocation_weights.tolist(),
+            "stage1_estimates": stage1_estimates,
+            "stratum_sizes": stratification.sizes().tolist(),
+        },
+    )
+
+
+class ABae:
+    """User-facing facade around :func:`run_abae`.
+
+    Construct it once with the dataset's proxy, oracle and statistic; call
+    :meth:`estimate` per query/budget.  The facade exists so examples and
+    the query executor read naturally::
+
+        sampler = ABae(proxy=proxy, oracle=oracle, statistic=views)
+        result = sampler.estimate(budget=10_000, with_ci=True)
+    """
+
+    def __init__(
+        self,
+        proxy: Union[Proxy, Sequence[float]],
+        oracle: Callable[[int], bool],
+        statistic: StatisticLike,
+        num_strata: int = 5,
+        stage1_fraction: float = 0.5,
+        reuse_samples: bool = True,
+    ):
+        if num_strata <= 0:
+            raise ValueError(f"num_strata must be positive, got {num_strata}")
+        if not 0.0 < stage1_fraction < 1.0:
+            raise ValueError(
+                f"stage1_fraction must be strictly between 0 and 1, got {stage1_fraction}"
+            )
+        self.proxy = proxy
+        self.oracle = oracle
+        self.statistic = statistic
+        self.num_strata = num_strata
+        self.stage1_fraction = stage1_fraction
+        self.reuse_samples = reuse_samples
+
+    def estimate(
+        self,
+        budget: int,
+        with_ci: bool = False,
+        alpha: float = 0.05,
+        num_bootstrap: int = 1000,
+        rng: Optional[RandomState] = None,
+        seed: Optional[int] = None,
+    ) -> EstimateResult:
+        """Run the two-stage sampler with the configured parameters."""
+        if rng is None:
+            rng = RandomState(seed)
+        return run_abae(
+            proxy=self.proxy,
+            oracle=self.oracle,
+            statistic=self.statistic,
+            budget=budget,
+            num_strata=self.num_strata,
+            stage1_fraction=self.stage1_fraction,
+            reuse_samples=self.reuse_samples,
+            with_ci=with_ci,
+            alpha=alpha,
+            num_bootstrap=num_bootstrap,
+            rng=rng,
+        )

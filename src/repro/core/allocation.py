@@ -1,0 +1,145 @@
+"""Optimal allocation and its MSE (Propositions 1 and 2), plus baselines.
+
+These closed forms are used three ways in the reproduction:
+
+* Algorithm 1's Stage 2 allocates samples proportional to
+  ``sqrt(p_hat_k) * sigma_hat_k`` (Proposition 1 with plug-in estimates);
+* the proxy-selection procedure (Section 3.4) ranks candidate proxies by the
+  Proposition-2 MSE their stratification would achieve;
+* the group-by extension's minimax objective (Eqs. 10–11) is built from the
+  same per-stratification error formula.
+
+The uniform-sampling MSE and the derived expected speedup are included so
+examples and tests can verify the paper's analytical comparison (the
+K-fold improvement example in Section 4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "optimal_allocation",
+    "optimal_stratified_mse",
+    "uniform_sampling_mse",
+    "expected_speedup",
+    "allocation_from_estimates",
+]
+
+
+def _validate_p_sigma(p: np.ndarray, sigma: np.ndarray) -> None:
+    if p.shape != sigma.shape:
+        raise ValueError(
+            f"p and sigma must have the same shape, got {p.shape} vs {sigma.shape}"
+        )
+    if p.ndim != 1 or p.size == 0:
+        raise ValueError("p and sigma must be non-empty 1-D arrays")
+    if np.any(p < 0) or np.any(p > 1):
+        raise ValueError("per-stratum positive rates must lie in [0, 1]")
+    if np.any(sigma < 0):
+        raise ValueError("per-stratum standard deviations must be non-negative")
+
+
+def optimal_allocation(
+    p: Sequence[float], sigma: Sequence[float]
+) -> np.ndarray:
+    """Proposition 1: ``T*_k = sqrt(p_k) sigma_k / sum_i sqrt(p_i) sigma_i``.
+
+    If every stratum has ``sqrt(p_k) * sigma_k == 0`` (no signal at all) the
+    allocation falls back to uniform across strata, which is the only
+    sensible choice and keeps downstream code free of special cases.
+    """
+    p_arr = np.asarray(p, dtype=float)
+    sigma_arr = np.asarray(sigma, dtype=float)
+    _validate_p_sigma(p_arr, sigma_arr)
+    weights = np.sqrt(p_arr) * sigma_arr
+    total = weights.sum()
+    if total == 0:
+        return np.full(p_arr.shape, 1.0 / p_arr.size)
+    return weights / total
+
+
+def optimal_stratified_mse(
+    p: Sequence[float], sigma: Sequence[float], budget: int
+) -> float:
+    """Proposition 2: MSE under the optimal allocation.
+
+    ``MSE = (sum_k sqrt(p_k) sigma_k)^2 / (N * p_all^2)``.
+
+    Returns ``inf`` when ``p_all == 0`` (no stratum contains positives — the
+    query's predicate selects nothing and no sampling strategy can help).
+    """
+    p_arr = np.asarray(p, dtype=float)
+    sigma_arr = np.asarray(sigma, dtype=float)
+    _validate_p_sigma(p_arr, sigma_arr)
+    if budget <= 0:
+        raise ValueError(f"budget must be positive, got {budget}")
+    p_all = p_arr.sum()
+    denominator = budget * p_all**2
+    if denominator == 0:
+        return float("inf")
+    numerator = (np.sqrt(p_arr) * sigma_arr).sum() ** 2
+    return float(numerator / denominator)
+
+
+def uniform_sampling_mse(
+    p: Sequence[float], sigma: Sequence[float], budget: int,
+    mu: Sequence[float] = None,
+) -> float:
+    """MSE of uniform sampling with deterministic draws (Section 4.2).
+
+    The paper states the rate ``sigma^2 / (N * p_avg)`` where ``sigma^2`` is
+    the overall variance of the statistic among positive records and
+    ``p_avg = sum_k p_k / K``.  When per-stratum means are provided the
+    overall variance includes the between-strata component (law of total
+    variance); otherwise we use the p-weighted average of within-stratum
+    variances, which is exact when all strata share the same mean.
+    """
+    p_arr = np.asarray(p, dtype=float)
+    sigma_arr = np.asarray(sigma, dtype=float)
+    _validate_p_sigma(p_arr, sigma_arr)
+    if budget <= 0:
+        raise ValueError(f"budget must be positive, got {budget}")
+    p_all = p_arr.sum()
+    if p_all == 0:
+        return float("inf")
+    p_avg = p_all / p_arr.size
+    weights = p_arr / p_all
+    within = float(np.dot(weights, sigma_arr**2))
+    if mu is not None:
+        mu_arr = np.asarray(mu, dtype=float)
+        if mu_arr.shape != p_arr.shape:
+            raise ValueError("mu must have the same shape as p")
+        overall_mean = float(np.dot(weights, mu_arr))
+        between = float(np.dot(weights, (mu_arr - overall_mean) ** 2))
+    else:
+        between = 0.0
+    overall_variance = within + between
+    return float(overall_variance / (budget * p_avg))
+
+
+def expected_speedup(
+    p: Sequence[float], sigma: Sequence[float], mu: Sequence[float] = None
+) -> float:
+    """Ratio of uniform-sampling MSE to optimal stratified MSE (budget cancels).
+
+    This is the "relative gain of using a given proxy" formula the paper
+    uses for proxy selection; a value of 2.0 means the stratification is
+    expected to need half as many oracle calls for the same error.
+    """
+    stratified = optimal_stratified_mse(p, sigma, budget=1)
+    uniform = uniform_sampling_mse(p, sigma, budget=1, mu=mu)
+    if stratified == 0:
+        return float("inf")
+    if not np.isfinite(stratified) or not np.isfinite(uniform):
+        return 1.0
+    return float(uniform / stratified)
+
+
+def allocation_from_estimates(estimates) -> np.ndarray:
+    """Stage-2 allocation from plug-in estimates (Algorithm 1, line 14)."""
+    p = np.array([e.p_hat for e in estimates], dtype=float)
+    sigma = np.array([e.sigma_hat for e in estimates], dtype=float)
+    return optimal_allocation(p, sigma)

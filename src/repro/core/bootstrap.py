@@ -1,0 +1,170 @@
+"""Percentile bootstrap for confidence intervals (Algorithm 2).
+
+The per-stratum samples across both stages are i.i.d. within each stratum,
+so we resample *within each stratum* with replacement, recompute the
+combined estimate, and take empirical percentiles across bootstrap trials.
+The paper argues the bootstrap's CPU cost is negligible next to oracle
+calls; our implementation vectorizes the resampling so 1,000 trials over
+typical sample sizes run in milliseconds.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.results import ConfidenceInterval
+from repro.core.types import StratumSample
+from repro.stats.rng import RandomState
+
+__all__ = [
+    "bootstrap_estimates",
+    "bootstrap_confidence_interval",
+    "bootstrap_aggregate_estimates",
+    "bootstrap_aggregate_interval",
+]
+
+
+def bootstrap_estimates(
+    samples: Sequence[StratumSample],
+    num_bootstrap: int = 1000,
+    rng: Optional[RandomState] = None,
+) -> np.ndarray:
+    """Return the bootstrap distribution of the combined ABae estimate.
+
+    Each bootstrap trial resamples every stratum's draws (positives and
+    negatives together) with replacement, recomputes ``p*_k`` and ``mu*_k``,
+    and forms ``sum_k p*_k mu*_k / sum_k p*_k``.  Trials where no stratum
+    yields a positive record produce an estimate of 0.0, mirroring the point
+    estimator's convention.
+    """
+    if num_bootstrap <= 0:
+        raise ValueError(f"num_bootstrap must be positive, got {num_bootstrap}")
+    if not samples:
+        raise ValueError("bootstrap requires at least one stratum of samples")
+    rng = rng or RandomState(0)
+
+    num_strata = len(samples)
+    p_star = np.zeros((num_bootstrap, num_strata))
+    mu_star = np.zeros((num_bootstrap, num_strata))
+
+    for k, sample in enumerate(samples):
+        n = sample.num_draws
+        if n == 0:
+            # Nothing was drawn from this stratum; it contributes p* = 0.
+            continue
+        matches = sample.matches.astype(float)
+        values = np.where(sample.matches, sample.values, 0.0)
+        # (num_bootstrap, n) index matrix of resampled positions.
+        resample_idx = rng.integers(0, n, size=(num_bootstrap, n))
+        resampled_matches = matches[resample_idx]
+        resampled_values = values[resample_idx]
+        positives = resampled_matches.sum(axis=1)
+        p_star[:, k] = positives / n
+        sums = (resampled_values * resampled_matches).sum(axis=1)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            mu_star[:, k] = np.where(positives > 0, sums / np.maximum(positives, 1), 0.0)
+
+    denominators = p_star.sum(axis=1)
+    numerators = (p_star * mu_star).sum(axis=1)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        estimates = np.where(denominators > 0, numerators / np.maximum(denominators, 1e-300), 0.0)
+    return estimates
+
+
+def bootstrap_confidence_interval(
+    samples: Sequence[StratumSample],
+    alpha: float = 0.05,
+    num_bootstrap: int = 1000,
+    rng: Optional[RandomState] = None,
+) -> ConfidenceInterval:
+    """Percentile bootstrap CI at level ``1 - alpha`` (Algorithm 2)."""
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+    estimates = bootstrap_estimates(samples, num_bootstrap=num_bootstrap, rng=rng)
+    lower = float(np.percentile(estimates, 100.0 * (alpha / 2.0)))
+    upper = float(np.percentile(estimates, 100.0 * (1.0 - alpha / 2.0)))
+    return ConfidenceInterval(lower=lower, upper=upper, alpha=alpha)
+
+
+def _per_stratum_bootstrap(
+    samples: Sequence[StratumSample],
+    num_bootstrap: int,
+    rng: RandomState,
+) -> tuple:
+    """Shared resampling core: bootstrap matrices of p*_k and mu*_k."""
+    num_strata = len(samples)
+    p_star = np.zeros((num_bootstrap, num_strata))
+    mu_star = np.zeros((num_bootstrap, num_strata))
+    for k, sample in enumerate(samples):
+        n = sample.num_draws
+        if n == 0:
+            continue
+        matches = sample.matches.astype(float)
+        values = np.where(sample.matches, sample.values, 0.0)
+        resample_idx = rng.integers(0, n, size=(num_bootstrap, n))
+        resampled_matches = matches[resample_idx]
+        resampled_values = values[resample_idx]
+        positives = resampled_matches.sum(axis=1)
+        p_star[:, k] = positives / n
+        sums = (resampled_values * resampled_matches).sum(axis=1)
+        mu_star[:, k] = np.where(positives > 0, sums / np.maximum(positives, 1), 0.0)
+    return p_star, mu_star
+
+
+def bootstrap_aggregate_estimates(
+    samples: Sequence[StratumSample],
+    stratum_sizes: Sequence[int],
+    kind: str = "avg",
+    num_bootstrap: int = 1000,
+    rng: Optional[RandomState] = None,
+) -> np.ndarray:
+    """Bootstrap distribution of the AVG / SUM / COUNT estimator.
+
+    ``stratum_sizes`` is the number of dataset records in each stratum,
+    needed to scale per-stratum positive rates into absolute counts:
+
+    * ``count`` — ``sum_k p*_k |S_k|``
+    * ``sum`` — ``sum_k p*_k |S_k| mu*_k``
+    * ``avg`` — ``sum / count`` (the Algorithm-2 estimator when strata are
+      equal-size, and the size-weighted generalization otherwise)
+    """
+    if kind not in ("avg", "sum", "count"):
+        raise ValueError(f"kind must be 'avg', 'sum' or 'count', got {kind!r}")
+    if num_bootstrap <= 0:
+        raise ValueError(f"num_bootstrap must be positive, got {num_bootstrap}")
+    if not samples:
+        raise ValueError("bootstrap requires at least one stratum of samples")
+    sizes = np.asarray(stratum_sizes, dtype=float)
+    if sizes.shape[0] != len(samples):
+        raise ValueError("stratum_sizes must have one entry per stratum")
+    rng = rng or RandomState(0)
+    p_star, mu_star = _per_stratum_bootstrap(samples, num_bootstrap, rng)
+    counts = (p_star * sizes[None, :]).sum(axis=1)
+    sums = (p_star * sizes[None, :] * mu_star).sum(axis=1)
+    if kind == "count":
+        return counts
+    if kind == "sum":
+        return sums
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.where(counts > 0, sums / np.maximum(counts, 1e-300), 0.0)
+
+
+def bootstrap_aggregate_interval(
+    samples: Sequence[StratumSample],
+    stratum_sizes: Sequence[int],
+    kind: str = "avg",
+    alpha: float = 0.05,
+    num_bootstrap: int = 1000,
+    rng: Optional[RandomState] = None,
+) -> ConfidenceInterval:
+    """Percentile CI for the AVG / SUM / COUNT estimator."""
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+    estimates = bootstrap_aggregate_estimates(
+        samples, stratum_sizes, kind=kind, num_bootstrap=num_bootstrap, rng=rng
+    )
+    lower = float(np.percentile(estimates, 100.0 * (alpha / 2.0)))
+    upper = float(np.percentile(estimates, 100.0 * (1.0 - alpha / 2.0)))
+    return ConfidenceInterval(lower=lower, upper=upper, alpha=alpha)

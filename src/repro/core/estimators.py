@@ -1,0 +1,126 @@
+"""Plug-in estimators for the per-stratum quantities of Algorithm 1.
+
+Given the records sampled from a stratum, these functions compute the
+hatted quantities of Table 1: the predicate positive rate ``p_hat_k``, the
+mean of the statistic over positive records ``mu_hat_k``, and its standard
+deviation ``sigma_hat_k`` — with the paper's conventions for empty and
+singleton samples (zero mean / zero variance).  The final combined estimate
+``sum_k p_hat_k mu_hat_k / sum_k p_hat_k`` also lives here so the sampler,
+the bootstrap, and the group-by extension share a single definition.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.types import StratumEstimate, StratumSample
+from repro.stats.descriptive import safe_mean, safe_std
+
+__all__ = [
+    "estimate_stratum",
+    "estimate_all_strata",
+    "combine_estimates",
+    "combined_estimate_from_samples",
+    "estimate_mse_plugin",
+]
+
+
+def estimate_stratum(sample: StratumSample) -> StratumEstimate:
+    """Compute (p_hat, mu_hat, sigma_hat) for one stratum's samples."""
+    num_draws = sample.num_draws
+    num_positive = sample.num_positive
+    if num_draws == 0:
+        p_hat = 0.0
+    else:
+        p_hat = num_positive / num_draws
+    positives = sample.positive_values
+    mu_hat = safe_mean(positives, default=0.0)
+    sigma_hat = safe_std(positives, ddof=1, default=0.0)
+    return StratumEstimate(
+        stratum=sample.stratum,
+        p_hat=float(p_hat),
+        mu_hat=float(mu_hat),
+        sigma_hat=float(sigma_hat),
+        num_draws=num_draws,
+        num_positive=num_positive,
+    )
+
+
+def estimate_all_strata(samples: Sequence[StratumSample]) -> List[StratumEstimate]:
+    """Per-stratum estimates for every stratum, in stratum order."""
+    return [estimate_stratum(sample) for sample in samples]
+
+
+def combine_estimates(estimates: Sequence[StratumEstimate]) -> float:
+    """The final ABae estimate ``sum_k p_hat_k mu_hat_k / sum_k p_hat_k``.
+
+    Strata where no positive record was drawn contribute ``p_hat_k = 0`` and
+    drop out automatically.  When *no* stratum produced a positive record
+    the estimate is defined as 0.0, matching the convention in
+    :func:`repro.stats.descriptive.weighted_mean`.
+
+    Note this assumes equal-size strata (quantile stratification), where the
+    within-stratum positive rate is proportional to the stratum's share of
+    all positive records.  For unequal strata the weights are scaled by
+    stratum size, handled by passing ``weights``-adjusted estimates from the
+    caller (see :func:`combined_estimate_from_samples`).
+    """
+    p_hats = np.array([e.p_hat for e in estimates], dtype=float)
+    mu_hats = np.array([e.mu_hat for e in estimates], dtype=float)
+    denominator = p_hats.sum()
+    if denominator == 0:
+        return 0.0
+    return float(np.dot(p_hats, mu_hats) / denominator)
+
+
+def combined_estimate_from_samples(
+    samples: Sequence[StratumSample],
+    stratum_weights: Sequence[float] = None,
+) -> float:
+    """Combined estimate straight from samples, optionally size-weighted.
+
+    ``stratum_weights`` is the fraction of the dataset in each stratum; when
+    omitted all strata are assumed the same size (true for quantile
+    stratification up to rounding, and exactly what Algorithm 1 assumes).
+    """
+    estimates = estimate_all_strata(samples)
+    p_hats = np.array([e.p_hat for e in estimates], dtype=float)
+    mu_hats = np.array([e.mu_hat for e in estimates], dtype=float)
+    if stratum_weights is not None:
+        w = np.asarray(stratum_weights, dtype=float)
+        if w.shape != p_hats.shape:
+            raise ValueError(
+                f"stratum_weights has shape {w.shape}, expected {p_hats.shape}"
+            )
+        p_hats = p_hats * w
+    denominator = p_hats.sum()
+    if denominator == 0:
+        return 0.0
+    return float(np.dot(p_hats, mu_hats) / denominator)
+
+
+def estimate_mse_plugin(
+    estimates: Sequence[StratumEstimate],
+    stage2_draws: Sequence[int],
+) -> float:
+    """Plug-in estimate of the estimator's MSE (Proposition 3's leading term).
+
+    ``sum_k w_hat_k^2 * sigma_hat_k^2 / max(positive draws in stratum k, 1)``
+    where ``w_hat_k = p_hat_k / sum(p_hat)``.  Used by the group-by
+    extension to weight per-stratification estimates by inverse variance.
+    """
+    p_hats = np.array([e.p_hat for e in estimates], dtype=float)
+    sigma_hats = np.array([e.sigma_hat for e in estimates], dtype=float)
+    draws = np.asarray(stage2_draws, dtype=float)
+    if draws.shape != p_hats.shape:
+        raise ValueError(
+            f"stage2_draws has shape {draws.shape}, expected {p_hats.shape}"
+        )
+    p_all = p_hats.sum()
+    if p_all == 0:
+        return float("inf")
+    w_hats = p_hats / p_all
+    expected_positives = np.maximum(p_hats * draws, 1.0)
+    return float(np.sum(w_hats**2 * sigma_hats**2 / expected_positives))

@@ -1,0 +1,567 @@
+"""ABae-GroupBy: aggregation queries with a group-by key (Section 3.2, 4.5).
+
+Two settings are supported, mirroring the paper:
+
+* **Single oracle** (:func:`run_groupby_single_oracle`) — one oracle call
+  returns the record's group key directly, so a sample drawn for any group
+  informs every group.  Stage 1 samples uniformly; Stage 2 splits the
+  budget across the per-group stratifications by minimizing the minimax
+  error objective of Eq. 10, and the final per-group estimates combine the
+  per-stratification estimators by inverse-variance weighting.
+
+* **Multiple oracles** (:func:`run_groupby_multi_oracle`) — each group has
+  its own binary membership oracle; samples drawn for group *g* only inform
+  group *g*.  Stage 1 pilots each group independently; Stage 2 splits the
+  budget across groups by minimizing Eq. 11.
+
+Both functions accept ``allocation_method`` of ``"minimax"`` (the paper's
+method), ``"equal"`` (equal budget per group / stratification — the
+"Equal" baseline in Figures 7–8), or ``"uniform"`` (no stratification at
+all: plain uniform sampling, the "Uniform" baseline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.abae import (
+    StatisticLike,
+    _normalize_statistic,
+    bounded_allocation,
+    run_abae,
+)
+from repro.core.allocation import optimal_allocation
+from repro.core.estimators import (
+    combine_estimates,
+    estimate_all_strata,
+    estimate_mse_plugin,
+)
+from repro.core.results import EstimateResult, GroupByResult
+from repro.core.stratification import Stratification
+from repro.core.uniform import run_uniform
+from repro.oracle.groupkey import GroupKeyOracle, PerGroupOracles
+from repro.optim.simplex import minimize_on_simplex
+from repro.proxy.base import PrecomputedProxy, Proxy
+from repro.stats.descriptive import safe_mean, safe_std
+from repro.stats.rng import RandomState
+from repro.stats.sampling import sample_without_replacement
+from repro.core.types import StratumSample
+
+__all__ = [
+    "GroupSpec",
+    "run_groupby_single_oracle",
+    "run_groupby_multi_oracle",
+]
+
+_EPS = 1e-12
+
+VALID_ALLOCATION_METHODS = ("minimax", "equal", "uniform")
+
+
+@dataclass
+class GroupSpec:
+    """One group of a GROUP BY query: its key and its proxy."""
+
+    key: Hashable
+    proxy: Union[Proxy, Sequence[float]]
+
+    def proxy_object(self) -> Proxy:
+        if isinstance(self.proxy, Proxy):
+            return self.proxy
+        return PrecomputedProxy(
+            np.asarray(self.proxy, dtype=float), name=f"proxy[{self.key}]"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Shared helpers
+# ---------------------------------------------------------------------------
+
+
+def _validate_allocation_method(method: str) -> None:
+    if method not in VALID_ALLOCATION_METHODS:
+        raise ValueError(
+            f"unknown allocation_method {method!r}; expected one of "
+            f"{VALID_ALLOCATION_METHODS}"
+        )
+
+
+@dataclass
+class _LabelledDraw:
+    """A drawn record with its revealed group key and (optional) statistic."""
+
+    index: int
+    key: Hashable
+    value: float
+
+
+def _draws_to_stratum_samples(
+    draws: Sequence[_LabelledDraw],
+    group: Hashable,
+    assignment: np.ndarray,
+    num_strata: int,
+) -> List[StratumSample]:
+    """Bucket labelled draws into strata of one stratification, for one group."""
+    per_stratum: List[Dict[str, list]] = [
+        {"indices": [], "matches": [], "values": []} for _ in range(num_strata)
+    ]
+    for draw in draws:
+        k = int(assignment[draw.index])
+        matched = draw.key == group
+        per_stratum[k]["indices"].append(draw.index)
+        per_stratum[k]["matches"].append(matched)
+        per_stratum[k]["values"].append(draw.value if matched else np.nan)
+    return [
+        StratumSample(
+            stratum=k,
+            indices=np.array(bucket["indices"], dtype=np.int64),
+            matches=np.array(bucket["matches"], dtype=bool),
+            values=np.array(bucket["values"], dtype=float),
+        )
+        for k, bucket in enumerate(per_stratum)
+    ]
+
+
+def _per_group_estimates(
+    draws: Sequence[_LabelledDraw],
+    groups: Sequence[Hashable],
+    assignment: np.ndarray,
+    num_strata: int,
+) -> Dict[Hashable, List]:
+    """Per-group, per-stratum plug-in estimates from labelled draws."""
+    estimates: Dict[Hashable, List] = {}
+    for group in groups:
+        samples = _draws_to_stratum_samples(draws, group, assignment, num_strata)
+        estimates[group] = estimate_all_strata(samples)
+    return estimates
+
+
+def _stratification_error_term(
+    estimates: Sequence, allocation: np.ndarray
+) -> float:
+    """The S term of Eqs. 10–11: sum_k w_hat_k^2 sigma_hat_k^2 / (p_hat_k T_k).
+
+    Multiplying by 1 / (Λ_l N2) gives the per-stratification, per-group
+    variance estimate.  Guarded so strata with no information contribute
+    nothing rather than dividing by zero.
+    """
+    p = np.array([e.p_hat for e in estimates], dtype=float)
+    sigma = np.array([e.sigma_hat for e in estimates], dtype=float)
+    p_all = p.sum()
+    if p_all == 0:
+        return float("inf")
+    w = p / p_all
+    denom = p * np.maximum(allocation, _EPS)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        terms = np.where(p > 0, w**2 * sigma**2 / np.maximum(denom, _EPS), 0.0)
+    return float(terms.sum())
+
+
+# ---------------------------------------------------------------------------
+# Single-oracle setting
+# ---------------------------------------------------------------------------
+
+
+def run_groupby_single_oracle(
+    groups: Sequence[GroupSpec],
+    oracle: GroupKeyOracle,
+    statistic: StatisticLike,
+    budget: int,
+    num_strata: int = 5,
+    stage1_fraction: float = 0.5,
+    allocation_method: str = "minimax",
+    rng: Optional[RandomState] = None,
+) -> GroupByResult:
+    """GROUP BY estimation when one oracle call reveals the group key.
+
+    ``budget`` is the total number of oracle invocations.  Returns per-group
+    estimates plus the Stage-2 allocation Λ chosen for each stratification.
+    """
+    _validate_allocation_method(allocation_method)
+    if not groups:
+        raise ValueError("run_groupby_single_oracle requires at least one group")
+    if budget <= 0:
+        raise ValueError(f"budget must be positive, got {budget}")
+    rng = rng or RandomState(0)
+    statistic_fn = _normalize_statistic(statistic)
+    group_keys = [g.key for g in groups]
+    num_groups = len(groups)
+
+    proxies = [g.proxy_object() for g in groups]
+    num_records = len(proxies[0])
+    if any(len(p) != num_records for p in proxies):
+        raise ValueError("all group proxies must score the same number of records")
+
+    if allocation_method == "uniform":
+        return _groupby_uniform_single_oracle(
+            group_keys, oracle, statistic_fn, budget, num_records, rng
+        )
+
+    stratifications = [
+        Stratification.by_proxy_quantile(proxy, num_strata) for proxy in proxies
+    ]
+    assignments = [s.stratum_of() for s in stratifications]
+
+    # ---- Stage 1: uniform pilot over the whole dataset --------------------------
+    n1 = int(np.floor(budget * stage1_fraction))
+    n2 = budget - n1
+    pilot_indices = sample_without_replacement(
+        np.arange(num_records, dtype=np.int64), n1, rng
+    )
+    draws: List[_LabelledDraw] = []
+    for record_index in pilot_indices:
+        key = oracle(int(record_index))
+        value = (
+            float(statistic_fn(int(record_index))) if key in group_keys else np.nan
+        )
+        draws.append(_LabelledDraw(index=int(record_index), key=key, value=value))
+    drawn_set = {d.index for d in draws}
+
+    # ---- Per-stratification estimates and within-stratification allocations -----
+    per_strat_estimates = [
+        _per_group_estimates(draws, group_keys, assignments[l], num_strata)
+        for l in range(num_groups)
+    ]
+    within_allocations = []
+    for l, group in enumerate(group_keys):
+        own_estimates = per_strat_estimates[l][group]
+        p = np.array([e.p_hat for e in own_estimates])
+        sigma = np.array([e.sigma_hat for e in own_estimates])
+        within_allocations.append(optimal_allocation(p, sigma))
+
+    error_terms = np.zeros((num_groups, num_groups))  # [stratification l, group g]
+    for l in range(num_groups):
+        for g, group in enumerate(group_keys):
+            error_terms[l, g] = _stratification_error_term(
+                per_strat_estimates[l][group], within_allocations[l]
+            )
+
+    # ---- Choose Λ across stratifications -----------------------------------------
+    if allocation_method == "equal" or n2 == 0:
+        lam = np.full(num_groups, 1.0 / num_groups)
+    else:
+        lam = _solve_minimax_single_oracle(error_terms, n2)
+
+    # ---- Stage 2: sample each stratification with its share of the budget --------
+    lam_counts = _integerize(lam, n2)
+    for l in range(num_groups):
+        stratification = stratifications[l]
+        capacities = [
+            int(np.sum(~np.isin(stratification.stratum(k), list(drawn_set))))
+            for k in range(num_strata)
+        ]
+        counts = bounded_allocation(within_allocations[l], lam_counts[l], capacities)
+        for k in range(num_strata):
+            candidates = np.array(
+                [i for i in stratification.stratum(k) if i not in drawn_set],
+                dtype=np.int64,
+            )
+            chosen = sample_without_replacement(candidates, counts[k], rng)
+            for record_index in chosen:
+                key = oracle(int(record_index))
+                value = (
+                    float(statistic_fn(int(record_index)))
+                    if key in group_keys
+                    else np.nan
+                )
+                draws.append(
+                    _LabelledDraw(index=int(record_index), key=key, value=value)
+                )
+                drawn_set.add(int(record_index))
+
+    # ---- Combine: inverse-variance weighting across stratifications --------------
+    group_results: Dict[Hashable, EstimateResult] = {}
+    for group in group_keys:
+        estimates_per_l = []
+        variances_per_l = []
+        samples_per_l = []
+        for l in range(num_groups):
+            samples = _draws_to_stratum_samples(
+                draws, group, assignments[l], num_strata
+            )
+            estimates = estimate_all_strata(samples)
+            stage_draws = [s.num_draws for s in samples]
+            mse = estimate_mse_plugin(estimates, stage_draws)
+            estimates_per_l.append(combine_estimates(estimates))
+            variances_per_l.append(mse)
+            samples_per_l.append(samples)
+        estimate = _inverse_variance_combine(estimates_per_l, variances_per_l)
+        group_results[group] = EstimateResult(
+            estimate=estimate,
+            oracle_calls=len(draws),
+            samples=[s for samples in samples_per_l for s in samples],
+            method=f"abae-groupby-single-{allocation_method}",
+            details={
+                "per_stratification_estimates": estimates_per_l,
+                "per_stratification_variances": variances_per_l,
+            },
+        )
+
+    return GroupByResult(
+        group_results=group_results,
+        allocation={group_keys[l]: float(lam[l]) for l in range(num_groups)},
+        oracle_calls=len(draws),
+        method=f"abae-groupby-single-{allocation_method}",
+        details={"stage1_draws": n1, "stage2_draws": n2},
+    )
+
+
+def _groupby_uniform_single_oracle(
+    group_keys: Sequence[Hashable],
+    oracle: GroupKeyOracle,
+    statistic_fn: Callable[[int], float],
+    budget: int,
+    num_records: int,
+    rng: RandomState,
+) -> GroupByResult:
+    """The Uniform baseline: one uniform sample, split by revealed group key."""
+    indices = sample_without_replacement(
+        np.arange(num_records, dtype=np.int64), budget, rng
+    )
+    per_group_values: Dict[Hashable, List[float]] = {g: [] for g in group_keys}
+    for record_index in indices:
+        key = oracle(int(record_index))
+        if key in per_group_values:
+            per_group_values[key].append(float(statistic_fn(int(record_index))))
+    group_results = {
+        group: EstimateResult(
+            estimate=safe_mean(values),
+            oracle_calls=len(indices),
+            method="uniform-groupby-single",
+        )
+        for group, values in per_group_values.items()
+    }
+    return GroupByResult(
+        group_results=group_results,
+        allocation={g: 1.0 / len(group_keys) for g in group_keys},
+        oracle_calls=len(indices),
+        method="uniform-groupby-single",
+    )
+
+
+def _solve_minimax_single_oracle(error_terms: np.ndarray, n2: int) -> np.ndarray:
+    """Minimize Eq. 10 over Λ on the probability simplex."""
+    num_groups = error_terms.shape[0]
+
+    def objective(lam: np.ndarray) -> float:
+        worst = 0.0
+        for g in range(num_groups):
+            inverse_sum = 0.0
+            for l in range(num_groups):
+                variance = error_terms[l, g] / max(lam[l] * n2, _EPS)
+                if variance <= 0 or not np.isfinite(variance):
+                    continue
+                inverse_sum += 1.0 / variance
+            combined = 1.0 / inverse_sum if inverse_sum > 0 else float("inf")
+            worst = max(worst, combined)
+        return worst
+
+    result = minimize_on_simplex(objective, num_groups)
+    return result.x
+
+
+# ---------------------------------------------------------------------------
+# Multiple-oracle setting
+# ---------------------------------------------------------------------------
+
+
+def run_groupby_multi_oracle(
+    groups: Sequence[GroupSpec],
+    oracles: Union[PerGroupOracles, Dict[Hashable, Callable[[int], bool]]],
+    statistic: StatisticLike,
+    budget: int,
+    num_strata: int = 5,
+    stage1_fraction: float = 0.5,
+    allocation_method: str = "minimax",
+    rng: Optional[RandomState] = None,
+) -> GroupByResult:
+    """GROUP BY estimation when each group has its own membership oracle.
+
+    ``budget`` is the *total* number of oracle invocations across all
+    groups' oracles (the paper normalizes by the number of groups when
+    plotting; the benchmark harness does the same).
+    """
+    _validate_allocation_method(allocation_method)
+    if not groups:
+        raise ValueError("run_groupby_multi_oracle requires at least one group")
+    if budget <= 0:
+        raise ValueError(f"budget must be positive, got {budget}")
+    rng = rng or RandomState(0)
+    statistic_fn = _normalize_statistic(statistic)
+    group_keys = [g.key for g in groups]
+    num_groups = len(groups)
+
+    def oracle_for(group: Hashable) -> Callable[[int], bool]:
+        if isinstance(oracles, PerGroupOracles):
+            return oracles.oracle_for(group)
+        try:
+            return oracles[group]
+        except (KeyError, TypeError):
+            raise ValueError(f"no oracle provided for group {group!r}") from None
+
+    proxies = [g.proxy_object() for g in groups]
+    num_records = len(proxies[0])
+    if any(len(p) != num_records for p in proxies):
+        raise ValueError("all group proxies must score the same number of records")
+
+    per_group_budget = budget // num_groups
+
+    if allocation_method == "uniform":
+        group_results = {}
+        total_calls = 0
+        for spec, rng_child in zip(groups, rng.spawn(num_groups)):
+            result = run_uniform(
+                num_records=num_records,
+                oracle=oracle_for(spec.key),
+                statistic=statistic_fn,
+                budget=per_group_budget,
+                rng=rng_child,
+            )
+            result.method = "uniform-groupby-multi"
+            group_results[spec.key] = result
+            total_calls += result.oracle_calls
+        return GroupByResult(
+            group_results=group_results,
+            allocation={g: 1.0 / num_groups for g in group_keys},
+            oracle_calls=total_calls,
+            method="uniform-groupby-multi",
+        )
+
+    # ---- Stage 1: pilot each group independently ---------------------------------
+    stage1_per_group = int(np.floor(per_group_budget * stage1_fraction))
+    stage2_total = budget - stage1_per_group * num_groups
+
+    pilot_results = []
+    for spec, rng_child in zip(groups, rng.spawn(num_groups)):
+        pilot = run_abae(
+            proxy=spec.proxy_object(),
+            oracle=oracle_for(spec.key),
+            statistic=statistic_fn,
+            budget=stage1_per_group,
+            num_strata=num_strata,
+            stage1_fraction=1.0,  # the whole per-group pilot budget is Stage 1
+            rng=rng_child,
+        )
+        pilot_results.append(pilot)
+
+    error_terms = np.zeros(num_groups)
+    within_allocations = []
+    for g, pilot in enumerate(pilot_results):
+        p = np.array([e.p_hat for e in pilot.strata_estimates])
+        sigma = np.array([e.sigma_hat for e in pilot.strata_estimates])
+        allocation = optimal_allocation(p, sigma)
+        within_allocations.append(allocation)
+        error_terms[g] = _stratification_error_term(
+            pilot.strata_estimates, allocation
+        )
+
+    # ---- Choose Λ across groups ---------------------------------------------------
+    if allocation_method == "equal" or stage2_total == 0:
+        lam = np.full(num_groups, 1.0 / num_groups)
+    else:
+        lam = _solve_minimax_multi_oracle(error_terms, stage2_total)
+
+    lam_counts = _integerize(lam, stage2_total)
+
+    # ---- Stage 2: each group continues sampling with its share --------------------
+    group_results: Dict[Hashable, EstimateResult] = {}
+    total_calls = 0
+    for g, (spec, rng_child) in enumerate(zip(groups, rng.spawn(num_groups))):
+        stratification = Stratification.by_proxy_quantile(
+            spec.proxy_object(), num_strata
+        )
+        pilot_samples = pilot_results[g].samples
+        drawn = {
+            int(i) for sample in pilot_samples for i in sample.indices.tolist()
+        }
+        capacities = [
+            int(np.sum(~np.isin(stratification.stratum(k), list(drawn))))
+            for k in range(num_strata)
+        ]
+        counts = bounded_allocation(within_allocations[g], lam_counts[g], capacities)
+        oracle_g = oracle_for(spec.key)
+        combined_samples = []
+        for k in range(num_strata):
+            candidates = np.array(
+                [i for i in stratification.stratum(k) if i not in drawn],
+                dtype=np.int64,
+            )
+            chosen = sample_without_replacement(candidates, counts[k], rng_child)
+            matches = np.empty(chosen.shape[0], dtype=bool)
+            values = np.full(chosen.shape[0], np.nan, dtype=float)
+            for i, record_index in enumerate(chosen):
+                is_match = bool(oracle_g(int(record_index)))
+                matches[i] = is_match
+                if is_match:
+                    values[i] = float(statistic_fn(int(record_index)))
+            fresh = StratumSample(
+                stratum=k, indices=chosen, matches=matches, values=values
+            )
+            combined_samples.append(pilot_samples[k].extend(fresh))
+
+        estimates = estimate_all_strata(combined_samples)
+        estimate = combine_estimates(estimates)
+        calls = sum(s.num_draws for s in combined_samples)
+        total_calls += calls
+        group_results[spec.key] = EstimateResult(
+            estimate=estimate,
+            oracle_calls=calls,
+            strata_estimates=estimates,
+            samples=combined_samples,
+            method=f"abae-groupby-multi-{allocation_method}",
+        )
+
+    return GroupByResult(
+        group_results=group_results,
+        allocation={group_keys[g]: float(lam[g]) for g in range(num_groups)},
+        oracle_calls=total_calls,
+        method=f"abae-groupby-multi-{allocation_method}",
+        details={
+            "stage1_per_group": stage1_per_group,
+            "stage2_total": stage2_total,
+        },
+    )
+
+
+def _solve_minimax_multi_oracle(error_terms: np.ndarray, n2: int) -> np.ndarray:
+    """Minimize Eq. 11 over Λ on the probability simplex."""
+    num_groups = error_terms.shape[0]
+
+    def objective(lam: np.ndarray) -> float:
+        worst = 0.0
+        for g in range(num_groups):
+            variance = error_terms[g] / max(lam[g] * n2, _EPS)
+            worst = max(worst, variance)
+        return worst
+
+    result = minimize_on_simplex(objective, num_groups)
+    return result.x
+
+
+# ---------------------------------------------------------------------------
+# Small numeric helpers
+# ---------------------------------------------------------------------------
+
+
+def _integerize(weights: np.ndarray, total: int) -> List[int]:
+    """Largest-remainder integer split of ``total`` according to ``weights``."""
+    from repro.stats.sampling import proportional_integer_allocation
+
+    return proportional_integer_allocation(weights, total)
+
+
+def _inverse_variance_combine(
+    estimates: Sequence[float], variances: Sequence[float]
+) -> float:
+    """Inverse-variance weighted average, robust to zero / infinite variances."""
+    est = np.asarray(estimates, dtype=float)
+    var = np.asarray(variances, dtype=float)
+    finite = np.isfinite(var)
+    if not finite.any():
+        return float(est.mean()) if est.size else 0.0
+    est, var = est[finite], var[finite]
+    weights = 1.0 / np.maximum(var, _EPS)
+    return float(np.dot(weights, est) / weights.sum())

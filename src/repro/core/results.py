@@ -1,0 +1,128 @@
+"""Result objects returned by the samplers.
+
+Every estimator in the package (ABae, the uniform baseline, the group-by
+and multi-predicate extensions) returns an :class:`EstimateResult` so the
+experiment harness, the query executor and users see one consistent shape:
+the point estimate, an optional confidence interval, the oracle cost paid,
+and per-stratum diagnostics for debugging and ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.types import StratumEstimate, StratumSample
+
+__all__ = ["ConfidenceInterval", "EstimateResult", "GroupByResult"]
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A two-sided confidence interval at confidence level ``1 - alpha``."""
+
+    lower: float
+    upper: float
+    alpha: float
+
+    def __post_init__(self):
+        if not 0.0 < self.alpha < 1.0:
+            raise ValueError(f"alpha must be in (0, 1), got {self.alpha}")
+        if self.upper < self.lower:
+            raise ValueError(
+                f"upper bound {self.upper} is below lower bound {self.lower}"
+            )
+
+    @property
+    def width(self) -> float:
+        return self.upper - self.lower
+
+    @property
+    def confidence(self) -> float:
+        return 1.0 - self.alpha
+
+    def covers(self, value: float) -> bool:
+        return self.lower <= value <= self.upper
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CI[{self.lower:.6g}, {self.upper:.6g}] "
+            f"@ {100 * self.confidence:.0f}%"
+        )
+
+
+@dataclass
+class EstimateResult:
+    """The answer to an approximate aggregation query.
+
+    Attributes
+    ----------
+    estimate:
+        The approximate aggregate (mu_hat_all for AVG-style queries; the
+        query executor rescales for SUM / COUNT).
+    ci:
+        Bootstrap confidence interval, when the caller requested one.
+    oracle_calls:
+        Number of oracle invocations actually charged.
+    strata_estimates:
+        Per-stratum plug-in estimates (diagnostics; empty for the uniform
+        baseline, which has a single implicit stratum).
+    samples:
+        The raw per-stratum samples, kept so the bootstrap (and tests) can
+        resample without re-querying the oracle.
+    method:
+        Human-readable method name ("abae", "uniform", ...).
+    details:
+        Free-form extra diagnostics (allocations, stage sizes, ...).
+    """
+
+    estimate: float
+    ci: Optional[ConfidenceInterval] = None
+    oracle_calls: int = 0
+    strata_estimates: List[StratumEstimate] = field(default_factory=list)
+    samples: List[StratumSample] = field(default_factory=list)
+    method: str = "abae"
+    details: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def num_positive_samples(self) -> int:
+        return sum(s.num_positive for s in self.samples)
+
+    @property
+    def num_draws(self) -> int:
+        return sum(s.num_draws for s in self.samples)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        ci_text = f", ci={self.ci}" if self.ci is not None else ""
+        return (
+            f"EstimateResult(method={self.method!r}, estimate={self.estimate:.6g}, "
+            f"oracle_calls={self.oracle_calls}{ci_text})"
+        )
+
+
+@dataclass
+class GroupByResult:
+    """Per-group results for a GROUP BY query."""
+
+    group_results: Dict[object, EstimateResult] = field(default_factory=dict)
+    allocation: Dict[object, float] = field(default_factory=dict)
+    oracle_calls: int = 0
+    method: str = "abae-groupby"
+    details: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def groups(self) -> Sequence[object]:
+        return list(self.group_results)
+
+    def estimate(self, group) -> float:
+        return self.group_results[group].estimate
+
+    def estimates(self) -> Dict[object, float]:
+        return {g: r.estimate for g, r in self.group_results.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(
+            f"{group}={result.estimate:.4g}"
+            for group, result in self.group_results.items()
+        )
+        return f"GroupByResult({parts})"

@@ -1,0 +1,146 @@
+"""Stratification by proxy-score quantile (ABaeInit, Algorithm 1).
+
+ABae sorts records by proxy score and splits them into K equal-size strata.
+Under the monotonicity assumption this groups records with similar
+probability of matching the predicate, which is what makes the optimal
+allocation effective.  The class also supports arbitrary index-based
+stratifications so ablation benchmarks can compare against random strata.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.proxy.base import Proxy
+from repro.stats.rng import RandomState
+
+__all__ = ["Stratification"]
+
+
+class Stratification:
+    """A partition of record indices into K disjoint strata."""
+
+    def __init__(self, strata: Sequence[np.ndarray], num_records: int):
+        if not strata:
+            raise ValueError("a stratification requires at least one stratum")
+        cleaned: List[np.ndarray] = []
+        seen = 0
+        for k, stratum in enumerate(strata):
+            arr = np.asarray(stratum, dtype=np.int64)
+            if arr.ndim != 1:
+                raise ValueError(f"stratum {k} must be a 1-D index array")
+            cleaned.append(arr)
+            seen += arr.size
+        if seen != num_records:
+            raise ValueError(
+                f"strata cover {seen} records but the dataset has {num_records}"
+            )
+        all_indices = np.concatenate(cleaned) if cleaned else np.empty(0, dtype=np.int64)
+        if np.unique(all_indices).size != all_indices.size:
+            raise ValueError("strata must be disjoint (duplicate record index found)")
+        if all_indices.size and (all_indices.min() < 0 or all_indices.max() >= num_records):
+            raise ValueError("stratum indices out of range for the dataset")
+        self._strata = cleaned
+        self._num_records = num_records
+
+    # -- Constructors -------------------------------------------------------------
+    @classmethod
+    def by_proxy_quantile(
+        cls, proxy: Proxy, num_strata: int, descending: bool = False
+    ) -> "Stratification":
+        """Stratify by proxy-score quantile (the paper's ABaeInit).
+
+        Records are sorted by score and split into ``num_strata`` contiguous,
+        (almost) equal-size groups.  Ties are broken by record index so the
+        stratification is deterministic.  ``descending=True`` puts the
+        highest-scoring records in stratum 0; the default ascending order
+        matches Algorithm 1's sort.
+        """
+        scores = proxy.scores()
+        return cls.from_scores(scores, num_strata, descending=descending)
+
+    @classmethod
+    def from_scores(
+        cls, scores: Sequence[float], num_strata: int, descending: bool = False
+    ) -> "Stratification":
+        """Stratify an explicit score vector by quantile."""
+        arr = np.asarray(scores, dtype=float)
+        if arr.ndim != 1 or arr.size == 0:
+            raise ValueError("scores must be a non-empty 1-D array")
+        if num_strata <= 0:
+            raise ValueError(f"num_strata must be positive, got {num_strata}")
+        if num_strata > arr.size:
+            raise ValueError(
+                f"cannot build {num_strata} strata from only {arr.size} records"
+            )
+        order = np.argsort(arr, kind="stable")
+        if descending:
+            order = order[::-1]
+        strata = [np.sort(chunk) for chunk in np.array_split(order, num_strata)]
+        return cls(strata, num_records=arr.size)
+
+    @classmethod
+    def random(
+        cls, num_records: int, num_strata: int, rng: Optional[RandomState] = None
+    ) -> "Stratification":
+        """A random partition into equal-size strata (ablation baseline)."""
+        if num_strata <= 0:
+            raise ValueError(f"num_strata must be positive, got {num_strata}")
+        if num_strata > num_records:
+            raise ValueError(
+                f"cannot build {num_strata} strata from only {num_records} records"
+            )
+        rng = rng or RandomState(0)
+        order = rng.permutation(np.arange(num_records))
+        strata = [np.sort(chunk) for chunk in np.array_split(order, num_strata)]
+        return cls(strata, num_records=num_records)
+
+    @classmethod
+    def single_stratum(cls, num_records: int) -> "Stratification":
+        """The trivial stratification (equivalent to uniform sampling)."""
+        return cls([np.arange(num_records, dtype=np.int64)], num_records=num_records)
+
+    # -- Accessors ----------------------------------------------------------------
+    @property
+    def num_strata(self) -> int:
+        return len(self._strata)
+
+    @property
+    def num_records(self) -> int:
+        return self._num_records
+
+    def stratum(self, k: int) -> np.ndarray:
+        """The record indices belonging to stratum ``k``."""
+        if not 0 <= k < len(self._strata):
+            raise IndexError(
+                f"stratum index {k} out of range (have {len(self._strata)} strata)"
+            )
+        return np.array(self._strata[k])
+
+    def strata(self) -> List[np.ndarray]:
+        """Copies of every stratum's index array."""
+        return [np.array(s) for s in self._strata]
+
+    def sizes(self) -> np.ndarray:
+        """Number of records in each stratum."""
+        return np.array([s.size for s in self._strata], dtype=np.int64)
+
+    def weights(self) -> np.ndarray:
+        """Fraction of the dataset in each stratum (sums to 1)."""
+        sizes = self.sizes().astype(float)
+        return sizes / sizes.sum()
+
+    def stratum_of(self) -> np.ndarray:
+        """Array mapping each record index to its stratum number."""
+        assignment = np.empty(self._num_records, dtype=np.int64)
+        for k, stratum in enumerate(self._strata):
+            assignment[stratum] = k
+        return assignment
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Stratification(num_strata={self.num_strata}, "
+            f"num_records={self._num_records})"
+        )

@@ -1,0 +1,159 @@
+"""Core data types shared by the sampling algorithms.
+
+These are small, explicit dataclasses rather than ad-hoc tuples so that the
+two-stage sampler, the bootstrap, the group-by extension and the tests all
+agree on what a "stratum's worth of samples" contains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = ["SamplingBudget", "StratumSample", "StratumEstimate"]
+
+
+@dataclass(frozen=True)
+class SamplingBudget:
+    """The user's oracle budget, split between the two stages.
+
+    ``stage1_per_stratum`` is the N1 of Algorithm 1 (samples drawn from each
+    stratum in Stage 1); ``stage2_total`` is the N2 pool allocated across
+    strata by the estimated optimal allocation.
+    """
+
+    total: int
+    stage1_per_stratum: int
+    stage2_total: int
+    num_strata: int
+
+    def __post_init__(self):
+        if self.total < 0:
+            raise ValueError(f"total budget must be non-negative, got {self.total}")
+        if self.stage1_per_stratum < 0:
+            raise ValueError(
+                f"stage1_per_stratum must be non-negative, got {self.stage1_per_stratum}"
+            )
+        if self.stage2_total < 0:
+            raise ValueError(
+                f"stage2_total must be non-negative, got {self.stage2_total}"
+            )
+        if self.num_strata <= 0:
+            raise ValueError(f"num_strata must be positive, got {self.num_strata}")
+        spent = self.stage1_per_stratum * self.num_strata + self.stage2_total
+        if spent > self.total:
+            raise ValueError(
+                f"budget split exceeds total: {self.stage1_per_stratum} x "
+                f"{self.num_strata} + {self.stage2_total} > {self.total}"
+            )
+
+    @classmethod
+    def from_fraction(
+        cls, total: int, num_strata: int, stage1_fraction: float
+    ) -> "SamplingBudget":
+        """Split a total budget using the paper's C parameter.
+
+        Stage 1 receives ``C * total`` samples divided evenly across the K
+        strata (rounded down per stratum); everything left over goes to
+        Stage 2, so no budget is wasted by rounding.
+        """
+        if total < 0:
+            raise ValueError(f"total budget must be non-negative, got {total}")
+        if num_strata <= 0:
+            raise ValueError(f"num_strata must be positive, got {num_strata}")
+        if not 0.0 <= stage1_fraction <= 1.0:
+            raise ValueError(
+                f"stage1_fraction must be in [0, 1], got {stage1_fraction}"
+            )
+        stage1_total = int(np.floor(total * stage1_fraction))
+        stage1_per_stratum = stage1_total // num_strata
+        stage2_total = total - stage1_per_stratum * num_strata
+        return cls(
+            total=total,
+            stage1_per_stratum=stage1_per_stratum,
+            stage2_total=stage2_total,
+            num_strata=num_strata,
+        )
+
+
+@dataclass
+class StratumSample:
+    """All records drawn from a single stratum, across both stages.
+
+    ``indices`` are dataset record indices; ``matches`` marks which drawn
+    records satisfied the predicate; ``values`` holds the statistic for
+    matching records and NaN elsewhere (the statistic is only defined /
+    extracted for records passing the predicate).
+    """
+
+    stratum: int
+    indices: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    matches: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=bool))
+    values: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=float))
+
+    def __post_init__(self):
+        self.indices = np.asarray(self.indices, dtype=np.int64)
+        self.matches = np.asarray(self.matches, dtype=bool)
+        self.values = np.asarray(self.values, dtype=float)
+        if not (len(self.indices) == len(self.matches) == len(self.values)):
+            raise ValueError(
+                "indices, matches and values must have equal lengths, got "
+                f"{len(self.indices)}, {len(self.matches)}, {len(self.values)}"
+            )
+
+    @property
+    def num_draws(self) -> int:
+        """Total number of records drawn (and hence oracle calls charged)."""
+        return int(len(self.indices))
+
+    @property
+    def num_positive(self) -> int:
+        """Number of drawn records that satisfied the predicate."""
+        return int(self.matches.sum())
+
+    @property
+    def positive_values(self) -> np.ndarray:
+        """Statistic values of the records that satisfied the predicate."""
+        return self.values[self.matches]
+
+    def extend(self, other: "StratumSample") -> "StratumSample":
+        """Concatenate two sample sets from the same stratum."""
+        if other.stratum != self.stratum:
+            raise ValueError(
+                f"cannot merge samples from stratum {other.stratum} into stratum "
+                f"{self.stratum}"
+            )
+        return StratumSample(
+            stratum=self.stratum,
+            indices=np.concatenate([self.indices, other.indices]),
+            matches=np.concatenate([self.matches, other.matches]),
+            values=np.concatenate([self.values, other.values]),
+        )
+
+
+@dataclass(frozen=True)
+class StratumEstimate:
+    """Plug-in estimates for one stratum (the hatted quantities of Table 1)."""
+
+    stratum: int
+    p_hat: float
+    mu_hat: float
+    sigma_hat: float
+    num_draws: int
+    num_positive: int
+
+    def __post_init__(self):
+        if not 0.0 <= self.p_hat <= 1.0:
+            raise ValueError(f"p_hat must be in [0, 1], got {self.p_hat}")
+        if self.sigma_hat < 0:
+            raise ValueError(f"sigma_hat must be non-negative, got {self.sigma_hat}")
+        if self.num_positive > self.num_draws:
+            raise ValueError(
+                f"num_positive ({self.num_positive}) exceeds num_draws ({self.num_draws})"
+            )
+
+    @property
+    def variance_hat(self) -> float:
+        return self.sigma_hat**2

@@ -1,0 +1,101 @@
+"""Uniform-sampling baseline.
+
+The only baseline applicable without precomputing predicate results
+(Section 5.1): draw records uniformly at random, pay the oracle per draw,
+and average the statistic over the draws that satisfy the predicate.  The
+same bootstrap machinery provides its confidence intervals, so the Figure-5
+comparison is apples to apples.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.abae import StatisticLike, _normalize_statistic, draw_stratum_sample
+from repro.core.bootstrap import bootstrap_confidence_interval
+from repro.core.estimators import estimate_all_strata
+from repro.core.results import EstimateResult
+from repro.stats.rng import RandomState
+
+__all__ = ["run_uniform", "UniformSampler"]
+
+
+def run_uniform(
+    num_records: int,
+    oracle: Callable[[int], bool],
+    statistic: StatisticLike,
+    budget: int,
+    with_ci: bool = False,
+    alpha: float = 0.05,
+    num_bootstrap: int = 1000,
+    rng: Optional[RandomState] = None,
+) -> EstimateResult:
+    """Estimate the aggregate by uniform sampling without replacement."""
+    if num_records <= 0:
+        raise ValueError(f"num_records must be positive, got {num_records}")
+    if budget < 0:
+        raise ValueError(f"budget must be non-negative, got {budget}")
+    rng = rng or RandomState(0)
+    statistic_fn = _normalize_statistic(statistic)
+
+    sample = draw_stratum_sample(
+        0, np.arange(num_records, dtype=np.int64), budget, oracle, statistic_fn, rng
+    )
+    positives = sample.positive_values
+    estimate = float(positives.mean()) if positives.size else 0.0
+
+    ci = None
+    if with_ci:
+        ci = bootstrap_confidence_interval(
+            [sample], alpha=alpha, num_bootstrap=num_bootstrap, rng=rng
+        )
+
+    return EstimateResult(
+        estimate=estimate,
+        ci=ci,
+        oracle_calls=sample.num_draws,
+        strata_estimates=estimate_all_strata([sample]),
+        samples=[sample],
+        method="uniform",
+        details={"num_records": num_records},
+    )
+
+
+class UniformSampler:
+    """Facade mirroring :class:`repro.core.abae.ABae` for the baseline."""
+
+    def __init__(
+        self,
+        num_records: int,
+        oracle: Callable[[int], bool],
+        statistic: StatisticLike,
+    ):
+        if num_records <= 0:
+            raise ValueError(f"num_records must be positive, got {num_records}")
+        self.num_records = num_records
+        self.oracle = oracle
+        self.statistic = statistic
+
+    def estimate(
+        self,
+        budget: int,
+        with_ci: bool = False,
+        alpha: float = 0.05,
+        num_bootstrap: int = 1000,
+        rng: Optional[RandomState] = None,
+        seed: Optional[int] = None,
+    ) -> EstimateResult:
+        if rng is None:
+            rng = RandomState(seed)
+        return run_uniform(
+            num_records=self.num_records,
+            oracle=self.oracle,
+            statistic=self.statistic,
+            budget=budget,
+            with_ci=with_ci,
+            alpha=alpha,
+            num_bootstrap=num_bootstrap,
+            rng=rng,
+        )

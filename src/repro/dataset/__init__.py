@@ -1,0 +1,32 @@
+"""Dataset substrate: an in-memory column store and a dataset catalog.
+
+The paper's data is unstructured (video frames, images, emails).  What the
+query algorithm actually consumes is much simpler: a set of records, each
+carrying
+
+* the fields the statistic is computed over (e.g. ``views``, ``rating``),
+* hidden ground-truth labels that only the *oracle* may inspect (e.g.
+  whether the frame contains a car), and
+* per-predicate proxy scores.
+
+We model that with a small columnar :class:`~repro.dataset.table.Table`
+class (typed columns, row filtering, projection) and a
+:class:`~repro.dataset.catalog.Catalog` for registering named datasets,
+plus CSV / NPZ persistence in :mod:`repro.dataset.io`.
+"""
+
+from repro.dataset.column import Column
+from repro.dataset.table import Table
+from repro.dataset.catalog import Catalog, DatasetEntry
+from repro.dataset.io import read_csv, write_csv, read_npz, write_npz
+
+__all__ = [
+    "Column",
+    "Table",
+    "Catalog",
+    "DatasetEntry",
+    "read_csv",
+    "write_csv",
+    "read_npz",
+    "write_npz",
+]

@@ -1,0 +1,113 @@
+"""A small catalog mapping dataset names to tables plus metadata.
+
+The experiment harness registers the six synthetic dataset emulators here
+(mirroring Table 2 of the paper) so that benchmarks, examples and tests can
+look datasets up by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.dataset.table import Table
+
+__all__ = ["DatasetEntry", "Catalog"]
+
+
+@dataclass
+class DatasetEntry:
+    """Metadata describing a registered dataset.
+
+    Attributes mirror the columns of Table 2 in the paper: the dataset size,
+    a human-readable description of the predicate, and which columns hold
+    the statistic, the ground-truth label, and the proxy score.
+    """
+
+    name: str
+    table: Table
+    statistic_column: str
+    label_column: str
+    proxy_column: str
+    predicate_description: str = ""
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        return self.table.num_rows
+
+    def positive_rate(self) -> float:
+        """Fraction of records whose ground-truth label is truthy."""
+        labels = self.table.values(self.label_column)
+        if len(labels) == 0:
+            return 0.0
+        return float(sum(bool(v) for v in labels)) / len(labels)
+
+
+class Catalog:
+    """A mutable registry of named datasets."""
+
+    def __init__(self):
+        self._entries: Dict[str, DatasetEntry] = {}
+
+    def register(self, entry: DatasetEntry, overwrite: bool = False) -> None:
+        """Register a dataset; refuses to silently replace unless asked."""
+        if entry.name in self._entries and not overwrite:
+            raise ValueError(
+                f"dataset {entry.name!r} is already registered; "
+                "pass overwrite=True to replace it"
+            )
+        self._entries[entry.name] = entry
+
+    def register_lazy(
+        self,
+        name: str,
+        factory: Callable[[], DatasetEntry],
+        overwrite: bool = False,
+    ) -> None:
+        """Register a dataset built on first access (generators can be slow)."""
+        if name in self._entries and not overwrite:
+            raise ValueError(f"dataset {name!r} is already registered")
+        self._entries[name] = _LazyEntry(name, factory)  # type: ignore[assignment]
+
+    def get(self, name: str) -> DatasetEntry:
+        """Look up a dataset, materializing it if it was registered lazily."""
+        try:
+            entry = self._entries[name]
+        except KeyError:
+            available = ", ".join(sorted(self._entries))
+            raise KeyError(
+                f"no dataset named {name!r}; available datasets: {available}"
+            ) from None
+        if isinstance(entry, _LazyEntry):
+            entry = entry.materialize()
+            self._entries[name] = entry
+        return entry
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def names(self) -> List[str]:
+        return sorted(self._entries)
+
+    def remove(self, name: str) -> None:
+        if name not in self._entries:
+            raise KeyError(f"no dataset named {name!r} to remove")
+        del self._entries[name]
+
+
+class _LazyEntry:
+    """Internal placeholder for lazily-constructed datasets."""
+
+    def __init__(self, name: str, factory: Callable[[], DatasetEntry]):
+        self.name = name
+        self._factory = factory
+
+    def materialize(self) -> DatasetEntry:
+        entry = self._factory()
+        if entry.name != self.name:
+            raise ValueError(
+                f"lazy dataset factory for {self.name!r} produced an entry "
+                f"named {entry.name!r}"
+            )
+        return entry

@@ -1,0 +1,104 @@
+"""Typed columns for the in-memory column store."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence, Union
+
+import numpy as np
+
+__all__ = ["Column"]
+
+_NUMERIC_KINDS = {"i", "u", "f", "b"}
+
+
+class Column:
+    """A named, typed, immutable 1-D column.
+
+    Columns are backed by numpy arrays.  Numeric and boolean columns keep
+    their numpy dtype; everything else (strings, mixed objects) is stored
+    as an object array.  The class is deliberately small: the query layer
+    needs elementwise access, boolean masking and take-by-index, nothing
+    more.
+    """
+
+    def __init__(self, name: str, values: Union[Sequence, np.ndarray]):
+        if not name:
+            raise ValueError("column name must be non-empty")
+        self._name = name
+        arr = np.asarray(values)
+        if arr.ndim != 1:
+            raise ValueError(
+                f"column {name!r} must be one-dimensional, got shape {arr.shape}"
+            )
+        if arr.dtype.kind not in _NUMERIC_KINDS:
+            arr = np.asarray(values, dtype=object)
+        self._values = arr
+        self._values.setflags(write=False)
+
+    # -- Basic accessors ----------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def values(self) -> np.ndarray:
+        """The underlying (read-only) numpy array."""
+        return self._values
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._values.dtype
+
+    @property
+    def is_numeric(self) -> bool:
+        return self._values.dtype.kind in {"i", "u", "f"}
+
+    @property
+    def is_boolean(self) -> bool:
+        return self._values.dtype.kind == "b"
+
+    def __len__(self) -> int:
+        return int(self._values.shape[0])
+
+    def __getitem__(self, idx):
+        return self._values[idx]
+
+    def __iter__(self) -> Iterable[Any]:
+        return iter(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Column):
+            return NotImplemented
+        return self._name == other._name and np.array_equal(
+            self._values, other._values
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Column({self._name!r}, n={len(self)}, dtype={self.dtype})"
+
+    # -- Transformations ----------------------------------------------------------
+    def rename(self, new_name: str) -> "Column":
+        """Return a copy of the column under a different name."""
+        return Column(new_name, self._values)
+
+    def take(self, indices: Sequence[int]) -> "Column":
+        """Return a new column with rows selected by integer indices."""
+        idx = np.asarray(indices, dtype=np.int64)
+        return Column(self._name, self._values[idx])
+
+    def mask(self, boolean_mask: Sequence[bool]) -> "Column":
+        """Return a new column with rows selected by a boolean mask."""
+        m = np.asarray(boolean_mask, dtype=bool)
+        if m.shape[0] != len(self):
+            raise ValueError(
+                f"mask length {m.shape[0]} does not match column length {len(self)}"
+            )
+        return Column(self._name, self._values[m])
+
+    def astype(self, dtype) -> "Column":
+        """Return a new column cast to ``dtype``."""
+        return Column(self._name, self._values.astype(dtype))
+
+    def unique(self) -> np.ndarray:
+        """Distinct values, in sorted order for numeric columns."""
+        return np.unique(self._values)

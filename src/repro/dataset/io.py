@@ -1,0 +1,91 @@
+"""Persistence helpers for tables (CSV and NPZ).
+
+The synthetic datasets can be regenerated deterministically, but examples
+and the experiment harness occasionally want to persist a generated table
+(e.g. so a benchmark run and a plot script see identical data).  CSV keeps
+things human-inspectable; NPZ preserves dtypes exactly.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.dataset.table import Table
+
+__all__ = ["write_csv", "read_csv", "write_npz", "read_npz"]
+
+PathLike = Union[str, Path]
+
+
+def write_csv(table: Table, path: PathLike) -> None:
+    """Write a table to CSV with a header row."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    names = table.column_names
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(names)
+        columns = [table.values(n) for n in names]
+        for i in range(table.num_rows):
+            writer.writerow([columns[j][i] for j in range(len(names))])
+
+
+def read_csv(path: PathLike, name: str = "table") -> Table:
+    """Read a CSV written by :func:`write_csv`, inferring numeric columns."""
+    path = Path(path)
+    with path.open("r", newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"CSV file {path} is empty") from None
+        raw_rows = [row for row in reader if row]
+    if not header:
+        raise ValueError(f"CSV file {path} has an empty header")
+    columns = {col: [] for col in header}
+    for row in raw_rows:
+        if len(row) != len(header):
+            raise ValueError(
+                f"CSV row has {len(row)} fields but header has {len(header)}: {row!r}"
+            )
+        for col, value in zip(header, row):
+            columns[col].append(value)
+    return Table({col: _infer_array(vals) for col, vals in columns.items()}, name=name)
+
+
+def write_npz(table: Table, path: PathLike) -> None:
+    """Write a table to a compressed NPZ archive (exact dtypes preserved)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    arrays = {name: np.asarray(table.values(name)) for name in table.column_names}
+    np.savez_compressed(path, **arrays)
+
+
+def read_npz(path: PathLike, name: str = "table") -> Table:
+    """Read a table from an NPZ archive written by :func:`write_npz`."""
+    path = Path(path)
+    with np.load(path, allow_pickle=True) as data:
+        columns = {key: data[key] for key in data.files}
+    if not columns:
+        raise ValueError(f"NPZ file {path} contains no arrays")
+    return Table(columns, name=name)
+
+
+def _infer_array(values):
+    """Infer int, float, bool, or string dtype for a list of CSV strings."""
+    lowered = [v.strip().lower() for v in values]
+    if lowered and all(v in ("true", "false") for v in lowered):
+        return np.array([v == "true" for v in lowered], dtype=bool)
+    try:
+        return np.array([int(v) for v in values], dtype=np.int64)
+    except ValueError:
+        pass
+    try:
+        return np.array([float(v) for v in values], dtype=np.float64)
+    except ValueError:
+        pass
+    return np.array(values, dtype=object)

@@ -1,0 +1,182 @@
+"""An in-memory, column-oriented table.
+
+This is the substrate the query executor runs against.  It intentionally
+supports only the operations the reproduction needs — column access,
+row selection by index or mask, projection, derived columns, and row
+dictionaries — rather than a full relational algebra.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.dataset.column import Column
+
+__all__ = ["Table"]
+
+
+class Table:
+    """A named collection of equal-length :class:`Column` objects."""
+
+    def __init__(
+        self,
+        columns: Union[Mapping[str, Sequence], Sequence[Column]],
+        name: str = "table",
+    ):
+        self._name = name
+        cols: Dict[str, Column] = {}
+        if isinstance(columns, Mapping):
+            items: Iterable = (
+                (col_name, values) for col_name, values in columns.items()
+            )
+            for col_name, values in items:
+                cols[col_name] = (
+                    values if isinstance(values, Column) else Column(col_name, values)
+                )
+        else:
+            for col in columns:
+                if not isinstance(col, Column):
+                    raise TypeError(
+                        "Table expects a mapping of name->values or a sequence of Column"
+                    )
+                cols[col.name] = col
+        if not cols:
+            raise ValueError("a Table requires at least one column")
+        lengths = {len(c) for c in cols.values()}
+        if len(lengths) != 1:
+            raise ValueError(
+                f"all columns must have the same length, got lengths {sorted(lengths)}"
+            )
+        self._columns = cols
+        self._num_rows = lengths.pop()
+
+    # -- Basic accessors ----------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def num_rows(self) -> int:
+        return self._num_rows
+
+    @property
+    def column_names(self) -> List[str]:
+        return list(self._columns.keys())
+
+    def __len__(self) -> int:
+        return self._num_rows
+
+    def __contains__(self, column_name: str) -> bool:
+        return column_name in self._columns
+
+    def __getitem__(self, column_name: str) -> Column:
+        return self.column(column_name)
+
+    def column(self, column_name: str) -> Column:
+        """Return the named column, raising KeyError with a helpful message."""
+        try:
+            return self._columns[column_name]
+        except KeyError:
+            available = ", ".join(sorted(self._columns))
+            raise KeyError(
+                f"table {self._name!r} has no column {column_name!r}; "
+                f"available columns: {available}"
+            ) from None
+
+    def values(self, column_name: str) -> np.ndarray:
+        """Shortcut for ``table.column(name).values``."""
+        return self.column(column_name).values
+
+    def row(self, index: int) -> Dict[str, object]:
+        """Return a single row as a dict (used by oracles and examples)."""
+        if not -self._num_rows <= index < self._num_rows:
+            raise IndexError(
+                f"row index {index} out of range for table with {self._num_rows} rows"
+            )
+        return {name: col[index] for name, col in self._columns.items()}
+
+    def rows(self, indices: Optional[Sequence[int]] = None) -> List[Dict[str, object]]:
+        """Materialize rows as dicts; all rows when ``indices`` is None."""
+        if indices is None:
+            indices = range(self._num_rows)
+        return [self.row(int(i)) for i in indices]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Table({self._name!r}, rows={self._num_rows}, "
+            f"columns={self.column_names})"
+        )
+
+    # -- Derivation ---------------------------------------------------------------
+    def with_column(self, name: str, values: Sequence) -> "Table":
+        """Return a new table with an added or replaced column."""
+        column = values if isinstance(values, Column) else Column(name, values)
+        if len(column) != self._num_rows:
+            raise ValueError(
+                f"new column {name!r} has {len(column)} rows, table has {self._num_rows}"
+            )
+        new_cols = dict(self._columns)
+        new_cols[name] = column.rename(name)
+        return Table(new_cols, name=self._name)
+
+    def with_derived_column(
+        self, name: str, fn: Callable[[Dict[str, object]], object]
+    ) -> "Table":
+        """Return a new table with a column computed row-by-row from ``fn``."""
+        derived = [fn(self.row(i)) for i in range(self._num_rows)]
+        return self.with_column(name, derived)
+
+    def select(self, column_names: Sequence[str]) -> "Table":
+        """Project onto a subset of columns."""
+        missing = [c for c in column_names if c not in self._columns]
+        if missing:
+            raise KeyError(f"unknown columns in select: {missing}")
+        return Table(
+            {c: self._columns[c] for c in column_names}, name=self._name
+        )
+
+    def take(self, indices: Sequence[int]) -> "Table":
+        """Return a new table with rows selected by integer indices."""
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size and (idx.min() < -self._num_rows or idx.max() >= self._num_rows):
+            raise IndexError("row index out of range in take()")
+        return Table(
+            {name: col.take(idx) for name, col in self._columns.items()},
+            name=self._name,
+        )
+
+    def mask(self, boolean_mask: Sequence[bool]) -> "Table":
+        """Return a new table with rows selected by a boolean mask."""
+        m = np.asarray(boolean_mask, dtype=bool)
+        if m.shape[0] != self._num_rows:
+            raise ValueError(
+                f"mask length {m.shape[0]} does not match table length {self._num_rows}"
+            )
+        return Table(
+            {name: col.mask(m) for name, col in self._columns.items()},
+            name=self._name,
+        )
+
+    def rename(self, new_name: str) -> "Table":
+        """Return the same table under a new name."""
+        return Table(self._columns, name=new_name)
+
+    def concat(self, other: "Table") -> "Table":
+        """Row-wise concatenation of two tables with identical columns."""
+        if set(self.column_names) != set(other.column_names):
+            raise ValueError(
+                "cannot concat tables with different columns: "
+                f"{sorted(self.column_names)} vs {sorted(other.column_names)}"
+            )
+        merged = {}
+        for name in self.column_names:
+            merged[name] = np.concatenate(
+                [np.asarray(self._columns[name].values), np.asarray(other[name].values)]
+            )
+        return Table(merged, name=self._name)
+
+    def to_dict(self) -> Dict[str, np.ndarray]:
+        """Return the table contents as a dict of numpy arrays (copies)."""
+        return {name: np.array(col.values) for name, col in self._columns.items()}

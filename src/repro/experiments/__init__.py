@@ -1,0 +1,34 @@
+"""Experiment harness that regenerates the paper's figures.
+
+* :mod:`repro.experiments.config` — experiment configuration objects
+  (datasets, budgets, trial counts, method lists);
+* :mod:`repro.experiments.runner` — run (method x budget x trial) sweeps on
+  a scenario and collect error metrics;
+* :mod:`repro.experiments.figures` — one function per paper figure, each
+  returning the rows the paper's plot encodes;
+* :mod:`repro.experiments.reporting` — plain-text tables for benchmark
+  output and EXPERIMENTS.md.
+
+The benchmark suite under ``benchmarks/`` is a thin wrapper around
+:mod:`repro.experiments.figures`, with trial counts scaled down so the full
+suite completes in minutes rather than the paper's cluster-scale runs.
+"""
+
+from repro.experiments.config import ExperimentConfig, SweepResult, MethodCurve
+from repro.experiments.runner import (
+    run_single_predicate_sweep,
+    run_trials,
+)
+from repro.experiments.reporting import format_table, format_curve_table
+from repro.experiments import figures
+
+__all__ = [
+    "ExperimentConfig",
+    "SweepResult",
+    "MethodCurve",
+    "run_single_predicate_sweep",
+    "run_trials",
+    "format_table",
+    "format_curve_table",
+    "figures",
+]

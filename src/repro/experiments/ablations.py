@@ -1,0 +1,170 @@
+"""Programmatic versions of the extra ablation experiments.
+
+The benchmark files under ``benchmarks/test_ablation_*.py`` are the runnable
+entry points; the functions here hold the experiment logic so that notebooks
+and the CLI can run the same ablations with custom parameters, and so the
+logic itself is unit-testable without pytest-benchmark.
+
+Three ablations are provided (DESIGN.md §4):
+
+* :func:`ablate_stratification` — proxy-quantile strata vs a random
+  partition vs a single stratum;
+* :func:`ablate_allocation_rule` — the Proposition-1 rule
+  ``sqrt(p_k)·sigma_k`` vs Neyman allocation ``p_k·sigma_k`` vs an even
+  Stage-2 split;
+* :func:`ablate_sequential` — two-stage ABae vs the bandit-style sequential
+  variant vs uniform sampling.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.core.abae import run_abae
+from repro.core.adaptive import run_abae_sequential
+from repro.core.stratification import Stratification
+from repro.core.uniform import run_uniform
+from repro.stats.metrics import rmse
+from repro.stats.rng import RandomState
+from repro.synth.base import Scenario
+
+__all__ = ["ablate_stratification", "ablate_allocation_rule", "ablate_sequential"]
+
+
+def _repeated_rmse(run_once: Callable[[RandomState], float], truth: float,
+                   trials: int, seed: int) -> float:
+    estimates = [run_once(child) for child in RandomState(seed).spawn(trials)]
+    return rmse(estimates, truth)
+
+
+def ablate_stratification(
+    scenario: Scenario,
+    budget: int = 6_000,
+    num_strata: int = 5,
+    trials: int = 10,
+    seed: int = 11,
+) -> Dict[str, float]:
+    """RMSE of ABae under different stratification strategies."""
+    truth = scenario.ground_truth()
+
+    def abae_rmse(stratification: Optional[Stratification]) -> float:
+        def run_once(rng: RandomState) -> float:
+            return run_abae(
+                proxy=scenario.proxy,
+                oracle=scenario.make_oracle(),
+                statistic=scenario.statistic_values,
+                budget=budget,
+                num_strata=num_strata,
+                stratification=stratification,
+                rng=rng,
+            ).estimate
+
+        return _repeated_rmse(run_once, truth, trials, seed)
+
+    return {
+        "proxy_quantile": abae_rmse(None),
+        "random_partition": abae_rmse(
+            Stratification.random(scenario.num_records, num_strata, rng=RandomState(3))
+        ),
+        "single_stratum": abae_rmse(Stratification.single_stratum(scenario.num_records)),
+    }
+
+
+def ablate_allocation_rule(
+    scenario: Scenario,
+    budget: int = 6_000,
+    num_strata: int = 5,
+    trials: int = 10,
+    seed: int = 21,
+) -> Dict[str, float]:
+    """RMSE of ABae under different Stage-2 allocation rules.
+
+    The rule is swapped by monkey-patching the allocation hook used by
+    :func:`repro.core.abae.run_abae`; the patch is always restored.
+    """
+    import repro.core.abae as abae_module
+
+    truth = scenario.ground_truth()
+    stratification = Stratification.by_proxy_quantile(scenario.proxy, num_strata)
+
+    def rmse_with_rule(weight_fn: Callable[[np.ndarray, np.ndarray], np.ndarray]) -> float:
+        original = abae_module.allocation_from_estimates
+
+        def patched(estimates):
+            p = np.array([e.p_hat for e in estimates])
+            sigma = np.array([e.sigma_hat for e in estimates])
+            weights = weight_fn(p, sigma)
+            total = weights.sum()
+            if total == 0:
+                return np.full(p.shape, 1.0 / p.size)
+            return weights / total
+
+        abae_module.allocation_from_estimates = patched
+        try:
+            def run_once(rng: RandomState) -> float:
+                return run_abae(
+                    proxy=scenario.proxy,
+                    oracle=scenario.make_oracle(),
+                    statistic=scenario.statistic_values,
+                    budget=budget,
+                    stratification=stratification,
+                    rng=rng,
+                ).estimate
+
+            return _repeated_rmse(run_once, truth, trials, seed)
+        finally:
+            abae_module.allocation_from_estimates = original
+
+    return {
+        "sqrt_p_sigma": rmse_with_rule(lambda p, s: np.sqrt(p) * s),
+        "neyman_p_sigma": rmse_with_rule(lambda p, s: p * s),
+        "even_split": rmse_with_rule(lambda p, s: np.ones_like(p)),
+    }
+
+
+def ablate_sequential(
+    scenario: Scenario,
+    budget: int = 6_000,
+    num_strata: int = 5,
+    trials: int = 10,
+    seed: int = 31,
+) -> Dict[str, float]:
+    """RMSE of two-stage ABae vs sequential ABae vs uniform sampling."""
+    truth = scenario.ground_truth()
+
+    def two_stage(rng: RandomState) -> float:
+        return run_abae(
+            proxy=scenario.proxy,
+            oracle=scenario.make_oracle(),
+            statistic=scenario.statistic_values,
+            budget=budget,
+            num_strata=num_strata,
+            rng=rng,
+        ).estimate
+
+    def sequential(rng: RandomState) -> float:
+        return run_abae_sequential(
+            proxy=scenario.proxy,
+            oracle=scenario.make_oracle(),
+            statistic=scenario.statistic_values,
+            budget=budget,
+            num_strata=num_strata,
+            rng=rng,
+        ).estimate
+
+    def uniform(rng: RandomState) -> float:
+        return run_uniform(
+            num_records=scenario.num_records,
+            oracle=scenario.make_oracle(),
+            statistic=scenario.statistic_values,
+            budget=budget,
+            rng=rng,
+        ).estimate
+
+    return {
+        "abae_two_stage": _repeated_rmse(two_stage, truth, trials, seed),
+        "abae_sequential": _repeated_rmse(sequential, truth, trials, seed),
+        "uniform": _repeated_rmse(uniform, truth, trials, seed),
+    }

@@ -1,0 +1,137 @@
+"""Command-line entry point for regenerating the paper's experiments.
+
+Usage::
+
+    python -m repro.experiments --list
+    python -m repro.experiments --figure fig2 --trials 50 --size 100000
+    python -m repro.experiments --figure table2
+    python -m repro.experiments --all --trials 10 --output-dir results/
+
+Each figure prints the same text tables the benchmark suite writes to
+``benchmarks/results/`` and, with ``--output-dir``, also saves them to disk.
+This is the convenient way to rerun a single experiment with a larger trial
+count than the benchmark defaults (e.g. the paper's 1,000 trials).
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments import figures
+from repro.experiments.config import PAPER_BUDGETS, ExperimentConfig
+from repro.experiments.reporting import format_curve_table, format_table
+
+__all__ = ["main", "EXPERIMENTS", "run_experiment"]
+
+
+def _render_sweeps(sweeps) -> str:
+    return "\n\n".join(format_curve_table(sweep) for sweep in sweeps)
+
+
+def _render_table2(rows) -> str:
+    return format_table(
+        ["dataset", "paper size", "emulated size", "predicate", "positive rate", "proxy corr"],
+        [
+            [
+                r["dataset"],
+                r["paper_size"],
+                r["emulated_size"],
+                r["predicate"],
+                r["positive_rate"],
+                r["proxy_correlation"],
+            ]
+            for r in rows
+        ],
+        title="Table 2: dataset summary (emulated)",
+    )
+
+
+# Experiment name -> (figure function, renderer, description).
+EXPERIMENTS: Dict[str, tuple] = {
+    "table2": (figures.table2_dataset_summary, _render_table2, "dataset summary"),
+    "fig2": (figures.figure2_rmse_vs_budget, _render_sweeps, "budget vs RMSE"),
+    "fig3": (figures.figure3_low_budget, _render_sweeps, "low budgets vs RMSE"),
+    "fig4": (figures.figure4_q_error, _render_sweeps, "budget vs normalized Q-error"),
+    "fig5": (figures.figure5_ci_width, _render_sweeps, "budget vs CI width"),
+    "fig6": (figures.figure6_multipred, _render_sweeps, "multiple predicates"),
+    "fig7": (figures.figure7_groupby_single_oracle, _render_sweeps, "group by, single oracle"),
+    "fig8": (figures.figure8_groupby_multi_oracle, _render_sweeps, "group by, multiple oracles"),
+    "fig9": (figures.figure9_lesion, _render_sweeps, "lesion study"),
+    "fig10": (figures.figure10_sensitivity_num_strata, _render_sweeps, "sensitivity to K"),
+    "fig11": (figures.figure11_sensitivity_stage_split, _render_sweeps, "sensitivity to C"),
+    "fig12": (figures.figure12_proxy_combination, _render_sweeps, "combining proxies"),
+}
+
+
+def run_experiment(name: str, config: ExperimentConfig) -> str:
+    """Run one named experiment and return its rendered text table(s)."""
+    try:
+        figure_fn, renderer, _ = EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {', '.join(sorted(EXPERIMENTS))}"
+        ) from None
+    return renderer(figure_fn(config))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the ABae paper's tables and figures.",
+    )
+    parser.add_argument("--figure", choices=sorted(EXPERIMENTS), help="experiment to run")
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument("--list", action="store_true", help="list available experiments")
+    parser.add_argument("--trials", type=int, default=30, help="trials per condition")
+    parser.add_argument("--size", type=int, default=100_000, help="emulated dataset size")
+    parser.add_argument("--seed", type=int, default=0, help="base random seed")
+    parser.add_argument(
+        "--budgets",
+        type=int,
+        nargs="+",
+        default=list(PAPER_BUDGETS),
+        help="oracle budgets to sweep",
+    )
+    parser.add_argument(
+        "--output-dir",
+        type=Path,
+        default=None,
+        help="also write each experiment's table to <output-dir>/<name>.txt",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in sorted(EXPERIMENTS):
+            print(f"{name:8s} {EXPERIMENTS[name][2]}")
+        return 0
+
+    if not args.all and not args.figure:
+        parser.error("choose --figure NAME, --all, or --list")
+
+    config = ExperimentConfig(
+        budgets=tuple(args.budgets),
+        num_trials=args.trials,
+        dataset_size=args.size,
+        seed=args.seed,
+    )
+    names = sorted(EXPERIMENTS) if args.all else [args.figure]
+    for name in names:
+        text = run_experiment(name, config)
+        print(f"=== {name}: {EXPERIMENTS[name][2]} ===")
+        print(text)
+        print()
+        if args.output_dir is not None:
+            args.output_dir.mkdir(parents=True, exist_ok=True)
+            (args.output_dir / f"{name}.txt").write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,110 @@
+"""Experiment configuration and result containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["ExperimentConfig", "MethodCurve", "SweepResult"]
+
+# The budgets the paper sweeps in Figures 2, 4, 5, 6, 7, 8 and 12.
+PAPER_BUDGETS: Tuple[int, ...] = (2_000, 4_000, 6_000, 8_000, 10_000)
+# The low-budget sweep of Figure 3.
+PAPER_LOW_BUDGETS: Tuple[int, ...] = (500, 750, 1_000)
+
+
+@dataclass
+class ExperimentConfig:
+    """Parameters shared by the figure experiments.
+
+    Defaults follow the paper (K = 5 strata, half the budget in Stage 1,
+    95% confidence), except ``num_trials`` and ``dataset_size``, which are
+    scaled down so the whole benchmark suite runs on a laptop in minutes;
+    the paper uses 1,000 trials per condition.  Crank them up for a closer
+    reproduction.
+    """
+
+    budgets: Sequence[int] = PAPER_BUDGETS
+    num_trials: int = 30
+    num_strata: int = 5
+    stage1_fraction: float = 0.5
+    alpha: float = 0.05
+    dataset_size: int = 50_000
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.num_trials <= 0:
+            raise ValueError(f"num_trials must be positive, got {self.num_trials}")
+        if self.num_strata <= 0:
+            raise ValueError(f"num_strata must be positive, got {self.num_strata}")
+        if not 0.0 < self.stage1_fraction < 1.0:
+            raise ValueError(
+                f"stage1_fraction must be in (0, 1), got {self.stage1_fraction}"
+            )
+        if not 0.0 < self.alpha < 1.0:
+            raise ValueError(f"alpha must be in (0, 1), got {self.alpha}")
+        if not self.budgets:
+            raise ValueError("budgets must be non-empty")
+
+    def scaled(self, num_trials: Optional[int] = None, dataset_size: Optional[int] = None):
+        """A copy with a different trial count / dataset size."""
+        return ExperimentConfig(
+            budgets=self.budgets,
+            num_trials=num_trials or self.num_trials,
+            num_strata=self.num_strata,
+            stage1_fraction=self.stage1_fraction,
+            alpha=self.alpha,
+            dataset_size=dataset_size or self.dataset_size,
+            seed=self.seed,
+        )
+
+
+@dataclass
+class MethodCurve:
+    """One method's metric as a function of budget (one line in a figure)."""
+
+    method: str
+    budgets: List[int] = field(default_factory=list)
+    values: List[float] = field(default_factory=list)
+    stds: List[float] = field(default_factory=list)
+
+    def add(self, budget: int, value: float, std: float = 0.0) -> None:
+        self.budgets.append(int(budget))
+        self.values.append(float(value))
+        self.stds.append(float(std))
+
+    def value_at(self, budget: int) -> float:
+        try:
+            return self.values[self.budgets.index(int(budget))]
+        except ValueError:
+            raise KeyError(f"no measurement at budget {budget}") from None
+
+
+@dataclass
+class SweepResult:
+    """All methods' curves for one dataset / figure panel."""
+
+    name: str
+    metric: str
+    ground_truth: float
+    curves: Dict[str, MethodCurve] = field(default_factory=dict)
+    details: Dict[str, object] = field(default_factory=dict)
+
+    def curve(self, method: str) -> MethodCurve:
+        if method not in self.curves:
+            self.curves[method] = MethodCurve(method=method)
+        return self.curves[method]
+
+    def improvement(self, baseline: str = "uniform", method: str = "abae") -> Dict[int, float]:
+        """Per-budget ratio baseline_metric / method_metric (>1 means the method wins)."""
+        base = self.curves[baseline]
+        target = self.curves[method]
+        ratios: Dict[int, float] = {}
+        for budget, base_value in zip(base.budgets, base.values):
+            try:
+                method_value = target.value_at(budget)
+            except KeyError:
+                continue
+            if method_value > 0:
+                ratios[budget] = base_value / method_value
+        return ratios

@@ -1,0 +1,593 @@
+"""One function per paper figure / table (Section 5).
+
+Each function builds its workload(s) from :mod:`repro.synth`, runs the
+sweep with the experiment runner, and returns the series the paper's
+figure plots.  The benchmark suite calls these functions with scaled-down
+trial counts; calling them with ``ExperimentConfig(num_trials=1000)``
+reproduces the paper's protocol exactly (modulo the simulated datasets).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.abae import run_abae
+from repro.core.groupby import (
+    GroupSpec,
+    run_groupby_multi_oracle,
+    run_groupby_single_oracle,
+)
+from repro.core.multipred import And, PredicateLeaf, run_abae_multipred
+from repro.core.proxy_selection import combine_proxies, draw_pilot_sample
+from repro.core.uniform import run_uniform
+from repro.experiments.config import (
+    PAPER_BUDGETS,
+    PAPER_LOW_BUDGETS,
+    ExperimentConfig,
+    MethodCurve,
+    SweepResult,
+)
+from repro.experiments.runner import (
+    default_methods,
+    run_single_predicate_sweep,
+    run_trials,
+    summarize_estimates,
+    _stable_seed,
+)
+from repro.stats.metrics import rmse
+from repro.stats.rng import RandomState
+from repro.synth.base import GroupByScenario, MultiPredicateScenario, Scenario
+from repro.synth.datasets import DATASET_NAMES, DATASET_SPECS, make_dataset
+from repro.synth.scenarios import (
+    make_groupby_scenario,
+    make_multipred_scenario,
+    make_proxy_combination_scenario,
+)
+
+__all__ = [
+    "table2_dataset_summary",
+    "figure2_rmse_vs_budget",
+    "figure3_low_budget",
+    "figure4_q_error",
+    "figure5_ci_width",
+    "figure6_multipred",
+    "figure7_groupby_single_oracle",
+    "figure8_groupby_multi_oracle",
+    "figure9_lesion",
+    "figure10_sensitivity_num_strata",
+    "figure11_sensitivity_stage_split",
+    "figure12_proxy_combination",
+]
+
+
+def _config(config: Optional[ExperimentConfig]) -> ExperimentConfig:
+    return config or ExperimentConfig()
+
+
+# ---------------------------------------------------------------------------
+# Table 2
+# ---------------------------------------------------------------------------
+
+
+def table2_dataset_summary(config: Optional[ExperimentConfig] = None) -> List[Dict]:
+    """Rows mirroring Table 2: dataset, size, predicate, oracle, proxy, positive rate."""
+    config = _config(config)
+    rows = []
+    for name in DATASET_NAMES:
+        spec = DATASET_SPECS[name]
+        scenario = make_dataset(name, seed=config.seed, size=config.dataset_size)
+        rows.append(
+            {
+                "dataset": name,
+                "paper_size": spec.paper_size,
+                "emulated_size": scenario.num_records,
+                "predicate": spec.predicate,
+                "target_dnn": spec.target_dnn,
+                "proxy_model": spec.proxy_model,
+                "positive_rate": scenario.positive_rate,
+                "proxy_correlation": scenario.proxy.correlation_with(scenario.labels),
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figures 2-5: single-predicate end-to-end results
+# ---------------------------------------------------------------------------
+
+
+def figure2_rmse_vs_budget(
+    config: Optional[ExperimentConfig] = None,
+    datasets: Sequence[str] = DATASET_NAMES,
+) -> List[SweepResult]:
+    """Figure 2: budget vs RMSE for ABae and uniform on the six datasets."""
+    config = _config(config)
+    sweeps = []
+    for name in datasets:
+        scenario = make_dataset(name, seed=config.seed, size=config.dataset_size)
+        sweeps.append(run_single_predicate_sweep(scenario, config, metric="rmse"))
+    return sweeps
+
+
+def figure3_low_budget(
+    config: Optional[ExperimentConfig] = None,
+    datasets: Sequence[str] = DATASET_NAMES,
+) -> List[SweepResult]:
+    """Figure 3: the same comparison at low budgets (500-1,000 samples)."""
+    config = _config(config)
+    low_config = ExperimentConfig(
+        budgets=tuple(PAPER_LOW_BUDGETS),
+        num_trials=config.num_trials,
+        num_strata=config.num_strata,
+        stage1_fraction=config.stage1_fraction,
+        alpha=config.alpha,
+        dataset_size=config.dataset_size,
+        seed=config.seed,
+    )
+    return figure2_rmse_vs_budget(low_config, datasets=datasets)
+
+
+def figure4_q_error(
+    config: Optional[ExperimentConfig] = None,
+    datasets: Sequence[str] = ("night-street", "trec05p"),
+) -> List[SweepResult]:
+    """Figure 4: budget vs normalized Q-error (night-street and trec05p)."""
+    config = _config(config)
+    sweeps = []
+    for name in datasets:
+        scenario = make_dataset(name, seed=config.seed, size=config.dataset_size)
+        sweeps.append(run_single_predicate_sweep(scenario, config, metric="q_error"))
+    return sweeps
+
+
+def figure5_ci_width(
+    config: Optional[ExperimentConfig] = None,
+    datasets: Sequence[str] = DATASET_NAMES,
+    num_bootstrap: int = 200,
+) -> List[SweepResult]:
+    """Figure 5: budget vs bootstrap CI width, plus empirical coverage.
+
+    Each returned sweep carries the coverage curves in
+    ``details["coverage"]`` (method -> MethodCurve) so the benchmark can
+    check nominal coverage as well as width.
+    """
+    config = _config(config)
+    sweeps = []
+    for name in datasets:
+        scenario = make_dataset(name, seed=config.seed, size=config.dataset_size)
+        truth = scenario.ground_truth()
+        methods = default_methods(config, with_ci=True)
+        sweep = SweepResult(name=name, metric="ci_width", ground_truth=truth)
+        coverage_curves: Dict[str, MethodCurve] = {}
+        for method_name, method in methods.items():
+            width_curve = sweep.curve(method_name)
+            coverage_curve = MethodCurve(method=method_name)
+            for budget in config.budgets:
+                seed = _stable_seed(config.seed, name, method_name, budget, "ci")
+                results = run_trials(
+                    scenario, method, budget, config.num_trials, seed=seed
+                )
+                width, width_std = summarize_estimates(results, truth, "ci_width")
+                coverage, _ = summarize_estimates(results, truth, "coverage")
+                width_curve.add(budget, width, width_std)
+                coverage_curve.add(budget, coverage)
+            coverage_curves[method_name] = coverage_curve
+        sweep.details["coverage"] = coverage_curves
+        sweeps.append(sweep)
+    return sweeps
+
+
+# ---------------------------------------------------------------------------
+# Figure 6: multiple predicates
+# ---------------------------------------------------------------------------
+
+
+def figure6_multipred(
+    config: Optional[ExperimentConfig] = None,
+    scenarios: Sequence[str] = ("night-street", "synthetic"),
+) -> List[SweepResult]:
+    """Figure 6: ABae-MultiPred vs single-proxy ABae vs uniform sampling."""
+    config = _config(config)
+    sweeps = []
+    for name in scenarios:
+        workload = make_multipred_scenario(name, seed=config.seed, size=config.dataset_size)
+        truth = workload.ground_truth()
+        predicate_names = workload.predicate_names
+        sweep = SweepResult(
+            name=workload.name, metric="rmse", ground_truth=truth
+        )
+
+        method_fns = {
+            "abae-multi": _multipred_method(workload, config),
+            "uniform": _multipred_uniform_method(workload),
+        }
+        for i, predicate in enumerate(predicate_names):
+            method_fns[f"proxy-{i + 1}"] = _single_proxy_method(workload, predicate, config)
+
+        for method_name, method in method_fns.items():
+            curve = sweep.curve(method_name)
+            for budget in config.budgets:
+                seed = _stable_seed(config.seed, workload.name, method_name, budget)
+                children = RandomState(seed).spawn(config.num_trials)
+                estimates = [method(budget, child) for child in children]
+                curve.add(budget, rmse(estimates, truth))
+        sweeps.append(sweep)
+    return sweeps
+
+
+def _multipred_method(workload: MultiPredicateScenario, config: ExperimentConfig):
+    def method(budget: int, rng: RandomState) -> float:
+        expression = And(
+            [
+                PredicateLeaf(
+                    proxy=workload.proxies[name], oracle=workload.make_oracle(name)
+                )
+                for name in workload.predicate_names
+            ]
+        )
+        result = run_abae_multipred(
+            expression=expression,
+            statistic=workload.statistic_values,
+            budget=budget,
+            num_strata=config.num_strata,
+            stage1_fraction=config.stage1_fraction,
+            rng=rng,
+        )
+        return result.estimate
+
+    return method
+
+
+def _single_proxy_method(
+    workload: MultiPredicateScenario, predicate: str, config: ExperimentConfig
+):
+    """ABae driven by only one predicate's proxy (but the full combined oracle)."""
+
+    def method(budget: int, rng: RandomState) -> float:
+        result = run_abae(
+            proxy=workload.proxies[predicate],
+            oracle=workload.make_combined_oracle(),
+            statistic=workload.statistic_values,
+            budget=budget,
+            num_strata=config.num_strata,
+            stage1_fraction=config.stage1_fraction,
+            rng=rng,
+        )
+        return result.estimate
+
+    return method
+
+
+def _multipred_uniform_method(workload: MultiPredicateScenario):
+    def method(budget: int, rng: RandomState) -> float:
+        result = run_uniform(
+            num_records=workload.num_records,
+            oracle=workload.make_combined_oracle(),
+            statistic=workload.statistic_values,
+            budget=budget,
+            rng=rng,
+        )
+        return result.estimate
+
+    return method
+
+
+# ---------------------------------------------------------------------------
+# Figures 7 and 8: group bys
+# ---------------------------------------------------------------------------
+
+
+def figure7_groupby_single_oracle(
+    config: Optional[ExperimentConfig] = None,
+    scenarios: Sequence[str] = ("celeba", "synthetic"),
+) -> List[SweepResult]:
+    """Figure 7: max-RMSE over groups, single-oracle setting."""
+    return _groupby_figure(config, scenarios, setting="single")
+
+
+def figure8_groupby_multi_oracle(
+    config: Optional[ExperimentConfig] = None,
+    scenarios: Sequence[str] = ("celeba", "synthetic"),
+) -> List[SweepResult]:
+    """Figure 8: max-RMSE over groups, multiple-oracle setting."""
+    return _groupby_figure(config, scenarios, setting="multi")
+
+
+def _groupby_figure(
+    config: Optional[ExperimentConfig],
+    scenarios: Sequence[str],
+    setting: str,
+) -> List[SweepResult]:
+    config = _config(config)
+    sweeps = []
+    for name in scenarios:
+        workload = make_groupby_scenario(
+            name, setting=setting, seed=config.seed, size=config.dataset_size
+        )
+        truths = workload.ground_truths()
+        num_groups = len(workload.groups)
+        sweep = SweepResult(
+            name=f"{workload.name}-{setting}",
+            metric="max_rmse",
+            ground_truth=float(np.mean(list(truths.values()))),
+        )
+        sweep.details["group_truths"] = truths
+
+        for method_name in ("minimax", "equal", "uniform"):
+            curve = sweep.curve(method_name)
+            for budget in config.budgets:
+                # The paper normalizes the budget by the number of groups.
+                total_budget = budget * num_groups if setting == "multi" else budget
+                seed = _stable_seed(config.seed, workload.name, setting, method_name, budget)
+                children = RandomState(seed).spawn(config.num_trials)
+                per_group_estimates: Dict[object, List[float]] = {
+                    g: [] for g in workload.groups
+                }
+                for child in children:
+                    estimates = _run_groupby_once(
+                        workload, setting, method_name, total_budget, config, child
+                    )
+                    for group, value in estimates.items():
+                        per_group_estimates[group].append(value)
+                worst = max(
+                    rmse(per_group_estimates[group], truths[group])
+                    for group in workload.groups
+                )
+                curve.add(budget, worst)
+        sweeps.append(sweep)
+    return sweeps
+
+
+def _run_groupby_once(
+    workload: GroupByScenario,
+    setting: str,
+    method_name: str,
+    budget: int,
+    config: ExperimentConfig,
+    rng: RandomState,
+) -> Dict[object, float]:
+    specs = [GroupSpec(key=g, proxy=workload.proxies[g]) for g in workload.groups]
+    if setting == "single":
+        result = run_groupby_single_oracle(
+            groups=specs,
+            oracle=workload.make_single_oracle(),
+            statistic=workload.statistic_values,
+            budget=budget,
+            num_strata=config.num_strata,
+            stage1_fraction=config.stage1_fraction,
+            allocation_method=method_name,
+            rng=rng,
+        )
+    else:
+        result = run_groupby_multi_oracle(
+            groups=specs,
+            oracles=workload.make_per_group_oracles(),
+            statistic=workload.statistic_values,
+            budget=budget,
+            num_strata=config.num_strata,
+            stage1_fraction=config.stage1_fraction,
+            allocation_method=method_name,
+            rng=rng,
+        )
+    return result.estimates()
+
+
+# ---------------------------------------------------------------------------
+# Figure 9: lesion study
+# ---------------------------------------------------------------------------
+
+
+def figure9_lesion(
+    config: Optional[ExperimentConfig] = None,
+    datasets: Sequence[str] = DATASET_NAMES,
+    budget: int = 10_000,
+) -> List[SweepResult]:
+    """Figure 9: full ABae vs ABae without sample reuse vs uniform sampling."""
+    config = _config(config)
+    single_budget_config = ExperimentConfig(
+        budgets=(budget,),
+        num_trials=config.num_trials,
+        num_strata=config.num_strata,
+        stage1_fraction=config.stage1_fraction,
+        alpha=config.alpha,
+        dataset_size=config.dataset_size,
+        seed=config.seed,
+    )
+    sweeps = []
+    for name in datasets:
+        scenario = make_dataset(name, seed=config.seed, size=config.dataset_size)
+        methods = default_methods(single_budget_config, include_no_reuse=True)
+        sweeps.append(
+            run_single_predicate_sweep(
+                scenario, single_budget_config, metric="rmse", methods=methods
+            )
+        )
+    return sweeps
+
+
+# ---------------------------------------------------------------------------
+# Figures 10 and 11: sensitivity analyses
+# ---------------------------------------------------------------------------
+
+
+def figure10_sensitivity_num_strata(
+    config: Optional[ExperimentConfig] = None,
+    datasets: Sequence[str] = DATASET_NAMES,
+    strata_counts: Sequence[int] = (2, 3, 4, 5, 6, 7, 8, 9, 10),
+    budget: int = 10_000,
+) -> List[SweepResult]:
+    """Figure 10: RMSE as a function of the number of strata K."""
+    config = _config(config)
+    sweeps = []
+    for name in datasets:
+        scenario = make_dataset(name, seed=config.seed, size=config.dataset_size)
+        truth = scenario.ground_truth()
+        sweep = SweepResult(name=name, metric="rmse_vs_k", ground_truth=truth)
+        abae_curve = sweep.curve("abae")
+        uniform_curve = sweep.curve("uniform")
+
+        uniform_estimates = _collect_estimates(
+            scenario, config, budget, lambda rng: run_uniform(
+                num_records=scenario.num_records,
+                oracle=scenario.make_oracle(),
+                statistic=scenario.statistic_values,
+                budget=budget,
+                rng=rng,
+            ).estimate, label="uniform-k",
+        )
+        uniform_rmse = rmse(uniform_estimates, truth)
+
+        for k in strata_counts:
+            estimates = _collect_estimates(
+                scenario, config, budget, lambda rng, k=k: run_abae(
+                    proxy=scenario.proxy,
+                    oracle=scenario.make_oracle(),
+                    statistic=scenario.statistic_values,
+                    budget=budget,
+                    num_strata=k,
+                    stage1_fraction=config.stage1_fraction,
+                    rng=rng,
+                ).estimate, label=f"abae-k{k}",
+            )
+            abae_curve.add(k, rmse(estimates, truth))
+            uniform_curve.add(k, uniform_rmse)
+        sweeps.append(sweep)
+    return sweeps
+
+
+def figure11_sensitivity_stage_split(
+    config: Optional[ExperimentConfig] = None,
+    datasets: Sequence[str] = DATASET_NAMES,
+    fractions: Sequence[float] = (0.1, 0.3, 0.5, 0.7, 0.9),
+    budget: int = 10_000,
+) -> List[SweepResult]:
+    """Figure 11: RMSE as a function of the Stage-1 fraction C."""
+    config = _config(config)
+    sweeps = []
+    for name in datasets:
+        scenario = make_dataset(name, seed=config.seed, size=config.dataset_size)
+        truth = scenario.ground_truth()
+        sweep = SweepResult(name=name, metric="rmse_vs_c", ground_truth=truth)
+        abae_curve = sweep.curve("abae")
+        uniform_curve = sweep.curve("uniform")
+
+        uniform_estimates = _collect_estimates(
+            scenario, config, budget, lambda rng: run_uniform(
+                num_records=scenario.num_records,
+                oracle=scenario.make_oracle(),
+                statistic=scenario.statistic_values,
+                budget=budget,
+                rng=rng,
+            ).estimate, label="uniform-c",
+        )
+        uniform_rmse = rmse(uniform_estimates, truth)
+
+        for fraction in fractions:
+            estimates = _collect_estimates(
+                scenario, config, budget, lambda rng, c=fraction: run_abae(
+                    proxy=scenario.proxy,
+                    oracle=scenario.make_oracle(),
+                    statistic=scenario.statistic_values,
+                    budget=budget,
+                    num_strata=config.num_strata,
+                    stage1_fraction=c,
+                    rng=rng,
+                ).estimate, label=f"abae-c{fraction}",
+            )
+            # The x-axis holds 100 * C to stay integer-friendly for MethodCurve.
+            abae_curve.add(int(round(fraction * 100)), rmse(estimates, truth))
+            uniform_curve.add(int(round(fraction * 100)), uniform_rmse)
+        sweeps.append(sweep)
+    return sweeps
+
+
+def _collect_estimates(scenario, config, budget, run_fn, label: str) -> List[float]:
+    seed = _stable_seed(config.seed, scenario.name, label, budget)
+    children = RandomState(seed).spawn(config.num_trials)
+    return [float(run_fn(child)) for child in children]
+
+
+# ---------------------------------------------------------------------------
+# Figure 12: combining proxies
+# ---------------------------------------------------------------------------
+
+
+def figure12_proxy_combination(
+    config: Optional[ExperimentConfig] = None,
+    scenarios: Sequence[str] = ("trec05p", "synthetic"),
+    pilot_fraction: float = 0.3,
+) -> List[SweepResult]:
+    """Figure 12: uniform vs single-proxy ABae vs logistic-combined proxies."""
+    config = _config(config)
+    sweeps = []
+    for name in scenarios:
+        scenario = make_proxy_combination_scenario(
+            name, seed=config.seed, size=config.dataset_size
+        )
+        candidates = scenario.extra["candidate_proxies"]
+        truth = scenario.ground_truth()
+        sweep = SweepResult(
+            name=f"{scenario.name}-proxy-combination", metric="rmse", ground_truth=truth
+        )
+
+        def combined_method(budget: int, rng: RandomState) -> float:
+            pilot_rng, run_rng = rng.spawn(2)
+            pilot_budget = max(2, int(budget * pilot_fraction))
+            oracle = scenario.make_oracle()
+            pilot = draw_pilot_sample(
+                scenario.num_records,
+                oracle,
+                scenario.statistic_values,
+                pilot_budget,
+                rng=pilot_rng,
+            )
+            combined = combine_proxies(candidates, pilot)
+            result = run_abae(
+                proxy=combined,
+                oracle=oracle,
+                statistic=scenario.statistic_values,
+                budget=budget - pilot_budget,
+                num_strata=config.num_strata,
+                stage1_fraction=config.stage1_fraction,
+                rng=run_rng,
+            )
+            return result.estimate
+
+        def single_method(budget: int, rng: RandomState) -> float:
+            result = run_abae(
+                proxy=candidates[0],
+                oracle=scenario.make_oracle(),
+                statistic=scenario.statistic_values,
+                budget=budget,
+                num_strata=config.num_strata,
+                stage1_fraction=config.stage1_fraction,
+                rng=rng,
+            )
+            return result.estimate
+
+        def uniform_method(budget: int, rng: RandomState) -> float:
+            result = run_uniform(
+                num_records=scenario.num_records,
+                oracle=scenario.make_oracle(),
+                statistic=scenario.statistic_values,
+                budget=budget,
+                rng=rng,
+            )
+            return result.estimate
+
+        methods = {
+            "abae-logistic": combined_method,
+            "abae-single": single_method,
+            "uniform": uniform_method,
+        }
+        for method_name, method in methods.items():
+            curve = sweep.curve(method_name)
+            for budget in config.budgets:
+                seed = _stable_seed(config.seed, scenario.name, method_name, budget, "combine")
+                children = RandomState(seed).spawn(config.num_trials)
+                estimates = [method(budget, child) for child in children]
+                curve.add(budget, rmse(estimates, truth))
+        sweeps.append(sweep)
+    return sweeps

@@ -1,0 +1,80 @@
+"""Plain-text reporting for benchmark output and EXPERIMENTS.md.
+
+The paper reports results as figures; our harness prints the same series as
+aligned text tables so that a benchmark run's stdout is self-describing and
+can be pasted straight into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.config import SweepResult
+
+__all__ = ["format_table", "format_curve_table", "format_improvement_summary"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned, pipe-separated text table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but the table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_curve_table(sweep: SweepResult, title: Optional[str] = None) -> str:
+    """Render one figure panel: budgets as rows, one column per method."""
+    methods = list(sweep.curves)
+    budgets = sorted({b for curve in sweep.curves.values() for b in curve.budgets})
+    headers = ["budget"] + methods
+    rows = []
+    for budget in budgets:
+        row: List[object] = [budget]
+        for method in methods:
+            try:
+                row.append(sweep.curves[method].value_at(budget))
+            except KeyError:
+                row.append("-")
+        rows.append(row)
+    resolved_title = title or f"{sweep.name}: {sweep.metric} vs budget (truth={sweep.ground_truth:.4g})"
+    return format_table(headers, rows, title=resolved_title)
+
+
+def format_improvement_summary(
+    sweeps: Sequence[SweepResult], baseline: str = "uniform", method: str = "abae"
+) -> str:
+    """Summarize per-dataset best-case improvement of ``method`` over ``baseline``."""
+    headers = ["dataset", "best improvement", "at budget"]
+    rows = []
+    for sweep in sweeps:
+        ratios = sweep.improvement(baseline=baseline, method=method)
+        if not ratios:
+            rows.append([sweep.name, "-", "-"])
+            continue
+        best_budget = max(ratios, key=ratios.get)
+        rows.append([sweep.name, f"{ratios[best_budget]:.2f}x", best_budget])
+    return format_table(headers, rows, title=f"{method} vs {baseline} improvement")
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.5g}"
+    return str(cell)

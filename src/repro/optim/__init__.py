@@ -1,0 +1,24 @@
+"""Numerical optimization substrate.
+
+ABae-GroupBy minimizes a minimax allocation objective over the probability
+simplex (Eqs. 10 and 11) with the Nelder–Mead simplex algorithm.  We
+implement Nelder–Mead from scratch (:mod:`repro.optim.nelder_mead`) plus
+simplex-projection utilities (:mod:`repro.optim.simplex`) used to keep
+allocation vectors feasible.  scipy's implementation is only used in tests
+as an independent cross-check.
+"""
+
+from repro.optim.nelder_mead import NelderMeadResult, nelder_mead
+from repro.optim.simplex import (
+    project_to_simplex,
+    softmax_parameterization,
+    minimize_on_simplex,
+)
+
+__all__ = [
+    "NelderMeadResult",
+    "nelder_mead",
+    "project_to_simplex",
+    "softmax_parameterization",
+    "minimize_on_simplex",
+]

@@ -1,0 +1,186 @@
+"""A from-scratch Nelder–Mead simplex optimizer.
+
+This is the derivative-free method the paper cites for solving the
+minimax allocation problems of ABae-GroupBy.  The implementation follows
+the standard formulation (reflection, expansion, contraction, shrink) with
+the usual adaptive coefficients, and supports restarts because the minimax
+objective has flat regions where a single simplex can stall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["NelderMeadResult", "nelder_mead"]
+
+
+@dataclass
+class NelderMeadResult:
+    """Outcome of a Nelder–Mead run."""
+
+    x: np.ndarray
+    fun: float
+    iterations: int
+    function_evaluations: int
+    converged: bool
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NelderMeadResult(fun={self.fun:.6g}, iterations={self.iterations}, "
+            f"converged={self.converged})"
+        )
+
+
+def nelder_mead(
+    objective: Callable[[np.ndarray], float],
+    x0: Sequence[float],
+    initial_step: float = 0.1,
+    max_iter: int = 2000,
+    xatol: float = 1e-8,
+    fatol: float = 1e-10,
+    restarts: int = 1,
+) -> NelderMeadResult:
+    """Minimize ``objective`` starting from ``x0``.
+
+    Parameters
+    ----------
+    objective:
+        Function mapping an n-vector to a scalar.  It must tolerate any real
+        input (callers that need constraints should penalize or reparameterize;
+        see :func:`repro.optim.simplex.minimize_on_simplex`).
+    x0:
+        Starting point.
+    initial_step:
+        Size of the perturbation used to build the initial simplex.
+    max_iter:
+        Maximum iterations per restart.
+    xatol, fatol:
+        Convergence tolerances on simplex spread in x and in f.
+    restarts:
+        Number of times to rebuild the simplex around the current best point
+        and re-run; helps escape degenerate simplices on flat objectives.
+    """
+    x0 = np.asarray(x0, dtype=float)
+    if x0.ndim != 1 or x0.size == 0:
+        raise ValueError(f"x0 must be a non-empty 1-D array, got shape {x0.shape}")
+    if max_iter <= 0:
+        raise ValueError(f"max_iter must be positive, got {max_iter}")
+    if restarts < 1:
+        raise ValueError(f"restarts must be at least 1, got {restarts}")
+
+    best_x = x0
+    best_f = float(objective(x0))
+    total_evals = 1
+    total_iters = 0
+    converged = False
+
+    for _ in range(restarts):
+        result = _single_run(
+            objective, best_x, initial_step, max_iter, xatol, fatol
+        )
+        total_evals += result.function_evaluations
+        total_iters += result.iterations
+        if result.fun < best_f:
+            best_f = result.fun
+            best_x = result.x
+        converged = result.converged
+        # Shrink the rebuild step each restart so later passes refine locally.
+        initial_step *= 0.25
+
+    return NelderMeadResult(
+        x=best_x,
+        fun=best_f,
+        iterations=total_iters,
+        function_evaluations=total_evals,
+        converged=converged,
+    )
+
+
+def _single_run(
+    objective: Callable[[np.ndarray], float],
+    x0: np.ndarray,
+    initial_step: float,
+    max_iter: int,
+    xatol: float,
+    fatol: float,
+) -> NelderMeadResult:
+    n = x0.size
+    # Standard adaptive coefficients (Gao & Han) — behave better in higher
+    # dimensions than the classical 1 / 2 / 0.5 / 0.5 choices.
+    alpha = 1.0
+    gamma = 1.0 + 2.0 / n
+    rho = 0.75 - 1.0 / (2.0 * n)
+    sigma = 1.0 - 1.0 / n
+
+    # Build the initial simplex: x0 plus one perturbed vertex per dimension.
+    simplex = np.tile(x0, (n + 1, 1))
+    for i in range(n):
+        step = initial_step if x0[i] == 0 else initial_step * max(abs(x0[i]), 1e-4)
+        simplex[i + 1, i] += step
+
+    values = np.array([float(objective(v)) for v in simplex])
+    evals = n + 1
+    iterations = 0
+    converged = False
+
+    for iterations in range(1, max_iter + 1):
+        order = np.argsort(values)
+        simplex = simplex[order]
+        values = values[order]
+
+        x_spread = np.max(np.abs(simplex[1:] - simplex[0]))
+        f_spread = np.max(np.abs(values[1:] - values[0]))
+        if x_spread <= xatol and f_spread <= fatol:
+            converged = True
+            break
+
+        centroid = simplex[:-1].mean(axis=0)
+        worst = simplex[-1]
+
+        reflected = centroid + alpha * (centroid - worst)
+        f_reflected = float(objective(reflected))
+        evals += 1
+
+        if values[0] <= f_reflected < values[-2]:
+            simplex[-1], values[-1] = reflected, f_reflected
+            continue
+
+        if f_reflected < values[0]:
+            expanded = centroid + gamma * (reflected - centroid)
+            f_expanded = float(objective(expanded))
+            evals += 1
+            if f_expanded < f_reflected:
+                simplex[-1], values[-1] = expanded, f_expanded
+            else:
+                simplex[-1], values[-1] = reflected, f_reflected
+            continue
+
+        # Contraction: outside if the reflection improved on the worst point,
+        # inside otherwise.
+        if f_reflected < values[-1]:
+            contracted = centroid + rho * (reflected - centroid)
+        else:
+            contracted = centroid + rho * (worst - centroid)
+        f_contracted = float(objective(contracted))
+        evals += 1
+        if f_contracted < min(f_reflected, values[-1]):
+            simplex[-1], values[-1] = contracted, f_contracted
+            continue
+
+        # Shrink everything toward the best vertex.
+        for i in range(1, n + 1):
+            simplex[i] = simplex[0] + sigma * (simplex[i] - simplex[0])
+            values[i] = float(objective(simplex[i]))
+            evals += 1
+
+    order = np.argsort(values)
+    return NelderMeadResult(
+        x=simplex[order[0]],
+        fun=float(values[order[0]]),
+        iterations=iterations,
+        function_evaluations=evals,
+        converged=converged,
+    )

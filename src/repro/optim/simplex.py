@@ -1,0 +1,108 @@
+"""Probability-simplex helpers for the allocation optimizations.
+
+The group-by allocation vector Λ lives on the probability simplex
+(Λ_l ≥ 0, ΣΛ_l = 1).  Nelder–Mead is unconstrained, so we optimize in an
+unconstrained parameterization (softmax of free logits) and map back.  A
+Euclidean simplex projection is also provided for callers that prefer to
+project candidate points instead.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.optim.nelder_mead import NelderMeadResult, nelder_mead
+
+__all__ = ["project_to_simplex", "softmax_parameterization", "minimize_on_simplex"]
+
+
+def project_to_simplex(v: Sequence[float]) -> np.ndarray:
+    """Euclidean projection of a vector onto the probability simplex.
+
+    Uses the standard sort-and-threshold algorithm (Duchi et al.); the
+    result is non-negative and sums to one.
+    """
+    x = np.asarray(v, dtype=float)
+    if x.ndim != 1 or x.size == 0:
+        raise ValueError(f"expected a non-empty 1-D vector, got shape {x.shape}")
+    sorted_desc = np.sort(x)[::-1]
+    cumulative = np.cumsum(sorted_desc) - 1.0
+    indices = np.arange(1, x.size + 1)
+    candidate = sorted_desc - cumulative / indices
+    rho = np.nonzero(candidate > 0)[0]
+    if rho.size == 0:
+        # All mass collapses to a single coordinate (extreme inputs).
+        out = np.zeros_like(x)
+        out[int(np.argmax(x))] = 1.0
+        return out
+    rho = rho[-1]
+    theta = cumulative[rho] / (rho + 1.0)
+    return np.maximum(x - theta, 0.0)
+
+
+def softmax_parameterization(logits: Sequence[float]) -> np.ndarray:
+    """Map free logits to a point on the simplex via a stable softmax."""
+    z = np.asarray(logits, dtype=float)
+    if z.ndim != 1 or z.size == 0:
+        raise ValueError(f"expected a non-empty 1-D vector, got shape {z.shape}")
+    z = z - z.max()
+    exp_z = np.exp(z)
+    return exp_z / exp_z.sum()
+
+
+def minimize_on_simplex(
+    objective: Callable[[np.ndarray], float],
+    dim: int,
+    x0: Optional[Sequence[float]] = None,
+    max_iter: int = 2000,
+    restarts: int = 2,
+) -> NelderMeadResult:
+    """Minimize an objective over the probability simplex of dimension ``dim``.
+
+    The objective receives a simplex point (non-negative, summing to one).
+    Internally we run Nelder–Mead over unconstrained logits and map through
+    a softmax, which keeps every evaluated point feasible — important for
+    the allocation objectives, which divide by Λ_l.
+
+    The returned result's ``x`` is the simplex point (not the logits).
+    """
+    if dim <= 0:
+        raise ValueError(f"dim must be positive, got {dim}")
+    if dim == 1:
+        x = np.array([1.0])
+        return NelderMeadResult(
+            x=x, fun=float(objective(x)), iterations=0,
+            function_evaluations=1, converged=True,
+        )
+
+    if x0 is not None:
+        start = np.asarray(x0, dtype=float)
+        if start.shape != (dim,):
+            raise ValueError(f"x0 must have shape ({dim},), got {start.shape}")
+        if np.any(start < 0) or start.sum() <= 0:
+            raise ValueError("x0 must be a non-negative vector with positive sum")
+        start = start / start.sum()
+        start_logits = np.log(np.clip(start, 1e-9, None))
+    else:
+        start_logits = np.zeros(dim)
+
+    def objective_of_logits(logits: np.ndarray) -> float:
+        return float(objective(softmax_parameterization(logits)))
+
+    result = nelder_mead(
+        objective_of_logits,
+        start_logits,
+        initial_step=0.5,
+        max_iter=max_iter,
+        restarts=restarts,
+    )
+    best_point = softmax_parameterization(result.x)
+    return NelderMeadResult(
+        x=best_point,
+        fun=float(objective(best_point)),
+        iterations=result.iterations,
+        function_evaluations=result.function_evaluations,
+        converged=result.converged,
+    )

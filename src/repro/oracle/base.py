@@ -1,0 +1,144 @@
+"""Oracle interface and invocation accounting.
+
+The cost model mirrors the paper's metric: "We measure the cost in terms of
+oracle predicate invocations as it is the dominant cost of query execution
+by orders of magnitude" (Section 5.1).  Each oracle therefore counts calls
+and can attach a per-call monetary / GPU-time cost so reports can translate
+sample counts into dollars, as the introduction's $262,000 example does.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["OracleCallRecord", "Oracle", "PredicateOracle", "StatisticOracle"]
+
+
+@dataclass
+class OracleCallRecord:
+    """A single oracle invocation, kept for auditing and cost reports."""
+
+    record_index: int
+    result: object
+    cost: float
+
+
+class Oracle(abc.ABC):
+    """Base class for anything that answers per-record questions at a cost.
+
+    Subclasses implement :meth:`_evaluate`; the public :meth:`__call__`
+    wraps it with invocation counting, per-call cost accumulation and an
+    optional call log.  ``cost_per_call`` defaults to 1.0 so "total cost"
+    equals "number of invocations" unless a caller configures real costs.
+    """
+
+    def __init__(
+        self,
+        name: str = "oracle",
+        cost_per_call: float = 1.0,
+        keep_log: bool = False,
+    ):
+        if cost_per_call < 0:
+            raise ValueError(f"cost_per_call must be non-negative, got {cost_per_call}")
+        self._name = name
+        self._cost_per_call = cost_per_call
+        self._num_calls = 0
+        self._total_cost = 0.0
+        self._keep_log = keep_log
+        self._log: List[OracleCallRecord] = []
+
+    # -- Accounting ---------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def cost_per_call(self) -> float:
+        return self._cost_per_call
+
+    @property
+    def num_calls(self) -> int:
+        """How many times the oracle has been invoked."""
+        return self._num_calls
+
+    @property
+    def total_cost(self) -> float:
+        """Accumulated cost across all invocations."""
+        return self._total_cost
+
+    @property
+    def call_log(self) -> List[OracleCallRecord]:
+        """The per-call log (empty unless constructed with ``keep_log=True``)."""
+        return list(self._log)
+
+    def reset_accounting(self) -> None:
+        """Zero the call counter, cost, and log (e.g. between trials)."""
+        self._num_calls = 0
+        self._total_cost = 0.0
+        self._log.clear()
+
+    # -- Evaluation ---------------------------------------------------------------
+    def __call__(self, record_index: int):
+        result = self._evaluate(record_index)
+        self._num_calls += 1
+        self._total_cost += self._cost_per_call
+        if self._keep_log:
+            self._log.append(
+                OracleCallRecord(
+                    record_index=int(record_index),
+                    result=result,
+                    cost=self._cost_per_call,
+                )
+            )
+        return result
+
+    @abc.abstractmethod
+    def _evaluate(self, record_index: int):
+        """Produce the oracle's answer for one record (no accounting)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self._name!r}, calls={self._num_calls})"
+
+
+class PredicateOracle(Oracle):
+    """An oracle whose answers are booleans (the expensive predicate O(x))."""
+
+    def __call__(self, record_index: int) -> bool:
+        return bool(super().__call__(record_index))
+
+
+class StatisticOracle:
+    """Computes the aggregated expression ``f(x)`` for a record.
+
+    The paper assumes "the statistic can be computed in conjunction with the
+    predicates or is cheap to compute" (Section 2.1), so the statistic is
+    *not* charged against the oracle budget.  It still lives behind a small
+    interface so queries like ``AVG(count_cars(frame))`` — where the
+    statistic is extracted from the oracle's own output — can share the
+    predicate oracle's cached result.
+    """
+
+    def __init__(self, fn: Callable[[int], float], name: str = "statistic"):
+        self._fn = fn
+        self._name = name
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def __call__(self, record_index: int) -> float:
+        return float(self._fn(record_index))
+
+    @classmethod
+    def from_column(cls, values, name: str = "statistic") -> "StatisticOracle":
+        """Build a statistic oracle reading from a precomputed array/column."""
+        import numpy as np
+
+        arr = np.asarray(values, dtype=float)
+
+        def lookup(idx: int) -> float:
+            return float(arr[idx])
+
+        return cls(lookup, name=name)

@@ -1,0 +1,101 @@
+"""Oracle budget enforcement (the ``ORACLE LIMIT`` clause).
+
+The query syntax (Figure 1) lets the user cap the number of oracle
+invocations.  :class:`OracleBudget` tracks consumption and raises
+:class:`OracleBudgetExceededError` when a charge would exceed the cap, so
+bugs in allocation logic fail loudly instead of silently overspending.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["OracleBudget", "OracleBudgetExceededError", "BudgetedOracle"]
+
+
+class OracleBudgetExceededError(RuntimeError):
+    """Raised when an oracle invocation would exceed the user's ORACLE LIMIT."""
+
+
+class OracleBudget:
+    """A counter of remaining oracle invocations.
+
+    The budget is expressed in *invocations* (not dollars) to match the
+    paper's cost metric; a caller that wants dollar budgets can divide by
+    the oracle's ``cost_per_call``.
+    """
+
+    def __init__(self, limit: int):
+        if limit < 0:
+            raise ValueError(f"oracle limit must be non-negative, got {limit}")
+        self._limit = int(limit)
+        self._spent = 0
+
+    @property
+    def limit(self) -> int:
+        return self._limit
+
+    @property
+    def spent(self) -> int:
+        return self._spent
+
+    @property
+    def remaining(self) -> int:
+        return self._limit - self._spent
+
+    def can_spend(self, n: int = 1) -> bool:
+        """Whether ``n`` more invocations fit in the budget."""
+        if n < 0:
+            raise ValueError(f"cannot query a negative spend: {n}")
+        return self._spent + n <= self._limit
+
+    def charge(self, n: int = 1) -> None:
+        """Consume ``n`` invocations, raising if the budget would be exceeded."""
+        if n < 0:
+            raise ValueError(f"cannot charge a negative amount: {n}")
+        if self._spent + n > self._limit:
+            raise OracleBudgetExceededError(
+                f"oracle budget exceeded: limit={self._limit}, spent={self._spent}, "
+                f"attempted additional charge={n}"
+            )
+        self._spent += n
+
+    def reset(self) -> None:
+        """Return the budget to its unspent state."""
+        self._spent = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"OracleBudget(limit={self._limit}, spent={self._spent})"
+
+
+class BudgetedOracle:
+    """Wrap an oracle so every call is charged against a shared budget.
+
+    This is what the query executor hands to the sampling algorithm: the
+    algorithm can call the oracle freely and the wrapper guarantees the
+    ORACLE LIMIT is honoured.  An optional cache-aware mode lets repeated
+    evaluations of the same record go uncharged (see
+    :class:`repro.oracle.cache.CachingOracle`, which should wrap *inside*
+    the budget when the system wants cached hits charged, or *outside* when
+    it does not).
+    """
+
+    def __init__(self, oracle, budget: OracleBudget):
+        self._oracle = oracle
+        self._budget = budget
+
+    @property
+    def budget(self) -> OracleBudget:
+        return self._budget
+
+    @property
+    def inner(self):
+        return self._oracle
+
+    @property
+    def num_calls(self) -> int:
+        return self._oracle.num_calls
+
+    def __call__(self, record_index: int):
+        self._budget.charge(1)
+        return self._oracle(record_index)

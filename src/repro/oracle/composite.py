@@ -1,0 +1,77 @@
+"""Composite oracles: AND / OR / NOT over other oracles.
+
+ABae-MultiPred supports predicates built from conjunctions, disjunctions
+and negations of expensive predicates (Section 3.3).  At query-evaluation
+time the combined predicate is just Boolean algebra over the constituent
+oracles' answers; the composite classes here evaluate all children (each
+child charges its own cost, mirroring a system that must run every DNN to
+confirm the full expression).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.oracle.base import Oracle, PredicateOracle
+
+__all__ = ["AndOracle", "OrOracle", "NotOracle"]
+
+
+class _CompositeOracle(PredicateOracle):
+    """Shared machinery for composites: children, names, and accounting.
+
+    The composite's own ``cost_per_call`` defaults to zero because the cost
+    of evaluating the expression is the sum of its children's costs, which
+    the children account for themselves.  ``total_children_cost`` exposes
+    that sum for reports.
+    """
+
+    def __init__(self, children: Sequence[Oracle], name: str):
+        if not children:
+            raise ValueError(f"{type(self).__name__} requires at least one child oracle")
+        super().__init__(name=name, cost_per_call=0.0)
+        self._children = list(children)
+
+    @property
+    def children(self) -> Sequence[Oracle]:
+        return list(self._children)
+
+    @property
+    def total_children_cost(self) -> float:
+        return sum(child.total_cost for child in self._children)
+
+    @property
+    def total_children_calls(self) -> int:
+        return sum(child.num_calls for child in self._children)
+
+
+class AndOracle(_CompositeOracle):
+    """Conjunction of oracles: true only if every child is true."""
+
+    def __init__(self, children: Sequence[Oracle], name: str = None):
+        child_names = " AND ".join(c.name for c in children)
+        super().__init__(children, name=name or f"({child_names})")
+
+    def _evaluate(self, record_index: int) -> bool:
+        return all(bool(child(record_index)) for child in self._children)
+
+
+class OrOracle(_CompositeOracle):
+    """Disjunction of oracles: true if any child is true."""
+
+    def __init__(self, children: Sequence[Oracle], name: str = None):
+        child_names = " OR ".join(c.name for c in children)
+        super().__init__(children, name=name or f"({child_names})")
+
+    def _evaluate(self, record_index: int) -> bool:
+        return any(bool(child(record_index)) for child in self._children)
+
+
+class NotOracle(_CompositeOracle):
+    """Negation of a single oracle."""
+
+    def __init__(self, child: Oracle, name: str = None):
+        super().__init__([child], name=name or f"NOT {child.name}")
+
+    def _evaluate(self, record_index: int) -> bool:
+        return not bool(self._children[0](record_index))

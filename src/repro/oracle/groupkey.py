@@ -1,0 +1,131 @@
+"""Oracles for group-by queries.
+
+Section 3.2 distinguishes two settings:
+
+* **Single oracle** — one oracle call returns the record's group key
+  directly (or None when the record matches no group).  Sampling for one
+  group therefore yields information about every group "for free".
+* **Multiple oracles** — there is a separate binary oracle per group; to
+  know a record's group membership for group *g* only the *g*-th oracle is
+  consulted, and learning about other groups costs additional calls.
+
+Both are modelled here on top of precomputed group-label columns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.oracle.base import Oracle
+from repro.oracle.simulated import LabelColumnOracle
+
+__all__ = ["GroupKeyOracle", "PerGroupOracles"]
+
+
+class GroupKeyOracle(Oracle):
+    """Single-oracle setting: one call reveals the record's group key.
+
+    ``group_keys`` holds the ground-truth key per record; records outside
+    every group of interest carry ``none_value`` (default ``None``).  The
+    oracle answers with the key itself, so a single invocation tells the
+    caller both whether the record matches any group and which one.
+    """
+
+    def __init__(
+        self,
+        group_keys: Sequence[Hashable],
+        groups: Optional[Sequence[Hashable]] = None,
+        none_value: Hashable = None,
+        name: str = "group_key_oracle",
+        cost_per_call: float = 1.0,
+    ):
+        super().__init__(name=name, cost_per_call=cost_per_call)
+        self._keys = np.asarray(group_keys, dtype=object)
+        self._none_value = none_value
+        if groups is None:
+            observed = {k for k in self._keys if k != none_value and k is not None}
+            groups = sorted(observed, key=str)
+        self._groups = list(groups)
+
+    @property
+    def groups(self) -> List[Hashable]:
+        """The group keys this oracle can report, in a stable order."""
+        return list(self._groups)
+
+    def _evaluate(self, record_index: int) -> Hashable:
+        key = self._keys[record_index]
+        if key is None or key == self._none_value:
+            return None
+        return key
+
+    def membership_oracle(self, group: Hashable) -> LabelColumnOracle:
+        """Derive a binary oracle for a single group (used in tests/baselines).
+
+        Note that the derived oracle has its own accounting: it represents
+        the hypothetical "I only ask about group g" usage, not a free view
+        into this oracle's answers.
+        """
+        if group not in self._groups:
+            raise ValueError(f"unknown group {group!r}; known groups: {self._groups}")
+        labels = np.array([k == group for k in self._keys], dtype=bool)
+        return LabelColumnOracle(
+            labels, name=f"{self.name}[{group}]", cost_per_call=self.cost_per_call
+        )
+
+
+class PerGroupOracles:
+    """Multiple-oracle setting: an independent binary oracle per group.
+
+    Each group's oracle charges its own invocations; asking about a record
+    for every group costs ``len(groups)`` calls, which is why the paper
+    normalizes the budget by the number of groups in Figure 8.
+    """
+
+    def __init__(
+        self,
+        group_keys: Sequence[Hashable],
+        groups: Optional[Sequence[Hashable]] = None,
+        none_value: Hashable = None,
+        cost_per_call: float = 1.0,
+        name: str = "per_group_oracles",
+    ):
+        keys = np.asarray(group_keys, dtype=object)
+        if groups is None:
+            observed = {k for k in keys if k != none_value and k is not None}
+            groups = sorted(observed, key=str)
+        self._groups = list(groups)
+        self._name = name
+        self._oracles: Dict[Hashable, LabelColumnOracle] = {}
+        for group in self._groups:
+            labels = np.array([k == group for k in keys], dtype=bool)
+            self._oracles[group] = LabelColumnOracle(
+                labels, name=f"{name}[{group}]", cost_per_call=cost_per_call
+            )
+
+    @property
+    def groups(self) -> List[Hashable]:
+        return list(self._groups)
+
+    def oracle_for(self, group: Hashable) -> LabelColumnOracle:
+        """The binary membership oracle for one group."""
+        try:
+            return self._oracles[group]
+        except KeyError:
+            raise ValueError(
+                f"unknown group {group!r}; known groups: {self._groups}"
+            ) from None
+
+    @property
+    def total_calls(self) -> int:
+        """Total oracle invocations summed over every group's oracle."""
+        return sum(o.num_calls for o in self._oracles.values())
+
+    @property
+    def total_cost(self) -> float:
+        return sum(o.total_cost for o in self._oracles.values())
+
+    def reset_accounting(self) -> None:
+        for oracle in self._oracles.values():
+            oracle.reset_accounting()

@@ -1,0 +1,146 @@
+"""Simulated expensive oracles.
+
+These stand in for the paper's Mask R-CNN / BERT / human-labeler oracles.
+Each reads a hidden ground-truth label (a precomputed column) or applies a
+user function; the rest of the system treats them as opaque and expensive.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.oracle.base import Oracle, PredicateOracle
+from repro.stats.rng import RandomState
+
+__all__ = [
+    "LabelColumnOracle",
+    "ThresholdOracle",
+    "CallableOracle",
+    "NoisyHumanOracle",
+]
+
+
+class LabelColumnOracle(PredicateOracle):
+    """Oracle that reveals a precomputed boolean label.
+
+    This models running the expensive DNN ahead of time once, during
+    dataset construction, and then charging the query per lookup — exactly
+    the structure the paper's experiments use (ground-truth labels come
+    from Mask R-CNN / human annotation, but the query algorithm is only
+    allowed to see a label after "paying" for it).
+    """
+
+    def __init__(
+        self,
+        labels: Sequence,
+        name: str = "label_oracle",
+        cost_per_call: float = 1.0,
+        keep_log: bool = False,
+    ):
+        super().__init__(name=name, cost_per_call=cost_per_call, keep_log=keep_log)
+        arr = np.asarray(labels)
+        if arr.ndim != 1:
+            raise ValueError("labels must be one-dimensional")
+        self._labels = arr.astype(bool)
+
+    @property
+    def labels(self) -> np.ndarray:
+        return self._labels
+
+    def _evaluate(self, record_index: int) -> bool:
+        return bool(self._labels[record_index])
+
+
+class ThresholdOracle(PredicateOracle):
+    """Oracle defined as ``value_column[i] > threshold`` (or >=, <, <=, ==).
+
+    Used for predicates like ``count_cars(frame) > 0`` where the ground
+    truth is a numeric per-record quantity.
+    """
+
+    _OPERATORS = {
+        ">": np.greater,
+        ">=": np.greater_equal,
+        "<": np.less,
+        "<=": np.less_equal,
+        "==": np.equal,
+        "!=": np.not_equal,
+    }
+
+    def __init__(
+        self,
+        values: Sequence[float],
+        threshold: float,
+        op: str = ">",
+        name: str = "threshold_oracle",
+        cost_per_call: float = 1.0,
+    ):
+        super().__init__(name=name, cost_per_call=cost_per_call)
+        if op not in self._OPERATORS:
+            raise ValueError(
+                f"unsupported operator {op!r}; expected one of {sorted(self._OPERATORS)}"
+            )
+        self._values = np.asarray(values, dtype=float)
+        self._threshold = float(threshold)
+        self._op_name = op
+        self._op = self._OPERATORS[op]
+
+    @property
+    def threshold(self) -> float:
+        return self._threshold
+
+    def _evaluate(self, record_index: int) -> bool:
+        return bool(self._op(self._values[record_index], self._threshold))
+
+
+class CallableOracle(PredicateOracle):
+    """Oracle wrapping an arbitrary ``record_index -> bool`` function."""
+
+    def __init__(
+        self,
+        fn: Callable[[int], bool],
+        name: str = "callable_oracle",
+        cost_per_call: float = 1.0,
+    ):
+        super().__init__(name=name, cost_per_call=cost_per_call)
+        self._fn = fn
+
+    def _evaluate(self, record_index: int) -> bool:
+        return bool(self._fn(record_index))
+
+
+class NoisyHumanOracle(PredicateOracle):
+    """A human-labeler oracle with a configurable per-call error rate.
+
+    The red-light predicate in the paper's traffic example is computed by a
+    human labeler; humans occasionally mislabel.  The error rate defaults to
+    zero (a perfect oracle).  Each record's answer is drawn once and then
+    fixed, so repeated queries of the same record are consistent — matching
+    how a labelling pipeline would store a single human judgement.
+    """
+
+    def __init__(
+        self,
+        labels: Sequence,
+        error_rate: float = 0.0,
+        rng: Optional[RandomState] = None,
+        name: str = "human_oracle",
+        cost_per_call: float = 1.0,
+    ):
+        super().__init__(name=name, cost_per_call=cost_per_call)
+        if not 0.0 <= error_rate <= 1.0:
+            raise ValueError(f"error_rate must be in [0, 1], got {error_rate}")
+        truth = np.asarray(labels).astype(bool)
+        rng = rng or RandomState(0)
+        flips = rng.random(truth.shape[0]) < error_rate
+        self._answers = np.where(flips, ~truth, truth)
+        self._error_rate = error_rate
+
+    @property
+    def error_rate(self) -> float:
+        return self._error_rate
+
+    def _evaluate(self, record_index: int) -> bool:
+        return bool(self._answers[record_index])

@@ -1,0 +1,45 @@
+"""Proxy substrate: cheap approximations of the expensive predicate.
+
+A proxy assigns every record a score in [0, 1] that is (ideally) correlated
+with the oracle predicate.  The paper uses specialized MobileNetV2 models,
+a TASTI embedding index, keyword rules, and NLTK sentiment as proxies; what
+the sampling algorithm consumes is only the score vector.  This package
+provides:
+
+* :class:`~repro.proxy.base.Proxy` — the interface (scores for all records,
+  exhaustively precomputable because proxies are cheap);
+* :class:`~repro.proxy.noise.NoisyLabelProxy` and
+  :class:`~repro.proxy.noise.BetaNoiseProxy` — proxies of controllable
+  quality derived from the ground-truth labels, used to emulate the real
+  datasets' proxy informativeness;
+* :class:`~repro.proxy.keyword.KeywordProxy` — the trec05p-style rule
+  proxy over token lists;
+* :mod:`~repro.proxy.calibration` — Platt-style calibration and reliability
+  diagnostics;
+* :class:`~repro.proxy.logistic.LogisticRegression` — a from-scratch NumPy
+  logistic regression used for proxy combination (Section 3.4);
+* :class:`~repro.proxy.embedding.EmbeddingIndexProxy` — a TASTI-like kNN
+  proxy over (synthetic) embeddings.
+"""
+
+from repro.proxy.base import Proxy, PrecomputedProxy, CallableProxy
+from repro.proxy.noise import NoisyLabelProxy, BetaNoiseProxy, RandomProxy
+from repro.proxy.keyword import KeywordProxy
+from repro.proxy.calibration import PlattCalibrator, reliability_curve, brier_score
+from repro.proxy.logistic import LogisticRegression
+from repro.proxy.embedding import EmbeddingIndexProxy
+
+__all__ = [
+    "Proxy",
+    "PrecomputedProxy",
+    "CallableProxy",
+    "NoisyLabelProxy",
+    "BetaNoiseProxy",
+    "RandomProxy",
+    "KeywordProxy",
+    "PlattCalibrator",
+    "reliability_curve",
+    "brier_score",
+    "LogisticRegression",
+    "EmbeddingIndexProxy",
+]

@@ -1,0 +1,113 @@
+"""Proxy interface.
+
+Proxies are assumed cheap enough to run over the whole dataset (Section
+2.1), so the core interface is "give me the score vector for all records".
+Scores must lie in [0, 1]; the constructor validates this once so the
+stratification code can rely on it.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["Proxy", "PrecomputedProxy", "CallableProxy", "validate_scores"]
+
+
+def validate_scores(scores: np.ndarray, name: str = "proxy") -> np.ndarray:
+    """Validate and normalize a proxy score vector (1-D, finite, within [0, 1])."""
+    arr = np.asarray(scores, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError(f"{name}: scores must be one-dimensional, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValueError(f"{name}: scores must be non-empty")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name}: scores contain NaN or infinity")
+    if arr.min() < 0.0 or arr.max() > 1.0:
+        raise ValueError(
+            f"{name}: scores must lie in [0, 1], got range "
+            f"[{arr.min():.4f}, {arr.max():.4f}]"
+        )
+    return arr
+
+
+class Proxy(abc.ABC):
+    """Base class for proxy models."""
+
+    def __init__(self, name: str = "proxy"):
+        self._name = name
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @abc.abstractmethod
+    def scores(self) -> np.ndarray:
+        """Per-record scores in [0, 1] for the whole dataset."""
+
+    def score(self, record_index: int) -> float:
+        """Score for a single record (default: index into :meth:`scores`)."""
+        return float(self.scores()[record_index])
+
+    def __len__(self) -> int:
+        return int(self.scores().shape[0])
+
+    def correlation_with(self, labels: Sequence) -> float:
+        """Pearson correlation between scores and binary labels.
+
+        A diagnostic only — correctness never depends on it — but useful in
+        examples and tests to confirm a proxy is informative (or not).
+        Returns 0.0 when either side is constant.
+        """
+        s = self.scores()
+        y = np.asarray(labels, dtype=float)
+        if y.shape != s.shape:
+            raise ValueError(
+                f"labels shape {y.shape} does not match scores shape {s.shape}"
+            )
+        if np.std(s) == 0 or np.std(y) == 0:
+            return 0.0
+        return float(np.corrcoef(s, y)[0, 1])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self._name!r}, n={len(self)})"
+
+
+class PrecomputedProxy(Proxy):
+    """A proxy whose scores were computed ahead of time (the common case)."""
+
+    def __init__(self, scores: Sequence[float], name: str = "precomputed_proxy"):
+        super().__init__(name=name)
+        self._scores = validate_scores(np.asarray(scores, dtype=float), name=name)
+        self._scores.setflags(write=False)
+
+    def scores(self) -> np.ndarray:
+        return self._scores
+
+
+class CallableProxy(Proxy):
+    """A proxy computed lazily from a per-record function, then cached."""
+
+    def __init__(
+        self,
+        fn: Callable[[int], float],
+        num_records: int,
+        name: str = "callable_proxy",
+    ):
+        super().__init__(name=name)
+        if num_records <= 0:
+            raise ValueError(f"num_records must be positive, got {num_records}")
+        self._fn = fn
+        self._num_records = num_records
+        self._cached: np.ndarray = None
+
+    def scores(self) -> np.ndarray:
+        if self._cached is None:
+            raw = np.array(
+                [float(self._fn(i)) for i in range(self._num_records)], dtype=float
+            )
+            self._cached = validate_scores(raw, name=self._name)
+            self._cached.setflags(write=False)
+        return self._cached

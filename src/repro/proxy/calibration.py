@@ -1,0 +1,107 @@
+"""Proxy calibration utilities.
+
+The stratification argument in the paper assumes a *monotone* relationship
+between proxy score and the probability of matching the predicate (a "mild
+monotonicity assumption", Section 1).  Calibration does not change ABae's
+correctness, but a calibrated proxy makes the MultiPred score algebra
+(products for AND, etc.) behave like probabilities, which is the regime
+where that algebra is exact.  We provide:
+
+* :class:`PlattCalibrator` — a one-dimensional logistic (Platt) fit mapping
+  raw scores to calibrated probabilities, trained on labelled pilot samples;
+* :func:`reliability_curve` — binned (score, empirical positive rate) pairs
+  for diagnostics;
+* :func:`brier_score` — the standard calibration quality metric.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.proxy.base import Proxy, PrecomputedProxy
+from repro.proxy.logistic import LogisticRegression
+
+__all__ = ["PlattCalibrator", "reliability_curve", "brier_score"]
+
+
+class PlattCalibrator:
+    """Platt scaling: fit ``sigmoid(a * score + b)`` to labelled examples."""
+
+    def __init__(self, max_iter: int = 500, learning_rate: float = 0.5):
+        self._model = LogisticRegression(
+            max_iter=max_iter, learning_rate=learning_rate
+        )
+        self._fitted = False
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    def fit(
+        self, scores: Sequence[float], labels: Sequence[bool]
+    ) -> "PlattCalibrator":
+        """Fit the calibration map on (score, label) pairs from pilot samples."""
+        x = np.asarray(scores, dtype=float).reshape(-1, 1)
+        y = np.asarray(labels, dtype=float)
+        if x.shape[0] != y.shape[0]:
+            raise ValueError("scores and labels must have the same length")
+        if x.shape[0] < 2:
+            raise ValueError("calibration requires at least two labelled examples")
+        self._model.fit(x, y)
+        self._fitted = True
+        return self
+
+    def transform(self, scores: Sequence[float]) -> np.ndarray:
+        """Map raw scores to calibrated probabilities."""
+        if not self._fitted:
+            raise RuntimeError("PlattCalibrator.transform called before fit")
+        x = np.asarray(scores, dtype=float).reshape(-1, 1)
+        return self._model.predict_proba(x)
+
+    def calibrate_proxy(self, proxy: Proxy, name: str = None) -> PrecomputedProxy:
+        """Return a new proxy whose scores are the calibrated probabilities."""
+        calibrated = self.transform(proxy.scores())
+        return PrecomputedProxy(
+            np.clip(calibrated, 0.0, 1.0),
+            name=name or f"calibrated({proxy.name})",
+        )
+
+
+def reliability_curve(
+    scores: Sequence[float], labels: Sequence[bool], num_bins: int = 10
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Binned calibration curve.
+
+    Returns (bin_centers, empirical_positive_rate, bin_counts); bins with no
+    members report a positive rate of NaN so plots can skip them.
+    """
+    if num_bins <= 0:
+        raise ValueError(f"num_bins must be positive, got {num_bins}")
+    s = np.asarray(scores, dtype=float)
+    y = np.asarray(labels, dtype=float)
+    if s.shape != y.shape:
+        raise ValueError("scores and labels must have the same shape")
+    edges = np.linspace(0.0, 1.0, num_bins + 1)
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    rates = np.full(num_bins, np.nan)
+    counts = np.zeros(num_bins, dtype=int)
+    bin_index = np.clip(np.digitize(s, edges[1:-1]), 0, num_bins - 1)
+    for b in range(num_bins):
+        members = bin_index == b
+        counts[b] = int(members.sum())
+        if counts[b] > 0:
+            rates[b] = float(y[members].mean())
+    return centers, rates, counts
+
+
+def brier_score(scores: Sequence[float], labels: Sequence[bool]) -> float:
+    """Mean squared difference between scores and binary outcomes."""
+    s = np.asarray(scores, dtype=float)
+    y = np.asarray(labels, dtype=float)
+    if s.shape != y.shape:
+        raise ValueError("scores and labels must have the same shape")
+    if s.size == 0:
+        raise ValueError("brier_score requires at least one example")
+    return float(np.mean((s - y) ** 2))

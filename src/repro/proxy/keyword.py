@@ -1,0 +1,79 @@
+"""Keyword-rule proxies (the trec05p spam proxy).
+
+The paper's spam experiments use "a manual, keyword-based proxy based on
+the presence of words (e.g. 'money', 'please')".  We reproduce that: a
+:class:`KeywordProxy` scores a document by the (optionally weighted)
+fraction of its keyword list that appears in the document's token set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.proxy.base import Proxy, validate_scores
+
+__all__ = ["KeywordProxy", "tokenize"]
+
+
+def tokenize(text: str) -> List[str]:
+    """Lowercase, punctuation-insensitive whitespace tokenizer."""
+    cleaned = []
+    for char in text.lower():
+        if char.isalnum() or char in "$'":
+            cleaned.append(char)
+        else:
+            cleaned.append(" ")
+    return [token for token in "".join(cleaned).split() if token]
+
+
+class KeywordProxy(Proxy):
+    """Score documents by weighted keyword hits.
+
+    ``keywords`` is either a list of keywords (weight 1 each) or a mapping
+    of keyword to weight.  A document's raw score is the sum of weights of
+    keywords present in it, normalized by the total weight, so scores land
+    in [0, 1] with 1 meaning "every keyword present".
+    """
+
+    def __init__(
+        self,
+        documents: Sequence[Union[str, Sequence[str]]],
+        keywords: Union[Sequence[str], Dict[str, float]],
+        name: str = "keyword_proxy",
+    ):
+        super().__init__(name=name)
+        if isinstance(keywords, dict):
+            weights = {kw.lower(): float(w) for kw, w in keywords.items()}
+        else:
+            weights = {kw.lower(): 1.0 for kw in keywords}
+        if not weights:
+            raise ValueError("KeywordProxy requires at least one keyword")
+        if any(w < 0 for w in weights.values()):
+            raise ValueError("keyword weights must be non-negative")
+        total_weight = sum(weights.values())
+        if total_weight == 0:
+            raise ValueError("keyword weights must not all be zero")
+
+        scores = np.empty(len(documents), dtype=float)
+        for i, doc in enumerate(documents):
+            tokens = self._token_set(doc)
+            hit_weight = sum(w for kw, w in weights.items() if kw in tokens)
+            scores[i] = hit_weight / total_weight
+        self._scores = validate_scores(scores, name=name)
+        self._scores.setflags(write=False)
+        self._keywords = weights
+
+    @property
+    def keywords(self) -> Dict[str, float]:
+        return dict(self._keywords)
+
+    def scores(self) -> np.ndarray:
+        return self._scores
+
+    @staticmethod
+    def _token_set(doc: Union[str, Iterable[str]]) -> set:
+        if isinstance(doc, str):
+            return set(tokenize(doc))
+        return {str(token).lower() for token in doc}

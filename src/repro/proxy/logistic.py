@@ -1,0 +1,138 @@
+"""A from-scratch NumPy logistic regression.
+
+Section 3.4: "ABae can combine proxies by sampling randomly in Stage 1 and
+using these samples to train a logistic regression model using the proxies
+as features and the predicate as the target."  Rather than depend on
+scikit-learn (not available offline here), we implement a small, well-tested
+batch gradient-descent logistic regression with L2 regularization.  It is
+deliberately simple: pilot samples number in the hundreds-to-thousands and
+feature counts equal the number of candidate proxies (a handful), so plain
+full-batch gradient descent converges quickly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["LogisticRegression", "sigmoid"]
+
+
+def sigmoid(z: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+    z = np.asarray(z, dtype=float)
+    out = np.empty_like(z)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    exp_z = np.exp(z[~positive])
+    out[~positive] = exp_z / (1.0 + exp_z)
+    return out
+
+
+class LogisticRegression:
+    """Binary logistic regression trained with full-batch gradient descent.
+
+    Parameters
+    ----------
+    learning_rate:
+        Step size for gradient descent.
+    max_iter:
+        Maximum number of gradient steps.
+    l2:
+        L2 regularization strength (not applied to the intercept).
+    tol:
+        Stop early when the max absolute gradient component falls below this.
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.5,
+        max_iter: int = 2000,
+        l2: float = 1e-4,
+        tol: float = 1e-6,
+    ):
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {learning_rate}")
+        if max_iter <= 0:
+            raise ValueError(f"max_iter must be positive, got {max_iter}")
+        if l2 < 0:
+            raise ValueError(f"l2 must be non-negative, got {l2}")
+        self.learning_rate = learning_rate
+        self.max_iter = max_iter
+        self.l2 = l2
+        self.tol = tol
+        self.coef_: Optional[np.ndarray] = None
+        self.intercept_: float = 0.0
+        self.n_iter_: int = 0
+
+    # -- Fitting ------------------------------------------------------------------
+    def fit(self, features: Sequence, labels: Sequence) -> "LogisticRegression":
+        """Fit on an (n, d) feature matrix and binary labels of length n."""
+        x = np.asarray(features, dtype=float)
+        y = np.asarray(labels, dtype=float)
+        if x.ndim == 1:
+            x = x.reshape(-1, 1)
+        if x.ndim != 2:
+            raise ValueError(f"features must be 2-D, got shape {x.shape}")
+        if y.ndim != 1 or y.shape[0] != x.shape[0]:
+            raise ValueError(
+                f"labels must be 1-D with length {x.shape[0]}, got shape {y.shape}"
+            )
+        if not np.all(np.isin(y, (0.0, 1.0))):
+            raise ValueError("labels must be binary (0/1 or False/True)")
+
+        n, d = x.shape
+        # Degenerate but legal cases: all-positive or all-negative labels.
+        # Gradient descent would push the intercept to +/- infinity; we just
+        # fit the intercept to the empirical log-odds with light smoothing.
+        positive_rate = y.mean()
+        if positive_rate in (0.0, 1.0):
+            smoothed = (y.sum() + 1.0) / (n + 2.0)
+            self.coef_ = np.zeros(d)
+            self.intercept_ = float(np.log(smoothed / (1.0 - smoothed)))
+            self.n_iter_ = 0
+            return self
+
+        weights = np.zeros(d)
+        intercept = 0.0
+        for iteration in range(1, self.max_iter + 1):
+            logits = x @ weights + intercept
+            probs = sigmoid(logits)
+            error = probs - y
+            grad_w = x.T @ error / n + self.l2 * weights
+            grad_b = float(error.mean())
+            weights -= self.learning_rate * grad_w
+            intercept -= self.learning_rate * grad_b
+            self.n_iter_ = iteration
+            if max(np.abs(grad_w).max(initial=0.0), abs(grad_b)) < self.tol:
+                break
+
+        self.coef_ = weights
+        self.intercept_ = float(intercept)
+        return self
+
+    # -- Prediction ---------------------------------------------------------------
+    def decision_function(self, features: Sequence) -> np.ndarray:
+        """Raw logits for a feature matrix."""
+        self._check_fitted()
+        x = np.asarray(features, dtype=float)
+        if x.ndim == 1:
+            x = x.reshape(-1, 1)
+        if x.shape[1] != self.coef_.shape[0]:
+            raise ValueError(
+                f"expected {self.coef_.shape[0]} features, got {x.shape[1]}"
+            )
+        return x @ self.coef_ + self.intercept_
+
+    def predict_proba(self, features: Sequence) -> np.ndarray:
+        """Predicted probability of the positive class."""
+        return sigmoid(self.decision_function(features))
+
+    def predict(self, features: Sequence, threshold: float = 0.5) -> np.ndarray:
+        """Hard 0/1 predictions at the given probability threshold."""
+        return (self.predict_proba(features) >= threshold).astype(int)
+
+    def _check_fitted(self) -> None:
+        if self.coef_ is None:
+            raise RuntimeError("LogisticRegression used before fit()")

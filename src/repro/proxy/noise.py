@@ -1,0 +1,138 @@
+"""Proxies of controllable quality, derived from ground-truth labels.
+
+The reproduction needs to emulate proxies ranging from excellent
+(specialized MobileNetV2 on celeba) to mediocre (keyword rules on spam).
+Two noise models are provided:
+
+* :class:`NoisyLabelProxy` — the score is the true label pushed toward 0.5
+  with Gaussian noise, parameterized by a single ``quality`` knob in [0, 1]
+  where 1 is a perfectly separating proxy and 0 is uninformative.
+* :class:`BetaNoiseProxy` — positive and negative records draw their scores
+  from two Beta distributions; the overlap of the Betas controls quality.
+  This matches how classifier scores actually look (skewed, bounded).
+* :class:`RandomProxy` — scores independent of the label, the adversarial
+  case the paper's correctness guarantee must survive.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.proxy.base import Proxy, validate_scores
+from repro.stats.rng import RandomState
+
+__all__ = ["NoisyLabelProxy", "BetaNoiseProxy", "RandomProxy"]
+
+
+class NoisyLabelProxy(Proxy):
+    """Label + Gaussian noise, squashed back into [0, 1].
+
+    ``quality = 1`` gives scores equal to the label; ``quality = 0`` gives
+    scores centred at 0.5 regardless of label.  In between, the score is
+    ``0.5 + quality * (label - 0.5) + noise`` with noise scaled by
+    ``(1 - quality)``, then clipped.
+    """
+
+    def __init__(
+        self,
+        labels: Sequence,
+        quality: float = 0.8,
+        noise_scale: float = 0.15,
+        rng: Optional[RandomState] = None,
+        name: str = "noisy_label_proxy",
+    ):
+        super().__init__(name=name)
+        if not 0.0 <= quality <= 1.0:
+            raise ValueError(f"quality must be in [0, 1], got {quality}")
+        if noise_scale < 0:
+            raise ValueError(f"noise_scale must be non-negative, got {noise_scale}")
+        rng = rng or RandomState(0)
+        y = np.asarray(labels).astype(float)
+        if y.ndim != 1:
+            raise ValueError("labels must be one-dimensional")
+        noise = rng.normal(0.0, noise_scale * (1.0 - quality) + 1e-12, y.shape[0])
+        raw = 0.5 + quality * (y - 0.5) + noise
+        self._scores = validate_scores(np.clip(raw, 0.0, 1.0), name=name)
+        self._scores.setflags(write=False)
+        self._quality = quality
+
+    @property
+    def quality(self) -> float:
+        return self._quality
+
+    def scores(self) -> np.ndarray:
+        return self._scores
+
+
+class BetaNoiseProxy(Proxy):
+    """Scores drawn from class-conditional Beta distributions.
+
+    Positive records draw from ``Beta(a_pos, b_pos)`` (right-skewed by
+    default) and negative records from ``Beta(a_neg, b_neg)`` (left-skewed).
+    Widening the overlap between the two distributions lowers proxy quality
+    smoothly, which is how we match the informativeness of the paper's six
+    real proxies without their underlying models.
+    """
+
+    def __init__(
+        self,
+        labels: Sequence,
+        a_pos: float = 6.0,
+        b_pos: float = 2.0,
+        a_neg: float = 2.0,
+        b_neg: float = 6.0,
+        rng: Optional[RandomState] = None,
+        name: str = "beta_noise_proxy",
+    ):
+        super().__init__(name=name)
+        for param, value in (
+            ("a_pos", a_pos),
+            ("b_pos", b_pos),
+            ("a_neg", a_neg),
+            ("b_neg", b_neg),
+        ):
+            if value <= 0:
+                raise ValueError(f"{param} must be positive, got {value}")
+        rng = rng or RandomState(0)
+        y = np.asarray(labels).astype(bool)
+        if y.ndim != 1:
+            raise ValueError("labels must be one-dimensional")
+        scores = np.empty(y.shape[0], dtype=float)
+        num_pos = int(y.sum())
+        num_neg = y.shape[0] - num_pos
+        if num_pos:
+            scores[y] = rng.beta(a_pos, b_pos, num_pos)
+        if num_neg:
+            scores[~y] = rng.beta(a_neg, b_neg, num_neg)
+        self._scores = validate_scores(scores, name=name)
+        self._scores.setflags(write=False)
+
+    def scores(self) -> np.ndarray:
+        return self._scores
+
+
+class RandomProxy(Proxy):
+    """Scores drawn uniformly at random, independent of the predicate.
+
+    The paper guarantees correctness regardless of proxy quality; this is
+    the proxy the tests use to confirm that guarantee (ABae with a useless
+    proxy should roughly match uniform sampling, never break).
+    """
+
+    def __init__(
+        self,
+        num_records: int,
+        rng: Optional[RandomState] = None,
+        name: str = "random_proxy",
+    ):
+        super().__init__(name=name)
+        if num_records <= 0:
+            raise ValueError(f"num_records must be positive, got {num_records}")
+        rng = rng or RandomState(0)
+        self._scores = validate_scores(rng.uniform(0.0, 1.0, num_records), name=name)
+        self._scores.setflags(write=False)
+
+    def scores(self) -> np.ndarray:
+        return self._scores

@@ -1,0 +1,63 @@
+"""The query layer: Figure-1 syntax, planner and executor.
+
+The paper extends SQL aggregation syntax with an oracle budget, a proxy,
+and a success probability::
+
+    SELECT {AVG | SUM | COUNT | PERCENTAGE} (expr)
+    FROM table_name
+    WHERE filter_predicate
+    [GROUP BY key]
+    ORACLE LIMIT o USING proxy
+    WITH PROBABILITY p
+
+This package provides a tokenizer and recursive-descent parser producing a
+typed AST (:mod:`repro.query.ast`), a planner that decides which ABae
+variant answers a query (:mod:`repro.query.planner`), an executor binding
+predicate names to oracles/proxies through a :class:`QueryContext`
+(:mod:`repro.query.executor`), and an exhaustive "exact" executor used to
+compute ground truth for evaluation (:mod:`repro.query.exact`).
+"""
+
+from repro.query.ast import (
+    AggregateKind,
+    Aggregate,
+    PredicateAtom,
+    NotExpr,
+    AndExpr,
+    OrExpr,
+    GroupByClause,
+    OracleClause,
+    Query,
+)
+from repro.query.errors import QueryError, ParseError, BindingError
+from repro.query.lexer import Token, TokenKind, tokenize
+from repro.query.parser import parse_query
+from repro.query.planner import QueryPlan, PlanKind, plan_query
+from repro.query.executor import QueryContext, QueryResult, execute_query
+from repro.query.exact import exact_answer
+
+__all__ = [
+    "AggregateKind",
+    "Aggregate",
+    "PredicateAtom",
+    "NotExpr",
+    "AndExpr",
+    "OrExpr",
+    "GroupByClause",
+    "OracleClause",
+    "Query",
+    "QueryError",
+    "ParseError",
+    "BindingError",
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "parse_query",
+    "QueryPlan",
+    "PlanKind",
+    "plan_query",
+    "QueryContext",
+    "QueryResult",
+    "execute_query",
+    "exact_answer",
+]

@@ -1,0 +1,196 @@
+"""Typed AST for the Figure-1 query language."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+__all__ = [
+    "AggregateKind",
+    "FunctionCall",
+    "Aggregate",
+    "PredicateAtom",
+    "NotExpr",
+    "AndExpr",
+    "OrExpr",
+    "PredicateNode",
+    "GroupByClause",
+    "OracleClause",
+    "Query",
+]
+
+
+class AggregateKind(enum.Enum):
+    """The aggregation functions ABae supports (plus PERCENTAGE sugar).
+
+    ``PERCENTAGE`` appears in the paper's celeba query; it is the AVG of a
+    0/1 expression and is planned identically to AVG.
+    """
+
+    AVG = "AVG"
+    SUM = "SUM"
+    COUNT = "COUNT"
+    PERCENTAGE = "PERCENTAGE"
+
+
+@dataclass(frozen=True)
+class FunctionCall:
+    """A call expression such as ``count_cars(frame)``.
+
+    Arguments are kept as raw strings — the query layer never evaluates
+    them; they only participate in the canonical key used to bind the
+    expression to a registered statistic or oracle.
+    """
+
+    name: str
+    args: tuple = ()
+
+    def canonical(self) -> str:
+        if not self.args:
+            return self.name
+        return f"{self.name}({', '.join(self.args)})"
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return self.canonical()
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """``AVG(expr)`` / ``SUM(expr)`` / ``COUNT(expr)`` / ``PERCENTAGE(expr)``."""
+
+    kind: AggregateKind
+    expression: FunctionCall
+
+    def canonical(self) -> str:
+        return f"{self.kind.value}({self.expression.canonical()})"
+
+
+@dataclass(frozen=True)
+class PredicateAtom:
+    """A single predicate: a call/identifier, optionally compared to a literal.
+
+    Examples: ``is_spam(text)``, ``hair_color(img) = 'blonde'``,
+    ``count_cars(frame) > 0``.  The canonical key of the atom is what the
+    :class:`~repro.query.executor.QueryContext` binds oracles and proxies to.
+    """
+
+    expression: FunctionCall
+    comparator: Optional[str] = None
+    literal: Optional[Union[str, float]] = None
+
+    def __post_init__(self):
+        if (self.comparator is None) != (self.literal is None):
+            raise ValueError(
+                "a PredicateAtom needs both a comparator and a literal, or neither"
+            )
+
+    def key(self) -> str:
+        """Canonical binding key, e.g. ``"hair_color(img) = 'blonde'"``."""
+        base = self.expression.canonical()
+        if self.comparator is None:
+            return base
+        literal = self.literal
+        if isinstance(literal, str):
+            literal = f"'{literal}'"
+        return f"{base} {self.comparator} {literal}"
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return self.key()
+
+
+@dataclass(frozen=True)
+class NotExpr:
+    """Logical negation of a predicate subtree."""
+
+    operand: "PredicateNode"
+
+
+@dataclass(frozen=True)
+class AndExpr:
+    """Conjunction of predicate subtrees (two or more)."""
+
+    operands: tuple
+
+    def __post_init__(self):
+        if len(self.operands) < 2:
+            raise ValueError("AndExpr requires at least two operands")
+
+
+@dataclass(frozen=True)
+class OrExpr:
+    """Disjunction of predicate subtrees (two or more)."""
+
+    operands: tuple
+
+    def __post_init__(self):
+        if len(self.operands) < 2:
+            raise ValueError("OrExpr requires at least two operands")
+
+
+PredicateNode = Union[PredicateAtom, NotExpr, AndExpr, OrExpr]
+
+
+def predicate_atoms(node: PredicateNode) -> List[PredicateAtom]:
+    """All atoms in a predicate tree, left to right."""
+    if isinstance(node, PredicateAtom):
+        return [node]
+    if isinstance(node, NotExpr):
+        return predicate_atoms(node.operand)
+    if isinstance(node, (AndExpr, OrExpr)):
+        atoms: List[PredicateAtom] = []
+        for operand in node.operands:
+            atoms.extend(predicate_atoms(operand))
+        return atoms
+    raise TypeError(f"not a predicate node: {node!r}")
+
+
+@dataclass(frozen=True)
+class GroupByClause:
+    """``GROUP BY key`` — the key is a call or identifier."""
+
+    key: FunctionCall
+
+    def canonical(self) -> str:
+        return self.key.canonical()
+
+
+@dataclass(frozen=True)
+class OracleClause:
+    """``ORACLE LIMIT o USING proxy [, proxy...]``."""
+
+    limit: int
+    proxies: tuple
+
+    def __post_init__(self):
+        if self.limit <= 0:
+            raise ValueError(f"ORACLE LIMIT must be positive, got {self.limit}")
+        if not self.proxies:
+            raise ValueError("ORACLE clause requires at least one proxy name")
+
+
+@dataclass(frozen=True)
+class Query:
+    """A parsed Figure-1 query."""
+
+    aggregate: Aggregate
+    table: str
+    predicate: PredicateNode
+    oracle: OracleClause
+    probability: float
+    group_by: Optional[GroupByClause] = None
+
+    def __post_init__(self):
+        if not 0.0 < self.probability < 1.0:
+            raise ValueError(
+                f"WITH PROBABILITY must be strictly between 0 and 1, got {self.probability}"
+            )
+
+    @property
+    def alpha(self) -> float:
+        """The CI failure probability implied by WITH PROBABILITY."""
+        return 1.0 - self.probability
+
+    def atoms(self) -> List[PredicateAtom]:
+        """All predicate atoms referenced by the WHERE clause."""
+        return predicate_atoms(self.predicate)

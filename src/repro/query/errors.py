@@ -1,0 +1,33 @@
+"""Exception types raised by the query layer."""
+
+from __future__ import annotations
+
+__all__ = ["QueryError", "ParseError", "BindingError", "PlanningError"]
+
+
+class QueryError(Exception):
+    """Base class for every error the query layer raises."""
+
+
+class ParseError(QueryError):
+    """The query text does not conform to the Figure-1 grammar.
+
+    Carries the character position where parsing failed, when known, so the
+    message can point at the offending token.
+    """
+
+    def __init__(self, message: str, position: int = None):
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class BindingError(QueryError):
+    """The query references a predicate, statistic or proxy that the
+    :class:`~repro.query.executor.QueryContext` does not know about."""
+
+
+class PlanningError(QueryError):
+    """The query is syntactically valid but cannot be planned
+    (e.g. a GROUP BY query without a registered group binding)."""

@@ -1,0 +1,97 @@
+"""Exact (exhaustive-oracle) query evaluation.
+
+Used to compute the ground truth every experiment measures errors against.
+It requires that every predicate binding in the context carries its
+ground-truth ``labels`` array (and that group bindings carry
+``group_labels``); it never touches the oracles, so it does not distort
+their accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Union
+
+import numpy as np
+
+from repro.query.ast import (
+    AggregateKind,
+    AndExpr,
+    NotExpr,
+    OrExpr,
+    PredicateAtom,
+    PredicateNode,
+    Query,
+)
+from repro.query.errors import BindingError
+from repro.query.executor import QueryContext
+from repro.query.parser import parse_query
+
+__all__ = ["exact_answer", "exact_predicate_mask"]
+
+
+def exact_predicate_mask(node: PredicateNode, context: QueryContext) -> np.ndarray:
+    """Evaluate a WHERE tree exactly using registered ground-truth labels."""
+    if isinstance(node, PredicateAtom):
+        binding = context.resolve_predicate(node)
+        if binding.labels is None:
+            raise BindingError(
+                f"exact evaluation of {node.key()!r} requires ground-truth labels "
+                "in its predicate binding"
+            )
+        return binding.labels.astype(bool)
+    if isinstance(node, NotExpr):
+        return ~exact_predicate_mask(node.operand, context)
+    if isinstance(node, AndExpr):
+        mask = exact_predicate_mask(node.operands[0], context)
+        for operand in node.operands[1:]:
+            mask = mask & exact_predicate_mask(operand, context)
+        return mask
+    if isinstance(node, OrExpr):
+        mask = exact_predicate_mask(node.operands[0], context)
+        for operand in node.operands[1:]:
+            mask = mask | exact_predicate_mask(operand, context)
+        return mask
+    raise TypeError(f"not a predicate node: {node!r}")
+
+
+def exact_answer(
+    query: Union[str, Query], context: QueryContext
+) -> Union[float, Dict[Hashable, float]]:
+    """The exact query answer (a scalar, or a per-group dict for GROUP BY)."""
+    if isinstance(query, str):
+        query = parse_query(query)
+
+    if query.group_by is not None:
+        return _exact_group_by(query, context)
+
+    mask = exact_predicate_mask(query.predicate, context)
+    return _aggregate(query, context, mask)
+
+
+def _aggregate(query: Query, context: QueryContext, mask: np.ndarray) -> float:
+    kind = query.aggregate.kind
+    if kind is AggregateKind.COUNT:
+        return float(mask.sum())
+    values = context.resolve_statistic(query.aggregate.expression)
+    selected = values[mask]
+    if kind is AggregateKind.SUM:
+        return float(selected.sum())
+    # AVG and PERCENTAGE
+    if selected.size == 0:
+        return 0.0
+    return float(selected.mean())
+
+
+def _exact_group_by(query: Query, context: QueryContext) -> Dict[Hashable, float]:
+    binding = context.resolve_groupby(query.group_by.key)
+    if binding.group_labels is None:
+        raise BindingError(
+            "exact evaluation of a GROUP BY query requires group_labels in the "
+            "group binding"
+        )
+    group_labels = np.asarray(binding.group_labels, dtype=object)
+    answers: Dict[Hashable, float] = {}
+    for group in binding.groups:
+        mask = np.array([label == group for label in group_labels], dtype=bool)
+        answers[group] = _aggregate(query, context, mask)
+    return answers

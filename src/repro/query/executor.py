@@ -1,0 +1,413 @@
+"""Query executor: bind a parsed query to oracles / proxies and run ABae.
+
+The executor is driven by a :class:`QueryContext`, which is where the user
+(or the examples / benchmark harness) registers
+
+* **statistics** — the per-record values of expressions like ``views`` or
+  ``count_cars(frame)``;
+* **predicates** — for each predicate atom appearing in WHERE clauses, the
+  expensive oracle and its proxy (plus, optionally, the ground-truth label
+  array used by the exact executor);
+* **group bindings** — for GROUP BY queries, the list of group keys, the
+  per-group proxies, and either a single group-key oracle or per-group
+  membership oracles.
+
+Binding keys are the canonical text of the expression, so
+``register_predicate("hair_color(img) = 'blonde'", ...)`` binds the atom
+``WHERE hair_color(img) = 'blonde'``; a registration under just the
+function name (``"hair_color"``) acts as a fallback for any atom using
+that function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.abae import run_abae
+from repro.core.bootstrap import bootstrap_aggregate_interval
+from repro.core.groupby import (
+    GroupSpec,
+    run_groupby_multi_oracle,
+    run_groupby_single_oracle,
+)
+from repro.core.multipred import And, Not, Or, PredicateExpr, PredicateLeaf
+from repro.core.multipred import run_abae_multipred
+from repro.core.results import ConfidenceInterval, EstimateResult, GroupByResult
+from repro.oracle.groupkey import GroupKeyOracle, PerGroupOracles
+from repro.proxy.base import PrecomputedProxy, Proxy
+from repro.query.ast import (
+    AggregateKind,
+    AndExpr,
+    FunctionCall,
+    NotExpr,
+    OrExpr,
+    PredicateAtom,
+    PredicateNode,
+    Query,
+)
+from repro.query.errors import BindingError, PlanningError
+from repro.query.parser import parse_query
+from repro.query.planner import PlanKind, plan_query
+from repro.stats.rng import RandomState
+
+__all__ = ["PredicateBinding", "GroupBinding", "QueryContext", "QueryResult", "execute_query"]
+
+
+@dataclass
+class PredicateBinding:
+    """The oracle / proxy pair registered for one predicate atom."""
+
+    oracle: Callable[[int], bool]
+    proxy: Union[Proxy, Sequence[float]]
+    labels: Optional[np.ndarray] = None
+
+    def proxy_object(self) -> Proxy:
+        if isinstance(self.proxy, Proxy):
+            return self.proxy
+        return PrecomputedProxy(np.asarray(self.proxy, dtype=float), name="bound_proxy")
+
+
+@dataclass
+class GroupBinding:
+    """Everything needed to execute a GROUP BY query on one key."""
+
+    groups: List[Hashable]
+    proxies: Dict[Hashable, Union[Proxy, Sequence[float]]]
+    group_key_oracle: Optional[GroupKeyOracle] = None
+    per_group_oracles: Optional[PerGroupOracles] = None
+    group_labels: Optional[np.ndarray] = None
+
+    def __post_init__(self):
+        if self.group_key_oracle is None and self.per_group_oracles is None:
+            raise BindingError(
+                "a group binding needs a group-key oracle or per-group oracles"
+            )
+        missing = [g for g in self.groups if g not in self.proxies]
+        if missing:
+            raise BindingError(f"missing proxies for groups: {missing}")
+
+    @property
+    def setting(self) -> str:
+        """"single" when a group-key oracle is available, else "multi"."""
+        return "single" if self.group_key_oracle is not None else "multi"
+
+    def group_specs(self) -> List[GroupSpec]:
+        return [GroupSpec(key=g, proxy=self.proxies[g]) for g in self.groups]
+
+
+class QueryContext:
+    """Registry binding query text to data, oracles and proxies."""
+
+    def __init__(self, num_records: int):
+        if num_records <= 0:
+            raise ValueError(f"num_records must be positive, got {num_records}")
+        self.num_records = int(num_records)
+        self._statistics: Dict[str, np.ndarray] = {}
+        self._predicates: Dict[str, PredicateBinding] = {}
+        self._groups: Dict[str, GroupBinding] = {}
+
+    # -- Registration ---------------------------------------------------------------
+    def register_statistic(self, name: str, values: Sequence[float]) -> "QueryContext":
+        """Register per-record values for an expression (by canonical name)."""
+        arr = np.asarray(values, dtype=float)
+        if arr.shape[0] != self.num_records:
+            raise ValueError(
+                f"statistic {name!r} has {arr.shape[0]} values, expected {self.num_records}"
+            )
+        self._statistics[name] = arr
+        return self
+
+    def register_predicate(
+        self,
+        key: str,
+        oracle: Callable[[int], bool],
+        proxy: Union[Proxy, Sequence[float]],
+        labels: Optional[Sequence] = None,
+    ) -> "QueryContext":
+        """Register the oracle / proxy for a predicate atom (by canonical key)."""
+        label_arr = None
+        if labels is not None:
+            label_arr = np.asarray(labels, dtype=bool)
+            if label_arr.shape[0] != self.num_records:
+                raise ValueError(
+                    f"labels for {key!r} have {label_arr.shape[0]} entries, "
+                    f"expected {self.num_records}"
+                )
+        self._predicates[key] = PredicateBinding(
+            oracle=oracle, proxy=proxy, labels=label_arr
+        )
+        return self
+
+    def register_groupby(self, key: str, binding: GroupBinding) -> "QueryContext":
+        """Register a group binding for a GROUP BY key (by canonical name)."""
+        self._groups[key] = binding
+        return self
+
+    # -- Resolution -----------------------------------------------------------------
+    def resolve_statistic(self, expression: FunctionCall) -> np.ndarray:
+        for candidate in (expression.canonical(), expression.name):
+            if candidate in self._statistics:
+                return self._statistics[candidate]
+        raise BindingError(
+            f"no statistic registered for {expression.canonical()!r}; "
+            f"registered statistics: {sorted(self._statistics)}"
+        )
+
+    def resolve_predicate(self, atom: PredicateAtom) -> PredicateBinding:
+        for candidate in (atom.key(), atom.expression.canonical(), atom.expression.name):
+            if candidate in self._predicates:
+                return self._predicates[candidate]
+        raise BindingError(
+            f"no predicate binding for {atom.key()!r}; "
+            f"registered predicates: {sorted(self._predicates)}"
+        )
+
+    def resolve_groupby(self, key: FunctionCall) -> GroupBinding:
+        for candidate in (key.canonical(), key.name):
+            if candidate in self._groups:
+                return self._groups[candidate]
+        raise BindingError(
+            f"no group binding for {key.canonical()!r}; "
+            f"registered group keys: {sorted(self._groups)}"
+        )
+
+
+@dataclass
+class QueryResult:
+    """The executor's answer: a scalar (or per-group values) plus diagnostics."""
+
+    value: Optional[float] = None
+    ci: Optional[ConfidenceInterval] = None
+    group_values: Dict[Hashable, float] = field(default_factory=dict)
+    group_cis: Dict[Hashable, ConfidenceInterval] = field(default_factory=dict)
+    oracle_calls: int = 0
+    plan_kind: Optional[PlanKind] = None
+    method: str = ""
+    details: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def is_group_by(self) -> bool:
+        return bool(self.group_values)
+
+
+def execute_query(
+    query: Union[str, Query],
+    context: QueryContext,
+    num_strata: int = 5,
+    stage1_fraction: float = 0.5,
+    num_bootstrap: int = 1000,
+    with_ci: bool = True,
+    seed: Optional[int] = None,
+    rng: Optional[RandomState] = None,
+) -> QueryResult:
+    """Parse (if needed), plan and execute a query against a context."""
+    if isinstance(query, str):
+        query = parse_query(query)
+    plan = plan_query(query)
+    rng = rng or RandomState(seed)
+
+    if plan.kind is PlanKind.GROUP_BY:
+        return _execute_group_by(plan, context, num_strata, stage1_fraction, rng)
+    if plan.kind is PlanKind.MULTI_PREDICATE:
+        return _execute_multi_predicate(
+            plan, context, num_strata, stage1_fraction, num_bootstrap, with_ci, rng
+        )
+    return _execute_single_predicate(
+        plan, context, num_strata, stage1_fraction, num_bootstrap, with_ci, rng
+    )
+
+
+# ---------------------------------------------------------------------------
+# Plan execution
+# ---------------------------------------------------------------------------
+
+
+def _statistic_for(query: Query, context: QueryContext) -> np.ndarray:
+    """The per-record statistic values; COUNT uses the constant 1."""
+    if query.aggregate.kind is AggregateKind.COUNT:
+        return np.ones(context.num_records, dtype=float)
+    return context.resolve_statistic(query.aggregate.expression)
+
+
+def _finalize_scalar(
+    query: Query,
+    result: EstimateResult,
+    plan_kind: PlanKind,
+    num_bootstrap: int,
+    with_ci: bool,
+    rng: RandomState,
+) -> QueryResult:
+    """Convert an AVG-space :class:`EstimateResult` into the query's aggregate."""
+    kind = query.aggregate.kind
+    stratum_sizes = result.details.get("stratum_sizes")
+    if kind in (AggregateKind.AVG, AggregateKind.PERCENTAGE):
+        value = result.estimate
+        ci = result.ci
+    else:
+        # SUM and COUNT need the per-stratum sizes to scale positive rates
+        # into absolute record counts.
+        if stratum_sizes is None:
+            raise PlanningError(
+                f"{kind.value} queries require per-stratum sizes from the sampler"
+            )
+        sizes = np.asarray(stratum_sizes, dtype=float)
+        p_hats = np.array([e.p_hat for e in result.strata_estimates])
+        mu_hats = np.array([e.mu_hat for e in result.strata_estimates])
+        counts = p_hats * sizes
+        if kind is AggregateKind.COUNT:
+            value = float(counts.sum())
+        else:
+            value = float((counts * mu_hats).sum())
+        ci = None
+        if with_ci and result.samples:
+            ci = bootstrap_aggregate_interval(
+                result.samples,
+                stratum_sizes=sizes,
+                kind="count" if kind is AggregateKind.COUNT else "sum",
+                alpha=query.alpha,
+                num_bootstrap=num_bootstrap,
+                rng=rng,
+            )
+    return QueryResult(
+        value=value,
+        ci=ci,
+        oracle_calls=result.oracle_calls,
+        plan_kind=plan_kind,
+        method=result.method,
+        details=dict(result.details),
+    )
+
+
+def _execute_single_predicate(
+    plan, context, num_strata, stage1_fraction, num_bootstrap, with_ci, rng
+) -> QueryResult:
+    query = plan.query
+    atom = plan.atoms[0]
+    binding = context.resolve_predicate(atom)
+    statistic = _statistic_for(query, context)
+    result = run_abae(
+        proxy=binding.proxy_object(),
+        oracle=binding.oracle,
+        statistic=statistic,
+        budget=query.oracle.limit,
+        num_strata=num_strata,
+        stage1_fraction=stage1_fraction,
+        with_ci=with_ci,
+        alpha=query.alpha,
+        num_bootstrap=num_bootstrap,
+        rng=rng,
+    )
+    return _finalize_scalar(
+        query, result, PlanKind.SINGLE_PREDICATE, num_bootstrap, with_ci, rng
+    )
+
+
+def _build_expression(
+    node: PredicateNode, context: QueryContext
+) -> PredicateExpr:
+    """Translate a WHERE tree into an executable MultiPred expression."""
+    if isinstance(node, PredicateAtom):
+        binding = context.resolve_predicate(node)
+        return PredicateLeaf(
+            proxy=binding.proxy_object(), oracle=binding.oracle, name=node.key()
+        )
+    if isinstance(node, NotExpr):
+        return Not(_build_expression(node.operand, context))
+    if isinstance(node, AndExpr):
+        return And([_build_expression(op, context) for op in node.operands])
+    if isinstance(node, OrExpr):
+        return Or([_build_expression(op, context) for op in node.operands])
+    raise PlanningError(f"unsupported predicate node: {node!r}")
+
+
+def _execute_multi_predicate(
+    plan, context, num_strata, stage1_fraction, num_bootstrap, with_ci, rng
+) -> QueryResult:
+    query = plan.query
+    expression = _build_expression(query.predicate, context)
+    statistic = _statistic_for(query, context)
+    result = run_abae_multipred(
+        expression=expression,
+        statistic=statistic,
+        budget=query.oracle.limit,
+        num_strata=num_strata,
+        stage1_fraction=stage1_fraction,
+        with_ci=with_ci,
+        alpha=query.alpha,
+        num_bootstrap=num_bootstrap,
+        rng=rng,
+    )
+    return _finalize_scalar(
+        query, result, PlanKind.MULTI_PREDICATE, num_bootstrap, with_ci, rng
+    )
+
+
+def _execute_group_by(
+    plan, context, num_strata, stage1_fraction, rng
+) -> QueryResult:
+    query = plan.query
+    binding = context.resolve_groupby(query.group_by.key)
+    kind = query.aggregate.kind
+
+    if kind is AggregateKind.COUNT:
+        statistic = np.ones(context.num_records, dtype=float)
+    else:
+        statistic = context.resolve_statistic(query.aggregate.expression)
+
+    if binding.setting == "single":
+        group_result: GroupByResult = run_groupby_single_oracle(
+            groups=binding.group_specs(),
+            oracle=binding.group_key_oracle,
+            statistic=statistic,
+            budget=query.oracle.limit,
+            num_strata=num_strata,
+            stage1_fraction=stage1_fraction,
+            rng=rng,
+        )
+    else:
+        group_result = run_groupby_multi_oracle(
+            groups=binding.group_specs(),
+            oracles=binding.per_group_oracles,
+            statistic=statistic,
+            budget=query.oracle.limit,
+            num_strata=num_strata,
+            stage1_fraction=stage1_fraction,
+            rng=rng,
+        )
+
+    values = group_result.estimates()
+    if kind is AggregateKind.COUNT:
+        # Per-group COUNT: rescale the per-group positive-rate estimate by
+        # the dataset size.  The group-by samplers estimate AVG of 1 over
+        # group members (which is 1); the group membership rate is exposed
+        # through the per-stratum p_hats, which are combined here.
+        values = {
+            group: _estimate_group_count(result, context.num_records)
+            for group, result in group_result.group_results.items()
+        }
+
+    return QueryResult(
+        group_values=values,
+        oracle_calls=group_result.oracle_calls,
+        plan_kind=PlanKind.GROUP_BY,
+        method=group_result.method,
+        details={"allocation": group_result.allocation, **group_result.details},
+    )
+
+
+def _estimate_group_count(result: EstimateResult, num_records: int) -> float:
+    """Estimate a group's record count from the per-stratum positive rates."""
+    samples = result.samples
+    if not samples:
+        return 0.0
+    total_draws = sum(s.num_draws for s in samples)
+    total_positive = sum(s.num_positive for s in samples)
+    if total_draws == 0:
+        return 0.0
+    # The samplers draw (approximately) proportional to stratum sizes only in
+    # Stage 1, so the simple ratio is an approximation; it is exact for the
+    # uniform allocation and close otherwise.
+    return num_records * total_positive / total_draws

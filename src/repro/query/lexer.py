@@ -1,0 +1,162 @@
+"""Tokenizer for the Figure-1 query language.
+
+Token kinds are deliberately few: keywords, identifiers, numbers,
+single-quoted strings, and punctuation (parentheses, comma, comparators).
+Keywords are case-insensitive, identifiers preserve case, numbers may use
+underscores or commas as thousands separators (the paper writes
+``ORACLE LIMIT 10,000``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.query.errors import ParseError
+
+__all__ = ["TokenKind", "Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = {
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "BY",
+    "ORACLE",
+    "LIMIT",
+    "USING",
+    "WITH",
+    "PROBABILITY",
+    "AND",
+    "OR",
+    "NOT",
+    "IN",
+}
+
+_COMPARATORS = (">=", "<=", "!=", "<>", "=", ">", "<")
+
+
+class TokenKind(enum.Enum):
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    COMPARATOR = "comparator"
+    LPAREN = "lparen"
+    RPAREN = "rparen"
+    COMMA = "comma"
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    value: str
+    position: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.value}, {self.value!r}, pos={self.position})"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Convert query text into a token list ending with an END token."""
+    tokens: List[Token] = []
+    i = 0
+    length = len(text)
+    while i < length:
+        char = text[i]
+        if char.isspace():
+            i += 1
+            continue
+        if char == "(":
+            tokens.append(Token(TokenKind.LPAREN, "(", i))
+            i += 1
+            continue
+        if char == ")":
+            tokens.append(Token(TokenKind.RPAREN, ")", i))
+            i += 1
+            continue
+        if char == ",":
+            # A comma may separate arguments OR be a thousands separator
+            # inside a number (``10,000``).  The number branch consumes
+            # digit-comma-digit runs, so a comma reaching here is a real
+            # separator.
+            tokens.append(Token(TokenKind.COMMA, ",", i))
+            i += 1
+            continue
+        comparator = _match_comparator(text, i)
+        if comparator is not None:
+            tokens.append(Token(TokenKind.COMPARATOR, comparator, i))
+            i += len(comparator)
+            continue
+        if char == "'":
+            value, consumed = _read_string(text, i)
+            tokens.append(Token(TokenKind.STRING, value, i))
+            i += consumed
+            continue
+        if char.isdigit() or (char == "." and i + 1 < length and text[i + 1].isdigit()):
+            value, consumed = _read_number(text, i)
+            tokens.append(Token(TokenKind.NUMBER, value, i))
+            i += consumed
+            continue
+        if char.isalpha() or char == "_":
+            value, consumed = _read_identifier(text, i)
+            kind = (
+                TokenKind.KEYWORD if value.upper() in KEYWORDS else TokenKind.IDENTIFIER
+            )
+            token_value = value.upper() if kind is TokenKind.KEYWORD else value
+            tokens.append(Token(kind, token_value, i))
+            i += consumed
+            continue
+        raise ParseError(f"unexpected character {char!r}", position=i)
+    tokens.append(Token(TokenKind.END, "", length))
+    return tokens
+
+
+def _match_comparator(text: str, i: int):
+    for candidate in _COMPARATORS:
+        if text.startswith(candidate, i):
+            return candidate
+    return None
+
+
+def _read_string(text: str, start: int):
+    """Read a single-quoted string; quotes are not included in the value."""
+    i = start + 1
+    chars = []
+    while i < len(text):
+        if text[i] == "'":
+            return "".join(chars).strip(), i - start + 1
+        chars.append(text[i])
+        i += 1
+    raise ParseError("unterminated string literal", position=start)
+
+
+def _read_number(text: str, start: int):
+    """Read a number; underscores and digit-group commas are stripped."""
+    i = start
+    chars = []
+    while i < len(text):
+        char = text[i]
+        if char.isdigit() or char in "._":
+            chars.append(char)
+            i += 1
+            continue
+        # A comma only continues the number when followed by a digit
+        # (thousands separator); otherwise it terminates the number.
+        if char == "," and i + 1 < len(text) and text[i + 1].isdigit():
+            chars.append(char)
+            i += 1
+            continue
+        break
+    raw = "".join(chars)
+    cleaned = raw.replace(",", "").replace("_", "")
+    return cleaned, i - start
+
+
+def _read_identifier(text: str, start: int):
+    i = start
+    while i < len(text) and (text[i].isalnum() or text[i] == "_"):
+        i += 1
+    return text[start:i], i - start

@@ -1,0 +1,236 @@
+"""Recursive-descent parser for the Figure-1 query language.
+
+Grammar (keywords case-insensitive)::
+
+    query      := SELECT aggregate FROM identifier
+                  WHERE predicate
+                  [GROUP BY call]
+                  ORACLE LIMIT number USING proxy {, proxy}
+                  WITH PROBABILITY number
+    aggregate  := (AVG | SUM | COUNT | PERCENTAGE) '(' call ')'
+    predicate  := or_expr
+    or_expr    := and_expr { OR and_expr }
+    and_expr   := unary { AND unary }
+    unary      := NOT unary | '(' predicate ')' | atom
+    atom       := call [ comparator literal ]
+                | call IN '(' literal {, literal} ')'
+    call       := identifier [ '(' [arg {, arg}] ')' ]
+
+An ``IN`` atom desugars to a disjunction of equality atoms, matching how
+the paper's group-by example (``WHERE person IN ('Biden', 'Trump')``) is
+executed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.query.ast import (
+    Aggregate,
+    AggregateKind,
+    AndExpr,
+    FunctionCall,
+    GroupByClause,
+    NotExpr,
+    OracleClause,
+    OrExpr,
+    PredicateAtom,
+    PredicateNode,
+    Query,
+)
+from repro.query.errors import ParseError
+from repro.query.lexer import Token, TokenKind, tokenize
+
+__all__ = ["parse_query"]
+
+
+def parse_query(text: str) -> Query:
+    """Parse a query string into a :class:`~repro.query.ast.Query`."""
+    return _Parser(tokenize(text)).parse()
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- Token plumbing -------------------------------------------------------------
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind is not TokenKind.END:
+            self._pos += 1
+        return token
+
+    def _expect_keyword(self, keyword: str) -> Token:
+        token = self._peek()
+        if token.kind is TokenKind.KEYWORD and token.value == keyword:
+            return self._advance()
+        raise ParseError(
+            f"expected keyword {keyword}, found {token.value!r}", position=token.position
+        )
+
+    def _expect(self, kind: TokenKind) -> Token:
+        token = self._peek()
+        if token.kind is kind:
+            return self._advance()
+        raise ParseError(
+            f"expected {kind.value}, found {token.value!r}", position=token.position
+        )
+
+    def _matches_keyword(self, keyword: str) -> bool:
+        token = self._peek()
+        return token.kind is TokenKind.KEYWORD and token.value == keyword
+
+    # -- Grammar productions ----------------------------------------------------------
+    def parse(self) -> Query:
+        self._expect_keyword("SELECT")
+        aggregate = self._parse_aggregate()
+        self._expect_keyword("FROM")
+        table = self._expect(TokenKind.IDENTIFIER).value
+        self._expect_keyword("WHERE")
+        predicate = self._parse_or_expr()
+
+        group_by = None
+        if self._matches_keyword("GROUP"):
+            self._advance()
+            self._expect_keyword("BY")
+            group_by = GroupByClause(key=self._parse_call())
+
+        self._expect_keyword("ORACLE")
+        self._expect_keyword("LIMIT")
+        limit_token = self._expect(TokenKind.NUMBER)
+        limit = int(float(limit_token.value))
+
+        self._expect_keyword("USING")
+        proxies = [self._parse_call().name]
+        while self._peek().kind is TokenKind.COMMA:
+            self._advance()
+            proxies.append(self._parse_call().name)
+
+        self._expect_keyword("WITH")
+        self._expect_keyword("PROBABILITY")
+        probability = float(self._expect(TokenKind.NUMBER).value)
+
+        end = self._peek()
+        if end.kind is not TokenKind.END:
+            raise ParseError(
+                f"unexpected trailing input starting with {end.value!r}",
+                position=end.position,
+            )
+        return Query(
+            aggregate=aggregate,
+            table=table,
+            predicate=predicate,
+            oracle=OracleClause(limit=limit, proxies=tuple(proxies)),
+            probability=probability,
+            group_by=group_by,
+        )
+
+    def _parse_aggregate(self) -> Aggregate:
+        token = self._expect(TokenKind.IDENTIFIER)
+        try:
+            kind = AggregateKind(token.value.upper())
+        except ValueError:
+            raise ParseError(
+                f"unknown aggregate {token.value!r}; expected "
+                f"{[k.value for k in AggregateKind]}",
+                position=token.position,
+            ) from None
+        self._expect(TokenKind.LPAREN)
+        expression = self._parse_call()
+        self._expect(TokenKind.RPAREN)
+        return Aggregate(kind=kind, expression=expression)
+
+    def _parse_call(self) -> FunctionCall:
+        name_token = self._expect(TokenKind.IDENTIFIER)
+        if self._peek().kind is not TokenKind.LPAREN:
+            return FunctionCall(name=name_token.value)
+        self._advance()
+        args: List[str] = []
+        if self._peek().kind is not TokenKind.RPAREN:
+            args.append(self._parse_call_argument())
+            while self._peek().kind is TokenKind.COMMA:
+                self._advance()
+                args.append(self._parse_call_argument())
+        self._expect(TokenKind.RPAREN)
+        return FunctionCall(name=name_token.value, args=tuple(args))
+
+    def _parse_call_argument(self) -> str:
+        token = self._peek()
+        if token.kind is TokenKind.IDENTIFIER or token.kind is TokenKind.NUMBER:
+            return self._advance().value
+        if token.kind is TokenKind.STRING:
+            return f"'{self._advance().value}'"
+        raise ParseError(
+            f"expected a call argument, found {token.value!r}", position=token.position
+        )
+
+    def _parse_or_expr(self) -> PredicateNode:
+        operands = [self._parse_and_expr()]
+        while self._matches_keyword("OR"):
+            self._advance()
+            operands.append(self._parse_and_expr())
+        if len(operands) == 1:
+            return operands[0]
+        return OrExpr(operands=tuple(operands))
+
+    def _parse_and_expr(self) -> PredicateNode:
+        operands = [self._parse_unary()]
+        while self._matches_keyword("AND"):
+            self._advance()
+            operands.append(self._parse_unary())
+        if len(operands) == 1:
+            return operands[0]
+        return AndExpr(operands=tuple(operands))
+
+    def _parse_unary(self) -> PredicateNode:
+        if self._matches_keyword("NOT"):
+            self._advance()
+            return NotExpr(operand=self._parse_unary())
+        if self._peek().kind is TokenKind.LPAREN:
+            self._advance()
+            inner = self._parse_or_expr()
+            self._expect(TokenKind.RPAREN)
+            return inner
+        return self._parse_atom()
+
+    def _parse_atom(self) -> PredicateNode:
+        call = self._parse_call()
+        token = self._peek()
+        if token.kind is TokenKind.COMPARATOR:
+            comparator = self._advance().value
+            if comparator == "<>":
+                comparator = "!="
+            literal = self._parse_literal()
+            return PredicateAtom(expression=call, comparator=comparator, literal=literal)
+        if self._matches_keyword("IN"):
+            self._advance()
+            self._expect(TokenKind.LPAREN)
+            literals = [self._parse_literal()]
+            while self._peek().kind is TokenKind.COMMA:
+                self._advance()
+                literals.append(self._parse_literal())
+            self._expect(TokenKind.RPAREN)
+            atoms = tuple(
+                PredicateAtom(expression=call, comparator="=", literal=lit)
+                for lit in literals
+            )
+            if len(atoms) == 1:
+                return atoms[0]
+            return OrExpr(operands=atoms)
+        return PredicateAtom(expression=call)
+
+    def _parse_literal(self) -> Union[str, float]:
+        token = self._peek()
+        if token.kind is TokenKind.STRING:
+            return self._advance().value
+        if token.kind is TokenKind.NUMBER:
+            value = self._advance().value
+            number = float(value)
+            return number
+        raise ParseError(
+            f"expected a literal, found {token.value!r}", position=token.position
+        )

@@ -1,0 +1,81 @@
+"""Query planner: decide which ABae variant answers a parsed query.
+
+The decision tree is small:
+
+* a ``GROUP BY`` clause → a group-by plan (single- vs multiple-oracle is
+  decided at execution time from the registered group binding);
+* more than one predicate atom in the WHERE clause → ABae-MultiPred;
+* otherwise → plain single-predicate ABae.
+
+``plan_query`` also performs the query-level validations that do not need
+the binding context (e.g. group-by queries are only supported for AVG /
+PERCENTAGE / COUNT aggregates).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.query.ast import AggregateKind, PredicateAtom, Query
+from repro.query.errors import PlanningError
+
+__all__ = ["PlanKind", "QueryPlan", "plan_query"]
+
+
+class PlanKind(enum.Enum):
+    SINGLE_PREDICATE = "single_predicate"
+    MULTI_PREDICATE = "multi_predicate"
+    GROUP_BY = "group_by"
+
+
+@dataclass
+class QueryPlan:
+    """The chosen execution strategy plus per-plan annotations."""
+
+    kind: PlanKind
+    query: Query
+    atoms: List[PredicateAtom] = field(default_factory=list)
+    notes: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def budget(self) -> int:
+        return self.query.oracle.limit
+
+    @property
+    def alpha(self) -> float:
+        return self.query.alpha
+
+
+def plan_query(query: Query) -> QueryPlan:
+    """Build a :class:`QueryPlan` for a parsed query."""
+    atoms = query.atoms()
+    if not atoms:
+        raise PlanningError("the WHERE clause references no predicates")
+
+    if query.group_by is not None:
+        if query.aggregate.kind is AggregateKind.SUM:
+            raise PlanningError(
+                "SUM with GROUP BY is not supported by the reproduction; "
+                "use AVG, PERCENTAGE or COUNT"
+            )
+        group_key = query.group_by.key.canonical()
+        mismatched = [
+            atom
+            for atom in atoms
+            if atom.expression.canonical() != query.group_by.key.canonical()
+        ]
+        return QueryPlan(
+            kind=PlanKind.GROUP_BY,
+            query=query,
+            atoms=atoms,
+            notes={
+                "group_key": group_key,
+                "non_group_atoms": [a.key() for a in mismatched],
+            },
+        )
+
+    if len(atoms) > 1:
+        return QueryPlan(kind=PlanKind.MULTI_PREDICATE, query=query, atoms=atoms)
+    return QueryPlan(kind=PlanKind.SINGLE_PREDICATE, query=query, atoms=atoms)

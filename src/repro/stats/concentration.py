@@ -1,0 +1,112 @@
+"""Concentration inequalities used in the paper's analysis (Section 4.4).
+
+The convergence proof divides strata into "large p_k" and "small p_k"
+groups using exponential tail bounds on Bernoulli sums (the p* threshold
+below Proposition 3) and Chernoff-style bounds on Binomial draws.  We
+implement those bounds here so that
+
+* tests can empirically validate that the plug-in estimators concentrate at
+  the advertised rates, and
+* the adaptive strata-count heuristic (``K`` maximal such that every stratum
+  receives at least ~100 Stage-1 samples) can reason about estimate quality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "hoeffding_bound",
+    "bernoulli_upper_tail",
+    "bernoulli_lower_tail",
+    "binomial_tail_bound",
+    "sub_gaussian_mean_bound",
+    "small_pk_threshold",
+]
+
+
+def hoeffding_bound(n: int, epsilon: float, value_range: float = 1.0) -> float:
+    """Two-sided Hoeffding bound for the mean of ``n`` bounded variables.
+
+    ``P(|mean - E[mean]| >= epsilon) <= 2 exp(-2 n eps^2 / range^2)``.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if epsilon < 0:
+        raise ValueError(f"epsilon must be non-negative, got {epsilon}")
+    if value_range <= 0:
+        raise ValueError(f"value_range must be positive, got {value_range}")
+    return float(min(1.0, 2.0 * np.exp(-2.0 * n * epsilon**2 / value_range**2)))
+
+
+def bernoulli_upper_tail(n: int, p: float, t: float) -> float:
+    """Chernoff upper-tail bound for a Binomial(n, p) sum exceeding its mean by ``t``.
+
+    Uses the multiplicative Chernoff form
+    ``P(X >= np + t) <= exp(-t^2 / (2 np + 2t/3))`` (Bernstein-flavoured),
+    which is the quantitative form the paper's Lemma 1 relies on.
+    """
+    _validate_binomial_args(n, p)
+    if t < 0:
+        raise ValueError(f"deviation t must be non-negative, got {t}")
+    if t == 0:
+        return 1.0
+    mean = n * p
+    return float(min(1.0, np.exp(-(t**2) / (2.0 * mean + 2.0 * t / 3.0))))
+
+
+def bernoulli_lower_tail(n: int, p: float, t: float) -> float:
+    """Chernoff lower-tail bound ``P(X <= np - t) <= exp(-t^2 / (2 np))``."""
+    _validate_binomial_args(n, p)
+    if t < 0:
+        raise ValueError(f"deviation t must be non-negative, got {t}")
+    if t == 0:
+        return 1.0
+    mean = n * p
+    if mean == 0:
+        return 1.0
+    return float(min(1.0, np.exp(-(t**2) / (2.0 * mean))))
+
+
+def binomial_tail_bound(n: int, p: float, t: float) -> float:
+    """Two-sided bound combining the upper and lower Chernoff tails."""
+    return float(
+        min(1.0, bernoulli_upper_tail(n, p, t) + bernoulli_lower_tail(n, p, t))
+    )
+
+
+def sub_gaussian_mean_bound(n: int, sigma: float, epsilon: float) -> float:
+    """Tail bound for the mean of ``n`` sub-Gaussian draws with parameter sigma.
+
+    ``P(|mean - mu| >= eps) <= 2 exp(-n eps^2 / (2 sigma^2))`` — the standard
+    bound invoked for the per-stratum statistic means in Proposition 4.
+    """
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if sigma <= 0:
+        raise ValueError(f"sigma must be positive, got {sigma}")
+    if epsilon < 0:
+        raise ValueError(f"epsilon must be non-negative, got {epsilon}")
+    return float(min(1.0, 2.0 * np.exp(-n * epsilon**2 / (2.0 * sigma**2))))
+
+
+def small_pk_threshold(n1: int, delta: float) -> float:
+    """The p* threshold from the paper separating "large" and "small" strata.
+
+    Section 4.4.3 defines ``p* = (2 ln(1/delta) + 2 sqrt(ln(1/delta)) + 2) / N1``.
+    Strata with ``p_k`` below this threshold contribute negligibly to the
+    asymptotic error; strata above it concentrate.
+    """
+    if n1 <= 0:
+        raise ValueError(f"N1 must be positive, got {n1}")
+    if not 0 < delta < 1:
+        raise ValueError(f"delta must be in (0, 1), got {delta}")
+    log_term = np.log(1.0 / delta)
+    return float((2.0 * log_term + 2.0 * np.sqrt(log_term) + 2.0) / n1)
+
+
+def _validate_binomial_args(n: int, p: float) -> None:
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")

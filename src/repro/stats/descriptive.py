@@ -1,0 +1,79 @@
+"""Numerically careful descriptive statistics.
+
+The per-stratum estimators in Algorithm 1 must handle strata where zero or
+one positive records were drawn: the paper defines the mean of an empty
+sample as 0 and the sample variance of fewer than two points as 0 (lines
+10 and 12 of Algorithm 1).  Centralizing those conventions here keeps the
+core algorithm readable and lets the tests pin down the edge cases once.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["safe_mean", "safe_var", "safe_std", "weighted_mean", "summarize"]
+
+
+def safe_mean(values: Sequence[float], default: float = 0.0) -> float:
+    """Mean of ``values``, or ``default`` when the sample is empty."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return float(default)
+    return float(arr.mean())
+
+
+def safe_var(values: Sequence[float], ddof: int = 1, default: float = 0.0) -> float:
+    """Sample variance of ``values`` with ``ddof`` degrees of freedom.
+
+    Returns ``default`` when fewer than ``ddof + 1`` points are available,
+    matching Algorithm 1's convention of using 0 when a stratum has at most
+    one positive sample.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size <= ddof:
+        return float(default)
+    return float(arr.var(ddof=ddof))
+
+
+def safe_std(values: Sequence[float], ddof: int = 1, default: float = 0.0) -> float:
+    """Sample standard deviation with the same empty-sample convention."""
+    variance = safe_var(values, ddof=ddof, default=-1.0)
+    if variance < 0:
+        return float(default)
+    return float(np.sqrt(variance))
+
+
+def weighted_mean(values: Sequence[float], weights: Sequence[float]) -> float:
+    """Weighted mean ``sum(w_i x_i) / sum(w_i)``.
+
+    Raises :class:`ValueError` on mismatched lengths; returns 0.0 when all
+    weights are zero (the estimate when no stratum produced a positive
+    record, mirroring the final line of Algorithm 1 where the denominator
+    ``sum(p_hat_k)`` would be zero).
+    """
+    v = np.asarray(values, dtype=float)
+    w = np.asarray(weights, dtype=float)
+    if v.shape != w.shape:
+        raise ValueError(
+            f"values and weights must have the same shape, got {v.shape} vs {w.shape}"
+        )
+    total = w.sum()
+    if total == 0:
+        return 0.0
+    return float(np.dot(v, w) / total)
+
+
+def summarize(values: Sequence[float]) -> dict:
+    """Small summary dict (n, mean, std, min, max) used in reports."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return {"n": 0, "mean": 0.0, "std": 0.0, "min": 0.0, "max": 0.0}
+    return {
+        "n": int(arr.size),
+        "mean": float(arr.mean()),
+        "std": float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+    }

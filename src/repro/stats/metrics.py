@@ -1,0 +1,131 @@
+"""Evaluation metrics reported in the paper.
+
+Section 5.1 ("Metrics") uses RMSE as the primary metric, plus normalized
+Q-error (Figure 4), relative error, confidence-interval width (Figure 5)
+and nominal CI coverage.  All of them are implemented here so the
+experiment harness and the benchmarks share one definition.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "rmse",
+    "mean_absolute_error",
+    "relative_error",
+    "q_error",
+    "normalized_q_error",
+    "ci_width",
+    "ci_covers",
+    "coverage_rate",
+    "samples_to_reach_error",
+]
+
+
+def rmse(estimates: Sequence[float], truth: float) -> float:
+    """Root mean squared error of repeated estimates against a scalar truth."""
+    est = np.asarray(estimates, dtype=float)
+    if est.size == 0:
+        raise ValueError("rmse requires at least one estimate")
+    return float(np.sqrt(np.mean((est - truth) ** 2)))
+
+
+def mean_absolute_error(estimates: Sequence[float], truth: float) -> float:
+    """Mean absolute error of repeated estimates against a scalar truth."""
+    est = np.asarray(estimates, dtype=float)
+    if est.size == 0:
+        raise ValueError("mean_absolute_error requires at least one estimate")
+    return float(np.mean(np.abs(est - truth)))
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """Relative error ``|estimate - truth| / |truth|``.
+
+    Raises :class:`ValueError` for a zero ground truth, where relative error
+    is undefined; callers comparing against possibly-zero statistics should
+    use :func:`rmse` instead.
+    """
+    if truth == 0:
+        raise ValueError("relative error is undefined for a zero ground truth")
+    return abs(estimate - truth) / abs(truth)
+
+
+def q_error(estimate: float, truth: float) -> float:
+    """Q-error: ``max(estimate/truth, truth/estimate)`` (Moerkotte et al.).
+
+    The Q-error penalizes under- and over-estimation symmetrically and is
+    always at least 1.  Non-positive inputs make the ratio meaningless, so
+    the function requires strictly positive estimate and truth, matching the
+    paper's usage on strictly positive statistics (counts, ratings).
+    """
+    if truth <= 0 or estimate <= 0:
+        raise ValueError(
+            f"q_error requires positive estimate and truth, got {estimate} and {truth}"
+        )
+    return max(estimate / truth, truth / estimate)
+
+
+def normalized_q_error(estimate: float, truth: float) -> float:
+    """Normalized Q-error ``100 * (q - 1)``, roughly a percent error (Figure 4)."""
+    return 100.0 * (q_error(estimate, truth) - 1.0)
+
+
+def ci_width(lower: float, upper: float) -> float:
+    """Width of a confidence interval; raises if the bounds are inverted."""
+    if upper < lower:
+        raise ValueError(f"upper bound {upper} is below lower bound {lower}")
+    return upper - lower
+
+
+def ci_covers(lower: float, upper: float, truth: float) -> bool:
+    """Whether the interval [lower, upper] contains the ground truth."""
+    if upper < lower:
+        raise ValueError(f"upper bound {upper} is below lower bound {lower}")
+    return lower <= truth <= upper
+
+
+def coverage_rate(
+    lowers: Sequence[float], uppers: Sequence[float], truth: float
+) -> float:
+    """Fraction of intervals that cover the truth, across repeated trials."""
+    lo = np.asarray(lowers, dtype=float)
+    hi = np.asarray(uppers, dtype=float)
+    if lo.shape != hi.shape:
+        raise ValueError("lowers and uppers must have the same shape")
+    if lo.size == 0:
+        raise ValueError("coverage_rate requires at least one interval")
+    if np.any(hi < lo):
+        raise ValueError("found an interval with upper bound below lower bound")
+    return float(np.mean((lo <= truth) & (truth <= hi)))
+
+
+def samples_to_reach_error(
+    budgets: Sequence[int], errors: Sequence[float], target_error: float
+) -> float:
+    """Smallest budget whose measured error is at or below ``target_error``.
+
+    Used for the paper's "up to 2x fewer samples at a fixed error" claim:
+    given a (budget, error) curve for a method, return the first budget that
+    achieves the target, linearly interpolating between measured budgets.
+    Returns ``inf`` when the target is never reached.
+    """
+    b = np.asarray(budgets, dtype=float)
+    e = np.asarray(errors, dtype=float)
+    if b.shape != e.shape or b.size == 0:
+        raise ValueError("budgets and errors must be equal-length, non-empty")
+    order = np.argsort(b)
+    b, e = b[order], e[order]
+    for i in range(b.size):
+        if e[i] <= target_error:
+            if i == 0:
+                return float(b[0])
+            # Linear interpolation between the bracketing budgets.
+            e_hi, e_lo = e[i - 1], e[i]
+            if e_hi == e_lo:
+                return float(b[i])
+            frac = (e_hi - target_error) / (e_hi - e_lo)
+            return float(b[i - 1] + frac * (b[i] - b[i - 1]))
+    return float("inf")

@@ -1,0 +1,50 @@
+"""Synthetic emulators of the paper's evaluation datasets.
+
+The six real datasets (Table 2) cannot be redistributed here and their
+oracles are heavyweight DNNs, but ABae's behaviour depends only on the
+joint distribution of (proxy score, predicate outcome, statistic value)
+per record.  Each generator in this package matches a dataset's published
+characteristics — size (scaled down for laptop-speed experiments by
+default), predicate positive rate, statistic distribution shape, and proxy
+informativeness — so the reproduction exercises the same code paths and
+shows the same qualitative behaviour.
+
+Entry points:
+
+* :func:`make_dataset` — build a single-predicate scenario by name
+  ("night-street", "taipei", "celeba", "amazon-movies", "trec05p",
+  "amazon-office", or "synthetic");
+* :func:`make_multipred_scenario` — the Figure-6 workloads (night-street
+  with a red-light predicate; a two-predicate synthetic);
+* :func:`make_groupby_scenario` — the Figure-7/8 workloads (celeba hair
+  colour groups; 4-group synthetics);
+* :func:`make_proxy_combination_scenario` — the Figure-12 workloads;
+* :func:`default_catalog` — a :class:`repro.dataset.Catalog` with every
+  dataset registered lazily.
+"""
+
+from repro.synth.base import Scenario, MultiPredicateScenario, GroupByScenario
+from repro.synth.datasets import (
+    DATASET_NAMES,
+    DATASET_SPECS,
+    make_dataset,
+    default_catalog,
+)
+from repro.synth.scenarios import (
+    make_multipred_scenario,
+    make_groupby_scenario,
+    make_proxy_combination_scenario,
+)
+
+__all__ = [
+    "Scenario",
+    "MultiPredicateScenario",
+    "GroupByScenario",
+    "DATASET_NAMES",
+    "DATASET_SPECS",
+    "make_dataset",
+    "default_catalog",
+    "make_multipred_scenario",
+    "make_groupby_scenario",
+    "make_proxy_combination_scenario",
+]

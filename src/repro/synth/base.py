@@ -1,0 +1,194 @@
+"""Scenario containers produced by the synthetic dataset generators.
+
+A *scenario* bundles everything an experiment needs: the record table, the
+hidden ground-truth labels, the statistic values, the proxy (or proxies),
+fresh oracles with zeroed accounting, and the exact query answer for error
+measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.dataset.table import Table
+from repro.oracle.groupkey import GroupKeyOracle, PerGroupOracles
+from repro.oracle.simulated import LabelColumnOracle
+from repro.proxy.base import Proxy
+from repro.stats.descriptive import safe_mean
+
+__all__ = ["Scenario", "MultiPredicateScenario", "GroupByScenario"]
+
+
+@dataclass
+class Scenario:
+    """A single-predicate aggregation workload.
+
+    Attributes
+    ----------
+    name:
+        Dataset name (matches the paper's naming where applicable).
+    labels:
+        Hidden ground-truth predicate outcomes (only oracles may read these
+        during query execution; the scenario exposes them for evaluation).
+    statistic_values:
+        The per-record value of the aggregated expression.
+    proxy:
+        The proxy model for the predicate.
+    table:
+        Columnar view of the dataset (statistic + proxy score columns plus
+        whatever extra columns the generator adds).
+    description:
+        Human-readable description of the emulated query.
+    """
+
+    name: str
+    labels: np.ndarray
+    statistic_values: np.ndarray
+    proxy: Proxy
+    table: Table
+    description: str = ""
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self):
+        self.labels = np.asarray(self.labels, dtype=bool)
+        self.statistic_values = np.asarray(self.statistic_values, dtype=float)
+        if self.labels.shape != self.statistic_values.shape:
+            raise ValueError(
+                "labels and statistic_values must have the same shape, got "
+                f"{self.labels.shape} vs {self.statistic_values.shape}"
+            )
+        if len(self.proxy) != self.labels.shape[0]:
+            raise ValueError(
+                "proxy scores must cover every record: proxy has "
+                f"{len(self.proxy)}, dataset has {self.labels.shape[0]}"
+            )
+
+    @property
+    def num_records(self) -> int:
+        return int(self.labels.shape[0])
+
+    @property
+    def positive_rate(self) -> float:
+        """Fraction of records satisfying the predicate."""
+        return float(self.labels.mean()) if self.num_records else 0.0
+
+    def ground_truth(self) -> float:
+        """The exact AVG over records satisfying the predicate."""
+        return safe_mean(self.statistic_values[self.labels])
+
+    def ground_truth_sum(self) -> float:
+        """The exact SUM over records satisfying the predicate."""
+        return float(self.statistic_values[self.labels].sum())
+
+    def ground_truth_count(self) -> int:
+        """The exact COUNT of records satisfying the predicate."""
+        return int(self.labels.sum())
+
+    def make_oracle(self, cost_per_call: float = 1.0) -> LabelColumnOracle:
+        """A fresh predicate oracle with zeroed accounting."""
+        return LabelColumnOracle(
+            self.labels, name=f"{self.name}_oracle", cost_per_call=cost_per_call
+        )
+
+    @property
+    def oracle(self) -> LabelColumnOracle:
+        """Convenience oracle (fresh on every access, accounting starts at zero)."""
+        return self.make_oracle()
+
+
+@dataclass
+class MultiPredicateScenario:
+    """A workload with two or more expensive predicates (Figure 6)."""
+
+    name: str
+    predicate_labels: Dict[str, np.ndarray]
+    statistic_values: np.ndarray
+    proxies: Dict[str, Proxy]
+    combined_labels: np.ndarray
+    description: str = ""
+
+    def __post_init__(self):
+        self.statistic_values = np.asarray(self.statistic_values, dtype=float)
+        self.combined_labels = np.asarray(self.combined_labels, dtype=bool)
+        for key, labels in self.predicate_labels.items():
+            self.predicate_labels[key] = np.asarray(labels, dtype=bool)
+            if self.predicate_labels[key].shape != self.combined_labels.shape:
+                raise ValueError(f"labels for predicate {key!r} have the wrong shape")
+        if set(self.proxies) != set(self.predicate_labels):
+            raise ValueError("proxies and predicate_labels must have the same keys")
+
+    @property
+    def num_records(self) -> int:
+        return int(self.combined_labels.shape[0])
+
+    @property
+    def predicate_names(self) -> List[str]:
+        return list(self.predicate_labels)
+
+    def ground_truth(self) -> float:
+        return safe_mean(self.statistic_values[self.combined_labels])
+
+    def make_oracle(self, predicate: str) -> LabelColumnOracle:
+        """A fresh oracle for one constituent predicate."""
+        if predicate not in self.predicate_labels:
+            raise KeyError(
+                f"unknown predicate {predicate!r}; have {self.predicate_names}"
+            )
+        return LabelColumnOracle(
+            self.predicate_labels[predicate], name=f"{self.name}:{predicate}"
+        )
+
+    def make_combined_oracle(self) -> LabelColumnOracle:
+        """A fresh oracle for the full (conjunctive) predicate."""
+        return LabelColumnOracle(self.combined_labels, name=f"{self.name}:combined")
+
+
+@dataclass
+class GroupByScenario:
+    """A workload with a group-by key (Figures 7 and 8)."""
+
+    name: str
+    group_keys: np.ndarray
+    statistic_values: np.ndarray
+    proxies: Dict[Hashable, Proxy]
+    groups: List[Hashable]
+    description: str = ""
+
+    def __post_init__(self):
+        self.group_keys = np.asarray(self.group_keys, dtype=object)
+        self.statistic_values = np.asarray(self.statistic_values, dtype=float)
+        if self.group_keys.shape != self.statistic_values.shape:
+            raise ValueError("group_keys and statistic_values must align")
+        missing = [g for g in self.groups if g not in self.proxies]
+        if missing:
+            raise ValueError(f"missing proxies for groups: {missing}")
+
+    @property
+    def num_records(self) -> int:
+        return int(self.group_keys.shape[0])
+
+    def group_positive_rate(self, group: Hashable) -> float:
+        return float(np.mean([k == group for k in self.group_keys]))
+
+    def ground_truth(self, group: Hashable) -> float:
+        """Exact per-group AVG of the statistic."""
+        member = np.array([k == group for k in self.group_keys], dtype=bool)
+        return safe_mean(self.statistic_values[member])
+
+    def ground_truths(self) -> Dict[Hashable, float]:
+        return {g: self.ground_truth(g) for g in self.groups}
+
+    def make_single_oracle(self) -> GroupKeyOracle:
+        """Fresh single-oracle (returns the group key directly)."""
+        return GroupKeyOracle(
+            self.group_keys, groups=self.groups, name=f"{self.name}_groupkey"
+        )
+
+    def make_per_group_oracles(self) -> PerGroupOracles:
+        """Fresh per-group membership oracles (multiple-oracle setting)."""
+        return PerGroupOracles(
+            self.group_keys, groups=self.groups, name=f"{self.name}_pergroup"
+        )

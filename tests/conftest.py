@@ -1,0 +1,76 @@
+"""Shared fixtures for the test suite.
+
+The fixtures build small but non-trivial workloads (a few thousand records)
+so that statistical assertions are meaningful while the whole suite stays
+fast.  Every fixture is deterministic: the same seed always produces the
+same scenario.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.oracle.simulated import LabelColumnOracle
+from repro.proxy.noise import BetaNoiseProxy
+from repro.stats.rng import RandomState
+from repro.synth.datasets import make_dataset, make_synthetic_scenario
+from repro.synth.scenarios import make_groupby_scenario, make_multipred_scenario
+
+
+SMALL_SIZE = 4_000
+MEDIUM_SIZE = 12_000
+
+
+@pytest.fixture(scope="session")
+def rng() -> RandomState:
+    return RandomState(1234)
+
+
+@pytest.fixture(scope="session")
+def small_scenario():
+    """A small trec05p-like scenario for fast unit tests."""
+    return make_dataset("trec05p", seed=7, size=SMALL_SIZE)
+
+
+@pytest.fixture(scope="session")
+def medium_scenario():
+    """A medium night-street-like scenario for statistical tests."""
+    return make_dataset("night-street", seed=11, size=MEDIUM_SIZE)
+
+
+@pytest.fixture(scope="session")
+def synthetic_scenario():
+    """The parametric synthetic scenario with known per-stratum structure."""
+    return make_synthetic_scenario(seed=3, size=MEDIUM_SIZE, num_strata=5)
+
+
+@pytest.fixture(scope="session")
+def multipred_scenario():
+    return make_multipred_scenario("synthetic", seed=5, size=MEDIUM_SIZE)
+
+
+@pytest.fixture(scope="session")
+def groupby_single_scenario():
+    return make_groupby_scenario("celeba", setting="single", seed=5, size=MEDIUM_SIZE)
+
+
+@pytest.fixture(scope="session")
+def groupby_multi_scenario():
+    return make_groupby_scenario("synthetic", setting="multi", seed=5, size=MEDIUM_SIZE)
+
+
+@pytest.fixture()
+def tiny_labels():
+    """A hand-checkable label vector used by oracle/proxy unit tests."""
+    return np.array([True, False, True, True, False, False, True, False, False, True])
+
+
+@pytest.fixture()
+def tiny_oracle(tiny_labels):
+    return LabelColumnOracle(tiny_labels, name="tiny")
+
+
+@pytest.fixture()
+def tiny_proxy(tiny_labels):
+    return BetaNoiseProxy(tiny_labels, rng=RandomState(0), name="tiny_proxy")

@@ -1,0 +1,217 @@
+"""Tests for repro.core.adaptive (sequential ABae and until-width driver)."""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import run_abae_sequential, run_abae_until_width
+from repro.core.abae import run_abae
+from repro.core.uniform import run_uniform
+from repro.stats.metrics import rmse
+from repro.stats.rng import RandomState
+
+
+class TestSequential:
+    def test_estimate_close_to_truth(self, medium_scenario):
+        result = run_abae_sequential(
+            proxy=medium_scenario.proxy,
+            oracle=medium_scenario.make_oracle(),
+            statistic=medium_scenario.statistic_values,
+            budget=3000,
+            rng=RandomState(0),
+        )
+        truth = medium_scenario.ground_truth()
+        assert abs(result.estimate - truth) / truth < 0.1
+
+    def test_budget_respected(self, small_scenario):
+        oracle = small_scenario.make_oracle()
+        result = run_abae_sequential(
+            proxy=small_scenario.proxy,
+            oracle=oracle,
+            statistic=small_scenario.statistic_values,
+            budget=800,
+            rng=RandomState(0),
+        )
+        assert result.oracle_calls <= 800
+        assert oracle.num_calls == result.oracle_calls
+
+    def test_method_label(self, small_scenario):
+        result = run_abae_sequential(
+            proxy=small_scenario.proxy,
+            oracle=small_scenario.make_oracle(),
+            statistic=small_scenario.statistic_values,
+            budget=400,
+            rng=RandomState(0),
+        )
+        assert result.method == "abae-sequential"
+
+    def test_reproducible(self, small_scenario):
+        kwargs = dict(
+            proxy=small_scenario.proxy,
+            oracle=small_scenario.make_oracle(),
+            statistic=small_scenario.statistic_values,
+            budget=600,
+        )
+        a = run_abae_sequential(rng=RandomState(4), **kwargs)
+        b = run_abae_sequential(rng=RandomState(4), **kwargs)
+        assert a.estimate == b.estimate
+
+    def test_every_stratum_gets_warmup(self, small_scenario):
+        result = run_abae_sequential(
+            proxy=small_scenario.proxy,
+            oracle=small_scenario.make_oracle(),
+            statistic=small_scenario.statistic_values,
+            budget=500,
+            num_strata=5,
+            warmup_per_stratum=10,
+            rng=RandomState(0),
+        )
+        assert all(s.num_draws >= 10 for s in result.samples)
+
+    def test_with_ci(self, small_scenario):
+        result = run_abae_sequential(
+            proxy=small_scenario.proxy,
+            oracle=small_scenario.make_oracle(),
+            statistic=small_scenario.statistic_values,
+            budget=600,
+            with_ci=True,
+            num_bootstrap=100,
+            rng=RandomState(0),
+        )
+        assert result.ci is not None
+        assert result.ci.lower <= result.estimate <= result.ci.upper
+
+    def test_competitive_with_two_stage(self, medium_scenario):
+        """The sequential variant should be in the same accuracy ballpark as
+        the two-stage algorithm (it is an alternative, not a regression)."""
+        truth = medium_scenario.ground_truth()
+        budget = 1500
+        seq = [
+            run_abae_sequential(
+                proxy=medium_scenario.proxy,
+                oracle=medium_scenario.make_oracle(),
+                statistic=medium_scenario.statistic_values,
+                budget=budget,
+                rng=child,
+            ).estimate
+            for child in RandomState(1).spawn(10)
+        ]
+        two_stage = [
+            run_abae(
+                proxy=medium_scenario.proxy,
+                oracle=medium_scenario.make_oracle(),
+                statistic=medium_scenario.statistic_values,
+                budget=budget,
+                rng=child,
+            ).estimate
+            for child in RandomState(1).spawn(10)
+        ]
+        assert rmse(seq, truth) < 2.5 * rmse(two_stage, truth)
+
+    def test_beats_uniform(self, medium_scenario):
+        truth = medium_scenario.ground_truth()
+        budget = 1500
+        seq = [
+            run_abae_sequential(
+                proxy=medium_scenario.proxy,
+                oracle=medium_scenario.make_oracle(),
+                statistic=medium_scenario.statistic_values,
+                budget=budget,
+                rng=child,
+            ).estimate
+            for child in RandomState(2).spawn(12)
+        ]
+        uni = [
+            run_uniform(
+                num_records=medium_scenario.num_records,
+                oracle=medium_scenario.make_oracle(),
+                statistic=medium_scenario.statistic_values,
+                budget=budget,
+                rng=child,
+            ).estimate
+            for child in RandomState(2).spawn(12)
+        ]
+        assert rmse(seq, truth) < 1.2 * rmse(uni, truth)
+
+    def test_invalid_inputs_raise(self, small_scenario):
+        base = dict(
+            proxy=small_scenario.proxy,
+            oracle=small_scenario.make_oracle(),
+            statistic=small_scenario.statistic_values,
+        )
+        with pytest.raises(ValueError):
+            run_abae_sequential(budget=-1, **base)
+        with pytest.raises(ValueError):
+            run_abae_sequential(budget=100, warmup_per_stratum=0, **base)
+        with pytest.raises(ValueError):
+            run_abae_sequential(budget=100, batch_size=0, **base)
+
+
+class TestUntilWidth:
+    def test_stops_when_width_reached(self, medium_scenario):
+        result = run_abae_until_width(
+            proxy=medium_scenario.proxy,
+            oracle=medium_scenario.make_oracle(),
+            statistic=medium_scenario.statistic_values,
+            target_width=0.5,
+            max_budget=5000,
+            num_bootstrap=150,
+            rng=RandomState(0),
+        )
+        assert result.details["reached_target"]
+        assert result.ci.width <= 0.5
+        assert result.oracle_calls <= 5000
+
+    def test_respects_max_budget_when_target_unreachable(self, small_scenario):
+        result = run_abae_until_width(
+            proxy=small_scenario.proxy,
+            oracle=small_scenario.make_oracle(),
+            statistic=small_scenario.statistic_values,
+            target_width=1e-6,
+            max_budget=600,
+            batch_size=200,
+            num_bootstrap=80,
+            rng=RandomState(0),
+        )
+        assert not result.details["reached_target"]
+        assert result.oracle_calls <= 600
+
+    def test_trace_is_monotone_in_budget(self, medium_scenario):
+        result = run_abae_until_width(
+            proxy=medium_scenario.proxy,
+            oracle=medium_scenario.make_oracle(),
+            statistic=medium_scenario.statistic_values,
+            target_width=0.2,
+            max_budget=3000,
+            num_bootstrap=100,
+            rng=RandomState(0),
+        )
+        calls = [t["oracle_calls"] for t in result.details["trace"]]
+        assert calls == sorted(calls)
+        assert len(calls) >= 1
+
+    def test_tighter_target_needs_more_samples(self, medium_scenario):
+        def calls_for(width):
+            return run_abae_until_width(
+                proxy=medium_scenario.proxy,
+                oracle=medium_scenario.make_oracle(),
+                statistic=medium_scenario.statistic_values,
+                target_width=width,
+                max_budget=6000,
+                num_bootstrap=100,
+                rng=RandomState(3),
+            ).oracle_calls
+
+        assert calls_for(0.15) >= calls_for(0.6)
+
+    def test_invalid_inputs_raise(self, small_scenario):
+        base = dict(
+            proxy=small_scenario.proxy,
+            oracle=small_scenario.make_oracle(),
+            statistic=small_scenario.statistic_values,
+        )
+        with pytest.raises(ValueError):
+            run_abae_until_width(target_width=0.0, max_budget=100, **base)
+        with pytest.raises(ValueError):
+            run_abae_until_width(target_width=0.1, max_budget=0, **base)
+        with pytest.raises(ValueError):
+            run_abae_until_width(target_width=0.1, max_budget=100, batch_size=0, **base)

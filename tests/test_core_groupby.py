@@ -1,0 +1,213 @@
+"""Tests for repro.core.groupby (ABae-GroupBy)."""
+
+import numpy as np
+import pytest
+
+from repro.core.groupby import (
+    GroupSpec,
+    run_groupby_multi_oracle,
+    run_groupby_single_oracle,
+)
+from repro.stats.rng import RandomState
+
+
+def specs_for(scenario):
+    return [GroupSpec(key=g, proxy=scenario.proxies[g]) for g in scenario.groups]
+
+
+class TestSingleOracle:
+    def test_estimates_near_truth(self, groupby_single_scenario):
+        scenario = groupby_single_scenario
+        result = run_groupby_single_oracle(
+            groups=specs_for(scenario),
+            oracle=scenario.make_single_oracle(),
+            statistic=scenario.statistic_values,
+            budget=4000,
+            rng=RandomState(0),
+        )
+        truths = scenario.ground_truths()
+        for group in scenario.groups:
+            assert abs(result.estimate(group) - truths[group]) < 0.12
+
+    def test_allocation_sums_to_one(self, groupby_single_scenario):
+        scenario = groupby_single_scenario
+        result = run_groupby_single_oracle(
+            groups=specs_for(scenario),
+            oracle=scenario.make_single_oracle(),
+            statistic=scenario.statistic_values,
+            budget=2000,
+            rng=RandomState(0),
+        )
+        assert sum(result.allocation.values()) == pytest.approx(1.0)
+
+    def test_budget_respected(self, groupby_single_scenario):
+        scenario = groupby_single_scenario
+        oracle = scenario.make_single_oracle()
+        result = run_groupby_single_oracle(
+            groups=specs_for(scenario),
+            oracle=oracle,
+            statistic=scenario.statistic_values,
+            budget=1500,
+            rng=RandomState(0),
+        )
+        assert oracle.num_calls <= 1500
+        assert result.oracle_calls <= 1500
+
+    def test_equal_allocation_method(self, groupby_single_scenario):
+        scenario = groupby_single_scenario
+        result = run_groupby_single_oracle(
+            groups=specs_for(scenario),
+            oracle=scenario.make_single_oracle(),
+            statistic=scenario.statistic_values,
+            budget=1500,
+            allocation_method="equal",
+            rng=RandomState(0),
+        )
+        values = list(result.allocation.values())
+        assert all(v == pytest.approx(values[0]) for v in values)
+
+    def test_uniform_baseline(self, groupby_single_scenario):
+        scenario = groupby_single_scenario
+        result = run_groupby_single_oracle(
+            groups=specs_for(scenario),
+            oracle=scenario.make_single_oracle(),
+            statistic=scenario.statistic_values,
+            budget=3000,
+            allocation_method="uniform",
+            rng=RandomState(0),
+        )
+        truths = scenario.ground_truths()
+        for group in scenario.groups:
+            assert abs(result.estimate(group) - truths[group]) < 0.2
+        assert result.method == "uniform-groupby-single"
+
+    def test_reproducible(self, groupby_single_scenario):
+        scenario = groupby_single_scenario
+        runs = [
+            run_groupby_single_oracle(
+                groups=specs_for(scenario),
+                oracle=scenario.make_single_oracle(),
+                statistic=scenario.statistic_values,
+                budget=1000,
+                rng=RandomState(4),
+            ).estimates()
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+    def test_invalid_inputs_raise(self, groupby_single_scenario):
+        scenario = groupby_single_scenario
+        with pytest.raises(ValueError):
+            run_groupby_single_oracle(
+                groups=[],
+                oracle=scenario.make_single_oracle(),
+                statistic=scenario.statistic_values,
+                budget=100,
+            )
+        with pytest.raises(ValueError):
+            run_groupby_single_oracle(
+                groups=specs_for(scenario),
+                oracle=scenario.make_single_oracle(),
+                statistic=scenario.statistic_values,
+                budget=0,
+            )
+        with pytest.raises(ValueError):
+            run_groupby_single_oracle(
+                groups=specs_for(scenario),
+                oracle=scenario.make_single_oracle(),
+                statistic=scenario.statistic_values,
+                budget=100,
+                allocation_method="bogus",
+            )
+
+
+class TestMultiOracle:
+    def test_estimates_near_truth(self, groupby_multi_scenario):
+        scenario = groupby_multi_scenario
+        result = run_groupby_multi_oracle(
+            groups=specs_for(scenario),
+            oracles=scenario.make_per_group_oracles(),
+            statistic=scenario.statistic_values,
+            budget=6000,
+            rng=RandomState(0),
+        )
+        truths = scenario.ground_truths()
+        for group in scenario.groups:
+            assert abs(result.estimate(group) - truths[group]) < 0.4
+
+    def test_budget_respected_across_oracles(self, groupby_multi_scenario):
+        scenario = groupby_multi_scenario
+        oracles = scenario.make_per_group_oracles()
+        result = run_groupby_multi_oracle(
+            groups=specs_for(scenario),
+            oracles=oracles,
+            statistic=scenario.statistic_values,
+            budget=2000,
+            rng=RandomState(0),
+        )
+        assert oracles.total_calls <= 2000
+        assert result.oracle_calls <= 2000
+
+    def test_allocation_sums_to_one(self, groupby_multi_scenario):
+        scenario = groupby_multi_scenario
+        result = run_groupby_multi_oracle(
+            groups=specs_for(scenario),
+            oracles=scenario.make_per_group_oracles(),
+            statistic=scenario.statistic_values,
+            budget=2000,
+            rng=RandomState(0),
+        )
+        assert sum(result.allocation.values()) == pytest.approx(1.0)
+
+    def test_minimax_favours_hard_groups(self, groupby_multi_scenario):
+        """Groups with lower positive rates need more samples, so the minimax
+        allocation should not starve the rarest group."""
+        scenario = groupby_multi_scenario
+        result = run_groupby_multi_oracle(
+            groups=specs_for(scenario),
+            oracles=scenario.make_per_group_oracles(),
+            statistic=scenario.statistic_values,
+            budget=6000,
+            rng=RandomState(1),
+        )
+        rates = {g: scenario.group_positive_rate(g) for g in scenario.groups}
+        rarest = min(rates, key=rates.get)
+        commonest = max(rates, key=rates.get)
+        assert result.allocation[rarest] >= result.allocation[commonest] * 0.8
+
+    def test_dict_of_oracles_accepted(self, groupby_multi_scenario):
+        scenario = groupby_multi_scenario
+        per_group = scenario.make_per_group_oracles()
+        oracle_dict = {g: per_group.oracle_for(g) for g in scenario.groups}
+        result = run_groupby_multi_oracle(
+            groups=specs_for(scenario),
+            oracles=oracle_dict,
+            statistic=scenario.statistic_values,
+            budget=2000,
+            rng=RandomState(0),
+        )
+        assert set(result.estimates()) == set(scenario.groups)
+
+    def test_missing_oracle_raises(self, groupby_multi_scenario):
+        scenario = groupby_multi_scenario
+        with pytest.raises(ValueError):
+            run_groupby_multi_oracle(
+                groups=specs_for(scenario),
+                oracles={},
+                statistic=scenario.statistic_values,
+                budget=2000,
+                rng=RandomState(0),
+            )
+
+    def test_equal_and_uniform_methods(self, groupby_multi_scenario):
+        scenario = groupby_multi_scenario
+        for method in ("equal", "uniform"):
+            result = run_groupby_multi_oracle(
+                groups=specs_for(scenario),
+                oracles=scenario.make_per_group_oracles(),
+                statistic=scenario.statistic_values,
+                budget=4000,
+                allocation_method=method,
+                rng=RandomState(0),
+            )
+            assert set(result.estimates()) == set(scenario.groups)

@@ -1,0 +1,152 @@
+"""Tests for repro.core.multipred (ABae-MultiPred)."""
+
+import numpy as np
+import pytest
+
+from repro.core.multipred import And, Not, Or, PredicateLeaf, run_abae_multipred
+from repro.oracle.simulated import LabelColumnOracle
+from repro.proxy.base import PrecomputedProxy
+from repro.stats.rng import RandomState
+
+
+@pytest.fixture()
+def leaves():
+    scores_a = np.array([0.9, 0.8, 0.2, 0.1])
+    scores_b = np.array([0.7, 0.1, 0.6, 0.2])
+    labels_a = np.array([True, True, False, False])
+    labels_b = np.array([True, False, True, False])
+    leaf_a = PredicateLeaf(
+        proxy=PrecomputedProxy(scores_a), oracle=LabelColumnOracle(labels_a), name="a"
+    )
+    leaf_b = PredicateLeaf(
+        proxy=PrecomputedProxy(scores_b), oracle=LabelColumnOracle(labels_b), name="b"
+    )
+    return leaf_a, leaf_b, labels_a, labels_b
+
+
+class TestScoreAlgebra:
+    def test_leaf_scores(self, leaves):
+        leaf_a, _, _, _ = leaves
+        assert leaf_a.combined_scores().tolist() == [0.9, 0.8, 0.2, 0.1]
+
+    def test_and_is_product(self, leaves):
+        leaf_a, leaf_b, _, _ = leaves
+        combined = And([leaf_a, leaf_b]).combined_scores()
+        assert combined == pytest.approx([0.63, 0.08, 0.12, 0.02])
+
+    def test_or_is_max(self, leaves):
+        leaf_a, leaf_b, _, _ = leaves
+        combined = Or([leaf_a, leaf_b]).combined_scores()
+        assert combined == pytest.approx([0.9, 0.8, 0.6, 0.2])
+
+    def test_not_is_one_minus(self, leaves):
+        leaf_a, _, _, _ = leaves
+        combined = Not(leaf_a).combined_scores()
+        assert combined == pytest.approx([0.1, 0.2, 0.8, 0.9])
+
+    def test_nested_expression(self, leaves):
+        leaf_a, leaf_b, _, _ = leaves
+        expr = And([leaf_a, Not(leaf_b)])
+        expected = np.array([0.9, 0.8, 0.2, 0.1]) * (1 - np.array([0.7, 0.1, 0.6, 0.2]))
+        assert expr.combined_scores() == pytest.approx(expected)
+
+    def test_operator_overloads(self, leaves):
+        leaf_a, leaf_b, _, _ = leaves
+        assert isinstance(leaf_a & leaf_b, And)
+        assert isinstance(leaf_a | leaf_b, Or)
+        assert isinstance(~leaf_a, Not)
+
+    def test_leaves_collected(self, leaves):
+        leaf_a, leaf_b, _, _ = leaves
+        expr = Or([And([leaf_a, leaf_b]), Not(leaf_a)])
+        names = [leaf.name for leaf in expr.leaves()]
+        assert names == ["a", "b", "a"]
+
+    def test_mismatched_lengths_raise(self, leaves):
+        leaf_a, _, _, _ = leaves
+        short_leaf = PredicateLeaf(
+            proxy=PrecomputedProxy([0.5]), oracle=LabelColumnOracle([True])
+        )
+        with pytest.raises(ValueError):
+            And([leaf_a, short_leaf])
+
+
+class TestOracleCompilation:
+    def test_and_oracle_semantics(self, leaves):
+        leaf_a, leaf_b, labels_a, labels_b = leaves
+        oracle = And([leaf_a, leaf_b]).build_oracle()
+        expected = labels_a & labels_b
+        assert [oracle(i) for i in range(4)] == expected.tolist()
+
+    def test_or_oracle_semantics(self, leaves):
+        leaf_a, leaf_b, labels_a, labels_b = leaves
+        oracle = Or([leaf_a, leaf_b]).build_oracle()
+        expected = labels_a | labels_b
+        assert [oracle(i) for i in range(4)] == expected.tolist()
+
+    def test_not_oracle_semantics(self, leaves):
+        leaf_a, _, labels_a, _ = leaves
+        oracle = Not(leaf_a).build_oracle()
+        assert [oracle(i) for i in range(4)] == (~labels_a).tolist()
+
+
+class TestRunAbaeMultipred:
+    def test_estimate_close_to_truth(self, multipred_scenario):
+        expr = And(
+            [
+                PredicateLeaf(
+                    proxy=multipred_scenario.proxies[name],
+                    oracle=multipred_scenario.make_oracle(name),
+                )
+                for name in multipred_scenario.predicate_names
+            ]
+        )
+        result = run_abae_multipred(
+            expression=expr,
+            statistic=multipred_scenario.statistic_values,
+            budget=3000,
+            rng=RandomState(0),
+        )
+        truth = multipred_scenario.ground_truth()
+        assert abs(result.estimate - truth) < 0.3
+
+    def test_method_label_and_constituent_calls(self, multipred_scenario):
+        expr = And(
+            [
+                PredicateLeaf(
+                    proxy=multipred_scenario.proxies[name],
+                    oracle=multipred_scenario.make_oracle(name),
+                )
+                for name in multipred_scenario.predicate_names
+            ]
+        )
+        result = run_abae_multipred(
+            expression=expr,
+            statistic=multipred_scenario.statistic_values,
+            budget=500,
+            rng=RandomState(0),
+        )
+        assert result.method == "abae-multipred"
+        # The AND must run both constituent oracles for every draw that
+        # reaches the second operand, so constituent calls >= composite calls.
+        assert result.details["constituent_oracle_calls"] >= result.oracle_calls
+
+    def test_with_ci(self, multipred_scenario):
+        expr = And(
+            [
+                PredicateLeaf(
+                    proxy=multipred_scenario.proxies[name],
+                    oracle=multipred_scenario.make_oracle(name),
+                )
+                for name in multipred_scenario.predicate_names
+            ]
+        )
+        result = run_abae_multipred(
+            expression=expr,
+            statistic=multipred_scenario.statistic_values,
+            budget=1000,
+            with_ci=True,
+            num_bootstrap=100,
+            rng=RandomState(0),
+        )
+        assert result.ci is not None

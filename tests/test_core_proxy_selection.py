@@ -1,0 +1,121 @@
+"""Tests for repro.core.proxy_selection (Section 3.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.proxy_selection import (
+    combine_proxies,
+    draw_pilot_sample,
+    rank_proxies,
+    select_proxy,
+)
+from repro.proxy.noise import BetaNoiseProxy, NoisyLabelProxy, RandomProxy
+from repro.stats.rng import RandomState
+
+
+@pytest.fixture()
+def candidates(medium_scenario):
+    """Three candidate proxies of clearly different quality."""
+    labels = medium_scenario.labels
+    good = medium_scenario.proxy
+    mediocre = NoisyLabelProxy(labels, quality=0.35, noise_scale=0.3, rng=RandomState(1))
+    useless = RandomProxy(medium_scenario.num_records, rng=RandomState(2))
+    return [useless, mediocre, good]
+
+
+@pytest.fixture()
+def pilot(medium_scenario):
+    return draw_pilot_sample(
+        medium_scenario.num_records,
+        medium_scenario.make_oracle(),
+        medium_scenario.statistic_values,
+        pilot_budget=1500,
+        rng=RandomState(0),
+    )
+
+
+class TestDrawPilotSample:
+    def test_size_matches_budget(self, pilot):
+        assert pilot.size == 1500
+
+    def test_oracle_charged_per_draw(self, medium_scenario):
+        oracle = medium_scenario.make_oracle()
+        draw_pilot_sample(
+            medium_scenario.num_records,
+            oracle,
+            medium_scenario.statistic_values,
+            pilot_budget=200,
+            rng=RandomState(0),
+        )
+        assert oracle.num_calls == 200
+
+    def test_values_nan_for_negatives(self, pilot):
+        assert np.all(np.isnan(pilot.values[~pilot.matches]))
+
+    def test_invalid_inputs_raise(self, medium_scenario):
+        with pytest.raises(ValueError):
+            draw_pilot_sample(0, medium_scenario.make_oracle(), [], 10)
+        with pytest.raises(ValueError):
+            draw_pilot_sample(
+                medium_scenario.num_records,
+                medium_scenario.make_oracle(),
+                medium_scenario.statistic_values,
+                pilot_budget=0,
+            )
+
+
+class TestRankProxies:
+    def test_best_proxy_ranked_first(self, candidates, pilot, medium_scenario):
+        ranked = rank_proxies(candidates, pilot)
+        assert ranked[0].proxy is medium_scenario.proxy
+
+    def test_random_proxy_ranked_last(self, candidates, pilot):
+        ranked = rank_proxies(candidates, pilot)
+        assert ranked[-1].proxy is candidates[0]
+
+    def test_predicted_gains_ordered(self, candidates, pilot):
+        ranked = rank_proxies(candidates, pilot)
+        assert ranked[0].predicted_gain >= ranked[-1].predicted_gain
+
+    def test_predicted_mse_positive(self, candidates, pilot):
+        for score in rank_proxies(candidates, pilot):
+            assert score.predicted_mse > 0
+
+    def test_select_proxy_returns_best(self, candidates, pilot, medium_scenario):
+        assert select_proxy(candidates, pilot) is medium_scenario.proxy
+
+    def test_empty_proxies_raise(self, pilot):
+        with pytest.raises(ValueError):
+            rank_proxies([], pilot)
+
+
+class TestCombineProxies:
+    def test_combined_scores_valid(self, candidates, pilot, medium_scenario):
+        combined = combine_proxies(candidates, pilot)
+        scores = combined.scores()
+        assert scores.shape == (medium_scenario.num_records,)
+        assert scores.min() >= 0.0 and scores.max() <= 1.0
+
+    def test_combined_at_least_as_informative_as_worst(
+        self, candidates, pilot, medium_scenario
+    ):
+        combined = combine_proxies(candidates, pilot)
+        labels = medium_scenario.labels
+        worst_corr = min(abs(p.correlation_with(labels)) for p in candidates)
+        assert combined.correlation_with(labels) >= worst_corr
+
+    def test_combined_tracks_good_proxy(self, candidates, pilot, medium_scenario):
+        """The logistic combination should effectively ignore the random proxy
+        and stay close to the informative proxy's quality (Figure 12 claim)."""
+        combined = combine_proxies(candidates, pilot)
+        labels = medium_scenario.labels
+        good_corr = medium_scenario.proxy.correlation_with(labels)
+        assert combined.correlation_with(labels) > 0.6 * good_corr
+
+    def test_mismatched_proxy_lengths_raise(self, candidates, pilot):
+        with pytest.raises(ValueError):
+            combine_proxies(candidates + [RandomProxy(10)], pilot)
+
+    def test_empty_proxies_raise(self, pilot):
+        with pytest.raises(ValueError):
+            combine_proxies([], pilot)

@@ -1,0 +1,140 @@
+"""Tests for repro.core.stratification."""
+
+import numpy as np
+import pytest
+
+from repro.core.stratification import Stratification
+from repro.proxy.base import PrecomputedProxy
+from repro.stats.rng import RandomState
+
+
+class TestQuantileStratification:
+    def test_partition_is_complete_and_disjoint(self):
+        scores = RandomState(0).random(1000)
+        strat = Stratification.from_scores(scores, num_strata=5)
+        all_indices = np.concatenate(strat.strata())
+        assert sorted(all_indices.tolist()) == list(range(1000))
+
+    def test_strata_sizes_nearly_equal(self):
+        scores = RandomState(0).random(1003)
+        strat = Stratification.from_scores(scores, num_strata=5)
+        sizes = strat.sizes()
+        assert sizes.max() - sizes.min() <= 1
+        assert sizes.sum() == 1003
+
+    def test_scores_increase_across_strata(self):
+        scores = RandomState(0).random(2000)
+        strat = Stratification.from_scores(scores, num_strata=4)
+        means = [scores[strat.stratum(k)].mean() for k in range(4)]
+        assert means == sorted(means)
+
+    def test_descending_order_reverses(self):
+        scores = RandomState(0).random(100)
+        asc = Stratification.from_scores(scores, 4)
+        desc = Stratification.from_scores(scores, 4, descending=True)
+        assert scores[asc.stratum(0)].mean() < scores[asc.stratum(3)].mean()
+        assert scores[desc.stratum(0)].mean() > scores[desc.stratum(3)].mean()
+
+    def test_by_proxy_quantile_matches_from_scores(self):
+        scores = RandomState(0).random(300)
+        proxy = PrecomputedProxy(scores)
+        a = Stratification.by_proxy_quantile(proxy, 3)
+        b = Stratification.from_scores(scores, 3)
+        for k in range(3):
+            assert np.array_equal(a.stratum(k), b.stratum(k))
+
+    def test_ties_are_deterministic(self):
+        scores = np.zeros(10)
+        a = Stratification.from_scores(scores, 2)
+        b = Stratification.from_scores(scores, 2)
+        for k in range(2):
+            assert np.array_equal(a.stratum(k), b.stratum(k))
+
+    def test_single_stratum(self):
+        strat = Stratification.single_stratum(50)
+        assert strat.num_strata == 1
+        assert strat.stratum(0).shape == (50,)
+
+    def test_more_strata_than_records_raises(self):
+        with pytest.raises(ValueError):
+            Stratification.from_scores(np.array([0.1, 0.2]), num_strata=3)
+
+    def test_zero_strata_raises(self):
+        with pytest.raises(ValueError):
+            Stratification.from_scores(np.array([0.1, 0.2]), num_strata=0)
+
+    def test_empty_scores_raise(self):
+        with pytest.raises(ValueError):
+            Stratification.from_scores(np.array([]), num_strata=1)
+
+
+class TestRandomStratification:
+    def test_partition_complete(self):
+        strat = Stratification.random(100, 4, rng=RandomState(0))
+        assert sorted(np.concatenate(strat.strata()).tolist()) == list(range(100))
+
+    def test_reproducible(self):
+        a = Stratification.random(100, 4, rng=RandomState(5))
+        b = Stratification.random(100, 4, rng=RandomState(5))
+        for k in range(4):
+            assert np.array_equal(a.stratum(k), b.stratum(k))
+
+    def test_too_many_strata_raise(self):
+        with pytest.raises(ValueError):
+            Stratification.random(2, 3)
+
+
+class TestAccessors:
+    def test_weights_sum_to_one(self):
+        strat = Stratification.from_scores(RandomState(0).random(103), 5)
+        assert strat.weights().sum() == pytest.approx(1.0)
+
+    def test_stratum_of_assignment(self):
+        scores = RandomState(0).random(200)
+        strat = Stratification.from_scores(scores, 4)
+        assignment = strat.stratum_of()
+        for k in range(4):
+            assert np.all(assignment[strat.stratum(k)] == k)
+
+    def test_stratum_out_of_range_raises(self):
+        strat = Stratification.single_stratum(10)
+        with pytest.raises(IndexError):
+            strat.stratum(1)
+
+    def test_strata_returns_copies(self):
+        strat = Stratification.single_stratum(10)
+        strat.strata()[0][0] = 999
+        assert strat.stratum(0)[0] == 0
+
+
+class TestValidation:
+    def test_overlapping_strata_raise(self):
+        with pytest.raises(ValueError):
+            Stratification([np.array([0, 1]), np.array([1, 2])], num_records=3)
+
+    def test_incomplete_cover_raises(self):
+        with pytest.raises(ValueError):
+            Stratification([np.array([0, 1])], num_records=3)
+
+    def test_out_of_range_indices_raise(self):
+        with pytest.raises(ValueError):
+            Stratification([np.array([0, 5])], num_records=2)
+
+    def test_empty_strata_list_raises(self):
+        with pytest.raises(ValueError):
+            Stratification([], num_records=0)
+
+
+class TestStratificationQuality:
+    def test_good_proxy_concentrates_positives(self):
+        """With an informative proxy the top stratum has a much higher
+        positive rate than the bottom stratum (the property ABae exploits)."""
+        rng = RandomState(0)
+        labels = rng.random(5000) < 0.3
+        from repro.proxy.noise import BetaNoiseProxy
+
+        proxy = BetaNoiseProxy(labels, rng=RandomState(1))
+        strat = Stratification.by_proxy_quantile(proxy, 5)
+        rates = [labels[strat.stratum(k)].mean() for k in range(5)]
+        assert rates[-1] > 3 * rates[0]
+        assert rates[-1] > 0.5

@@ -1,0 +1,149 @@
+"""Tests for repro.core.types and repro.core.results."""
+
+import numpy as np
+import pytest
+
+from repro.core.results import ConfidenceInterval, EstimateResult, GroupByResult
+from repro.core.types import SamplingBudget, StratumEstimate, StratumSample
+
+
+class TestSamplingBudget:
+    def test_from_fraction_half(self):
+        budget = SamplingBudget.from_fraction(1000, num_strata=5, stage1_fraction=0.5)
+        assert budget.stage1_per_stratum == 100
+        assert budget.stage2_total == 500
+        assert budget.stage1_per_stratum * 5 + budget.stage2_total == 1000
+
+    def test_rounding_never_loses_budget(self):
+        budget = SamplingBudget.from_fraction(1003, num_strata=7, stage1_fraction=0.37)
+        assert budget.stage1_per_stratum * 7 + budget.stage2_total == 1003
+
+    def test_zero_fraction(self):
+        budget = SamplingBudget.from_fraction(100, num_strata=4, stage1_fraction=0.0)
+        assert budget.stage1_per_stratum == 0
+        assert budget.stage2_total == 100
+
+    def test_full_fraction(self):
+        budget = SamplingBudget.from_fraction(100, num_strata=4, stage1_fraction=1.0)
+        assert budget.stage1_per_stratum == 25
+        assert budget.stage2_total == 0
+
+    def test_small_budget_many_strata(self):
+        budget = SamplingBudget.from_fraction(3, num_strata=5, stage1_fraction=0.5)
+        assert budget.stage1_per_stratum == 0
+        assert budget.stage2_total == 3
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(ValueError):
+            SamplingBudget.from_fraction(-1, 5, 0.5)
+        with pytest.raises(ValueError):
+            SamplingBudget.from_fraction(10, 0, 0.5)
+        with pytest.raises(ValueError):
+            SamplingBudget.from_fraction(10, 5, 1.5)
+
+    def test_overspending_split_raises(self):
+        with pytest.raises(ValueError):
+            SamplingBudget(total=10, stage1_per_stratum=3, stage2_total=5, num_strata=3)
+
+
+class TestStratumSample:
+    def test_counts(self):
+        sample = StratumSample(
+            stratum=0,
+            indices=[1, 2, 3],
+            matches=[True, False, True],
+            values=[5.0, np.nan, 7.0],
+        )
+        assert sample.num_draws == 3
+        assert sample.num_positive == 2
+        assert sample.positive_values.tolist() == [5.0, 7.0]
+
+    def test_empty_sample(self):
+        sample = StratumSample(stratum=0)
+        assert sample.num_draws == 0
+        assert sample.num_positive == 0
+        assert sample.positive_values.size == 0
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            StratumSample(stratum=0, indices=[1], matches=[True, False], values=[1.0])
+
+    def test_extend(self):
+        a = StratumSample(stratum=1, indices=[1], matches=[True], values=[2.0])
+        b = StratumSample(stratum=1, indices=[2], matches=[False], values=[np.nan])
+        merged = a.extend(b)
+        assert merged.num_draws == 2
+        assert merged.num_positive == 1
+
+    def test_extend_wrong_stratum_raises(self):
+        a = StratumSample(stratum=1)
+        b = StratumSample(stratum=2)
+        with pytest.raises(ValueError):
+            a.extend(b)
+
+
+class TestStratumEstimate:
+    def test_valid_construction(self):
+        est = StratumEstimate(
+            stratum=0, p_hat=0.4, mu_hat=2.0, sigma_hat=1.5, num_draws=10, num_positive=4
+        )
+        assert est.variance_hat == pytest.approx(2.25)
+
+    def test_invalid_p_hat_raises(self):
+        with pytest.raises(ValueError):
+            StratumEstimate(0, p_hat=1.2, mu_hat=0.0, sigma_hat=0.0, num_draws=1, num_positive=1)
+
+    def test_negative_sigma_raises(self):
+        with pytest.raises(ValueError):
+            StratumEstimate(0, p_hat=0.5, mu_hat=0.0, sigma_hat=-1.0, num_draws=2, num_positive=1)
+
+    def test_more_positives_than_draws_raises(self):
+        with pytest.raises(ValueError):
+            StratumEstimate(0, p_hat=0.5, mu_hat=0.0, sigma_hat=0.0, num_draws=1, num_positive=2)
+
+
+class TestConfidenceInterval:
+    def test_width_and_coverage(self):
+        ci = ConfidenceInterval(lower=1.0, upper=3.0, alpha=0.05)
+        assert ci.width == 2.0
+        assert ci.confidence == pytest.approx(0.95)
+        assert ci.covers(2.0)
+        assert not ci.covers(4.0)
+
+    def test_inverted_bounds_raise(self):
+        with pytest.raises(ValueError):
+            ConfidenceInterval(lower=3.0, upper=1.0, alpha=0.05)
+
+    def test_invalid_alpha_raises(self):
+        with pytest.raises(ValueError):
+            ConfidenceInterval(lower=0.0, upper=1.0, alpha=0.0)
+
+
+class TestEstimateResult:
+    def test_sample_counters(self):
+        samples = [
+            StratumSample(stratum=0, indices=[1, 2], matches=[True, False], values=[1.0, np.nan]),
+            StratumSample(stratum=1, indices=[3], matches=[True], values=[4.0]),
+        ]
+        result = EstimateResult(estimate=2.0, samples=samples)
+        assert result.num_draws == 3
+        assert result.num_positive_samples == 2
+
+    def test_defaults(self):
+        result = EstimateResult(estimate=1.5)
+        assert result.ci is None
+        assert result.method == "abae"
+        assert result.num_draws == 0
+
+
+class TestGroupByResult:
+    def test_estimates_dict(self):
+        result = GroupByResult(
+            group_results={
+                "a": EstimateResult(estimate=1.0),
+                "b": EstimateResult(estimate=2.0),
+            }
+        )
+        assert result.estimates() == {"a": 1.0, "b": 2.0}
+        assert result.estimate("b") == 2.0
+        assert set(result.groups) == {"a", "b"}

@@ -1,0 +1,139 @@
+"""Tests for repro.dataset.catalog and repro.dataset.io."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.catalog import Catalog, DatasetEntry
+from repro.dataset.io import read_csv, read_npz, write_csv, write_npz
+from repro.dataset.table import Table
+
+
+@pytest.fixture()
+def entry():
+    table = Table(
+        {
+            "statistic": [1.0, 2.0, 3.0, 4.0],
+            "label": [True, False, True, True],
+            "proxy_score": [0.9, 0.1, 0.8, 0.7],
+        },
+        name="demo",
+    )
+    return DatasetEntry(
+        name="demo",
+        table=table,
+        statistic_column="statistic",
+        label_column="label",
+        proxy_column="proxy_score",
+        predicate_description="demo predicate",
+    )
+
+
+class TestDatasetEntry:
+    def test_size(self, entry):
+        assert entry.size == 4
+
+    def test_positive_rate(self, entry):
+        assert entry.positive_rate() == pytest.approx(0.75)
+
+
+class TestCatalog:
+    def test_register_and_get(self, entry):
+        catalog = Catalog()
+        catalog.register(entry)
+        assert catalog.get("demo") is entry
+        assert "demo" in catalog
+        assert catalog.names() == ["demo"]
+
+    def test_duplicate_register_raises(self, entry):
+        catalog = Catalog()
+        catalog.register(entry)
+        with pytest.raises(ValueError):
+            catalog.register(entry)
+
+    def test_overwrite_allowed(self, entry):
+        catalog = Catalog()
+        catalog.register(entry)
+        catalog.register(entry, overwrite=True)
+
+    def test_missing_get_raises(self):
+        with pytest.raises(KeyError, match="available datasets"):
+            Catalog().get("nope")
+
+    def test_remove(self, entry):
+        catalog = Catalog()
+        catalog.register(entry)
+        catalog.remove("demo")
+        assert "demo" not in catalog
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError):
+            Catalog().remove("nope")
+
+    def test_lazy_registration_materializes_once(self, entry):
+        calls = {"count": 0}
+
+        def factory():
+            calls["count"] += 1
+            return entry
+
+        catalog = Catalog()
+        catalog.register_lazy("demo", factory)
+        catalog.get("demo")
+        catalog.get("demo")
+        assert calls["count"] == 1
+
+    def test_lazy_name_mismatch_raises(self, entry):
+        catalog = Catalog()
+        catalog.register_lazy("other", lambda: entry)
+        with pytest.raises(ValueError):
+            catalog.get("other")
+
+    def test_lazy_duplicate_raises(self, entry):
+        catalog = Catalog()
+        catalog.register_lazy("demo", lambda: entry)
+        with pytest.raises(ValueError):
+            catalog.register_lazy("demo", lambda: entry)
+
+
+class TestCsvIo:
+    def test_roundtrip(self, entry, tmp_path):
+        path = tmp_path / "table.csv"
+        write_csv(entry.table, path)
+        loaded = read_csv(path, name="demo")
+        assert loaded.num_rows == entry.table.num_rows
+        assert np.allclose(loaded.values("statistic"), entry.table.values("statistic"))
+        assert loaded.values("label").tolist() == entry.table.values("label").tolist()
+
+    def test_string_columns_roundtrip(self, tmp_path):
+        table = Table({"name": ["x", "y"], "value": [1, 2]})
+        path = tmp_path / "strings.csv"
+        write_csv(table, path)
+        loaded = read_csv(path)
+        assert loaded.values("name").tolist() == ["x", "y"]
+        assert loaded.values("value").dtype.kind == "i"
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            read_csv(path)
+
+    def test_ragged_row_raises(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b\n1,2\n3\n")
+        with pytest.raises(ValueError):
+            read_csv(path)
+
+
+class TestNpzIo:
+    def test_roundtrip_preserves_dtypes(self, entry, tmp_path):
+        path = tmp_path / "table.npz"
+        write_npz(entry.table, path)
+        loaded = read_npz(path, name="demo")
+        assert loaded.values("label").dtype.kind == "b"
+        assert np.allclose(loaded.values("proxy_score"), entry.table.values("proxy_score"))
+
+    def test_creates_parent_directories(self, entry, tmp_path):
+        path = tmp_path / "nested" / "dir" / "table.npz"
+        write_npz(entry.table, path)
+        assert path.exists()

@@ -1,0 +1,82 @@
+"""Tests for repro.dataset.column."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.column import Column
+
+
+class TestConstruction:
+    def test_numeric_column(self):
+        col = Column("x", [1, 2, 3])
+        assert col.is_numeric
+        assert len(col) == 3
+
+    def test_float_column(self):
+        col = Column("x", [1.5, 2.5])
+        assert col.dtype.kind == "f"
+
+    def test_boolean_column(self):
+        col = Column("flag", [True, False])
+        assert col.is_boolean
+        assert not col.is_numeric
+
+    def test_string_column_becomes_object(self):
+        col = Column("s", ["a", "b"])
+        assert col.dtype == object
+
+    def test_empty_name_raises(self):
+        with pytest.raises(ValueError):
+            Column("", [1, 2])
+
+    def test_two_dimensional_raises(self):
+        with pytest.raises(ValueError):
+            Column("x", np.zeros((2, 2)))
+
+    def test_values_are_read_only(self):
+        col = Column("x", [1, 2, 3])
+        with pytest.raises(ValueError):
+            col.values[0] = 5
+
+
+class TestAccess:
+    def test_getitem(self):
+        col = Column("x", [10, 20, 30])
+        assert col[1] == 20
+
+    def test_iteration(self):
+        col = Column("x", [1, 2])
+        assert list(col) == [1, 2]
+
+    def test_equality(self):
+        assert Column("x", [1, 2]) == Column("x", [1, 2])
+        assert Column("x", [1, 2]) != Column("y", [1, 2])
+        assert Column("x", [1, 2]) != Column("x", [1, 3])
+
+    def test_equality_with_non_column(self):
+        assert Column("x", [1]).__eq__(42) is NotImplemented
+
+
+class TestTransforms:
+    def test_rename(self):
+        renamed = Column("x", [1, 2]).rename("y")
+        assert renamed.name == "y"
+        assert np.array_equal(renamed.values, [1, 2])
+
+    def test_take(self):
+        taken = Column("x", [10, 20, 30]).take([2, 0])
+        assert taken.values.tolist() == [30, 10]
+
+    def test_mask(self):
+        masked = Column("x", [1, 2, 3]).mask([True, False, True])
+        assert masked.values.tolist() == [1, 3]
+
+    def test_mask_wrong_length_raises(self):
+        with pytest.raises(ValueError):
+            Column("x", [1, 2, 3]).mask([True])
+
+    def test_astype(self):
+        assert Column("x", [1, 2]).astype(float).dtype.kind == "f"
+
+    def test_unique(self):
+        assert Column("x", [3, 1, 3, 2]).unique().tolist() == [1, 2, 3]

@@ -1,0 +1,132 @@
+"""Tests for repro.dataset.table."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.column import Column
+from repro.dataset.table import Table
+
+
+@pytest.fixture()
+def table():
+    return Table(
+        {
+            "views": [100.0, 200.0, 300.0, 400.0],
+            "label": [True, False, True, False],
+            "name": ["a", "b", "c", "d"],
+        },
+        name="videos",
+    )
+
+
+class TestConstruction:
+    def test_from_mapping(self, table):
+        assert table.num_rows == 4
+        assert set(table.column_names) == {"views", "label", "name"}
+
+    def test_from_column_sequence(self):
+        t = Table([Column("a", [1, 2]), Column("b", [3, 4])])
+        assert t.column_names == ["a", "b"]
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            Table({"a": [1, 2], "b": [1]})
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            Table({})
+
+    def test_non_column_sequence_raises(self):
+        with pytest.raises(TypeError):
+            Table([np.array([1, 2])])
+
+
+class TestAccess:
+    def test_column_access(self, table):
+        assert table["views"][0] == 100.0
+        assert table.values("views").tolist() == [100.0, 200.0, 300.0, 400.0]
+
+    def test_missing_column_message(self, table):
+        with pytest.raises(KeyError, match="available columns"):
+            table.column("missing")
+
+    def test_contains(self, table):
+        assert "views" in table
+        assert "missing" not in table
+
+    def test_row(self, table):
+        row = table.row(1)
+        assert row["views"] == 200.0
+        assert row["label"] == False  # noqa: E712 - numpy bool comparison
+
+    def test_row_out_of_range(self, table):
+        with pytest.raises(IndexError):
+            table.row(10)
+
+    def test_rows_all(self, table):
+        assert len(table.rows()) == 4
+
+    def test_rows_subset(self, table):
+        rows = table.rows([0, 3])
+        assert rows[0]["name"] == "a"
+        assert rows[1]["name"] == "d"
+
+    def test_len(self, table):
+        assert len(table) == 4
+
+
+class TestDerivation:
+    def test_with_column(self, table):
+        t2 = table.with_column("clicks", [1, 2, 3, 4])
+        assert "clicks" in t2
+        assert "clicks" not in table  # original untouched
+
+    def test_with_column_wrong_length(self, table):
+        with pytest.raises(ValueError):
+            table.with_column("bad", [1])
+
+    def test_with_derived_column(self, table):
+        t2 = table.with_derived_column("double_views", lambda row: row["views"] * 2)
+        assert t2.values("double_views").tolist() == [200.0, 400.0, 600.0, 800.0]
+
+    def test_select(self, table):
+        t2 = table.select(["views", "label"])
+        assert t2.column_names == ["views", "label"]
+
+    def test_select_missing_raises(self, table):
+        with pytest.raises(KeyError):
+            table.select(["nope"])
+
+    def test_take(self, table):
+        t2 = table.take([3, 1])
+        assert t2.values("views").tolist() == [400.0, 200.0]
+
+    def test_take_out_of_range(self, table):
+        with pytest.raises(IndexError):
+            table.take([99])
+
+    def test_mask(self, table):
+        t2 = table.mask(np.asarray(table.values("label"), dtype=bool))
+        assert t2.num_rows == 2
+        assert t2.values("views").tolist() == [100.0, 300.0]
+
+    def test_mask_wrong_length(self, table):
+        with pytest.raises(ValueError):
+            table.mask([True])
+
+    def test_rename(self, table):
+        assert table.rename("new").name == "new"
+
+    def test_concat(self, table):
+        combined = table.concat(table)
+        assert combined.num_rows == 8
+
+    def test_concat_mismatched_columns(self, table):
+        other = Table({"views": [1.0]})
+        with pytest.raises(ValueError):
+            table.concat(other)
+
+    def test_to_dict_returns_copies(self, table):
+        data = table.to_dict()
+        data["views"][0] = -1
+        assert table.values("views")[0] == 100.0

@@ -1,0 +1,200 @@
+"""Tests for the experiment harness (config, runner, reporting, figures).
+
+Figure functions are exercised with tiny trial counts and dataset sizes:
+the goal here is to verify the plumbing (shapes, determinism, metric
+definitions), not statistical significance — that is what the benchmark
+suite and the integration tests cover.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentConfig, MethodCurve, SweepResult
+from repro.experiments.reporting import (
+    format_curve_table,
+    format_improvement_summary,
+    format_table,
+)
+from repro.experiments.runner import (
+    default_methods,
+    run_single_predicate_sweep,
+    run_trials,
+    summarize_estimates,
+)
+from repro.experiments import figures
+from repro.synth.datasets import make_dataset
+
+
+TINY = ExperimentConfig(
+    budgets=(300, 600),
+    num_trials=4,
+    dataset_size=4000,
+    seed=1,
+)
+
+
+class TestExperimentConfig:
+    def test_defaults_valid(self):
+        config = ExperimentConfig()
+        assert config.num_strata == 5
+        assert config.stage1_fraction == 0.5
+
+    def test_invalid_values_raise(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(num_trials=0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(stage1_fraction=1.0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(budgets=())
+
+    def test_scaled_copy(self):
+        scaled = TINY.scaled(num_trials=9)
+        assert scaled.num_trials == 9
+        assert scaled.budgets == TINY.budgets
+
+
+class TestMethodCurveAndSweep:
+    def test_curve_add_and_lookup(self):
+        curve = MethodCurve(method="abae")
+        curve.add(100, 0.5, 0.1)
+        assert curve.value_at(100) == 0.5
+        with pytest.raises(KeyError):
+            curve.value_at(999)
+
+    def test_sweep_improvement(self):
+        sweep = SweepResult(name="d", metric="rmse", ground_truth=1.0)
+        sweep.curve("uniform").add(100, 0.4)
+        sweep.curve("abae").add(100, 0.2)
+        assert sweep.improvement()[100] == pytest.approx(2.0)
+
+
+class TestRunner:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return make_dataset("trec05p", seed=1, size=4000)
+
+    def test_run_trials_count_and_determinism(self, scenario):
+        methods = default_methods(TINY)
+        results_a = run_trials(scenario, methods["abae"], budget=300, num_trials=3, seed=7)
+        results_b = run_trials(scenario, methods["abae"], budget=300, num_trials=3, seed=7)
+        assert len(results_a) == 3
+        assert [r.estimate for r in results_a] == [r.estimate for r in results_b]
+
+    def test_trials_are_independent(self, scenario):
+        methods = default_methods(TINY)
+        results = run_trials(scenario, methods["abae"], budget=300, num_trials=3, seed=7)
+        estimates = [r.estimate for r in results]
+        assert len(set(estimates)) > 1
+
+    def test_summarize_rmse(self):
+        class Dummy:
+            def __init__(self, estimate):
+                self.estimate = estimate
+                self.ci = None
+
+        value, spread = summarize_estimates([Dummy(1.0), Dummy(3.0)], truth=2.0, metric="rmse")
+        assert value == pytest.approx(1.0)
+        assert spread >= 0.0
+
+    def test_summarize_unknown_metric_raises(self):
+        with pytest.raises(ValueError):
+            summarize_estimates([], truth=1.0, metric="nope")
+
+    def test_summarize_ci_metric_requires_cis(self):
+        class Dummy:
+            estimate = 1.0
+            ci = None
+
+        with pytest.raises(ValueError):
+            summarize_estimates([Dummy()], truth=1.0, metric="ci_width")
+
+    def test_sweep_structure(self, scenario):
+        sweep = run_single_predicate_sweep(scenario, TINY, metric="rmse")
+        assert set(sweep.curves) == {"abae", "uniform"}
+        assert sweep.curves["abae"].budgets == [300, 600]
+        assert all(v >= 0 for v in sweep.curves["abae"].values)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.53411], ["x", "y"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_wrong_row_length(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_format_curve_table(self):
+        sweep = SweepResult(name="d", metric="rmse", ground_truth=2.0)
+        sweep.curve("abae").add(100, 0.1)
+        sweep.curve("uniform").add(100, 0.2)
+        text = format_curve_table(sweep)
+        assert "abae" in text and "uniform" in text and "100" in text
+
+    def test_format_improvement_summary(self):
+        sweep = SweepResult(name="d", metric="rmse", ground_truth=2.0)
+        sweep.curve("abae").add(100, 0.1)
+        sweep.curve("uniform").add(100, 0.3)
+        text = format_improvement_summary([sweep])
+        assert "3.00x" in text
+
+
+class TestFigureFunctions:
+    def test_table2_rows(self):
+        rows = figures.table2_dataset_summary(TINY)
+        assert len(rows) == 6
+        assert all("positive_rate" in row for row in rows)
+
+    def test_figure2_structure(self):
+        sweeps = figures.figure2_rmse_vs_budget(TINY, datasets=("trec05p",))
+        assert len(sweeps) == 1
+        assert set(sweeps[0].curves) == {"abae", "uniform"}
+
+    def test_figure3_uses_low_budgets(self):
+        sweeps = figures.figure3_low_budget(TINY, datasets=("trec05p",))
+        assert sweeps[0].curves["abae"].budgets == [500, 750, 1000]
+
+    def test_figure4_q_error_metric(self):
+        sweeps = figures.figure4_q_error(TINY, datasets=("trec05p",))
+        assert sweeps[0].metric == "q_error"
+
+    def test_figure5_ci_and_coverage(self):
+        sweeps = figures.figure5_ci_width(TINY, datasets=("trec05p",))
+        sweep = sweeps[0]
+        assert sweep.metric == "ci_width"
+        coverage = sweep.details["coverage"]["abae"]
+        assert all(0.0 <= c <= 1.0 for c in coverage.values)
+
+    def test_figure6_methods(self):
+        sweeps = figures.figure6_multipred(TINY, scenarios=("synthetic",))
+        methods = set(sweeps[0].curves)
+        assert "abae-multi" in methods and "uniform" in methods
+        assert any(m.startswith("proxy-") for m in methods)
+
+    def test_figure7_and_8_structure(self):
+        for fn in (figures.figure7_groupby_single_oracle, figures.figure8_groupby_multi_oracle):
+            sweeps = fn(TINY, scenarios=("synthetic",))
+            assert set(sweeps[0].curves) == {"minimax", "equal", "uniform"}
+
+    def test_figure9_lesion_methods(self):
+        sweeps = figures.figure9_lesion(TINY, datasets=("trec05p",), budget=600)
+        assert set(sweeps[0].curves) == {"abae", "uniform", "abae-no-reuse"}
+
+    def test_figure10_strata_axis(self):
+        sweeps = figures.figure10_sensitivity_num_strata(
+            TINY, datasets=("trec05p",), strata_counts=(2, 4), budget=600
+        )
+        assert sweeps[0].curves["abae"].budgets == [2, 4]
+
+    def test_figure11_fraction_axis(self):
+        sweeps = figures.figure11_sensitivity_stage_split(
+            TINY, datasets=("trec05p",), fractions=(0.3, 0.7), budget=600
+        )
+        assert sweeps[0].curves["abae"].budgets == [30, 70]
+
+    def test_figure12_methods(self):
+        sweeps = figures.figure12_proxy_combination(TINY, scenarios=("synthetic",))
+        assert set(sweeps[0].curves) == {"abae-logistic", "abae-single", "uniform"}

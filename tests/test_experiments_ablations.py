@@ -1,0 +1,56 @@
+"""Tests for the programmatic ablation experiments."""
+
+import pytest
+
+import repro.core.abae as abae_module
+from repro.experiments.ablations import (
+    ablate_allocation_rule,
+    ablate_sequential,
+    ablate_stratification,
+)
+from repro.synth.datasets import make_dataset
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return make_dataset("celeba", seed=15, size=12_000)
+
+
+class TestAblateStratification:
+    def test_returns_all_strategies(self, scenario):
+        results = ablate_stratification(scenario, budget=1200, trials=4, seed=1)
+        assert set(results) == {"proxy_quantile", "random_partition", "single_stratum"}
+        assert all(v >= 0 for v in results.values())
+
+    def test_proxy_quantile_wins(self, scenario):
+        results = ablate_stratification(scenario, budget=1500, trials=8, seed=2)
+        assert results["proxy_quantile"] < results["random_partition"]
+        assert results["proxy_quantile"] < results["single_stratum"]
+
+
+class TestAblateAllocationRule:
+    def test_returns_all_rules(self, scenario):
+        results = ablate_allocation_rule(scenario, budget=1200, trials=4, seed=3)
+        assert set(results) == {"sqrt_p_sigma", "neyman_p_sigma", "even_split"}
+
+    def test_restores_allocation_hook(self, scenario):
+        original = abae_module.allocation_from_estimates
+        ablate_allocation_rule(scenario, budget=600, trials=2, seed=4)
+        assert abae_module.allocation_from_estimates is original
+
+    def test_paper_rule_competitive(self, scenario):
+        results = ablate_allocation_rule(scenario, budget=1500, trials=8, seed=5)
+        assert results["sqrt_p_sigma"] <= 1.5 * min(
+            results["neyman_p_sigma"], results["even_split"]
+        )
+
+
+class TestAblateSequential:
+    def test_returns_all_methods(self, scenario):
+        results = ablate_sequential(scenario, budget=1200, trials=4, seed=6)
+        assert set(results) == {"abae_two_stage", "abae_sequential", "uniform"}
+
+    def test_both_variants_beat_uniform(self, scenario):
+        results = ablate_sequential(scenario, budget=2000, trials=8, seed=7)
+        assert results["abae_two_stage"] < results["uniform"]
+        assert results["abae_sequential"] < 1.2 * results["uniform"]

@@ -1,0 +1,72 @@
+"""Tests for the experiments command-line interface."""
+
+import pytest
+
+from repro.experiments.cli import EXPERIMENTS, build_parser, main, run_experiment
+from repro.experiments.config import ExperimentConfig
+
+
+TINY = ExperimentConfig(budgets=(300,), num_trials=2, dataset_size=3000, seed=0)
+
+
+class TestRegistry:
+    def test_every_figure_registered(self):
+        expected = {"table2"} | {f"fig{i}" for i in range(2, 13)}
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99", TINY)
+
+    def test_run_experiment_returns_text(self):
+        text = run_experiment("table2", TINY)
+        assert "Table 2" in text
+        assert "trec05p" in text
+
+    def test_run_figure_experiment(self):
+        text = run_experiment("fig3", TINY)
+        assert "abae" in text and "uniform" in text
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["--figure", "fig2"])
+        assert args.figure == "fig2"
+        assert args.trials == 30
+        assert args.budgets == [2000, 4000, 6000, 8000, 10000]
+
+    def test_budget_override(self):
+        args = build_parser().parse_args(["--figure", "fig2", "--budgets", "100", "200"])
+        assert args.budgets == [100, 200]
+
+
+class TestMain:
+    def test_list_mode(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2" in out and "table2" in out
+
+    def test_requires_a_selection(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_single_figure_with_output_dir(self, tmp_path, capsys):
+        code = main(
+            [
+                "--figure", "table2",
+                "--trials", "2",
+                "--size", "3000",
+                "--budgets", "300",
+                "--output-dir", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "table2.txt").exists()
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_small_figure_run(self, capsys):
+        code = main(
+            ["--figure", "fig3", "--trials", "2", "--size", "3000", "--budgets", "300"]
+        )
+        assert code == 0
+        assert "fig3" in capsys.readouterr().out

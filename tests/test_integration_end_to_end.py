@@ -1,0 +1,143 @@
+"""End-to-end integration tests: query text in, estimates out.
+
+These walk the full pipeline the README's quickstart describes: build a
+synthetic dataset, register it in a QueryContext, parse and execute the
+paper's example queries, and compare against the exhaustive answer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.query.exact import exact_answer
+from repro.query.executor import GroupBinding, QueryContext, execute_query
+from repro.synth.datasets import make_dataset
+from repro.synth.scenarios import make_groupby_scenario, make_multipred_scenario
+
+
+class TestTvNewsStyleQuery:
+    """The introduction's motivating query, on the celeba-like emulator."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        scenario = make_dataset("celeba", seed=31, size=20_000)
+        context = QueryContext(scenario.num_records)
+        context.register_statistic("is_smiling", scenario.statistic_values)
+        context.register_predicate(
+            "hair_color(img) = 'blonde'",
+            oracle=scenario.make_oracle(),
+            proxy=scenario.proxy,
+            labels=scenario.labels,
+        )
+        query = (
+            "SELECT PERCENTAGE(is_smiling(img)) FROM images "
+            "WHERE hair_color(img) = 'blonde' "
+            "ORACLE LIMIT 3,000 USING proxy(img) "
+            "WITH PROBABILITY 0.95"
+        )
+        return scenario, context, query
+
+    def test_estimate_matches_exact(self, setup):
+        scenario, context, query = setup
+        result = execute_query(query, context, seed=0, num_bootstrap=200)
+        exact = exact_answer(query, context)
+        assert exact == pytest.approx(scenario.ground_truth())
+        assert abs(result.value - exact) < 0.05
+
+    def test_ci_covers_exact(self, setup):
+        _, context, query = setup
+        result = execute_query(query, context, seed=1, num_bootstrap=300)
+        exact = exact_answer(query, context)
+        assert result.ci.lower - 0.02 <= exact <= result.ci.upper + 0.02
+
+    def test_oracle_budget_respected(self, setup):
+        scenario, _, query = setup
+        oracle = scenario.make_oracle()
+        context = QueryContext(scenario.num_records)
+        context.register_statistic("is_smiling", scenario.statistic_values)
+        context.register_predicate(
+            "hair_color(img) = 'blonde'", oracle=oracle, proxy=scenario.proxy
+        )
+        result = execute_query(query, context, seed=0, with_ci=False)
+        assert oracle.num_calls <= 3000
+        assert result.oracle_calls <= 3000
+
+
+class TestTrafficAnalysisQuery:
+    """The traffic query with two predicates (Section 2.2)."""
+
+    def test_end_to_end(self):
+        workload = make_multipred_scenario("night-street", seed=41, size=20_000)
+        context = QueryContext(workload.num_records)
+        context.register_statistic("count_cars", workload.statistic_values)
+        context.register_predicate(
+            "count_cars(frame) > 0.0",
+            oracle=workload.make_oracle("has_cars"),
+            proxy=workload.proxies["has_cars"],
+            labels=workload.predicate_labels["has_cars"],
+        )
+        context.register_predicate(
+            "red_light(frame)",
+            oracle=workload.make_oracle("red_light"),
+            proxy=workload.proxies["red_light"],
+            labels=workload.predicate_labels["red_light"],
+        )
+        query = (
+            "SELECT AVG(count_cars(frame)) FROM video "
+            "WHERE count_cars(frame) > 0 AND red_light(frame) "
+            "ORACLE LIMIT 4,000 USING proxy(frame) "
+            "WITH PROBABILITY 0.95"
+        )
+        result = execute_query(query, context, seed=0, num_bootstrap=150)
+        exact = exact_answer(query, context)
+        assert abs(result.value - exact) / exact < 0.1
+
+
+class TestGroupByQuery:
+    def test_celeba_hair_colour_group_by(self):
+        workload = make_groupby_scenario("celeba", setting="single", seed=51, size=20_000)
+        context = QueryContext(workload.num_records)
+        context.register_statistic("is_smiling", workload.statistic_values)
+        context.register_groupby(
+            "hair_color",
+            GroupBinding(
+                groups=workload.groups,
+                proxies=workload.proxies,
+                group_key_oracle=workload.make_single_oracle(),
+                group_labels=workload.group_keys,
+            ),
+        )
+        query = (
+            "SELECT PERCENTAGE(is_smiling(image)) FROM images "
+            "WHERE hair_color(image) = 'gray' OR hair_color(image) = 'blond' "
+            "GROUP BY hair_color(image) "
+            "ORACLE LIMIT 5000 USING proxy WITH PROBABILITY 0.95"
+        )
+        result = execute_query(query, context, seed=0)
+        exact = exact_answer(query, context)
+        assert set(result.group_values) == set(workload.groups)
+        for group in workload.groups:
+            assert abs(result.group_values[group] - exact[group]) < 0.12
+
+
+class TestPublicApiSurface:
+    def test_top_level_imports(self):
+        import repro
+
+        assert hasattr(repro, "ABae")
+        assert hasattr(repro, "execute_query")
+        assert hasattr(repro, "parse_query")
+        assert repro.__version__
+
+    def test_quickstart_flow(self):
+        from repro import ABae
+        from repro.synth import make_dataset
+
+        scenario = make_dataset("trec05p", seed=0, size=8000)
+        sampler = ABae(
+            proxy=scenario.proxy,
+            oracle=scenario.make_oracle(),
+            statistic=scenario.statistic_values,
+        )
+        result = sampler.estimate(budget=1000, with_ci=True, num_bootstrap=100, seed=1)
+        assert np.isfinite(result.estimate)
+        assert result.ci is not None

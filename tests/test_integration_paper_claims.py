@@ -1,0 +1,192 @@
+"""Integration tests checking the paper's headline qualitative claims.
+
+These use moderate trial counts so they stay fast; the benchmark suite
+repeats the same comparisons at larger scale.  The claims checked:
+
+* ABae's RMSE beats uniform sampling on informative-proxy workloads
+  (Figure 2's direction of effect);
+* the advantage shrinks to roughly parity with a useless proxy
+  (correctness-regardless-of-proxy);
+* sample reuse helps (Figure 9's lesion, direction of effect);
+* ABae's bootstrap CIs are narrower than uniform sampling's at the same
+  budget (Figure 5);
+* the minimax group-by allocation beats uniform sampling on max-RMSE
+  (Figures 7/8);
+* more budget means lower error (sanity of the 1/N rate).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.abae import run_abae
+from repro.core.groupby import GroupSpec, run_groupby_multi_oracle
+from repro.core.uniform import run_uniform
+from repro.stats.metrics import rmse
+from repro.stats.rng import RandomState
+from repro.synth.datasets import make_dataset
+from repro.synth.scenarios import make_groupby_scenario
+
+TRIALS = 15
+BUDGET = 1500
+
+
+def _repeat(fn, trials=TRIALS, seed=0):
+    return [fn(child) for child in RandomState(seed).spawn(trials)]
+
+
+def _abae_estimates(scenario, budget, trials=TRIALS, seed=0, **kwargs):
+    return _repeat(
+        lambda rng: run_abae(
+            proxy=scenario.proxy,
+            oracle=scenario.make_oracle(),
+            statistic=scenario.statistic_values,
+            budget=budget,
+            rng=rng,
+            **kwargs,
+        ).estimate,
+        trials=trials,
+        seed=seed,
+    )
+
+
+def _uniform_estimates(scenario, budget, trials=TRIALS, seed=0):
+    return _repeat(
+        lambda rng: run_uniform(
+            num_records=scenario.num_records,
+            oracle=scenario.make_oracle(),
+            statistic=scenario.statistic_values,
+            budget=budget,
+            rng=rng,
+        ).estimate,
+        trials=trials,
+        seed=seed,
+    )
+
+
+@pytest.fixture(scope="module")
+def celeba():
+    return make_dataset("celeba", seed=21, size=30_000)
+
+
+@pytest.fixture(scope="module")
+def night_street():
+    return make_dataset("night-street", seed=22, size=30_000)
+
+
+class TestAbaeBeatsUniform:
+    def test_celeba_rmse_improvement(self, celeba):
+        truth = celeba.ground_truth()
+        abae_rmse = rmse(_abae_estimates(celeba, BUDGET), truth)
+        uniform_rmse = rmse(_uniform_estimates(celeba, BUDGET), truth)
+        assert abae_rmse < uniform_rmse
+
+    def test_night_street_rmse_improvement(self, night_street):
+        truth = night_street.ground_truth()
+        abae_rmse = rmse(_abae_estimates(night_street, BUDGET), truth)
+        uniform_rmse = rmse(_uniform_estimates(night_street, BUDGET), truth)
+        assert abae_rmse < uniform_rmse
+
+    def test_selective_predicate_shows_large_gain(self):
+        """The rarer the predicate, the bigger ABae's advantage (celeba-like)."""
+        scenario = make_dataset("celeba", seed=33, size=30_000)
+        truth = scenario.ground_truth()
+        abae_rmse = rmse(_abae_estimates(scenario, 2000, trials=20), truth)
+        uniform_rmse = rmse(_uniform_estimates(scenario, 2000, trials=20), truth)
+        assert uniform_rmse / abae_rmse > 1.15
+
+
+class TestCorrectnessWithUselessProxy:
+    def test_random_proxy_roughly_matches_uniform(self, night_street):
+        from repro.proxy.noise import RandomProxy
+
+        truth = night_street.ground_truth()
+        useless = RandomProxy(night_street.num_records, rng=RandomState(5))
+        estimates = _repeat(
+            lambda rng: run_abae(
+                proxy=useless,
+                oracle=night_street.make_oracle(),
+                statistic=night_street.statistic_values,
+                budget=BUDGET,
+                rng=rng,
+            ).estimate
+        )
+        uniform_estimates = _uniform_estimates(night_street, BUDGET)
+        abae_rmse = rmse(estimates, truth)
+        uniform_rmse = rmse(uniform_estimates, truth)
+        # Unbiasedness survives; efficiency may be a bit worse but not wildly.
+        assert abae_rmse < 3.0 * uniform_rmse
+        assert np.mean(estimates) == pytest.approx(truth, rel=0.1)
+
+
+class TestSampleReuseLesion:
+    def test_reuse_not_worse(self, celeba):
+        truth = celeba.ground_truth()
+        with_reuse = rmse(_abae_estimates(celeba, BUDGET, trials=20, seed=3), truth)
+        without_reuse = rmse(
+            _abae_estimates(celeba, BUDGET, trials=20, seed=3, reuse_samples=False), truth
+        )
+        assert with_reuse <= without_reuse * 1.05
+
+
+class TestCiWidth:
+    def test_abae_cis_narrower_than_uniform(self, celeba):
+        def abae_width(rng):
+            return run_abae(
+                proxy=celeba.proxy,
+                oracle=celeba.make_oracle(),
+                statistic=celeba.statistic_values,
+                budget=BUDGET,
+                with_ci=True,
+                num_bootstrap=150,
+                rng=rng,
+            ).ci.width
+
+        def uniform_width(rng):
+            return run_uniform(
+                num_records=celeba.num_records,
+                oracle=celeba.make_oracle(),
+                statistic=celeba.statistic_values,
+                budget=BUDGET,
+                with_ci=True,
+                num_bootstrap=150,
+                rng=rng,
+            ).ci.width
+
+        abae_widths = _repeat(abae_width, trials=8, seed=1)
+        uniform_widths = _repeat(uniform_width, trials=8, seed=1)
+        assert np.mean(abae_widths) < np.mean(uniform_widths)
+
+
+class TestBudgetScaling:
+    def test_error_decreases_with_budget(self, night_street):
+        truth = night_street.ground_truth()
+        small = rmse(_abae_estimates(night_street, 500, trials=20, seed=9), truth)
+        large = rmse(_abae_estimates(night_street, 4000, trials=20, seed=9), truth)
+        assert large < small
+
+
+class TestGroupByMinimax:
+    def test_minimax_beats_uniform_on_max_rmse(self):
+        scenario = make_groupby_scenario("synthetic", setting="multi", seed=13, size=30_000)
+        truths = scenario.ground_truths()
+        specs = [GroupSpec(key=g, proxy=scenario.proxies[g]) for g in scenario.groups]
+
+        def run(method, rng):
+            return run_groupby_multi_oracle(
+                groups=specs,
+                oracles=scenario.make_per_group_oracles(),
+                statistic=scenario.statistic_values,
+                budget=4000,
+                allocation_method=method,
+                rng=rng,
+            ).estimates()
+
+        minimax_runs = _repeat(lambda rng: run("minimax", rng), trials=10, seed=2)
+        uniform_runs = _repeat(lambda rng: run("uniform", rng), trials=10, seed=2)
+
+        def max_rmse(runs):
+            return max(
+                rmse([r[g] for r in runs], truths[g]) for g in scenario.groups
+            )
+
+        assert max_rmse(minimax_runs) < max_rmse(uniform_runs)

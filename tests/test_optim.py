@@ -1,0 +1,145 @@
+"""Tests for repro.optim (Nelder-Mead and simplex helpers)."""
+
+import numpy as np
+import pytest
+from scipy.optimize import minimize as scipy_minimize
+
+from repro.optim.nelder_mead import nelder_mead
+from repro.optim.simplex import (
+    minimize_on_simplex,
+    project_to_simplex,
+    softmax_parameterization,
+)
+
+
+class TestNelderMead:
+    def test_quadratic_bowl(self):
+        result = nelder_mead(lambda x: float(np.sum((x - 3.0) ** 2)), np.zeros(3))
+        assert np.allclose(result.x, 3.0, atol=1e-3)
+        assert result.fun < 1e-5
+
+    def test_rosenbrock_2d(self):
+        def rosenbrock(x):
+            return float(100.0 * (x[1] - x[0] ** 2) ** 2 + (1 - x[0]) ** 2)
+
+        result = nelder_mead(rosenbrock, np.array([-1.0, 1.0]), max_iter=5000, restarts=3)
+        assert np.allclose(result.x, [1.0, 1.0], atol=1e-2)
+
+    def test_matches_scipy_on_smooth_function(self):
+        def objective(x):
+            return float((x[0] - 2) ** 2 + (x[1] + 1) ** 2 + 0.5 * x[0] * x[1])
+
+        ours = nelder_mead(objective, np.zeros(2), max_iter=3000, restarts=3)
+        theirs = scipy_minimize(objective, np.zeros(2), method="Nelder-Mead")
+        assert ours.fun == pytest.approx(theirs.fun, abs=1e-4)
+
+    def test_one_dimensional(self):
+        result = nelder_mead(lambda x: float((x[0] - 5) ** 2), np.array([0.0]))
+        assert result.x[0] == pytest.approx(5.0, abs=1e-3)
+
+    def test_counts_evaluations(self):
+        result = nelder_mead(lambda x: float(x[0] ** 2), np.array([1.0]), max_iter=50)
+        assert result.function_evaluations > 0
+        assert result.iterations > 0
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(ValueError):
+            nelder_mead(lambda x: 0.0, np.array([]))
+        with pytest.raises(ValueError):
+            nelder_mead(lambda x: 0.0, np.array([1.0]), max_iter=0)
+        with pytest.raises(ValueError):
+            nelder_mead(lambda x: 0.0, np.array([1.0]), restarts=0)
+
+    def test_zero_start_builds_valid_simplex(self):
+        result = nelder_mead(lambda x: float(np.sum(x**2)), np.zeros(4))
+        assert result.fun < 1e-6
+
+
+class TestProjectToSimplex:
+    def test_already_on_simplex_unchanged(self):
+        point = np.array([0.2, 0.3, 0.5])
+        assert np.allclose(project_to_simplex(point), point)
+
+    def test_output_is_on_simplex(self):
+        out = project_to_simplex(np.array([2.0, -1.0, 0.5]))
+        assert out.min() >= 0.0
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_large_negative_input(self):
+        out = project_to_simplex(np.array([-100.0, -200.0]))
+        assert out.sum() == pytest.approx(1.0)
+        assert out.min() >= 0.0
+
+    def test_single_coordinate(self):
+        assert project_to_simplex(np.array([42.0])).tolist() == [1.0]
+
+    def test_invalid_shape_raises(self):
+        with pytest.raises(ValueError):
+            project_to_simplex(np.zeros((2, 2)))
+
+
+class TestSoftmaxParameterization:
+    def test_outputs_simplex_point(self):
+        out = softmax_parameterization(np.array([1.0, 2.0, 3.0]))
+        assert out.sum() == pytest.approx(1.0)
+        assert out.min() > 0.0
+
+    def test_invariant_to_constant_shift(self):
+        a = softmax_parameterization(np.array([1.0, 2.0]))
+        b = softmax_parameterization(np.array([101.0, 102.0]))
+        assert np.allclose(a, b)
+
+    def test_handles_extreme_logits(self):
+        out = softmax_parameterization(np.array([1000.0, -1000.0]))
+        assert np.isfinite(out).all()
+        assert out[0] == pytest.approx(1.0)
+
+
+class TestMinimizeOnSimplex:
+    def test_minimizes_weighted_inverse(self):
+        # min over simplex of a/x0 + b/x1 has a closed form: x_i ∝ sqrt(coef_i).
+        coefs = np.array([1.0, 4.0])
+
+        def objective(lam):
+            return float(np.sum(coefs / np.maximum(lam, 1e-12)))
+
+        result = minimize_on_simplex(objective, dim=2)
+        expected = np.sqrt(coefs) / np.sqrt(coefs).sum()
+        assert np.allclose(result.x, expected, atol=0.02)
+
+    def test_minimax_objective(self):
+        # minimax of c_i / lam_i is minimized when c_i / lam_i are all equal.
+        coefs = np.array([1.0, 2.0, 3.0])
+
+        def objective(lam):
+            return float(np.max(coefs / np.maximum(lam, 1e-12)))
+
+        result = minimize_on_simplex(objective, dim=3)
+        expected = coefs / coefs.sum()
+        assert np.allclose(result.x, expected, atol=0.03)
+
+    def test_dimension_one_short_circuits(self):
+        result = minimize_on_simplex(lambda lam: float(lam[0]), dim=1)
+        assert result.x.tolist() == [1.0]
+        assert result.converged
+
+    def test_custom_starting_point(self):
+        result = minimize_on_simplex(
+            lambda lam: float(np.sum(1.0 / np.maximum(lam, 1e-12))),
+            dim=2,
+            x0=[0.9, 0.1],
+        )
+        assert np.allclose(result.x, [0.5, 0.5], atol=0.02)
+
+    def test_result_always_feasible(self):
+        result = minimize_on_simplex(lambda lam: float(lam[0] ** 2), dim=4)
+        assert result.x.min() >= 0.0
+        assert result.x.sum() == pytest.approx(1.0)
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(ValueError):
+            minimize_on_simplex(lambda lam: 0.0, dim=0)
+        with pytest.raises(ValueError):
+            minimize_on_simplex(lambda lam: 0.0, dim=2, x0=[1.0])
+        with pytest.raises(ValueError):
+            minimize_on_simplex(lambda lam: 0.0, dim=2, x0=[-1.0, 2.0])

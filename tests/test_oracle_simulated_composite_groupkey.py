@@ -1,0 +1,187 @@
+"""Tests for simulated, composite and group-key oracles."""
+
+import numpy as np
+import pytest
+
+from repro.oracle.composite import AndOracle, NotOracle, OrOracle
+from repro.oracle.groupkey import GroupKeyOracle, PerGroupOracles
+from repro.oracle.simulated import (
+    CallableOracle,
+    LabelColumnOracle,
+    NoisyHumanOracle,
+    ThresholdOracle,
+)
+from repro.stats.rng import RandomState
+
+
+class TestLabelColumnOracle:
+    def test_reads_labels(self, tiny_labels):
+        oracle = LabelColumnOracle(tiny_labels)
+        assert [oracle(i) for i in range(len(tiny_labels))] == [
+            bool(v) for v in tiny_labels
+        ]
+
+    def test_two_dimensional_raises(self):
+        with pytest.raises(ValueError):
+            LabelColumnOracle(np.zeros((2, 2)))
+
+    def test_numeric_labels_cast_to_bool(self):
+        oracle = LabelColumnOracle([0, 1, 2])
+        assert oracle(0) is False
+        assert oracle(2) is True
+
+
+class TestThresholdOracle:
+    def test_greater_than(self):
+        oracle = ThresholdOracle([0.0, 1.0, 2.0], threshold=0.0, op=">")
+        assert not oracle(0)
+        assert oracle(1)
+
+    def test_all_operators(self):
+        values = [5.0]
+        assert ThresholdOracle(values, 5.0, op=">=")(0)
+        assert ThresholdOracle(values, 5.0, op="<=")(0)
+        assert ThresholdOracle(values, 5.0, op="==")(0)
+        assert not ThresholdOracle(values, 5.0, op="!=")(0)
+        assert not ThresholdOracle(values, 5.0, op="<")(0)
+
+    def test_unknown_operator_raises(self):
+        with pytest.raises(ValueError):
+            ThresholdOracle([1.0], 0.0, op="~")
+
+
+class TestCallableOracle:
+    def test_wraps_function(self):
+        oracle = CallableOracle(lambda i: i % 2 == 0)
+        assert oracle(0)
+        assert not oracle(1)
+        assert oracle.num_calls == 2
+
+
+class TestNoisyHumanOracle:
+    def test_zero_error_matches_truth(self, tiny_labels):
+        oracle = NoisyHumanOracle(tiny_labels, error_rate=0.0)
+        assert [oracle(i) for i in range(len(tiny_labels))] == [
+            bool(v) for v in tiny_labels
+        ]
+
+    def test_answers_are_stable(self, tiny_labels):
+        oracle = NoisyHumanOracle(tiny_labels, error_rate=0.3, rng=RandomState(0))
+        first = [oracle(i) for i in range(len(tiny_labels))]
+        second = [oracle(i) for i in range(len(tiny_labels))]
+        assert first == second
+
+    def test_full_error_inverts_truth(self, tiny_labels):
+        oracle = NoisyHumanOracle(tiny_labels, error_rate=1.0, rng=RandomState(0))
+        assert [oracle(i) for i in range(len(tiny_labels))] == [
+            not bool(v) for v in tiny_labels
+        ]
+
+    def test_invalid_error_rate(self, tiny_labels):
+        with pytest.raises(ValueError):
+            NoisyHumanOracle(tiny_labels, error_rate=1.5)
+
+
+class TestCompositeOracles:
+    def test_and_semantics(self):
+        a = LabelColumnOracle([True, True, False])
+        b = LabelColumnOracle([True, False, False])
+        combined = AndOracle([a, b])
+        assert combined(0)
+        assert not combined(1)
+        assert not combined(2)
+
+    def test_or_semantics(self):
+        a = LabelColumnOracle([True, False, False])
+        b = LabelColumnOracle([False, True, False])
+        combined = OrOracle([a, b])
+        assert combined(0)
+        assert combined(1)
+        assert not combined(2)
+
+    def test_not_semantics(self):
+        combined = NotOracle(LabelColumnOracle([True, False]))
+        assert not combined(0)
+        assert combined(1)
+
+    def test_children_cost_accumulates(self):
+        a = LabelColumnOracle([True], cost_per_call=2.0)
+        b = LabelColumnOracle([True], cost_per_call=3.0)
+        combined = AndOracle([a, b])
+        combined(0)
+        assert combined.total_children_cost == pytest.approx(5.0)
+        assert combined.total_children_calls == 2
+
+    def test_empty_children_raise(self):
+        with pytest.raises(ValueError):
+            AndOracle([])
+
+    def test_nested_composition(self):
+        a = LabelColumnOracle([True, False])
+        b = LabelColumnOracle([False, False])
+        c = LabelColumnOracle([True, True])
+        expr = OrOracle([AndOracle([a, b]), c])
+        assert expr(0)
+        assert expr(1)
+
+
+class TestGroupKeyOracle:
+    @pytest.fixture()
+    def keys(self):
+        return np.array(["biden", None, "trump", "biden", None], dtype=object)
+
+    def test_returns_group_key(self, keys):
+        oracle = GroupKeyOracle(keys)
+        assert oracle(0) == "biden"
+        assert oracle(2) == "trump"
+
+    def test_returns_none_outside_groups(self, keys):
+        oracle = GroupKeyOracle(keys)
+        assert oracle(1) is None
+
+    def test_groups_discovered_and_sorted(self, keys):
+        assert GroupKeyOracle(keys).groups == ["biden", "trump"]
+
+    def test_explicit_groups_preserved(self, keys):
+        oracle = GroupKeyOracle(keys, groups=["trump", "biden"])
+        assert oracle.groups == ["trump", "biden"]
+
+    def test_membership_oracle(self, keys):
+        oracle = GroupKeyOracle(keys)
+        member = oracle.membership_oracle("biden")
+        assert member(0) and member(3)
+        assert not member(2)
+
+    def test_membership_unknown_group_raises(self, keys):
+        with pytest.raises(ValueError):
+            GroupKeyOracle(keys).membership_oracle("obama")
+
+
+class TestPerGroupOracles:
+    @pytest.fixture()
+    def keys(self):
+        return np.array(["a", "b", None, "a"], dtype=object)
+
+    def test_per_group_answers(self, keys):
+        oracles = PerGroupOracles(keys)
+        assert oracles.oracle_for("a")(0)
+        assert not oracles.oracle_for("a")(1)
+        assert oracles.oracle_for("b")(1)
+
+    def test_unknown_group_raises(self, keys):
+        with pytest.raises(ValueError):
+            PerGroupOracles(keys).oracle_for("z")
+
+    def test_total_calls_across_groups(self, keys):
+        oracles = PerGroupOracles(keys)
+        oracles.oracle_for("a")(0)
+        oracles.oracle_for("b")(0)
+        oracles.oracle_for("b")(1)
+        assert oracles.total_calls == 3
+        assert oracles.total_cost == pytest.approx(3.0)
+
+    def test_reset_accounting(self, keys):
+        oracles = PerGroupOracles(keys)
+        oracles.oracle_for("a")(0)
+        oracles.reset_accounting()
+        assert oracles.total_calls == 0

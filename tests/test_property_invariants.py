@@ -1,0 +1,212 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These cover the algebraic properties the paper's analysis relies on:
+allocation vectors are distributions, stratifications are partitions,
+estimators respect their bounds, the bootstrap stays within the sample's
+convex hull, and the simplex projection is idempotent.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.allocation import (
+    optimal_allocation,
+    optimal_stratified_mse,
+    uniform_sampling_mse,
+)
+from repro.core.estimators import combine_estimates, estimate_all_strata, estimate_stratum
+from repro.core.stratification import Stratification
+from repro.core.types import StratumSample
+from repro.optim.simplex import project_to_simplex, softmax_parameterization
+from repro.stats.rng import RandomState
+from repro.stats.sampling import proportional_integer_allocation, split_budget
+from repro.core.bootstrap import bootstrap_estimates
+
+
+# -- Strategies -------------------------------------------------------------------
+
+probabilities = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+positive_floats = st.floats(min_value=0.0, max_value=50.0, allow_nan=False)
+strata_counts = st.integers(min_value=1, max_value=8)
+
+
+@st.composite
+def p_sigma_arrays(draw):
+    k = draw(strata_counts)
+    p = draw(hnp.arrays(float, k, elements=probabilities))
+    sigma = draw(hnp.arrays(float, k, elements=positive_floats))
+    return p, sigma
+
+
+@st.composite
+def stratum_samples(draw):
+    n = draw(st.integers(min_value=0, max_value=40))
+    matches = draw(hnp.arrays(bool, n))
+    values = draw(
+        hnp.arrays(float, n, elements=st.floats(-100, 100, allow_nan=False))
+    )
+    values = np.where(matches, values, np.nan)
+    return StratumSample(stratum=0, indices=np.arange(n), matches=matches, values=values)
+
+
+# -- Allocation -------------------------------------------------------------------
+
+
+class TestAllocationProperties:
+    @given(p_sigma_arrays())
+    @settings(max_examples=80, deadline=None)
+    def test_allocation_is_a_distribution(self, p_sigma):
+        p, sigma = p_sigma
+        allocation = optimal_allocation(p, sigma)
+        assert allocation.shape == p.shape
+        assert np.all(allocation >= 0)
+        assert allocation.sum() == pytest.approx(1.0)
+
+    @given(p_sigma_arrays(), st.integers(min_value=1, max_value=10_000))
+    @settings(max_examples=80, deadline=None)
+    def test_optimal_never_worse_than_uniform_for_equal_means(self, p_sigma, budget):
+        p, sigma = p_sigma
+        stratified = optimal_stratified_mse(p, sigma, budget)
+        uniform = uniform_sampling_mse(p, sigma, budget)
+        if np.isfinite(stratified) and np.isfinite(uniform):
+            # Relative tolerance: with extreme (near-underflow) p values the
+            # two formulas agree only up to floating-point rounding.
+            assert stratified <= uniform * (1.0 + 1e-9) + 1e-9
+
+    @given(p_sigma_arrays())
+    @settings(max_examples=50, deadline=None)
+    def test_mse_scales_inversely_with_budget(self, p_sigma):
+        p, sigma = p_sigma
+        small = optimal_stratified_mse(p, sigma, 100)
+        large = optimal_stratified_mse(p, sigma, 200)
+        if np.isfinite(small):
+            assert large == pytest.approx(small / 2.0, rel=1e-9)
+
+
+# -- Integer allocation and budget splitting ---------------------------------------
+
+
+class TestBudgetProperties:
+    @given(
+        hnp.arrays(float, st.integers(1, 10), elements=st.floats(0, 100, allow_nan=False)),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_integer_allocation_spends_exactly_total(self, weights, total):
+        allocation = proportional_integer_allocation(weights, total)
+        assert sum(allocation) == total
+        assert all(a >= 0 for a in allocation)
+
+    @given(st.integers(0, 10**6), st.floats(0.0, 1.0, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_split_budget_conserves_total(self, total, fraction):
+        n1, n2 = split_budget(total, fraction)
+        assert n1 + n2 == total
+        assert n1 >= 0 and n2 >= 0
+
+
+# -- Stratification -----------------------------------------------------------------
+
+
+class TestStratificationProperties:
+    @given(
+        hnp.arrays(float, st.integers(1, 300), elements=st.floats(0, 1, allow_nan=False)),
+        st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_quantile_stratification_is_a_partition(self, scores, k):
+        if k > scores.shape[0]:
+            k = scores.shape[0]
+        strat = Stratification.from_scores(scores, k)
+        combined = np.concatenate(strat.strata())
+        assert sorted(combined.tolist()) == list(range(scores.shape[0]))
+        assert strat.sizes().max() - strat.sizes().min() <= 1
+
+
+# -- Estimators ---------------------------------------------------------------------
+
+
+class TestEstimatorProperties:
+    @given(stratum_samples())
+    @settings(max_examples=100, deadline=None)
+    def test_stratum_estimate_bounds(self, sample):
+        est = estimate_stratum(sample)
+        assert 0.0 <= est.p_hat <= 1.0
+        assert est.sigma_hat >= 0.0
+        assert est.num_positive <= est.num_draws
+        positives = sample.positive_values
+        if positives.size:
+            assert positives.min() - 1e-9 <= est.mu_hat <= positives.max() + 1e-9
+
+    @given(st.lists(stratum_samples(), min_size=1, max_size=5))
+    @settings(max_examples=60, deadline=None)
+    def test_combined_estimate_within_positive_value_range(self, samples):
+        samples = [
+            StratumSample(
+                stratum=k, indices=s.indices, matches=s.matches, values=s.values
+            )
+            for k, s in enumerate(samples)
+        ]
+        estimates = estimate_all_strata(samples)
+        combined = combine_estimates(estimates)
+        all_positives = np.concatenate([s.positive_values for s in samples])
+        if all_positives.size == 0:
+            assert combined == 0.0
+        else:
+            # The combined estimate is a convex combination of per-stratum
+            # means, each of which lies within its stratum's positive range.
+            assert all_positives.min() - 1e-9 <= combined <= all_positives.max() + 1e-9
+
+
+# -- Bootstrap ----------------------------------------------------------------------
+
+
+class TestBootstrapProperties:
+    @given(st.lists(stratum_samples(), min_size=1, max_size=3), st.integers(5, 40))
+    @settings(max_examples=40, deadline=None)
+    def test_bootstrap_estimates_within_convex_hull(self, samples, num_bootstrap):
+        samples = [
+            StratumSample(
+                stratum=k, indices=s.indices, matches=s.matches, values=s.values
+            )
+            for k, s in enumerate(samples)
+        ]
+        estimates = bootstrap_estimates(
+            samples, num_bootstrap=num_bootstrap, rng=RandomState(0)
+        )
+        assert estimates.shape == (num_bootstrap,)
+        all_positives = np.concatenate([s.positive_values for s in samples])
+        if all_positives.size == 0:
+            assert np.all(estimates == 0.0)
+        else:
+            lo = min(all_positives.min(), 0.0) - 1e-9
+            hi = max(all_positives.max(), 0.0) + 1e-9
+            assert np.all(estimates >= lo) and np.all(estimates <= hi)
+
+
+# -- Simplex helpers ----------------------------------------------------------------
+
+
+class TestSimplexProperties:
+    @given(hnp.arrays(float, st.integers(1, 10), elements=st.floats(-50, 50, allow_nan=False)))
+    @settings(max_examples=100, deadline=None)
+    def test_projection_lands_on_simplex(self, v):
+        projected = project_to_simplex(v)
+        assert np.all(projected >= -1e-12)
+        assert projected.sum() == pytest.approx(1.0)
+
+    @given(hnp.arrays(float, st.integers(1, 10), elements=st.floats(-50, 50, allow_nan=False)))
+    @settings(max_examples=60, deadline=None)
+    def test_projection_is_idempotent(self, v):
+        once = project_to_simplex(v)
+        twice = project_to_simplex(once)
+        assert np.allclose(once, twice, atol=1e-9)
+
+    @given(hnp.arrays(float, st.integers(1, 10), elements=st.floats(-30, 30, allow_nan=False)))
+    @settings(max_examples=100, deadline=None)
+    def test_softmax_lands_on_simplex(self, logits):
+        point = softmax_parameterization(logits)
+        assert np.all(point > 0)
+        assert point.sum() == pytest.approx(1.0)

@@ -1,0 +1,144 @@
+"""Tests for repro.proxy.base and repro.proxy.noise."""
+
+import numpy as np
+import pytest
+
+from repro.proxy.base import CallableProxy, PrecomputedProxy, validate_scores
+from repro.proxy.noise import BetaNoiseProxy, NoisyLabelProxy, RandomProxy
+from repro.stats.rng import RandomState
+
+
+class TestValidateScores:
+    def test_valid_passes(self):
+        out = validate_scores(np.array([0.0, 0.5, 1.0]))
+        assert out.tolist() == [0.0, 0.5, 1.0]
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            validate_scores(np.array([0.0, 1.5]))
+        with pytest.raises(ValueError):
+            validate_scores(np.array([-0.1, 0.5]))
+
+    def test_nan_raises(self):
+        with pytest.raises(ValueError):
+            validate_scores(np.array([0.5, np.nan]))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            validate_scores(np.array([]))
+
+    def test_two_dimensional_raises(self):
+        with pytest.raises(ValueError):
+            validate_scores(np.zeros((2, 2)))
+
+
+class TestPrecomputedProxy:
+    def test_scores_returned(self):
+        proxy = PrecomputedProxy([0.1, 0.9])
+        assert proxy.scores().tolist() == [0.1, 0.9]
+        assert len(proxy) == 2
+
+    def test_single_record_score(self):
+        proxy = PrecomputedProxy([0.1, 0.9])
+        assert proxy.score(1) == pytest.approx(0.9)
+
+    def test_scores_read_only(self):
+        proxy = PrecomputedProxy([0.1, 0.9])
+        with pytest.raises(ValueError):
+            proxy.scores()[0] = 0.5
+
+    def test_correlation_with_labels(self):
+        proxy = PrecomputedProxy([0.9, 0.8, 0.1, 0.2])
+        corr = proxy.correlation_with([True, True, False, False])
+        assert corr > 0.9
+
+    def test_correlation_constant_scores_is_zero(self):
+        proxy = PrecomputedProxy([0.5, 0.5, 0.5])
+        assert proxy.correlation_with([True, False, True]) == 0.0
+
+    def test_correlation_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            PrecomputedProxy([0.5, 0.5]).correlation_with([True])
+
+
+class TestCallableProxy:
+    def test_lazily_computes_and_caches(self):
+        calls = {"count": 0}
+
+        def score(i):
+            calls["count"] += 1
+            return i / 10.0
+
+        proxy = CallableProxy(score, num_records=5)
+        proxy.scores()
+        proxy.scores()
+        assert calls["count"] == 5  # computed once
+
+    def test_invalid_num_records(self):
+        with pytest.raises(ValueError):
+            CallableProxy(lambda i: 0.5, num_records=0)
+
+
+class TestNoisyLabelProxy:
+    def test_perfect_quality_matches_labels(self):
+        labels = np.array([True, False, True, False])
+        proxy = NoisyLabelProxy(labels, quality=1.0, rng=RandomState(0))
+        assert np.allclose(proxy.scores(), labels.astype(float), atol=1e-9)
+
+    def test_scores_in_unit_interval(self):
+        labels = RandomState(0).random(500) < 0.3
+        proxy = NoisyLabelProxy(labels, quality=0.5, rng=RandomState(1))
+        scores = proxy.scores()
+        assert scores.min() >= 0.0 and scores.max() <= 1.0
+
+    def test_quality_controls_correlation(self):
+        labels = RandomState(0).random(2000) < 0.3
+        high = NoisyLabelProxy(labels, quality=0.9, rng=RandomState(1))
+        low = NoisyLabelProxy(labels, quality=0.1, rng=RandomState(2))
+        assert high.correlation_with(labels) > low.correlation_with(labels)
+
+    def test_invalid_quality_raises(self):
+        with pytest.raises(ValueError):
+            NoisyLabelProxy([True], quality=1.2)
+
+    def test_negative_noise_scale_raises(self):
+        with pytest.raises(ValueError):
+            NoisyLabelProxy([True], noise_scale=-0.1)
+
+
+class TestBetaNoiseProxy:
+    def test_scores_in_unit_interval(self):
+        labels = RandomState(0).random(1000) < 0.4
+        proxy = BetaNoiseProxy(labels, rng=RandomState(1))
+        scores = proxy.scores()
+        assert scores.min() >= 0.0 and scores.max() <= 1.0
+
+    def test_positives_score_higher_on_average(self):
+        labels = RandomState(0).random(2000) < 0.4
+        proxy = BetaNoiseProxy(labels, rng=RandomState(1))
+        scores = proxy.scores()
+        assert scores[labels].mean() > scores[~labels].mean()
+
+    def test_positive_correlation(self):
+        labels = RandomState(0).random(2000) < 0.4
+        proxy = BetaNoiseProxy(labels, rng=RandomState(1))
+        assert proxy.correlation_with(labels) > 0.3
+
+    def test_invalid_beta_params_raise(self):
+        with pytest.raises(ValueError):
+            BetaNoiseProxy([True, False], a_pos=0.0)
+
+    def test_all_negative_labels_handled(self):
+        proxy = BetaNoiseProxy(np.zeros(10, dtype=bool), rng=RandomState(0))
+        assert len(proxy) == 10
+
+
+class TestRandomProxy:
+    def test_scores_independent_of_labels(self):
+        labels = RandomState(0).random(3000) < 0.5
+        proxy = RandomProxy(3000, rng=RandomState(1))
+        assert abs(proxy.correlation_with(labels)) < 0.1
+
+    def test_invalid_size_raises(self):
+        with pytest.raises(ValueError):
+            RandomProxy(0)

@@ -1,0 +1,252 @@
+"""Tests for keyword, calibration, logistic-regression and embedding proxies."""
+
+import numpy as np
+import pytest
+
+from repro.oracle.simulated import LabelColumnOracle
+from repro.proxy.base import PrecomputedProxy
+from repro.proxy.calibration import PlattCalibrator, brier_score, reliability_curve
+from repro.proxy.embedding import EmbeddingIndexProxy
+from repro.proxy.keyword import KeywordProxy, tokenize
+from repro.proxy.logistic import LogisticRegression, sigmoid
+from repro.stats.rng import RandomState
+
+
+class TestTokenize:
+    def test_lowercases_and_splits(self):
+        assert tokenize("Free MONEY now") == ["free", "money", "now"]
+
+    def test_strips_punctuation(self):
+        assert tokenize("click, here! (now)") == ["click", "here", "now"]
+
+    def test_keeps_dollar_sign(self):
+        assert "$100" in tokenize("win $100 today")
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+
+class TestKeywordProxy:
+    DOCS = [
+        "free money click here",
+        "meeting notes for tuesday",
+        "money money money",
+        "please send the report",
+    ]
+
+    def test_scores_fraction_of_keywords(self):
+        proxy = KeywordProxy(self.DOCS, keywords=["money", "free"])
+        scores = proxy.scores()
+        assert scores[0] == pytest.approx(1.0)   # both keywords present
+        assert scores[1] == pytest.approx(0.0)
+        assert scores[2] == pytest.approx(0.5)   # only "money"
+
+    def test_weighted_keywords(self):
+        proxy = KeywordProxy(self.DOCS, keywords={"money": 3.0, "free": 1.0})
+        scores = proxy.scores()
+        assert scores[2] == pytest.approx(0.75)
+
+    def test_token_list_documents(self):
+        proxy = KeywordProxy([["money"], ["notes"]], keywords=["money"])
+        assert proxy.scores().tolist() == [1.0, 0.0]
+
+    def test_empty_keywords_raise(self):
+        with pytest.raises(ValueError):
+            KeywordProxy(self.DOCS, keywords=[])
+
+    def test_negative_weight_raises(self):
+        with pytest.raises(ValueError):
+            KeywordProxy(self.DOCS, keywords={"money": -1.0})
+
+    def test_all_zero_weights_raise(self):
+        with pytest.raises(ValueError):
+            KeywordProxy(self.DOCS, keywords={"money": 0.0})
+
+    def test_keywords_property(self):
+        proxy = KeywordProxy(self.DOCS, keywords=["Money"])
+        assert proxy.keywords == {"money": 1.0}
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_extremes_are_stable(self):
+        out = sigmoid(np.array([-1000.0, 1000.0]))
+        assert out[0] == pytest.approx(0.0, abs=1e-12)
+        assert out[1] == pytest.approx(1.0, abs=1e-12)
+
+    def test_monotone(self):
+        z = np.linspace(-5, 5, 50)
+        out = sigmoid(z)
+        assert np.all(np.diff(out) > 0)
+
+
+class TestLogisticRegression:
+    def test_learns_separable_data(self):
+        rng = RandomState(0)
+        x = rng.normal(0, 1, (400, 2))
+        y = (x[:, 0] + x[:, 1] > 0).astype(float)
+        model = LogisticRegression(max_iter=3000)
+        model.fit(x, y)
+        accuracy = (model.predict(x) == y).mean()
+        assert accuracy > 0.95
+
+    def test_probabilities_in_unit_interval(self):
+        rng = RandomState(1)
+        x = rng.normal(0, 1, (100, 3))
+        y = (rng.random(100) < 0.5).astype(float)
+        model = LogisticRegression().fit(x, y)
+        probs = model.predict_proba(x)
+        assert probs.min() >= 0.0 and probs.max() <= 1.0
+
+    def test_single_feature_reshapes(self):
+        x = np.array([0.1, 0.2, 0.8, 0.9])
+        y = np.array([0, 0, 1, 1])
+        model = LogisticRegression(max_iter=3000).fit(x, y)
+        assert model.predict_proba([0.95])[0] > model.predict_proba([0.05])[0]
+
+    def test_all_positive_labels(self):
+        model = LogisticRegression().fit(np.ones((5, 1)), np.ones(5))
+        assert model.predict_proba(np.ones((1, 1)))[0] > 0.5
+
+    def test_all_negative_labels(self):
+        model = LogisticRegression().fit(np.ones((5, 1)), np.zeros(5))
+        assert model.predict_proba(np.ones((1, 1)))[0] < 0.5
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegression().predict_proba([[0.5]])
+
+    def test_non_binary_labels_raise(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.ones((3, 1)), np.array([0.0, 0.5, 1.0]))
+
+    def test_mismatched_shapes_raise(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.ones((3, 1)), np.zeros(4))
+
+    def test_invalid_hyperparameters_raise(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            LogisticRegression(max_iter=0)
+        with pytest.raises(ValueError):
+            LogisticRegression(l2=-1.0)
+
+    def test_wrong_feature_count_at_predict_raises(self):
+        model = LogisticRegression().fit(np.ones((4, 2)), np.array([0, 1, 0, 1]))
+        with pytest.raises(ValueError):
+            model.predict_proba(np.ones((2, 3)))
+
+
+class TestPlattCalibrator:
+    def test_calibrates_monotonically(self):
+        rng = RandomState(0)
+        raw = rng.random(800)
+        labels = rng.random(800) < raw**2  # mis-calibrated scores
+        calibrator = PlattCalibrator().fit(raw, labels)
+        calibrated = calibrator.transform(np.array([0.1, 0.5, 0.9]))
+        assert calibrated[0] < calibrated[1] < calibrated[2]
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            PlattCalibrator().transform([0.5])
+
+    def test_too_few_examples_raise(self):
+        with pytest.raises(ValueError):
+            PlattCalibrator().fit([0.5], [True])
+
+    def test_calibrate_proxy_returns_valid_proxy(self):
+        rng = RandomState(0)
+        raw = rng.random(500)
+        labels = rng.random(500) < raw
+        calibrator = PlattCalibrator().fit(raw, labels)
+        calibrated = calibrator.calibrate_proxy(PrecomputedProxy(raw))
+        scores = calibrated.scores()
+        assert scores.min() >= 0.0 and scores.max() <= 1.0
+
+    def test_improves_brier_score_on_miscalibrated_scores(self):
+        rng = RandomState(3)
+        raw = rng.random(3000)
+        labels = rng.random(3000) < raw**3
+        calibrator = PlattCalibrator().fit(raw, labels)
+        calibrated = calibrator.transform(raw)
+        assert brier_score(calibrated, labels) < brier_score(raw, labels)
+
+
+class TestReliabilityCurve:
+    def test_shapes(self):
+        centers, rates, counts = reliability_curve([0.1, 0.9], [False, True], num_bins=5)
+        assert centers.shape == (5,)
+        assert rates.shape == (5,)
+        assert counts.sum() == 2
+
+    def test_perfectly_calibrated_scores(self):
+        rng = RandomState(0)
+        scores = rng.random(5000)
+        labels = rng.random(5000) < scores
+        centers, rates, counts = reliability_curve(scores, labels, num_bins=5)
+        mask = counts > 0
+        assert np.allclose(rates[mask], centers[mask], atol=0.08)
+
+    def test_invalid_bins_raise(self):
+        with pytest.raises(ValueError):
+            reliability_curve([0.5], [True], num_bins=0)
+
+    def test_brier_score_bounds(self):
+        assert brier_score([1.0, 0.0], [True, False]) == 0.0
+        assert brier_score([0.0, 1.0], [True, False]) == 1.0
+
+    def test_brier_empty_raises(self):
+        with pytest.raises(ValueError):
+            brier_score([], [])
+
+
+class TestEmbeddingIndexProxy:
+    @pytest.fixture()
+    def embedded_data(self):
+        rng = RandomState(0)
+        labels = rng.random(2000) < 0.3
+        # Positives cluster around +1, negatives around -1 in 8 dimensions.
+        centers = np.where(labels[:, None], 1.0, -1.0)
+        embeddings = centers + rng.normal(0, 0.6, (2000, 8))
+        return embeddings, labels
+
+    def test_scores_correlate_with_labels(self, embedded_data):
+        embeddings, labels = embedded_data
+        proxy = EmbeddingIndexProxy(
+            embeddings, labels=labels, num_reps=150, k=8, rng=RandomState(1)
+        )
+        assert proxy.correlation_with(labels) > 0.5
+
+    def test_scores_in_unit_interval(self, embedded_data):
+        embeddings, labels = embedded_data
+        proxy = EmbeddingIndexProxy(embeddings, labels=labels, num_reps=50, rng=RandomState(1))
+        scores = proxy.scores()
+        assert scores.min() >= 0.0 and scores.max() <= 1.0
+
+    def test_oracle_charged_for_representatives_only(self, embedded_data):
+        embeddings, labels = embedded_data
+        oracle = LabelColumnOracle(labels)
+        EmbeddingIndexProxy(embeddings, oracle=oracle, num_reps=64, rng=RandomState(1))
+        assert oracle.num_calls == 64
+
+    def test_requires_oracle_or_labels(self, embedded_data):
+        embeddings, _ = embedded_data
+        with pytest.raises(ValueError):
+            EmbeddingIndexProxy(embeddings)
+
+    def test_num_reps_clamped_to_population(self):
+        rng = RandomState(0)
+        embeddings = rng.normal(0, 1, (10, 3))
+        labels = np.array([True] * 5 + [False] * 5)
+        proxy = EmbeddingIndexProxy(
+            embeddings, labels=labels, num_reps=100, k=50, rng=RandomState(1)
+        )
+        assert proxy.representative_indices.shape[0] == 10
+        assert proxy.k <= 10
+
+    def test_invalid_embeddings_raise(self):
+        with pytest.raises(ValueError):
+            EmbeddingIndexProxy(np.zeros(5), labels=np.zeros(5, dtype=bool))

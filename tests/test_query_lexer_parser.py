@@ -1,0 +1,199 @@
+"""Tests for the query lexer and parser."""
+
+import pytest
+
+from repro.query.ast import (
+    AggregateKind,
+    AndExpr,
+    NotExpr,
+    OrExpr,
+    PredicateAtom,
+)
+from repro.query.errors import ParseError
+from repro.query.lexer import TokenKind, tokenize
+from repro.query.parser import parse_query
+
+
+class TestLexer:
+    def test_keywords_uppercased(self):
+        tokens = tokenize("select from where")
+        assert [t.kind for t in tokens[:3]] == [TokenKind.KEYWORD] * 3
+        assert [t.value for t in tokens[:3]] == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifiers_preserve_case(self):
+        tokens = tokenize("count_Cars")
+        assert tokens[0].kind is TokenKind.IDENTIFIER
+        assert tokens[0].value == "count_Cars"
+
+    def test_number_with_thousands_separator(self):
+        tokens = tokenize("10,000")
+        assert tokens[0].kind is TokenKind.NUMBER
+        assert tokens[0].value == "10000"
+        # The comma was consumed by the number, not emitted separately.
+        assert tokens[1].kind is TokenKind.END
+
+    def test_decimal_number(self):
+        tokens = tokenize("0.95")
+        assert tokens[0].value == "0.95"
+
+    def test_string_literal(self):
+        tokens = tokenize("'Biden '")
+        assert tokens[0].kind is TokenKind.STRING
+        assert tokens[0].value == "Biden"
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(ParseError):
+            tokenize("'oops")
+
+    def test_comparators(self):
+        kinds = [t.value for t in tokenize("> >= = != <>")[:-1]]
+        assert kinds == [">", ">=", "=", "!=", "<>"]
+
+    def test_parens_and_commas(self):
+        tokens = tokenize("f(a, b)")
+        kinds = [t.kind for t in tokens[:-1]]
+        assert kinds == [
+            TokenKind.IDENTIFIER,
+            TokenKind.LPAREN,
+            TokenKind.IDENTIFIER,
+            TokenKind.COMMA,
+            TokenKind.IDENTIFIER,
+            TokenKind.RPAREN,
+        ]
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(ParseError):
+            tokenize("select @ from")
+
+    def test_ends_with_end_token(self):
+        assert tokenize("x")[-1].kind is TokenKind.END
+
+
+PAPER_QUERY = """
+SELECT AVG(views) FROM news
+WHERE contains_candidate(frame, 'Biden')
+ORACLE LIMIT 10,000 USING proxy(frame)
+WITH PROBABILITY 0.95
+"""
+
+TRAFFIC_QUERY = """
+SELECT AVG(count_cars(frame)) FROM video
+WHERE count_cars(frame) > 0
+AND red_light(frame)
+ORACLE LIMIT 1,000 USING proxy(frame)
+WITH PROBABILITY 0.95
+"""
+
+GROUPBY_QUERY = """
+SELECT COUNT(frame) FROM video
+WHERE person IN ('Biden', 'Trump')
+GROUP BY person
+ORACLE LIMIT 10000 USING proxy
+WITH PROBABILITY 0.95
+"""
+
+
+class TestParser:
+    def test_paper_tv_news_query(self):
+        query = parse_query(PAPER_QUERY)
+        assert query.aggregate.kind is AggregateKind.AVG
+        assert query.aggregate.expression.name == "views"
+        assert query.table == "news"
+        assert query.oracle.limit == 10_000
+        assert query.oracle.proxies == ("proxy",)
+        assert query.probability == 0.95
+        atom = query.predicate
+        assert isinstance(atom, PredicateAtom)
+        assert atom.expression.name == "contains_candidate"
+        assert atom.expression.args == ("frame", "'Biden'")
+
+    def test_traffic_query_conjunction(self):
+        query = parse_query(TRAFFIC_QUERY)
+        assert isinstance(query.predicate, AndExpr)
+        atoms = query.atoms()
+        assert len(atoms) == 2
+        assert atoms[0].comparator == ">"
+        assert atoms[0].literal == 0.0
+        assert atoms[1].expression.name == "red_light"
+
+    def test_group_by_with_in_clause(self):
+        query = parse_query(GROUPBY_QUERY)
+        assert query.group_by is not None
+        assert query.group_by.key.name == "person"
+        assert isinstance(query.predicate, OrExpr)
+        keys = [a.key() for a in query.atoms()]
+        assert keys == ["person = 'Biden'", "person = 'Trump'"]
+        assert query.aggregate.kind is AggregateKind.COUNT
+
+    def test_percentage_aggregate(self):
+        query = parse_query(
+            "SELECT PERCENTAGE(is_smiling(img)) FROM images "
+            "WHERE hair_color(img) = 'blonde' "
+            "ORACLE LIMIT 500 USING proxy WITH PROBABILITY 0.9"
+        )
+        assert query.aggregate.kind is AggregateKind.PERCENTAGE
+        assert query.predicate.literal == "blonde"
+        assert query.alpha == pytest.approx(0.1)
+
+    def test_not_and_parentheses(self):
+        query = parse_query(
+            "SELECT AVG(x) FROM t WHERE NOT (a OR b) AND c "
+            "ORACLE LIMIT 100 USING p WITH PROBABILITY 0.95"
+        )
+        assert isinstance(query.predicate, AndExpr)
+        assert isinstance(query.predicate.operands[0], NotExpr)
+
+    def test_multiple_proxies_in_using(self):
+        query = parse_query(
+            "SELECT AVG(x) FROM t WHERE is_spam(text) "
+            "ORACLE LIMIT 100 USING proxy_a, proxy_b WITH PROBABILITY 0.95"
+        )
+        assert query.oracle.proxies == ("proxy_a", "proxy_b")
+
+    def test_unknown_aggregate_raises(self):
+        with pytest.raises(ParseError):
+            parse_query(
+                "SELECT MAX(x) FROM t WHERE p ORACLE LIMIT 10 USING q WITH PROBABILITY 0.9"
+            )
+
+    def test_missing_where_raises(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT AVG(x) FROM t ORACLE LIMIT 10 USING q WITH PROBABILITY 0.9")
+
+    def test_missing_oracle_clause_raises(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT AVG(x) FROM t WHERE p WITH PROBABILITY 0.9")
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(ParseError):
+            parse_query(
+                "SELECT AVG(x) FROM t WHERE p ORACLE LIMIT 10 USING q "
+                "WITH PROBABILITY 0.9 EXTRA"
+            )
+
+    def test_invalid_probability_raises(self):
+        with pytest.raises(ValueError):
+            parse_query(
+                "SELECT AVG(x) FROM t WHERE p ORACLE LIMIT 10 USING q WITH PROBABILITY 1.5"
+            )
+
+    def test_zero_limit_raises(self):
+        with pytest.raises(ValueError):
+            parse_query(
+                "SELECT AVG(x) FROM t WHERE p ORACLE LIMIT 0 USING q WITH PROBABILITY 0.9"
+            )
+
+    def test_atom_key_canonical_form(self):
+        query = parse_query(
+            "SELECT AVG(rating) FROM movies "
+            "WHERE gender(poster) = 'female' "
+            "ORACLE LIMIT 100 USING proxy WITH PROBABILITY 0.95"
+        )
+        assert query.predicate.key() == "gender(poster) = 'female'"
+
+    def test_numeric_comparison_key(self):
+        query = parse_query(
+            "SELECT AVG(x) FROM t WHERE count_cars(frame) > 0 "
+            "ORACLE LIMIT 10 USING q WITH PROBABILITY 0.9"
+        )
+        assert query.predicate.key() == "count_cars(frame) > 0.0"

@@ -1,0 +1,126 @@
+"""Tests for repro.stats.concentration."""
+
+import numpy as np
+import pytest
+
+from repro.stats.concentration import (
+    bernoulli_lower_tail,
+    bernoulli_upper_tail,
+    binomial_tail_bound,
+    hoeffding_bound,
+    small_pk_threshold,
+    sub_gaussian_mean_bound,
+)
+from repro.stats.rng import RandomState
+
+
+class TestHoeffding:
+    def test_probability_range(self):
+        assert 0.0 <= hoeffding_bound(100, 0.1) <= 1.0
+
+    def test_decreases_with_n(self):
+        assert hoeffding_bound(1000, 0.1) < hoeffding_bound(10, 0.1)
+
+    def test_decreases_with_epsilon(self):
+        assert hoeffding_bound(100, 0.2) < hoeffding_bound(100, 0.05)
+
+    def test_zero_epsilon_is_trivial(self):
+        assert hoeffding_bound(100, 0.0) == 1.0
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(ValueError):
+            hoeffding_bound(0, 0.1)
+        with pytest.raises(ValueError):
+            hoeffding_bound(10, -0.1)
+        with pytest.raises(ValueError):
+            hoeffding_bound(10, 0.1, value_range=0.0)
+
+    def test_empirically_valid(self):
+        # The bound must dominate the empirical deviation probability.
+        rng = RandomState(0)
+        n, eps, trials = 50, 0.15, 2000
+        deviations = 0
+        for _ in range(trials):
+            draws = rng.random(n) < 0.4
+            if abs(draws.mean() - 0.4) >= eps:
+                deviations += 1
+        assert deviations / trials <= hoeffding_bound(n, eps) + 0.02
+
+
+class TestBernoulliTails:
+    def test_upper_range(self):
+        assert 0.0 <= bernoulli_upper_tail(100, 0.3, 5.0) <= 1.0
+
+    def test_lower_range(self):
+        assert 0.0 <= bernoulli_lower_tail(100, 0.3, 5.0) <= 1.0
+
+    def test_zero_deviation_trivial(self):
+        assert bernoulli_upper_tail(100, 0.3, 0.0) == 1.0
+        assert bernoulli_lower_tail(100, 0.3, 0.0) == 1.0
+
+    def test_larger_deviation_smaller_probability(self):
+        assert bernoulli_upper_tail(100, 0.3, 20.0) < bernoulli_upper_tail(100, 0.3, 5.0)
+
+    def test_zero_p_lower_tail_trivial(self):
+        assert bernoulli_lower_tail(100, 0.0, 1.0) == 1.0
+
+    def test_two_sided_bound_combines(self):
+        two_sided = binomial_tail_bound(100, 0.3, 10.0)
+        assert two_sided <= 1.0
+        assert two_sided >= bernoulli_upper_tail(100, 0.3, 10.0)
+
+    def test_invalid_args_raise(self):
+        with pytest.raises(ValueError):
+            bernoulli_upper_tail(0, 0.5, 1.0)
+        with pytest.raises(ValueError):
+            bernoulli_upper_tail(10, 1.5, 1.0)
+        with pytest.raises(ValueError):
+            bernoulli_lower_tail(10, 0.5, -1.0)
+
+    def test_empirically_valid_upper(self):
+        rng = RandomState(1)
+        n, p, t, trials = 60, 0.25, 8.0, 2000
+        exceed = sum(
+            int(rng.binomial(n, p) >= n * p + t) for _ in range(trials)
+        )
+        assert exceed / trials <= bernoulli_upper_tail(n, p, t) + 0.02
+
+
+class TestSubGaussian:
+    def test_range(self):
+        assert 0.0 <= sub_gaussian_mean_bound(100, 1.0, 0.2) <= 1.0
+
+    def test_tighter_with_more_samples(self):
+        assert sub_gaussian_mean_bound(1000, 1.0, 0.2) < sub_gaussian_mean_bound(10, 1.0, 0.2)
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            sub_gaussian_mean_bound(0, 1.0, 0.1)
+        with pytest.raises(ValueError):
+            sub_gaussian_mean_bound(10, 0.0, 0.1)
+        with pytest.raises(ValueError):
+            sub_gaussian_mean_bound(10, 1.0, -0.1)
+
+
+class TestSmallPkThreshold:
+    def test_decreases_with_n1(self):
+        assert small_pk_threshold(1000, 0.05) < small_pk_threshold(100, 0.05)
+
+    def test_increases_with_confidence(self):
+        # Smaller delta (more confidence) -> larger threshold.
+        assert small_pk_threshold(100, 0.01) > small_pk_threshold(100, 0.1)
+
+    def test_positive(self):
+        assert small_pk_threshold(500, 0.05) > 0
+
+    def test_matches_formula(self):
+        n1, delta = 200, 0.05
+        log_term = np.log(1.0 / delta)
+        expected = (2 * log_term + 2 * np.sqrt(log_term) + 2) / n1
+        assert small_pk_threshold(n1, delta) == pytest.approx(expected)
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            small_pk_threshold(0, 0.05)
+        with pytest.raises(ValueError):
+            small_pk_threshold(100, 1.5)

@@ -1,0 +1,90 @@
+"""Tests for repro.stats.descriptive."""
+
+import numpy as np
+import pytest
+
+from repro.stats.descriptive import safe_mean, safe_std, safe_var, summarize, weighted_mean
+
+
+class TestSafeMean:
+    def test_basic(self):
+        assert safe_mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_empty_returns_default(self):
+        assert safe_mean([]) == 0.0
+
+    def test_custom_default(self):
+        assert safe_mean([], default=-1.0) == -1.0
+
+    def test_single_value(self):
+        assert safe_mean([7.5]) == 7.5
+
+    def test_numpy_input(self):
+        assert safe_mean(np.array([2.0, 4.0])) == pytest.approx(3.0)
+
+
+class TestSafeVar:
+    def test_matches_numpy_ddof1(self):
+        data = [1.0, 4.0, 9.0, 16.0]
+        assert safe_var(data) == pytest.approx(np.var(data, ddof=1))
+
+    def test_singleton_returns_default(self):
+        assert safe_var([5.0]) == 0.0
+
+    def test_empty_returns_default(self):
+        assert safe_var([]) == 0.0
+
+    def test_ddof_zero_singleton(self):
+        assert safe_var([5.0], ddof=0) == 0.0
+
+    def test_constant_sample_is_zero(self):
+        assert safe_var([3.0, 3.0, 3.0]) == 0.0
+
+
+class TestSafeStd:
+    def test_matches_numpy(self):
+        data = [2.0, 8.0, 4.0]
+        assert safe_std(data) == pytest.approx(np.std(data, ddof=1))
+
+    def test_singleton_returns_default(self):
+        assert safe_std([1.0]) == 0.0
+
+    def test_empty_custom_default(self):
+        assert safe_std([], default=2.5) == 2.5
+
+    def test_non_negative(self):
+        assert safe_std([-5.0, -1.0, -3.0]) >= 0.0
+
+
+class TestWeightedMean:
+    def test_basic(self):
+        assert weighted_mean([1.0, 3.0], [1.0, 1.0]) == pytest.approx(2.0)
+
+    def test_weights_matter(self):
+        assert weighted_mean([1.0, 3.0], [3.0, 1.0]) == pytest.approx(1.5)
+
+    def test_all_zero_weights(self):
+        assert weighted_mean([1.0, 2.0], [0.0, 0.0]) == 0.0
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            weighted_mean([1.0, 2.0], [1.0])
+
+    def test_single_element(self):
+        assert weighted_mean([4.0], [0.2]) == pytest.approx(4.0)
+
+
+class TestSummarize:
+    def test_empty(self):
+        summary = summarize([])
+        assert summary == {"n": 0, "mean": 0.0, "std": 0.0, "min": 0.0, "max": 0.0}
+
+    def test_fields(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary["n"] == 3
+        assert summary["mean"] == pytest.approx(2.0)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+
+    def test_single_value_std_zero(self):
+        assert summarize([4.0])["std"] == 0.0

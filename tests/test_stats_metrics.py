@@ -1,0 +1,136 @@
+"""Tests for repro.stats.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.stats.metrics import (
+    ci_covers,
+    ci_width,
+    coverage_rate,
+    mean_absolute_error,
+    normalized_q_error,
+    q_error,
+    relative_error,
+    rmse,
+    samples_to_reach_error,
+)
+
+
+class TestRmse:
+    def test_perfect_estimates(self):
+        assert rmse([2.0, 2.0, 2.0], 2.0) == 0.0
+
+    def test_known_value(self):
+        # errors are +1 and -1 -> RMSE 1
+        assert rmse([3.0, 1.0], 2.0) == pytest.approx(1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            rmse([], 1.0)
+
+    def test_single_estimate(self):
+        assert rmse([5.0], 3.0) == pytest.approx(2.0)
+
+
+class TestMae:
+    def test_known_value(self):
+        assert mean_absolute_error([1.0, 3.0], 2.0) == pytest.approx(1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error([], 0.0)
+
+
+class TestRelativeError:
+    def test_known_value(self):
+        assert relative_error(11.0, 10.0) == pytest.approx(0.1)
+
+    def test_zero_truth_raises(self):
+        with pytest.raises(ValueError):
+            relative_error(1.0, 0.0)
+
+    def test_symmetric_in_sign_of_truth(self):
+        assert relative_error(-11.0, -10.0) == pytest.approx(0.1)
+
+
+class TestQError:
+    def test_equal_is_one(self):
+        assert q_error(5.0, 5.0) == 1.0
+
+    def test_overestimate(self):
+        assert q_error(10.0, 5.0) == pytest.approx(2.0)
+
+    def test_underestimate_symmetric(self):
+        assert q_error(5.0, 10.0) == pytest.approx(2.0)
+
+    def test_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            q_error(0.0, 1.0)
+        with pytest.raises(ValueError):
+            q_error(1.0, -1.0)
+
+    def test_normalized(self):
+        assert normalized_q_error(10.0, 5.0) == pytest.approx(100.0)
+        assert normalized_q_error(5.0, 5.0) == 0.0
+
+
+class TestCi:
+    def test_width(self):
+        assert ci_width(1.0, 3.0) == 2.0
+
+    def test_inverted_raises(self):
+        with pytest.raises(ValueError):
+            ci_width(3.0, 1.0)
+
+    def test_covers_inside(self):
+        assert ci_covers(1.0, 3.0, 2.0)
+
+    def test_covers_boundary(self):
+        assert ci_covers(1.0, 3.0, 1.0)
+        assert ci_covers(1.0, 3.0, 3.0)
+
+    def test_not_covers_outside(self):
+        assert not ci_covers(1.0, 3.0, 4.0)
+
+    def test_coverage_rate(self):
+        lowers = [0.0, 0.0, 2.5]
+        uppers = [1.0, 3.0, 3.0]
+        assert coverage_rate(lowers, uppers, 2.0) == pytest.approx(1.0 / 3.0)
+
+    def test_coverage_empty_raises(self):
+        with pytest.raises(ValueError):
+            coverage_rate([], [], 1.0)
+
+    def test_coverage_mismatched_raises(self):
+        with pytest.raises(ValueError):
+            coverage_rate([1.0], [2.0, 3.0], 1.0)
+
+    def test_coverage_inverted_raises(self):
+        with pytest.raises(ValueError):
+            coverage_rate([2.0], [1.0], 1.5)
+
+
+class TestSamplesToReachError:
+    def test_exact_hit(self):
+        budgets = [100, 200, 300]
+        errors = [0.3, 0.2, 0.1]
+        assert samples_to_reach_error(budgets, errors, 0.2) == pytest.approx(200.0)
+
+    def test_interpolates(self):
+        budgets = [100, 200]
+        errors = [0.4, 0.2]
+        # Target 0.3 sits halfway between the two measurements.
+        assert samples_to_reach_error(budgets, errors, 0.3) == pytest.approx(150.0)
+
+    def test_first_budget_already_good(self):
+        assert samples_to_reach_error([100, 200], [0.1, 0.05], 0.2) == 100.0
+
+    def test_never_reached(self):
+        assert samples_to_reach_error([100, 200], [0.5, 0.4], 0.1) == float("inf")
+
+    def test_unsorted_budgets_accepted(self):
+        assert samples_to_reach_error([300, 100, 200], [0.1, 0.3, 0.2], 0.2) == pytest.approx(200.0)
+
+    def test_mismatched_raises(self):
+        with pytest.raises(ValueError):
+            samples_to_reach_error([1, 2], [0.1], 0.05)

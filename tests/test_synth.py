@@ -1,0 +1,224 @@
+"""Tests for the synthetic dataset generators (repro.synth)."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.catalog import Catalog
+from repro.synth.base import GroupByScenario, MultiPredicateScenario, Scenario
+from repro.synth.datasets import (
+    DATASET_NAMES,
+    DATASET_SPECS,
+    default_catalog,
+    make_dataset,
+    make_synthetic_scenario,
+)
+from repro.synth.scenarios import (
+    make_groupby_scenario,
+    make_multipred_scenario,
+    make_proxy_combination_scenario,
+)
+
+
+class TestMakeDataset:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_every_dataset_builds(self, name):
+        scenario = make_dataset(name, seed=0, size=3000)
+        assert scenario.num_records == 3000
+        assert scenario.labels.shape == (3000,)
+        assert scenario.statistic_values.shape == (3000,)
+        assert len(scenario.proxy) == 3000
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_positive_rate_matches_spec(self, name):
+        scenario = make_dataset(name, seed=0, size=20_000)
+        spec = DATASET_SPECS[name]
+        assert scenario.positive_rate == pytest.approx(spec.positive_rate, abs=0.03)
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_proxy_is_informative(self, name):
+        scenario = make_dataset(name, seed=0, size=20_000)
+        assert scenario.proxy.correlation_with(scenario.labels) > 0.2
+
+    def test_deterministic_given_seed(self):
+        a = make_dataset("celeba", seed=4, size=2000)
+        b = make_dataset("celeba", seed=4, size=2000)
+        assert np.array_equal(a.labels, b.labels)
+        assert np.array_equal(a.statistic_values, b.statistic_values)
+        assert np.array_equal(a.proxy.scores(), b.proxy.scores())
+
+    def test_different_seeds_differ(self):
+        a = make_dataset("celeba", seed=1, size=2000)
+        b = make_dataset("celeba", seed=2, size=2000)
+        assert not np.array_equal(a.labels, b.labels)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            make_dataset("imagenet")
+
+    def test_invalid_size_raises(self):
+        with pytest.raises(ValueError):
+            make_dataset("celeba", size=0)
+
+    def test_ground_truth_matches_numpy(self):
+        scenario = make_dataset("trec05p", seed=0, size=5000)
+        expected = scenario.statistic_values[scenario.labels].mean()
+        assert scenario.ground_truth() == pytest.approx(expected)
+        assert scenario.ground_truth_sum() == pytest.approx(
+            scenario.statistic_values[scenario.labels].sum()
+        )
+        assert scenario.ground_truth_count() == int(scenario.labels.sum())
+
+    def test_fresh_oracle_each_time(self):
+        scenario = make_dataset("trec05p", seed=0, size=1000)
+        a = scenario.make_oracle()
+        a(0)
+        b = scenario.make_oracle()
+        assert b.num_calls == 0
+
+    def test_table_carries_statistic_and_proxy(self):
+        scenario = make_dataset("night-street", seed=0, size=1000)
+        assert "statistic" in scenario.table
+        assert "proxy_score" in scenario.table
+
+    def test_car_counts_positive_when_car_present(self):
+        scenario = make_dataset("night-street", seed=0, size=5000)
+        assert np.all(scenario.statistic_values[scenario.labels] >= 1.0)
+        assert np.all(scenario.statistic_values[~scenario.labels] == 0.0)
+
+    def test_star_ratings_in_range(self):
+        scenario = make_dataset("amazon-office", seed=0, size=5000)
+        assert scenario.statistic_values.min() >= 1.0
+        assert scenario.statistic_values.max() <= 5.0
+
+
+class TestSyntheticScenario:
+    def test_default_build(self):
+        scenario = make_synthetic_scenario(seed=0, size=5000)
+        assert scenario.name == "synthetic"
+        assert "positive_rates" in scenario.extra
+
+    def test_explicit_positive_rates(self):
+        rates = np.array([0.05, 0.2, 0.6])
+        scenario = make_synthetic_scenario(
+            seed=0, size=6000, positive_rates=rates,
+            statistic_means=[1.0, 2.0, 3.0], statistic_stds=[0.5, 0.5, 0.5],
+        )
+        group_of = scenario.table.values("latent_group")
+        for g, rate in enumerate(rates):
+            observed = scenario.labels[group_of == g].mean()
+            assert observed == pytest.approx(rate, abs=0.05)
+
+    def test_mismatched_parameters_raise(self):
+        with pytest.raises(ValueError):
+            make_synthetic_scenario(
+                positive_rates=[0.1, 0.2], statistic_means=[1.0], statistic_stds=[1.0]
+            )
+
+    def test_make_dataset_dispatches_synthetic(self):
+        scenario = make_dataset("synthetic", seed=0, size=2000)
+        assert scenario.name == "synthetic"
+
+
+class TestMultiPredScenarios:
+    @pytest.mark.parametrize("name", ["night-street", "synthetic"])
+    def test_builds(self, name):
+        workload = make_multipred_scenario(name, seed=0, size=5000)
+        assert isinstance(workload, MultiPredicateScenario)
+        assert len(workload.predicate_names) == 2
+
+    def test_combined_is_conjunction(self):
+        workload = make_multipred_scenario("night-street", seed=0, size=5000)
+        a, b = (workload.predicate_labels[n] for n in workload.predicate_names)
+        assert np.array_equal(workload.combined_labels, a & b)
+
+    def test_night_street_joint_rate_near_paper(self):
+        workload = make_multipred_scenario("night-street", seed=0, size=30_000)
+        rate = workload.combined_labels.mean()
+        assert rate == pytest.approx(0.17, abs=0.04)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            make_multipred_scenario("bogus")
+
+    def test_per_predicate_oracles(self):
+        workload = make_multipred_scenario("synthetic", seed=0, size=2000)
+        name = workload.predicate_names[0]
+        oracle = workload.make_oracle(name)
+        assert oracle(0) == bool(workload.predicate_labels[name][0])
+        with pytest.raises(KeyError):
+            workload.make_oracle("nope")
+
+
+class TestGroupByScenarios:
+    @pytest.mark.parametrize("name,setting", [
+        ("celeba", "single"), ("celeba", "multi"),
+        ("synthetic", "single"), ("synthetic", "multi"),
+    ])
+    def test_builds(self, name, setting):
+        workload = make_groupby_scenario(name, setting=setting, seed=0, size=5000)
+        assert isinstance(workload, GroupByScenario)
+        assert len(workload.groups) >= 2
+
+    def test_synthetic_single_rates_match_paper(self):
+        workload = make_groupby_scenario("synthetic", setting="single", seed=0, size=60_000)
+        rates = [workload.group_positive_rate(g) for g in workload.groups]
+        assert rates == pytest.approx([0.033, 0.033, 0.034, 0.035], abs=0.01)
+
+    def test_synthetic_multi_rates_match_paper(self):
+        workload = make_groupby_scenario("synthetic", setting="multi", seed=0, size=60_000)
+        rates = [workload.group_positive_rate(g) for g in workload.groups]
+        assert rates == pytest.approx([0.16, 0.12, 0.09, 0.05], abs=0.02)
+
+    def test_groups_are_disjoint(self):
+        workload = make_groupby_scenario("celeba", setting="single", seed=0, size=5000)
+        memberships = np.zeros(workload.num_records)
+        for group in workload.groups:
+            memberships += np.array([k == group for k in workload.group_keys])
+        assert memberships.max() <= 1
+
+    def test_invalid_setting_raises(self):
+        with pytest.raises(ValueError):
+            make_groupby_scenario("celeba", setting="bogus")
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            make_groupby_scenario("bogus")
+
+
+class TestProxyCombinationScenario:
+    @pytest.mark.parametrize("name", ["trec05p", "synthetic"])
+    def test_builds_with_candidates(self, name):
+        scenario = make_proxy_combination_scenario(name, seed=0, size=4000)
+        candidates = scenario.extra["candidate_proxies"]
+        assert len(candidates) >= 3
+        assert all(len(p) == scenario.num_records for p in candidates)
+
+    def test_candidates_span_quality_range(self):
+        scenario = make_proxy_combination_scenario("trec05p", seed=0, size=10_000)
+        candidates = scenario.extra["candidate_proxies"]
+        correlations = [p.correlation_with(scenario.labels) for p in candidates]
+        assert correlations[0] > 0.3          # the best candidate is informative
+        assert abs(correlations[-1]) < 0.1    # the last one is random
+        # Every candidate is individually weaker than the dataset's main proxy,
+        # which is the regime where combining them pays off (Figure 12).
+        main_corr = scenario.proxy.correlation_with(scenario.labels)
+        assert all(c < main_corr for c in correlations)
+
+    def test_invalid_args_raise(self):
+        with pytest.raises(KeyError):
+            make_proxy_combination_scenario("bogus")
+        with pytest.raises(ValueError):
+            make_proxy_combination_scenario("trec05p", num_proxies=1)
+
+
+class TestDefaultCatalog:
+    def test_all_datasets_registered(self):
+        catalog = default_catalog(seed=0, size=1000)
+        assert isinstance(catalog, Catalog)
+        assert set(catalog.names()) == set(DATASET_NAMES)
+
+    def test_entries_materialize(self):
+        catalog = default_catalog(seed=0, size=1000)
+        entry = catalog.get("trec05p")
+        assert entry.size == 1000
+        assert entry.positive_rate() > 0.3
