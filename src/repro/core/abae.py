@@ -25,6 +25,7 @@ from typing import Callable, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.core.allocation import allocation_from_estimates
+from repro.core.batching import DEFAULT_BATCH_SIZE, label_records
 from repro.core.bootstrap import bootstrap_confidence_interval
 from repro.core.estimators import combine_estimates, estimate_all_strata
 from repro.core.results import EstimateResult
@@ -41,17 +42,42 @@ __all__ = ["ABae", "run_abae", "draw_stratum_sample", "bounded_allocation"]
 
 StatisticLike = Union[Callable[[int], float], Sequence[float], np.ndarray]
 
+# Sentinel distinguishing "argument omitted" from an explicit None (which
+# legitimately means "whole-draw batches") in ABae.estimate.
+_UNSET = object()
+
+
+class _ArrayStatistic:
+    """Adapter giving a precomputed value array both call styles.
+
+    Calling it with one index mirrors the legacy scalar interface; the
+    ``batch`` method gathers many records with a single fancy index, which
+    is what :func:`repro.core.batching.label_records` consumes.
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values: np.ndarray):
+        self._values = values
+
+    def __call__(self, record_index: int) -> float:
+        return float(self._values[record_index])
+
+    def batch(self, record_indices) -> np.ndarray:
+        return self._values[np.asarray(record_indices, dtype=np.int64)]
+
 
 def _normalize_statistic(statistic: StatisticLike) -> Callable[[int], float]:
-    """Accept either a per-record callable or a precomputed value array."""
+    """Accept either a per-record callable or a precomputed value array.
+
+    Arrays come back wrapped in :class:`_ArrayStatistic` so the batched
+    execution engine can gather values without a Python-level loop;
+    callables pass through unchanged (keeping any ``batch`` method they
+    already expose, e.g. :class:`repro.oracle.base.StatisticOracle`).
+    """
     if callable(statistic):
         return statistic
-    values = np.asarray(statistic, dtype=float)
-
-    def lookup(index: int) -> float:
-        return float(values[index])
-
-    return lookup
+    return _ArrayStatistic(np.asarray(statistic, dtype=float))
 
 
 def draw_stratum_sample(
@@ -61,21 +87,22 @@ def draw_stratum_sample(
     oracle: Callable[[int], bool],
     statistic: Callable[[int], float],
     rng: RandomState,
+    batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
 ) -> StratumSample:
     """Sample ``n`` records without replacement and label them with the oracle.
 
     The statistic is only evaluated for records that satisfy the predicate
     (its value is undefined otherwise — e.g. ``count_cars`` of a frame with
     no cars filtered by ``count_cars > 0``); non-matching draws carry NaN.
+
+    ``batch_size`` controls how many records each oracle invocation labels
+    (``None`` = the whole draw in one batch, ``1`` = the strictly sequential
+    legacy path); every setting yields bit-identical samples and oracle
+    accounting because record selection happens before labeling and never
+    shares the random stream with it.
     """
     drawn = sample_without_replacement(candidate_indices, n, rng)
-    matches = np.empty(drawn.shape[0], dtype=bool)
-    values = np.full(drawn.shape[0], np.nan, dtype=float)
-    for i, record_index in enumerate(drawn):
-        is_match = bool(oracle(int(record_index)))
-        matches[i] = is_match
-        if is_match:
-            values[i] = float(statistic(int(record_index)))
+    matches, values = label_records(drawn, oracle, statistic, batch_size)
     return StratumSample(
         stratum=stratum_index, indices=drawn, matches=matches, values=values
     )
@@ -135,6 +162,7 @@ def run_abae(
     alpha: float = 0.05,
     num_bootstrap: int = 1000,
     rng: Optional[RandomState] = None,
+    batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
 ) -> EstimateResult:
     """Execute Algorithm 1 once and return the estimate (optionally with a CI).
 
@@ -164,6 +192,10 @@ def run_abae(
         Bootstrap confidence-interval controls (Algorithm 2).
     rng:
         Source of randomness; defaults to a fresh seed-0 generator.
+    batch_size:
+        Records per oracle invocation batch (``None`` = whole per-stratum
+        draws at once, ``1`` = strictly per-record).  Purely a performance
+        knob: results and oracle call counts are identical for every value.
     """
     rng = rng or RandomState(0)
     if isinstance(proxy, Proxy):
@@ -194,6 +226,7 @@ def run_abae(
                 oracle,
                 statistic_fn,
                 rng,
+                batch_size=batch_size,
             )
         )
 
@@ -211,14 +244,19 @@ def run_abae(
 
     stage2_samples: List[StratumSample] = []
     for k in range(num_strata):
-        already_drawn = set(stage1_samples[k].indices.tolist())
-        fresh_candidates = np.array(
-            [i for i in stratification.stratum(k) if i not in already_drawn],
-            dtype=np.int64,
-        )
+        stratum = stratification.stratum(k)
+        fresh_candidates = stratum[
+            ~np.isin(stratum, stage1_samples[k].indices)
+        ]
         stage2_samples.append(
             draw_stratum_sample(
-                k, fresh_candidates, stage2_counts[k], oracle, statistic_fn, rng
+                k,
+                fresh_candidates,
+                stage2_counts[k],
+                oracle,
+                statistic_fn,
+                rng,
+                batch_size=batch_size,
             )
         )
 
@@ -280,6 +318,7 @@ class ABae:
         num_strata: int = 5,
         stage1_fraction: float = 0.5,
         reuse_samples: bool = True,
+        batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
     ):
         if num_strata <= 0:
             raise ValueError(f"num_strata must be positive, got {num_strata}")
@@ -287,12 +326,23 @@ class ABae:
             raise ValueError(
                 f"stage1_fraction must be strictly between 0 and 1, got {stage1_fraction}"
             )
+        if batch_size is not None and batch_size < 1:
+            raise ValueError(f"batch_size must be a positive integer, got {batch_size}")
         self.proxy = proxy
         self.oracle = oracle
         self.statistic = statistic
         self.num_strata = num_strata
         self.stage1_fraction = stage1_fraction
         self.reuse_samples = reuse_samples
+        self.batch_size = batch_size
+        # Proxy-quantile stratification is deterministic in (proxy, K), so
+        # the facade builds it once and reuses it across estimate() calls —
+        # repeated queries skip the O(n log n) sort of the score vector.
+        # The cache is keyed on (proxy identity, num_strata) so reassigning
+        # either public attribute transparently rebuilds it; mutating a score
+        # array in place is not detected.
+        self._stratification: Optional[Stratification] = None
+        self._stratification_key = None
 
     def estimate(
         self,
@@ -302,10 +352,32 @@ class ABae:
         num_bootstrap: int = 1000,
         rng: Optional[RandomState] = None,
         seed: Optional[int] = None,
+        batch_size: Optional[int] = _UNSET,
     ) -> EstimateResult:
-        """Run the two-stage sampler with the configured parameters."""
+        """Run the two-stage sampler with the configured parameters.
+
+        ``batch_size`` overrides the instance-level setting for this run
+        when given (including an explicit ``None`` for whole-draw batches).
+        """
         if rng is None:
             rng = RandomState(seed)
+        effective_batch = self.batch_size if batch_size is _UNSET else batch_size
+        cache_valid = (
+            self._stratification is not None
+            and self._stratification_key is not None
+            and self._stratification_key[0] is self.proxy
+            and self._stratification_key[1] == self.num_strata
+        )
+        if not cache_valid:
+            proxy_obj = (
+                self.proxy
+                if isinstance(self.proxy, Proxy)
+                else PrecomputedProxy(np.asarray(self.proxy, dtype=float), name="scores")
+            )
+            self._stratification = Stratification.by_proxy_quantile(
+                proxy_obj, self.num_strata
+            )
+            self._stratification_key = (self.proxy, self.num_strata)
         return run_abae(
             proxy=self.proxy,
             oracle=self.oracle,
@@ -314,8 +386,10 @@ class ABae:
             num_strata=self.num_strata,
             stage1_fraction=self.stage1_fraction,
             reuse_samples=self.reuse_samples,
+            stratification=self._stratification,
             with_ci=with_ci,
             alpha=alpha,
             num_bootstrap=num_bootstrap,
             rng=rng,
+            batch_size=effective_batch,
         )

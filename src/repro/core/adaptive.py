@@ -30,6 +30,7 @@ from repro.core.abae import (
     _normalize_statistic,
     draw_stratum_sample,
 )
+from repro.core.batching import DEFAULT_BATCH_SIZE
 from repro.core.bootstrap import bootstrap_confidence_interval
 from repro.core.estimators import combine_estimates, estimate_all_strata
 from repro.core.results import EstimateResult
@@ -104,12 +105,16 @@ def run_abae_sequential(
     alpha: float = 0.05,
     num_bootstrap: int = 1000,
     rng: Optional[RandomState] = None,
+    oracle_batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
 ) -> EstimateResult:
     """Bandit-style ABae: re-allocate after every batch instead of once.
 
     Parameters mirror :func:`repro.core.abae.run_abae`; ``warmup_per_stratum``
     plays the role of a (much smaller) Stage 1, and ``batch_size`` controls
-    how often the allocation is revisited.
+    how often the allocation is revisited.  ``oracle_batch_size`` is the
+    execution-engine knob (records per oracle invocation batch) and is
+    named distinctly because ``batch_size`` here already means the
+    re-allocation cadence; it never changes results.
     """
     if budget < 0:
         raise ValueError(f"budget must be non-negative, got {budget}")
@@ -134,7 +139,10 @@ def run_abae_sequential(
         if count <= 0 or not remaining[k]:
             return
         candidates = np.fromiter(remaining[k], dtype=np.int64)
-        fresh = draw_stratum_sample(k, candidates, count, oracle, statistic_fn, rng)
+        fresh = draw_stratum_sample(
+            k, candidates, count, oracle, statistic_fn, rng,
+            batch_size=oracle_batch_size,
+        )
         remaining[k].difference_update(fresh.indices.tolist())
         samples[k] = samples[k].extend(fresh)
         spent += fresh.num_draws
@@ -207,6 +215,7 @@ def run_abae_until_width(
     alpha: float = 0.05,
     num_bootstrap: int = 300,
     rng: Optional[RandomState] = None,
+    oracle_batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
 ) -> EstimateResult:
     """Sample until the bootstrap CI is narrower than ``target_width``.
 
@@ -240,7 +249,10 @@ def run_abae_until_width(
         if count <= 0 or not remaining[k]:
             return
         candidates = np.fromiter(remaining[k], dtype=np.int64)
-        fresh = draw_stratum_sample(k, candidates, count, oracle, statistic_fn, rng)
+        fresh = draw_stratum_sample(
+            k, candidates, count, oracle, statistic_fn, rng,
+            batch_size=oracle_batch_size,
+        )
         remaining[k].difference_update(fresh.indices.tolist())
         samples[k] = samples[k].extend(fresh)
         spent += fresh.num_draws

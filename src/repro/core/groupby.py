@@ -34,6 +34,13 @@ from repro.core.abae import (
     run_abae,
 )
 from repro.core.allocation import optimal_allocation
+from repro.core.batching import (
+    DEFAULT_BATCH_SIZE,
+    batch_slices,
+    label_records,
+    statistic_batch,
+)
+from repro.oracle.base import evaluate_oracle_batch
 from repro.core.estimators import (
     combine_estimates,
     estimate_all_strata,
@@ -96,6 +103,48 @@ class _LabelledDraw:
     index: int
     key: Hashable
     value: float
+
+
+def _label_group_draws(
+    record_indices: np.ndarray,
+    oracle: GroupKeyOracle,
+    statistic_fn: Callable[[int], float],
+    group_keys: Sequence[Hashable],
+    batch_size: Optional[int],
+) -> List[_LabelledDraw]:
+    """Reveal group keys for drawn records through the batched engine.
+
+    The statistic is only extracted for records whose revealed key belongs
+    to one of the query's groups, mirroring the sequential path exactly.
+    ``batch_size=1`` reproduces the legacy per-record oracle calls.
+    """
+    idx = np.asarray(record_indices, dtype=np.int64)
+    draws: List[_LabelledDraw] = []
+    if batch_size == 1:
+        for record_index in idx:
+            key = oracle(int(record_index))
+            value = (
+                float(statistic_fn(int(record_index)))
+                if key in group_keys
+                else np.nan
+            )
+            draws.append(_LabelledDraw(index=int(record_index), key=key, value=value))
+        return draws
+    key_set = set(group_keys)
+    for chunk in batch_slices(idx.shape[0], batch_size):
+        chunk_idx = idx[chunk]
+        keys = evaluate_oracle_batch(oracle, chunk_idx)
+        in_group = np.fromiter(
+            (k in key_set for k in keys), dtype=bool, count=len(keys)
+        )
+        values = np.full(len(keys), np.nan, dtype=float)
+        if in_group.any():
+            values[in_group] = statistic_batch(statistic_fn, chunk_idx[in_group])
+        for record_index, key, value in zip(chunk_idx, keys, values):
+            draws.append(
+                _LabelledDraw(index=int(record_index), key=key, value=float(value))
+            )
+    return draws
 
 
 def _draws_to_stratum_samples(
@@ -174,11 +223,14 @@ def run_groupby_single_oracle(
     stage1_fraction: float = 0.5,
     allocation_method: str = "minimax",
     rng: Optional[RandomState] = None,
+    batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
 ) -> GroupByResult:
     """GROUP BY estimation when one oracle call reveals the group key.
 
     ``budget`` is the total number of oracle invocations.  Returns per-group
     estimates plus the Stage-2 allocation Λ chosen for each stratification.
+    ``batch_size`` tunes oracle batching (see :mod:`repro.core.batching`)
+    without changing results.
     """
     _validate_allocation_method(allocation_method)
     if not groups:
@@ -197,7 +249,7 @@ def run_groupby_single_oracle(
 
     if allocation_method == "uniform":
         return _groupby_uniform_single_oracle(
-            group_keys, oracle, statistic_fn, budget, num_records, rng
+            group_keys, oracle, statistic_fn, budget, num_records, rng, batch_size
         )
 
     stratifications = [
@@ -211,13 +263,9 @@ def run_groupby_single_oracle(
     pilot_indices = sample_without_replacement(
         np.arange(num_records, dtype=np.int64), n1, rng
     )
-    draws: List[_LabelledDraw] = []
-    for record_index in pilot_indices:
-        key = oracle(int(record_index))
-        value = (
-            float(statistic_fn(int(record_index))) if key in group_keys else np.nan
-        )
-        draws.append(_LabelledDraw(index=int(record_index), key=key, value=value))
+    draws: List[_LabelledDraw] = _label_group_draws(
+        pilot_indices, oracle, statistic_fn, group_keys, batch_size
+    )
     drawn_set = {d.index for d in draws}
 
     # ---- Per-stratification estimates and within-stratification allocations -----
@@ -249,28 +297,21 @@ def run_groupby_single_oracle(
     lam_counts = _integerize(lam, n2)
     for l in range(num_groups):
         stratification = stratifications[l]
-        capacities = [
-            int(np.sum(~np.isin(stratification.stratum(k), list(drawn_set))))
+        drawn_array = np.fromiter(drawn_set, dtype=np.int64, count=len(drawn_set))
+        fresh_per_stratum = [
+            stratification.stratum(k)[
+                ~np.isin(stratification.stratum(k), drawn_array)
+            ]
             for k in range(num_strata)
         ]
+        capacities = [int(fresh.size) for fresh in fresh_per_stratum]
         counts = bounded_allocation(within_allocations[l], lam_counts[l], capacities)
         for k in range(num_strata):
-            candidates = np.array(
-                [i for i in stratification.stratum(k) if i not in drawn_set],
-                dtype=np.int64,
+            chosen = sample_without_replacement(fresh_per_stratum[k], counts[k], rng)
+            draws.extend(
+                _label_group_draws(chosen, oracle, statistic_fn, group_keys, batch_size)
             )
-            chosen = sample_without_replacement(candidates, counts[k], rng)
-            for record_index in chosen:
-                key = oracle(int(record_index))
-                value = (
-                    float(statistic_fn(int(record_index)))
-                    if key in group_keys
-                    else np.nan
-                )
-                draws.append(
-                    _LabelledDraw(index=int(record_index), key=key, value=value)
-                )
-                drawn_set.add(int(record_index))
+            drawn_set.update(int(i) for i in chosen)
 
     # ---- Combine: inverse-variance weighting across stratifications --------------
     group_results: Dict[Hashable, EstimateResult] = {}
@@ -316,16 +357,17 @@ def _groupby_uniform_single_oracle(
     budget: int,
     num_records: int,
     rng: RandomState,
+    batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
 ) -> GroupByResult:
     """The Uniform baseline: one uniform sample, split by revealed group key."""
     indices = sample_without_replacement(
         np.arange(num_records, dtype=np.int64), budget, rng
     )
+    draws = _label_group_draws(indices, oracle, statistic_fn, group_keys, batch_size)
     per_group_values: Dict[Hashable, List[float]] = {g: [] for g in group_keys}
-    for record_index in indices:
-        key = oracle(int(record_index))
-        if key in per_group_values:
-            per_group_values[key].append(float(statistic_fn(int(record_index))))
+    for draw in draws:
+        if draw.key in per_group_values:
+            per_group_values[draw.key].append(draw.value)
     group_results = {
         group: EstimateResult(
             estimate=safe_mean(values),
@@ -377,12 +419,14 @@ def run_groupby_multi_oracle(
     stage1_fraction: float = 0.5,
     allocation_method: str = "minimax",
     rng: Optional[RandomState] = None,
+    batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
 ) -> GroupByResult:
     """GROUP BY estimation when each group has its own membership oracle.
 
     ``budget`` is the *total* number of oracle invocations across all
     groups' oracles (the paper normalizes by the number of groups when
-    plotting; the benchmark harness does the same).
+    plotting; the benchmark harness does the same).  ``batch_size`` tunes
+    oracle batching without changing results.
     """
     _validate_allocation_method(allocation_method)
     if not groups:
@@ -419,6 +463,7 @@ def run_groupby_multi_oracle(
                 statistic=statistic_fn,
                 budget=per_group_budget,
                 rng=rng_child,
+                batch_size=batch_size,
             )
             result.method = "uniform-groupby-multi"
             group_results[spec.key] = result
@@ -444,6 +489,7 @@ def run_groupby_multi_oracle(
             num_strata=num_strata,
             stage1_fraction=1.0,  # the whole per-group pilot budget is Stage 1
             rng=rng_child,
+            batch_size=batch_size,
         )
         pilot_results.append(pilot)
 
@@ -474,29 +520,27 @@ def run_groupby_multi_oracle(
             spec.proxy_object(), num_strata
         )
         pilot_samples = pilot_results[g].samples
-        drawn = {
-            int(i) for sample in pilot_samples for i in sample.indices.tolist()
-        }
-        capacities = [
-            int(np.sum(~np.isin(stratification.stratum(k), list(drawn))))
+        drawn = np.unique(
+            np.concatenate(
+                [sample.indices for sample in pilot_samples]
+                or [np.empty(0, dtype=np.int64)]
+            )
+        )
+        fresh_per_stratum = [
+            stratification.stratum(k)[~np.isin(stratification.stratum(k), drawn)]
             for k in range(num_strata)
         ]
+        capacities = [int(fresh.size) for fresh in fresh_per_stratum]
         counts = bounded_allocation(within_allocations[g], lam_counts[g], capacities)
         oracle_g = oracle_for(spec.key)
         combined_samples = []
         for k in range(num_strata):
-            candidates = np.array(
-                [i for i in stratification.stratum(k) if i not in drawn],
-                dtype=np.int64,
+            chosen = sample_without_replacement(
+                fresh_per_stratum[k], counts[k], rng_child
             )
-            chosen = sample_without_replacement(candidates, counts[k], rng_child)
-            matches = np.empty(chosen.shape[0], dtype=bool)
-            values = np.full(chosen.shape[0], np.nan, dtype=float)
-            for i, record_index in enumerate(chosen):
-                is_match = bool(oracle_g(int(record_index)))
-                matches[i] = is_match
-                if is_match:
-                    values[i] = float(statistic_fn(int(record_index)))
+            matches, values = label_records(
+                chosen, oracle_g, statistic_fn, batch_size
+            )
             fresh = StratumSample(
                 stratum=k, indices=chosen, matches=matches, values=values
             )

@@ -25,6 +25,7 @@ from typing import Callable, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.core.abae import StatisticLike, run_abae
+from repro.core.batching import DEFAULT_BATCH_SIZE
 from repro.core.results import EstimateResult
 from repro.oracle.base import Oracle
 from repro.oracle.composite import AndOracle, NotOracle, OrOracle
@@ -186,6 +187,7 @@ def run_abae_multipred(
     alpha: float = 0.05,
     num_bootstrap: int = 1000,
     rng: Optional[RandomState] = None,
+    batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
 ) -> EstimateResult:
     """Run ABae over a complex predicate expression.
 
@@ -194,7 +196,9 @@ def run_abae_multipred(
     returned result counts *composite* evaluations (one per drawn record);
     ``details["constituent_oracle_calls"]`` reports the total calls made to
     the underlying per-predicate oracles, which is the cost a system paying
-    per constituent DNN would incur.
+    per constituent DNN would incur.  Batched execution preserves the
+    sequential path's short-circuit per-constituent call counts exactly
+    (see :mod:`repro.oracle.composite`).
     """
     combined_scores = np.clip(expression.combined_scores(), 0.0, 1.0)
     combined_proxy = PrecomputedProxy(combined_scores, name="multipred_proxy")
@@ -211,6 +215,7 @@ def run_abae_multipred(
         alpha=alpha,
         num_bootstrap=num_bootstrap,
         rng=rng,
+        batch_size=batch_size,
     )
     result.method = "abae-multipred"
     if hasattr(composite_oracle, "total_children_calls"):

@@ -25,6 +25,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.core.abae import StatisticLike, _normalize_statistic
+from repro.core.batching import label_records
 from repro.core.allocation import (
     expected_speedup,
     optimal_stratified_mse,
@@ -86,8 +87,9 @@ def draw_pilot_sample(
     statistic: StatisticLike,
     pilot_budget: int,
     rng: Optional[RandomState] = None,
+    batch_size: Optional[int] = None,
 ) -> PilotSample:
-    """Draw a uniform pilot sample and label it with the oracle."""
+    """Draw a uniform pilot sample and label it with the batched engine."""
     if num_records <= 0:
         raise ValueError(f"num_records must be positive, got {num_records}")
     if pilot_budget <= 0:
@@ -97,13 +99,7 @@ def draw_pilot_sample(
     indices = sample_without_replacement(
         np.arange(num_records, dtype=np.int64), pilot_budget, rng
     )
-    matches = np.empty(indices.shape[0], dtype=bool)
-    values = np.full(indices.shape[0], np.nan, dtype=float)
-    for i, record_index in enumerate(indices):
-        is_match = bool(oracle(int(record_index)))
-        matches[i] = is_match
-        if is_match:
-            values[i] = float(statistic_fn(int(record_index)))
+    matches, values = label_records(indices, oracle, statistic_fn, batch_size)
     return PilotSample(indices=indices, matches=matches, values=values)
 
 
@@ -186,11 +182,14 @@ def combine_proxies(
             f"all proxies must score the same number of records, got {sorted(lengths)}"
         )
 
-    all_scores = np.column_stack([p.scores() for p in proxies])
-    features = all_scores[pilot.indices]
+    # Feature extraction touches only the pilot records, so lazy proxies
+    # (CallableProxy, LogisticProxy) score just those rows here; the full
+    # vectors are only materialized for the final combined prediction.
+    features = np.column_stack([p.scores_batch(pilot.indices) for p in proxies])
     labels = pilot.matches.astype(float)
 
     model = LogisticRegression(learning_rate=learning_rate, max_iter=max_iter)
     model.fit(features, labels)
+    all_scores = np.column_stack([p.scores() for p in proxies])
     combined = np.clip(model.predict_proba(all_scores), 0.0, 1.0)
     return PrecomputedProxy(combined, name=name)

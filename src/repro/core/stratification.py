@@ -38,10 +38,13 @@ class Stratification:
                 f"strata cover {seen} records but the dataset has {num_records}"
             )
         all_indices = np.concatenate(cleaned) if cleaned else np.empty(0, dtype=np.int64)
-        if np.unique(all_indices).size != all_indices.size:
-            raise ValueError("strata must be disjoint (duplicate record index found)")
         if all_indices.size and (all_indices.min() < 0 or all_indices.max() >= num_records):
             raise ValueError("stratum indices out of range for the dataset")
+        # With indices known to lie in [0, num_records), a bincount detects
+        # duplicates in O(n) — far cheaper than hashing via np.unique, and
+        # this constructor sits on the per-query hot path.
+        if all_indices.size and np.bincount(all_indices, minlength=num_records).max() > 1:
+            raise ValueError("strata must be disjoint (duplicate record index found)")
         self._strata = cleaned
         self._num_records = num_records
 

@@ -13,7 +13,13 @@ from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.core.abae import StatisticLike, _normalize_statistic, draw_stratum_sample
+from repro.core.abae import (
+    _UNSET,
+    StatisticLike,
+    _normalize_statistic,
+    draw_stratum_sample,
+)
+from repro.core.batching import DEFAULT_BATCH_SIZE
 from repro.core.bootstrap import bootstrap_confidence_interval
 from repro.core.estimators import estimate_all_strata
 from repro.core.results import EstimateResult
@@ -31,8 +37,13 @@ def run_uniform(
     alpha: float = 0.05,
     num_bootstrap: int = 1000,
     rng: Optional[RandomState] = None,
+    batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
 ) -> EstimateResult:
-    """Estimate the aggregate by uniform sampling without replacement."""
+    """Estimate the aggregate by uniform sampling without replacement.
+
+    ``batch_size`` tunes oracle batching exactly as in
+    :func:`repro.core.abae.run_abae`; results are identical for all values.
+    """
     if num_records <= 0:
         raise ValueError(f"num_records must be positive, got {num_records}")
     if budget < 0:
@@ -41,7 +52,13 @@ def run_uniform(
     statistic_fn = _normalize_statistic(statistic)
 
     sample = draw_stratum_sample(
-        0, np.arange(num_records, dtype=np.int64), budget, oracle, statistic_fn, rng
+        0,
+        np.arange(num_records, dtype=np.int64),
+        budget,
+        oracle,
+        statistic_fn,
+        rng,
+        batch_size=batch_size,
     )
     positives = sample.positive_values
     estimate = float(positives.mean()) if positives.size else 0.0
@@ -71,12 +88,16 @@ class UniformSampler:
         num_records: int,
         oracle: Callable[[int], bool],
         statistic: StatisticLike,
+        batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
     ):
         if num_records <= 0:
             raise ValueError(f"num_records must be positive, got {num_records}")
+        if batch_size is not None and batch_size < 1:
+            raise ValueError(f"batch_size must be a positive integer, got {batch_size}")
         self.num_records = num_records
         self.oracle = oracle
         self.statistic = statistic
+        self.batch_size = batch_size
 
     def estimate(
         self,
@@ -86,9 +107,11 @@ class UniformSampler:
         num_bootstrap: int = 1000,
         rng: Optional[RandomState] = None,
         seed: Optional[int] = None,
+        batch_size: Optional[int] = _UNSET,
     ) -> EstimateResult:
         if rng is None:
             rng = RandomState(seed)
+        effective_batch = self.batch_size if batch_size is _UNSET else batch_size
         return run_uniform(
             num_records=self.num_records,
             oracle=self.oracle,
@@ -98,4 +121,5 @@ class UniformSampler:
             alpha=alpha,
             num_bootstrap=num_bootstrap,
             rng=rng,
+            batch_size=effective_batch,
         )

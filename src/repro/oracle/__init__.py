@@ -21,8 +21,14 @@ result (and, for group-by queries, a group key).  This package provides:
   charged once, matching how a real system would cache DNN outputs.
 """
 
-from repro.oracle.base import Oracle, OracleCallRecord, PredicateOracle, StatisticOracle
-from repro.oracle.budget import OracleBudget, OracleBudgetExceededError
+from repro.oracle.base import (
+    Oracle,
+    OracleCallRecord,
+    PredicateOracle,
+    StatisticOracle,
+    evaluate_oracle_batch,
+)
+from repro.oracle.budget import BudgetedOracle, OracleBudget, OracleBudgetExceededError
 from repro.oracle.cache import CachingOracle
 from repro.oracle.simulated import (
     LabelColumnOracle,
@@ -38,8 +44,10 @@ __all__ = [
     "OracleCallRecord",
     "PredicateOracle",
     "StatisticOracle",
+    "evaluate_oracle_batch",
     "OracleBudget",
     "OracleBudgetExceededError",
+    "BudgetedOracle",
     "CachingOracle",
     "LabelColumnOracle",
     "ThresholdOracle",

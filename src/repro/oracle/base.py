@@ -11,9 +11,17 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
-__all__ = ["OracleCallRecord", "Oracle", "PredicateOracle", "StatisticOracle"]
+import numpy as np
+
+__all__ = [
+    "OracleCallRecord",
+    "Oracle",
+    "PredicateOracle",
+    "StatisticOracle",
+    "evaluate_oracle_batch",
+]
 
 
 @dataclass
@@ -79,24 +87,59 @@ class Oracle(abc.ABC):
         self._total_cost = 0.0
         self._log.clear()
 
+    def _record(self, record_indices: Sequence[int], results: Sequence) -> None:
+        """The single accounting point for every oracle invocation.
+
+        Invariant: each evaluated record charges exactly one ``num_calls``
+        unit and one ``cost_per_call`` unit, and (when logging is enabled)
+        appends exactly one :class:`OracleCallRecord`, in evaluation order.
+        Both :meth:`__call__` and :meth:`evaluate_batch` route through this
+        helper, so a batch of ``n`` records is indistinguishable — in
+        counters, cost and log — from ``n`` sequential calls.
+        """
+        count = len(record_indices)
+        self._num_calls += count
+        self._total_cost += self._cost_per_call * count
+        if self._keep_log:
+            for record_index, result in zip(record_indices, results):
+                self._log.append(
+                    OracleCallRecord(
+                        record_index=int(record_index),
+                        result=result,
+                        cost=self._cost_per_call,
+                    )
+                )
+
     # -- Evaluation ---------------------------------------------------------------
     def __call__(self, record_index: int):
         result = self._evaluate(record_index)
-        self._num_calls += 1
-        self._total_cost += self._cost_per_call
-        if self._keep_log:
-            self._log.append(
-                OracleCallRecord(
-                    record_index=int(record_index),
-                    result=result,
-                    cost=self._cost_per_call,
-                )
-            )
+        self._record((record_index,), (result,))
         return result
+
+    def evaluate_batch(self, record_indices: Sequence[int]):
+        """Evaluate many records at once, with identical accounting semantics.
+
+        Returns a sequence of results aligned with ``record_indices``.  The
+        default implementation loops over :meth:`_evaluate`; subclasses
+        backed by arrays override :meth:`_evaluate_batch` with vectorized
+        NumPy implementations.  Counters, cost and the call log advance
+        exactly as if each record had been evaluated with :meth:`__call__`.
+        """
+        results = self._evaluate_batch(record_indices)
+        self._record(record_indices, results)
+        return results
 
     @abc.abstractmethod
     def _evaluate(self, record_index: int):
         """Produce the oracle's answer for one record (no accounting)."""
+
+    def _evaluate_batch(self, record_indices: Sequence[int]):
+        """Produce answers for many records (no accounting).
+
+        Override with a vectorized implementation where possible; the
+        default simply loops over :meth:`_evaluate`.
+        """
+        return [self._evaluate(int(i)) for i in record_indices]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(name={self._name!r}, calls={self._num_calls})"
@@ -107,6 +150,10 @@ class PredicateOracle(Oracle):
 
     def __call__(self, record_index: int) -> bool:
         return bool(super().__call__(record_index))
+
+    def evaluate_batch(self, record_indices: Sequence[int]) -> np.ndarray:
+        """Boolean answers for many records as a NumPy bool array."""
+        return np.asarray(super().evaluate_batch(record_indices), dtype=bool)
 
 
 class StatisticOracle:
@@ -120,9 +167,15 @@ class StatisticOracle:
     predicate oracle's cached result.
     """
 
-    def __init__(self, fn: Callable[[int], float], name: str = "statistic"):
+    def __init__(
+        self,
+        fn: Callable[[int], float],
+        name: str = "statistic",
+        values: Optional[Sequence[float]] = None,
+    ):
         self._fn = fn
         self._name = name
+        self._values = None if values is None else np.asarray(values, dtype=float)
 
     @property
     def name(self) -> str:
@@ -131,14 +184,34 @@ class StatisticOracle:
     def __call__(self, record_index: int) -> float:
         return float(self._fn(record_index))
 
+    def batch(self, record_indices: Sequence[int]) -> np.ndarray:
+        """Statistic values for many records (vectorized when column-backed)."""
+        if self._values is not None:
+            return self._values[np.asarray(record_indices, dtype=np.int64)].astype(
+                float
+            )
+        return np.array([float(self._fn(int(i))) for i in record_indices], dtype=float)
+
     @classmethod
     def from_column(cls, values, name: str = "statistic") -> "StatisticOracle":
         """Build a statistic oracle reading from a precomputed array/column."""
-        import numpy as np
-
         arr = np.asarray(values, dtype=float)
 
         def lookup(idx: int) -> float:
             return float(arr[idx])
 
-        return cls(lookup, name=name)
+        return cls(lookup, name=name, values=arr)
+
+
+def evaluate_oracle_batch(oracle: Callable[[int], object], record_indices) -> list:
+    """Evaluate any oracle-like callable on many records at once.
+
+    Uses the oracle's :meth:`~Oracle.evaluate_batch` fast path when it
+    exists (any :class:`Oracle` subclass, :class:`CachingOracle`,
+    :class:`BudgetedOracle`, ...) and falls back to a per-record loop for
+    plain callables, so sampling code can batch unconditionally.
+    """
+    batch = getattr(oracle, "evaluate_batch", None)
+    if batch is not None:
+        return batch(record_indices)
+    return [oracle(int(i)) for i in record_indices]

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.oracle.base import evaluate_oracle_batch
+
 __all__ = ["OracleBudget", "OracleBudgetExceededError", "BudgetedOracle"]
 
 
@@ -99,3 +101,14 @@ class BudgetedOracle:
     def __call__(self, record_index: int):
         self._budget.charge(1)
         return self._oracle(record_index)
+
+    def evaluate_batch(self, record_indices) -> list:
+        """Charge the whole batch up front, then evaluate it in one shot.
+
+        A batch that does not fit in the remaining budget raises *before*
+        any record is evaluated (the sequential path would evaluate up to
+        the limit first); all-or-nothing batches keep the inner oracle's
+        accounting consistent with what was actually charged.
+        """
+        self._budget.charge(len(record_indices))
+        return evaluate_oracle_batch(self._oracle, record_indices)

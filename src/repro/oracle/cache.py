@@ -8,9 +8,11 @@ wrapper so the second lookup is free and does not count as an invocation.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Sequence
 
-from repro.oracle.base import Oracle
+import numpy as np
+
+from repro.oracle.base import Oracle, evaluate_oracle_batch
 
 __all__ = ["CachingOracle"]
 
@@ -65,9 +67,34 @@ class CachingOracle(Oracle):
         self._cache[key] = result
         # Mirror the inner oracle's accounting so this wrapper's counters
         # can be used interchangeably with the wrapped oracle's.
-        self._num_calls += 1
-        self._total_cost += self._cost_per_call
+        self._record((key,), (result,))
         return result
+
+    def evaluate_batch(self, record_indices: Sequence[int]) -> list:
+        """Batched lookup: uncached records hit the inner oracle in one batch.
+
+        Counters match the sequential path exactly: each first occurrence of
+        an uncached record is one miss / one charged call, every other
+        occurrence (already cached, or repeated within this batch) is a free
+        hit.
+        """
+        keys = [int(i) for i in record_indices]
+        pending = []  # unique uncached keys, in first-occurrence order
+        pending_set = set()
+        for key in keys:
+            if key not in self._cache and key not in pending_set:
+                pending.append(key)
+                pending_set.add(key)
+        if pending:
+            fresh = evaluate_oracle_batch(
+                self._inner, np.asarray(pending, dtype=np.int64)
+            )
+            self._misses += len(pending)
+            for key, result in zip(pending, fresh):
+                self._cache[key] = result
+            self._record(pending, fresh)
+        self._hits += len(keys) - len(pending)
+        return [self._cache[key] for key in keys]
 
     def _evaluate(self, record_index: int):  # pragma: no cover - not used
         return self._inner(record_index)

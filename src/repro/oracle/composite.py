@@ -3,16 +3,21 @@
 ABae-MultiPred supports predicates built from conjunctions, disjunctions
 and negations of expensive predicates (Section 3.3).  At query-evaluation
 time the combined predicate is just Boolean algebra over the constituent
-oracles' answers; the composite classes here evaluate all children (each
-child charges its own cost, mirroring a system that must run every DNN to
-confirm the full expression).
+oracles' answers.  Children are evaluated left to right with short-circuit
+semantics (a conjunction stops at the first False, a disjunction at the
+first True), each child charging its own cost — mirroring a system that
+cascades its DNNs and skips the rest once the expression is decided.  The
+batched ``_evaluate_batch`` paths use masked evaluation to preserve exactly
+the same per-child call counts as the sequential path.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
-from repro.oracle.base import Oracle, PredicateOracle
+import numpy as np
+
+from repro.oracle.base import Oracle, PredicateOracle, evaluate_oracle_batch
 
 __all__ = ["AndOracle", "OrOracle", "NotOracle"]
 
@@ -55,6 +60,22 @@ class AndOracle(_CompositeOracle):
     def _evaluate(self, record_index: int) -> bool:
         return all(bool(child(record_index)) for child in self._children)
 
+    def _evaluate_batch(self, record_indices) -> np.ndarray:
+        # Masked evaluation mirrors the short-circuit of `all(...)`: child
+        # i+1 is only consulted for records every earlier child accepted, so
+        # each child's call count and log match the sequential path exactly.
+        idx = np.asarray(record_indices, dtype=np.int64)
+        result = np.ones(idx.shape[0], dtype=bool)
+        for child in self._children:
+            active = np.nonzero(result)[0]
+            if active.size == 0:
+                break
+            answers = np.asarray(
+                evaluate_oracle_batch(child, idx[active]), dtype=bool
+            )
+            result[active] = answers
+        return result
+
 
 class OrOracle(_CompositeOracle):
     """Disjunction of oracles: true if any child is true."""
@@ -66,6 +87,21 @@ class OrOracle(_CompositeOracle):
     def _evaluate(self, record_index: int) -> bool:
         return any(bool(child(record_index)) for child in self._children)
 
+    def _evaluate_batch(self, record_indices) -> np.ndarray:
+        # Mirrors `any(...)`: a child only sees records every earlier child
+        # rejected, preserving the sequential path's per-child accounting.
+        idx = np.asarray(record_indices, dtype=np.int64)
+        result = np.zeros(idx.shape[0], dtype=bool)
+        for child in self._children:
+            active = np.nonzero(~result)[0]
+            if active.size == 0:
+                break
+            answers = np.asarray(
+                evaluate_oracle_batch(child, idx[active]), dtype=bool
+            )
+            result[active] = answers
+        return result
+
 
 class NotOracle(_CompositeOracle):
     """Negation of a single oracle."""
@@ -75,3 +111,9 @@ class NotOracle(_CompositeOracle):
 
     def _evaluate(self, record_index: int) -> bool:
         return not bool(self._children[0](record_index))
+
+    def _evaluate_batch(self, record_indices) -> np.ndarray:
+        answers = np.asarray(
+            evaluate_oracle_batch(self._children[0], record_indices), dtype=bool
+        )
+        return ~answers

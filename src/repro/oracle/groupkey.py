@@ -60,6 +60,11 @@ class GroupKeyOracle(Oracle):
             return None
         return key
 
+    def _evaluate_batch(self, record_indices) -> List[Hashable]:
+        keys = self._keys[np.asarray(record_indices, dtype=np.int64)]
+        none = self._none_value
+        return [None if (k is None or k == none) else k for k in keys]
+
     def membership_oracle(self, group: Hashable) -> LabelColumnOracle:
         """Derive a binary oracle for a single group (used in tests/baselines).
 

@@ -52,6 +52,9 @@ class LabelColumnOracle(PredicateOracle):
     def _evaluate(self, record_index: int) -> bool:
         return bool(self._labels[record_index])
 
+    def _evaluate_batch(self, record_indices) -> np.ndarray:
+        return self._labels[np.asarray(record_indices, dtype=np.int64)]
+
 
 class ThresholdOracle(PredicateOracle):
     """Oracle defined as ``value_column[i] > threshold`` (or >=, <, <=, ==).
@@ -93,6 +96,10 @@ class ThresholdOracle(PredicateOracle):
 
     def _evaluate(self, record_index: int) -> bool:
         return bool(self._op(self._values[record_index], self._threshold))
+
+    def _evaluate_batch(self, record_indices) -> np.ndarray:
+        values = self._values[np.asarray(record_indices, dtype=np.int64)]
+        return self._op(values, self._threshold)
 
 
 class CallableOracle(PredicateOracle):
@@ -144,3 +151,6 @@ class NoisyHumanOracle(PredicateOracle):
 
     def _evaluate(self, record_index: int) -> bool:
         return bool(self._answers[record_index])
+
+    def _evaluate_batch(self, record_indices) -> np.ndarray:
+        return self._answers[np.asarray(record_indices, dtype=np.int64)]

@@ -26,7 +26,7 @@ from repro.proxy.base import Proxy, PrecomputedProxy, CallableProxy
 from repro.proxy.noise import NoisyLabelProxy, BetaNoiseProxy, RandomProxy
 from repro.proxy.keyword import KeywordProxy
 from repro.proxy.calibration import PlattCalibrator, reliability_curve, brier_score
-from repro.proxy.logistic import LogisticRegression
+from repro.proxy.logistic import LogisticProxy, LogisticRegression
 from repro.proxy.embedding import EmbeddingIndexProxy
 
 __all__ = [
@@ -41,5 +41,6 @@ __all__ = [
     "reliability_curve",
     "brier_score",
     "LogisticRegression",
+    "LogisticProxy",
     "EmbeddingIndexProxy",
 ]

@@ -51,6 +51,15 @@ class Proxy(abc.ABC):
         """Score for a single record (default: index into :meth:`scores`)."""
         return float(self.scores()[record_index])
 
+    def scores_batch(self, record_indices: Sequence[int]) -> np.ndarray:
+        """Scores for a subset of records, aligned with ``record_indices``.
+
+        The default fancy-indexes the full :meth:`scores` vector, which is
+        already vectorized for precomputed proxies; lazily-computed proxies
+        can override this to score only the requested records.
+        """
+        return self.scores()[np.asarray(record_indices, dtype=np.int64)]
+
     def __len__(self) -> int:
         return int(self.scores().shape[0])
 
@@ -111,3 +120,18 @@ class CallableProxy(Proxy):
             self._cached = validate_scores(raw, name=self._name)
             self._cached.setflags(write=False)
         return self._cached
+
+    def scores_batch(self, record_indices: Sequence[int]) -> np.ndarray:
+        """Score only the requested records, without materializing the rest.
+
+        Once the full vector has been cached by :meth:`scores`, batches are
+        served from it; before that, only the requested records pay the
+        per-record function cost.
+        """
+        idx = np.asarray(record_indices, dtype=np.int64)
+        if self._cached is not None:
+            return self._cached[idx]
+        if idx.size == 0:
+            return np.empty(0, dtype=float)
+        raw = np.array([float(self._fn(int(i))) for i in idx], dtype=float)
+        return validate_scores(raw, name=self._name)

@@ -104,6 +104,10 @@ class EmbeddingIndexProxy(Proxy):
     def scores(self) -> np.ndarray:
         return self._scores
 
+    def scores_batch(self, record_indices) -> np.ndarray:
+        """Vectorized subset lookup into the precomputed kNN scores."""
+        return self._scores[np.asarray(record_indices, dtype=np.int64)]
+
     @staticmethod
     def _knn_scores(
         embeddings: np.ndarray,

@@ -72,6 +72,10 @@ class KeywordProxy(Proxy):
     def scores(self) -> np.ndarray:
         return self._scores
 
+    def scores_batch(self, record_indices: Sequence[int]) -> np.ndarray:
+        """Vectorized subset lookup into the precomputed keyword scores."""
+        return self._scores[np.asarray(record_indices, dtype=np.int64)]
+
     @staticmethod
     def _token_set(doc: Union[str, Iterable[str]]) -> set:
         if isinstance(doc, str):

@@ -16,7 +16,9 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-__all__ = ["LogisticRegression", "sigmoid"]
+from repro.proxy.base import Proxy, validate_scores
+
+__all__ = ["LogisticRegression", "LogisticProxy", "sigmoid"]
 
 
 def sigmoid(z: np.ndarray) -> np.ndarray:
@@ -136,3 +138,56 @@ class LogisticRegression:
     def _check_fitted(self) -> None:
         if self.coef_ is None:
             raise RuntimeError("LogisticRegression used before fit()")
+
+
+class LogisticProxy(Proxy):
+    """A proxy scoring records with a fitted :class:`LogisticRegression`.
+
+    Wraps a fitted model and the dataset's (n, d) feature matrix (typically
+    the stacked score vectors of the candidate proxies, Section 3.4).  The
+    full score vector is computed lazily and cached; :meth:`scores_batch`
+    runs the model over just the requested rows until the cache exists
+    (stratification still needs the full vector, but subset consumers such
+    as pilot feature extraction in
+    :func:`repro.core.proxy_selection.combine_proxies` stay cheap).
+    """
+
+    def __init__(
+        self,
+        model: LogisticRegression,
+        features: Sequence,
+        name: str = "logistic_proxy",
+    ):
+        super().__init__(name=name)
+        model._check_fitted()
+        feats = np.asarray(features, dtype=float)
+        if feats.ndim == 1:
+            feats = feats.reshape(-1, 1)
+        if feats.ndim != 2 or feats.shape[0] == 0:
+            raise ValueError(
+                f"features must be a non-empty 2-D matrix, got shape {feats.shape}"
+            )
+        self._model = model
+        self._features = feats
+        self._cached: Optional[np.ndarray] = None
+
+    @property
+    def model(self) -> LogisticRegression:
+        return self._model
+
+    def scores(self) -> np.ndarray:
+        if self._cached is None:
+            raw = np.clip(self._model.predict_proba(self._features), 0.0, 1.0)
+            self._cached = validate_scores(raw, name=self._name)
+            self._cached.setflags(write=False)
+        return self._cached
+
+    def scores_batch(self, record_indices) -> np.ndarray:
+        """Run the model over only the requested rows (vectorized)."""
+        idx = np.asarray(record_indices, dtype=np.int64)
+        if self._cached is not None:
+            return self._cached[idx]
+        return np.clip(self._model.predict_proba(self._features[idx]), 0.0, 1.0)
+
+    def __len__(self) -> int:
+        return int(self._features.shape[0])

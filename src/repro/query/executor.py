@@ -202,11 +202,18 @@ def execute_query(
     with_ci: bool = True,
     seed: Optional[int] = None,
     rng: Optional[RandomState] = None,
+    batch_size: Optional[int] = None,
 ) -> QueryResult:
-    """Parse (if needed), plan and execute a query against a context."""
+    """Parse (if needed), plan and execute a query against a context.
+
+    ``batch_size`` is recorded on the plan and controls how many records
+    each oracle invocation batch labels (``None`` = whole draw sets at
+    once, ``1`` = strictly sequential).  It never changes the query answer,
+    the confidence interval, or the oracle call count.
+    """
     if isinstance(query, str):
         query = parse_query(query)
-    plan = plan_query(query)
+    plan = plan_query(query, batch_size=batch_size)
     rng = rng or RandomState(seed)
 
     if plan.kind is PlanKind.GROUP_BY:
@@ -299,6 +306,7 @@ def _execute_single_predicate(
         alpha=query.alpha,
         num_bootstrap=num_bootstrap,
         rng=rng,
+        batch_size=plan.batch_size,
     )
     return _finalize_scalar(
         query, result, PlanKind.SINGLE_PREDICATE, num_bootstrap, with_ci, rng
@@ -339,6 +347,7 @@ def _execute_multi_predicate(
         alpha=query.alpha,
         num_bootstrap=num_bootstrap,
         rng=rng,
+        batch_size=plan.batch_size,
     )
     return _finalize_scalar(
         query, result, PlanKind.MULTI_PREDICATE, num_bootstrap, with_ci, rng
@@ -366,6 +375,7 @@ def _execute_group_by(
             num_strata=num_strata,
             stage1_fraction=stage1_fraction,
             rng=rng,
+            batch_size=plan.batch_size,
         )
     else:
         group_result = run_groupby_multi_oracle(
@@ -376,6 +386,7 @@ def _execute_group_by(
             num_strata=num_strata,
             stage1_fraction=stage1_fraction,
             rng=rng,
+            batch_size=plan.batch_size,
         )
 
     values = group_result.estimates()

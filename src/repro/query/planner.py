@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.query.ast import AggregateKind, PredicateAtom, Query
 from repro.query.errors import PlanningError
@@ -32,12 +32,21 @@ class PlanKind(enum.Enum):
 
 @dataclass
 class QueryPlan:
-    """The chosen execution strategy plus per-plan annotations."""
+    """The chosen execution strategy plus per-plan annotations.
+
+    ``batch_size`` is the plan's oracle-batching hint: how many records the
+    executor labels per oracle invocation batch (``None`` = whole draw sets
+    at once, ``1`` = strictly sequential).  It is a pure execution knob —
+    estimates, CIs and call counts are identical for every value — so the
+    planner records it as part of the physical plan rather than the logical
+    decision tree.
+    """
 
     kind: PlanKind
     query: Query
     atoms: List[PredicateAtom] = field(default_factory=list)
     notes: Dict[str, object] = field(default_factory=dict)
+    batch_size: Optional[int] = None
 
     @property
     def budget(self) -> int:
@@ -48,8 +57,16 @@ class QueryPlan:
         return self.query.alpha
 
 
-def plan_query(query: Query) -> QueryPlan:
-    """Build a :class:`QueryPlan` for a parsed query."""
+def plan_query(query: Query, batch_size: Optional[int] = None) -> QueryPlan:
+    """Build a :class:`QueryPlan` for a parsed query.
+
+    ``batch_size`` is attached to the plan as its oracle-batching hint and
+    validated here so a bad knob fails at planning time, not mid-sampling.
+    """
+    if batch_size is not None and batch_size < 1:
+        raise PlanningError(
+            f"batch_size must be a positive integer or None, got {batch_size}"
+        )
     atoms = query.atoms()
     if not atoms:
         raise PlanningError("the WHERE clause references no predicates")
@@ -74,8 +91,15 @@ def plan_query(query: Query) -> QueryPlan:
                 "group_key": group_key,
                 "non_group_atoms": [a.key() for a in mismatched],
             },
+            batch_size=batch_size,
         )
 
     if len(atoms) > 1:
-        return QueryPlan(kind=PlanKind.MULTI_PREDICATE, query=query, atoms=atoms)
-    return QueryPlan(kind=PlanKind.SINGLE_PREDICATE, query=query, atoms=atoms)
+        return QueryPlan(
+            kind=PlanKind.MULTI_PREDICATE, query=query, atoms=atoms,
+            batch_size=batch_size,
+        )
+    return QueryPlan(
+        kind=PlanKind.SINGLE_PREDICATE, query=query, atoms=atoms,
+        batch_size=batch_size,
+    )
