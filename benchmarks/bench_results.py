@@ -1,0 +1,31 @@
+"""Result-persistence helpers for the benchmark suite.
+
+Lives in its own uniquely-named module (not ``conftest``) so benchmark
+files can ``from bench_results import ...`` safely: importing helpers
+*from* ``conftest`` resolves to whichever directory's ``conftest.py``
+landed on ``sys.path`` first, which breaks mixed-path pytest invocations
+like ``pytest benchmarks/test_x.py tests/test_y.py``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+# Scaled-down protocol shared by the figure reproductions: see the
+# conftest module docstring.  The dataset size stays well above the
+# largest budget so finite-population effects do not distort comparisons.
+BENCH_BUDGETS = (2_000, 6_000, 10_000)
+BENCH_TRIALS = 25
+BENCH_DATASET_SIZE = 100_000
+# Representative dataset subset for the per-dataset figures; the full
+# six-dataset sweep is available by editing this tuple.
+BENCH_DATASETS = ("night-street", "celeba", "trec05p")
+
+
+def write_result(results_dir: Path, name: str, text: str) -> None:
+    """Persist one experiment's text table and echo it to stdout."""
+    path = results_dir / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")

@@ -18,20 +18,26 @@ from pathlib import Path
 
 import pytest
 
+from bench_results import (
+    BENCH_BUDGETS,
+    BENCH_DATASET_SIZE,
+    BENCH_TRIALS,
+    RESULTS_DIR,
+)
 from repro.experiments.config import ExperimentConfig
 
-RESULTS_DIR = Path(__file__).parent / "results"
 
-# Scaled-down protocol: see module docstring.  The dataset size stays well
-# above the largest budget so finite-population effects (which the paper's
-# million-record datasets never hit) do not distort the comparison.
-BENCH_BUDGETS = (2_000, 6_000, 10_000)
-BENCH_TRIALS = 25
-BENCH_DATASET_SIZE = 100_000
-# Representative dataset subset for the per-dataset figures; the full
-# six-dataset sweep is available by editing this tuple.
-BENCH_DATASETS = ("night-street", "celeba", "trec05p")
+def pytest_collection_modifyitems(items):
+    """Every benchmark is tier-2: auto-mark this directory ``slow``.
 
+    CI runs ``-m "not slow"`` in the fast tier and ``-m slow`` in a
+    separate job; running plain ``pytest`` still executes everything.
+    The hook sees the whole session's items, so filter to this directory.
+    """
+    bench_dir = Path(__file__).parent.resolve()
+    for item in items:
+        if bench_dir in Path(str(item.fspath)).resolve().parents:
+            item.add_marker(pytest.mark.slow)
 
 @pytest.fixture(scope="session")
 def bench_config() -> ExperimentConfig:
@@ -47,10 +53,3 @@ def bench_config() -> ExperimentConfig:
 def results_dir() -> Path:
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     return RESULTS_DIR
-
-
-def write_result(results_dir: Path, name: str, text: str) -> None:
-    """Persist one experiment's text table and echo it to stdout."""
-    path = results_dir / f"{name}.txt"
-    path.write_text(text + "\n")
-    print(f"\n{text}\n[written to {path}]")

@@ -12,7 +12,7 @@ proxy), where allocation quality matters the most.
 """
 
 import numpy as np
-from conftest import write_result
+from bench_results import write_result
 
 from repro.core.abae import run_abae
 from repro.core.stratification import Stratification

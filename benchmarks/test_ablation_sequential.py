@@ -7,7 +7,7 @@ check that (a) the sequential variant is competitive and (b) the two-stage
 algorithm is not obviously leaving accuracy on the table.
 """
 
-from conftest import write_result
+from bench_results import write_result
 
 from repro.core.abae import run_abae
 from repro.core.adaptive import run_abae_sequential

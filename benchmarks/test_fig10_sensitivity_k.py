@@ -4,7 +4,7 @@ Paper claim: ABae beats uniform sampling for every K from 2 to 10, and the
 choice of K does not strongly affect performance.
 """
 
-from conftest import write_result
+from bench_results import write_result
 
 from repro.experiments import figures
 from repro.experiments.config import ExperimentConfig

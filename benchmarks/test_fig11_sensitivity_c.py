@@ -5,7 +5,7 @@ values (0.1, 0.9) can underperform, which is why the paper recommends
 30-50% of the budget in Stage 1.
 """
 
-from conftest import write_result
+from bench_results import write_result
 
 from repro.experiments import figures
 from repro.experiments.config import ExperimentConfig

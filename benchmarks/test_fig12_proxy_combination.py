@@ -5,7 +5,7 @@ uniform sampling and is competitive with (or better than) the best single
 proxy — it effectively "ignores" low-quality proxies.
 """
 
-from conftest import write_result
+from bench_results import write_result
 
 from repro.experiments import figures
 from repro.experiments.config import ExperimentConfig

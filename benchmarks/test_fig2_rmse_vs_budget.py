@@ -4,7 +4,7 @@ Paper claim: ABae outperforms uniform sampling on every dataset and budget,
 by up to ~1.5-2.3x in RMSE at a fixed budget.
 """
 
-from conftest import BENCH_DATASETS, write_result
+from bench_results import BENCH_DATASETS, write_result
 
 from repro.experiments import figures
 from repro.experiments.reporting import format_curve_table, format_improvement_summary

@@ -4,7 +4,7 @@ Paper claim: even at small sample sizes ABae outperforms or matches
 uniform sampling in all cases.
 """
 
-from conftest import BENCH_DATASETS, write_result
+from bench_results import BENCH_DATASETS, write_result
 
 from repro.experiments import figures
 from repro.experiments.reporting import format_curve_table

@@ -3,7 +3,7 @@
 Paper claim: ABae outperforms uniform sampling on Q-error by 14-70%.
 """
 
-from conftest import write_result
+from bench_results import write_result
 
 from repro.experiments import figures
 from repro.experiments.reporting import format_curve_table

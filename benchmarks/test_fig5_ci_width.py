@@ -4,7 +4,7 @@ Paper claims: ABae's CIs are up to ~1.5x narrower than uniform sampling's
 at a fixed budget, and both methods satisfy nominal (95%) coverage.
 """
 
-from conftest import write_result
+from bench_results import write_result
 
 from repro.experiments import figures
 from repro.experiments.config import ExperimentConfig

@@ -5,7 +5,7 @@ single-proxy variants on both the night-street multi-predicate query and
 the synthetic two-predicate workload.
 """
 
-from conftest import write_result
+from bench_results import write_result
 
 from repro.experiments import figures
 from repro.experiments.reporting import format_curve_table

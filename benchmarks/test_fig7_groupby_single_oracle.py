@@ -5,7 +5,7 @@ equal-split baseline trails the minimax allocation) on both the celeba
 hair-colour query and the 4-group synthetic workload.
 """
 
-from conftest import write_result
+from bench_results import write_result
 
 from repro.experiments import figures
 from repro.experiments.config import ExperimentConfig

@@ -4,7 +4,7 @@ Paper claim: the minimax allocation outperforms uniform sampling when each
 group requires its own oracle (budget normalized by the number of groups).
 """
 
-from conftest import write_result
+from bench_results import write_result
 
 from repro.experiments import figures
 from repro.experiments.config import ExperimentConfig

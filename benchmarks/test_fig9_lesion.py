@@ -5,7 +5,7 @@ substantially harms accuracy, and even the no-reuse variant's structure
 differs visibly from uniform sampling.
 """
 
-from conftest import BENCH_DATASETS, write_result
+from bench_results import BENCH_DATASETS, write_result
 
 from repro.experiments import figures
 from repro.experiments.config import ExperimentConfig

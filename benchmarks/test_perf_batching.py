@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import time
 
-from conftest import write_result
+from bench_results import write_result
 
 from repro.core.abae import ABae
 from repro.stats.rng import RandomState

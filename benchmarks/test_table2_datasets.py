@@ -1,6 +1,6 @@
 """Table 2: dataset summary (sizes, predicates, proxies, positive rates)."""
 
-from conftest import write_result
+from bench_results import write_result
 
 from repro.experiments import figures
 from repro.experiments.reporting import format_table

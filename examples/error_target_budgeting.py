@@ -8,18 +8,16 @@ needs against uniform sampling driven the same way.
 
 Run with::
 
-    python examples/error_target_budgeting.py
+    python examples/error_target_budgeting.py [--seed 1] [--size 100000]
 """
 
-import numpy as np
+import argparse
 
 from repro.core import run_abae_until_width, run_uniform
-from repro.core.bootstrap import bootstrap_confidence_interval
 from repro.stats.rng import RandomState
 from repro.synth import make_dataset
 
 TARGET_WIDTH = 0.10
-MAX_BUDGET = 20_000
 
 
 def uniform_calls_until_width(scenario, target_width, max_budget, rng, batch=500):
@@ -42,9 +40,10 @@ def uniform_calls_until_width(scenario, target_width, max_budget, rng, batch=500
     return spent, result
 
 
-def main() -> None:
-    scenario = make_dataset("celeba", seed=9, size=100_000)
+def main(seed: int = 1, size: int = 100_000) -> None:
+    scenario = make_dataset("celeba", seed=9, size=size)
     truth = scenario.ground_truth()
+    max_budget = max(1_000, size // 5)
     print(f"dataset: {scenario.name}, exact answer: {truth:.4f}")
     print(f"target 95% CI width: {TARGET_WIDTH}\n")
 
@@ -53,9 +52,9 @@ def main() -> None:
         oracle=scenario.make_oracle(),
         statistic=scenario.statistic_values,
         target_width=TARGET_WIDTH,
-        max_budget=MAX_BUDGET,
+        max_budget=max_budget,
         num_bootstrap=200,
-        rng=RandomState(1),
+        rng=RandomState(seed),
     )
     print("ABae (adaptive, until-width)")
     print(f"  oracle calls used: {abae_result.oracle_calls}")
@@ -66,7 +65,7 @@ def main() -> None:
         print(f"    {point['oracle_calls']:>6d} -> {point['ci_width']:.4f}")
 
     uniform_calls, uniform_result = uniform_calls_until_width(
-        scenario, TARGET_WIDTH, MAX_BUDGET, RandomState(2)
+        scenario, TARGET_WIDTH, max_budget, RandomState(seed + 1)
     )
     print("\nUniform sampling (grown until the same width)")
     print(f"  oracle calls used: {uniform_calls}")
@@ -79,4 +78,8 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--size", type=int, default=100_000)
+    args = parser.parse_args()
+    main(seed=args.seed, size=args.size)

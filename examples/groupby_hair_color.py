@@ -13,18 +13,15 @@ baselines on the max-over-groups RMSE, which is Figures 7 and 8's metric.
 
 Run with::
 
-    python examples/groupby_hair_color.py
+    python examples/groupby_hair_color.py [--seed 11] [--size 100000]
 """
 
-import numpy as np
+import argparse
 
 from repro.core import GroupSpec, run_groupby_multi_oracle, run_groupby_single_oracle
 from repro.stats.metrics import rmse
 from repro.stats.rng import RandomState
 from repro.synth import make_groupby_scenario
-
-BUDGET = 8_000
-TRIALS = 10
 
 
 def max_rmse(per_trial_estimates, truths, groups):
@@ -33,23 +30,25 @@ def max_rmse(per_trial_estimates, truths, groups):
     )
 
 
-def run_setting(setting: str) -> None:
-    scenario = make_groupby_scenario("celeba", setting=setting, seed=7, size=100_000)
+def run_setting(setting: str, seed: int = 11, size: int = 100_000) -> None:
+    scenario = make_groupby_scenario("celeba", setting=setting, seed=7, size=size)
     truths = scenario.ground_truths()
     specs = [GroupSpec(key=g, proxy=scenario.proxies[g]) for g in scenario.groups]
+    budget = max(400, size // 12)
+    trials = 10 if size >= 50_000 else 3
     print(f"--- {setting}-oracle setting ---")
     print(f"ground truth smiling rates: "
           + ", ".join(f"{g}={truths[g]:.3f}" for g in scenario.groups))
 
     for method in ("minimax", "equal", "uniform"):
         per_trial = []
-        for child in RandomState(11).spawn(TRIALS):
+        for child in RandomState(seed).spawn(trials):
             if setting == "single":
                 result = run_groupby_single_oracle(
                     groups=specs,
                     oracle=scenario.make_single_oracle(),
                     statistic=scenario.statistic_values,
-                    budget=BUDGET,
+                    budget=budget,
                     allocation_method=method,
                     rng=child,
                 )
@@ -58,7 +57,7 @@ def run_setting(setting: str) -> None:
                     groups=specs,
                     oracles=scenario.make_per_group_oracles(),
                     statistic=scenario.statistic_values,
-                    budget=BUDGET * len(scenario.groups),
+                    budget=budget * len(scenario.groups),
                     allocation_method=method,
                     rng=child,
                 )
@@ -68,6 +67,14 @@ def run_setting(setting: str) -> None:
     print()
 
 
+def main(seed: int = 11, size: int = 100_000) -> None:
+    run_setting("single", seed=seed, size=size)
+    run_setting("multi", seed=seed, size=size)
+
+
 if __name__ == "__main__":
-    run_setting("single")
-    run_setting("multi")
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--size", type=int, default=100_000)
+    args = parser.parse_args()
+    main(seed=args.seed, size=args.size)

@@ -12,8 +12,10 @@ A user filtering emails by spam often has several cheap rule-based proxies
 
 Run with::
 
-    python examples/proxy_selection_spam.py
+    python examples/proxy_selection_spam.py [--seed 2] [--size 100000]
 """
+
+import argparse
 
 from repro.core import (
     combine_proxies,
@@ -26,13 +28,13 @@ from repro.stats.metrics import rmse
 from repro.stats.rng import RandomState
 from repro.synth import make_proxy_combination_scenario
 
-BUDGET = 6_000
-PILOT = 1_500
-TRIALS = 12
 
+def main(seed: int = 2, size: int = 100_000) -> None:
+    budget = max(400, size // 16)
+    pilot_budget = max(200, size // 66)
+    trials = 12 if size >= 50_000 else 4
 
-def main() -> None:
-    scenario = make_proxy_combination_scenario("trec05p", seed=5, size=100_000)
+    scenario = make_proxy_combination_scenario("trec05p", seed=5, size=size)
     candidates = scenario.extra["candidate_proxies"]
     truth = scenario.ground_truth()
     print(f"exact answer (AVG links over spam): {truth:.4f}")
@@ -43,8 +45,8 @@ def main() -> None:
         scenario.num_records,
         scenario.make_oracle(),
         scenario.statistic_values,
-        pilot_budget=PILOT,
-        rng=RandomState(0),
+        pilot_budget=pilot_budget,
+        rng=RandomState(seed),
     )
     ranked = rank_proxies(candidates, pilot)
     print("proxy ranking (predicted MSE at a reference budget, lower is better):")
@@ -58,16 +60,16 @@ def main() -> None:
     print(f"\nselected proxy: {best.name}")
 
     # --- Compare query error -------------------------------------------------------
-    def abae_rmse(proxy, seed):
+    def abae_rmse(proxy, trial_seed):
         estimates = [
             run_abae(
                 proxy=proxy,
                 oracle=scenario.make_oracle(),
                 statistic=scenario.statistic_values,
-                budget=BUDGET,
+                budget=budget,
                 rng=child,
             ).estimate
-            for child in RandomState(seed).spawn(TRIALS)
+            for child in RandomState(trial_seed).spawn(trials)
         ]
         return rmse(estimates, truth)
 
@@ -76,17 +78,21 @@ def main() -> None:
             num_records=scenario.num_records,
             oracle=scenario.make_oracle(),
             statistic=scenario.statistic_values,
-            budget=BUDGET,
+            budget=budget,
             rng=child,
         ).estimate
-        for child in RandomState(1).spawn(TRIALS)
+        for child in RandomState(seed + 1).spawn(trials)
     ]
 
-    print(f"\nRMSE over {TRIALS} trials at budget {BUDGET}:")
+    print(f"\nRMSE over {trials} trials at budget {budget}:")
     print(f"  uniform sampling:          {rmse(uniform_estimates, truth):.4f}")
-    print(f"  ABae, selected proxy:      {abae_rmse(best, 2):.4f}")
-    print(f"  ABae, combined (logistic): {abae_rmse(combined, 3):.4f}")
+    print(f"  ABae, selected proxy:      {abae_rmse(best, seed + 2):.4f}")
+    print(f"  ABae, combined (logistic): {abae_rmse(combined, seed + 3):.4f}")
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=2)
+    parser.add_argument("--size", type=int, default=100_000)
+    args = parser.parse_args()
+    main(seed=args.seed, size=args.size)

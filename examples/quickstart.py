@@ -7,24 +7,27 @@ proxy scores every email.
 
 Run with::
 
-    python examples/quickstart.py
+    python examples/quickstart.py [--seed 1] [--size 100000]
 """
+
+import argparse
 
 from repro import ABae, UniformSampler
 from repro.stats.metrics import rmse
 from repro.synth import make_dataset
 
 
-def main() -> None:
+def main(seed: int = 1, size: int = 100_000) -> None:
     # Build the emulated trec05p dataset: 100k emails, ~57% spam, a
     # keyword-quality proxy, and a per-email link count as the statistic.
-    scenario = make_dataset("trec05p", seed=0, size=100_000)
+    scenario = make_dataset("trec05p", seed=0, size=size)
     truth = scenario.ground_truth()
     print(f"dataset: {scenario.name} ({scenario.num_records} records)")
     print(f"predicate positive rate: {scenario.positive_rate:.3f}")
     print(f"exact answer (AVG links over spam): {truth:.4f}\n")
 
-    budget = 5_000  # oracle invocations we are willing to pay for
+    # Oracle invocations we are willing to pay for, scaled to the dataset.
+    budget = max(200, size // 20)
 
     # --- ABae -----------------------------------------------------------------
     abae = ABae(
@@ -34,7 +37,7 @@ def main() -> None:
         num_strata=5,
         stage1_fraction=0.5,
     )
-    result = abae.estimate(budget=budget, with_ci=True, seed=1)
+    result = abae.estimate(budget=budget, with_ci=True, seed=seed)
     print("ABae")
     print(f"  estimate: {result.estimate:.4f}")
     print(f"  95% CI:   [{result.ci.lower:.4f}, {result.ci.upper:.4f}]")
@@ -46,16 +49,18 @@ def main() -> None:
         oracle=scenario.make_oracle(),
         statistic=scenario.statistic_values,
     )
-    baseline = uniform.estimate(budget=budget, with_ci=True, seed=1)
+    baseline = uniform.estimate(budget=budget, with_ci=True, seed=seed)
     print("\nUniform sampling")
     print(f"  estimate: {baseline.estimate:.4f}")
     print(f"  95% CI:   [{baseline.ci.lower:.4f}, {baseline.ci.upper:.4f}]")
 
     # --- Repeated-trial comparison ----------------------------------------------
-    trials = 20
-    abae_estimates = [abae.estimate(budget=budget, seed=s).estimate for s in range(trials)]
+    trials = 20 if size >= 50_000 else 5
+    abae_estimates = [
+        abae.estimate(budget=budget, seed=seed + s).estimate for s in range(trials)
+    ]
     uniform_estimates = [
-        uniform.estimate(budget=budget, seed=s).estimate for s in range(trials)
+        uniform.estimate(budget=budget, seed=seed + s).estimate for s in range(trials)
     ]
     abae_rmse = rmse(abae_estimates, truth)
     uniform_rmse = rmse(uniform_estimates, truth)
@@ -66,4 +71,8 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--size", type=int, default=100_000)
+    args = parser.parse_args()
+    main(seed=args.seed, size=args.size)

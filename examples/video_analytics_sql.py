@@ -9,15 +9,18 @@ Two queries on an emulated night-street video feed:
 
 Run with::
 
-    python examples/video_analytics_sql.py
+    python examples/video_analytics_sql.py [--seed 0] [--size 100000]
 """
+
+import argparse
 
 from repro.query import QueryContext, exact_answer, execute_query
 from repro.synth import make_dataset, make_multipred_scenario
 
 
-def single_predicate_query() -> None:
-    scenario = make_dataset("night-street", seed=3, size=100_000)
+def single_predicate_query(seed: int = 0, size: int = 100_000) -> None:
+    scenario = make_dataset("night-street", seed=3, size=size)
+    budget = max(500, size // 10)
     context = QueryContext(scenario.num_records)
     context.register_statistic("count_cars", scenario.statistic_values)
     context.register_predicate(
@@ -27,13 +30,13 @@ def single_predicate_query() -> None:
         labels=scenario.labels,
     )
 
-    query = """
+    query = f"""
         SELECT AVG(count_cars(frame)) FROM video
         WHERE count_cars(frame) > 0
-        ORACLE LIMIT 10,000 USING proxy(frame)
+        ORACLE LIMIT {budget} USING proxy(frame)
         WITH PROBABILITY 0.95
     """
-    result = execute_query(query, context, seed=0)
+    result = execute_query(query, context, seed=seed)
     exact = exact_answer(query, context)
     print("Query 1: AVG(count_cars) WHERE count_cars > 0")
     print(f"  ABae estimate: {result.value:.4f}  (exact: {exact:.4f})")
@@ -41,8 +44,9 @@ def single_predicate_query() -> None:
     print(f"  oracle calls: {result.oracle_calls}\n")
 
 
-def traffic_analysis_query() -> None:
-    workload = make_multipred_scenario("night-street", seed=3, size=100_000)
+def traffic_analysis_query(seed: int = 0, size: int = 100_000) -> None:
+    workload = make_multipred_scenario("night-street", seed=3, size=size)
+    budget = max(500, size // 10)
     context = QueryContext(workload.num_records)
     context.register_statistic("count_cars", workload.statistic_values)
     context.register_predicate(
@@ -58,14 +62,14 @@ def traffic_analysis_query() -> None:
         labels=workload.predicate_labels["red_light"],
     )
 
-    query = """
+    query = f"""
         SELECT AVG(count_cars(frame)) FROM video
         WHERE count_cars(frame) > 0
         AND red_light(frame)
-        ORACLE LIMIT 10,000 USING proxy(frame)
+        ORACLE LIMIT {budget} USING proxy(frame)
         WITH PROBABILITY 0.95
     """
-    result = execute_query(query, context, seed=0)
+    result = execute_query(query, context, seed=seed)
     exact = exact_answer(query, context)
     print("Query 2: AVG(count_cars) WHERE count_cars > 0 AND red_light (MultiPred)")
     print(f"  ABae estimate: {result.value:.4f}  (exact: {exact:.4f})")
@@ -74,6 +78,14 @@ def traffic_analysis_query() -> None:
     print(f"  constituent oracle calls: {result.details.get('constituent_oracle_calls')}")
 
 
+def main(seed: int = 0, size: int = 100_000) -> None:
+    single_predicate_query(seed=seed, size=size)
+    traffic_analysis_query(seed=seed, size=size)
+
+
 if __name__ == "__main__":
-    single_predicate_query()
-    traffic_analysis_query()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--size", type=int, default=100_000)
+    args = parser.parse_args()
+    main(seed=args.seed, size=args.size)

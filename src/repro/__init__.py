@@ -29,13 +29,15 @@ Quickstart::
     result = sampler.estimate(budget=10_000, with_ci=True, seed=1)
     print(result.estimate, result.ci)
 
-Oracle evaluation runs through a batched execution engine
-(:mod:`repro.core.batching`): oracles exposing ``evaluate_batch`` label
-whole per-stratum draws in one vectorized invocation.  Every sampler and
-the query executor take a ``batch_size`` knob (``None`` = whole-draw
-batches, ``1`` = strictly sequential); results and oracle call counts are
-bit-identical for every setting.  See README.md, docs/ARCHITECTURE.md and
-docs/API.md.
+Oracle evaluation runs through a batched, parallel execution engine
+(:mod:`repro.core.batching` / :mod:`repro.core.parallel`): oracles
+exposing ``evaluate_batch`` label whole per-stratum draws in one
+vectorized invocation, optionally sharded across a worker pool.  Every
+sampler and the query executor take ``batch_size`` (``None`` = whole-draw
+batches, ``1`` = strictly sequential) and ``num_workers`` (``None`` =
+serial) knobs; results and oracle call counts are bit-identical for every
+setting.  See README.md, docs/ARCHITECTURE.md, docs/API.md and
+docs/TESTING.md.
 """
 
 from repro.core import (

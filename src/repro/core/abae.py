@@ -26,6 +26,12 @@ import numpy as np
 
 from repro.core.allocation import allocation_from_estimates
 from repro.core.batching import DEFAULT_BATCH_SIZE, label_records
+from repro.core.parallel import (
+    THREAD_BACKEND,
+    parallelize_oracle,
+    resolve_backend,
+    resolve_num_workers,
+)
 from repro.core.bootstrap import bootstrap_confidence_interval
 from repro.core.estimators import combine_estimates, estimate_all_strata
 from repro.core.results import EstimateResult
@@ -99,7 +105,10 @@ def draw_stratum_sample(
     (``None`` = the whole draw in one batch, ``1`` = the strictly sequential
     legacy path); every setting yields bit-identical samples and oracle
     accounting because record selection happens before labeling and never
-    shares the random stream with it.
+    shares the random stream with it.  Worker-pool sharding is the
+    *caller's* concern: the samplers wrap the oracle once with
+    :func:`repro.core.parallel.parallelize_oracle` before drawing, so the
+    sharding applies to every draw without per-call wrapping here.
     """
     drawn = sample_without_replacement(candidate_indices, n, rng)
     matches, values = label_records(drawn, oracle, statistic, batch_size)
@@ -163,6 +172,8 @@ def run_abae(
     num_bootstrap: int = 1000,
     rng: Optional[RandomState] = None,
     batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
+    num_workers: Optional[int] = None,
+    parallel_backend: str = THREAD_BACKEND,
 ) -> EstimateResult:
     """Execute Algorithm 1 once and return the estimate (optionally with a CI).
 
@@ -196,8 +207,14 @@ def run_abae(
         Records per oracle invocation batch (``None`` = whole per-stratum
         draws at once, ``1`` = strictly per-record).  Purely a performance
         knob: results and oracle call counts are identical for every value.
+    num_workers / parallel_backend:
+        Shard each oracle batch across this many workers (threads or
+        processes; see :mod:`repro.core.parallel`).  Like ``batch_size``,
+        purely a performance knob — results are bit-identical for every
+        worker count.
     """
     rng = rng or RandomState(0)
+    oracle = parallelize_oracle(oracle, num_workers, parallel_backend)
     if isinstance(proxy, Proxy):
         proxy_obj = proxy
     else:
@@ -319,6 +336,8 @@ class ABae:
         stage1_fraction: float = 0.5,
         reuse_samples: bool = True,
         batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
+        num_workers: Optional[int] = None,
+        parallel_backend: str = THREAD_BACKEND,
     ):
         if num_strata <= 0:
             raise ValueError(f"num_strata must be positive, got {num_strata}")
@@ -328,6 +347,8 @@ class ABae:
             )
         if batch_size is not None and batch_size < 1:
             raise ValueError(f"batch_size must be a positive integer, got {batch_size}")
+        resolve_num_workers(num_workers)  # fail fast on bad execution knobs
+        resolve_backend(parallel_backend)
         self.proxy = proxy
         self.oracle = oracle
         self.statistic = statistic
@@ -335,6 +356,8 @@ class ABae:
         self.stage1_fraction = stage1_fraction
         self.reuse_samples = reuse_samples
         self.batch_size = batch_size
+        self.num_workers = num_workers
+        self.parallel_backend = parallel_backend
         # Proxy-quantile stratification is deterministic in (proxy, K), so
         # the facade builds it once and reuses it across estimate() calls —
         # repeated queries skip the O(n log n) sort of the score vector.
@@ -353,15 +376,18 @@ class ABae:
         rng: Optional[RandomState] = None,
         seed: Optional[int] = None,
         batch_size: Optional[int] = _UNSET,
+        num_workers: Optional[int] = _UNSET,
     ) -> EstimateResult:
         """Run the two-stage sampler with the configured parameters.
 
-        ``batch_size`` overrides the instance-level setting for this run
-        when given (including an explicit ``None`` for whole-draw batches).
+        ``batch_size`` and ``num_workers`` override the instance-level
+        settings for this run when given (including an explicit ``None``,
+        which means whole-draw batches / serial execution respectively).
         """
         if rng is None:
             rng = RandomState(seed)
         effective_batch = self.batch_size if batch_size is _UNSET else batch_size
+        effective_workers = self.num_workers if num_workers is _UNSET else num_workers
         cache_valid = (
             self._stratification is not None
             and self._stratification_key is not None
@@ -392,4 +418,6 @@ class ABae:
             num_bootstrap=num_bootstrap,
             rng=rng,
             batch_size=effective_batch,
+            num_workers=effective_workers,
+            parallel_backend=self.parallel_backend,
         )

@@ -32,6 +32,7 @@ from repro.core.abae import (
 )
 from repro.core.batching import DEFAULT_BATCH_SIZE
 from repro.core.bootstrap import bootstrap_confidence_interval
+from repro.core.parallel import THREAD_BACKEND, parallelize_oracle
 from repro.core.estimators import combine_estimates, estimate_all_strata
 from repro.core.results import EstimateResult
 from repro.core.stratification import Stratification
@@ -106,6 +107,8 @@ def run_abae_sequential(
     num_bootstrap: int = 1000,
     rng: Optional[RandomState] = None,
     oracle_batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
+    num_workers: Optional[int] = None,
+    parallel_backend: str = THREAD_BACKEND,
 ) -> EstimateResult:
     """Bandit-style ABae: re-allocate after every batch instead of once.
 
@@ -114,7 +117,8 @@ def run_abae_sequential(
     how often the allocation is revisited.  ``oracle_batch_size`` is the
     execution-engine knob (records per oracle invocation batch) and is
     named distinctly because ``batch_size`` here already means the
-    re-allocation cadence; it never changes results.
+    re-allocation cadence; like ``num_workers`` (worker-pool sharding) it
+    never changes results.
     """
     if budget < 0:
         raise ValueError(f"budget must be non-negative, got {budget}")
@@ -123,6 +127,7 @@ def run_abae_sequential(
     if batch_size < 1:
         raise ValueError(f"batch_size must be positive, got {batch_size}")
     rng = rng or RandomState(0)
+    oracle = parallelize_oracle(oracle, num_workers, parallel_backend)
     proxy_obj = _as_proxy(proxy)
     statistic_fn = _normalize_statistic(statistic)
 
@@ -216,6 +221,8 @@ def run_abae_until_width(
     num_bootstrap: int = 300,
     rng: Optional[RandomState] = None,
     oracle_batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
+    num_workers: Optional[int] = None,
+    parallel_backend: str = THREAD_BACKEND,
 ) -> EstimateResult:
     """Sample until the bootstrap CI is narrower than ``target_width``.
 
@@ -232,6 +239,7 @@ def run_abae_until_width(
     if batch_size <= 0:
         raise ValueError(f"batch_size must be positive, got {batch_size}")
     rng = rng or RandomState(0)
+    oracle = parallelize_oracle(oracle, num_workers, parallel_backend)
     proxy_obj = _as_proxy(proxy)
     statistic_fn = _normalize_statistic(statistic)
 

@@ -22,9 +22,12 @@ Batching never touches the random stream — record *selection* stays with
 :func:`repro.stats.sampling.sample_without_replacement` — and oracle
 accounting advances through the same ``Oracle._record`` helper as
 sequential calls.  Therefore, for any ``batch_size`` (including the strict
-per-record path ``batch_size=1``), estimates, confidence intervals and
-``num_calls`` are bit-identical under a fixed seed.  The parity tests in
-``tests/test_batching_parity.py`` pin this invariant.
+per-record path ``batch_size=1``) and any ``num_workers`` (batches are
+sharded across workers by :mod:`repro.core.parallel`, which reassembles
+answers in record order and accounts centrally), estimates, confidence
+intervals and ``num_calls`` are bit-identical under a fixed seed.  The
+equivalence harness in ``tests/harness.py`` pins this invariant across the
+full (seed × batch_size × num_workers) grid.
 """
 
 from __future__ import annotations
@@ -95,8 +98,11 @@ def label_records(
     ``batch_size`` controls how many records each oracle invocation covers:
     ``None`` labels the whole draw set in one batch, ``1`` reproduces the
     legacy strictly-sequential ``oracle(i)`` path call for call, and any
-    other positive integer chunks the work.  All settings produce identical
-    results and identical oracle accounting.
+    other positive integer chunks the work — a pure execution knob with
+    identical results and accounting for every setting.  Worker-pool
+    sharding composes from the outside: wrap the oracle once with
+    :func:`repro.core.parallel.parallelize_oracle` (as every sampler does
+    at entry) and each batch here fans out through its ``evaluate_batch``.
     """
     drawn = np.asarray(record_indices, dtype=np.int64)
     n = drawn.shape[0]

@@ -40,6 +40,7 @@ from repro.core.batching import (
     label_records,
     statistic_batch,
 )
+from repro.core.parallel import THREAD_BACKEND, parallelize_oracle
 from repro.oracle.base import evaluate_oracle_batch
 from repro.core.estimators import (
     combine_estimates,
@@ -224,12 +225,15 @@ def run_groupby_single_oracle(
     allocation_method: str = "minimax",
     rng: Optional[RandomState] = None,
     batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
+    num_workers: Optional[int] = None,
+    parallel_backend: str = THREAD_BACKEND,
 ) -> GroupByResult:
     """GROUP BY estimation when one oracle call reveals the group key.
 
     ``budget`` is the total number of oracle invocations.  Returns per-group
     estimates plus the Stage-2 allocation Λ chosen for each stratification.
-    ``batch_size`` tunes oracle batching (see :mod:`repro.core.batching`)
+    ``batch_size`` and ``num_workers`` tune oracle batching and worker-pool
+    sharding (see :mod:`repro.core.batching` / :mod:`repro.core.parallel`)
     without changing results.
     """
     _validate_allocation_method(allocation_method)
@@ -238,6 +242,7 @@ def run_groupby_single_oracle(
     if budget <= 0:
         raise ValueError(f"budget must be positive, got {budget}")
     rng = rng or RandomState(0)
+    oracle = parallelize_oracle(oracle, num_workers, parallel_backend)
     statistic_fn = _normalize_statistic(statistic)
     group_keys = [g.key for g in groups]
     num_groups = len(groups)
@@ -420,13 +425,16 @@ def run_groupby_multi_oracle(
     allocation_method: str = "minimax",
     rng: Optional[RandomState] = None,
     batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
+    num_workers: Optional[int] = None,
+    parallel_backend: str = THREAD_BACKEND,
 ) -> GroupByResult:
     """GROUP BY estimation when each group has its own membership oracle.
 
     ``budget`` is the *total* number of oracle invocations across all
     groups' oracles (the paper normalizes by the number of groups when
-    plotting; the benchmark harness does the same).  ``batch_size`` tunes
-    oracle batching without changing results.
+    plotting; the benchmark harness does the same).  ``batch_size`` and
+    ``num_workers`` tune oracle batching and sharding without changing
+    results.
     """
     _validate_allocation_method(allocation_method)
     if not groups:
@@ -464,6 +472,8 @@ def run_groupby_multi_oracle(
                 budget=per_group_budget,
                 rng=rng_child,
                 batch_size=batch_size,
+                num_workers=num_workers,
+                parallel_backend=parallel_backend,
             )
             result.method = "uniform-groupby-multi"
             group_results[spec.key] = result
@@ -490,6 +500,8 @@ def run_groupby_multi_oracle(
             stage1_fraction=1.0,  # the whole per-group pilot budget is Stage 1
             rng=rng_child,
             batch_size=batch_size,
+            num_workers=num_workers,
+            parallel_backend=parallel_backend,
         )
         pilot_results.append(pilot)
 
@@ -532,7 +544,9 @@ def run_groupby_multi_oracle(
         ]
         capacities = [int(fresh.size) for fresh in fresh_per_stratum]
         counts = bounded_allocation(within_allocations[g], lam_counts[g], capacities)
-        oracle_g = oracle_for(spec.key)
+        oracle_g = parallelize_oracle(
+            oracle_for(spec.key), num_workers, parallel_backend
+        )
         combined_samples = []
         for k in range(num_strata):
             chosen = sample_without_replacement(

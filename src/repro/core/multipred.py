@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.core.abae import StatisticLike, run_abae
 from repro.core.batching import DEFAULT_BATCH_SIZE
+from repro.core.parallel import THREAD_BACKEND
 from repro.core.results import EstimateResult
 from repro.oracle.base import Oracle
 from repro.oracle.composite import AndOracle, NotOracle, OrOracle
@@ -188,6 +189,8 @@ def run_abae_multipred(
     num_bootstrap: int = 1000,
     rng: Optional[RandomState] = None,
     batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
+    num_workers: Optional[int] = None,
+    parallel_backend: str = THREAD_BACKEND,
 ) -> EstimateResult:
     """Run ABae over a complex predicate expression.
 
@@ -196,9 +199,11 @@ def run_abae_multipred(
     returned result counts *composite* evaluations (one per drawn record);
     ``details["constituent_oracle_calls"]`` reports the total calls made to
     the underlying per-predicate oracles, which is the cost a system paying
-    per constituent DNN would incur.  Batched execution preserves the
-    sequential path's short-circuit per-constituent call counts exactly
-    (see :mod:`repro.oracle.composite`).
+    per constituent DNN would incur.  Batched and sharded execution
+    preserve the sequential path's short-circuit per-constituent call
+    counts exactly: the masked evaluation of :mod:`repro.oracle.composite`
+    consults each child per record independently of how records are chunked
+    or sharded, and constituent accounting is thread-safe.
     """
     combined_scores = np.clip(expression.combined_scores(), 0.0, 1.0)
     combined_proxy = PrecomputedProxy(combined_scores, name="multipred_proxy")
@@ -216,6 +221,8 @@ def run_abae_multipred(
         num_bootstrap=num_bootstrap,
         rng=rng,
         batch_size=batch_size,
+        num_workers=num_workers,
+        parallel_backend=parallel_backend,
     )
     result.method = "abae-multipred"
     if hasattr(composite_oracle, "total_children_calls"):

@@ -21,6 +21,12 @@ from repro.core.abae import (
 )
 from repro.core.batching import DEFAULT_BATCH_SIZE
 from repro.core.bootstrap import bootstrap_confidence_interval
+from repro.core.parallel import (
+    THREAD_BACKEND,
+    parallelize_oracle,
+    resolve_backend,
+    resolve_num_workers,
+)
 from repro.core.estimators import estimate_all_strata
 from repro.core.results import EstimateResult
 from repro.stats.rng import RandomState
@@ -38,17 +44,21 @@ def run_uniform(
     num_bootstrap: int = 1000,
     rng: Optional[RandomState] = None,
     batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
+    num_workers: Optional[int] = None,
+    parallel_backend: str = THREAD_BACKEND,
 ) -> EstimateResult:
     """Estimate the aggregate by uniform sampling without replacement.
 
-    ``batch_size`` tunes oracle batching exactly as in
-    :func:`repro.core.abae.run_abae`; results are identical for all values.
+    ``batch_size`` and ``num_workers`` tune oracle batching and sharding
+    exactly as in :func:`repro.core.abae.run_abae`; results are identical
+    for all values.
     """
     if num_records <= 0:
         raise ValueError(f"num_records must be positive, got {num_records}")
     if budget < 0:
         raise ValueError(f"budget must be non-negative, got {budget}")
     rng = rng or RandomState(0)
+    oracle = parallelize_oracle(oracle, num_workers, parallel_backend)
     statistic_fn = _normalize_statistic(statistic)
 
     sample = draw_stratum_sample(
@@ -89,15 +99,21 @@ class UniformSampler:
         oracle: Callable[[int], bool],
         statistic: StatisticLike,
         batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
+        num_workers: Optional[int] = None,
+        parallel_backend: str = THREAD_BACKEND,
     ):
         if num_records <= 0:
             raise ValueError(f"num_records must be positive, got {num_records}")
         if batch_size is not None and batch_size < 1:
             raise ValueError(f"batch_size must be a positive integer, got {batch_size}")
+        resolve_num_workers(num_workers)  # fail fast on bad execution knobs
+        resolve_backend(parallel_backend)
         self.num_records = num_records
         self.oracle = oracle
         self.statistic = statistic
         self.batch_size = batch_size
+        self.num_workers = num_workers
+        self.parallel_backend = parallel_backend
 
     def estimate(
         self,
@@ -108,10 +124,12 @@ class UniformSampler:
         rng: Optional[RandomState] = None,
         seed: Optional[int] = None,
         batch_size: Optional[int] = _UNSET,
+        num_workers: Optional[int] = _UNSET,
     ) -> EstimateResult:
         if rng is None:
             rng = RandomState(seed)
         effective_batch = self.batch_size if batch_size is _UNSET else batch_size
+        effective_workers = self.num_workers if num_workers is _UNSET else num_workers
         return run_uniform(
             num_records=self.num_records,
             oracle=self.oracle,
@@ -122,4 +140,6 @@ class UniformSampler:
             num_bootstrap=num_bootstrap,
             rng=rng,
             batch_size=effective_batch,
+            num_workers=effective_workers,
+            parallel_backend=self.parallel_backend,
         )

@@ -35,6 +35,7 @@ from repro.oracle.simulated import (
     ThresholdOracle,
     CallableOracle,
     NoisyHumanOracle,
+    LatencyOracle,
 )
 from repro.oracle.composite import AndOracle, OrOracle, NotOracle
 from repro.oracle.groupkey import GroupKeyOracle, PerGroupOracles
@@ -53,6 +54,7 @@ __all__ = [
     "ThresholdOracle",
     "CallableOracle",
     "NoisyHumanOracle",
+    "LatencyOracle",
     "AndOracle",
     "OrOracle",
     "NotOracle",

@@ -10,6 +10,7 @@ sample counts into dollars, as the introduction's $262,000 example does.
 from __future__ import annotations
 
 import abc
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -53,9 +54,12 @@ class Oracle(abc.ABC):
         self._name = name
         self._cost_per_call = cost_per_call
         self._num_calls = 0
-        self._total_cost = 0.0
         self._keep_log = keep_log
         self._log: List[OracleCallRecord] = []
+        # Serializes `_record` so worker threads (repro.core.parallel) cannot
+        # lose counter updates.  Uncontended acquisition is ~100ns per batch,
+        # negligible next to even a vectorized oracle evaluation.
+        self._account_lock = threading.Lock()
 
     # -- Accounting ---------------------------------------------------------------
     @property
@@ -73,8 +77,14 @@ class Oracle(abc.ABC):
 
     @property
     def total_cost(self) -> float:
-        """Accumulated cost across all invocations."""
-        return self._total_cost
+        """Accumulated cost across all invocations.
+
+        Derived as ``cost_per_call * num_calls`` rather than accumulated
+        float-by-float, so the value is bit-identical no matter how the same
+        evaluations were partitioned into batches or shards (floating-point
+        addition is not associative; a single multiply is partition-proof).
+        """
+        return self._cost_per_call * self._num_calls
 
     @property
     def call_log(self) -> List[OracleCallRecord]:
@@ -83,9 +93,9 @@ class Oracle(abc.ABC):
 
     def reset_accounting(self) -> None:
         """Zero the call counter, cost, and log (e.g. between trials)."""
-        self._num_calls = 0
-        self._total_cost = 0.0
-        self._log.clear()
+        with self._account_lock:
+            self._num_calls = 0
+            self._log.clear()
 
     def _record(self, record_indices: Sequence[int], results: Sequence) -> None:
         """The single accounting point for every oracle invocation.
@@ -95,20 +105,23 @@ class Oracle(abc.ABC):
         appends exactly one :class:`OracleCallRecord`, in evaluation order.
         Both :meth:`__call__` and :meth:`evaluate_batch` route through this
         helper, so a batch of ``n`` records is indistinguishable — in
-        counters, cost and log — from ``n`` sequential calls.
+        counters, cost and log — from ``n`` sequential calls.  The helper is
+        thread-safe: composite oracles evaluated on worker threads (see
+        :mod:`repro.core.parallel`) account their children here concurrently
+        without losing updates.
         """
         count = len(record_indices)
-        self._num_calls += count
-        self._total_cost += self._cost_per_call * count
-        if self._keep_log:
-            for record_index, result in zip(record_indices, results):
-                self._log.append(
-                    OracleCallRecord(
-                        record_index=int(record_index),
-                        result=result,
-                        cost=self._cost_per_call,
+        with self._account_lock:
+            self._num_calls += count
+            if self._keep_log:
+                for record_index, result in zip(record_indices, results):
+                    self._log.append(
+                        OracleCallRecord(
+                            record_index=int(record_index),
+                            result=result,
+                            cost=self._cost_per_call,
+                        )
                     )
-                )
 
     # -- Evaluation ---------------------------------------------------------------
     def __call__(self, record_index: int):
@@ -140,6 +153,17 @@ class Oracle(abc.ABC):
         default simply loops over :meth:`_evaluate`.
         """
         return [self._evaluate(int(i)) for i in record_indices]
+
+    # -- Pickling (process-backend parallel execution) ----------------------------
+    def __getstate__(self):
+        """Locks are not picklable; drop it so oracles can ship to workers."""
+        state = self.__dict__.copy()
+        state.pop("_account_lock", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._account_lock = threading.Lock()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(name={self._name!r}, calls={self._num_calls})"

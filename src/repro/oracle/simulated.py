@@ -7,6 +7,7 @@ user function; the rest of the system treats them as opaque and expensive.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Optional, Sequence
 
 import numpy as np
@@ -19,6 +20,7 @@ __all__ = [
     "ThresholdOracle",
     "CallableOracle",
     "NoisyHumanOracle",
+    "LatencyOracle",
 ]
 
 
@@ -154,3 +156,48 @@ class NoisyHumanOracle(PredicateOracle):
 
     def _evaluate_batch(self, record_indices) -> np.ndarray:
         return self._answers[np.asarray(record_indices, dtype=np.int64)]
+
+
+class LatencyOracle(PredicateOracle):
+    """A label-column oracle that simulates real oracle latency.
+
+    The paper's oracles are DNN inference services or human labelers: each
+    request carries a fixed dispatch overhead plus a per-record service
+    time, and the caller mostly *waits*.  This oracle reproduces that wall
+    -clock profile with ``time.sleep`` (which releases the GIL, exactly like
+    a network round-trip or a GPU kernel launch) while the answers stay a
+    deterministic label lookup — so it is the honest workload for measuring
+    the batched / parallel execution engine: results never change, only
+    time does.
+    """
+
+    def __init__(
+        self,
+        labels: Sequence,
+        per_record_seconds: float = 0.0,
+        per_batch_seconds: float = 0.0,
+        name: str = "latency_oracle",
+        cost_per_call: float = 1.0,
+    ):
+        super().__init__(name=name, cost_per_call=cost_per_call)
+        if per_record_seconds < 0 or per_batch_seconds < 0:
+            raise ValueError("latencies must be non-negative")
+        arr = np.asarray(labels)
+        if arr.ndim != 1:
+            raise ValueError("labels must be one-dimensional")
+        self._labels = arr.astype(bool)
+        self._per_record_seconds = float(per_record_seconds)
+        self._per_batch_seconds = float(per_batch_seconds)
+
+    @property
+    def labels(self) -> np.ndarray:
+        return self._labels
+
+    def _evaluate(self, record_index: int) -> bool:
+        time.sleep(self._per_batch_seconds + self._per_record_seconds)
+        return bool(self._labels[record_index])
+
+    def _evaluate_batch(self, record_indices) -> np.ndarray:
+        idx = np.asarray(record_indices, dtype=np.int64)
+        time.sleep(self._per_batch_seconds + self._per_record_seconds * idx.shape[0])
+        return self._labels[idx]

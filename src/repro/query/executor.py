@@ -203,17 +203,19 @@ def execute_query(
     seed: Optional[int] = None,
     rng: Optional[RandomState] = None,
     batch_size: Optional[int] = None,
+    num_workers: Optional[int] = None,
 ) -> QueryResult:
     """Parse (if needed), plan and execute a query against a context.
 
-    ``batch_size`` is recorded on the plan and controls how many records
-    each oracle invocation batch labels (``None`` = whole draw sets at
-    once, ``1`` = strictly sequential).  It never changes the query answer,
-    the confidence interval, or the oracle call count.
+    ``batch_size`` and ``num_workers`` are recorded on the plan and control
+    how many records each oracle invocation batch labels (``None`` = whole
+    draw sets at once, ``1`` = strictly sequential) and how many workers
+    each batch is sharded across (``None`` = serial).  Neither ever changes
+    the query answer, the confidence interval, or the oracle call count.
     """
     if isinstance(query, str):
         query = parse_query(query)
-    plan = plan_query(query, batch_size=batch_size)
+    plan = plan_query(query, batch_size=batch_size, num_workers=num_workers)
     rng = rng or RandomState(seed)
 
     if plan.kind is PlanKind.GROUP_BY:
@@ -307,6 +309,7 @@ def _execute_single_predicate(
         num_bootstrap=num_bootstrap,
         rng=rng,
         batch_size=plan.batch_size,
+        num_workers=plan.num_workers,
     )
     return _finalize_scalar(
         query, result, PlanKind.SINGLE_PREDICATE, num_bootstrap, with_ci, rng
@@ -348,6 +351,7 @@ def _execute_multi_predicate(
         num_bootstrap=num_bootstrap,
         rng=rng,
         batch_size=plan.batch_size,
+        num_workers=plan.num_workers,
     )
     return _finalize_scalar(
         query, result, PlanKind.MULTI_PREDICATE, num_bootstrap, with_ci, rng
@@ -376,6 +380,7 @@ def _execute_group_by(
             stage1_fraction=stage1_fraction,
             rng=rng,
             batch_size=plan.batch_size,
+            num_workers=plan.num_workers,
         )
     else:
         group_result = run_groupby_multi_oracle(
@@ -387,6 +392,7 @@ def _execute_group_by(
             stage1_fraction=stage1_fraction,
             rng=rng,
             batch_size=plan.batch_size,
+            num_workers=plan.num_workers,
         )
 
     values = group_result.estimates()

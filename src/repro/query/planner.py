@@ -18,6 +18,9 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+import numpy as np
+
+from repro.core.parallel import resolve_num_workers
 from repro.query.ast import AggregateKind, PredicateAtom, Query
 from repro.query.errors import PlanningError
 
@@ -34,12 +37,13 @@ class PlanKind(enum.Enum):
 class QueryPlan:
     """The chosen execution strategy plus per-plan annotations.
 
-    ``batch_size`` is the plan's oracle-batching hint: how many records the
-    executor labels per oracle invocation batch (``None`` = whole draw sets
-    at once, ``1`` = strictly sequential).  It is a pure execution knob —
-    estimates, CIs and call counts are identical for every value — so the
-    planner records it as part of the physical plan rather than the logical
-    decision tree.
+    ``batch_size`` and ``num_workers`` are the plan's physical-execution
+    hints: how many records the executor labels per oracle invocation batch
+    (``None`` = whole draw sets at once, ``1`` = strictly sequential), and
+    how many workers each batch is sharded across (``None`` = serial).
+    Both are pure execution knobs — estimates, CIs and call counts are
+    bit-identical for every value — so the planner records them as part of
+    the physical plan rather than the logical decision tree.
     """
 
     kind: PlanKind
@@ -47,6 +51,7 @@ class QueryPlan:
     atoms: List[PredicateAtom] = field(default_factory=list)
     notes: Dict[str, object] = field(default_factory=dict)
     batch_size: Optional[int] = None
+    num_workers: Optional[int] = None
 
     @property
     def budget(self) -> int:
@@ -57,16 +62,34 @@ class QueryPlan:
         return self.query.alpha
 
 
-def plan_query(query: Query, batch_size: Optional[int] = None) -> QueryPlan:
+def plan_query(
+    query: Query,
+    batch_size: Optional[int] = None,
+    num_workers: Optional[int] = None,
+) -> QueryPlan:
     """Build a :class:`QueryPlan` for a parsed query.
 
-    ``batch_size`` is attached to the plan as its oracle-batching hint and
-    validated here so a bad knob fails at planning time, not mid-sampling.
+    ``batch_size`` and ``num_workers`` are attached to the plan as its
+    physical-execution hints and validated here, so a bad knob raises a
+    clear :class:`~repro.query.errors.PlanningError` (a ``QueryError``) at
+    planning time instead of surfacing as a ``ValueError`` from deep inside
+    ``batch_slices`` or the worker-pool layer mid-sampling.
     """
-    if batch_size is not None and batch_size < 1:
-        raise PlanningError(
-            f"batch_size must be a positive integer or None, got {batch_size}"
-        )
+    if batch_size is not None:
+        if (
+            not isinstance(batch_size, (int, np.integer))
+            or isinstance(batch_size, bool)
+            or batch_size < 1
+        ):
+            raise PlanningError(
+                f"batch_size must be a positive integer or None, got {batch_size!r}"
+            )
+    # Delegate to the engine's own validator so the planner and the sampler
+    # APIs can never drift on what counts as a valid worker knob.
+    try:
+        resolve_num_workers(num_workers)
+    except ValueError as exc:
+        raise PlanningError(str(exc)) from None
     atoms = query.atoms()
     if not atoms:
         raise PlanningError("the WHERE clause references no predicates")
@@ -92,14 +115,15 @@ def plan_query(query: Query, batch_size: Optional[int] = None) -> QueryPlan:
                 "non_group_atoms": [a.key() for a in mismatched],
             },
             batch_size=batch_size,
+            num_workers=num_workers,
         )
 
     if len(atoms) > 1:
         return QueryPlan(
             kind=PlanKind.MULTI_PREDICATE, query=query, atoms=atoms,
-            batch_size=batch_size,
+            batch_size=batch_size, num_workers=num_workers,
         )
     return QueryPlan(
         kind=PlanKind.SINGLE_PREDICATE, query=query, atoms=atoms,
-        batch_size=batch_size,
+        batch_size=batch_size, num_workers=num_workers,
     )

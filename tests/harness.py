@@ -1,0 +1,184 @@
+"""Statistical-equivalence test harness.
+
+The execution engine's contract is that its performance knobs —
+``batch_size`` (oracle batching, PR 1) and ``num_workers`` (worker-pool
+sharding) — never change results: under a fixed seed, estimates,
+confidence intervals, per-stratum samples and oracle accounting must be
+**bit-identical** across every knob setting.
+
+This module turns that contract into a reusable assertion.  A test
+supplies a *cell runner* — a callable ``run(seed, batch_size,
+num_workers) -> result`` that builds a fresh oracle and runs one sampler
+— and the harness executes it over the full ``seeds × batch_sizes ×
+num_workers`` grid, fingerprints every result, and fails with the exact
+divergent cell if any two fingerprints differ for the same seed.  It also
+asserts that *different* seeds produce *different* fingerprints (a grid
+where every cell returns the same constant would vacuously "pass").
+
+Fingerprints use ``repr`` of plain tuples built from the result, so a
+mismatch in any float's last bit is caught — this is deliberately exact
+equality, not ``allclose``: the determinism contract is bitwise.
+
+Usage::
+
+    from harness import assert_statistically_equivalent, estimate_fingerprint
+
+    def run(seed, batch_size, num_workers):
+        oracle = scenario.make_oracle()
+        return run_abae(..., rng=RandomState(seed),
+                        batch_size=batch_size, num_workers=num_workers)
+
+    assert_statistically_equivalent(run, seeds=(0, 1), batch_sizes=(1, 7, None),
+                                    num_workers=(1, 2, 4))
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+DEFAULT_SEEDS = (0,)
+DEFAULT_BATCH_SIZES = (1, 7, None)
+DEFAULT_NUM_WORKERS = (1, 2, 4)
+
+
+# ---------------------------------------------------------------------------
+# Fingerprints: exact, repr-based digests of sampler outputs
+# ---------------------------------------------------------------------------
+
+
+def _nan_safe(values: np.ndarray) -> tuple:
+    """NaN-tolerant exact tuple of a float array (NaN != NaN breaks ==)."""
+    return tuple(None if np.isnan(v) else v for v in values.tolist())
+
+
+def estimate_fingerprint(result) -> str:
+    """Digest of an :class:`~repro.core.results.EstimateResult`.
+
+    Covers the estimate, the CI bounds, the oracle call count, and every
+    per-stratum sample's drawn indices, match flags and statistic values —
+    if any of these differs in any bit, the fingerprints differ.
+    """
+    return repr(
+        (
+            result.estimate,
+            None if result.ci is None else (result.ci.lower, result.ci.upper),
+            result.oracle_calls,
+            [tuple(s.indices.tolist()) for s in result.samples],
+            [tuple(s.matches.tolist()) for s in result.samples],
+            [_nan_safe(s.values) for s in result.samples],
+        )
+    )
+
+
+def groupby_fingerprint(result) -> str:
+    """Digest of a :class:`~repro.core.results.GroupByResult`."""
+    groups = sorted(result.group_results, key=repr)
+    return repr(
+        (
+            [(g, result.group_results[g].estimate) for g in groups],
+            [(g, result.allocation.get(g)) for g in groups],
+            result.oracle_calls,
+        )
+    )
+
+
+def query_fingerprint(result) -> str:
+    """Digest of a :class:`~repro.query.executor.QueryResult`."""
+    groups = sorted(result.group_values, key=repr)
+    return repr(
+        (
+            result.value,
+            None if result.ci is None else (result.ci.lower, result.ci.upper),
+            [(g, result.group_values[g]) for g in groups],
+            result.oracle_calls,
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# The equivalence grid
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class EquivalenceReport:
+    """What a grid sweep established: one fingerprint per seed."""
+
+    fingerprints: Dict[int, str]
+    cells: int
+
+    def fingerprint(self, seed: int) -> str:
+        return self.fingerprints[seed]
+
+
+def run_equivalence_grid(
+    run_cell: Callable[[int, Optional[int], int], object],
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    batch_sizes: Sequence[Optional[int]] = DEFAULT_BATCH_SIZES,
+    num_workers: Sequence[int] = DEFAULT_NUM_WORKERS,
+    fingerprint: Callable[[object], str] = estimate_fingerprint,
+) -> EquivalenceReport:
+    """Run every (seed, batch_size, num_workers) cell and compare digests.
+
+    ``run_cell`` must construct fresh state per call (in particular a fresh
+    oracle, so accounting starts at zero) and return the sampler's result.
+    Raises ``AssertionError`` naming the first divergent cell and seed.
+    """
+    fingerprints: Dict[int, str] = {}
+    cells = 0
+    for seed in seeds:
+        baseline: Optional[str] = None
+        baseline_cell: Optional[Tuple] = None
+        for batch_size, workers in itertools.product(batch_sizes, num_workers):
+            result = run_cell(seed, batch_size, workers)
+            digest = fingerprint(result)
+            cells += 1
+            if baseline is None:
+                baseline, baseline_cell = digest, (batch_size, workers)
+            elif digest != baseline:
+                raise AssertionError(
+                    f"results diverged for seed {seed}: cell "
+                    f"(batch_size={batch_size}, num_workers={workers}) != "
+                    f"baseline cell (batch_size={baseline_cell[0]}, "
+                    f"num_workers={baseline_cell[1]})\n"
+                    f"baseline: {baseline}\n"
+                    f"     got: {digest}"
+                )
+        fingerprints[seed] = baseline
+    return EquivalenceReport(fingerprints=fingerprints, cells=cells)
+
+
+def assert_statistically_equivalent(
+    run_cell: Callable[[int, Optional[int], int], object],
+    seeds: Sequence[int] = DEFAULT_SEEDS,
+    batch_sizes: Sequence[Optional[int]] = DEFAULT_BATCH_SIZES,
+    num_workers: Sequence[int] = DEFAULT_NUM_WORKERS,
+    fingerprint: Callable[[object], str] = estimate_fingerprint,
+    expect_seed_sensitivity: bool = True,
+) -> EquivalenceReport:
+    """Assert bit-identical results across the knob grid, per seed.
+
+    With ``expect_seed_sensitivity`` (the default, and appropriate whenever
+    at least two seeds are supplied and the sampler is stochastic), also
+    asserts that distinct seeds yield distinct fingerprints — guarding
+    against a degenerate runner that ignores its arguments.
+    """
+    report = run_equivalence_grid(
+        run_cell,
+        seeds=seeds,
+        batch_sizes=batch_sizes,
+        num_workers=num_workers,
+        fingerprint=fingerprint,
+    )
+    if expect_seed_sensitivity and len(seeds) > 1:
+        distinct = set(report.fingerprints.values())
+        if len(distinct) == 1:
+            raise AssertionError(
+                f"all {len(seeds)} seeds produced the same fingerprint; the "
+                "cell runner is probably ignoring its seed argument"
+            )
+    return report

@@ -6,6 +6,12 @@ bit-identical estimates, confidence intervals, per-stratum samples and
 oracle call counts under a fixed seed, because record selection never
 shares the random stream with labeling and all accounting flows through
 ``Oracle._record``.
+
+The grid sweeps run through the statistical-equivalence harness
+(``tests/harness.py``), pinned here to ``num_workers=1`` so this file
+isolates the *batching* axis; ``tests/test_parallel_parity.py`` crosses it
+with the worker axis.  The accounting unit tests at the bottom pin the
+``_record`` invariant directly.
 """
 
 from __future__ import annotations
@@ -13,6 +19,12 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from harness import (
+    assert_statistically_equivalent,
+    estimate_fingerprint,
+    groupby_fingerprint,
+    query_fingerprint,
+)
 from repro.core.abae import ABae, run_abae
 from repro.core.adaptive import run_abae_sequential, run_abae_until_width
 from repro.core.groupby import GroupSpec, run_groupby_multi_oracle, run_groupby_single_oracle
@@ -28,6 +40,7 @@ from repro.stats.rng import RandomState
 from repro.synth import make_dataset, make_groupby_scenario, make_multipred_scenario
 
 BATCH_SIZES = (1, 7, 64, None)
+SERIAL = (1,)  # this file pins the batching axis with a single worker
 
 
 @pytest.fixture(scope="module")
@@ -35,21 +48,11 @@ def scenario():
     return make_dataset("synthetic", seed=0)
 
 
-def _result_fingerprint(result):
-    return (
-        result.estimate,
-        None if result.ci is None else (result.ci.lower, result.ci.upper),
-        result.oracle_calls,
-        [tuple(s.indices.tolist()) for s in result.samples],
-        [tuple(np.where(np.isnan(s.values), None, s.values).tolist()) for s in result.samples],
-    )
-
-
 class TestSinglePredicateParity:
     def test_run_abae_identical_across_batch_sizes(self, scenario):
-        fingerprints = set()
         call_counts = set()
-        for batch_size in BATCH_SIZES:
+
+        def run(seed, batch_size, num_workers):
             oracle = scenario.make_oracle()
             result = run_abae(
                 scenario.proxy,
@@ -58,12 +61,16 @@ class TestSinglePredicateParity:
                 budget=1_500,
                 with_ci=True,
                 num_bootstrap=50,
-                rng=RandomState(42),
+                rng=RandomState(seed),
                 batch_size=batch_size,
+                num_workers=num_workers,
             )
-            fingerprints.add(repr(_result_fingerprint(result)))
             call_counts.add(oracle.num_calls)
-        assert len(fingerprints) == 1
+            return result
+
+        assert_statistically_equivalent(
+            run, seeds=(42, 43), batch_sizes=BATCH_SIZES, num_workers=SERIAL
+        )
         assert call_counts == {1_500}
 
     def test_facade_override_and_default(self, scenario):
@@ -77,20 +84,22 @@ class TestSinglePredicateParity:
         assert sequential.oracle_calls == batched.oracle_calls
 
     def test_run_uniform_identical_across_batch_sizes(self, scenario):
-        fingerprints = set()
-        for batch_size in BATCH_SIZES:
-            result = run_uniform(
+        def run(seed, batch_size, num_workers):
+            return run_uniform(
                 scenario.num_records,
                 scenario.make_oracle(),
                 scenario.statistic_values,
                 budget=1_000,
                 with_ci=True,
                 num_bootstrap=50,
-                rng=RandomState(7),
+                rng=RandomState(seed),
                 batch_size=batch_size,
+                num_workers=num_workers,
             )
-            fingerprints.add(repr(_result_fingerprint(result)))
-        assert len(fingerprints) == 1
+
+        assert_statistically_equivalent(
+            run, seeds=(7, 8), batch_sizes=BATCH_SIZES, num_workers=SERIAL
+        )
 
     def test_uniform_sampler_facade(self, scenario):
         results = [
@@ -107,39 +116,38 @@ class TestSinglePredicateParity:
 
 class TestAdaptiveParity:
     def test_sequential_sampler(self, scenario):
-        estimates = {
-            batch_size: run_abae_sequential(
+        def run(seed, batch_size, num_workers):
+            return run_abae_sequential(
                 scenario.proxy,
                 scenario.make_oracle(),
                 scenario.statistic_values,
                 budget=600,
-                rng=RandomState(11),
+                rng=RandomState(seed),
                 oracle_batch_size=batch_size,
+                num_workers=num_workers,
             )
-            for batch_size in (1, 16, None)
-        }
-        baseline = estimates[1]
-        for result in estimates.values():
-            assert result.estimate == baseline.estimate
-            assert result.oracle_calls == baseline.oracle_calls
+
+        assert_statistically_equivalent(
+            run, seeds=(11, 12), batch_sizes=(1, 16, None), num_workers=SERIAL
+        )
 
     def test_until_width_driver(self, scenario):
-        results = [
-            run_abae_until_width(
+        def run(seed, batch_size, num_workers):
+            return run_abae_until_width(
                 scenario.proxy,
                 scenario.make_oracle(),
                 scenario.statistic_values,
                 target_width=0.5,
                 max_budget=1_200,
                 num_bootstrap=100,
-                rng=RandomState(13),
+                rng=RandomState(seed),
                 oracle_batch_size=batch_size,
+                num_workers=num_workers,
             )
-            for batch_size in (1, None)
-        ]
-        assert results[0].estimate == results[1].estimate
-        assert results[0].oracle_calls == results[1].oracle_calls
-        assert results[0].ci.width == results[1].ci.width
+
+        assert_statistically_equivalent(
+            run, seeds=(13, 14), batch_sizes=(1, None), num_workers=SERIAL
+        )
 
 
 class TestGroupByParity:
@@ -147,101 +155,104 @@ class TestGroupByParity:
     def test_single_oracle(self, allocation_method):
         scenario = make_groupby_scenario("synthetic", seed=3)
         specs = [GroupSpec(key=g, proxy=scenario.proxies[g]) for g in scenario.groups]
-        fingerprints = set()
-        for batch_size in (1, 33, None):
-            result = run_groupby_single_oracle(
+
+        def run(seed, batch_size, num_workers):
+            return run_groupby_single_oracle(
                 specs,
                 scenario.make_single_oracle(),
                 scenario.statistic_values,
                 budget=1_200,
                 allocation_method=allocation_method,
-                rng=RandomState(17),
+                rng=RandomState(seed),
                 batch_size=batch_size,
+                num_workers=num_workers,
             )
-            fingerprints.add(
-                repr(
-                    (
-                        {g: result.group_results[g].estimate for g in scenario.groups},
-                        result.oracle_calls,
-                    )
-                )
-            )
-        assert len(fingerprints) == 1
+
+        assert_statistically_equivalent(
+            run,
+            seeds=(17,),
+            batch_sizes=(1, 33, None),
+            num_workers=SERIAL,
+            fingerprint=groupby_fingerprint,
+        )
 
     @pytest.mark.parametrize("allocation_method", ["minimax", "equal", "uniform"])
     def test_multi_oracle(self, allocation_method):
         scenario = make_groupby_scenario("synthetic", seed=3)
         specs = [GroupSpec(key=g, proxy=scenario.proxies[g]) for g in scenario.groups]
-        fingerprints = set()
-        for batch_size in (1, 33, None):
-            result = run_groupby_multi_oracle(
+
+        def run(seed, batch_size, num_workers):
+            return run_groupby_multi_oracle(
                 specs,
                 scenario.make_per_group_oracles(),
                 scenario.statistic_values,
                 budget=1_200,
                 allocation_method=allocation_method,
-                rng=RandomState(19),
+                rng=RandomState(seed),
                 batch_size=batch_size,
+                num_workers=num_workers,
             )
-            fingerprints.add(
-                repr(
-                    (
-                        {g: result.group_results[g].estimate for g in scenario.groups},
-                        result.oracle_calls,
-                    )
-                )
-            )
-        assert len(fingerprints) == 1
+
+        assert_statistically_equivalent(
+            run,
+            seeds=(19,),
+            batch_sizes=(1, 33, None),
+            num_workers=SERIAL,
+            fingerprint=groupby_fingerprint,
+        )
 
 
 class TestMultiPredicateParity:
     def test_constituent_call_counts_preserve_short_circuit(self):
         scenario = make_multipred_scenario("synthetic", seed=5)
-        fingerprints = set()
-        for batch_size in (1, 33, None):
+
+        def run(seed, batch_size, num_workers):
             expression = And(
                 [
                     PredicateLeaf(scenario.proxies[name], scenario.make_oracle(name), name=name)
                     for name in scenario.predicate_names
                 ]
             )
-            result = run_abae_multipred(
+            return run_abae_multipred(
                 expression,
                 scenario.statistic_values,
                 budget=1_000,
-                rng=RandomState(23),
+                rng=RandomState(seed),
                 batch_size=batch_size,
+                num_workers=num_workers,
             )
-            fingerprints.add(
-                repr(
-                    (
-                        result.estimate,
-                        result.oracle_calls,
-                        result.details["constituent_oracle_calls"],
-                    )
-                )
-            )
-        assert len(fingerprints) == 1
+
+        assert_statistically_equivalent(
+            run,
+            seeds=(23, 24),
+            batch_sizes=(1, 33, None),
+            num_workers=SERIAL,
+            fingerprint=lambda r: estimate_fingerprint(r)
+            + repr(r.details["constituent_oracle_calls"]),
+        )
 
     def test_nested_expression(self):
         scenario = make_multipred_scenario("synthetic", seed=6)
         names = scenario.predicate_names
-        fingerprints = set()
-        for batch_size in (1, None):
+
+        def run(seed, batch_size, num_workers):
             leaves = [
                 PredicateLeaf(scenario.proxies[n], scenario.make_oracle(n), name=n)
                 for n in names
             ]
             expression = Or([And(leaves[:1] + [Not(leaves[-1])]), leaves[0]])
-            result = run_abae_multipred(
+            return run_abae_multipred(
                 expression,
                 scenario.statistic_values,
                 budget=600,
-                rng=RandomState(29),
+                rng=RandomState(seed),
                 batch_size=batch_size,
+                num_workers=num_workers,
             )
-            fingerprints.add(repr((result.estimate, result.oracle_calls)))
-        assert len(fingerprints) == 1
+
+        assert_statistically_equivalent(
+            run, seeds=(29, 30), batch_sizes=(1, None), num_workers=SERIAL
+        )
 
 
 class TestQueryExecutorParity:
@@ -253,13 +264,24 @@ class TestQueryExecutorParity:
             "SELECT AVG(views(rec)) FROM t WHERE is_match(rec) "
             "ORACLE LIMIT 800 USING proxy WITH PROBABILITY 0.95"
         )
-        fingerprints = set()
-        for batch_size in (1, 33, None):
-            out = execute_query(query, context, seed=31, batch_size=batch_size, num_bootstrap=50)
-            fingerprints.add(
-                repr((out.value, out.ci.lower, out.ci.upper, out.oracle_calls))
+
+        def run(seed, batch_size, num_workers):
+            return execute_query(
+                query,
+                context,
+                seed=seed,
+                batch_size=batch_size,
+                num_workers=num_workers,
+                num_bootstrap=50,
             )
-        assert len(fingerprints) == 1
+
+        assert_statistically_equivalent(
+            run,
+            seeds=(31, 33),
+            batch_sizes=(1, 33, None),
+            num_workers=SERIAL,
+            fingerprint=query_fingerprint,
+        )
 
 
 class TestOracleAccountingParity:
@@ -282,6 +304,17 @@ class TestOracleAccountingParity:
         assert [(r.record_index, bool(r.result), r.cost) for r in sequential.call_log] == [
             (r.record_index, bool(r.result), r.cost) for r in batched.call_log
         ]
+
+    def test_total_cost_is_partition_invariant(self):
+        # cost_per_call = 0.1 is not exactly representable; accumulating it
+        # per batch would drift by partition.  total_cost must not.
+        labels = np.zeros(1000, dtype=bool)
+        one_shot = LabelColumnOracle(labels, cost_per_call=0.1)
+        one_shot.evaluate_batch(np.arange(1000))
+        chunked = LabelColumnOracle(labels, cost_per_call=0.1)
+        for start in range(0, 1000, 7):
+            chunked.evaluate_batch(np.arange(start, min(start + 7, 1000)))
+        assert one_shot.total_cost == chunked.total_cost == 0.1 * 1000
 
     def test_composite_short_circuit_counts(self):
         rng = np.random.default_rng(1)

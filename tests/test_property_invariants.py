@@ -3,7 +3,11 @@
 These cover the algebraic properties the paper's analysis relies on:
 allocation vectors are distributions, stratifications are partitions,
 estimators respect their bounds, the bootstrap stays within the sample's
-convex hull, and the simplex projection is idempotent.
+convex hull, and the simplex projection is idempotent — plus end-to-end
+sampler invariants over randomized scenario grids: budget conservation
+(no sampler ever spends more oracle calls than its budget), confidence
+-interval ordering (``lower <= estimate <= upper``), and allocation
+non-negativity / sum constraints.
 """
 
 import numpy as np
@@ -11,11 +15,15 @@ import pytest
 from hypothesis import given, settings, strategies as st
 from hypothesis.extra import numpy as hnp
 
+from repro.core.abae import bounded_allocation, run_abae
+from repro.core.adaptive import run_abae_sequential
 from repro.core.allocation import (
     optimal_allocation,
     optimal_stratified_mse,
     uniform_sampling_mse,
 )
+from repro.core.uniform import run_uniform
+from repro.oracle.simulated import LabelColumnOracle
 from repro.core.estimators import combine_estimates, estimate_all_strata, estimate_stratum
 from repro.core.stratification import Stratification
 from repro.core.types import StratumSample
@@ -210,3 +218,179 @@ class TestSimplexProperties:
         point = softmax_parameterization(logits)
         assert np.all(point > 0)
         assert point.sum() == pytest.approx(1.0)
+
+
+# -- End-to-end sampler invariants over randomized scenario grids -------------------
+
+
+@st.composite
+def sampler_scenarios(draw):
+    """A randomized (dataset, proxy, statistic, budget) scenario.
+
+    Small enough to run a full sampler per example, varied enough to probe
+    the corners: positive rates from rare to dominant, proxies from sharp
+    to useless, budgets from a pilot-sized trickle to a fifth of the data.
+    """
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    size = draw(st.integers(min_value=400, max_value=1_500))
+    rate = draw(st.floats(min_value=0.05, max_value=0.9))
+    noise = draw(st.floats(min_value=0.05, max_value=0.6))
+    budget = draw(st.integers(min_value=50, max_value=300))
+    num_strata = draw(st.integers(min_value=2, max_value=6))
+    rng = np.random.default_rng(seed)
+    labels = rng.random(size) < rate
+    scores = np.clip(labels.astype(float) + rng.normal(0.0, noise, size), 0.0, 1.0)
+    values = rng.gamma(2.0, 2.0, size)
+    return {
+        "seed": seed,
+        "labels": labels,
+        "scores": scores,
+        "values": values,
+        "budget": budget,
+        "num_strata": num_strata,
+    }
+
+
+# derandomize=True: hypothesis explores a fixed example set, so these
+# end-to-end tests cannot flake in CI while still sweeping a genuine grid.
+SAMPLER_SETTINGS = settings(max_examples=12, deadline=None, derandomize=True)
+
+
+class TestSamplerBudgetConservation:
+    """Total oracle invocations never exceed the budget, for every sampler."""
+
+    @given(sampler_scenarios())
+    @SAMPLER_SETTINGS
+    def test_run_abae_conserves_budget(self, sc):
+        oracle = LabelColumnOracle(sc["labels"])
+        result = run_abae(
+            sc["scores"],
+            oracle,
+            sc["values"],
+            budget=sc["budget"],
+            num_strata=sc["num_strata"],
+            rng=RandomState(sc["seed"]),
+        )
+        assert oracle.num_calls <= sc["budget"]
+        assert result.oracle_calls == oracle.num_calls
+        assert oracle.total_cost == oracle.num_calls  # unit cost
+
+    @given(sampler_scenarios())
+    @SAMPLER_SETTINGS
+    def test_run_uniform_conserves_budget(self, sc):
+        oracle = LabelColumnOracle(sc["labels"])
+        result = run_uniform(
+            sc["labels"].shape[0],
+            oracle,
+            sc["values"],
+            budget=sc["budget"],
+            rng=RandomState(sc["seed"]),
+        )
+        assert oracle.num_calls == min(sc["budget"], sc["labels"].shape[0])
+        assert result.oracle_calls == oracle.num_calls
+
+    @given(sampler_scenarios())
+    @SAMPLER_SETTINGS
+    def test_run_abae_sequential_conserves_budget(self, sc):
+        oracle = LabelColumnOracle(sc["labels"])
+        result = run_abae_sequential(
+            sc["scores"],
+            oracle,
+            sc["values"],
+            budget=sc["budget"],
+            num_strata=sc["num_strata"],
+            warmup_per_stratum=5,
+            batch_size=25,
+            rng=RandomState(sc["seed"]),
+        )
+        assert oracle.num_calls <= sc["budget"]
+        assert result.oracle_calls == oracle.num_calls
+
+
+class TestConfidenceIntervalOrdering:
+    """Bootstrap CIs bracket the point estimate: lower <= estimate <= upper."""
+
+    @given(sampler_scenarios())
+    @SAMPLER_SETTINGS
+    def test_abae_ci_brackets_estimate(self, sc):
+        result = run_abae(
+            sc["scores"],
+            LabelColumnOracle(sc["labels"]),
+            sc["values"],
+            budget=sc["budget"],
+            num_strata=sc["num_strata"],
+            with_ci=True,
+            num_bootstrap=100,
+            rng=RandomState(sc["seed"]),
+        )
+        assert result.ci is not None
+        assert result.ci.lower <= result.ci.upper
+        assert result.ci.lower - 1e-9 <= result.estimate <= result.ci.upper + 1e-9
+
+    @given(sampler_scenarios())
+    @SAMPLER_SETTINGS
+    def test_uniform_ci_brackets_estimate(self, sc):
+        result = run_uniform(
+            sc["labels"].shape[0],
+            LabelColumnOracle(sc["labels"]),
+            sc["values"],
+            budget=sc["budget"],
+            with_ci=True,
+            num_bootstrap=100,
+            rng=RandomState(sc["seed"]),
+        )
+        assert result.ci.lower <= result.ci.upper
+        assert result.ci.lower - 1e-9 <= result.estimate <= result.ci.upper + 1e-9
+
+
+class TestBoundedAllocationProperties:
+    @given(
+        hnp.arrays(float, st.integers(1, 8), elements=st.floats(0, 50, allow_nan=False)),
+        st.integers(min_value=0, max_value=2_000),
+        st.data(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_respects_capacities_and_total(self, weights, total, data):
+        capacities = data.draw(
+            hnp.arrays(
+                np.int64,
+                weights.shape[0],
+                elements=st.integers(min_value=0, max_value=500),
+            )
+        )
+        allocation = np.asarray(
+            bounded_allocation(weights, total, capacities), dtype=np.int64
+        )
+        assert np.all(allocation >= 0)
+        assert np.all(allocation <= capacities)
+        assert allocation.sum() <= total
+
+    @given(
+        hnp.arrays(
+            float, st.integers(1, 8), elements=st.floats(0.01, 50, allow_nan=False)
+        ),
+        st.integers(min_value=0, max_value=2_000),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_spends_everything_with_positive_weights(self, weights, total):
+        capacities = np.full(weights.shape[0], 1_000, dtype=np.int64)
+        allocation = np.asarray(bounded_allocation(weights, total, capacities))
+        # With positive weights and ample capacity the whole budget is spent.
+        assert allocation.sum() == min(total, int(capacities.sum()))
+
+    @given(sampler_scenarios())
+    @SAMPLER_SETTINGS
+    def test_abae_stage2_allocation_invariants(self, sc):
+        result = run_abae(
+            sc["scores"],
+            LabelColumnOracle(sc["labels"]),
+            sc["values"],
+            budget=sc["budget"],
+            num_strata=sc["num_strata"],
+            rng=RandomState(sc["seed"]),
+        )
+        counts = np.asarray(result.details["stage2_counts"])
+        weights = np.asarray(result.details["allocation_weights"])
+        assert np.all(counts >= 0)
+        assert counts.sum() <= result.details["stage2_total"]
+        assert np.all(weights >= 0)

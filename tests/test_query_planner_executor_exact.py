@@ -70,6 +70,58 @@ class TestPlanner:
             plan_query(query)
 
 
+class TestPhysicalPlanHints:
+    """batch_size / num_workers are validated at plan time, not mid-sampling."""
+
+    def test_hints_carried_on_plan(self):
+        plan = plan_query(parse_query(SINGLE_QUERY), batch_size=64, num_workers=4)
+        assert plan.batch_size == 64
+        assert plan.num_workers == 4
+
+    def test_hints_default_to_none(self):
+        plan = plan_query(parse_query(SINGLE_QUERY))
+        assert plan.batch_size is None
+        assert plan.num_workers is None
+
+    def test_numpy_integer_hints_accepted(self):
+        # Worker counts computed with numpy must behave the same through
+        # the planner as through the sampler APIs (shared validator).
+        plan = plan_query(
+            parse_query(SINGLE_QUERY),
+            batch_size=np.int64(16),
+            num_workers=np.int64(4),
+        )
+        assert plan.batch_size == 16
+        assert plan.num_workers == 4
+
+    @pytest.mark.parametrize("bad", [0, -1, -100, 2.5, "8", True])
+    def test_bad_batch_size_rejected_at_plan_time(self, bad):
+        with pytest.raises(PlanningError, match="batch_size"):
+            plan_query(parse_query(SINGLE_QUERY), batch_size=bad)
+
+    @pytest.mark.parametrize("bad", [0, -1, -100, 2.5, "4", True])
+    def test_bad_num_workers_rejected_at_plan_time(self, bad):
+        with pytest.raises(PlanningError, match="num_workers"):
+            plan_query(parse_query(SINGLE_QUERY), num_workers=bad)
+
+    def test_execute_query_surfaces_planning_error(self, context):
+        # The executor plans first, so a bad knob raises the same clear
+        # QueryError subclass before a single record is sampled.
+        with pytest.raises(PlanningError, match="batch_size"):
+            execute_query(SINGLE_QUERY, context, batch_size=0)
+        with pytest.raises(PlanningError, match="num_workers"):
+            execute_query(SINGLE_QUERY, context, num_workers=-2)
+
+    def test_execute_query_accepts_valid_hints(self, context):
+        result = execute_query(
+            SINGLE_QUERY, context, seed=0, batch_size=33, num_workers=2,
+            num_bootstrap=30,
+        )
+        baseline = execute_query(SINGLE_QUERY, context, seed=0, num_bootstrap=30)
+        assert result.value == baseline.value
+        assert result.oracle_calls == baseline.oracle_calls
+
+
 class TestSinglePredicateExecution:
     def test_avg_close_to_exact(self, context):
         result = execute_query(SINGLE_QUERY, context, seed=0, num_bootstrap=100)
