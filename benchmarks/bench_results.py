@@ -9,6 +9,7 @@ like ``pytest benchmarks/test_x.py tests/test_y.py``.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -29,3 +30,17 @@ def write_result(results_dir: Path, name: str, text: str) -> None:
     path = results_dir / f"{name}.txt"
     path.write_text(text + "\n")
     print(f"\n{text}\n[written to {path}]")
+
+
+def write_json_result(results_dir: Path, name: str, payload: dict) -> Path:
+    """Persist one benchmark's machine-readable run table.
+
+    The ``BENCH_*.json`` files are the cross-PR perf trajectory: every perf
+    benchmark emits one next to its human-readable text table, CI uploads
+    them as artifacts, and regressions are diagnosed by diffing the JSON
+    across commits rather than parsing log output.
+    """
+    path = results_dir / f"BENCH_{name}.json"
+    path.write_text(json.dumps({"schema": 1, **payload}, indent=2) + "\n")
+    print(f"[json written to {path}]")
+    return path

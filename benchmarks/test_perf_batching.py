@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import time
 
-from bench_results import write_result
+from bench_results import write_json_result, write_result
 
 from repro.core.abae import ABae
 from repro.stats.rng import RandomState
@@ -62,6 +62,22 @@ def test_perf_batching(results_dir):
         f"(n={SIZE}, budget={BUDGET})\n"
         f"sequential: {t_seq * 1e3:.2f}ms  batched: {t_bat * 1e3:.2f}ms  "
         f"speedup: {speedup:.2f}x",
+    )
+    write_json_result(
+        results_dir,
+        "batching",
+        {
+            "benchmark": "batching",
+            "dataset": "synthetic",
+            "size": SIZE,
+            "budget": BUDGET,
+            "repeats": REPEATS,
+            "sequential_seconds": t_seq,
+            "batched_seconds": t_bat,
+            "speedup": speedup,
+            "estimate": r_bat.estimate,
+            "oracle_calls": r_bat.oracle_calls,
+        },
     )
     # The standalone script demonstrates >=3x; the CI assertion leaves
     # headroom for noisy shared runners.

@@ -1,0 +1,75 @@
+"""Columnar hot path: parity and end-to-end speedup floor.
+
+Not a paper figure — this pins the engineering claim of the columnar
+hot-path rewrite (array-backed oracle accounting, plan-level
+proxy/stratification caching, vectorized sampler loops): a budget-50k
+sweep on the celeba-synth dataset runs >= 3x faster end-to-end than the
+pre-columnar baseline, with estimates, CIs, oracle call counts, total
+cost and the full call log bit-identical (asserted cell by cell before
+any timing happens, inside ``scripts/bench_hotpath.py``).
+
+The benchmark script is the single source of truth for the workload (the
+legacy accounting reconstruction itself lives in
+``tests/harness.py::LegacyRecordListMixin``, shared with the parity
+tests); this test drives the script exactly as CI does and checks the
+machine-readable run table it emits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from bench_results import RESULTS_DIR
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SCRIPT = REPO_ROOT / "scripts" / "bench_hotpath.py"
+
+SIZE = 100_000
+BUDGET = 50_000
+MIN_SPEEDUP = 3.0
+
+
+def test_perf_hotpath(results_dir):
+    json_path = results_dir / "BENCH_hotpath.json"
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    completed = subprocess.run(
+        [
+            sys.executable,
+            str(SCRIPT),
+            "--size", str(SIZE),
+            "--budget", str(BUDGET),
+            "--min-speedup", str(MIN_SPEEDUP),
+            "--json", str(json_path),
+        ],
+        env=env,
+        cwd=str(REPO_ROOT),
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    print(completed.stdout)
+    # The script exits non-zero on a parity failure or a missed floor.
+    assert completed.returncode == 0, (
+        f"bench_hotpath failed (rc={completed.returncode}):\n"
+        f"{completed.stdout}\n{completed.stderr}"
+    )
+
+    payload = json.loads(json_path.read_text())
+    assert payload["benchmark"] == "hotpath"
+    assert payload["parity"] == {"cells": payload["cells"], "identical": True}
+    assert payload["budget"] == BUDGET
+    assert payload["speedup"] >= MIN_SPEEDUP, (
+        f"columnar hot path only {payload['speedup']:.2f}x faster "
+        f"(floor {MIN_SPEEDUP}x)"
+    )
+    # The run table lands in benchmarks/results/ for the cross-PR perf
+    # trajectory (uploaded as a CI artifact).
+    assert json_path == RESULTS_DIR / "BENCH_hotpath.json"

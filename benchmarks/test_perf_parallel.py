@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import time
 
-from bench_results import write_result
+from bench_results import write_json_result, write_result
 
 from repro.core.abae import run_abae
 from repro.oracle.simulated import LatencyOracle
@@ -80,6 +80,24 @@ def test_perf_parallel(results_dir):
                 f"speedup: {speedup:10.2f}x",
             ]
         ),
+    )
+    write_json_result(
+        results_dir,
+        "parallel",
+        {
+            "benchmark": "parallel",
+            "dataset": "synthetic",
+            "size": SIZE,
+            "budget": BUDGET,
+            "workers": WORKERS,
+            "per_record_seconds": PER_RECORD_SECONDS,
+            "repeats": REPEATS,
+            "serial_seconds": t_serial,
+            "sharded_seconds": t_sharded,
+            "speedup": speedup,
+            "estimate": r_sharded.estimate,
+            "oracle_calls": r_sharded.oracle_calls,
+        },
     )
     assert speedup >= MIN_SPEEDUP, (
         f"parallel engine regressed: {speedup:.2f}x < {MIN_SPEEDUP}x at "

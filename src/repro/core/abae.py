@@ -66,6 +66,11 @@ class _ArrayStatistic:
     def __init__(self, values: np.ndarray):
         self._values = values
 
+    @property
+    def values(self) -> np.ndarray:
+        """The backing value column (used by the batched gather fast path)."""
+        return self._values
+
     def __call__(self, record_index: int) -> float:
         return float(self._values[record_index])
 
@@ -259,12 +264,15 @@ def run_abae(
         allocation_weights, split.stage2_total, remaining_capacity
     )
 
+    # A dataset-length membership mask is O(n + draws) per stratum, versus
+    # np.isin's sort-based O((n + draws) log draws); with strata frozen as
+    # read-only views this is the only per-run allocation on this path.
+    drawn_mask = np.zeros(stratification.num_records, dtype=bool)
     stage2_samples: List[StratumSample] = []
     for k in range(num_strata):
         stratum = stratification.stratum(k)
-        fresh_candidates = stratum[
-            ~np.isin(stratum, stage1_samples[k].indices)
-        ]
+        drawn_mask[stage1_samples[k].indices] = True
+        fresh_candidates = stratum[~drawn_mask[stratum]]
         stage2_samples.append(
             draw_stratum_sample(
                 k,

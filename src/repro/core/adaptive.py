@@ -49,6 +49,40 @@ def _as_proxy(proxy: Union[Proxy, Sequence[float]]) -> Proxy:
     return PrecomputedProxy(np.asarray(proxy, dtype=float), name="scores")
 
 
+class _StratumPool:
+    """Array-native bookkeeping of not-yet-drawn records per stratum.
+
+    The samplers used to keep a Python ``set`` of remaining indices per
+    stratum and rebuild a candidate array from it before every draw —
+    O(stratum) object churn per draw batch, with hash-order-dependent
+    candidate ordering.  This pool keeps one boolean availability mask per
+    stratum over the stratification's (sorted, read-only) index views:
+    candidates are a single boolean gather, and marking records drawn is a
+    ``searchsorted`` into the sorted stratum.  Candidate order is the
+    stratum's ascending record order — deterministic by construction.
+    """
+
+    __slots__ = ("_strata", "_available", "remaining")
+
+    def __init__(self, stratification: Stratification):
+        self._strata = [
+            stratification.stratum(k) for k in range(stratification.num_strata)
+        ]
+        self._available = [np.ones(s.size, dtype=bool) for s in self._strata]
+        self.remaining = np.array([s.size for s in self._strata], dtype=np.int64)
+
+    def candidates(self, k: int) -> np.ndarray:
+        """Record indices of stratum ``k`` not yet drawn (ascending order)."""
+        return self._strata[k][self._available[k]]
+
+    def mark_drawn(self, k: int, indices: np.ndarray) -> None:
+        if len(indices) == 0:
+            return
+        positions = np.searchsorted(self._strata[k], indices)
+        self._available[k][positions] = False
+        self.remaining[k] -= len(indices)
+
+
 def _marginal_variance_reduction(samples: Sequence[StratumSample]) -> np.ndarray:
     """Priority score per stratum: estimated variance removed by one more draw.
 
@@ -133,22 +167,19 @@ def run_abae_sequential(
 
     stratification = Stratification.by_proxy_quantile(proxy_obj, num_strata)
     num_strata = stratification.num_strata
-    remaining = {
-        k: set(stratification.stratum(k).tolist()) for k in range(num_strata)
-    }
+    pool = _StratumPool(stratification)
     samples: List[StratumSample] = [StratumSample(stratum=k) for k in range(num_strata)]
     spent = 0
 
     def draw_from(k: int, count: int) -> None:
         nonlocal spent
-        if count <= 0 or not remaining[k]:
+        if count <= 0 or pool.remaining[k] == 0:
             return
-        candidates = np.fromiter(remaining[k], dtype=np.int64)
         fresh = draw_stratum_sample(
-            k, candidates, count, oracle, statistic_fn, rng,
+            k, pool.candidates(k), count, oracle, statistic_fn, rng,
             batch_size=oracle_batch_size,
         )
-        remaining[k].difference_update(fresh.indices.tolist())
+        pool.mark_drawn(k, fresh.indices)
         samples[k] = samples[k].extend(fresh)
         spent += fresh.num_draws
 
@@ -162,9 +193,7 @@ def run_abae_sequential(
         this_batch = min(batch_size, budget - spent)
         priorities = _marginal_variance_reduction(samples)
         # Mask out exhausted strata.
-        for k in range(num_strata):
-            if not remaining[k]:
-                priorities[k] = 0.0
+        priorities[pool.remaining == 0] = 0.0
         total_priority = priorities.sum()
         if total_priority == 0:
             break
@@ -245,23 +274,20 @@ def run_abae_until_width(
 
     stratification = Stratification.by_proxy_quantile(proxy_obj, num_strata)
     num_strata = stratification.num_strata
-    remaining = {
-        k: set(stratification.stratum(k).tolist()) for k in range(num_strata)
-    }
+    pool = _StratumPool(stratification)
     samples: List[StratumSample] = [StratumSample(stratum=k) for k in range(num_strata)]
     spent = 0
     trace: List[_WidthTrace] = []
 
     def draw_from(k: int, count: int) -> None:
         nonlocal spent
-        if count <= 0 or not remaining[k]:
+        if count <= 0 or pool.remaining[k] == 0:
             return
-        candidates = np.fromiter(remaining[k], dtype=np.int64)
         fresh = draw_stratum_sample(
-            k, candidates, count, oracle, statistic_fn, rng,
+            k, pool.candidates(k), count, oracle, statistic_fn, rng,
             batch_size=oracle_batch_size,
         )
-        remaining[k].difference_update(fresh.indices.tolist())
+        pool.mark_drawn(k, fresh.indices)
         samples[k] = samples[k].extend(fresh)
         spent += fresh.num_draws
 
@@ -278,9 +304,7 @@ def run_abae_until_width(
 
     while ci.width > target_width and spent < max_budget:
         priorities = _marginal_variance_reduction(samples)
-        for k in range(num_strata):
-            if not remaining[k]:
-                priorities[k] = 0.0
+        priorities[pool.remaining == 0] = 0.0
         total_priority = priorities.sum()
         if total_priority == 0:
             break

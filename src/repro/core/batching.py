@@ -70,16 +70,19 @@ def statistic_batch(
 ) -> np.ndarray:
     """Statistic values for many records, vectorized when possible.
 
-    Uses the statistic's ``batch`` attribute when present (array-backed
-    adapters and :class:`~repro.oracle.base.StatisticOracle`); otherwise
-    loops over the scalar callable.
+    Uses the statistic's ``batch`` attribute when present — the
+    array-backed adapters and :class:`~repro.oracle.base.StatisticOracle`
+    answer it with a single fancy index over their ``values`` column — and
+    only falls back to a per-record loop (over native Python ints, no
+    NumPy scalar boxing) for bare scalar callables.  The ``batch`` method
+    stays authoritative even for column-backed statistics so a subclass
+    overriding it is never silently bypassed.
     """
+    idx = np.asarray(record_indices, dtype=np.int64)
     batch = getattr(statistic, "batch", None)
     if batch is not None:
-        return np.asarray(batch(record_indices), dtype=float)
-    return np.array(
-        [float(statistic(int(i))) for i in record_indices], dtype=float
-    )
+        return np.asarray(batch(idx), dtype=float)
+    return np.array([float(statistic(i)) for i in idx.tolist()], dtype=float)
 
 
 def label_records(
@@ -112,11 +115,13 @@ def label_records(
     if batch_size == 1:
         # Strict sequential path: per-record __call__ with the statistic
         # interleaved, exactly as the pre-batching implementation did.
-        for i, record_index in enumerate(drawn):
-            is_match = bool(oracle(int(record_index)))
+        # Iterating native ints (one bulk tolist) keeps the per-record loop
+        # free of NumPy scalar boxing.
+        for i, record_index in enumerate(drawn.tolist()):
+            is_match = bool(oracle(record_index))
             matches[i] = is_match
             if is_match:
-                values[i] = float(statistic(int(record_index)))
+                values[i] = float(statistic(record_index))
         return matches, values
 
     for chunk in batch_slices(n, batch_size):

@@ -50,10 +50,10 @@ from repro.core.estimators import (
 from repro.core.results import EstimateResult, GroupByResult
 from repro.core.stratification import Stratification
 from repro.core.uniform import run_uniform
-from repro.oracle.groupkey import GroupKeyOracle, PerGroupOracles
+from repro.oracle.groupkey import GroupKeyOracle, PerGroupOracles, membership_column
 from repro.optim.simplex import minimize_on_simplex
-from repro.proxy.base import PrecomputedProxy, Proxy
-from repro.stats.descriptive import safe_mean, safe_std
+from repro.proxy.base import PrecomputedProxy, Proxy, memoized_proxy_object
+from repro.stats.descriptive import safe_mean
 from repro.stats.rng import RandomState
 from repro.stats.sampling import sample_without_replacement
 from repro.core.types import StratumSample
@@ -77,11 +77,14 @@ class GroupSpec:
     proxy: Union[Proxy, Sequence[float]]
 
     def proxy_object(self) -> Proxy:
-        if isinstance(self.proxy, Proxy):
-            return self.proxy
-        return PrecomputedProxy(
-            np.asarray(self.proxy, dtype=float), name=f"proxy[{self.key}]"
-        )
+        """The group's proxy as a :class:`Proxy` (memoized).
+
+        Raw score sequences are wrapped once and reused, so repeated
+        stratifications of the same group hit the plan-level cache by
+        proxy identity instead of re-wrapping (and re-fingerprinting) the
+        scores every run.
+        """
+        return memoized_proxy_object(self, self.proxy, name=f"proxy[{self.key}]")
 
 
 # ---------------------------------------------------------------------------
@@ -97,13 +100,68 @@ def _validate_allocation_method(method: str) -> None:
         )
 
 
-@dataclass
-class _LabelledDraw:
-    """A drawn record with its revealed group key and (optional) statistic."""
+class _DrawLog:
+    """Columnar log of labelled draws: indices / revealed keys / statistics.
 
-    index: int
-    key: Hashable
-    value: float
+    Replaces the per-record ``_LabelledDraw`` dataclass list: draws are
+    appended one *batch* at a time (a few bulk array appends) and exposed
+    as three aligned columns.  Group membership columns — the expensive
+    per-draw Python ``==`` against arbitrary hashable keys — are memoized
+    per group; an append invalidates the memo, so each column is rebuilt
+    (over all draws) at most once per group per sampling stage, and the
+    bucketing of draws into (group, stratification) samples stays pure
+    NumPy.
+    """
+
+    __slots__ = ("_index_chunks", "_key_chunks", "_value_chunks", "_columns", "_membership")
+
+    def __init__(self):
+        self._index_chunks: List[np.ndarray] = []
+        self._key_chunks: List[np.ndarray] = []
+        self._value_chunks: List[np.ndarray] = []
+        self._columns = None
+        self._membership: Dict[Hashable, np.ndarray] = {}
+
+    def __len__(self) -> int:
+        return sum(c.shape[0] for c in self._index_chunks)
+
+    def append(self, indices: np.ndarray, keys: Sequence[Hashable], values: np.ndarray) -> None:
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.shape[0] == 0:
+            return
+        key_col = np.empty(idx.shape[0], dtype=object)
+        key_col[:] = keys  # per-element fill keeps tuples and Nones intact
+        self._index_chunks.append(idx)
+        self._key_chunks.append(key_col)
+        self._value_chunks.append(np.asarray(values, dtype=float))
+        self._columns = None
+        self._membership.clear()
+
+    def columns(self):
+        """The (indices, keys, values) columns, concatenated lazily."""
+        if self._columns is None:
+            if self._index_chunks:
+                self._columns = (
+                    np.concatenate(self._index_chunks),
+                    np.concatenate(self._key_chunks),
+                    np.concatenate(self._value_chunks),
+                )
+            else:
+                self._columns = (
+                    np.empty(0, dtype=np.int64),
+                    np.empty(0, dtype=object),
+                    np.empty(0, dtype=float),
+                )
+        return self._columns
+
+    def membership(self, group: Hashable) -> np.ndarray:
+        """Boolean column: does each draw's revealed key equal ``group``?"""
+        cached = self._membership.get(group)
+        if cached is None:
+            _, keys, _ = self.columns()
+            cached = membership_column(keys, group)
+            self._membership[group] = cached
+        return cached
 
 
 def _label_group_draws(
@@ -112,71 +170,77 @@ def _label_group_draws(
     statistic_fn: Callable[[int], float],
     group_keys: Sequence[Hashable],
     batch_size: Optional[int],
-) -> List[_LabelledDraw]:
+):
     """Reveal group keys for drawn records through the batched engine.
 
-    The statistic is only extracted for records whose revealed key belongs
+    Returns the ``(indices, keys, values)`` columns for the drawn records;
+    the statistic is only extracted for records whose revealed key belongs
     to one of the query's groups, mirroring the sequential path exactly.
     ``batch_size=1`` reproduces the legacy per-record oracle calls.
     """
     idx = np.asarray(record_indices, dtype=np.int64)
-    draws: List[_LabelledDraw] = []
     if batch_size == 1:
-        for record_index in idx:
-            key = oracle(int(record_index))
-            value = (
-                float(statistic_fn(int(record_index)))
-                if key in group_keys
-                else np.nan
-            )
-            draws.append(_LabelledDraw(index=int(record_index), key=key, value=value))
-        return draws
+        keys: List[Hashable] = []
+        values = np.full(idx.shape[0], np.nan, dtype=float)
+        key_set = set(group_keys)
+        for i, record_index in enumerate(idx.tolist()):
+            key = oracle(record_index)
+            keys.append(key)
+            if key in key_set:
+                values[i] = float(statistic_fn(record_index))
+        return idx, keys, values
     key_set = set(group_keys)
+    all_keys: List[Hashable] = []
+    values = np.full(idx.shape[0], np.nan, dtype=float)
     for chunk in batch_slices(idx.shape[0], batch_size):
         chunk_idx = idx[chunk]
-        keys = evaluate_oracle_batch(oracle, chunk_idx)
+        chunk_keys = evaluate_oracle_batch(oracle, chunk_idx)
         in_group = np.fromiter(
-            (k in key_set for k in keys), dtype=bool, count=len(keys)
+            (k in key_set for k in chunk_keys), dtype=bool, count=len(chunk_keys)
         )
-        values = np.full(len(keys), np.nan, dtype=float)
         if in_group.any():
-            values[in_group] = statistic_batch(statistic_fn, chunk_idx[in_group])
-        for record_index, key, value in zip(chunk_idx, keys, values):
-            draws.append(
-                _LabelledDraw(index=int(record_index), key=key, value=float(value))
+            # ``values[chunk]`` is a slice view; writing through it fills
+            # the right rows of the full column.
+            values[chunk][in_group] = statistic_batch(
+                statistic_fn, chunk_idx[in_group]
             )
-    return draws
+        all_keys.extend(chunk_keys)
+    return idx, all_keys, values
 
 
 def _draws_to_stratum_samples(
-    draws: Sequence[_LabelledDraw],
+    log: _DrawLog,
     group: Hashable,
     assignment: np.ndarray,
     num_strata: int,
 ) -> List[StratumSample]:
-    """Bucket labelled draws into strata of one stratification, for one group."""
-    per_stratum: List[Dict[str, list]] = [
-        {"indices": [], "matches": [], "values": []} for _ in range(num_strata)
-    ]
-    for draw in draws:
-        k = int(assignment[draw.index])
-        matched = draw.key == group
-        per_stratum[k]["indices"].append(draw.index)
-        per_stratum[k]["matches"].append(matched)
-        per_stratum[k]["values"].append(draw.value if matched else np.nan)
-    return [
-        StratumSample(
-            stratum=k,
-            indices=np.array(bucket["indices"], dtype=np.int64),
-            matches=np.array(bucket["matches"], dtype=bool),
-            values=np.array(bucket["values"], dtype=float),
+    """Bucket labelled draws into strata of one stratification, for one group.
+
+    Fully vectorized: one stratum-assignment gather, one memoized group
+    membership column, and one boolean mask per stratum — draw order is
+    preserved within each stratum, exactly as the per-record append loop
+    produced.
+    """
+    indices, _, values = log.columns()
+    matched = log.membership(group)
+    stratum_of = assignment[indices]
+    masked_values = np.where(matched, values, np.nan)
+    samples: List[StratumSample] = []
+    for k in range(num_strata):
+        in_k = stratum_of == k
+        samples.append(
+            StratumSample(
+                stratum=k,
+                indices=indices[in_k],
+                matches=matched[in_k],
+                values=masked_values[in_k],
+            )
         )
-        for k, bucket in enumerate(per_stratum)
-    ]
+    return samples
 
 
 def _per_group_estimates(
-    draws: Sequence[_LabelledDraw],
+    log: _DrawLog,
     groups: Sequence[Hashable],
     assignment: np.ndarray,
     num_strata: int,
@@ -184,7 +248,7 @@ def _per_group_estimates(
     """Per-group, per-stratum plug-in estimates from labelled draws."""
     estimates: Dict[Hashable, List] = {}
     for group in groups:
-        samples = _draws_to_stratum_samples(draws, group, assignment, num_strata)
+        samples = _draws_to_stratum_samples(log, group, assignment, num_strata)
         estimates[group] = estimate_all_strata(samples)
     return estimates
 
@@ -268,14 +332,16 @@ def run_groupby_single_oracle(
     pilot_indices = sample_without_replacement(
         np.arange(num_records, dtype=np.int64), n1, rng
     )
-    draws: List[_LabelledDraw] = _label_group_draws(
+    log = _DrawLog()
+    log.append(*_label_group_draws(
         pilot_indices, oracle, statistic_fn, group_keys, batch_size
-    )
-    drawn_set = {d.index for d in draws}
+    ))
+    drawn_mask = np.zeros(num_records, dtype=bool)
+    drawn_mask[pilot_indices] = True
 
     # ---- Per-stratification estimates and within-stratification allocations -----
     per_strat_estimates = [
-        _per_group_estimates(draws, group_keys, assignments[l], num_strata)
+        _per_group_estimates(log, group_keys, assignments[l], num_strata)
         for l in range(num_groups)
     ]
     within_allocations = []
@@ -302,23 +368,23 @@ def run_groupby_single_oracle(
     lam_counts = _integerize(lam, n2)
     for l in range(num_groups):
         stratification = stratifications[l]
-        drawn_array = np.fromiter(drawn_set, dtype=np.int64, count=len(drawn_set))
+        # Dataset-length membership mask instead of np.isin per stratum:
+        # one O(1) gather per candidate rather than a sort per stratum.
         fresh_per_stratum = [
-            stratification.stratum(k)[
-                ~np.isin(stratification.stratum(k), drawn_array)
-            ]
+            stratification.stratum(k)[~drawn_mask[stratification.stratum(k)]]
             for k in range(num_strata)
         ]
         capacities = [int(fresh.size) for fresh in fresh_per_stratum]
         counts = bounded_allocation(within_allocations[l], lam_counts[l], capacities)
         for k in range(num_strata):
             chosen = sample_without_replacement(fresh_per_stratum[k], counts[k], rng)
-            draws.extend(
-                _label_group_draws(chosen, oracle, statistic_fn, group_keys, batch_size)
-            )
-            drawn_set.update(int(i) for i in chosen)
+            log.append(*_label_group_draws(
+                chosen, oracle, statistic_fn, group_keys, batch_size
+            ))
+            drawn_mask[chosen] = True
 
     # ---- Combine: inverse-variance weighting across stratifications --------------
+    total_draws = len(log)
     group_results: Dict[Hashable, EstimateResult] = {}
     for group in group_keys:
         estimates_per_l = []
@@ -326,7 +392,7 @@ def run_groupby_single_oracle(
         samples_per_l = []
         for l in range(num_groups):
             samples = _draws_to_stratum_samples(
-                draws, group, assignments[l], num_strata
+                log, group, assignments[l], num_strata
             )
             estimates = estimate_all_strata(samples)
             stage_draws = [s.num_draws for s in samples]
@@ -337,7 +403,7 @@ def run_groupby_single_oracle(
         estimate = _inverse_variance_combine(estimates_per_l, variances_per_l)
         group_results[group] = EstimateResult(
             estimate=estimate,
-            oracle_calls=len(draws),
+            oracle_calls=total_draws,
             samples=[s for samples in samples_per_l for s in samples],
             method=f"abae-groupby-single-{allocation_method}",
             details={
@@ -349,7 +415,7 @@ def run_groupby_single_oracle(
     return GroupByResult(
         group_results=group_results,
         allocation={group_keys[l]: float(lam[l]) for l in range(num_groups)},
-        oracle_calls=len(draws),
+        oracle_calls=total_draws,
         method=f"abae-groupby-single-{allocation_method}",
         details={"stage1_draws": n1, "stage2_draws": n2},
     )
@@ -368,18 +434,18 @@ def _groupby_uniform_single_oracle(
     indices = sample_without_replacement(
         np.arange(num_records, dtype=np.int64), budget, rng
     )
-    draws = _label_group_draws(indices, oracle, statistic_fn, group_keys, batch_size)
-    per_group_values: Dict[Hashable, List[float]] = {g: [] for g in group_keys}
-    for draw in draws:
-        if draw.key in per_group_values:
-            per_group_values[draw.key].append(draw.value)
+    log = _DrawLog()
+    log.append(*_label_group_draws(
+        indices, oracle, statistic_fn, group_keys, batch_size
+    ))
+    _, _, values = log.columns()
     group_results = {
         group: EstimateResult(
-            estimate=safe_mean(values),
+            estimate=safe_mean(values[log.membership(group)]),
             oracle_calls=len(indices),
             method="uniform-groupby-single",
         )
-        for group, values in per_group_values.items()
+        for group in group_keys
     }
     return GroupByResult(
         group_results=group_results,
@@ -532,14 +598,11 @@ def run_groupby_multi_oracle(
             spec.proxy_object(), num_strata
         )
         pilot_samples = pilot_results[g].samples
-        drawn = np.unique(
-            np.concatenate(
-                [sample.indices for sample in pilot_samples]
-                or [np.empty(0, dtype=np.int64)]
-            )
-        )
+        drawn_mask = np.zeros(num_records, dtype=bool)
+        for sample in pilot_samples:
+            drawn_mask[sample.indices] = True
         fresh_per_stratum = [
-            stratification.stratum(k)[~np.isin(stratification.stratum(k), drawn)]
+            stratification.stratum(k)[~drawn_mask[stratification.stratum(k)]]
             for k in range(num_strata)
         ]
         capacities = [int(fresh.size) for fresh in fresh_per_stratum]

@@ -39,9 +39,26 @@ __all__ = ["PredicateExpr", "PredicateLeaf", "And", "Or", "Not", "run_abae_multi
 class PredicateExpr(abc.ABC):
     """A node in the predicate expression tree."""
 
-    @abc.abstractmethod
+    # Memoized combined scores.  A grid of trials evaluates the same
+    # expression's scores once per trial, and every combinator recomputes
+    # its whole subtree (products / maxima / complements) per call — for a
+    # deep expression that is O(depth * n) *per node access*.  The subtree
+    # score vector is immutable once the leaves' proxies are fixed, so each
+    # node computes it once and returns a frozen (read-only) array.
+    _scores_cache: Optional[np.ndarray] = None
+
     def combined_scores(self) -> np.ndarray:
-        """The per-record combined proxy score for the subtree."""
+        """The per-record combined proxy score for the subtree (memoized)."""
+        if self._scores_cache is None:
+            scores = np.asarray(self._compute_combined_scores(), dtype=float)
+            if scores.flags.writeable and scores.flags.owndata:
+                scores.setflags(write=False)
+            self._scores_cache = scores
+        return self._scores_cache
+
+    @abc.abstractmethod
+    def _compute_combined_scores(self) -> np.ndarray:
+        """Compute the subtree's combined score vector (uncached)."""
 
     @abc.abstractmethod
     def build_oracle(self) -> Oracle:
@@ -86,7 +103,7 @@ class PredicateLeaf(PredicateExpr):
     def oracle(self):
         return self._oracle
 
-    def combined_scores(self) -> np.ndarray:
+    def _compute_combined_scores(self) -> np.ndarray:
         return self._proxy.scores()
 
     def build_oracle(self) -> Oracle:
@@ -126,7 +143,7 @@ class _Combinator(PredicateExpr):
 class And(_Combinator):
     """Conjunction: combined score is the product of child scores."""
 
-    def combined_scores(self) -> np.ndarray:
+    def _compute_combined_scores(self) -> np.ndarray:
         scores = np.ones_like(self._children[0].combined_scores())
         for child in self._children:
             scores = scores * child.combined_scores()
@@ -142,7 +159,7 @@ class And(_Combinator):
 class Or(_Combinator):
     """Disjunction: combined score is the elementwise max of child scores."""
 
-    def combined_scores(self) -> np.ndarray:
+    def _compute_combined_scores(self) -> np.ndarray:
         scores = self._children[0].combined_scores()
         for child in self._children[1:]:
             scores = np.maximum(scores, child.combined_scores())
@@ -165,7 +182,7 @@ class Not(PredicateExpr):
     def child(self) -> PredicateExpr:
         return self._child
 
-    def combined_scores(self) -> np.ndarray:
+    def _compute_combined_scores(self) -> np.ndarray:
         return 1.0 - self._child.combined_scores()
 
     def build_oracle(self) -> Oracle:

@@ -226,17 +226,20 @@ def _process_safe(oracle) -> bool:
     return not isinstance(oracle, _CompositeOracle)
 
 
-def _evaluate_shard(oracle, record_indices: np.ndarray) -> list:
+def _evaluate_shard(oracle, record_indices: np.ndarray):
     """Pure (accounting-free) evaluation of one shard.
 
     Runs on a worker.  For :class:`Oracle` instances this is the
     ``_evaluate_batch`` path — no counters move; the parent thread records
-    the whole batch afterwards.  Plain callables are looped; they must be
-    pure and thread-safe (process backend: picklable) to be sharded.
+    the whole batch afterwards.  Vectorized oracles return NumPy arrays,
+    which are passed through as-is so the parent can merge shards with one
+    ``np.concatenate`` instead of a per-record list extend.  Plain
+    callables are looped; they must be pure and thread-safe (process
+    backend: picklable) to be sharded.
     """
     if isinstance(oracle, Oracle):
-        return list(oracle._evaluate_batch(record_indices))
-    return [oracle(int(i)) for i in record_indices]
+        return oracle._evaluate_batch(record_indices)
+    return [oracle(i) for i in record_indices.tolist()]
 
 
 class ParallelOracle:
@@ -337,6 +340,10 @@ class ParallelOracle:
     def call_log(self):
         return getattr(self._inner, "call_log", [])
 
+    @property
+    def call_log_columns(self):
+        return getattr(self._inner, "call_log_columns", None)
+
     def reset_accounting(self) -> None:
         reset = getattr(self._inner, "reset_accounting", None)
         if reset is not None:
@@ -380,9 +387,17 @@ class ParallelOracle:
             pool.submit(_evaluate_shard, self._inner, idx[shard])
             for shard in shard_slices(n, self._num_workers)
         ]
-        results: List = []
-        for future in futures:  # in shard order, independent of completion order
-            results.extend(future.result())
+        # Collect in shard order, independent of completion order.  When
+        # every shard came back as an ndarray (vectorized oracles), merge
+        # zero-copy-per-record with one concatenate; otherwise fall back to
+        # a flat list.
+        shard_results = [future.result() for future in futures]
+        if all(isinstance(r, np.ndarray) for r in shard_results):
+            results = np.concatenate(shard_results)
+        else:
+            results = []
+            for shard_result in shard_results:
+                results.extend(shard_result)
         if isinstance(self._inner, Oracle):
             self._inner._record(idx, results)
         self._sharded_batches += 1

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.core.abae import run_abae
 from repro.core.results import EstimateResult
+from repro.core.stratification import Stratification
 from repro.core.uniform import run_uniform
 from repro.experiments.config import ExperimentConfig, MethodCurve, SweepResult
 from repro.stats.metrics import coverage_rate, normalized_q_error, rmse
@@ -31,6 +32,15 @@ def _abae_method(
     with_ci: bool = False, alpha: float = 0.05, num_bootstrap: int = 200,
 ) -> MethodFn:
     def method(scenario: Scenario, budget: int, rng: RandomState) -> EstimateResult:
+        # Stratification is a pure function of (proxy, K): build it through
+        # the plan-level cache and hand it to every trial explicitly, so a
+        # budget x seed x trial grid sorts the score vector once instead of
+        # once per cell.  Passing it in (rather than relying on run_abae's
+        # internal lookup) also keeps the per-trial path free of cache-key
+        # hashing.
+        stratification = Stratification.by_proxy_quantile(
+            scenario.proxy, num_strata
+        )
         return run_abae(
             proxy=scenario.proxy,
             oracle=scenario.make_oracle(),
@@ -39,6 +49,7 @@ def _abae_method(
             num_strata=num_strata,
             stage1_fraction=stage1_fraction,
             reuse_samples=reuse_samples,
+            stratification=stratification,
             with_ci=with_ci,
             alpha=alpha,
             num_bootstrap=num_bootstrap,

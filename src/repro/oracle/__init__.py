@@ -22,6 +22,7 @@ result (and, for group-by queries, a group key).  This package provides:
 """
 
 from repro.oracle.base import (
+    ColumnarCallLog,
     Oracle,
     OracleCallRecord,
     PredicateOracle,
@@ -41,6 +42,7 @@ from repro.oracle.composite import AndOracle, OrOracle, NotOracle
 from repro.oracle.groupkey import GroupKeyOracle, PerGroupOracles
 
 __all__ = [
+    "ColumnarCallLog",
     "Oracle",
     "OracleCallRecord",
     "PredicateOracle",

@@ -11,13 +11,14 @@ from __future__ import annotations
 
 import abc
 import threading
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
 __all__ = [
     "OracleCallRecord",
+    "ColumnarCallLog",
     "Oracle",
     "PredicateOracle",
     "StatisticOracle",
@@ -32,6 +33,101 @@ class OracleCallRecord:
     record_index: int
     result: object
     cost: float
+
+
+class ColumnarCallLog:
+    """Columnar per-call accounting: growable index/result/cost buffers.
+
+    The log is append-only and batch-oriented: one ``append_batch`` per
+    oracle invocation batch, costing O(batch) bulk copies instead of O(n)
+    per-record object constructions.  Indices and costs live in NumPy
+    buffers that double on overflow (O(1) amortized per record); results —
+    which may be booleans, floats or arbitrary group keys — live in a plain
+    Python list extended in bulk.  The legacy list-of-
+    :class:`OracleCallRecord` view is materialized lazily on demand and is
+    element-wise identical (order, indices, results, costs) to what the
+    per-record append implementation produced.
+    """
+
+    _INITIAL_CAPACITY = 64
+
+    __slots__ = ("_indices", "_costs", "_results", "_size")
+
+    def __init__(self):
+        self._indices = np.empty(self._INITIAL_CAPACITY, dtype=np.int64)
+        self._costs = np.empty(self._INITIAL_CAPACITY, dtype=float)
+        self._results: List[object] = []
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _grow_to(self, needed: int) -> None:
+        capacity = self._indices.shape[0]
+        if needed <= capacity:
+            return
+        while capacity < needed:
+            capacity *= 2
+        for name in ("_indices", "_costs"):
+            old = getattr(self, name)
+            fresh = np.empty(capacity, dtype=old.dtype)
+            fresh[: self._size] = old[: self._size]
+            setattr(self, name, fresh)
+
+    def append_batch(self, record_indices, results, cost: float) -> None:
+        """Append one batch of evaluations (a batch of 1 is a scalar call)."""
+        idx = np.asarray(record_indices, dtype=np.int64)
+        count = idx.shape[0]
+        if count == 0:
+            return
+        end = self._size + count
+        self._grow_to(end)
+        self._indices[self._size : end] = idx
+        self._costs[self._size : end] = cost
+        self._results.extend(results)
+        self._size = end
+
+    def clear(self) -> None:
+        """Empty the log, reallocating the buffers.
+
+        Reallocation (rather than size reset) keeps previously handed-out
+        zero-copy views valid as snapshots — post-clear appends land in
+        fresh buffers instead of overwriting bytes an earlier view still
+        references — and releases whatever a large prior run pinned.
+        """
+        self._indices = np.empty(self._INITIAL_CAPACITY, dtype=np.int64)
+        self._costs = np.empty(self._INITIAL_CAPACITY, dtype=float)
+        self._results = []
+        self._size = 0
+
+    # -- Columnar views -----------------------------------------------------------
+    @property
+    def indices(self) -> np.ndarray:
+        """Record indices of every logged call, in evaluation order (read-only)."""
+        view = self._indices[: self._size]
+        view.flags.writeable = False
+        return view
+
+    @property
+    def costs(self) -> np.ndarray:
+        """Per-call cost of every logged call, in evaluation order (read-only)."""
+        view = self._costs[: self._size]
+        view.flags.writeable = False
+        return view
+
+    @property
+    def results(self) -> List[object]:
+        """Results of every logged call, in evaluation order (a copy)."""
+        return list(self._results)
+
+    def records(self) -> List[OracleCallRecord]:
+        """Lazily materialize the legacy per-call record list."""
+        indices = self._indices[: self._size].tolist()
+        costs = self._costs[: self._size].tolist()
+        return [
+            OracleCallRecord(record_index=index, result=result, cost=cost)
+            for index, result, cost in zip(indices, self._results, costs)
+        ]
 
 
 class Oracle(abc.ABC):
@@ -55,7 +151,7 @@ class Oracle(abc.ABC):
         self._cost_per_call = cost_per_call
         self._num_calls = 0
         self._keep_log = keep_log
-        self._log: List[OracleCallRecord] = []
+        self._log = ColumnarCallLog()
         # Serializes `_record` so worker threads (repro.core.parallel) cannot
         # lose counter updates.  Uncontended acquisition is ~100ns per batch,
         # negligible next to even a vectorized oracle evaluation.
@@ -88,8 +184,20 @@ class Oracle(abc.ABC):
 
     @property
     def call_log(self) -> List[OracleCallRecord]:
-        """The per-call log (empty unless constructed with ``keep_log=True``)."""
-        return list(self._log)
+        """The per-call log (empty unless constructed with ``keep_log=True``).
+
+        This is the *legacy view*: a fresh list of
+        :class:`OracleCallRecord` objects materialized on access (O(n)).
+        Accounting itself is columnar — prefer :attr:`call_log_columns` in
+        hot paths, which exposes the underlying buffers without object
+        churn.
+        """
+        return self._log.records()
+
+    @property
+    def call_log_columns(self) -> ColumnarCallLog:
+        """The columnar call log (index/result/cost buffers, zero-copy views)."""
+        return self._log
 
     def reset_accounting(self) -> None:
         """Zero the call counter, cost, and log (e.g. between trials)."""
@@ -102,26 +210,23 @@ class Oracle(abc.ABC):
 
         Invariant: each evaluated record charges exactly one ``num_calls``
         unit and one ``cost_per_call`` unit, and (when logging is enabled)
-        appends exactly one :class:`OracleCallRecord`, in evaluation order.
-        Both :meth:`__call__` and :meth:`evaluate_batch` route through this
+        appends exactly one log entry, in evaluation order.  Both
+        :meth:`__call__` and :meth:`evaluate_batch` route through this
         helper, so a batch of ``n`` records is indistinguishable — in
-        counters, cost and log — from ``n`` sequential calls.  The helper is
-        thread-safe: composite oracles evaluated on worker threads (see
-        :mod:`repro.core.parallel`) account their children here concurrently
-        without losing updates.
+        counters, cost and log — from ``n`` sequential calls.  Logging is
+        columnar: one bulk append per batch (O(1) amortized per record)
+        instead of one :class:`OracleCallRecord` construction per record;
+        the legacy record list stays available as a lazily-materialized
+        view through :attr:`call_log`.  The helper is thread-safe:
+        composite oracles evaluated on worker threads (see
+        :mod:`repro.core.parallel`) account their children here
+        concurrently without losing updates.
         """
         count = len(record_indices)
         with self._account_lock:
             self._num_calls += count
             if self._keep_log:
-                for record_index, result in zip(record_indices, results):
-                    self._log.append(
-                        OracleCallRecord(
-                            record_index=int(record_index),
-                            result=result,
-                            cost=self._cost_per_call,
-                        )
-                    )
+                self._log.append_batch(record_indices, results, self._cost_per_call)
 
     # -- Evaluation ---------------------------------------------------------------
     def __call__(self, record_index: int):
@@ -152,7 +257,9 @@ class Oracle(abc.ABC):
         Override with a vectorized implementation where possible; the
         default simply loops over :meth:`_evaluate`.
         """
-        return [self._evaluate(int(i)) for i in record_indices]
+        return [
+            self._evaluate(i) for i in np.asarray(record_indices, dtype=np.int64).tolist()
+        ]
 
     # -- Pickling (process-backend parallel execution) ----------------------------
     def __getstate__(self):
@@ -205,16 +312,20 @@ class StatisticOracle:
     def name(self) -> str:
         return self._name
 
+    @property
+    def values(self) -> Optional[np.ndarray]:
+        """The backing value column when one exists (else None)."""
+        return self._values
+
     def __call__(self, record_index: int) -> float:
         return float(self._fn(record_index))
 
     def batch(self, record_indices: Sequence[int]) -> np.ndarray:
         """Statistic values for many records (vectorized when column-backed)."""
+        idx = np.asarray(record_indices, dtype=np.int64)
         if self._values is not None:
-            return self._values[np.asarray(record_indices, dtype=np.int64)].astype(
-                float
-            )
-        return np.array([float(self._fn(int(i))) for i in record_indices], dtype=float)
+            return self._values[idx].astype(float)
+        return np.array([float(self._fn(i)) for i in idx.tolist()], dtype=float)
 
     @classmethod
     def from_column(cls, values, name: str = "statistic") -> "StatisticOracle":
@@ -238,4 +349,4 @@ def evaluate_oracle_batch(oracle: Callable[[int], object], record_indices) -> li
     batch = getattr(oracle, "evaluate_batch", None)
     if batch is not None:
         return batch(record_indices)
-    return [oracle(int(i)) for i in record_indices]
+    return [oracle(i) for i in np.asarray(record_indices, dtype=np.int64).tolist()]

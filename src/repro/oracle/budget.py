@@ -98,6 +98,20 @@ class BudgetedOracle:
     def num_calls(self) -> int:
         return self._oracle.num_calls
 
+    @property
+    def total_cost(self) -> float:
+        return getattr(self._oracle, "total_cost", 0.0)
+
+    @property
+    def call_log(self):
+        """The wrapped oracle's call log (legacy record-list view)."""
+        return getattr(self._oracle, "call_log", [])
+
+    @property
+    def call_log_columns(self):
+        """The wrapped oracle's columnar call log, when it keeps one."""
+        return getattr(self._oracle, "call_log_columns", None)
+
     def __call__(self, record_index: int):
         self._budget.charge(1)
         return self._oracle(record_index)

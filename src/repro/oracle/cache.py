@@ -78,11 +78,12 @@ class CachingOracle(Oracle):
         occurrence (already cached, or repeated within this batch) is a free
         hit.
         """
-        keys = [int(i) for i in record_indices]
+        keys = np.asarray(record_indices, dtype=np.int64).tolist()
+        cache = self._cache
         pending = []  # unique uncached keys, in first-occurrence order
         pending_set = set()
         for key in keys:
-            if key not in self._cache and key not in pending_set:
+            if key not in cache and key not in pending_set:
                 pending.append(key)
                 pending_set.add(key)
         if pending:
@@ -90,11 +91,10 @@ class CachingOracle(Oracle):
                 self._inner, np.asarray(pending, dtype=np.int64)
             )
             self._misses += len(pending)
-            for key, result in zip(pending, fresh):
-                self._cache[key] = result
+            cache.update(zip(pending, fresh))
             self._record(pending, fresh)
         self._hits += len(keys) - len(pending)
-        return [self._cache[key] for key in keys]
+        return [cache[key] for key in keys]
 
     def _evaluate(self, record_index: int):  # pragma: no cover - not used
         return self._inner(record_index)

@@ -67,7 +67,7 @@ class AndOracle(_CompositeOracle):
         idx = np.asarray(record_indices, dtype=np.int64)
         result = np.ones(idx.shape[0], dtype=bool)
         for child in self._children:
-            active = np.nonzero(result)[0]
+            active = np.flatnonzero(result)
             if active.size == 0:
                 break
             answers = np.asarray(
@@ -93,7 +93,7 @@ class OrOracle(_CompositeOracle):
         idx = np.asarray(record_indices, dtype=np.int64)
         result = np.zeros(idx.shape[0], dtype=bool)
         for child in self._children:
-            active = np.nonzero(~result)[0]
+            active = np.flatnonzero(~result)
             if active.size == 0:
                 break
             answers = np.asarray(

@@ -21,7 +21,21 @@ import numpy as np
 from repro.oracle.base import Oracle
 from repro.oracle.simulated import LabelColumnOracle
 
-__all__ = ["GroupKeyOracle", "PerGroupOracles"]
+__all__ = ["GroupKeyOracle", "PerGroupOracles", "membership_column"]
+
+
+def membership_column(keys: np.ndarray, group: Hashable) -> np.ndarray:
+    """Boolean membership column for one group, built in a single pass.
+
+    ``np.fromiter`` over a generator avoids materializing an intermediate
+    Python list per group; equality stays per-element Python ``==`` so
+    arbitrary hashable keys (tuples included) compare exactly as before.
+    Shared by the per-group oracle constructors and the group-by sampler's
+    draw log.
+    """
+    return np.fromiter(
+        (k == group for k in keys), dtype=bool, count=keys.shape[0]
+    )
 
 
 class GroupKeyOracle(Oracle):
@@ -48,6 +62,16 @@ class GroupKeyOracle(Oracle):
             observed = {k for k in self._keys if k != none_value and k is not None}
             groups = sorted(observed, key=str)
         self._groups = list(groups)
+        # Precompute the answer column once (none-values normalized to None)
+        # so batch evaluation is a single fancy index instead of a
+        # per-record Python comparison loop.
+        none_mask = np.fromiter(
+            (k is None or k == none_value for k in self._keys),
+            dtype=bool,
+            count=self._keys.shape[0],
+        )
+        self._answers = self._keys.copy()
+        self._answers[none_mask] = None
 
     @property
     def groups(self) -> List[Hashable]:
@@ -55,15 +79,10 @@ class GroupKeyOracle(Oracle):
         return list(self._groups)
 
     def _evaluate(self, record_index: int) -> Hashable:
-        key = self._keys[record_index]
-        if key is None or key == self._none_value:
-            return None
-        return key
+        return self._answers[record_index]
 
     def _evaluate_batch(self, record_indices) -> List[Hashable]:
-        keys = self._keys[np.asarray(record_indices, dtype=np.int64)]
-        none = self._none_value
-        return [None if (k is None or k == none) else k for k in keys]
+        return self._answers[np.asarray(record_indices, dtype=np.int64)].tolist()
 
     def membership_oracle(self, group: Hashable) -> LabelColumnOracle:
         """Derive a binary oracle for a single group (used in tests/baselines).
@@ -74,7 +93,7 @@ class GroupKeyOracle(Oracle):
         """
         if group not in self._groups:
             raise ValueError(f"unknown group {group!r}; known groups: {self._groups}")
-        labels = np.array([k == group for k in self._keys], dtype=bool)
+        labels = membership_column(self._keys, group)
         return LabelColumnOracle(
             labels, name=f"{self.name}[{group}]", cost_per_call=self.cost_per_call
         )
@@ -104,9 +123,10 @@ class PerGroupOracles:
         self._name = name
         self._oracles: Dict[Hashable, LabelColumnOracle] = {}
         for group in self._groups:
-            labels = np.array([k == group for k in keys], dtype=bool)
             self._oracles[group] = LabelColumnOracle(
-                labels, name=f"{name}[{group}]", cost_per_call=cost_per_call
+                membership_column(keys, group),
+                name=f"{name}[{group}]",
+                cost_per_call=cost_per_call,
             )
 
     @property

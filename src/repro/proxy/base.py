@@ -13,7 +13,32 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-__all__ = ["Proxy", "PrecomputedProxy", "CallableProxy", "validate_scores"]
+__all__ = [
+    "Proxy",
+    "PrecomputedProxy",
+    "CallableProxy",
+    "validate_scores",
+    "memoized_proxy_object",
+]
+
+
+def memoized_proxy_object(holder, raw, name: str = "bound_proxy") -> "Proxy":
+    """Wrap raw scores as a :class:`PrecomputedProxy`, memoized on ``holder``.
+
+    Bindings and group specs hold proxies either as :class:`Proxy` objects
+    (returned as-is) or as raw score sequences.  Wrapping the raw scores
+    freshly per execution would defeat the identity-keyed stratification
+    cache, so the wrapper is stored on ``holder`` (as ``_proxy_object``)
+    and reused until the raw reference is swapped out.
+    """
+    if isinstance(raw, Proxy):
+        return raw
+    cached = getattr(holder, "_proxy_object", None)
+    if cached is not None and cached[0] is raw:
+        return cached[1]
+    wrapped = PrecomputedProxy(np.asarray(raw, dtype=float), name=name)
+    holder._proxy_object = (raw, wrapped)
+    return wrapped
 
 
 def validate_scores(scores: np.ndarray, name: str = "proxy") -> np.ndarray:

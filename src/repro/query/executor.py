@@ -21,12 +21,14 @@ that function.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Hashable, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.core.abae import run_abae
+from repro.core.stratification import stratification_cache_disabled
 from repro.core.bootstrap import bootstrap_aggregate_interval
 from repro.core.groupby import (
     GroupSpec,
@@ -37,7 +39,7 @@ from repro.core.multipred import And, Not, Or, PredicateExpr, PredicateLeaf
 from repro.core.multipred import run_abae_multipred
 from repro.core.results import ConfidenceInterval, EstimateResult, GroupByResult
 from repro.oracle.groupkey import GroupKeyOracle, PerGroupOracles
-from repro.proxy.base import PrecomputedProxy, Proxy
+from repro.proxy.base import PrecomputedProxy, Proxy, memoized_proxy_object
 from repro.query.ast import (
     AggregateKind,
     AndExpr,
@@ -65,9 +67,14 @@ class PredicateBinding:
     labels: Optional[np.ndarray] = None
 
     def proxy_object(self) -> Proxy:
-        if isinstance(self.proxy, Proxy):
-            return self.proxy
-        return PrecomputedProxy(np.asarray(self.proxy, dtype=float), name="bound_proxy")
+        """The binding's proxy as a :class:`Proxy` (memoized).
+
+        Raw score sequences are wrapped once and the wrapper reused for
+        every execution, so the plan-level stratification cache (keyed on
+        proxy identity) hits across repeated queries instead of seeing a
+        fresh wrapper per run.
+        """
+        return memoized_proxy_object(self, self.proxy, name="bound_proxy")
 
 
 @dataclass
@@ -204,29 +211,39 @@ def execute_query(
     rng: Optional[RandomState] = None,
     batch_size: Optional[int] = None,
     num_workers: Optional[int] = None,
+    plan_cache: bool = True,
 ) -> QueryResult:
     """Parse (if needed), plan and execute a query against a context.
 
     ``batch_size`` and ``num_workers`` are recorded on the plan and control
     how many records each oracle invocation batch labels (``None`` = whole
     draw sets at once, ``1`` = strictly sequential) and how many workers
-    each batch is sharded across (``None`` = serial).  Neither ever changes
-    the query answer, the confidence interval, or the oracle call count.
+    each batch is sharded across (``None`` = serial).  ``plan_cache``
+    (default on) lets execution reuse the process-wide proxy-scores /
+    stratification caches across repeated queries.  None of the three ever
+    changes the query answer, the confidence interval, or the oracle call
+    count.
     """
     if isinstance(query, str):
         query = parse_query(query)
-    plan = plan_query(query, batch_size=batch_size, num_workers=num_workers)
+    plan = plan_query(
+        query, batch_size=batch_size, num_workers=num_workers, plan_cache=plan_cache
+    )
     rng = rng or RandomState(seed)
 
-    if plan.kind is PlanKind.GROUP_BY:
-        return _execute_group_by(plan, context, num_strata, stage1_fraction, rng)
-    if plan.kind is PlanKind.MULTI_PREDICATE:
-        return _execute_multi_predicate(
+    cache_scope = (
+        nullcontext() if plan.plan_cache else stratification_cache_disabled()
+    )
+    with cache_scope:
+        if plan.kind is PlanKind.GROUP_BY:
+            return _execute_group_by(plan, context, num_strata, stage1_fraction, rng)
+        if plan.kind is PlanKind.MULTI_PREDICATE:
+            return _execute_multi_predicate(
+                plan, context, num_strata, stage1_fraction, num_bootstrap, with_ci, rng
+            )
+        return _execute_single_predicate(
             plan, context, num_strata, stage1_fraction, num_bootstrap, with_ci, rng
         )
-    return _execute_single_predicate(
-        plan, context, num_strata, stage1_fraction, num_bootstrap, with_ci, rng
-    )
 
 
 # ---------------------------------------------------------------------------

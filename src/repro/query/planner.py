@@ -41,9 +41,14 @@ class QueryPlan:
     hints: how many records the executor labels per oracle invocation batch
     (``None`` = whole draw sets at once, ``1`` = strictly sequential), and
     how many workers each batch is sharded across (``None`` = serial).
-    Both are pure execution knobs — estimates, CIs and call counts are
-    bit-identical for every value — so the planner records them as part of
-    the physical plan rather than the logical decision tree.
+    ``plan_cache`` controls whether execution may reuse the process-wide
+    proxy-scores / stratification caches (see
+    :mod:`repro.core.stratification`); disabling it forces every trial to
+    re-score and re-sort, which only matters when proxy score arrays are
+    mutated in place between executions.  All three are pure execution
+    knobs — estimates, CIs and call counts are bit-identical for every
+    value — so the planner records them as part of the physical plan
+    rather than the logical decision tree.
     """
 
     kind: PlanKind
@@ -52,6 +57,7 @@ class QueryPlan:
     notes: Dict[str, object] = field(default_factory=dict)
     batch_size: Optional[int] = None
     num_workers: Optional[int] = None
+    plan_cache: bool = True
 
     @property
     def budget(self) -> int:
@@ -66,15 +72,21 @@ def plan_query(
     query: Query,
     batch_size: Optional[int] = None,
     num_workers: Optional[int] = None,
+    plan_cache: bool = True,
 ) -> QueryPlan:
     """Build a :class:`QueryPlan` for a parsed query.
 
-    ``batch_size`` and ``num_workers`` are attached to the plan as its
-    physical-execution hints and validated here, so a bad knob raises a
-    clear :class:`~repro.query.errors.PlanningError` (a ``QueryError``) at
-    planning time instead of surfacing as a ``ValueError`` from deep inside
-    ``batch_slices`` or the worker-pool layer mid-sampling.
+    ``batch_size``, ``num_workers`` and ``plan_cache`` are attached to the
+    plan as its physical-execution hints and validated here, so a bad knob
+    raises a clear :class:`~repro.query.errors.PlanningError` (a
+    ``QueryError``) at planning time instead of surfacing as a
+    ``ValueError`` from deep inside ``batch_slices`` or the worker-pool
+    layer mid-sampling.
     """
+    if not isinstance(plan_cache, bool):
+        raise PlanningError(
+            f"plan_cache must be a boolean, got {plan_cache!r}"
+        )
     if batch_size is not None:
         if (
             not isinstance(batch_size, (int, np.integer))
@@ -116,14 +128,17 @@ def plan_query(
             },
             batch_size=batch_size,
             num_workers=num_workers,
+            plan_cache=plan_cache,
         )
 
     if len(atoms) > 1:
         return QueryPlan(
             kind=PlanKind.MULTI_PREDICATE, query=query, atoms=atoms,
             batch_size=batch_size, num_workers=num_workers,
+            plan_cache=plan_cache,
         )
     return QueryPlan(
         kind=PlanKind.SINGLE_PREDICATE, query=query, atoms=atoms,
         batch_size=batch_size, num_workers=num_workers,
+        plan_cache=plan_cache,
     )

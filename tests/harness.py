@@ -45,6 +45,48 @@ DEFAULT_BATCH_SIZES = (1, 7, None)
 DEFAULT_NUM_WORKERS = (1, 2, 4)
 
 
+class LegacyRecordListMixin:
+    """The pre-columnar per-record list accounting, reproduced verbatim.
+
+    Single source of truth for the legacy baseline: ``_record`` below is
+    the exact implementation that shipped before the array-backed
+    ``ColumnarCallLog`` rewrite (one ``OracleCallRecord`` construction per
+    evaluated record, under the accounting lock).  Mix it into any
+    :class:`repro.oracle.base.Oracle` subclass to obtain the historical
+    behaviour — ``tests/test_accounting_parity.py`` compares it against
+    the columnar log element-wise, and ``scripts/bench_hotpath.py`` times
+    it as the pre-PR arm.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._legacy_records = []
+
+    def _record(self, record_indices, results):
+        from repro.oracle.base import OracleCallRecord
+
+        count = len(record_indices)
+        with self._account_lock:
+            self._num_calls += count
+            if self._keep_log:
+                for record_index, result in zip(record_indices, results):
+                    self._legacy_records.append(
+                        OracleCallRecord(
+                            record_index=int(record_index),
+                            result=result,
+                            cost=self._cost_per_call,
+                        )
+                    )
+
+    @property
+    def call_log(self):
+        return list(self._legacy_records)
+
+    def reset_accounting(self):
+        super().reset_accounting()
+        self._legacy_records.clear()
+
+
 # ---------------------------------------------------------------------------
 # Fingerprints: exact, repr-based digests of sampler outputs
 # ---------------------------------------------------------------------------
@@ -70,6 +112,45 @@ def estimate_fingerprint(result) -> str:
             [tuple(s.indices.tolist()) for s in result.samples],
             [tuple(s.matches.tolist()) for s in result.samples],
             [_nan_safe(s.values) for s in result.samples],
+        )
+    )
+
+
+def _canonical_result(result) -> object:
+    """Normalize a logged oracle result for exact cross-path comparison.
+
+    The *value* of a logged result is part of the determinism contract; its
+    NumPy-vs-Python scalar *type* is not (a ``batch_size=1`` run logs
+    Python bools from the scalar path while a whole-draw batch logs
+    ``np.bool_`` from a vectorized array — both before and after the
+    columnar accounting rewrite).
+    """
+    if isinstance(result, (bool, np.bool_)):
+        return bool(result)
+    if isinstance(result, (int, np.integer)):
+        return int(result)
+    if isinstance(result, (float, np.floating)):
+        return None if np.isnan(result) else float(result)
+    return result
+
+
+def oracle_accounting_fingerprint(oracle) -> str:
+    """Digest of an oracle's complete accounting state.
+
+    Covers the invocation counter, the derived total cost, and — when the
+    oracle keeps a log — every call's record index, (canonicalized) result
+    and per-call cost, in evaluation order.  Two oracles with the same
+    fingerprint performed element-wise identical charged work.
+    """
+    log = getattr(oracle, "call_log", [])
+    return repr(
+        (
+            getattr(oracle, "num_calls", None),
+            getattr(oracle, "total_cost", None),
+            [
+                (r.record_index, _canonical_result(r.result), r.cost)
+                for r in log
+            ],
         )
     )
 

@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.core.stratification import Stratification
+from repro.core.stratification import (
+    Stratification,
+    clear_stratification_cache,
+    stratification_cache_disabled,
+    stratification_cache_info,
+)
 from repro.proxy.base import PrecomputedProxy
 from repro.stats.rng import RandomState
 
@@ -101,10 +106,78 @@ class TestAccessors:
         with pytest.raises(IndexError):
             strat.stratum(1)
 
-    def test_strata_returns_copies(self):
+    def test_strata_views_are_read_only(self):
+        # Accessors return zero-copy views; internal state is protected by
+        # freezing the arrays, so accidental mutation raises loudly instead
+        # of silently corrupting a (possibly cached, shared) stratification.
         strat = Stratification.single_stratum(10)
-        strat.strata()[0][0] = 999
+        with pytest.raises(ValueError):
+            strat.strata()[0][0] = 999
+        with pytest.raises(ValueError):
+            strat.stratum(0)[0] = 999
+        with pytest.raises(ValueError):
+            strat.sizes()[0] = 999
         assert strat.stratum(0)[0] == 0
+
+    def test_constructor_does_not_freeze_caller_arrays(self):
+        mine = np.arange(10, dtype=np.int64)
+        Stratification([mine], num_records=10)
+        mine[0] = 999  # still writable: the constructor copied, not aliased
+        assert mine[0] == 999
+
+
+class TestPlanLevelCache:
+    """The process-wide (scores, K, descending) memoization layers."""
+
+    def setup_method(self):
+        clear_stratification_cache()
+
+    def test_from_scores_memoizes_by_content(self):
+        scores = RandomState(0).random(500)
+        a = Stratification.from_scores(scores, 5)
+        b = Stratification.from_scores(scores.copy(), 5)  # fresh array, same bytes
+        assert a is b
+        assert stratification_cache_info()["hits"] >= 1
+
+    def test_from_scores_distinguishes_content_and_knobs(self):
+        scores = RandomState(0).random(500)
+        base = Stratification.from_scores(scores, 5)
+        assert Stratification.from_scores(scores, 4) is not base
+        assert Stratification.from_scores(scores, 5, descending=True) is not base
+        other = scores.copy()
+        other[0] = 1.0 - other[0]
+        assert Stratification.from_scores(other, 5) is not base
+
+    def test_by_proxy_quantile_memoizes_by_proxy_identity(self):
+        proxy = PrecomputedProxy(RandomState(1).random(300))
+        a = Stratification.by_proxy_quantile(proxy, 3)
+        b = Stratification.by_proxy_quantile(proxy, 3)
+        assert a is b
+
+    def test_cached_equals_uncached(self):
+        scores = RandomState(2).random(400)
+        cached = Stratification.from_scores(scores, 6)
+        with stratification_cache_disabled():
+            fresh = Stratification.from_scores(scores, 6)
+        assert fresh is not cached
+        for k in range(6):
+            assert np.array_equal(fresh.stratum(k), cached.stratum(k))
+
+    def test_disabled_context_bypasses_and_restores(self):
+        scores = RandomState(3).random(200)
+        with stratification_cache_disabled():
+            a = Stratification.from_scores(scores, 2)
+            b = Stratification.from_scores(scores, 2)
+            assert a is not b
+        c = Stratification.from_scores(scores, 2)
+        assert Stratification.from_scores(scores, 2) is c
+
+    def test_clear_cache_drops_entries(self):
+        scores = RandomState(4).random(200)
+        a = Stratification.from_scores(scores, 2)
+        clear_stratification_cache()
+        assert stratification_cache_info()["content_entries"] == 0
+        assert Stratification.from_scores(scores, 2) is not a
 
 
 class TestValidation:

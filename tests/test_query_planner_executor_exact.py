@@ -121,6 +121,27 @@ class TestPhysicalPlanHints:
         assert result.value == baseline.value
         assert result.oracle_calls == baseline.oracle_calls
 
+    def test_plan_cache_hint_carried_and_validated(self):
+        assert plan_query(parse_query(SINGLE_QUERY)).plan_cache is True
+        plan = plan_query(parse_query(SINGLE_QUERY), plan_cache=False)
+        assert plan.plan_cache is False
+        with pytest.raises(PlanningError, match="plan_cache"):
+            plan_query(parse_query(SINGLE_QUERY), plan_cache="yes")
+
+    def test_plan_cache_never_changes_results(self, context):
+        # plan_cache is a pure physical knob: with the caches bypassed the
+        # stratification is rebuilt from scratch, but the answer, CI and
+        # call count are bit-identical.
+        cached = execute_query(SINGLE_QUERY, context, seed=3, num_bootstrap=30)
+        uncached = execute_query(
+            SINGLE_QUERY, context, seed=3, num_bootstrap=30, plan_cache=False
+        )
+        assert cached.value == uncached.value
+        assert (cached.ci.lower, cached.ci.upper) == (
+            uncached.ci.lower, uncached.ci.upper
+        )
+        assert cached.oracle_calls == uncached.oracle_calls
+
 
 class TestSinglePredicateExecution:
     def test_avg_close_to_exact(self, context):
