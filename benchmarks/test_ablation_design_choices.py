@@ -82,11 +82,12 @@ def test_ablation_allocation_rule(benchmark, results_dir):
     truth = scenario.ground_truth()
     stratification = Stratification.by_proxy_quantile(scenario.proxy, 5)
 
-    import repro.core.abae as abae_module
     from repro.core import allocation as allocation_module
 
     def rmse_with_allocation(weight_fn, seed):
-        original = abae_module.allocation_from_estimates
+        # The engine's two-stage policy resolves the allocation rule
+        # through repro.core.allocation, so that is where it is patched.
+        original = allocation_module.allocation_from_estimates
 
         def patched(estimates):
             p = np.array([e.p_hat for e in estimates])
@@ -97,7 +98,7 @@ def test_ablation_allocation_rule(benchmark, results_dir):
                 return np.full(p.shape, 1.0 / p.size)
             return weights / total
 
-        abae_module.allocation_from_estimates = patched
+        allocation_module.allocation_from_estimates = patched
         try:
             estimates = [
                 run_abae(
@@ -111,7 +112,7 @@ def test_ablation_allocation_rule(benchmark, results_dir):
                 for child in RandomState(seed).spawn(TRIALS)
             ]
         finally:
-            abae_module.allocation_from_estimates = original
+            allocation_module.allocation_from_estimates = original
         return rmse(estimates, truth)
 
     def run():

@@ -6,6 +6,11 @@
 The package is organized as:
 
 * :mod:`repro.core` — the ABae sampling algorithms and extensions;
+* :mod:`repro.engine` — the unified execution engine: one
+  :class:`~repro.engine.config.ExecutionConfig` for every physical knob,
+  one :class:`~repro.engine.pipeline.SamplingPipeline` with pluggable
+  allocation/estimator policies under every sampler, and streaming /
+  resumable :class:`~repro.engine.session.SamplingSession`\\ s;
 * :mod:`repro.query` — the SQL-like query language of Figure 1 and its
   planner/executor;
 * :mod:`repro.dataset`, :mod:`repro.oracle`, :mod:`repro.proxy` — the data,
@@ -30,14 +35,18 @@ Quickstart::
     print(result.estimate, result.ci)
 
 Oracle evaluation runs through a batched, parallel execution engine
-(:mod:`repro.core.batching` / :mod:`repro.core.parallel`): oracles
-exposing ``evaluate_batch`` label whole per-stratum draws in one
-vectorized invocation, optionally sharded across a worker pool.  Every
-sampler and the query executor take ``batch_size`` (``None`` = whole-draw
-batches, ``1`` = strictly sequential) and ``num_workers`` (``None`` =
-serial) knobs; results and oracle call counts are bit-identical for every
-setting.  See README.md, docs/ARCHITECTURE.md, docs/API.md and
-docs/TESTING.md.
+(:mod:`repro.engine`, over :mod:`repro.core.batching` /
+:mod:`repro.core.parallel`): oracles exposing ``evaluate_batch`` label
+whole per-stratum draws in one vectorized invocation, optionally sharded
+across a worker pool.  Every sampler and the query executor take a
+``config`` (:class:`~repro.engine.config.ExecutionConfig`) carrying the
+physical knobs — ``batch_size`` (``None`` = whole-draw batches, ``1`` =
+strictly sequential), ``num_workers`` (``None`` = serial), backend,
+caching, rng and progress policies; results and oracle call counts are
+bit-identical for every setting, and sessions
+(:class:`~repro.engine.session.SamplingSession`) stream or resume the
+exact same execution.  See README.md, docs/ARCHITECTURE.md, docs/API.md
+and docs/TESTING.md.
 """
 
 from repro.core import (
@@ -61,9 +70,10 @@ from repro.core import (
     run_uniform,
     select_proxy,
 )
+from repro.engine import ExecutionConfig, SamplingPipeline, SamplingSession
 from repro.query import execute_query, parse_query
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ABae",
@@ -85,6 +95,9 @@ __all__ = [
     "EstimateResult",
     "GroupByResult",
     "Stratification",
+    "ExecutionConfig",
+    "SamplingPipeline",
+    "SamplingSession",
     "execute_query",
     "parse_query",
     "__version__",

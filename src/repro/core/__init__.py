@@ -20,9 +20,13 @@ from repro.core.abae import ABae, run_abae
 from repro.core.adaptive import run_abae_sequential, run_abae_until_width
 from repro.core.allocation import (
     allocation_from_estimates,
+    bounded_allocation,
     expected_speedup,
+    integerize_allocation,
     optimal_allocation,
     optimal_stratified_mse,
+    solve_minimax_multi_oracle,
+    solve_minimax_single_oracle,
     uniform_sampling_mse,
 )
 from repro.core.bootstrap import bootstrap_confidence_interval, bootstrap_estimates
@@ -80,6 +84,10 @@ __all__ = [
     "uniform_sampling_mse",
     "expected_speedup",
     "allocation_from_estimates",
+    "bounded_allocation",
+    "integerize_allocation",
+    "solve_minimax_single_oracle",
+    "solve_minimax_multi_oracle",
     "combine_estimates",
     "estimate_all_strata",
     "estimate_stratum",

@@ -15,152 +15,51 @@ This is the paper's primary contribution: accelerate ``AVG`` / ``SUM`` /
 
 The public entry points are the :class:`ABae` facade (construct once, call
 :meth:`ABae.estimate`) and the lower-level :func:`run_abae` function used by
-the extensions, which exposes every knob explicitly.
+the extensions.  Both are thin wrappers over the unified execution engine
+(:mod:`repro.engine`): the algorithm itself is the
+:class:`~repro.engine.policies.TwoStageAllocationPolicy` /
+:class:`~repro.engine.policies.TwoStageEstimator` pair plugged into the
+shared :class:`~repro.engine.pipeline.SamplingPipeline`.  Execution knobs
+travel in an :class:`~repro.engine.config.ExecutionConfig`; the historical
+``batch_size`` / ``num_workers`` / ``parallel_backend`` kwargs keep
+working as deprecated aliases.  For streaming or resumable execution, use
+:func:`repro.engine.two_stage_pipeline` and drive the session directly.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Union
+from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.core.allocation import allocation_from_estimates
-from repro.core.batching import DEFAULT_BATCH_SIZE, label_records
-from repro.core.parallel import (
-    THREAD_BACKEND,
-    parallelize_oracle,
-    resolve_backend,
-    resolve_num_workers,
-)
-from repro.core.bootstrap import bootstrap_confidence_interval
-from repro.core.estimators import combine_estimates, estimate_all_strata
+from repro.core.allocation import bounded_allocation
 from repro.core.results import EstimateResult
 from repro.core.stratification import Stratification
-from repro.core.types import SamplingBudget, StratumSample
-from repro.proxy.base import Proxy, PrecomputedProxy
-from repro.stats.rng import RandomState
-from repro.stats.sampling import (
-    proportional_integer_allocation,
-    sample_without_replacement,
+from repro.engine.builders import two_stage_pipeline
+from repro.engine.config import (
+    UNSET,
+    ExecutionConfig,
+    resolve_execution_config,
 )
+from repro.engine.pipeline import (
+    StatisticLike,
+    _ArrayStatistic,
+    draw_stratum_sample,
+    normalize_statistic,
+)
+from repro.proxy.base import PrecomputedProxy, Proxy
+from repro.stats.rng import RandomState
 
 __all__ = ["ABae", "run_abae", "draw_stratum_sample", "bounded_allocation"]
 
-StatisticLike = Union[Callable[[int], float], Sequence[float], np.ndarray]
+# Backward-compatible aliases: these moved into the engine, but the
+# extensions (and downstream code) historically imported them from here.
+_normalize_statistic = normalize_statistic
+_ArrayStatistic = _ArrayStatistic  # noqa: PLW0127 - re-exported name
 
 # Sentinel distinguishing "argument omitted" from an explicit None (which
 # legitimately means "whole-draw batches") in ABae.estimate.
-_UNSET = object()
-
-
-class _ArrayStatistic:
-    """Adapter giving a precomputed value array both call styles.
-
-    Calling it with one index mirrors the legacy scalar interface; the
-    ``batch`` method gathers many records with a single fancy index, which
-    is what :func:`repro.core.batching.label_records` consumes.
-    """
-
-    __slots__ = ("_values",)
-
-    def __init__(self, values: np.ndarray):
-        self._values = values
-
-    @property
-    def values(self) -> np.ndarray:
-        """The backing value column (used by the batched gather fast path)."""
-        return self._values
-
-    def __call__(self, record_index: int) -> float:
-        return float(self._values[record_index])
-
-    def batch(self, record_indices) -> np.ndarray:
-        return self._values[np.asarray(record_indices, dtype=np.int64)]
-
-
-def _normalize_statistic(statistic: StatisticLike) -> Callable[[int], float]:
-    """Accept either a per-record callable or a precomputed value array.
-
-    Arrays come back wrapped in :class:`_ArrayStatistic` so the batched
-    execution engine can gather values without a Python-level loop;
-    callables pass through unchanged (keeping any ``batch`` method they
-    already expose, e.g. :class:`repro.oracle.base.StatisticOracle`).
-    """
-    if callable(statistic):
-        return statistic
-    return _ArrayStatistic(np.asarray(statistic, dtype=float))
-
-
-def draw_stratum_sample(
-    stratum_index: int,
-    candidate_indices: np.ndarray,
-    n: int,
-    oracle: Callable[[int], bool],
-    statistic: Callable[[int], float],
-    rng: RandomState,
-    batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
-) -> StratumSample:
-    """Sample ``n`` records without replacement and label them with the oracle.
-
-    The statistic is only evaluated for records that satisfy the predicate
-    (its value is undefined otherwise — e.g. ``count_cars`` of a frame with
-    no cars filtered by ``count_cars > 0``); non-matching draws carry NaN.
-
-    ``batch_size`` controls how many records each oracle invocation labels
-    (``None`` = the whole draw in one batch, ``1`` = the strictly sequential
-    legacy path); every setting yields bit-identical samples and oracle
-    accounting because record selection happens before labeling and never
-    shares the random stream with it.  Worker-pool sharding is the
-    *caller's* concern: the samplers wrap the oracle once with
-    :func:`repro.core.parallel.parallelize_oracle` before drawing, so the
-    sharding applies to every draw without per-call wrapping here.
-    """
-    drawn = sample_without_replacement(candidate_indices, n, rng)
-    matches, values = label_records(drawn, oracle, statistic, batch_size)
-    return StratumSample(
-        stratum=stratum_index, indices=drawn, matches=matches, values=values
-    )
-
-
-def bounded_allocation(
-    weights: Sequence[float], total: int, capacities: Sequence[int]
-) -> List[int]:
-    """Proportional integer allocation that respects per-stratum capacities.
-
-    Strata are finite; Stage 2 cannot draw more records from a stratum than
-    remain unsampled.  We allocate proportionally, clip at each capacity,
-    and redistribute the clipped budget among strata that still have room,
-    repeating until either the budget is exhausted or no capacity remains.
-    """
-    caps = np.asarray(capacities, dtype=np.int64)
-    w = np.asarray(weights, dtype=float)
-    if caps.shape != w.shape:
-        raise ValueError("weights and capacities must have the same shape")
-    allocation = np.zeros_like(caps)
-    remaining_budget = int(total)
-    active = caps > 0
-    while remaining_budget > 0 and active.any():
-        active_weights = np.where(active, w, 0.0)
-        if active_weights.sum() == 0:
-            active_weights = active.astype(float)
-        proposal = np.array(
-            proportional_integer_allocation(active_weights, remaining_budget),
-            dtype=np.int64,
-        )
-        headroom = caps - allocation
-        granted = np.minimum(proposal, headroom)
-        if granted.sum() == 0:
-            # Weights point only at full strata; spread one sample at a time.
-            for k in np.nonzero(headroom > 0)[0]:
-                if remaining_budget == 0:
-                    break
-                allocation[k] += 1
-                remaining_budget -= 1
-            break
-        allocation += granted
-        remaining_budget -= int(granted.sum())
-        active = (caps - allocation) > 0
-    return allocation.tolist()
+_UNSET = UNSET
 
 
 def run_abae(
@@ -176,9 +75,10 @@ def run_abae(
     alpha: float = 0.05,
     num_bootstrap: int = 1000,
     rng: Optional[RandomState] = None,
-    batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
-    num_workers: Optional[int] = None,
-    parallel_backend: str = THREAD_BACKEND,
+    batch_size=UNSET,
+    num_workers=UNSET,
+    parallel_backend=UNSET,
+    config: Optional[ExecutionConfig] = None,
 ) -> EstimateResult:
     """Execute Algorithm 1 once and return the estimate (optionally with a CI).
 
@@ -207,121 +107,38 @@ def run_abae(
     with_ci / alpha / num_bootstrap:
         Bootstrap confidence-interval controls (Algorithm 2).
     rng:
-        Source of randomness; defaults to a fresh seed-0 generator.
-    batch_size:
-        Records per oracle invocation batch (``None`` = whole per-stratum
-        draws at once, ``1`` = strictly per-record).  Purely a performance
-        knob: results and oracle call counts are identical for every value.
-    num_workers / parallel_backend:
-        Shard each oracle batch across this many workers (threads or
-        processes; see :mod:`repro.core.parallel`).  Like ``batch_size``,
-        purely a performance knob — results are bit-identical for every
-        worker count.
+        Source of randomness; defaults to a fresh generator seeded by
+        ``config.seed`` (historically seed 0).
+    config:
+        The :class:`~repro.engine.config.ExecutionConfig` with every
+        physical execution knob.  Purely performance: results and oracle
+        accounting are bit-identical for every setting.
+    batch_size / num_workers / parallel_backend:
+        Deprecated aliases for the corresponding ``config`` fields; kept
+        working with a :class:`DeprecationWarning`.
     """
-    rng = rng or RandomState(0)
-    oracle = parallelize_oracle(oracle, num_workers, parallel_backend)
-    if isinstance(proxy, Proxy):
-        proxy_obj = proxy
-    else:
-        proxy_obj = PrecomputedProxy(np.asarray(proxy, dtype=float), name="scores")
-    statistic_fn = _normalize_statistic(statistic)
-
-    if stratification is None:
-        stratification = Stratification.by_proxy_quantile(proxy_obj, num_strata)
-    elif stratification.num_records != len(proxy_obj):
-        raise ValueError(
-            "provided stratification covers a different number of records "
-            f"({stratification.num_records}) than the proxy ({len(proxy_obj)})"
-        )
-    num_strata = stratification.num_strata
-
-    split = SamplingBudget.from_fraction(budget, num_strata, stage1_fraction)
-
-    # ---- Stage 1: pilot sampling, N1 draws from every stratum -------------------
-    stage1_samples: List[StratumSample] = []
-    for k in range(num_strata):
-        stage1_samples.append(
-            draw_stratum_sample(
-                k,
-                stratification.stratum(k),
-                split.stage1_per_stratum,
-                oracle,
-                statistic_fn,
-                rng,
-                batch_size=batch_size,
-            )
-        )
-
-    stage1_estimates = estimate_all_strata(stage1_samples)
-    allocation_weights = allocation_from_estimates(stage1_estimates)
-
-    # ---- Stage 2: allocate the remaining budget by the plug-in optimum ----------
-    remaining_capacity = [
-        stratification.stratum(k).size - stage1_samples[k].num_draws
-        for k in range(num_strata)
-    ]
-    stage2_counts = bounded_allocation(
-        allocation_weights, split.stage2_total, remaining_capacity
+    config = resolve_execution_config(
+        config,
+        "run_abae",
+        batch_size=batch_size,
+        num_workers=num_workers,
+        parallel_backend=parallel_backend,
     )
-
-    # A dataset-length membership mask is O(n + draws) per stratum, versus
-    # np.isin's sort-based O((n + draws) log draws); with strata frozen as
-    # read-only views this is the only per-run allocation on this path.
-    drawn_mask = np.zeros(stratification.num_records, dtype=bool)
-    stage2_samples: List[StratumSample] = []
-    for k in range(num_strata):
-        stratum = stratification.stratum(k)
-        drawn_mask[stage1_samples[k].indices] = True
-        fresh_candidates = stratum[~drawn_mask[stratum]]
-        stage2_samples.append(
-            draw_stratum_sample(
-                k,
-                fresh_candidates,
-                stage2_counts[k],
-                oracle,
-                statistic_fn,
-                rng,
-                batch_size=batch_size,
-            )
-        )
-
-    # ---- Combine -----------------------------------------------------------------
-    if reuse_samples:
-        final_samples = [
-            stage1_samples[k].extend(stage2_samples[k]) for k in range(num_strata)
-        ]
-    else:
-        final_samples = stage2_samples
-    final_estimates = estimate_all_strata(final_samples)
-    estimate = combine_estimates(final_estimates)
-
-    oracle_calls = sum(s.num_draws for s in stage1_samples) + sum(
-        s.num_draws for s in stage2_samples
+    pipeline = two_stage_pipeline(
+        proxy=proxy,
+        oracle=oracle,
+        statistic=statistic,
+        budget=budget,
+        num_strata=num_strata,
+        stage1_fraction=stage1_fraction,
+        reuse_samples=reuse_samples,
+        stratification=stratification,
+        with_ci=with_ci,
+        alpha=alpha,
+        num_bootstrap=num_bootstrap,
+        config=config,
     )
-
-    ci = None
-    if with_ci:
-        ci = bootstrap_confidence_interval(
-            final_samples, alpha=alpha, num_bootstrap=num_bootstrap, rng=rng
-        )
-
-    return EstimateResult(
-        estimate=estimate,
-        ci=ci,
-        oracle_calls=oracle_calls,
-        strata_estimates=final_estimates,
-        samples=final_samples,
-        method="abae" if reuse_samples else "abae-no-reuse",
-        details={
-            "num_strata": num_strata,
-            "stage1_per_stratum": split.stage1_per_stratum,
-            "stage2_total": split.stage2_total,
-            "stage2_counts": list(stage2_counts),
-            "allocation_weights": allocation_weights.tolist(),
-            "stage1_estimates": stage1_estimates,
-            "stratum_sizes": stratification.sizes().tolist(),
-        },
-    )
+    return pipeline.run(rng)
 
 
 class ABae:
@@ -333,6 +150,10 @@ class ABae:
 
         sampler = ABae(proxy=proxy, oracle=oracle, statistic=views)
         result = sampler.estimate(budget=10_000, with_ci=True)
+
+    Execution knobs live in ``self.config`` (an
+    :class:`~repro.engine.config.ExecutionConfig`); the historical
+    per-knob constructor arguments remain as deprecated aliases.
     """
 
     def __init__(
@@ -343,9 +164,10 @@ class ABae:
         num_strata: int = 5,
         stage1_fraction: float = 0.5,
         reuse_samples: bool = True,
-        batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
-        num_workers: Optional[int] = None,
-        parallel_backend: str = THREAD_BACKEND,
+        batch_size=UNSET,
+        num_workers=UNSET,
+        parallel_backend=UNSET,
+        config: Optional[ExecutionConfig] = None,
     ):
         if num_strata <= 0:
             raise ValueError(f"num_strata must be positive, got {num_strata}")
@@ -353,19 +175,21 @@ class ABae:
             raise ValueError(
                 f"stage1_fraction must be strictly between 0 and 1, got {stage1_fraction}"
             )
-        if batch_size is not None and batch_size < 1:
-            raise ValueError(f"batch_size must be a positive integer, got {batch_size}")
-        resolve_num_workers(num_workers)  # fail fast on bad execution knobs
-        resolve_backend(parallel_backend)
+        # Eager shared-path validation of every execution knob (the config
+        # constructor raises ExecutionConfigError, a ValueError).
+        self.config = resolve_execution_config(
+            config,
+            "ABae",
+            batch_size=batch_size,
+            num_workers=num_workers,
+            parallel_backend=parallel_backend,
+        )
         self.proxy = proxy
         self.oracle = oracle
         self.statistic = statistic
         self.num_strata = num_strata
         self.stage1_fraction = stage1_fraction
         self.reuse_samples = reuse_samples
-        self.batch_size = batch_size
-        self.num_workers = num_workers
-        self.parallel_backend = parallel_backend
         # Proxy-quantile stratification is deterministic in (proxy, K), so
         # the facade builds it once and reuses it across estimate() calls —
         # repeated queries skip the O(n log n) sort of the score vector.
@@ -375,6 +199,19 @@ class ABae:
         self._stratification: Optional[Stratification] = None
         self._stratification_key = None
 
+    # Legacy read access: the knobs now live on the config.
+    @property
+    def batch_size(self):
+        return self.config.batch_size
+
+    @property
+    def num_workers(self):
+        return self.config.num_workers
+
+    @property
+    def parallel_backend(self):
+        return self.config.parallel_backend
+
     def estimate(
         self,
         budget: int,
@@ -383,19 +220,27 @@ class ABae:
         num_bootstrap: int = 1000,
         rng: Optional[RandomState] = None,
         seed: Optional[int] = None,
-        batch_size: Optional[int] = _UNSET,
-        num_workers: Optional[int] = _UNSET,
+        batch_size=UNSET,
+        num_workers=UNSET,
+        config: Optional[ExecutionConfig] = None,
     ) -> EstimateResult:
         """Run the two-stage sampler with the configured parameters.
 
-        ``batch_size`` and ``num_workers`` override the instance-level
-        settings for this run when given (including an explicit ``None``,
-        which means whole-draw batches / serial execution respectively).
+        ``config`` replaces the instance-level execution config for this
+        run when given.  The deprecated ``batch_size`` / ``num_workers``
+        aliases override the corresponding field for this run (including
+        an explicit ``None``, which means whole-draw batches / serial
+        execution respectively).
         """
         if rng is None:
             rng = RandomState(seed)
-        effective_batch = self.batch_size if batch_size is _UNSET else batch_size
-        effective_workers = self.num_workers if num_workers is _UNSET else num_workers
+        run_config = resolve_execution_config(
+            config,
+            "ABae.estimate",
+            default=self.config,
+            batch_size=batch_size,
+            num_workers=num_workers,
+        )
         cache_valid = (
             self._stratification is not None
             and self._stratification_key is not None
@@ -425,7 +270,42 @@ class ABae:
             alpha=alpha,
             num_bootstrap=num_bootstrap,
             rng=rng,
-            batch_size=effective_batch,
-            num_workers=effective_workers,
-            parallel_backend=self.parallel_backend,
+            config=run_config,
         )
+
+    def session(
+        self,
+        budget: int,
+        with_ci: bool = False,
+        alpha: float = 0.05,
+        num_bootstrap: int = 1000,
+        rng: Optional[RandomState] = None,
+        seed: Optional[int] = None,
+        config: Optional[ExecutionConfig] = None,
+    ):
+        """A streaming / resumable session for one estimate.
+
+        Bit-identical to :meth:`estimate` when stepped to completion:
+        ``session.run()`` and ``estimate()`` perform the same draws against
+        the same random stream.  See
+        :class:`~repro.engine.session.SamplingSession`.
+        """
+        if rng is None:
+            rng = RandomState(seed)
+        run_config = resolve_execution_config(
+            config, "ABae.session", default=self.config
+        )
+        pipeline = two_stage_pipeline(
+            proxy=self.proxy,
+            oracle=self.oracle,
+            statistic=self.statistic,
+            budget=budget,
+            num_strata=self.num_strata,
+            stage1_fraction=self.stage1_fraction,
+            reuse_samples=self.reuse_samples,
+            with_ci=with_ci,
+            alpha=alpha,
+            num_bootstrap=num_bootstrap,
+            config=run_config,
+        )
+        return pipeline.session(rng)

@@ -16,116 +16,31 @@ against the two-stage algorithm empirically:
   confidence interval is narrower than a user-specified target width or the
   oracle budget runs out.  This supports the "how many samples to reach a
   target error" metric the paper reports alongside fixed-budget RMSE.
+
+Both are expressed as pipelines over the unified execution engine: the
+allocation loops live in
+:class:`~repro.engine.policies.SequentialAllocationPolicy` and
+:class:`~repro.engine.policies.UntilWidthAllocationPolicy`; this module
+only keeps the validated, documented entry points (plus deprecated
+execution-knob aliases).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Union
+from typing import Callable, Optional, Sequence, Union
 
-import numpy as np
-
-from repro.core.abae import (
-    StatisticLike,
-    _normalize_statistic,
-    draw_stratum_sample,
-)
-from repro.core.batching import DEFAULT_BATCH_SIZE
-from repro.core.bootstrap import bootstrap_confidence_interval
-from repro.core.parallel import THREAD_BACKEND, parallelize_oracle
-from repro.core.estimators import combine_estimates, estimate_all_strata
+from repro.core.abae import StatisticLike
 from repro.core.results import EstimateResult
-from repro.core.stratification import Stratification
-from repro.core.types import StratumSample
-from repro.proxy.base import PrecomputedProxy, Proxy
+from repro.engine.builders import sequential_pipeline, until_width_pipeline
+from repro.engine.config import UNSET, ExecutionConfig, resolve_execution_config
+from repro.engine.pipeline import StratumPool as _StratumPool  # noqa: F401 - compat
+from repro.engine.policies import (  # noqa: F401 - compat re-export
+    marginal_variance_reduction as _marginal_variance_reduction,
+)
+from repro.proxy.base import Proxy
 from repro.stats.rng import RandomState
 
 __all__ = ["run_abae_sequential", "run_abae_until_width"]
-
-
-def _as_proxy(proxy: Union[Proxy, Sequence[float]]) -> Proxy:
-    if isinstance(proxy, Proxy):
-        return proxy
-    return PrecomputedProxy(np.asarray(proxy, dtype=float), name="scores")
-
-
-class _StratumPool:
-    """Array-native bookkeeping of not-yet-drawn records per stratum.
-
-    The samplers used to keep a Python ``set`` of remaining indices per
-    stratum and rebuild a candidate array from it before every draw —
-    O(stratum) object churn per draw batch, with hash-order-dependent
-    candidate ordering.  This pool keeps one boolean availability mask per
-    stratum over the stratification's (sorted, read-only) index views:
-    candidates are a single boolean gather, and marking records drawn is a
-    ``searchsorted`` into the sorted stratum.  Candidate order is the
-    stratum's ascending record order — deterministic by construction.
-    """
-
-    __slots__ = ("_strata", "_available", "remaining")
-
-    def __init__(self, stratification: Stratification):
-        self._strata = [
-            stratification.stratum(k) for k in range(stratification.num_strata)
-        ]
-        self._available = [np.ones(s.size, dtype=bool) for s in self._strata]
-        self.remaining = np.array([s.size for s in self._strata], dtype=np.int64)
-
-    def candidates(self, k: int) -> np.ndarray:
-        """Record indices of stratum ``k`` not yet drawn (ascending order)."""
-        return self._strata[k][self._available[k]]
-
-    def mark_drawn(self, k: int, indices: np.ndarray) -> None:
-        if len(indices) == 0:
-            return
-        positions = np.searchsorted(self._strata[k], indices)
-        self._available[k][positions] = False
-        self.remaining[k] -= len(indices)
-
-
-def _marginal_variance_reduction(samples: Sequence[StratumSample]) -> np.ndarray:
-    """Priority score per stratum: estimated variance removed by one more draw.
-
-    The estimator's variance has two per-stratum components:
-
-    * the usual within-stratum term ``w_k^2 sigma_k^2 / (p_k n_k)`` from the
-      uncertainty of ``mu_hat_k`` (the leading term of Proposition 3), and
-    * a weight-uncertainty term from ``p_hat_k`` itself: the final estimate
-      weighs ``mu_hat_k`` by ``p_hat_k / p_all``, so by the delta method a
-      stratum whose mean differs from the overall mean contributes roughly
-      ``((mu_k - mu_all) / p_all)^2 p_k (1 - p_k) / n_k``.
-
-    One more draw divides each term's ``1/n_k`` by roughly ``(n_k + 1)/n_k``,
-    so the marginal gain is the current contribution divided by ``n_k + 1``.
-    Including the second term matters in practice: with a binary statistic a
-    stratum can have ``sigma_hat_k = 0`` while its ``p_hat_k`` is still very
-    uncertain, and a criterion based on ``sigma_hat_k`` alone would starve it
-    (and inflate the final error).  Strata with no draws yet receive an
-    exploration bonus equal to the largest known priority.
-    """
-    estimates = estimate_all_strata(samples)
-    p = np.array([e.p_hat for e in estimates])
-    sigma = np.array([e.sigma_hat for e in estimates])
-    mu = np.array([e.mu_hat for e in estimates])
-    draws = np.array([s.num_draws for s in samples], dtype=float)
-    p_all = p.sum()
-    if p_all == 0:
-        # Nothing known yet anywhere: explore uniformly.
-        return np.ones(len(samples))
-    w = p / p_all
-    mu_all = float(np.dot(w, mu))
-
-    with np.errstate(divide="ignore", invalid="ignore"):
-        within = np.where(p > 0, w**2 * sigma**2 / np.maximum(p, 1e-12), 0.0)
-        weight_uncertainty = ((mu - mu_all) / p_all) ** 2 * p * (1.0 - p)
-        contribution = (within + weight_uncertainty) / np.maximum(draws, 1.0)
-        priority = contribution / np.maximum(draws + 1.0, 1.0)
-
-    unexplored = draws == 0
-    if unexplored.any():
-        bonus = float(priority[~unexplored].max()) if (~unexplored).any() else 1.0
-        priority[unexplored] = max(bonus, 1e-12)
-    return priority
 
 
 def run_abae_sequential(
@@ -140,102 +55,43 @@ def run_abae_sequential(
     alpha: float = 0.05,
     num_bootstrap: int = 1000,
     rng: Optional[RandomState] = None,
-    oracle_batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
-    num_workers: Optional[int] = None,
-    parallel_backend: str = THREAD_BACKEND,
+    oracle_batch_size=UNSET,
+    num_workers=UNSET,
+    parallel_backend=UNSET,
+    config: Optional[ExecutionConfig] = None,
 ) -> EstimateResult:
     """Bandit-style ABae: re-allocate after every batch instead of once.
 
     Parameters mirror :func:`repro.core.abae.run_abae`; ``warmup_per_stratum``
     plays the role of a (much smaller) Stage 1, and ``batch_size`` controls
-    how often the allocation is revisited.  ``oracle_batch_size`` is the
-    execution-engine knob (records per oracle invocation batch) and is
+    how often the allocation is revisited.  Execution knobs travel in
+    ``config``; the ``oracle_batch_size`` alias maps to
+    ``config.batch_size`` (records per oracle invocation batch) and is
     named distinctly because ``batch_size`` here already means the
-    re-allocation cadence; like ``num_workers`` (worker-pool sharding) it
-    never changes results.
+    re-allocation cadence.  Like every execution knob it never changes
+    results.
     """
-    if budget < 0:
-        raise ValueError(f"budget must be non-negative, got {budget}")
-    if warmup_per_stratum < 1:
-        raise ValueError(f"warmup_per_stratum must be positive, got {warmup_per_stratum}")
-    if batch_size < 1:
-        raise ValueError(f"batch_size must be positive, got {batch_size}")
-    rng = rng or RandomState(0)
-    oracle = parallelize_oracle(oracle, num_workers, parallel_backend)
-    proxy_obj = _as_proxy(proxy)
-    statistic_fn = _normalize_statistic(statistic)
-
-    stratification = Stratification.by_proxy_quantile(proxy_obj, num_strata)
-    num_strata = stratification.num_strata
-    pool = _StratumPool(stratification)
-    samples: List[StratumSample] = [StratumSample(stratum=k) for k in range(num_strata)]
-    spent = 0
-
-    def draw_from(k: int, count: int) -> None:
-        nonlocal spent
-        if count <= 0 or pool.remaining[k] == 0:
-            return
-        fresh = draw_stratum_sample(
-            k, pool.candidates(k), count, oracle, statistic_fn, rng,
-            batch_size=oracle_batch_size,
-        )
-        pool.mark_drawn(k, fresh.indices)
-        samples[k] = samples[k].extend(fresh)
-        spent += fresh.num_draws
-
-    # ---- Warm-up: a small round-robin pass so every stratum has estimates --------
-    warmup = min(warmup_per_stratum, budget // max(num_strata, 1))
-    for k in range(num_strata):
-        draw_from(k, warmup)
-
-    # ---- Adaptive batches ----------------------------------------------------------
-    while spent < budget:
-        this_batch = min(batch_size, budget - spent)
-        priorities = _marginal_variance_reduction(samples)
-        # Mask out exhausted strata.
-        priorities[pool.remaining == 0] = 0.0
-        total_priority = priorities.sum()
-        if total_priority == 0:
-            break
-        # Spread the batch proportionally to priority rather than sending it
-        # all to the argmax, so one noisy priority estimate cannot distort
-        # the allocation for a whole batch.
-        weights = priorities / total_priority
-        counts = np.floor(weights * this_batch).astype(int)
-        counts[int(np.argmax(weights))] += this_batch - int(counts.sum())
-        for k in range(num_strata):
-            draw_from(k, int(counts[k]))
-
-    estimates = estimate_all_strata(samples)
-    estimate = combine_estimates(estimates)
-    ci = None
-    if with_ci:
-        ci = bootstrap_confidence_interval(
-            samples, alpha=alpha, num_bootstrap=num_bootstrap, rng=rng
-        )
-    return EstimateResult(
-        estimate=estimate,
-        ci=ci,
-        oracle_calls=spent,
-        strata_estimates=estimates,
-        samples=samples,
-        method="abae-sequential",
-        details={
-            "num_strata": num_strata,
-            "warmup_per_stratum": warmup,
-            "batch_size": batch_size,
-            "stratum_sizes": stratification.sizes().tolist(),
-        },
+    config = resolve_execution_config(
+        config,
+        "run_abae_sequential",
+        batch_size=oracle_batch_size,
+        num_workers=num_workers,
+        parallel_backend=parallel_backend,
     )
-
-
-@dataclass
-class _WidthTrace:
-    """One checkpoint of the until-width driver (budget spent, CI width)."""
-
-    oracle_calls: int
-    estimate: float
-    ci_width: float
+    pipeline = sequential_pipeline(
+        proxy=proxy,
+        oracle=oracle,
+        statistic=statistic,
+        budget=budget,
+        num_strata=num_strata,
+        warmup_per_stratum=warmup_per_stratum,
+        reallocation_batch=batch_size,
+        with_ci=with_ci,
+        alpha=alpha,
+        num_bootstrap=num_bootstrap,
+        config=config,
+    )
+    return pipeline.run(rng)
 
 
 def run_abae_until_width(
@@ -249,9 +105,10 @@ def run_abae_until_width(
     alpha: float = 0.05,
     num_bootstrap: int = 300,
     rng: Optional[RandomState] = None,
-    oracle_batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
-    num_workers: Optional[int] = None,
-    parallel_backend: str = THREAD_BACKEND,
+    oracle_batch_size=UNSET,
+    num_workers=UNSET,
+    parallel_backend=UNSET,
+    config: Optional[ExecutionConfig] = None,
 ) -> EstimateResult:
     """Sample until the bootstrap CI is narrower than ``target_width``.
 
@@ -261,82 +118,23 @@ def run_abae_until_width(
     ``details["trace"]`` records the (budget, width) checkpoints, which is
     what a "samples needed to reach error X" comparison consumes.
     """
-    if target_width <= 0:
-        raise ValueError(f"target_width must be positive, got {target_width}")
-    if max_budget <= 0:
-        raise ValueError(f"max_budget must be positive, got {max_budget}")
-    if batch_size <= 0:
-        raise ValueError(f"batch_size must be positive, got {batch_size}")
-    rng = rng or RandomState(0)
-    oracle = parallelize_oracle(oracle, num_workers, parallel_backend)
-    proxy_obj = _as_proxy(proxy)
-    statistic_fn = _normalize_statistic(statistic)
-
-    stratification = Stratification.by_proxy_quantile(proxy_obj, num_strata)
-    num_strata = stratification.num_strata
-    pool = _StratumPool(stratification)
-    samples: List[StratumSample] = [StratumSample(stratum=k) for k in range(num_strata)]
-    spent = 0
-    trace: List[_WidthTrace] = []
-
-    def draw_from(k: int, count: int) -> None:
-        nonlocal spent
-        if count <= 0 or pool.remaining[k] == 0:
-            return
-        fresh = draw_stratum_sample(
-            k, pool.candidates(k), count, oracle, statistic_fn, rng,
-            batch_size=oracle_batch_size,
-        )
-        pool.mark_drawn(k, fresh.indices)
-        samples[k] = samples[k].extend(fresh)
-        spent += fresh.num_draws
-
-    # Initial round-robin so the first CI is defined.
-    per_stratum = max(1, batch_size // num_strata)
-    for k in range(num_strata):
-        draw_from(k, min(per_stratum, max(0, max_budget - spent)))
-
-    ci = bootstrap_confidence_interval(
-        samples, alpha=alpha, num_bootstrap=num_bootstrap, rng=rng
+    config = resolve_execution_config(
+        config,
+        "run_abae_until_width",
+        batch_size=oracle_batch_size,
+        num_workers=num_workers,
+        parallel_backend=parallel_backend,
     )
-    estimate = combine_estimates(estimate_all_strata(samples))
-    trace.append(_WidthTrace(spent, estimate, ci.width))
-
-    while ci.width > target_width and spent < max_budget:
-        priorities = _marginal_variance_reduction(samples)
-        priorities[pool.remaining == 0] = 0.0
-        total_priority = priorities.sum()
-        if total_priority == 0:
-            break
-        # Spread the batch across strata proportionally to priority, so a
-        # single noisy priority estimate cannot hog the whole batch.
-        weights = priorities / total_priority
-        batch = min(batch_size, max_budget - spent)
-        counts = np.floor(weights * batch).astype(int)
-        counts[int(np.argmax(weights))] += batch - int(counts.sum())
-        for k in range(num_strata):
-            draw_from(k, int(counts[k]))
-        ci = bootstrap_confidence_interval(
-            samples, alpha=alpha, num_bootstrap=num_bootstrap, rng=rng
-        )
-        estimate = combine_estimates(estimate_all_strata(samples))
-        trace.append(_WidthTrace(spent, estimate, ci.width))
-
-    estimates = estimate_all_strata(samples)
-    return EstimateResult(
-        estimate=combine_estimates(estimates),
-        ci=ci,
-        oracle_calls=spent,
-        strata_estimates=estimates,
-        samples=samples,
-        method="abae-until-width",
-        details={
-            "target_width": target_width,
-            "reached_target": ci.width <= target_width,
-            "trace": [
-                {"oracle_calls": t.oracle_calls, "estimate": t.estimate, "ci_width": t.ci_width}
-                for t in trace
-            ],
-            "stratum_sizes": stratification.sizes().tolist(),
-        },
+    pipeline = until_width_pipeline(
+        proxy=proxy,
+        oracle=oracle,
+        statistic=statistic,
+        target_width=target_width,
+        max_budget=max_budget,
+        num_strata=num_strata,
+        reallocation_batch=batch_size,
+        alpha=alpha,
+        num_bootstrap=num_bootstrap,
+        config=config,
     )
+    return pipeline.run(rng)

@@ -1,13 +1,18 @@
-"""Optimal allocation and its MSE (Propositions 1 and 2), plus baselines.
+"""Budget allocation: closed forms, solvers and integerization helpers.
 
-These closed forms are used three ways in the reproduction:
+These are used four ways in the reproduction:
 
 * Algorithm 1's Stage 2 allocates samples proportional to
-  ``sqrt(p_hat_k) * sigma_hat_k`` (Proposition 1 with plug-in estimates);
+  ``sqrt(p_hat_k) * sigma_hat_k`` (Proposition 1 with plug-in estimates),
+  then integerizes the weights against finite stratum capacities with
+  :func:`bounded_allocation`;
 * the proxy-selection procedure (Section 3.4) ranks candidate proxies by the
   Proposition-2 MSE their stratification would achieve;
-* the group-by extension's minimax objective (Eqs. 10–11) is built from the
-  same per-stratification error formula.
+* the group-by extension's minimax objectives (Eqs. 10–11) are solved here
+  (:func:`solve_minimax_single_oracle` / :func:`solve_minimax_multi_oracle`)
+  on top of the same per-stratification error formula;
+* every sampler that turns fractional weights into integer draw counts goes
+  through :func:`integerize_allocation` (largest-remainder rounding).
 
 The uniform-sampling MSE and the derived expected speedup are included so
 examples and tests can verify the paper's analytical comparison (the
@@ -16,9 +21,11 @@ K-fold improvement example in Section 4.2).
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import List, Sequence
 
 import numpy as np
+
+from repro.stats.sampling import proportional_integer_allocation
 
 __all__ = [
     "optimal_allocation",
@@ -26,7 +33,13 @@ __all__ = [
     "uniform_sampling_mse",
     "expected_speedup",
     "allocation_from_estimates",
+    "bounded_allocation",
+    "integerize_allocation",
+    "solve_minimax_single_oracle",
+    "solve_minimax_multi_oracle",
 ]
+
+_EPS = 1e-12
 
 
 def _validate_p_sigma(p: np.ndarray, sigma: np.ndarray) -> None:
@@ -143,3 +156,119 @@ def allocation_from_estimates(estimates) -> np.ndarray:
     p = np.array([e.p_hat for e in estimates], dtype=float)
     sigma = np.array([e.sigma_hat for e in estimates], dtype=float)
     return optimal_allocation(p, sigma)
+
+
+def bounded_allocation(
+    weights: Sequence[float], total: int, capacities: Sequence[int]
+) -> List[int]:
+    """Proportional integer allocation that respects per-stratum capacities.
+
+    Strata are finite; Stage 2 cannot draw more records from a stratum than
+    remain unsampled.  We allocate proportionally, clip at each capacity,
+    and redistribute the clipped budget among strata that still have room,
+    repeating until either the budget is exhausted or no capacity remains.
+    """
+    caps = np.asarray(capacities, dtype=np.int64)
+    w = np.asarray(weights, dtype=float)
+    if caps.shape != w.shape:
+        raise ValueError("weights and capacities must have the same shape")
+    allocation = np.zeros_like(caps)
+    remaining_budget = int(total)
+    active = caps > 0
+    while remaining_budget > 0 and active.any():
+        active_weights = np.where(active, w, 0.0)
+        if active_weights.sum() == 0:
+            active_weights = active.astype(float)
+        proposal = np.array(
+            proportional_integer_allocation(active_weights, remaining_budget),
+            dtype=np.int64,
+        )
+        headroom = caps - allocation
+        granted = np.minimum(proposal, headroom)
+        if granted.sum() == 0:
+            # Weights point only at full strata; spread one sample at a time.
+            for k in np.nonzero(headroom > 0)[0]:
+                if remaining_budget == 0:
+                    break
+                allocation[k] += 1
+                remaining_budget -= 1
+            break
+        allocation += granted
+        remaining_budget -= int(granted.sum())
+        active = (caps - allocation) > 0
+    return allocation.tolist()
+
+
+def integerize_allocation(weights: Sequence[float], total: int) -> List[int]:
+    """Largest-remainder integer split of ``total`` according to ``weights``.
+
+    The group-by extension uses this to turn the minimax Λ (a point on the
+    probability simplex) into per-group Stage-2 draw counts that sum to the
+    Stage-2 budget exactly.
+    """
+    return proportional_integer_allocation(weights, total)
+
+
+def solve_minimax_single_oracle(error_terms: np.ndarray, n2: int) -> np.ndarray:
+    """Minimize Eq. 10 over Λ on the probability simplex.
+
+    ``error_terms[l, g]`` is the per-(stratification, group) S term of
+    Eq. 10; every stratification's estimator informs every group (the
+    single-oracle setting reveals each drawn record's group key), so a
+    group's combined variance is the inverse-variance combination across
+    stratifications and the objective is the worst group's.
+    """
+    from repro.optim.simplex import minimize_on_simplex
+
+    error_terms = np.asarray(error_terms, dtype=float)
+    if error_terms.ndim != 2 or error_terms.shape[0] != error_terms.shape[1]:
+        raise ValueError(
+            f"error_terms must be a square (stratification x group) matrix, "
+            f"got shape {error_terms.shape}"
+        )
+    num_groups = error_terms.shape[0]
+
+    def objective(lam: np.ndarray) -> float:
+        worst = 0.0
+        for g in range(num_groups):
+            inverse_sum = 0.0
+            for l in range(num_groups):
+                variance = error_terms[l, g] / max(lam[l] * n2, _EPS)
+                if variance <= 0 or not np.isfinite(variance):
+                    continue
+                inverse_sum += 1.0 / variance
+            combined = 1.0 / inverse_sum if inverse_sum > 0 else float("inf")
+            worst = max(worst, combined)
+        return worst
+
+    result = minimize_on_simplex(objective, num_groups)
+    return result.x
+
+
+def solve_minimax_multi_oracle(error_terms: np.ndarray, n2: int) -> np.ndarray:
+    """Minimize Eq. 11 over Λ on the probability simplex.
+
+    ``error_terms[g]`` is group *g*'s S term; with per-group membership
+    oracles a sample drawn for one group informs no other, so each group's
+    variance depends only on its own budget share and the objective is the
+    worst single group.
+    """
+    from repro.optim.simplex import minimize_on_simplex
+
+    error_terms = np.asarray(error_terms, dtype=float)
+    if error_terms.ndim != 1 or error_terms.size == 0:
+        raise ValueError(
+            f"error_terms must be a non-empty 1-D vector, got shape "
+            f"{error_terms.shape}"
+        )
+    num_groups = error_terms.shape[0]
+
+    def objective(lam: np.ndarray) -> float:
+        worst = 0.0
+        for g in range(num_groups):
+            variance = error_terms[g] / max(lam[g] * n2, _EPS)
+            worst = max(worst, variance)
+        return worst
+
+    result = minimize_on_simplex(objective, num_groups)
+    return result.x

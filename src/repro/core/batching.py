@@ -32,7 +32,7 @@ full (seed × batch_size × num_workers) grid.
 
 from __future__ import annotations
 
-from typing import Callable, Iterator, Optional, Sequence, Tuple
+from typing import Callable, Iterator, Optional, Tuple
 
 import numpy as np
 

@@ -10,7 +10,7 @@ typical sample sizes run in milliseconds.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 

@@ -30,17 +30,22 @@ import numpy as np
 from repro.core.abae import (
     StatisticLike,
     _normalize_statistic,
-    bounded_allocation,
     run_abae,
 )
-from repro.core.allocation import optimal_allocation
+from repro.core.allocation import (
+    bounded_allocation,
+    integerize_allocation,
+    optimal_allocation,
+    solve_minimax_multi_oracle,
+    solve_minimax_single_oracle,
+)
 from repro.core.batching import (
-    DEFAULT_BATCH_SIZE,
     batch_slices,
-    label_records,
     statistic_batch,
 )
-from repro.core.parallel import THREAD_BACKEND, parallelize_oracle
+from repro.core.parallel import parallelize_oracle
+from repro.engine.builders import exploit_continuation_pipeline
+from repro.engine.config import UNSET, ExecutionConfig, resolve_execution_config
 from repro.oracle.base import evaluate_oracle_batch
 from repro.core.estimators import (
     combine_estimates,
@@ -51,8 +56,7 @@ from repro.core.results import EstimateResult, GroupByResult
 from repro.core.stratification import Stratification
 from repro.core.uniform import run_uniform
 from repro.oracle.groupkey import GroupKeyOracle, PerGroupOracles, membership_column
-from repro.optim.simplex import minimize_on_simplex
-from repro.proxy.base import PrecomputedProxy, Proxy, memoized_proxy_object
+from repro.proxy.base import Proxy, memoized_proxy_object
 from repro.stats.descriptive import safe_mean
 from repro.stats.rng import RandomState
 from repro.stats.sampling import sample_without_replacement
@@ -288,25 +292,36 @@ def run_groupby_single_oracle(
     stage1_fraction: float = 0.5,
     allocation_method: str = "minimax",
     rng: Optional[RandomState] = None,
-    batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
-    num_workers: Optional[int] = None,
-    parallel_backend: str = THREAD_BACKEND,
+    batch_size=UNSET,
+    num_workers=UNSET,
+    parallel_backend=UNSET,
+    config: Optional[ExecutionConfig] = None,
 ) -> GroupByResult:
     """GROUP BY estimation when one oracle call reveals the group key.
 
     ``budget`` is the total number of oracle invocations.  Returns per-group
     estimates plus the Stage-2 allocation Λ chosen for each stratification.
-    ``batch_size`` and ``num_workers`` tune oracle batching and worker-pool
-    sharding (see :mod:`repro.core.batching` / :mod:`repro.core.parallel`)
-    without changing results.
+    ``config`` carries the execution knobs (oracle batching, worker-pool
+    sharding — see :mod:`repro.engine`); the per-knob kwargs are deprecated
+    aliases.  No knob ever changes results.
     """
+    config = resolve_execution_config(
+        config,
+        "run_groupby_single_oracle",
+        batch_size=batch_size,
+        num_workers=num_workers,
+        parallel_backend=parallel_backend,
+    )
+    batch_size = config.batch_size
     _validate_allocation_method(allocation_method)
     if not groups:
         raise ValueError("run_groupby_single_oracle requires at least one group")
     if budget <= 0:
         raise ValueError(f"budget must be positive, got {budget}")
-    rng = rng or RandomState(0)
-    oracle = parallelize_oracle(oracle, num_workers, parallel_backend)
+    rng = config.make_rng(rng)
+    oracle = parallelize_oracle(
+        oracle, config.num_workers, config.parallel_backend
+    )
     statistic_fn = _normalize_statistic(statistic)
     group_keys = [g.key for g in groups]
     num_groups = len(groups)
@@ -362,10 +377,10 @@ def run_groupby_single_oracle(
     if allocation_method == "equal" or n2 == 0:
         lam = np.full(num_groups, 1.0 / num_groups)
     else:
-        lam = _solve_minimax_single_oracle(error_terms, n2)
+        lam = solve_minimax_single_oracle(error_terms, n2)
 
     # ---- Stage 2: sample each stratification with its share of the budget --------
-    lam_counts = _integerize(lam, n2)
+    lam_counts = integerize_allocation(lam, n2)
     for l in range(num_groups):
         stratification = stratifications[l]
         # Dataset-length membership mask instead of np.isin per stratum:
@@ -428,7 +443,7 @@ def _groupby_uniform_single_oracle(
     budget: int,
     num_records: int,
     rng: RandomState,
-    batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
+    batch_size: Optional[int] = None,
 ) -> GroupByResult:
     """The Uniform baseline: one uniform sample, split by revealed group key."""
     indices = sample_without_replacement(
@@ -455,27 +470,6 @@ def _groupby_uniform_single_oracle(
     )
 
 
-def _solve_minimax_single_oracle(error_terms: np.ndarray, n2: int) -> np.ndarray:
-    """Minimize Eq. 10 over Λ on the probability simplex."""
-    num_groups = error_terms.shape[0]
-
-    def objective(lam: np.ndarray) -> float:
-        worst = 0.0
-        for g in range(num_groups):
-            inverse_sum = 0.0
-            for l in range(num_groups):
-                variance = error_terms[l, g] / max(lam[l] * n2, _EPS)
-                if variance <= 0 or not np.isfinite(variance):
-                    continue
-                inverse_sum += 1.0 / variance
-            combined = 1.0 / inverse_sum if inverse_sum > 0 else float("inf")
-            worst = max(worst, combined)
-        return worst
-
-    result = minimize_on_simplex(objective, num_groups)
-    return result.x
-
-
 # ---------------------------------------------------------------------------
 # Multiple-oracle setting
 # ---------------------------------------------------------------------------
@@ -490,24 +484,32 @@ def run_groupby_multi_oracle(
     stage1_fraction: float = 0.5,
     allocation_method: str = "minimax",
     rng: Optional[RandomState] = None,
-    batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
-    num_workers: Optional[int] = None,
-    parallel_backend: str = THREAD_BACKEND,
+    batch_size=UNSET,
+    num_workers=UNSET,
+    parallel_backend=UNSET,
+    config: Optional[ExecutionConfig] = None,
 ) -> GroupByResult:
     """GROUP BY estimation when each group has its own membership oracle.
 
     ``budget`` is the *total* number of oracle invocations across all
     groups' oracles (the paper normalizes by the number of groups when
-    plotting; the benchmark harness does the same).  ``batch_size`` and
-    ``num_workers`` tune oracle batching and sharding without changing
-    results.
+    plotting; the benchmark harness does the same).  ``config`` carries the
+    execution knobs (the per-knob kwargs are deprecated aliases); no knob
+    changes results.
     """
+    config = resolve_execution_config(
+        config,
+        "run_groupby_multi_oracle",
+        batch_size=batch_size,
+        num_workers=num_workers,
+        parallel_backend=parallel_backend,
+    )
     _validate_allocation_method(allocation_method)
     if not groups:
         raise ValueError("run_groupby_multi_oracle requires at least one group")
     if budget <= 0:
         raise ValueError(f"budget must be positive, got {budget}")
-    rng = rng or RandomState(0)
+    rng = config.make_rng(rng)
     statistic_fn = _normalize_statistic(statistic)
     group_keys = [g.key for g in groups]
     num_groups = len(groups)
@@ -537,9 +539,7 @@ def run_groupby_multi_oracle(
                 statistic=statistic_fn,
                 budget=per_group_budget,
                 rng=rng_child,
-                batch_size=batch_size,
-                num_workers=num_workers,
-                parallel_backend=parallel_backend,
+                config=config,
             )
             result.method = "uniform-groupby-multi"
             group_results[spec.key] = result
@@ -565,9 +565,7 @@ def run_groupby_multi_oracle(
             num_strata=num_strata,
             stage1_fraction=1.0,  # the whole per-group pilot budget is Stage 1
             rng=rng_child,
-            batch_size=batch_size,
-            num_workers=num_workers,
-            parallel_backend=parallel_backend,
+            config=config,
         )
         pilot_results.append(pilot)
 
@@ -586,54 +584,33 @@ def run_groupby_multi_oracle(
     if allocation_method == "equal" or stage2_total == 0:
         lam = np.full(num_groups, 1.0 / num_groups)
     else:
-        lam = _solve_minimax_multi_oracle(error_terms, stage2_total)
+        lam = solve_minimax_multi_oracle(error_terms, stage2_total)
 
-    lam_counts = _integerize(lam, stage2_total)
+    lam_counts = integerize_allocation(lam, stage2_total)
 
     # ---- Stage 2: each group continues sampling with its share --------------------
+    # Each group's continuation is the engine's shared exploitation
+    # pipeline: prime a pool with the pilot samples, spend the group's Λ
+    # share over strata proportional to its within-group allocation.
     group_results: Dict[Hashable, EstimateResult] = {}
     total_calls = 0
     for g, (spec, rng_child) in enumerate(zip(groups, rng.spawn(num_groups))):
         stratification = Stratification.by_proxy_quantile(
             spec.proxy_object(), num_strata
         )
-        pilot_samples = pilot_results[g].samples
-        drawn_mask = np.zeros(num_records, dtype=bool)
-        for sample in pilot_samples:
-            drawn_mask[sample.indices] = True
-        fresh_per_stratum = [
-            stratification.stratum(k)[~drawn_mask[stratification.stratum(k)]]
-            for k in range(num_strata)
-        ]
-        capacities = [int(fresh.size) for fresh in fresh_per_stratum]
-        counts = bounded_allocation(within_allocations[g], lam_counts[g], capacities)
-        oracle_g = parallelize_oracle(
-            oracle_for(spec.key), num_workers, parallel_backend
-        )
-        combined_samples = []
-        for k in range(num_strata):
-            chosen = sample_without_replacement(
-                fresh_per_stratum[k], counts[k], rng_child
-            )
-            matches, values = label_records(
-                chosen, oracle_g, statistic_fn, batch_size
-            )
-            fresh = StratumSample(
-                stratum=k, indices=chosen, matches=matches, values=values
-            )
-            combined_samples.append(pilot_samples[k].extend(fresh))
-
-        estimates = estimate_all_strata(combined_samples)
-        estimate = combine_estimates(estimates)
-        calls = sum(s.num_draws for s in combined_samples)
-        total_calls += calls
-        group_results[spec.key] = EstimateResult(
-            estimate=estimate,
-            oracle_calls=calls,
-            strata_estimates=estimates,
-            samples=combined_samples,
+        pipeline = exploit_continuation_pipeline(
+            stratification=stratification,
+            oracle=oracle_for(spec.key),
+            statistic=statistic_fn,
+            weights=within_allocations[g],
+            stage2_total=lam_counts[g],
+            initial_samples=pilot_results[g].samples,
             method=f"abae-groupby-multi-{allocation_method}",
+            config=config,
         )
+        result = pipeline.run(rng_child)
+        total_calls += result.oracle_calls
+        group_results[spec.key] = result
 
     return GroupByResult(
         group_results=group_results,
@@ -647,31 +624,16 @@ def run_groupby_multi_oracle(
     )
 
 
-def _solve_minimax_multi_oracle(error_terms: np.ndarray, n2: int) -> np.ndarray:
-    """Minimize Eq. 11 over Λ on the probability simplex."""
-    num_groups = error_terms.shape[0]
-
-    def objective(lam: np.ndarray) -> float:
-        worst = 0.0
-        for g in range(num_groups):
-            variance = error_terms[g] / max(lam[g] * n2, _EPS)
-            worst = max(worst, variance)
-        return worst
-
-    result = minimize_on_simplex(objective, num_groups)
-    return result.x
-
-
 # ---------------------------------------------------------------------------
 # Small numeric helpers
 # ---------------------------------------------------------------------------
 
-
-def _integerize(weights: np.ndarray, total: int) -> List[int]:
-    """Largest-remainder integer split of ``total`` according to ``weights``."""
-    from repro.stats.sampling import proportional_integer_allocation
-
-    return proportional_integer_allocation(weights, total)
+# Compatibility aliases: the solvers and the integerizer were extracted to
+# :mod:`repro.core.allocation` (where they have direct unit tests); keep the
+# historical private names importable from here.
+_solve_minimax_single_oracle = solve_minimax_single_oracle
+_solve_minimax_multi_oracle = solve_minimax_multi_oracle
+_integerize = integerize_allocation
 
 
 def _inverse_variance_combine(

@@ -20,14 +20,14 @@ composite oracle, and hands both to the single-predicate sampler.
 from __future__ import annotations
 
 import abc
-from typing import Callable, List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.core.abae import StatisticLike, run_abae
-from repro.core.batching import DEFAULT_BATCH_SIZE
-from repro.core.parallel import THREAD_BACKEND
+from repro.core.abae import StatisticLike
 from repro.core.results import EstimateResult
+from repro.engine.builders import multipred_pipeline
+from repro.engine.config import UNSET, ExecutionConfig, resolve_execution_config
 from repro.oracle.base import Oracle
 from repro.oracle.composite import AndOracle, NotOracle, OrOracle
 from repro.proxy.base import PrecomputedProxy, Proxy
@@ -205,9 +205,10 @@ def run_abae_multipred(
     alpha: float = 0.05,
     num_bootstrap: int = 1000,
     rng: Optional[RandomState] = None,
-    batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
-    num_workers: Optional[int] = None,
-    parallel_backend: str = THREAD_BACKEND,
+    batch_size=UNSET,
+    num_workers=UNSET,
+    parallel_backend=UNSET,
+    config: Optional[ExecutionConfig] = None,
 ) -> EstimateResult:
     """Run ABae over a complex predicate expression.
 
@@ -217,18 +218,21 @@ def run_abae_multipred(
     ``details["constituent_oracle_calls"]`` reports the total calls made to
     the underlying per-predicate oracles, which is the cost a system paying
     per constituent DNN would incur.  Batched and sharded execution
-    preserve the sequential path's short-circuit per-constituent call
-    counts exactly: the masked evaluation of :mod:`repro.oracle.composite`
+    (via ``config``; the per-knob kwargs are deprecated aliases) preserve
+    the sequential path's short-circuit per-constituent call counts
+    exactly: the masked evaluation of :mod:`repro.oracle.composite`
     consults each child per record independently of how records are chunked
     or sharded, and constituent accounting is thread-safe.
     """
-    combined_scores = np.clip(expression.combined_scores(), 0.0, 1.0)
-    combined_proxy = PrecomputedProxy(combined_scores, name="multipred_proxy")
-    composite_oracle = expression.build_oracle()
-
-    result = run_abae(
-        proxy=combined_proxy,
-        oracle=composite_oracle,
+    config = resolve_execution_config(
+        config,
+        "run_abae_multipred",
+        batch_size=batch_size,
+        num_workers=num_workers,
+        parallel_backend=parallel_backend,
+    )
+    pipeline = multipred_pipeline(
+        expression=expression,
         statistic=statistic,
         budget=budget,
         num_strata=num_strata,
@@ -236,12 +240,12 @@ def run_abae_multipred(
         with_ci=with_ci,
         alpha=alpha,
         num_bootstrap=num_bootstrap,
-        rng=rng,
-        batch_size=batch_size,
-        num_workers=num_workers,
-        parallel_backend=parallel_backend,
+        config=config,
     )
-    result.method = "abae-multipred"
+    result = pipeline.run(rng)
+    # The pipeline may have wrapped the composite oracle for sharding;
+    # constituent accounting lives on the inner composite either way.
+    composite_oracle = getattr(pipeline.oracle, "inner", pipeline.oracle)
     if hasattr(composite_oracle, "total_children_calls"):
         result.details["constituent_oracle_calls"] = (
             composite_oracle.total_children_calls

@@ -20,14 +20,13 @@ Two capabilities:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.abae import StatisticLike, _normalize_statistic
 from repro.core.batching import label_records
 from repro.core.allocation import (
-    expected_speedup,
     optimal_stratified_mse,
     uniform_sampling_mse,
 )

@@ -8,7 +8,6 @@ agree on what a "stratum's worth of samples" contains.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
 
 import numpy as np
 

@@ -5,30 +5,22 @@ The only baseline applicable without precomputing predicate results
 and average the statistic over the draws that satisfy the predicate.  The
 same bootstrap machinery provides its confidence intervals, so the Figure-5
 comparison is apples to apples.
+
+Like every sampler, this is a thin wrapper over the unified execution
+engine: a degenerate single-stratum
+:class:`~repro.engine.pipeline.SamplingPipeline` with the
+:class:`~repro.engine.policies.UniformAllocationPolicy` /
+:class:`~repro.engine.policies.UniformEstimator` pair.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence, Union
+from typing import Callable, Optional
 
-import numpy as np
-
-from repro.core.abae import (
-    _UNSET,
-    StatisticLike,
-    _normalize_statistic,
-    draw_stratum_sample,
-)
-from repro.core.batching import DEFAULT_BATCH_SIZE
-from repro.core.bootstrap import bootstrap_confidence_interval
-from repro.core.parallel import (
-    THREAD_BACKEND,
-    parallelize_oracle,
-    resolve_backend,
-    resolve_num_workers,
-)
-from repro.core.estimators import estimate_all_strata
+from repro.core.abae import _UNSET, StatisticLike  # noqa: F401 - re-export
 from repro.core.results import EstimateResult
+from repro.engine.builders import uniform_pipeline
+from repro.engine.config import UNSET, ExecutionConfig, resolve_execution_config
 from repro.stats.rng import RandomState
 
 __all__ = ["run_uniform", "UniformSampler"]
@@ -43,51 +35,35 @@ def run_uniform(
     alpha: float = 0.05,
     num_bootstrap: int = 1000,
     rng: Optional[RandomState] = None,
-    batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
-    num_workers: Optional[int] = None,
-    parallel_backend: str = THREAD_BACKEND,
+    batch_size=UNSET,
+    num_workers=UNSET,
+    parallel_backend=UNSET,
+    config: Optional[ExecutionConfig] = None,
 ) -> EstimateResult:
     """Estimate the aggregate by uniform sampling without replacement.
 
-    ``batch_size`` and ``num_workers`` tune oracle batching and sharding
-    exactly as in :func:`repro.core.abae.run_abae`; results are identical
-    for all values.
+    ``config`` carries the execution knobs exactly as in
+    :func:`repro.core.abae.run_abae`; the per-knob kwargs are deprecated
+    aliases.  Results are identical for all settings.
     """
-    if num_records <= 0:
-        raise ValueError(f"num_records must be positive, got {num_records}")
-    if budget < 0:
-        raise ValueError(f"budget must be non-negative, got {budget}")
-    rng = rng or RandomState(0)
-    oracle = parallelize_oracle(oracle, num_workers, parallel_backend)
-    statistic_fn = _normalize_statistic(statistic)
-
-    sample = draw_stratum_sample(
-        0,
-        np.arange(num_records, dtype=np.int64),
-        budget,
-        oracle,
-        statistic_fn,
-        rng,
+    config = resolve_execution_config(
+        config,
+        "run_uniform",
         batch_size=batch_size,
+        num_workers=num_workers,
+        parallel_backend=parallel_backend,
     )
-    positives = sample.positive_values
-    estimate = float(positives.mean()) if positives.size else 0.0
-
-    ci = None
-    if with_ci:
-        ci = bootstrap_confidence_interval(
-            [sample], alpha=alpha, num_bootstrap=num_bootstrap, rng=rng
-        )
-
-    return EstimateResult(
-        estimate=estimate,
-        ci=ci,
-        oracle_calls=sample.num_draws,
-        strata_estimates=estimate_all_strata([sample]),
-        samples=[sample],
-        method="uniform",
-        details={"num_records": num_records},
+    pipeline = uniform_pipeline(
+        num_records=num_records,
+        oracle=oracle,
+        statistic=statistic,
+        budget=budget,
+        with_ci=with_ci,
+        alpha=alpha,
+        num_bootstrap=num_bootstrap,
+        config=config,
     )
+    return pipeline.run(rng)
 
 
 class UniformSampler:
@@ -98,22 +74,35 @@ class UniformSampler:
         num_records: int,
         oracle: Callable[[int], bool],
         statistic: StatisticLike,
-        batch_size: Optional[int] = DEFAULT_BATCH_SIZE,
-        num_workers: Optional[int] = None,
-        parallel_backend: str = THREAD_BACKEND,
+        batch_size=UNSET,
+        num_workers=UNSET,
+        parallel_backend=UNSET,
+        config: Optional[ExecutionConfig] = None,
     ):
         if num_records <= 0:
             raise ValueError(f"num_records must be positive, got {num_records}")
-        if batch_size is not None and batch_size < 1:
-            raise ValueError(f"batch_size must be a positive integer, got {batch_size}")
-        resolve_num_workers(num_workers)  # fail fast on bad execution knobs
-        resolve_backend(parallel_backend)
+        self.config = resolve_execution_config(
+            config,
+            "UniformSampler",
+            batch_size=batch_size,
+            num_workers=num_workers,
+            parallel_backend=parallel_backend,
+        )
         self.num_records = num_records
         self.oracle = oracle
         self.statistic = statistic
-        self.batch_size = batch_size
-        self.num_workers = num_workers
-        self.parallel_backend = parallel_backend
+
+    @property
+    def batch_size(self):
+        return self.config.batch_size
+
+    @property
+    def num_workers(self):
+        return self.config.num_workers
+
+    @property
+    def parallel_backend(self):
+        return self.config.parallel_backend
 
     def estimate(
         self,
@@ -123,13 +112,19 @@ class UniformSampler:
         num_bootstrap: int = 1000,
         rng: Optional[RandomState] = None,
         seed: Optional[int] = None,
-        batch_size: Optional[int] = _UNSET,
-        num_workers: Optional[int] = _UNSET,
+        batch_size=UNSET,
+        num_workers=UNSET,
+        config: Optional[ExecutionConfig] = None,
     ) -> EstimateResult:
         if rng is None:
             rng = RandomState(seed)
-        effective_batch = self.batch_size if batch_size is _UNSET else batch_size
-        effective_workers = self.num_workers if num_workers is _UNSET else num_workers
+        run_config = resolve_execution_config(
+            config,
+            "UniformSampler.estimate",
+            default=self.config,
+            batch_size=batch_size,
+            num_workers=num_workers,
+        )
         return run_uniform(
             num_records=self.num_records,
             oracle=self.oracle,
@@ -139,7 +134,33 @@ class UniformSampler:
             alpha=alpha,
             num_bootstrap=num_bootstrap,
             rng=rng,
-            batch_size=effective_batch,
-            num_workers=effective_workers,
-            parallel_backend=self.parallel_backend,
+            config=run_config,
         )
+
+    def session(
+        self,
+        budget: int,
+        with_ci: bool = False,
+        alpha: float = 0.05,
+        num_bootstrap: int = 1000,
+        rng: Optional[RandomState] = None,
+        seed: Optional[int] = None,
+        config: Optional[ExecutionConfig] = None,
+    ):
+        """A streaming / resumable session; bit-identical to :meth:`estimate`."""
+        if rng is None:
+            rng = RandomState(seed)
+        run_config = resolve_execution_config(
+            config, "UniformSampler.session", default=self.config
+        )
+        pipeline = uniform_pipeline(
+            num_records=self.num_records,
+            oracle=self.oracle,
+            statistic=self.statistic,
+            budget=budget,
+            with_ci=with_ci,
+            alpha=alpha,
+            num_bootstrap=num_bootstrap,
+            config=run_config,
+        )
+        return pipeline.session(rng)

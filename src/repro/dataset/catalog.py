@@ -8,7 +8,7 @@ look datasets up by name.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 from repro.dataset.table import Table
 

@@ -1,0 +1,276 @@
+"""Resumable sampling sessions: streaming execution of a pipeline.
+
+A :class:`SamplingSession` is the state machine that actually executes a
+:class:`~repro.engine.pipeline.SamplingPipeline`.  It exposes the three
+capabilities the monolithic ``run_*`` functions could not:
+
+* **streaming** — :meth:`step` advances one bounded unit of work (one
+  stratum's draw, or one allocation decision) and
+  :meth:`partial_estimate` reads the best current estimate between steps
+  without perturbing the draw sequence;
+* **resumption** — :meth:`checkpoint` serializes the complete execution
+  state (samples, pool, RNG, policy) to bytes, and
+  :meth:`SamplingPipeline.resume` — via :meth:`restore` — continues in a
+  fresh process with fresh (unpicklable) oracles;
+* **budget top-ups** — :meth:`add_budget` grows the budget of a finished
+  or running session and sampling continues where it stopped.
+
+Determinism: driving a session with ``while session.step(): pass`` and
+then :meth:`result` performs *exactly* the same draws against the same
+random stream as :meth:`run` — and as the legacy one-shot samplers — so
+fingerprints are bit-identical across all three (pinned by
+``tests/test_engine_session.py``).
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import List, Optional
+
+from repro.core.estimators import estimate_all_strata
+from repro.core.results import EstimateResult
+from repro.engine.config import ProgressEvent
+from repro.engine.pipeline import (
+    PipelineState,
+    SamplingPipeline,
+    _empty_stratum_sample,
+)
+
+__all__ = ["SamplingSession"]
+
+# Version tag for checkpoint payloads, bumped on layout changes so a stale
+# checkpoint fails loudly instead of resuming into corrupt state.
+_CHECKPOINT_VERSION = 1
+
+
+class SamplingSession:
+    """Step-driven execution of one sampling pipeline.
+
+    Created by :meth:`SamplingPipeline.session`; not instantiated
+    directly.  The session owns the run's mutable state and the draw loop:
+
+    >>> session = pipeline.session(rng)
+    >>> while session.step():
+    ...     print(session.partial_estimate().estimate)  # streaming reads
+    >>> result = session.result()
+
+    which is bit-identical to ``pipeline.run(rng)``.
+    """
+
+    def __init__(self, pipeline: SamplingPipeline, state: PipelineState):
+        self._pipeline = pipeline
+        self._state = state
+        self._pending: Optional[List[int]] = None
+        self._next_stratum = 0
+        self._done = False
+        self._result: Optional[EstimateResult] = None
+
+    # -- Introspection -------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        """Whether the policy has declared sampling complete."""
+        return self._done
+
+    @property
+    def spent(self) -> int:
+        """Oracle draws charged so far."""
+        return self._state.spent
+
+    @property
+    def budget(self) -> int:
+        """The session's current total budget (grows via :meth:`add_budget`)."""
+        return self._state.budget
+
+    @property
+    def state(self) -> PipelineState:
+        """The underlying pipeline state (read-only by convention)."""
+        return self._state
+
+    # -- Stepping ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Advance one unit of work; ``False`` once sampling is complete.
+
+        A unit is either one allocation decision (the policy plans the
+        next round) or one stratum's draw within the current round.  The
+        unit boundaries are part of no contract except granularity: the
+        sequence of draws and RNG consumption is identical to
+        :meth:`run`'s.
+        """
+        if self._done:
+            return False
+        state = self._state
+        if self._pending is None:
+            counts = self._pipeline.policy.next_counts(state)
+            if counts is None:
+                self._done = True
+                return False
+            counts = [int(c) for c in counts]
+            if len(counts) != state.num_strata:
+                raise ValueError(
+                    f"policy returned {len(counts)} counts for "
+                    f"{state.num_strata} strata"
+                )
+            state.rounds.append(
+                [_empty_stratum_sample(k) for k in range(state.num_strata)]
+            )
+            self._pending = counts
+            self._next_stratum = 0
+            self._pipeline.config.notify(
+                ProgressEvent(
+                    phase="allocate",
+                    round_index=state.round_index,
+                    stratum=None,
+                    drawn=0,
+                    spent=state.spent,
+                    budget=state.budget,
+                )
+            )
+            return True
+        k = self._next_stratum
+        self._pipeline.draw(state, k, self._pending[k])
+        self._next_stratum += 1
+        if self._next_stratum >= state.num_strata:
+            self._pending = None
+            state.round_index += 1
+        return True
+
+    def run(self) -> EstimateResult:
+        """Drive the session to completion and return the finalized result."""
+        while self.step():
+            pass
+        return self.result()
+
+    # -- Results -------------------------------------------------------------------
+    def partial_estimate(self) -> EstimateResult:
+        """The best current estimate from the samples accumulated so far.
+
+        Never consumes the session RNG (no bootstrap), so streaming reads
+        between steps cannot perturb the draw sequence — the final result
+        stays bit-identical to an unobserved run.  The returned result
+        carries the cumulative per-stratum samples and marks itself
+        partial in ``details``.
+        """
+        state = self._state
+        estimates = estimate_all_strata(state.samples)
+        return EstimateResult(
+            estimate=self._pipeline.estimator.point_estimate(state, estimates),
+            ci=state.ci,
+            oracle_calls=state.spent,
+            strata_estimates=estimates,
+            samples=list(state.samples),
+            method=self._pipeline.estimator.method,
+            details={
+                "partial": True,
+                "spent": state.spent,
+                "budget": state.budget,
+                "rounds_completed": state.round_index,
+            },
+        )
+
+    def result(self) -> EstimateResult:
+        """The finalized result (cached; requires the session to be done)."""
+        if not self._done:
+            raise RuntimeError(
+                "session is not finished; drive it with run() or step() "
+                "first, or read partial_estimate() for a streaming value"
+            )
+        if self._result is None:
+            self._result = self._pipeline.finalize(self._state)
+        return self._result
+
+    # -- Budget top-ups ------------------------------------------------------------
+    def add_budget(self, extra: int) -> None:
+        """Grow the session's budget and resume sampling where it stopped.
+
+        The allocation policy decides how the extra budget is spent: loop
+        policies (sequential, until-width) simply keep iterating under the
+        raised ceiling, while the two-stage policy plans one additional
+        exploitation round using the current plug-in estimates.  A
+        finished session becomes steppable again; its cached result is
+        discarded.  Note a topped-up run is *additional* sampling — it is
+        not required (or expected) to match a one-shot run at the larger
+        budget, which would have allocated differently from the start.
+        """
+        if extra <= 0:
+            raise ValueError(f"extra budget must be positive, got {extra}")
+        self._state.budget += int(extra)
+        self._pipeline.policy.extend_budget(self._state, int(extra))
+        self._done = False
+        self._result = None
+        # Any CI computed so far covers the pre-top-up samples only; drop
+        # it so the next finalize (or, for until-width, the policy's next
+        # round boundary) recomputes over everything drawn.
+        self._state.ci = None
+
+    # -- Checkpointing -------------------------------------------------------------
+    def checkpoint(self) -> bytes:
+        """Serialize the complete execution state to bytes.
+
+        The payload carries the samples, pool, RNG, policy and estimator
+        state — everything needed to continue — but deliberately *not* the
+        oracle, statistic or config: those may hold unpicklable resources
+        (model handles, callbacks) and are re-supplied by the pipeline that
+        restores the checkpoint.
+        """
+        state = self._state
+        payload = {
+            "version": _CHECKPOINT_VERSION,
+            "state": {
+                "stratification": state.stratification,
+                "pool": state.pool,
+                "rng": state.rng,
+                "budget": state.budget,
+                "spent": state.spent,
+                "samples": state.samples,
+                "rounds": state.rounds,
+                "round_index": state.round_index,
+                "details": state.details,
+                "ci": state.ci,
+            },
+            "policy": self._pipeline.policy,
+            "estimator": self._pipeline.estimator,
+            "pending": self._pending,
+            "next_stratum": self._next_stratum,
+            "done": self._done,
+        }
+        return pickle.dumps(payload)
+
+    @classmethod
+    def restore(
+        cls, pipeline: SamplingPipeline, checkpoint: bytes
+    ) -> "SamplingSession":
+        """Rebuild a session from :meth:`checkpoint` bytes.
+
+        ``pipeline`` supplies the live (possibly unpicklable) ingredients —
+        oracle, statistic, config — and must be freshly built with the same
+        logical parameters as the checkpointed run; the checkpoint's
+        policy, estimator and state replace the pipeline's own.  Exposed to
+        users as :meth:`SamplingPipeline.resume`.
+        """
+        payload = pickle.loads(checkpoint)
+        if payload.get("version") != _CHECKPOINT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint version {payload.get('version')!r}; "
+                f"expected {_CHECKPOINT_VERSION}"
+            )
+        saved = payload["state"]
+        state = PipelineState(
+            pool=saved["pool"],
+            rng=saved["rng"],
+            budget=saved["budget"],
+            stratification=saved["stratification"],
+            initial_samples=saved["samples"],
+            initial_spent=saved["spent"],
+        )
+        state.rounds = saved["rounds"]
+        state.round_index = saved["round_index"]
+        state.details = saved["details"]
+        state.ci = saved["ci"]
+        pipeline.policy = payload["policy"]
+        pipeline.estimator = payload["estimator"]
+        session = cls(pipeline, state)
+        session._pending = payload["pending"]
+        session._next_stratum = payload["next_stratum"]
+        session._done = payload["done"]
+        pipeline._session = session
+        return session

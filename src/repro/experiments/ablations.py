@@ -81,16 +81,17 @@ def ablate_allocation_rule(
 ) -> Dict[str, float]:
     """RMSE of ABae under different Stage-2 allocation rules.
 
-    The rule is swapped by monkey-patching the allocation hook used by
-    :func:`repro.core.abae.run_abae`; the patch is always restored.
+    The rule is swapped by monkey-patching the allocation hook the engine's
+    two-stage policy resolves through :mod:`repro.core.allocation`; the
+    patch is always restored.
     """
-    import repro.core.abae as abae_module
+    import repro.core.allocation as allocation_module
 
     truth = scenario.ground_truth()
     stratification = Stratification.by_proxy_quantile(scenario.proxy, num_strata)
 
     def rmse_with_rule(weight_fn: Callable[[np.ndarray, np.ndarray], np.ndarray]) -> float:
-        original = abae_module.allocation_from_estimates
+        original = allocation_module.allocation_from_estimates
 
         def patched(estimates):
             p = np.array([e.p_hat for e in estimates])
@@ -101,7 +102,7 @@ def ablate_allocation_rule(
                 return np.full(p.shape, 1.0 / p.size)
             return weights / total
 
-        abae_module.allocation_from_estimates = patched
+        allocation_module.allocation_from_estimates = patched
         try:
             def run_once(rng: RandomState) -> float:
                 return run_abae(
@@ -115,7 +116,7 @@ def ablate_allocation_rule(
 
             return _repeated_rmse(run_once, truth, trials, seed)
         finally:
-            abae_module.allocation_from_estimates = original
+            allocation_module.allocation_from_estimates = original
 
     return {
         "sqrt_p_sigma": rmse_with_rule(lambda p, s: np.sqrt(p) * s),

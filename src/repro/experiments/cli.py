@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import argparse
 from pathlib import Path
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
 from repro.experiments import figures
 from repro.experiments.config import PAPER_BUDGETS, ExperimentConfig

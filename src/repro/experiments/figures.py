@@ -23,7 +23,6 @@ from repro.core.multipred import And, PredicateLeaf, run_abae_multipred
 from repro.core.proxy_selection import combine_proxies, draw_pilot_sample
 from repro.core.uniform import run_uniform
 from repro.experiments.config import (
-    PAPER_BUDGETS,
     PAPER_LOW_BUDGETS,
     ExperimentConfig,
     MethodCurve,
@@ -38,7 +37,7 @@ from repro.experiments.runner import (
 )
 from repro.stats.metrics import rmse
 from repro.stats.rng import RandomState
-from repro.synth.base import GroupByScenario, MultiPredicateScenario, Scenario
+from repro.synth.base import GroupByScenario, MultiPredicateScenario
 from repro.synth.datasets import DATASET_NAMES, DATASET_SPECS, make_dataset
 from repro.synth.scenarios import (
     make_groupby_scenario,

@@ -7,7 +7,7 @@ can be pasted straight into EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.experiments.config import SweepResult
 

@@ -17,7 +17,8 @@ from repro.core.abae import run_abae
 from repro.core.results import EstimateResult
 from repro.core.stratification import Stratification
 from repro.core.uniform import run_uniform
-from repro.experiments.config import ExperimentConfig, MethodCurve, SweepResult
+from repro.engine.config import ExecutionConfig
+from repro.experiments.config import ExperimentConfig, SweepResult
 from repro.stats.metrics import coverage_rate, normalized_q_error, rmse
 from repro.stats.rng import RandomState
 from repro.synth.base import Scenario
@@ -30,6 +31,7 @@ MethodFn = Callable[[Scenario, int, RandomState], EstimateResult]
 def _abae_method(
     num_strata: int, stage1_fraction: float, reuse_samples: bool = True,
     with_ci: bool = False, alpha: float = 0.05, num_bootstrap: int = 200,
+    execution: Optional[ExecutionConfig] = None,
 ) -> MethodFn:
     def method(scenario: Scenario, budget: int, rng: RandomState) -> EstimateResult:
         # Stratification is a pure function of (proxy, K): build it through
@@ -54,13 +56,15 @@ def _abae_method(
             alpha=alpha,
             num_bootstrap=num_bootstrap,
             rng=rng,
+            config=execution,
         )
 
     return method
 
 
 def _uniform_method(
-    with_ci: bool = False, alpha: float = 0.05, num_bootstrap: int = 200
+    with_ci: bool = False, alpha: float = 0.05, num_bootstrap: int = 200,
+    execution: Optional[ExecutionConfig] = None,
 ) -> MethodFn:
     def method(scenario: Scenario, budget: int, rng: RandomState) -> EstimateResult:
         return run_uniform(
@@ -72,6 +76,7 @@ def _uniform_method(
             alpha=alpha,
             num_bootstrap=num_bootstrap,
             rng=rng,
+            config=execution,
         )
 
     return method
@@ -81,17 +86,25 @@ def default_methods(
     config: ExperimentConfig,
     with_ci: bool = False,
     include_no_reuse: bool = False,
+    execution: Optional[ExecutionConfig] = None,
 ) -> Dict[str, MethodFn]:
-    """The standard method set: ABae and uniform (plus the lesion variant)."""
+    """The standard method set: ABae and uniform (plus the lesion variant).
+
+    ``execution`` is the shared :class:`~repro.engine.config.ExecutionConfig`
+    every trial runs under (batching / sharding / caching); it never
+    changes a trial's result, only how fast the sweep finishes.
+    """
     methods: Dict[str, MethodFn] = {
         "abae": _abae_method(
-            config.num_strata, config.stage1_fraction, True, with_ci, config.alpha
+            config.num_strata, config.stage1_fraction, True, with_ci, config.alpha,
+            execution=execution,
         ),
-        "uniform": _uniform_method(with_ci, config.alpha),
+        "uniform": _uniform_method(with_ci, config.alpha, execution=execution),
     }
     if include_no_reuse:
         methods["abae-no-reuse"] = _abae_method(
-            config.num_strata, config.stage1_fraction, False, with_ci, config.alpha
+            config.num_strata, config.stage1_fraction, False, with_ci, config.alpha,
+            execution=execution,
         )
     return methods
 
@@ -144,11 +157,16 @@ def run_single_predicate_sweep(
     metric: str = "rmse",
     methods: Optional[Dict[str, MethodFn]] = None,
     with_ci: bool = False,
+    execution: Optional[ExecutionConfig] = None,
 ) -> SweepResult:
-    """Sweep budgets x methods on one scenario and summarize with ``metric``."""
+    """Sweep budgets x methods on one scenario and summarize with ``metric``.
+
+    ``execution`` threads one shared engine config through every default
+    method's trials; ignored when an explicit ``methods`` dict is given.
+    """
     truth = scenario.ground_truth()
     if methods is None:
-        methods = default_methods(config, with_ci=with_ci)
+        methods = default_methods(config, with_ci=with_ci, execution=execution)
     sweep = SweepResult(name=scenario.name, metric=metric, ground_truth=truth)
     for method_name, method in methods.items():
         curve = sweep.curve(method_name)

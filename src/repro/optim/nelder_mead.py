@@ -10,7 +10,7 @@ objective has flat regions where a single simplex can stall.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 

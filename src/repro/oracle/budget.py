@@ -8,7 +8,6 @@ bugs in allocation logic fail loudly instead of silently overspending.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.oracle.base import evaluate_oracle_batch
 

@@ -12,7 +12,7 @@ from typing import Callable, Optional, Sequence
 
 import numpy as np
 
-from repro.oracle.base import Oracle, PredicateOracle
+from repro.oracle.base import PredicateOracle
 from repro.stats.rng import RandomState
 
 __all__ = [

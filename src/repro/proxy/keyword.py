@@ -8,7 +8,7 @@ fraction of its keyword list that appears in the document's token set.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Sequence, Union
 
 import numpy as np
 

@@ -29,6 +29,12 @@ import numpy as np
 
 from repro.core.abae import run_abae
 from repro.core.stratification import stratification_cache_disabled
+from repro.engine.config import (
+    UNSET,
+    ExecutionConfig,
+    ExecutionConfigError,
+    resolve_execution_config,
+)
 from repro.core.bootstrap import bootstrap_aggregate_interval
 from repro.core.groupby import (
     GroupSpec,
@@ -39,7 +45,7 @@ from repro.core.multipred import And, Not, Or, PredicateExpr, PredicateLeaf
 from repro.core.multipred import run_abae_multipred
 from repro.core.results import ConfidenceInterval, EstimateResult, GroupByResult
 from repro.oracle.groupkey import GroupKeyOracle, PerGroupOracles
-from repro.proxy.base import PrecomputedProxy, Proxy, memoized_proxy_object
+from repro.proxy.base import Proxy, memoized_proxy_object
 from repro.query.ast import (
     AggregateKind,
     AndExpr,
@@ -209,27 +215,39 @@ def execute_query(
     with_ci: bool = True,
     seed: Optional[int] = None,
     rng: Optional[RandomState] = None,
-    batch_size: Optional[int] = None,
-    num_workers: Optional[int] = None,
-    plan_cache: bool = True,
+    batch_size=UNSET,
+    num_workers=UNSET,
+    plan_cache=UNSET,
+    config: Optional[ExecutionConfig] = None,
 ) -> QueryResult:
     """Parse (if needed), plan and execute a query against a context.
 
-    ``batch_size`` and ``num_workers`` are recorded on the plan and control
-    how many records each oracle invocation batch labels (``None`` = whole
-    draw sets at once, ``1`` = strictly sequential) and how many workers
-    each batch is sharded across (``None`` = serial).  ``plan_cache``
-    (default on) lets execution reuse the process-wide proxy-scores /
-    stratification caches across repeated queries.  None of the three ever
-    changes the query answer, the confidence interval, or the oracle call
-    count.
+    ``config`` is recorded on the plan and carries every physical
+    execution knob: how many records each oracle invocation batch labels
+    (``None`` = whole draw sets at once, ``1`` = strictly sequential), how
+    many workers each batch is sharded across (``None`` = serial), and
+    whether execution may reuse the process-wide proxy-scores /
+    stratification caches across repeated queries (``plan_cache``, default
+    on).  The legacy ``batch_size`` / ``num_workers`` / ``plan_cache``
+    kwargs remain as deprecated aliases.  No knob ever changes the query
+    answer, the confidence interval, or the oracle call count.
     """
     if isinstance(query, str):
         query = parse_query(query)
-    plan = plan_query(
-        query, batch_size=batch_size, num_workers=num_workers, plan_cache=plan_cache
-    )
-    rng = rng or RandomState(seed)
+    try:
+        config = resolve_execution_config(
+            config,
+            "execute_query",
+            batch_size=batch_size,
+            num_workers=num_workers,
+            plan_cache=plan_cache,
+        )
+    except ExecutionConfigError as exc:
+        raise PlanningError(str(exc)) from None
+    plan = plan_query(query, config=config)
+    # Explicit seed wins; otherwise the config's rng policy (historically a
+    # fresh nondeterministic state when neither is given).
+    rng = rng or RandomState(seed if seed is not None else config.seed)
 
     cache_scope = (
         nullcontext() if plan.plan_cache else stratification_cache_disabled()
@@ -325,8 +343,7 @@ def _execute_single_predicate(
         alpha=query.alpha,
         num_bootstrap=num_bootstrap,
         rng=rng,
-        batch_size=plan.batch_size,
-        num_workers=plan.num_workers,
+        config=plan.config,
     )
     return _finalize_scalar(
         query, result, PlanKind.SINGLE_PREDICATE, num_bootstrap, with_ci, rng
@@ -367,8 +384,7 @@ def _execute_multi_predicate(
         alpha=query.alpha,
         num_bootstrap=num_bootstrap,
         rng=rng,
-        batch_size=plan.batch_size,
-        num_workers=plan.num_workers,
+        config=plan.config,
     )
     return _finalize_scalar(
         query, result, PlanKind.MULTI_PREDICATE, num_bootstrap, with_ci, rng
@@ -396,8 +412,7 @@ def _execute_group_by(
             num_strata=num_strata,
             stage1_fraction=stage1_fraction,
             rng=rng,
-            batch_size=plan.batch_size,
-            num_workers=plan.num_workers,
+            config=plan.config,
         )
     else:
         group_result = run_groupby_multi_oracle(
@@ -408,8 +423,7 @@ def _execute_group_by(
             num_strata=num_strata,
             stage1_fraction=stage1_fraction,
             rng=rng,
-            batch_size=plan.batch_size,
-            num_workers=plan.num_workers,
+            config=plan.config,
         )
 
     values = group_result.estimates()

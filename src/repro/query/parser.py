@@ -23,7 +23,7 @@ executed.
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from typing import List, Union
 
 from repro.query.ast import (
     Aggregate,

@@ -9,7 +9,10 @@ The decision tree is small:
 
 ``plan_query`` also performs the query-level validations that do not need
 the binding context (e.g. group-by queries are only supported for AVG /
-PERCENTAGE / COUNT aggregates).
+PERCENTAGE / COUNT aggregates), and validates the plan's physical
+:class:`~repro.engine.config.ExecutionConfig` eagerly so a bad execution
+knob raises a clear :class:`~repro.query.errors.PlanningError` at planning
+time instead of surfacing mid-sampling.
 """
 
 from __future__ import annotations
@@ -18,9 +21,12 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-import numpy as np
-
-from repro.core.parallel import resolve_num_workers
+from repro.engine.config import (
+    UNSET,
+    ExecutionConfig,
+    ExecutionConfigError,
+    resolve_execution_config,
+)
 from repro.query.ast import AggregateKind, PredicateAtom, Query
 from repro.query.errors import PlanningError
 
@@ -37,27 +43,23 @@ class PlanKind(enum.Enum):
 class QueryPlan:
     """The chosen execution strategy plus per-plan annotations.
 
-    ``batch_size`` and ``num_workers`` are the plan's physical-execution
-    hints: how many records the executor labels per oracle invocation batch
-    (``None`` = whole draw sets at once, ``1`` = strictly sequential), and
-    how many workers each batch is sharded across (``None`` = serial).
-    ``plan_cache`` controls whether execution may reuse the process-wide
-    proxy-scores / stratification caches (see
-    :mod:`repro.core.stratification`); disabling it forces every trial to
-    re-score and re-sort, which only matters when proxy score arrays are
-    mutated in place between executions.  All three are pure execution
-    knobs — estimates, CIs and call counts are bit-identical for every
-    value — so the planner records them as part of the physical plan
-    rather than the logical decision tree.
+    ``config`` is the plan's physical-execution half: how many records the
+    executor labels per oracle invocation batch, how many workers each
+    batch is sharded across, whether execution may reuse the process-wide
+    stratification caches, and the rng / progress policies (see
+    :class:`~repro.engine.config.ExecutionConfig`).  All of it is purely
+    physical — estimates, CIs and call counts are bit-identical for every
+    setting — so the planner records it as part of the physical plan
+    rather than the logical decision tree.  The historical ``batch_size``
+    / ``num_workers`` / ``plan_cache`` attributes remain as read-only
+    views of the config.
     """
 
     kind: PlanKind
     query: Query
     atoms: List[PredicateAtom] = field(default_factory=list)
     notes: Dict[str, object] = field(default_factory=dict)
-    batch_size: Optional[int] = None
-    num_workers: Optional[int] = None
-    plan_cache: bool = True
+    config: ExecutionConfig = field(default_factory=ExecutionConfig)
 
     @property
     def budget(self) -> int:
@@ -67,40 +69,47 @@ class QueryPlan:
     def alpha(self) -> float:
         return self.query.alpha
 
+    # -- Legacy knob views ----------------------------------------------------------
+    @property
+    def batch_size(self) -> Optional[int]:
+        return self.config.batch_size
+
+    @property
+    def num_workers(self) -> Optional[int]:
+        return self.config.num_workers
+
+    @property
+    def plan_cache(self) -> bool:
+        return self.config.plan_cache
+
 
 def plan_query(
     query: Query,
-    batch_size: Optional[int] = None,
-    num_workers: Optional[int] = None,
-    plan_cache: bool = True,
+    batch_size=UNSET,
+    num_workers=UNSET,
+    plan_cache=UNSET,
+    config: Optional[ExecutionConfig] = None,
 ) -> QueryPlan:
     """Build a :class:`QueryPlan` for a parsed query.
 
-    ``batch_size``, ``num_workers`` and ``plan_cache`` are attached to the
-    plan as its physical-execution hints and validated here, so a bad knob
-    raises a clear :class:`~repro.query.errors.PlanningError` (a
-    ``QueryError``) at planning time instead of surfacing as a
-    ``ValueError`` from deep inside ``batch_slices`` or the worker-pool
-    layer mid-sampling.
+    ``config`` (an :class:`~repro.engine.config.ExecutionConfig`) is
+    attached to the plan as its physical-execution hints; the legacy
+    ``batch_size`` / ``num_workers`` / ``plan_cache`` kwargs keep working
+    as deprecated aliases.  Validation happens here — through the config's
+    one shared error path — so a bad knob raises a clear
+    :class:`~repro.query.errors.PlanningError` (a ``QueryError``) at
+    planning time instead of surfacing as a ``ValueError`` from deep
+    inside the execution engine mid-sampling.
     """
-    if not isinstance(plan_cache, bool):
-        raise PlanningError(
-            f"plan_cache must be a boolean, got {plan_cache!r}"
-        )
-    if batch_size is not None:
-        if (
-            not isinstance(batch_size, (int, np.integer))
-            or isinstance(batch_size, bool)
-            or batch_size < 1
-        ):
-            raise PlanningError(
-                f"batch_size must be a positive integer or None, got {batch_size!r}"
-            )
-    # Delegate to the engine's own validator so the planner and the sampler
-    # APIs can never drift on what counts as a valid worker knob.
     try:
-        resolve_num_workers(num_workers)
-    except ValueError as exc:
+        config = resolve_execution_config(
+            config,
+            "plan_query",
+            batch_size=batch_size,
+            num_workers=num_workers,
+            plan_cache=plan_cache,
+        )
+    except ExecutionConfigError as exc:
         raise PlanningError(str(exc)) from None
     atoms = query.atoms()
     if not atoms:
@@ -126,19 +135,13 @@ def plan_query(
                 "group_key": group_key,
                 "non_group_atoms": [a.key() for a in mismatched],
             },
-            batch_size=batch_size,
-            num_workers=num_workers,
-            plan_cache=plan_cache,
+            config=config,
         )
 
     if len(atoms) > 1:
         return QueryPlan(
-            kind=PlanKind.MULTI_PREDICATE, query=query, atoms=atoms,
-            batch_size=batch_size, num_workers=num_workers,
-            plan_cache=plan_cache,
+            kind=PlanKind.MULTI_PREDICATE, query=query, atoms=atoms, config=config
         )
     return QueryPlan(
-        kind=PlanKind.SINGLE_PREDICATE, query=query, atoms=atoms,
-        batch_size=batch_size, num_workers=num_workers,
-        plan_cache=plan_cache,
+        kind=PlanKind.SINGLE_PREDICATE, query=query, atoms=atoms, config=config
     )

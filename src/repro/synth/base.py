@@ -9,7 +9,7 @@ measurement.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Sequence
+from typing import Dict, Hashable, List
 
 import numpy as np
 

@@ -18,7 +18,7 @@ six single-predicate queries:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 import numpy as np
 

@@ -1,0 +1,117 @@
+"""Direct unit tests for the allocation solvers in repro.core.allocation.
+
+The minimax solvers and the integerizer used to live as private helpers
+inside ``repro.core.groupby``; they are now first-class members of
+:mod:`repro.core.allocation` with their own contracts.  The group-by
+module keeps compatibility aliases, pinned here too.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.allocation import (
+    bounded_allocation,
+    integerize_allocation,
+    solve_minimax_multi_oracle,
+    solve_minimax_single_oracle,
+)
+
+
+class TestIntegerizeAllocation:
+    def test_sums_to_total(self):
+        weights = np.array([0.2, 0.5, 0.3])
+        for total in (0, 1, 7, 100, 1234):
+            counts = integerize_allocation(weights, total)
+            assert sum(counts) == total
+            assert all(c >= 0 for c in counts)
+
+    def test_proportionality(self):
+        counts = integerize_allocation(np.array([0.1, 0.9]), 1000)
+        assert counts == [100, 900]
+
+    def test_largest_remainder_rounding(self):
+        # 7 * [1/3, 1/3, 1/3] -> floors of 2 each, one remainder unit.
+        counts = integerize_allocation(np.ones(3) / 3, 7)
+        assert sum(counts) == 7
+        assert sorted(counts) == [2, 2, 3]
+
+
+class TestBoundedAllocation:
+    def test_respects_capacities(self):
+        counts = bounded_allocation([0.9, 0.1], total=100, capacities=[30, 200])
+        assert counts[0] <= 30
+        assert sum(counts) == 100
+
+    def test_redistributes_clipped_budget(self):
+        counts = bounded_allocation([1.0, 0.0], total=50, capacities=[10, 100])
+        assert counts == [10, 40]
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="same shape"):
+            bounded_allocation([0.5, 0.5], total=10, capacities=[5])
+
+
+class TestSolveMinimaxSingleOracle:
+    def test_diagonal_symmetric_terms_give_near_uniform_lambda(self):
+        # Each stratification informs only its own group with equal error
+        # (off-diagonal infinite): the unique minimax optimum splits evenly.
+        # (A fully-constant matrix is deliberately NOT tested: there the
+        # inverse-variance combination makes the objective flat in Lambda,
+        # so any point on the simplex is optimal.)
+        error_terms = np.full((3, 3), np.inf)
+        np.fill_diagonal(error_terms, 1.0)
+        lam = solve_minimax_single_oracle(error_terms, n2=300)
+        assert lam.shape == (3,)
+        assert lam.sum() == pytest.approx(1.0)
+        assert np.all(lam >= 0)
+        assert np.allclose(lam, 1.0 / 3.0, atol=0.05)
+
+    def test_noisier_group_receives_more_budget(self):
+        # Stratification 0 is the only useful estimator for every group,
+        # and group 1's error term through it is 9x group 0's; the minimax
+        # solution must tilt Lambda towards the stratification that serves
+        # the worst group.  With one dominant stratification per group:
+        error_terms = np.array(
+            [
+                [1.0, np.inf],
+                [np.inf, 9.0],
+            ]
+        )
+        lam = solve_minimax_single_oracle(error_terms, n2=1000)
+        # Group 1 is 9x harder, so its stratification gets the larger share.
+        assert lam[1] > lam[0]
+        assert lam.sum() == pytest.approx(1.0)
+
+    def test_rejects_non_square_matrix(self):
+        with pytest.raises(ValueError, match="square"):
+            solve_minimax_single_oracle(np.ones((2, 3)), n2=100)
+
+
+class TestSolveMinimaxMultiOracle:
+    def test_equal_errors_split_evenly(self):
+        lam = solve_minimax_multi_oracle(np.array([2.0, 2.0, 2.0, 2.0]), n2=400)
+        assert lam.sum() == pytest.approx(1.0)
+        assert np.allclose(lam, 0.25, atol=0.05)
+
+    def test_allocation_equalizes_worst_case(self):
+        # With per-group isolation the exact optimum gives each group a
+        # share proportional to its error term (equalizing e_g / lam_g).
+        errors = np.array([1.0, 4.0])
+        lam = solve_minimax_multi_oracle(errors, n2=1000)
+        assert lam[1] > lam[0]
+        assert lam[1] / lam[0] == pytest.approx(4.0, rel=0.15)
+
+    def test_rejects_empty_or_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            solve_minimax_multi_oracle(np.ones((2, 2)), n2=10)
+        with pytest.raises(ValueError, match="1-D"):
+            solve_minimax_multi_oracle(np.empty(0), n2=10)
+
+
+class TestGroupbyCompatibilityAliases:
+    def test_private_names_still_importable(self):
+        from repro.core import groupby
+
+        assert groupby._solve_minimax_single_oracle is solve_minimax_single_oracle
+        assert groupby._solve_minimax_multi_oracle is solve_minimax_multi_oracle
+        assert groupby._integerize is integerize_allocation

@@ -1,6 +1,5 @@
 """Tests for repro.core.adaptive (sequential ABae and until-width driver)."""
 
-import numpy as np
 import pytest
 
 from repro.core.adaptive import run_abae_sequential, run_abae_until_width

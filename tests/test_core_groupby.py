@@ -1,6 +1,5 @@
 """Tests for repro.core.groupby (ABae-GroupBy)."""
 
-import numpy as np
 import pytest
 
 from repro.core.groupby import (

@@ -9,7 +9,7 @@ from repro.core.proxy_selection import (
     rank_proxies,
     select_proxy,
 )
-from repro.proxy.noise import BetaNoiseProxy, NoisyLabelProxy, RandomProxy
+from repro.proxy.noise import NoisyLabelProxy, RandomProxy
 from repro.stats.rng import RandomState
 
 

@@ -6,7 +6,6 @@ definitions), not statistical significance — that is what the benchmark
 suite and the integration tests cover.
 """
 
-import numpy as np
 import pytest
 
 from repro.experiments.config import ExperimentConfig, MethodCurve, SweepResult

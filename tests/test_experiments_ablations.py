@@ -2,7 +2,7 @@
 
 import pytest
 
-import repro.core.abae as abae_module
+import repro.core.allocation as allocation_module
 from repro.experiments.ablations import (
     ablate_allocation_rule,
     ablate_sequential,
@@ -34,9 +34,11 @@ class TestAblateAllocationRule:
         assert set(results) == {"sqrt_p_sigma", "neyman_p_sigma", "even_split"}
 
     def test_restores_allocation_hook(self, scenario):
-        original = abae_module.allocation_from_estimates
+        # The engine's two-stage policy resolves the rule through
+        # repro.core.allocation, which is where the ablation patches it.
+        original = allocation_module.allocation_from_estimates
         ablate_allocation_rule(scenario, budget=600, trials=2, seed=4)
-        assert abae_module.allocation_from_estimates is original
+        assert allocation_module.allocation_from_estimates is original
 
     def test_paper_rule_competitive(self, scenario):
         results = ablate_allocation_rule(scenario, budget=1500, trials=8, seed=5)

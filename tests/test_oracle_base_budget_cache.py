@@ -1,6 +1,5 @@
 """Tests for repro.oracle.base, repro.oracle.budget and repro.oracle.cache."""
 
-import numpy as np
 import pytest
 
 from repro.oracle.base import StatisticOracle

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.query.ast import AggregateKind
 from repro.query.errors import BindingError, PlanningError
 from repro.query.exact import exact_answer
 from repro.query.executor import GroupBinding, QueryContext, execute_query

@@ -1,6 +1,5 @@
 """Tests for repro.stats.metrics."""
 
-import numpy as np
 import pytest
 
 from repro.stats.metrics import (

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.dataset.catalog import Catalog
-from repro.synth.base import GroupByScenario, MultiPredicateScenario, Scenario
+from repro.synth.base import GroupByScenario, MultiPredicateScenario
 from repro.synth.datasets import (
     DATASET_NAMES,
     DATASET_SPECS,
