@@ -15,6 +15,9 @@ The package is organized as:
   planner/executor;
 * :mod:`repro.dataset`, :mod:`repro.oracle`, :mod:`repro.proxy` — the data,
   expensive-predicate and proxy-model substrates;
+* :mod:`repro.data` — pluggable dataset storage behind the samplers:
+  dense in-memory (default), memory-mapped and chunked out-of-core
+  backends with bit-identical results (see docs/DATA_BACKENDS.md);
 * :mod:`repro.stats`, :mod:`repro.optim` — statistics and optimization
   building blocks;
 * :mod:`repro.synth` — synthetic emulators of the paper's six datasets;
@@ -70,10 +73,11 @@ from repro.core import (
     run_uniform,
     select_proxy,
 )
+from repro.data import ChunkedBackend, DatasetBackend, InMemoryBackend, MmapBackend
 from repro.engine import ExecutionConfig, SamplingPipeline, SamplingSession
 from repro.query import execute_query, parse_query
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ABae",
@@ -98,6 +102,10 @@ __all__ = [
     "ExecutionConfig",
     "SamplingPipeline",
     "SamplingSession",
+    "DatasetBackend",
+    "InMemoryBackend",
+    "MmapBackend",
+    "ChunkedBackend",
     "execute_query",
     "parse_query",
     "__version__",

@@ -120,6 +120,7 @@ def run_abae(
     config = resolve_execution_config(
         config,
         "run_abae",
+        stacklevel=3,
         batch_size=batch_size,
         num_workers=num_workers,
         parallel_backend=parallel_backend,
@@ -180,6 +181,7 @@ class ABae:
         self.config = resolve_execution_config(
             config,
             "ABae",
+            stacklevel=3,
             batch_size=batch_size,
             num_workers=num_workers,
             parallel_backend=parallel_backend,
@@ -237,6 +239,7 @@ class ABae:
         run_config = resolve_execution_config(
             config,
             "ABae.estimate",
+            stacklevel=3,
             default=self.config,
             batch_size=batch_size,
             num_workers=num_workers,

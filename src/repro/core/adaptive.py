@@ -74,6 +74,7 @@ def run_abae_sequential(
     config = resolve_execution_config(
         config,
         "run_abae_sequential",
+        stacklevel=3,
         batch_size=oracle_batch_size,
         num_workers=num_workers,
         parallel_backend=parallel_backend,
@@ -121,6 +122,7 @@ def run_abae_until_width(
     config = resolve_execution_config(
         config,
         "run_abae_until_width",
+        stacklevel=3,
         batch_size=oracle_batch_size,
         num_workers=num_workers,
         parallel_backend=parallel_backend,

@@ -217,6 +217,16 @@ def solve_minimax_single_oracle(error_terms: np.ndarray, n2: int) -> np.ndarray:
     single-oracle setting reveals each drawn record's group key), so a
     group's combined variance is the inverse-variance combination across
     stratifications and the objective is the worst group's.
+
+    Degenerate groups are excluded from the worst-case before the solver
+    runs: a group whose every S term is non-finite (no positives drawn
+    anywhere — the empty-group case) cannot be helped by *any*
+    allocation, and a group with a zero S term is already estimated with
+    zero variance.  Pre-guard, either case froze the objective at a
+    constant (``inf``), starving the Nelder–Mead simplex of any descent
+    signal — it churned through inf-inf = NaN arithmetic for the full
+    iteration budget and returned an arbitrary Λ.  When no informative
+    group remains the allocation falls back to uniform.
     """
     from repro.optim.simplex import minimize_on_simplex
 
@@ -227,15 +237,26 @@ def solve_minimax_single_oracle(error_terms: np.ndarray, n2: int) -> np.ndarray:
             f"got shape {error_terms.shape}"
         )
     num_groups = error_terms.shape[0]
+    finite = np.isfinite(error_terms)
+    # A group is informative when some stratification holds a finite,
+    # positive S term (zero terms mean zero variance: nothing to optimize).
+    informative = [
+        g
+        for g in range(num_groups)
+        if bool(np.any(finite[:, g] & (error_terms[:, g] > 0)))
+    ]
+    if not informative:
+        return np.full(num_groups, 1.0 / num_groups)
 
     def objective(lam: np.ndarray) -> float:
         worst = 0.0
-        for g in range(num_groups):
+        for g in informative:
             inverse_sum = 0.0
             for l in range(num_groups):
-                variance = error_terms[l, g] / max(lam[l] * n2, _EPS)
-                if variance <= 0 or not np.isfinite(variance):
+                term = error_terms[l, g]
+                if not np.isfinite(term) or term <= 0:
                     continue
+                variance = term / max(lam[l] * n2, _EPS)
                 inverse_sum += 1.0 / variance
             combined = 1.0 / inverse_sum if inverse_sum > 0 else float("inf")
             worst = max(worst, combined)
@@ -252,6 +273,11 @@ def solve_minimax_multi_oracle(error_terms: np.ndarray, n2: int) -> np.ndarray:
     oracles a sample drawn for one group informs no other, so each group's
     variance depends only on its own budget share and the objective is the
     worst single group.
+
+    As in the single-oracle solver, groups whose S term is non-finite
+    (empty / all-negative groups no allocation can help) are excluded
+    from the worst-case so they cannot freeze the objective at a
+    constant ``inf``; with no informative group left, Λ is uniform.
     """
     from repro.optim.simplex import minimize_on_simplex
 
@@ -262,10 +288,17 @@ def solve_minimax_multi_oracle(error_terms: np.ndarray, n2: int) -> np.ndarray:
             f"{error_terms.shape}"
         )
     num_groups = error_terms.shape[0]
+    informative = [
+        g
+        for g in range(num_groups)
+        if np.isfinite(error_terms[g]) and error_terms[g] > 0
+    ]
+    if not informative:
+        return np.full(num_groups, 1.0 / num_groups)
 
     def objective(lam: np.ndarray) -> float:
         worst = 0.0
-        for g in range(num_groups):
+        for g in informative:
             variance = error_terms[g] / max(lam[g] * n2, _EPS)
             worst = max(worst, variance)
         return worst

@@ -308,6 +308,7 @@ def run_groupby_single_oracle(
     config = resolve_execution_config(
         config,
         "run_groupby_single_oracle",
+        stacklevel=3,
         batch_size=batch_size,
         num_workers=num_workers,
         parallel_backend=parallel_backend,
@@ -500,6 +501,7 @@ def run_groupby_multi_oracle(
     config = resolve_execution_config(
         config,
         "run_groupby_multi_oracle",
+        stacklevel=3,
         batch_size=batch_size,
         num_workers=num_workers,
         parallel_backend=parallel_backend,

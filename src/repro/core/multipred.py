@@ -30,7 +30,7 @@ from repro.engine.builders import multipred_pipeline
 from repro.engine.config import UNSET, ExecutionConfig, resolve_execution_config
 from repro.oracle.base import Oracle
 from repro.oracle.composite import AndOracle, NotOracle, OrOracle
-from repro.proxy.base import PrecomputedProxy, Proxy
+from repro.proxy.base import Proxy
 from repro.stats.rng import RandomState
 
 __all__ = ["PredicateExpr", "PredicateLeaf", "And", "Or", "Not", "run_abae_multipred"]
@@ -82,12 +82,11 @@ class PredicateLeaf(PredicateExpr):
     """A single expensive predicate with its proxy and oracle."""
 
     def __init__(self, proxy: Union[Proxy, Sequence[float]], oracle, name: str = None):
-        if isinstance(proxy, Proxy):
-            self._proxy = proxy
-        else:
-            self._proxy = PrecomputedProxy(
-                np.asarray(proxy, dtype=float), name=name or "leaf_proxy"
-            )
+        from repro.engine.builders import as_proxy
+
+        # Proxies pass through; raw scores and dataset-backend column
+        # handles are wrapped (PrecomputedProxy / BackedProxy).
+        self._proxy = as_proxy(proxy, name=name or "leaf_proxy")
         self._oracle = oracle
         self._name = name or getattr(oracle, "name", "predicate")
 
@@ -227,6 +226,7 @@ def run_abae_multipred(
     config = resolve_execution_config(
         config,
         "run_abae_multipred",
+        stacklevel=3,
         batch_size=batch_size,
         num_workers=num_workers,
         parallel_backend=parallel_backend,

@@ -223,8 +223,17 @@ class Stratification:
         re-wrapped in fresh arrays or proxies per trial — share one
         stratification.  Hashing is O(n) with a tiny constant; the sort,
         split and constructor validation it saves are the expensive parts.
+
+        ``scores`` may also be a dataset-backend column handle (see
+        :mod:`repro.data`): the column is materialized for the sort — one
+        float column is the irreducible working set of quantile
+        stratification — and because the cache key is the *content*
+        fingerprint, the same scores served by different backends (dense,
+        mmap, chunked) correctly share a single cached stratification.
         """
-        arr = np.asarray(scores, dtype=float)
+        from repro.data.backend import as_dense
+
+        arr = as_dense(scores, dtype=float)
         if arr.ndim != 1 or arr.size == 0:
             raise ValueError("scores must be a non-empty 1-D array")
         if num_strata <= 0:

@@ -49,6 +49,7 @@ def run_uniform(
     config = resolve_execution_config(
         config,
         "run_uniform",
+        stacklevel=3,
         batch_size=batch_size,
         num_workers=num_workers,
         parallel_backend=parallel_backend,
@@ -84,6 +85,7 @@ class UniformSampler:
         self.config = resolve_execution_config(
             config,
             "UniformSampler",
+            stacklevel=3,
             batch_size=batch_size,
             num_workers=num_workers,
             parallel_backend=parallel_backend,
@@ -121,6 +123,7 @@ class UniformSampler:
         run_config = resolve_execution_config(
             config,
             "UniformSampler.estimate",
+            stacklevel=3,
             default=self.config,
             batch_size=batch_size,
             num_workers=num_workers,

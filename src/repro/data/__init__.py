@@ -1,0 +1,51 @@
+"""Pluggable dataset storage: in-memory, memory-mapped and chunked backends.
+
+The sampling engine reads three kinds of per-record columns — proxy
+scores, statistic values and oracle answer columns.  This package owns
+*where those columns live*:
+
+* :class:`InMemoryBackend` — dense ndarrays (today's behaviour, the
+  default);
+* :class:`MmapBackend` — ``np.memmap`` over an on-disk column directory,
+  residency managed by the OS page cache;
+* :class:`ChunkedBackend` — fixed-size shards with an explicit LRU of
+  resident chunks, for datasets far larger than RAM.
+
+All three serve the same :class:`DatasetBackend` / :class:`ColumnHandle`
+protocol and return bit-identical values, so sampler draws, estimates and
+oracle accounting are invariant to the storage choice — the contract
+``tests/test_backend_parity.py`` pins across the equivalence-harness
+grid.  See ``docs/DATA_BACKENDS.md`` for the protocol, the ingest CLI
+and the memory-envelope expectations.
+"""
+
+from repro.data.backend import (
+    ArrayColumnHandle,
+    ColumnHandle,
+    DatasetBackend,
+    InMemoryBackend,
+    as_dense,
+    is_column_handle,
+)
+from repro.data.chunked import DEFAULT_CHUNK_SIZE, ChunkedBackend, ChunkedColumnHandle
+from repro.data.diskio import ColumnDirWriter, read_manifest, write_column_dir
+from repro.data.ingest import ingest_scenario
+from repro.data.mmap import MmapBackend, MmapColumnHandle
+
+__all__ = [
+    "ColumnHandle",
+    "DatasetBackend",
+    "ArrayColumnHandle",
+    "InMemoryBackend",
+    "MmapBackend",
+    "MmapColumnHandle",
+    "ChunkedBackend",
+    "ChunkedColumnHandle",
+    "DEFAULT_CHUNK_SIZE",
+    "ColumnDirWriter",
+    "write_column_dir",
+    "read_manifest",
+    "ingest_scenario",
+    "as_dense",
+    "is_column_handle",
+]

@@ -1,0 +1,302 @@
+"""The dataset-backend protocol and its dense in-memory implementation.
+
+ABae's premise is that the *oracle* is the expensive resource while the
+dataset scan is cheap — but "cheap" only holds while every column (proxy
+scores, statistic values, oracle answer columns) fits in RAM as a dense
+ndarray.  This module makes the storage behind those columns pluggable:
+
+* :class:`ColumnHandle` — one named, typed, 1-D column, read through two
+  operations: ``gather(indices)`` (a dense fancy-index of a subset, the
+  samplers' access pattern) and ``to_numpy()`` (the full column, for the
+  few consumers — stratification, proxy validation — that genuinely need
+  every value).
+* :class:`DatasetBackend` — a named collection of equal-length column
+  handles.  :class:`InMemoryBackend` (here) is today's dense behaviour
+  and the default; :class:`repro.data.mmap.MmapBackend` and
+  :class:`repro.data.chunked.ChunkedBackend` serve the same protocol
+  from an on-disk column directory.
+
+Determinism contract
+--------------------
+Backends are *storage*, never semantics: for the same logical column
+values, every backend returns bit-identical arrays from ``gather`` and
+``to_numpy``, so sampler draws, estimates, CIs and oracle accounting are
+bit-identical across backends (pinned by ``tests/test_backend_parity.py``
+over the equivalence-harness grid).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Mapping, Sequence
+
+import numpy as np
+
+__all__ = [
+    "ColumnHandle",
+    "DatasetBackend",
+    "ArrayColumnHandle",
+    "InMemoryBackend",
+    "is_column_handle",
+    "as_dense",
+]
+
+
+def is_column_handle(obj) -> bool:
+    """Whether ``obj`` is a backend column (vs a raw array / callable)."""
+    return isinstance(obj, ColumnHandle)
+
+
+def as_dense(values, dtype=None) -> np.ndarray:
+    """Materialize column handles; pass arrays through ``np.asarray``.
+
+    The adapter the existing dense code paths use at their boundaries:
+    consumers that genuinely need the whole column (stratification sorts,
+    ground-truth evaluation) call this once, everything else stays on
+    ``gather``.
+    """
+    if isinstance(values, ColumnHandle):
+        arr = values.to_numpy()
+        return arr if dtype is None else np.asarray(arr, dtype=dtype)
+    return np.asarray(values) if dtype is None else np.asarray(values, dtype=dtype)
+
+
+class ColumnHandle(abc.ABC):
+    """One named, typed, 1-D column served by a dataset backend.
+
+    Handles deliberately do **not** implement ``__array__``: silently
+    materializing an out-of-core column through ``np.asarray`` is exactly
+    the trap this layer exists to remove.  Use :meth:`gather` for subsets
+    and :meth:`to_numpy` when the full column is genuinely required.
+    """
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """The column's name within its backend."""
+
+    @property
+    @abc.abstractmethod
+    def dtype(self) -> np.dtype:
+        """The column's element dtype."""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Number of records in the column."""
+
+    @abc.abstractmethod
+    def gather(self, record_indices: Sequence[int]) -> np.ndarray:
+        """Dense values for the given record indices, in request order.
+
+        Negative indices follow NumPy semantics; out-of-range indices
+        raise ``IndexError``.  The returned array is freshly allocated
+        (or a read-only view for in-memory full-range gathers) and always
+        dense, whatever the storage.
+        """
+
+    @abc.abstractmethod
+    def to_numpy(self) -> np.ndarray:
+        """The full column as an ndarray.
+
+        In-memory backends return their (read-only) array; the mmap
+        backend returns the lazily-paged memmap view; the chunked backend
+        materializes — callers should reach for this only when they truly
+        need every value.
+        """
+
+    @property
+    def nbytes(self) -> int:
+        """Logical dense size of the column in bytes."""
+        return len(self) * self.dtype.itemsize
+
+    def _normalize_indices(self, record_indices: Sequence[int]) -> np.ndarray:
+        """Validate and canonicalize gather indices (shared by backends)."""
+        idx = np.asarray(record_indices, dtype=np.int64)
+        if idx.ndim != 1:
+            raise ValueError(
+                f"gather indices must be one-dimensional, got shape {idx.shape}"
+            )
+        n = len(self)
+        if idx.size:
+            lo, hi = int(idx.min()), int(idx.max())
+            if lo < -n or hi >= n:
+                raise IndexError(
+                    f"gather index out of range for column {self.name!r} "
+                    f"with {n} records"
+                )
+            if lo < 0:
+                idx = np.where(idx < 0, idx + n, idx)
+        return idx
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}({self.name!r}, n={len(self)}, "
+            f"dtype={self.dtype})"
+        )
+
+
+class ArrayColumnHandle(ColumnHandle):
+    """A column handle over a dense in-memory ndarray (read-only)."""
+
+    def __init__(self, name: str, values: np.ndarray):
+        if not name:
+            raise ValueError("column name must be non-empty")
+        arr = np.asarray(values)
+        if arr.ndim != 1:
+            raise ValueError(
+                f"column {name!r} must be one-dimensional, got shape {arr.shape}"
+            )
+        if arr.dtype.kind == "O":
+            raise ValueError(
+                f"column {name!r}: object dtype is not supported by dataset "
+                "backends; encode keys as fixed-width strings or integer codes"
+            )
+        if arr is values or not arr.flags.owndata:
+            arr = arr.copy()
+        arr.setflags(write=False)
+        self._name = name
+        self._values = arr
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._values.dtype
+
+    def __len__(self) -> int:
+        return int(self._values.shape[0])
+
+    def gather(self, record_indices: Sequence[int]) -> np.ndarray:
+        return self._values[self._normalize_indices(record_indices)]
+
+    def to_numpy(self) -> np.ndarray:
+        return self._values
+
+
+class DatasetBackend(abc.ABC):
+    """A named collection of equal-length columns behind one storage scheme."""
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Human-readable backend/dataset name."""
+
+    @property
+    @abc.abstractmethod
+    def num_records(self) -> int:
+        """Number of records (rows) in every column."""
+
+    @abc.abstractmethod
+    def column_names(self) -> List[str]:
+        """The available column names."""
+
+    @abc.abstractmethod
+    def column(self, column_name: str) -> ColumnHandle:
+        """The named column handle (``KeyError`` with the available names)."""
+
+    def __contains__(self, column_name: str) -> bool:
+        return column_name in self.column_names()
+
+    def __len__(self) -> int:
+        return self.num_records
+
+    @property
+    def nbytes(self) -> int:
+        """Logical *dense* footprint of the whole dataset in bytes.
+
+        This is what the data would occupy fully materialized in RAM —
+        the denominator of every out-of-core RSS claim — independent of
+        how (or whether) the backend actually holds it resident.
+        """
+        return sum(self.column(c).nbytes for c in self.column_names())
+
+    def describe(self) -> Dict[str, object]:
+        """Summary dict used by the ingest CLI and benchmark reports."""
+        return {
+            "name": self.name,
+            "kind": type(self).__name__,
+            "num_records": self.num_records,
+            "columns": {
+                c: str(self.column(c).dtype) for c in self.column_names()
+            },
+            "dense_nbytes": self.nbytes,
+        }
+
+    def close(self) -> None:
+        """Release any open resources (default: nothing to release)."""
+
+    def _missing_column(self, column_name: str) -> KeyError:
+        available = ", ".join(sorted(self.column_names()))
+        return KeyError(
+            f"backend {self.name!r} has no column {column_name!r}; "
+            f"available columns: {available}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}({self.name!r}, records={self.num_records}, "
+            f"columns={self.column_names()})"
+        )
+
+
+class InMemoryBackend(DatasetBackend):
+    """Today's dense ndarray storage behind the backend protocol (default).
+
+    Wrapping existing arrays costs one read-only copy per column at
+    construction; every ``gather`` afterwards is a plain fancy index, so
+    samplers running through an :class:`InMemoryBackend` are bit-identical
+    to (and as fast as) the raw-array paths they replace.
+    """
+
+    def __init__(self, columns: Mapping[str, Sequence], name: str = "memory"):
+        if not columns:
+            raise ValueError("a backend requires at least one column")
+        handles: Dict[str, ColumnHandle] = {}
+        for col_name, values in columns.items():
+            handles[col_name] = (
+                values
+                if isinstance(values, ColumnHandle)
+                else ArrayColumnHandle(col_name, values)
+            )
+        lengths = {len(h) for h in handles.values()}
+        if len(lengths) != 1:
+            raise ValueError(
+                f"all columns must have the same length, got lengths "
+                f"{sorted(lengths)}"
+            )
+        self._name = name
+        self._columns = handles
+        self._num_records = lengths.pop()
+
+    @classmethod
+    def from_table(cls, table, name: str = None) -> "InMemoryBackend":
+        """Wrap a :class:`repro.dataset.table.Table`'s numeric columns."""
+        columns = {
+            col_name: table.values(col_name)
+            for col_name in table.column_names
+            if np.asarray(table.values(col_name)).dtype.kind != "O"
+        }
+        if not columns:
+            raise ValueError(
+                f"table {table.name!r} has no numeric/boolean columns to back"
+            )
+        return cls(columns, name=name if name is not None else table.name)
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def num_records(self) -> int:
+        return self._num_records
+
+    def column_names(self) -> List[str]:
+        return list(self._columns.keys())
+
+    def column(self, column_name: str) -> ColumnHandle:
+        try:
+            return self._columns[column_name]
+        except KeyError:
+            raise self._missing_column(column_name) from None

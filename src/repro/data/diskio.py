@@ -1,0 +1,247 @@
+"""The on-disk column-directory format shared by the out-of-core backends.
+
+One dataset is one directory::
+
+    dataset/
+      manifest.json        # format tag, record count, column schema
+      statistic.bin        # raw C-order element bytes, one file per column
+      proxy_score.bin
+      label.bin
+
+Column files hold nothing but the elements' raw bytes (the dtype — with
+its byte order — lives in the manifest), so both readers are trivial:
+:class:`repro.data.mmap.MmapBackend` maps each file directly and
+:class:`repro.data.chunked.ChunkedBackend` reads fixed-size element
+ranges with ``np.fromfile``.  The format is append-friendly by
+construction — :class:`ColumnDirWriter` streams batches straight to the
+column files and writes the manifest last — which is what lets the ingest
+CLI build datasets much larger than RAM without ever materializing them.
+
+Object-dtype columns are rejected with a pointed error: out-of-core
+storage needs fixed-width elements.  Encode group keys as fixed-width
+strings (``"<U8"``) or integer codes before ingest.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+__all__ = [
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "MANIFEST_NAME",
+    "ColumnDirWriter",
+    "write_column_dir",
+    "read_manifest",
+    "column_file",
+]
+
+FORMAT_NAME = "repro-columns"
+FORMAT_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+
+PathLike = Union[str, Path]
+
+
+def _element_array(name: str, values: Sequence) -> np.ndarray:
+    """Validate one batch of column values for on-disk storage."""
+    arr = np.asarray(values)
+    if arr.ndim != 1:
+        raise ValueError(
+            f"column {name!r} must be one-dimensional, got shape {arr.shape}"
+        )
+    if arr.dtype.kind == "O":
+        raise ValueError(
+            f"column {name!r}: object dtype cannot be stored out-of-core; "
+            "encode keys as fixed-width strings (e.g. '<U8') or integer codes"
+        )
+    return np.ascontiguousarray(arr)
+
+
+def column_file(directory: PathLike, column_name: str) -> Path:
+    """The raw-bytes file backing one column."""
+    return Path(directory) / f"{column_name}.bin"
+
+
+def read_manifest(directory: PathLike) -> Dict:
+    """Load and validate a column directory's manifest."""
+    directory = Path(directory)
+    path = directory / MANIFEST_NAME
+    if not path.is_file():
+        raise FileNotFoundError(
+            f"{directory} is not a column directory (missing {MANIFEST_NAME}); "
+            "create one with ColumnDirWriter or scripts/ingest_dataset.py"
+        )
+    manifest = json.loads(path.read_text())
+    if manifest.get("format") != FORMAT_NAME:
+        raise ValueError(
+            f"{path} is not a {FORMAT_NAME} manifest "
+            f"(format={manifest.get('format')!r})"
+        )
+    if manifest.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported column-directory version {manifest.get('version')!r}; "
+            f"this reader understands version {FORMAT_VERSION}"
+        )
+    for col_name, spec in manifest["columns"].items():
+        file = column_file(directory, col_name)
+        expected = manifest["num_records"] * np.dtype(spec["dtype"]).itemsize
+        if not file.is_file():
+            raise FileNotFoundError(f"column file missing: {file}")
+        actual = file.stat().st_size
+        if actual != expected:
+            raise ValueError(
+                f"column file {file} holds {actual} bytes, expected {expected} "
+                f"({manifest['num_records']} x {spec['dtype']}); the directory "
+                "is truncated or was written with a different schema"
+            )
+    return manifest
+
+
+class ColumnDirWriter:
+    """Streaming writer for a column directory.
+
+    The schema (column names and dtypes) is fixed by the first
+    :meth:`append`; every batch appends its raw bytes to the per-column
+    files, and :meth:`finalize` writes the manifest.  Peak memory is one
+    batch, never the dataset — the property the ingest CLI and the RSS
+    benchmark rely on.  Usable as a context manager (finalizes on clean
+    exit)::
+
+        with ColumnDirWriter(path) as writer:
+            for batch in batches:          # {"col": array, ...}
+                writer.append(batch)
+    """
+
+    def __init__(self, directory: PathLike, name: str = None, overwrite: bool = False):
+        self._directory = Path(directory)
+        if self._directory.exists():
+            if (self._directory / MANIFEST_NAME).exists() and not overwrite:
+                raise FileExistsError(
+                    f"{self._directory} already holds a column directory; "
+                    "pass overwrite=True to replace it"
+                )
+        self._directory.mkdir(parents=True, exist_ok=True)
+        self._name = name if name is not None else self._directory.name
+        self._dtypes: Optional[Dict[str, str]] = None
+        self._num_records = 0
+        self._finalized = False
+
+    @property
+    def directory(self) -> Path:
+        return self._directory
+
+    @property
+    def num_records(self) -> int:
+        """Records appended so far."""
+        return self._num_records
+
+    def append(self, batch: Mapping[str, Sequence]) -> None:
+        """Append one batch: a mapping of column name -> equal-length values."""
+        if self._finalized:
+            raise RuntimeError("writer is finalized; no further appends allowed")
+        if not batch:
+            raise ValueError("a batch requires at least one column")
+        arrays = {
+            col_name: _element_array(col_name, values)
+            for col_name, values in batch.items()
+        }
+        lengths = {arr.shape[0] for arr in arrays.values()}
+        if len(lengths) != 1:
+            raise ValueError(
+                f"batch columns must have the same length, got {sorted(lengths)}"
+            )
+        batch_len = lengths.pop()
+        if self._dtypes is None:
+            self._dtypes = {
+                col_name: arr.dtype.str for col_name, arr in arrays.items()
+            }
+            for col_name in arrays:
+                # Truncate any stale column files from an overwritten dir.
+                column_file(self._directory, col_name).write_bytes(b"")
+        elif set(arrays) != set(self._dtypes):
+            raise ValueError(
+                f"batch columns {sorted(arrays)} do not match the schema "
+                f"fixed by the first batch {sorted(self._dtypes)}"
+            )
+        for col_name, arr in arrays.items():
+            expected = np.dtype(self._dtypes[col_name])
+            if arr.dtype != expected:
+                # Widen within kind (int batches into a float column, bool
+                # into bool) but refuse silent cross-kind coercion.
+                try:
+                    arr = arr.astype(expected, casting="same_kind")
+                except TypeError:
+                    raise ValueError(
+                        f"column {col_name!r}: batch dtype {arr.dtype} is "
+                        f"incompatible with the schema dtype {expected}"
+                    ) from None
+            with column_file(self._directory, col_name).open("ab") as handle:
+                handle.write(arr.tobytes())
+        self._num_records += int(batch_len)
+
+    def finalize(self) -> Path:
+        """Write the manifest; returns the directory path."""
+        if self._finalized:
+            return self._directory
+        if self._dtypes is None or self._num_records == 0:
+            raise ValueError("cannot finalize an empty column directory")
+        manifest = {
+            "format": FORMAT_NAME,
+            "version": FORMAT_VERSION,
+            "name": self._name,
+            "num_records": self._num_records,
+            "columns": {
+                col_name: {"dtype": dtype_str, "file": f"{col_name}.bin"}
+                for col_name, dtype_str in self._dtypes.items()
+            },
+        }
+        (self._directory / MANIFEST_NAME).write_text(
+            json.dumps(manifest, indent=2) + "\n"
+        )
+        self._finalized = True
+        return self._directory
+
+    def __enter__(self) -> "ColumnDirWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.finalize()
+
+
+def write_column_dir(
+    directory: PathLike,
+    columns: Mapping[str, Sequence],
+    name: str = None,
+    overwrite: bool = False,
+    batch_rows: int = 262_144,
+) -> Path:
+    """One-shot export of in-memory columns to a column directory.
+
+    Streams ``batch_rows``-sized slices through :class:`ColumnDirWriter`
+    so even a large export never doubles its memory.
+    """
+    arrays = {
+        col_name: _element_array(col_name, values)
+        for col_name, values in columns.items()
+    }
+    if not arrays:
+        raise ValueError("write_column_dir requires at least one column")
+    lengths = {arr.shape[0] for arr in arrays.values()}
+    if len(lengths) != 1:
+        raise ValueError(
+            f"all columns must have the same length, got {sorted(lengths)}"
+        )
+    total = lengths.pop()
+    with ColumnDirWriter(directory, name=name, overwrite=overwrite) as writer:
+        for start in range(0, total, batch_rows):
+            stop = min(start + batch_rows, total)
+            writer.append(
+                {col_name: arr[start:stop] for col_name, arr in arrays.items()}
+            )
+    return Path(directory)

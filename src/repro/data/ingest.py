@@ -1,0 +1,83 @@
+"""Ingestion: turn generated scenarios into on-disk column directories.
+
+Shared by ``scripts/ingest_dataset.py`` (the CLI) and
+``scripts/bench_backends.py`` (which ingests its 1M-record fixture).  The
+scenario's *base* columns (statistic, proxy score, hidden label) are
+streamed shard by shard; optional *payload* columns — stand-ins for the
+wide per-record features real datasets carry (embeddings, raw measures) —
+are generated per shard with their own deterministic streams, so the
+dataset on disk can be arbitrarily wider than the ingesting process's
+memory.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.data.diskio import ColumnDirWriter, read_manifest
+from repro.stats.rng import RandomState, derive_seed
+
+__all__ = ["ingest_scenario", "DEFAULT_SHARD_ROWS"]
+
+DEFAULT_SHARD_ROWS = 131_072
+
+PathLike = Union[str, Path]
+
+
+def _payload_shard(
+    seed: int, column_index: int, shard_index: int, rows: int
+) -> np.ndarray:
+    """One payload column's values for one shard, deterministically.
+
+    Keyed on (seed, column, shard) so any shard can be (re)generated
+    independently, in any order, without holding the column densely.
+    """
+    rng = RandomState(derive_seed(seed, "payload", column_index, shard_index))
+    return rng.normal(0.0, 1.0, rows)
+
+
+def ingest_scenario(
+    dataset: str,
+    out: PathLike,
+    size: int,
+    seed: int = 0,
+    shard_rows: int = DEFAULT_SHARD_ROWS,
+    payload_columns: int = 0,
+    overwrite: bool = False,
+) -> Dict:
+    """Generate the named dataset and stream it into a column directory.
+
+    Returns the written manifest (as re-read from disk, so the caller
+    sees exactly what a backend will open).  ``payload_columns`` appends
+    that many float64 ``payload_<i>`` columns, generated shard-wise.
+    """
+    from repro.synth import make_dataset
+
+    if shard_rows < 1:
+        raise ValueError(f"shard_rows must be positive, got {shard_rows}")
+    if payload_columns < 0:
+        raise ValueError(
+            f"payload_columns must be non-negative, got {payload_columns}"
+        )
+    scenario = make_dataset(dataset, seed=seed, size=size)
+    statistic = np.asarray(scenario.statistic_values, dtype=float)
+    scores = np.asarray(scenario.proxy.scores(), dtype=float)
+    labels = np.asarray(scenario.labels, dtype=bool)
+
+    with ColumnDirWriter(out, name=scenario.name, overwrite=overwrite) as writer:
+        for shard_index, start in enumerate(range(0, size, shard_rows)):
+            stop = min(start + shard_rows, size)
+            batch = {
+                "statistic": statistic[start:stop],
+                "proxy_score": scores[start:stop],
+                "label": labels[start:stop],
+            }
+            for c in range(payload_columns):
+                batch[f"payload_{c}"] = _payload_shard(
+                    seed, c, shard_index, stop - start
+                )
+            writer.append(batch)
+    return read_manifest(out)

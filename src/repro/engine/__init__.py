@@ -52,7 +52,7 @@ from repro.engine.builders import (
     uniform_pipeline,
     until_width_pipeline,
 )
-from repro.engine.session import SamplingSession
+from repro.engine.session import CheckpointError, SamplingSession
 
 __all__ = [
     "UNSET",
@@ -65,6 +65,7 @@ __all__ = [
     "PipelineState",
     "SamplingPipeline",
     "SamplingSession",
+    "CheckpointError",
     "StratifiedEstimator",
     "StratumPool",
     "draw_stratum_sample",

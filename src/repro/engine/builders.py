@@ -58,9 +58,20 @@ __all__ = [
 
 
 def as_proxy(proxy: Union[Proxy, Sequence[float]], name: str = "scores") -> Proxy:
-    """Wrap a raw score vector as a :class:`Proxy` (pass proxies through)."""
+    """Wrap raw scores or a backend column as a :class:`Proxy`.
+
+    Proxies pass through; dataset-backend column handles wrap in a
+    :class:`~repro.proxy.base.BackedProxy` (scores gathered through the
+    backend); anything else is treated as a dense score vector.
+    """
     if isinstance(proxy, Proxy):
         return proxy
+    from repro.data.backend import is_column_handle
+
+    if is_column_handle(proxy):
+        from repro.proxy.base import BackedProxy
+
+        return BackedProxy(proxy, name=name)
     return PrecomputedProxy(np.asarray(proxy, dtype=float), name=name)
 
 

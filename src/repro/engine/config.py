@@ -212,6 +212,7 @@ def resolve_execution_config(
     *,
     default: Optional[ExecutionConfig] = None,
     warn_legacy: bool = True,
+    stacklevel: int = 2,
     batch_size=UNSET,
     num_workers=UNSET,
     parallel_backend=UNSET,
@@ -228,6 +229,13 @@ def resolve_execution_config(
     given.  ``default`` supplies the base config when the caller passed
     none (used by the facades, whose instance-level config is the base for
     per-call overrides).
+
+    ``stacklevel`` controls which frame the warning is attributed to, so
+    the user sees *their own* line, never a frame inside this module.
+    The default (2) is correct when user code calls this function
+    directly; the engine's wrappers (``run_*``, the facades, the query
+    layer) pass 3 because they add one frame between the user and the
+    warning.
     """
     if config is not None and not isinstance(config, ExecutionConfig):
         raise ExecutionConfigError(
@@ -249,7 +257,7 @@ def resolve_execution_config(
             f"passing {knobs} directly to {caller} is deprecated; pass "
             f"them via config=ExecutionConfig(...) instead",
             DeprecationWarning,
-            stacklevel=3,
+            stacklevel=stacklevel,
         )
     base = config if config is not None else (default or ExecutionConfig())
     return base.merged(**overrides)

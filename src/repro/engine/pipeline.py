@@ -92,14 +92,51 @@ class _ArrayStatistic:
         return self._values[np.asarray(record_indices, dtype=np.int64)]
 
 
+class _BackedStatistic:
+    """Statistic values gathered through a dataset-backend column handle.
+
+    Mirrors :class:`_ArrayStatistic`'s two call styles but reads via the
+    backend's ``gather`` — a sampling run over an out-of-core column only
+    ever pulls the records it actually draws.
+    """
+
+    __slots__ = ("_handle",)
+
+    def __init__(self, handle):
+        self._handle = handle
+
+    @property
+    def handle(self):
+        """The backing column handle."""
+        return self._handle
+
+    def __call__(self, record_index: int) -> float:
+        return float(
+            self._handle.gather(np.array([record_index], dtype=np.int64))[0]
+        )
+
+    def batch(self, record_indices) -> np.ndarray:
+        return np.asarray(
+            self._handle.gather(np.asarray(record_indices, dtype=np.int64)),
+            dtype=float,
+        )
+
+
 def normalize_statistic(statistic: StatisticLike) -> Callable[[int], float]:
-    """Accept either a per-record callable or a precomputed value array.
+    """Accept a per-record callable, a precomputed array, or a backend column.
 
     Arrays come back wrapped in :class:`_ArrayStatistic` so the batched
     execution engine can gather values without a Python-level loop;
-    callables pass through unchanged (keeping any ``batch`` method they
-    already expose, e.g. :class:`repro.oracle.base.StatisticOracle`).
+    dataset-backend column handles (see :mod:`repro.data`) wrap in
+    :class:`_BackedStatistic`, which gathers through the backend instead
+    of materializing; callables pass through unchanged (keeping any
+    ``batch`` method they already expose, e.g.
+    :class:`repro.oracle.base.StatisticOracle`).
     """
+    from repro.data.backend import is_column_handle
+
+    if is_column_handle(statistic):
+        return _BackedStatistic(statistic)
     if callable(statistic):
         return statistic
     return _ArrayStatistic(np.asarray(statistic, dtype=float))

@@ -36,11 +36,29 @@ from repro.engine.pipeline import (
     _empty_stratum_sample,
 )
 
-__all__ = ["SamplingSession"]
+__all__ = ["SamplingSession", "CheckpointError"]
 
 # Version tag for checkpoint payloads, bumped on layout changes so a stale
 # checkpoint fails loudly instead of resuming into corrupt state.
-_CHECKPOINT_VERSION = 1
+# Version history:
+#   1 — initial layout (PR 4).
+#   2 — adds the structural-compatibility block ("shape") that restore
+#       validates against the fresh pipeline: policy/estimator classes and
+#       the stratification shape.  A v1 checkpoint predates the strict
+#       validation contract and is rejected rather than trusted blindly.
+_CHECKPOINT_VERSION = 2
+
+
+class CheckpointError(ValueError):
+    """A checkpoint that cannot safely resume on the given pipeline.
+
+    Raised by :meth:`SamplingSession.restore` when the payload's version,
+    policy/estimator classes or stratification shape do not match the
+    freshly-built pipeline — each of which would otherwise let a
+    mismatched resume continue silently into corrupt state (wrong draw
+    sequence, wrong strata, wrong estimator).  Subclasses ``ValueError``
+    so existing ``except ValueError`` guards keep working.
+    """
 
 
 class SamplingSession:
@@ -215,6 +233,9 @@ class SamplingSession:
         state = self._state
         payload = {
             "version": _CHECKPOINT_VERSION,
+            # Structural identity of the run, validated on restore so a
+            # checkpoint can only resume on a compatible fresh pipeline.
+            "shape": _pipeline_shape(self._pipeline, state),
             "state": {
                 "stratification": state.stratification,
                 "pool": state.pool,
@@ -246,14 +267,28 @@ class SamplingSession:
         logical parameters as the checkpointed run; the checkpoint's
         policy, estimator and state replace the pipeline's own.  Exposed to
         users as :meth:`SamplingPipeline.resume`.
+
+        Raises :class:`CheckpointError` (a ``ValueError``) when the
+        checkpoint cannot safely resume on ``pipeline``: an unsupported
+        payload version, a policy or estimator of a different class than
+        the pipeline's (e.g. a two-stage checkpoint resumed into a
+        uniform pipeline), or a stratification shape (strata count /
+        record count) that does not match — any of which would silently
+        continue into a corrupt draw sequence if allowed through.
         """
         payload = pickle.loads(checkpoint)
         if payload.get("version") != _CHECKPOINT_VERSION:
-            raise ValueError(
+            raise CheckpointError(
                 f"unsupported checkpoint version {payload.get('version')!r}; "
-                f"expected {_CHECKPOINT_VERSION}"
+                f"expected {_CHECKPOINT_VERSION}.  Checkpoints do not "
+                "migrate across engine versions — re-run the sampling "
+                "session under the current engine"
             )
         saved = payload["state"]
+        _validate_checkpoint_shape(
+            payload.get("shape", {}), pipeline, payload["policy"],
+            payload["estimator"],
+        )
         state = PipelineState(
             pool=saved["pool"],
             rng=saved["rng"],
@@ -274,3 +309,86 @@ class SamplingSession:
         session._done = payload["done"]
         pipeline._session = session
         return session
+
+
+def _class_name(obj) -> str:
+    return f"{type(obj).__module__}.{type(obj).__qualname__}"
+
+
+def _pipeline_shape(pipeline: SamplingPipeline, state: PipelineState) -> dict:
+    """The structural identity a checkpoint must match to resume."""
+    stratification = state.stratification
+    return {
+        "policy_class": _class_name(pipeline.policy),
+        "estimator_class": _class_name(pipeline.estimator),
+        "num_strata": state.pool.num_strata,
+        "num_records": (
+            None if stratification is None else stratification.num_records
+        ),
+    }
+
+
+def _fresh_pipeline_shape(pipeline: SamplingPipeline) -> dict:
+    """The same structural identity, read off a freshly-built pipeline."""
+    if pipeline.stratification is not None:
+        num_strata = pipeline.stratification.num_strata
+        num_records = pipeline.stratification.num_records
+    else:
+        num_strata = len(pipeline._strata)
+        num_records = None
+    return {
+        "policy_class": _class_name(pipeline.policy),
+        "estimator_class": _class_name(pipeline.estimator),
+        "num_strata": num_strata,
+        "num_records": num_records,
+    }
+
+
+def _validate_checkpoint_shape(
+    saved_shape: dict, pipeline: SamplingPipeline, policy, estimator
+) -> None:
+    """Reject checkpoints that structurally mismatch the fresh pipeline.
+
+    The comparison is deliberately two-layered: the *payload's* recorded
+    shape (what the checkpointing session believed) and the *unpickled
+    objects'* actual classes both have to line up with the fresh
+    pipeline, so neither a stale shape block nor a hand-edited payload
+    slips through.
+    """
+    fresh = _fresh_pipeline_shape(pipeline)
+    saved_policy = saved_shape.get("policy_class", _class_name(policy))
+    if (
+        saved_policy != fresh["policy_class"]
+        or _class_name(policy) != fresh["policy_class"]
+    ):
+        raise CheckpointError(
+            f"checkpoint was taken with policy {saved_policy}, but the "
+            f"pipeline to resume on uses {fresh['policy_class']}; resuming "
+            "would continue a different sampler's draw sequence"
+        )
+    saved_estimator = saved_shape.get("estimator_class", _class_name(estimator))
+    if (
+        saved_estimator != fresh["estimator_class"]
+        or _class_name(estimator) != fresh["estimator_class"]
+    ):
+        raise CheckpointError(
+            f"checkpoint was taken with estimator {saved_estimator}, but "
+            f"the pipeline to resume on uses {fresh['estimator_class']}"
+        )
+    saved_strata = saved_shape.get("num_strata")
+    if saved_strata is not None and saved_strata != fresh["num_strata"]:
+        raise CheckpointError(
+            f"checkpoint stratification has {saved_strata} strata, the "
+            f"fresh pipeline has {fresh['num_strata']}; resuming would "
+            "draw from the wrong strata"
+        )
+    saved_records = saved_shape.get("num_records")
+    if (
+        saved_records is not None
+        and fresh["num_records"] is not None
+        and saved_records != fresh["num_records"]
+    ):
+        raise CheckpointError(
+            f"checkpoint covers a dataset of {saved_records} records, the "
+            f"fresh pipeline one of {fresh['num_records']}"
+        )

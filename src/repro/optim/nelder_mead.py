@@ -131,7 +131,16 @@ def _single_run(
         simplex = simplex[order]
         values = values[order]
 
+        if not np.isfinite(values[0]):
+            # Even the best vertex is non-finite: the objective offers no
+            # descent signal anywhere (e.g. a degenerate minimax problem
+            # whose every allocation is infinitely bad).  Iterating would
+            # only churn inf-inf = NaN arithmetic; stop at the start point.
+            break
+
         x_spread = np.max(np.abs(simplex[1:] - simplex[0]))
+        # inf vertices make the spread inf (not converged), never NaN:
+        # values[0] is finite here, so the subtraction cannot be inf-inf.
         f_spread = np.max(np.abs(values[1:] - values[0]))
         if x_spread <= xatol and f_spread <= fatol:
             converged = True

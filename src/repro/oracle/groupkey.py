@@ -18,6 +18,7 @@ from typing import Dict, Hashable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.data.backend import as_dense, is_column_handle
 from repro.oracle.base import Oracle
 from repro.oracle.simulated import LabelColumnOracle
 
@@ -45,6 +46,13 @@ class GroupKeyOracle(Oracle):
     every group of interest carry ``none_value`` (default ``None``).  The
     oracle answers with the key itself, so a single invocation tells the
     caller both whether the record matches any group and which one.
+
+    ``group_keys`` may also be a dataset-backend column handle (keys
+    stored out-of-core as fixed-width strings or integer codes).  Backed
+    keys are gathered and none-normalized per batch instead of through a
+    precomputed answer column, so the column never materializes; the
+    ``groups`` list must then be given explicitly, because inferring it
+    would require the full scan the backed path exists to avoid.
     """
 
     def __init__(
@@ -56,33 +64,66 @@ class GroupKeyOracle(Oracle):
         cost_per_call: float = 1.0,
     ):
         super().__init__(name=name, cost_per_call=cost_per_call)
-        self._keys = np.asarray(group_keys, dtype=object)
         self._none_value = none_value
-        if groups is None:
-            observed = {k for k in self._keys if k != none_value and k is not None}
-            groups = sorted(observed, key=str)
+        if is_column_handle(group_keys):
+            if groups is None:
+                raise ValueError(
+                    "groups must be given explicitly when group_keys is a "
+                    "backend column handle (inference needs a full scan)"
+                )
+            self._keys_handle = group_keys
+            self._keys = None
+            self._answers = None
+        else:
+            self._keys_handle = None
+            self._keys = np.asarray(group_keys, dtype=object)
+            if groups is None:
+                observed = {
+                    k for k in self._keys if k != none_value and k is not None
+                }
+                groups = sorted(observed, key=str)
+            # Precompute the answer column once (none-values normalized to
+            # None) so batch evaluation is a single fancy index instead of
+            # a per-record Python comparison loop.
+            none_mask = np.fromiter(
+                (k is None or k == none_value for k in self._keys),
+                dtype=bool,
+                count=self._keys.shape[0],
+            )
+            self._answers = self._keys.copy()
+            self._answers[none_mask] = None
         self._groups = list(groups)
-        # Precompute the answer column once (none-values normalized to None)
-        # so batch evaluation is a single fancy index instead of a
-        # per-record Python comparison loop.
-        none_mask = np.fromiter(
-            (k is None or k == none_value for k in self._keys),
-            dtype=bool,
-            count=self._keys.shape[0],
-        )
-        self._answers = self._keys.copy()
-        self._answers[none_mask] = None
 
     @property
     def groups(self) -> List[Hashable]:
         """The group keys this oracle can report, in a stable order."""
         return list(self._groups)
 
+    def _materialized_keys(self) -> np.ndarray:
+        """The full key column as an object array (copies backed columns)."""
+        if self._keys is not None:
+            return self._keys
+        return np.asarray(self._keys_handle.to_numpy().tolist(), dtype=object)
+
+    def _normalize_batch(self, keys: List[Hashable]) -> List[Hashable]:
+        none = self._none_value
+        return [None if (k is None or k == none) else k for k in keys]
+
     def _evaluate(self, record_index: int) -> Hashable:
-        return self._answers[record_index]
+        if self._answers is not None:
+            return self._answers[record_index]
+        key = self._keys_handle.gather(
+            np.array([record_index], dtype=np.int64)
+        ).tolist()[0]
+        return self._normalize_batch([key])[0]
 
     def _evaluate_batch(self, record_indices) -> List[Hashable]:
-        return self._answers[np.asarray(record_indices, dtype=np.int64)].tolist()
+        idx = np.asarray(record_indices, dtype=np.int64)
+        if self._answers is not None:
+            return self._answers[idx].tolist()
+        # ``tolist`` converts fixed-width storage scalars back to native
+        # Python values, so logged answers match the dense path exactly.
+        return self._normalize_batch(self._keys_handle.gather(idx).tolist())
 
     def membership_oracle(self, group: Hashable) -> LabelColumnOracle:
         """Derive a binary oracle for a single group (used in tests/baselines).
@@ -93,7 +134,7 @@ class GroupKeyOracle(Oracle):
         """
         if group not in self._groups:
             raise ValueError(f"unknown group {group!r}; known groups: {self._groups}")
-        labels = membership_column(self._keys, group)
+        labels = membership_column(self._materialized_keys(), group)
         return LabelColumnOracle(
             labels, name=f"{self.name}[{group}]", cost_per_call=self.cost_per_call
         )
@@ -105,6 +146,12 @@ class PerGroupOracles:
     Each group's oracle charges its own invocations; asking about a record
     for every group costs ``len(groups)`` calls, which is why the paper
     normalizes the budget by the number of groups in Figure 8.
+
+    ``group_keys`` may be a dataset-backend column handle; the key column
+    is scanned once to build the per-group boolean membership columns
+    (those *are* the answer columns and must live somewhere), so unlike
+    :class:`GroupKeyOracle`'s backed path this constructor holds one
+    byte per record per group.
     """
 
     def __init__(
@@ -115,7 +162,10 @@ class PerGroupOracles:
         cost_per_call: float = 1.0,
         name: str = "per_group_oracles",
     ):
-        keys = np.asarray(group_keys, dtype=object)
+        if is_column_handle(group_keys):
+            keys = np.asarray(as_dense(group_keys).tolist(), dtype=object)
+        else:
+            keys = np.asarray(group_keys, dtype=object)
         if groups is None:
             observed = {k for k in keys if k != none_value and k is not None}
             groups = sorted(observed, key=str)

@@ -1,8 +1,16 @@
 """Simulated expensive oracles.
 
 These stand in for the paper's Mask R-CNN / BERT / human-labeler oracles.
-Each reads a hidden ground-truth label (a precomputed column) or applies a
-user function; the rest of the system treats them as opaque and expensive.
+Each reads a hidden ground-truth answer column (dense, or served by a
+:mod:`repro.data` dataset backend) or applies a user function; the rest
+of the system treats them as opaque and expensive.
+
+Answer columns accept either a raw array or a
+:class:`~repro.data.backend.ColumnHandle`: with a handle, per-batch
+evaluation *gathers* only the queried records through the backend, so an
+oracle over an out-of-core dataset never materializes its column — and
+answers (hence accounting logs and sampler fingerprints) are
+bit-identical to the dense path.
 """
 
 from __future__ import annotations
@@ -12,6 +20,7 @@ from typing import Callable, Optional, Sequence
 
 import numpy as np
 
+from repro.data.backend import as_dense, is_column_handle
 from repro.oracle.base import PredicateOracle
 from repro.stats.rng import RandomState
 
@@ -24,6 +33,50 @@ __all__ = [
 ]
 
 
+class _BoolColumnSource:
+    """A boolean answer column, dense or gathered through a backend handle.
+
+    Shared by the label-reading oracles so handle support lives in one
+    place.  The dense path stores the bool array exactly as before; the
+    backed path keeps only the handle and gathers per request, converting
+    to ``bool`` after the gather (a no-op for ``|b1`` columns) so both
+    paths log identical value types.
+    """
+
+    __slots__ = ("_handle", "_dense")
+
+    def __init__(self, labels):
+        if is_column_handle(labels):
+            self._handle = labels
+            self._dense = None
+        else:
+            arr = np.asarray(labels)
+            if arr.ndim != 1:
+                raise ValueError("labels must be one-dimensional")
+            self._handle = None
+            self._dense = arr.astype(bool)
+
+    def __len__(self) -> int:
+        return len(self._handle) if self._dense is None else self._dense.shape[0]
+
+    def scalar(self, record_index: int) -> bool:
+        if self._dense is not None:
+            return bool(self._dense[record_index])
+        return bool(self._handle.gather(np.array([record_index], dtype=np.int64))[0])
+
+    def batch(self, record_indices) -> np.ndarray:
+        idx = np.asarray(record_indices, dtype=np.int64)
+        if self._dense is not None:
+            return self._dense[idx]
+        return self._handle.gather(idx).astype(bool)
+
+    def materialize(self) -> np.ndarray:
+        """The full column as a dense bool array (copies for backed columns)."""
+        if self._dense is not None:
+            return self._dense
+        return self._handle.to_numpy().astype(bool)
+
+
 class LabelColumnOracle(PredicateOracle):
     """Oracle that reveals a precomputed boolean label.
 
@@ -32,6 +85,10 @@ class LabelColumnOracle(PredicateOracle):
     the structure the paper's experiments use (ground-truth labels come
     from Mask R-CNN / human annotation, but the query algorithm is only
     allowed to see a label after "paying" for it).
+
+    ``labels`` may be a dense array or a dataset-backend column handle
+    (e.g. ``backend.column("label")``); with a handle every batch gathers
+    only the queried records, keeping out-of-core datasets out of RAM.
     """
 
     def __init__(
@@ -42,27 +99,26 @@ class LabelColumnOracle(PredicateOracle):
         keep_log: bool = False,
     ):
         super().__init__(name=name, cost_per_call=cost_per_call, keep_log=keep_log)
-        arr = np.asarray(labels)
-        if arr.ndim != 1:
-            raise ValueError("labels must be one-dimensional")
-        self._labels = arr.astype(bool)
+        self._source = _BoolColumnSource(labels)
 
     @property
     def labels(self) -> np.ndarray:
-        return self._labels
+        """The full answer column (materializes backed columns)."""
+        return self._source.materialize()
 
     def _evaluate(self, record_index: int) -> bool:
-        return bool(self._labels[record_index])
+        return self._source.scalar(record_index)
 
     def _evaluate_batch(self, record_indices) -> np.ndarray:
-        return self._labels[np.asarray(record_indices, dtype=np.int64)]
+        return self._source.batch(record_indices)
 
 
 class ThresholdOracle(PredicateOracle):
     """Oracle defined as ``value_column[i] > threshold`` (or >=, <, <=, ==).
 
     Used for predicates like ``count_cars(frame) > 0`` where the ground
-    truth is a numeric per-record quantity.
+    truth is a numeric per-record quantity.  ``values`` may be a dense
+    array or a dataset-backend column handle (gathered per batch).
     """
 
     _OPERATORS = {
@@ -87,7 +143,12 @@ class ThresholdOracle(PredicateOracle):
             raise ValueError(
                 f"unsupported operator {op!r}; expected one of {sorted(self._OPERATORS)}"
             )
-        self._values = np.asarray(values, dtype=float)
+        if is_column_handle(values):
+            self._handle = values
+            self._values = None
+        else:
+            self._handle = None
+            self._values = np.asarray(values, dtype=float)
         self._threshold = float(threshold)
         self._op_name = op
         self._op = self._OPERATORS[op]
@@ -96,11 +157,17 @@ class ThresholdOracle(PredicateOracle):
     def threshold(self) -> float:
         return self._threshold
 
+    def _value_batch(self, idx: np.ndarray) -> np.ndarray:
+        if self._values is not None:
+            return self._values[idx]
+        return np.asarray(self._handle.gather(idx), dtype=float)
+
     def _evaluate(self, record_index: int) -> bool:
-        return bool(self._op(self._values[record_index], self._threshold))
+        value = self._value_batch(np.array([record_index], dtype=np.int64))[0]
+        return bool(self._op(value, self._threshold))
 
     def _evaluate_batch(self, record_indices) -> np.ndarray:
-        values = self._values[np.asarray(record_indices, dtype=np.int64)]
+        values = self._value_batch(np.asarray(record_indices, dtype=np.int64))
         return self._op(values, self._threshold)
 
 
@@ -141,7 +208,9 @@ class NoisyHumanOracle(PredicateOracle):
         super().__init__(name=name, cost_per_call=cost_per_call)
         if not 0.0 <= error_rate <= 1.0:
             raise ValueError(f"error_rate must be in [0, 1], got {error_rate}")
-        truth = np.asarray(labels).astype(bool)
+        # The per-record error flips are pre-drawn over the whole column,
+        # so this oracle materializes backed columns up front.
+        truth = as_dense(labels).astype(bool)
         rng = rng or RandomState(0)
         flips = rng.random(truth.shape[0]) < error_rate
         self._answers = np.where(flips, ~truth, truth)
@@ -182,22 +251,19 @@ class LatencyOracle(PredicateOracle):
         super().__init__(name=name, cost_per_call=cost_per_call)
         if per_record_seconds < 0 or per_batch_seconds < 0:
             raise ValueError("latencies must be non-negative")
-        arr = np.asarray(labels)
-        if arr.ndim != 1:
-            raise ValueError("labels must be one-dimensional")
-        self._labels = arr.astype(bool)
+        self._source = _BoolColumnSource(labels)
         self._per_record_seconds = float(per_record_seconds)
         self._per_batch_seconds = float(per_batch_seconds)
 
     @property
     def labels(self) -> np.ndarray:
-        return self._labels
+        return self._source.materialize()
 
     def _evaluate(self, record_index: int) -> bool:
         time.sleep(self._per_batch_seconds + self._per_record_seconds)
-        return bool(self._labels[record_index])
+        return self._source.scalar(record_index)
 
     def _evaluate_batch(self, record_indices) -> np.ndarray:
         idx = np.asarray(record_indices, dtype=np.int64)
         time.sleep(self._per_batch_seconds + self._per_record_seconds * idx.shape[0])
-        return self._labels[idx]
+        return self._source.batch(idx)

@@ -8,6 +8,9 @@ provides:
 
 * :class:`~repro.proxy.base.Proxy` — the interface (scores for all records,
   exhaustively precomputable because proxies are cheap);
+* :class:`~repro.proxy.base.BackedProxy` — scores read from a
+  :mod:`repro.data` dataset backend column (in-memory, mmap or chunked),
+  gathering per batch instead of materializing;
 * :class:`~repro.proxy.noise.NoisyLabelProxy` and
   :class:`~repro.proxy.noise.BetaNoiseProxy` — proxies of controllable
   quality derived from the ground-truth labels, used to emulate the real
@@ -22,7 +25,7 @@ provides:
   proxy over (synthetic) embeddings.
 """
 
-from repro.proxy.base import Proxy, PrecomputedProxy, CallableProxy
+from repro.proxy.base import Proxy, PrecomputedProxy, CallableProxy, BackedProxy
 from repro.proxy.noise import NoisyLabelProxy, BetaNoiseProxy, RandomProxy
 from repro.proxy.keyword import KeywordProxy
 from repro.proxy.calibration import PlattCalibrator, reliability_curve, brier_score
@@ -33,6 +36,7 @@ __all__ = [
     "Proxy",
     "PrecomputedProxy",
     "CallableProxy",
+    "BackedProxy",
     "NoisyLabelProxy",
     "BetaNoiseProxy",
     "RandomProxy",

@@ -17,26 +17,34 @@ __all__ = [
     "Proxy",
     "PrecomputedProxy",
     "CallableProxy",
+    "BackedProxy",
     "validate_scores",
     "memoized_proxy_object",
 ]
 
 
 def memoized_proxy_object(holder, raw, name: str = "bound_proxy") -> "Proxy":
-    """Wrap raw scores as a :class:`PrecomputedProxy`, memoized on ``holder``.
+    """Wrap raw scores as a :class:`Proxy`, memoized on ``holder``.
 
     Bindings and group specs hold proxies either as :class:`Proxy` objects
-    (returned as-is) or as raw score sequences.  Wrapping the raw scores
-    freshly per execution would defeat the identity-keyed stratification
-    cache, so the wrapper is stored on ``holder`` (as ``_proxy_object``)
-    and reused until the raw reference is swapped out.
+    (returned as-is), as raw score sequences, or as dataset-backend column
+    handles.  Wrapping the raw scores freshly per execution would defeat
+    the identity-keyed stratification cache, so the wrapper is stored on
+    ``holder`` (as ``_proxy_object``) and reused until the raw reference
+    is swapped out.  Column handles wrap into a :class:`BackedProxy`,
+    everything else into a :class:`PrecomputedProxy`.
     """
     if isinstance(raw, Proxy):
         return raw
     cached = getattr(holder, "_proxy_object", None)
     if cached is not None and cached[0] is raw:
         return cached[1]
-    wrapped = PrecomputedProxy(np.asarray(raw, dtype=float), name=name)
+    from repro.data.backend import is_column_handle
+
+    if is_column_handle(raw):
+        wrapped = BackedProxy(raw, name=name)
+    else:
+        wrapped = PrecomputedProxy(np.asarray(raw, dtype=float), name=name)
     holder._proxy_object = (raw, wrapped)
     return wrapped
 
@@ -119,6 +127,78 @@ class PrecomputedProxy(Proxy):
 
     def scores(self) -> np.ndarray:
         return self._scores
+
+
+class BackedProxy(Proxy):
+    """A proxy reading its scores from a dataset-backend column.
+
+    Construct from a :class:`~repro.data.backend.DatasetBackend` plus a
+    column name, or directly from a
+    :class:`~repro.data.backend.ColumnHandle`::
+
+        proxy = BackedProxy(backend, "proxy_score")
+        proxy = BackedProxy(backend.column("proxy_score"))
+
+    :meth:`scores_batch` gathers only the requested records through the
+    backend — the samplers' access pattern, which never materializes the
+    column.  :meth:`scores` (needed once per stratification) materializes
+    through the handle: a dense read-only array for the in-memory
+    backend, the lazily-paged memmap view for the mmap backend, and one
+    dense allocation for the chunked backend.  Either way the full score
+    vector is validated exactly once, on first access.
+    """
+
+    def __init__(self, source, column: str = None, name: str = None):
+        from repro.data.backend import DatasetBackend, is_column_handle
+
+        if isinstance(source, DatasetBackend):
+            if column is None:
+                raise ValueError(
+                    "BackedProxy(backend) requires the column name to read "
+                    "scores from, e.g. BackedProxy(backend, 'proxy_score')"
+                )
+            handle = source.column(column)
+        elif is_column_handle(source):
+            if column is not None:
+                raise ValueError(
+                    "pass either a backend plus column name or a column "
+                    "handle, not both"
+                )
+            handle = source
+        else:
+            raise TypeError(
+                f"BackedProxy expects a DatasetBackend or ColumnHandle, "
+                f"got {type(source).__name__}"
+            )
+        super().__init__(name=name if name is not None else f"backed:{handle.name}")
+        self._handle = handle
+        self._cached: np.ndarray = None
+
+    @property
+    def handle(self):
+        """The backing column handle."""
+        return self._handle
+
+    def scores(self) -> np.ndarray:
+        if self._cached is None:
+            arr = np.asarray(self._handle.to_numpy(), dtype=float)
+            self._cached = validate_scores(arr, name=self._name)
+            if self._cached.flags.writeable:
+                self._cached.setflags(write=False)
+        return self._cached
+
+    def scores_batch(self, record_indices: Sequence[int]) -> np.ndarray:
+        idx = np.asarray(record_indices, dtype=np.int64)
+        if self._cached is not None:
+            return self._cached[idx]
+        if idx.size == 0:
+            return np.empty(0, dtype=float)
+        return validate_scores(
+            np.asarray(self._handle.gather(idx), dtype=float), name=self._name
+        )
+
+    def __len__(self) -> int:
+        return len(self._handle)
 
 
 class CallableProxy(Proxy):

@@ -72,7 +72,13 @@ def _aggregate(query: Query, context: QueryContext, mask: np.ndarray) -> float:
     kind = query.aggregate.kind
     if kind is AggregateKind.COUNT:
         return float(mask.sum())
-    values = context.resolve_statistic(query.aggregate.expression)
+    # Exact evaluation is an exhaustive scan by definition, so backend
+    # column handles are materialized here.
+    from repro.data.backend import as_dense
+
+    values = as_dense(
+        context.resolve_statistic(query.aggregate.expression), dtype=float
+    )
     selected = values[mask]
     if kind is AggregateKind.SUM:
         return float(selected.sum())

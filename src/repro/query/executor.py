@@ -66,20 +66,42 @@ __all__ = ["PredicateBinding", "GroupBinding", "QueryContext", "QueryResult", "e
 
 @dataclass
 class PredicateBinding:
-    """The oracle / proxy pair registered for one predicate atom."""
+    """The oracle / proxy pair registered for one predicate atom.
+
+    ``proxy`` may be a :class:`~repro.proxy.base.Proxy`, a raw score
+    sequence, a dataset-backend column handle, or a *column name* (a
+    string) resolved at execution time against the plan's backend.
+    """
 
     oracle: Callable[[int], bool]
-    proxy: Union[Proxy, Sequence[float]]
+    proxy: Union[Proxy, Sequence[float], str]
     labels: Optional[np.ndarray] = None
 
-    def proxy_object(self) -> Proxy:
+    def proxy_object(self, backend=None) -> Proxy:
         """The binding's proxy as a :class:`Proxy` (memoized).
 
         Raw score sequences are wrapped once and the wrapper reused for
         every execution, so the plan-level stratification cache (keyed on
         proxy identity) hits across repeated queries instead of seeing a
-        fresh wrapper per run.
+        fresh wrapper per run.  A string proxy is resolved through
+        ``backend`` (the plan's dataset backend), memoized per backend so
+        repeated queries against the same backend share one wrapper.
         """
+        if isinstance(self.proxy, str):
+            if backend is None:
+                raise BindingError(
+                    f"predicate proxy is the column name {self.proxy!r} but "
+                    "the query has no dataset backend; pass backend= to "
+                    "execute_query or register the scores directly"
+                )
+            cached = getattr(self, "_backend_proxy", None)
+            if cached is not None and cached[0] is backend:
+                return cached[1]
+            from repro.proxy.base import BackedProxy
+
+            wrapped = BackedProxy(backend, self.proxy, name=f"bound:{self.proxy}")
+            self._backend_proxy = (backend, wrapped)
+            return wrapped
         return memoized_proxy_object(self, self.proxy, name="bound_proxy")
 
 
@@ -112,19 +134,53 @@ class GroupBinding:
 
 
 class QueryContext:
-    """Registry binding query text to data, oracles and proxies."""
+    """Registry binding query text to data, oracles and proxies.
 
-    def __init__(self, num_records: int):
+    ``backend`` (optional) is the context's default dataset backend:
+    statistics and proxies registered as *column names* are resolved
+    against it (or against the ``backend=`` hint given at execution time,
+    which takes precedence).  :meth:`from_backend` builds a context
+    directly over a backend.
+    """
+
+    def __init__(self, num_records: int, backend=None):
         if num_records <= 0:
             raise ValueError(f"num_records must be positive, got {num_records}")
         self.num_records = int(num_records)
-        self._statistics: Dict[str, np.ndarray] = {}
+        self.backend = backend
+        self._statistics: Dict[str, Union[np.ndarray, str]] = {}
         self._predicates: Dict[str, PredicateBinding] = {}
         self._groups: Dict[str, GroupBinding] = {}
 
+    @classmethod
+    def from_backend(cls, backend) -> "QueryContext":
+        """A context over a dataset backend (its records, its columns)."""
+        return cls(backend.num_records, backend=backend)
+
     # -- Registration ---------------------------------------------------------------
-    def register_statistic(self, name: str, values: Sequence[float]) -> "QueryContext":
-        """Register per-record values for an expression (by canonical name)."""
+    def register_statistic(
+        self, name: str, values: Union[Sequence[float], str]
+    ) -> "QueryContext":
+        """Register per-record values for an expression (by canonical name).
+
+        ``values`` may be a dense array, a dataset-backend column handle,
+        or a *column name* (a string) resolved lazily against the query's
+        backend at execution time — the out-of-core registration style,
+        which never materializes the column.
+        """
+        if isinstance(values, str):
+            self._statistics[name] = values
+            return self
+        from repro.data.backend import is_column_handle
+
+        if is_column_handle(values):
+            if len(values) != self.num_records:
+                raise ValueError(
+                    f"statistic {name!r} has {len(values)} values, "
+                    f"expected {self.num_records}"
+                )
+            self._statistics[name] = values
+            return self
         arr = np.asarray(values, dtype=float)
         if arr.shape[0] != self.num_records:
             raise ValueError(
@@ -160,10 +216,35 @@ class QueryContext:
         return self
 
     # -- Resolution -----------------------------------------------------------------
-    def resolve_statistic(self, expression: FunctionCall) -> np.ndarray:
+    def resolve_statistic(self, expression: FunctionCall, backend=None):
+        """The statistic's values: a dense array or a backend column handle.
+
+        ``backend`` (defaulting to the context's own) resolves string
+        registrations; the returned handle feeds the samplers directly,
+        which gather only the records they draw.
+        """
+        backend = backend if backend is not None else self.backend
         for candidate in (expression.canonical(), expression.name):
             if candidate in self._statistics:
-                return self._statistics[candidate]
+                registered = self._statistics[candidate]
+                if not isinstance(registered, str):
+                    return registered
+                if backend is None:
+                    raise BindingError(
+                        f"statistic {candidate!r} is registered as column "
+                        f"{registered!r} but the query has no dataset "
+                        "backend; pass backend= to execute_query"
+                    )
+                try:
+                    handle = backend.column(registered)
+                except KeyError as exc:
+                    raise BindingError(str(exc)) from None
+                if len(handle) != self.num_records:
+                    raise BindingError(
+                        f"backend column {registered!r} has {len(handle)} "
+                        f"records, the context expects {self.num_records}"
+                    )
+                return handle
         raise BindingError(
             f"no statistic registered for {expression.canonical()!r}; "
             f"registered statistics: {sorted(self._statistics)}"
@@ -219,6 +300,7 @@ def execute_query(
     num_workers=UNSET,
     plan_cache=UNSET,
     config: Optional[ExecutionConfig] = None,
+    backend=None,
 ) -> QueryResult:
     """Parse (if needed), plan and execute a query against a context.
 
@@ -228,9 +310,13 @@ def execute_query(
     many workers each batch is sharded across (``None`` = serial), and
     whether execution may reuse the process-wide proxy-scores /
     stratification caches across repeated queries (``plan_cache``, default
-    on).  The legacy ``batch_size`` / ``num_workers`` / ``plan_cache``
-    kwargs remain as deprecated aliases.  No knob ever changes the query
-    answer, the confidence interval, or the oracle call count.
+    on).  ``backend`` is the dataset-backend hint (validated at planning
+    time like ``plan_cache``): the storage that string column
+    registrations resolve against, overriding the context's default.  The
+    legacy ``batch_size`` / ``num_workers`` / ``plan_cache`` kwargs remain
+    as deprecated aliases.  No knob ever changes the query answer, the
+    confidence interval, or the oracle call count — backends serve
+    bit-identical column values.
     """
     if isinstance(query, str):
         query = parse_query(query)
@@ -238,13 +324,30 @@ def execute_query(
         config = resolve_execution_config(
             config,
             "execute_query",
+            stacklevel=3,
             batch_size=batch_size,
             num_workers=num_workers,
             plan_cache=plan_cache,
         )
     except ExecutionConfigError as exc:
         raise PlanningError(str(exc)) from None
-    plan = plan_query(query, config=config)
+    plan = plan_query(
+        query,
+        config=config,
+        backend=backend if backend is not None else context.backend,
+    )
+    if (
+        plan.backend is not None
+        and plan.backend.num_records != context.num_records
+    ):
+        # Caught here, once, for every plan shape: per-column resolution
+        # would let a COUNT query (which resolves no statistic) stratify a
+        # differently-sized backend and silently mis-answer.
+        raise PlanningError(
+            f"backend {plan.backend.name!r} has {plan.backend.num_records} "
+            f"records but the context covers {context.num_records}; the "
+            "query would sample the wrong population"
+        )
     # Explicit seed wins; otherwise the config's rng policy (historically a
     # fresh nondeterministic state when neither is given).
     rng = rng or RandomState(seed if seed is not None else config.seed)
@@ -269,11 +372,11 @@ def execute_query(
 # ---------------------------------------------------------------------------
 
 
-def _statistic_for(query: Query, context: QueryContext) -> np.ndarray:
-    """The per-record statistic values; COUNT uses the constant 1."""
+def _statistic_for(query: Query, context: QueryContext, backend=None):
+    """The per-record statistic (array or column handle); COUNT uses 1."""
     if query.aggregate.kind is AggregateKind.COUNT:
         return np.ones(context.num_records, dtype=float)
-    return context.resolve_statistic(query.aggregate.expression)
+    return context.resolve_statistic(query.aggregate.expression, backend=backend)
 
 
 def _finalize_scalar(
@@ -331,9 +434,9 @@ def _execute_single_predicate(
     query = plan.query
     atom = plan.atoms[0]
     binding = context.resolve_predicate(atom)
-    statistic = _statistic_for(query, context)
+    statistic = _statistic_for(query, context, backend=plan.backend)
     result = run_abae(
-        proxy=binding.proxy_object(),
+        proxy=binding.proxy_object(backend=plan.backend),
         oracle=binding.oracle,
         statistic=statistic,
         budget=query.oracle.limit,
@@ -351,20 +454,22 @@ def _execute_single_predicate(
 
 
 def _build_expression(
-    node: PredicateNode, context: QueryContext
+    node: PredicateNode, context: QueryContext, backend=None
 ) -> PredicateExpr:
     """Translate a WHERE tree into an executable MultiPred expression."""
     if isinstance(node, PredicateAtom):
         binding = context.resolve_predicate(node)
         return PredicateLeaf(
-            proxy=binding.proxy_object(), oracle=binding.oracle, name=node.key()
+            proxy=binding.proxy_object(backend=backend),
+            oracle=binding.oracle,
+            name=node.key(),
         )
     if isinstance(node, NotExpr):
-        return Not(_build_expression(node.operand, context))
+        return Not(_build_expression(node.operand, context, backend))
     if isinstance(node, AndExpr):
-        return And([_build_expression(op, context) for op in node.operands])
+        return And([_build_expression(op, context, backend) for op in node.operands])
     if isinstance(node, OrExpr):
-        return Or([_build_expression(op, context) for op in node.operands])
+        return Or([_build_expression(op, context, backend) for op in node.operands])
     raise PlanningError(f"unsupported predicate node: {node!r}")
 
 
@@ -372,8 +477,8 @@ def _execute_multi_predicate(
     plan, context, num_strata, stage1_fraction, num_bootstrap, with_ci, rng
 ) -> QueryResult:
     query = plan.query
-    expression = _build_expression(query.predicate, context)
-    statistic = _statistic_for(query, context)
+    expression = _build_expression(query.predicate, context, backend=plan.backend)
+    statistic = _statistic_for(query, context, backend=plan.backend)
     result = run_abae_multipred(
         expression=expression,
         statistic=statistic,
@@ -401,7 +506,9 @@ def _execute_group_by(
     if kind is AggregateKind.COUNT:
         statistic = np.ones(context.num_records, dtype=float)
     else:
-        statistic = context.resolve_statistic(query.aggregate.expression)
+        statistic = context.resolve_statistic(
+            query.aggregate.expression, backend=plan.backend
+        )
 
     if binding.setting == "single":
         group_result: GroupByResult = run_groupby_single_oracle(

@@ -21,6 +21,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.data.backend import DatasetBackend
 from repro.engine.config import (
     UNSET,
     ExecutionConfig,
@@ -60,6 +61,11 @@ class QueryPlan:
     atoms: List[PredicateAtom] = field(default_factory=list)
     notes: Dict[str, object] = field(default_factory=dict)
     config: ExecutionConfig = field(default_factory=ExecutionConfig)
+    # The dataset backend the executor resolves column references against
+    # (``None`` = the context's dense registered arrays, today's default).
+    # Like every physical hint it never changes results: backends serve
+    # bit-identical column values (see repro.data).
+    backend: Optional[DatasetBackend] = None
 
     @property
     def budget(self) -> int:
@@ -89,28 +95,38 @@ def plan_query(
     num_workers=UNSET,
     plan_cache=UNSET,
     config: Optional[ExecutionConfig] = None,
+    backend: Optional[DatasetBackend] = None,
 ) -> QueryPlan:
     """Build a :class:`QueryPlan` for a parsed query.
 
     ``config`` (an :class:`~repro.engine.config.ExecutionConfig`) is
     attached to the plan as its physical-execution hints; the legacy
     ``batch_size`` / ``num_workers`` / ``plan_cache`` kwargs keep working
-    as deprecated aliases.  Validation happens here — through the config's
-    one shared error path — so a bad knob raises a clear
-    :class:`~repro.query.errors.PlanningError` (a ``QueryError``) at
-    planning time instead of surfacing as a ``ValueError`` from deep
-    inside the execution engine mid-sampling.
+    as deprecated aliases.  ``backend`` is the plan's dataset-backend
+    hint: the storage the executor resolves string column references
+    against (see :mod:`repro.data`), validated here exactly like
+    ``plan_cache``.  Validation happens at planning time — through the
+    config's one shared error path — so a bad knob raises a clear
+    :class:`~repro.query.errors.PlanningError` (a ``QueryError``) instead
+    of surfacing as a ``ValueError`` from deep inside the execution
+    engine mid-sampling.
     """
     try:
         config = resolve_execution_config(
             config,
             "plan_query",
+            stacklevel=3,
             batch_size=batch_size,
             num_workers=num_workers,
             plan_cache=plan_cache,
         )
     except ExecutionConfigError as exc:
         raise PlanningError(str(exc)) from None
+    if backend is not None and not isinstance(backend, DatasetBackend):
+        raise PlanningError(
+            f"backend must be a repro.data.DatasetBackend or None, "
+            f"got {backend!r}"
+        )
     atoms = query.atoms()
     if not atoms:
         raise PlanningError("the WHERE clause references no predicates")
@@ -136,12 +152,21 @@ def plan_query(
                 "non_group_atoms": [a.key() for a in mismatched],
             },
             config=config,
+            backend=backend,
         )
 
     if len(atoms) > 1:
         return QueryPlan(
-            kind=PlanKind.MULTI_PREDICATE, query=query, atoms=atoms, config=config
+            kind=PlanKind.MULTI_PREDICATE,
+            query=query,
+            atoms=atoms,
+            config=config,
+            backend=backend,
         )
     return QueryPlan(
-        kind=PlanKind.SINGLE_PREDICATE, query=query, atoms=atoms, config=config
+        kind=PlanKind.SINGLE_PREDICATE,
+        query=query,
+        atoms=atoms,
+        config=config,
+        backend=backend,
     )

@@ -9,6 +9,19 @@ implement those bounds here so that
   the advertised rates, and
 * the adaptive strata-count heuristic (``K`` maximal such that every stratum
   receives at least ~100 Stage-1 samples) can reason about estimate quality.
+
+Boundary convention
+-------------------
+Every bound follows one rule at its domain edges: *return the trivially
+correct probability, or raise* — never a formula artifact.
+
+* ``n <= 0`` → ``ValueError`` (no samples, no bound);
+* zero deviation (``t == 0`` / ``epsilon == 0``) → ``1.0`` (every
+  probability is at most 1, and the event is a.s. hit at zero deviation);
+* degenerate Bernoulli rates ``p in {0, 1}`` with a positive deviation →
+  ``0.0`` exactly: the Binomial is a point mass, so the tail event is
+  impossible — the generic Chernoff expression would return a positive
+  (valid but vacuous) value instead of the exact answer.
 """
 
 from __future__ import annotations
@@ -36,6 +49,8 @@ def hoeffding_bound(n: int, epsilon: float, value_range: float = 1.0) -> float:
         raise ValueError(f"epsilon must be non-negative, got {epsilon}")
     if value_range <= 0:
         raise ValueError(f"value_range must be positive, got {value_range}")
+    if epsilon == 0:
+        return 1.0
     return float(min(1.0, 2.0 * np.exp(-2.0 * n * epsilon**2 / value_range**2)))
 
 
@@ -51,6 +66,10 @@ def bernoulli_upper_tail(n: int, p: float, t: float) -> float:
         raise ValueError(f"deviation t must be non-negative, got {t}")
     if t == 0:
         return 1.0
+    if p in (0.0, 1.0):
+        # Point-mass Binomial: X is exactly 0 (or n), so exceeding the
+        # mean by any positive t is impossible.
+        return 0.0
     mean = n * p
     return float(min(1.0, np.exp(-(t**2) / (2.0 * mean + 2.0 * t / 3.0))))
 
@@ -62,9 +81,12 @@ def bernoulli_lower_tail(n: int, p: float, t: float) -> float:
         raise ValueError(f"deviation t must be non-negative, got {t}")
     if t == 0:
         return 1.0
+    if p in (0.0, 1.0):
+        # Point-mass Binomial: falling below the mean by t > 0 is
+        # impossible (the old code returned 1.0 for p == 0 — valid as a
+        # bound, but the exact tail is 0).
+        return 0.0
     mean = n * p
-    if mean == 0:
-        return 1.0
     return float(min(1.0, np.exp(-(t**2) / (2.0 * mean))))
 
 
@@ -87,6 +109,8 @@ def sub_gaussian_mean_bound(n: int, sigma: float, epsilon: float) -> float:
         raise ValueError(f"sigma must be positive, got {sigma}")
     if epsilon < 0:
         raise ValueError(f"epsilon must be non-negative, got {epsilon}")
+    if epsilon == 0:
+        return 1.0
     return float(min(1.0, 2.0 * np.exp(-n * epsilon**2 / (2.0 * sigma**2))))
 
 

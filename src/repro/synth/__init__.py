@@ -20,7 +20,9 @@ Entry points:
   colour groups; 4-group synthetics);
 * :func:`make_proxy_combination_scenario` — the Figure-12 workloads;
 * :func:`default_catalog` — a :class:`repro.dataset.Catalog` with every
-  dataset registered lazily.
+  dataset registered lazily;
+* :func:`to_backend` — export a scenario's columns as a
+  :mod:`repro.data` dataset backend (in-memory, mmap or chunked).
 """
 
 from repro.synth.base import Scenario, MultiPredicateScenario, GroupByScenario
@@ -29,6 +31,7 @@ from repro.synth.datasets import (
     DATASET_SPECS,
     make_dataset,
     default_catalog,
+    to_backend,
 )
 from repro.synth.scenarios import (
     make_multipred_scenario,
@@ -44,6 +47,7 @@ __all__ = [
     "DATASET_SPECS",
     "make_dataset",
     "default_catalog",
+    "to_backend",
     "make_multipred_scenario",
     "make_groupby_scenario",
     "make_proxy_combination_scenario",

@@ -19,6 +19,7 @@ specs and any size can be requested explicitly.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Dict, Optional
 
 import numpy as np
@@ -29,7 +30,14 @@ from repro.proxy.noise import BetaNoiseProxy
 from repro.stats.rng import RandomState
 from repro.synth.base import Scenario
 
-__all__ = ["DatasetSpec", "DATASET_SPECS", "DATASET_NAMES", "make_dataset", "default_catalog"]
+__all__ = [
+    "DatasetSpec",
+    "DATASET_SPECS",
+    "DATASET_NAMES",
+    "make_dataset",
+    "default_catalog",
+    "to_backend",
+]
 
 DEFAULT_SIZE = 50_000
 
@@ -346,6 +354,99 @@ def make_synthetic_scenario(
             "statistic_means": statistic_means,
             "statistic_stds": statistic_stds,
         },
+    )
+
+
+def to_backend(
+    scenario: Scenario,
+    kind: str = "memory",
+    path=None,
+    chunk_size: Optional[int] = None,
+    max_resident_chunks: int = 16,
+    overwrite: bool = False,
+):
+    """Export a scenario's columns as a :mod:`repro.data` dataset backend.
+
+    The backend carries the three columns every sampler consumes —
+    ``statistic``, ``proxy_score`` and the hidden ``label`` answer column
+    — plus any additional numeric columns the scenario's table holds
+    (e.g. ``latent_group``).
+
+    ``kind`` selects the storage: ``"memory"`` wraps the dense arrays
+    (no ``path`` needed); ``"mmap"`` and ``"chunked"`` write the columns
+    to a column directory at ``path`` (reused as-is when it already holds
+    a valid directory, unless ``overwrite``) and open the corresponding
+    out-of-core backend over it.  All three return bit-identical column
+    values, so sampler results are invariant to the choice.
+    """
+    from repro.data import (
+        ChunkedBackend,
+        InMemoryBackend,
+        MmapBackend,
+        read_manifest,
+        write_column_dir,
+    )
+    from repro.data.chunked import DEFAULT_CHUNK_SIZE
+
+    columns = {
+        "statistic": np.asarray(scenario.statistic_values, dtype=float),
+        "proxy_score": np.asarray(scenario.proxy.scores(), dtype=float),
+        "label": np.asarray(scenario.labels, dtype=bool),
+    }
+    for col_name in scenario.table.column_names:
+        if col_name in columns:
+            continue
+        values = np.asarray(scenario.table.values(col_name))
+        if values.dtype.kind != "O":
+            columns[col_name] = values
+
+    if kind == "memory":
+        return InMemoryBackend(columns, name=scenario.name)
+    if kind not in ("mmap", "chunked"):
+        raise ValueError(
+            f"unknown backend kind {kind!r}; expected 'memory', 'mmap' "
+            "or 'chunked'"
+        )
+    if path is None:
+        raise ValueError(f"kind={kind!r} requires a path to write the columns to")
+    manifest = None
+    if not overwrite:
+        try:
+            manifest = read_manifest(path)
+        except (FileNotFoundError, ValueError):
+            manifest = None  # absent or corrupt: (re)write below
+    if manifest is not None:
+        # Reuse only a directory that demonstrably holds *this* scenario:
+        # name and size must match, and the proxy-score column must be
+        # byte-identical (one O(n) read — cheap next to a silent run
+        # over stale data from an earlier export at the same path).
+        spec = manifest["columns"].get("proxy_score")
+        matches = (
+            manifest.get("name") == scenario.name
+            and manifest["num_records"] == len(columns["proxy_score"])
+            and spec is not None
+            and np.array_equal(
+                np.fromfile(
+                    Path(path) / spec["file"], dtype=np.dtype(spec["dtype"])
+                ),
+                columns["proxy_score"],
+            )
+        )
+        if not matches:
+            raise ValueError(
+                f"{path} holds a different dataset "
+                f"({manifest.get('name')!r}, {manifest['num_records']} "
+                f"records) than scenario {scenario.name!r}; pass "
+                "overwrite=True to replace it"
+            )
+    else:
+        write_column_dir(path, columns, name=scenario.name, overwrite=overwrite)
+    if kind == "mmap":
+        return MmapBackend(path)
+    return ChunkedBackend(
+        path,
+        chunk_size=chunk_size if chunk_size is not None else DEFAULT_CHUNK_SIZE,
+        max_resident_chunks=max_resident_chunks,
     )
 
 

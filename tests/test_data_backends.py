@@ -1,0 +1,359 @@
+"""Unit tests for the pluggable dataset-storage layer (repro.data).
+
+Covers the column-directory format (writer, manifest validation), the
+three backends' protocol behaviour (gather semantics, errors, dense
+footprint), the chunked backend's LRU residency, and the integration
+adapters (BackedProxy, backed oracles/statistics, to_backend, the query
+layer's string column references).  Cross-backend *sampler* parity over
+the equivalence grid lives in ``tests/test_backend_parity.py``.
+"""
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ArrayColumnHandle,
+    ChunkedBackend,
+    ColumnDirWriter,
+    InMemoryBackend,
+    MmapBackend,
+    as_dense,
+    ingest_scenario,
+    is_column_handle,
+    read_manifest,
+    write_column_dir,
+)
+from repro.data.diskio import MANIFEST_NAME
+from repro.oracle.simulated import LabelColumnOracle, ThresholdOracle
+from repro.proxy.base import BackedProxy
+from repro.synth import make_dataset, to_backend
+
+
+@pytest.fixture(scope="module")
+def columns():
+    rng = np.random.default_rng(7)
+    return {
+        "values": rng.normal(size=3000),
+        "scores": rng.random(3000),
+        "flag": rng.random(3000) < 0.25,
+        "count": rng.integers(0, 50, 3000),
+    }
+
+
+@pytest.fixture()
+def column_dir(columns, tmp_path):
+    return write_column_dir(tmp_path / "ds", columns, name="unit")
+
+
+def all_backends(columns, column_dir):
+    return {
+        "memory": InMemoryBackend(columns, name="unit"),
+        "mmap": MmapBackend(column_dir),
+        "chunked": ChunkedBackend(column_dir, chunk_size=256, max_resident_chunks=4),
+    }
+
+
+class TestDiskFormat:
+    def test_roundtrip_preserves_values_and_dtypes(self, columns, column_dir):
+        backend = MmapBackend(column_dir)
+        for name, values in columns.items():
+            handle = backend.column(name)
+            assert handle.dtype == np.asarray(values).dtype
+            np.testing.assert_array_equal(np.asarray(handle.to_numpy()), values)
+
+    def test_streaming_writer_equals_one_shot(self, columns, tmp_path):
+        with ColumnDirWriter(tmp_path / "streamed", name="unit") as writer:
+            for start in range(0, 3000, 700):
+                writer.append(
+                    {k: v[start : start + 700] for k, v in columns.items()}
+                )
+        a = MmapBackend(tmp_path / "streamed")
+        for name, values in columns.items():
+            np.testing.assert_array_equal(np.asarray(a.column(name).to_numpy()), values)
+
+    def test_object_columns_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="object dtype"):
+            write_column_dir(tmp_path / "bad", {"keys": np.array(["a", None], dtype=object)})
+
+    def test_schema_fixed_by_first_batch(self, tmp_path):
+        writer = ColumnDirWriter(tmp_path / "w")
+        writer.append({"a": np.ones(5)})
+        with pytest.raises(ValueError, match="schema"):
+            writer.append({"b": np.ones(5)})
+
+    def test_mismatched_batch_lengths_rejected(self, tmp_path):
+        writer = ColumnDirWriter(tmp_path / "w")
+        with pytest.raises(ValueError, match="same length"):
+            writer.append({"a": np.ones(5), "b": np.ones(6)})
+
+    def test_empty_finalize_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="empty"):
+            ColumnDirWriter(tmp_path / "w").finalize()
+
+    def test_existing_dir_needs_overwrite(self, columns, column_dir):
+        with pytest.raises(FileExistsError):
+            ColumnDirWriter(column_dir)
+        write_column_dir(column_dir, columns, overwrite=True)  # no raise
+
+    def test_truncated_column_file_detected(self, columns, column_dir):
+        (column_dir / "values.bin").write_bytes(b"\0" * 8)
+        with pytest.raises(ValueError, match="truncated"):
+            read_manifest(column_dir)
+
+    def test_missing_manifest_is_a_pointed_error(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="column directory"):
+            MmapBackend(tmp_path)
+
+    def test_unsupported_version_rejected(self, columns, column_dir):
+        manifest = json.loads((column_dir / MANIFEST_NAME).read_text())
+        manifest["version"] = 999
+        (column_dir / MANIFEST_NAME).write_text(json.dumps(manifest))
+        with pytest.raises(ValueError, match="version"):
+            read_manifest(column_dir)
+
+
+class TestBackendProtocol:
+    def test_gather_parity_across_backends(self, columns, column_dir):
+        backends = all_backends(columns, column_dir)
+        rng = np.random.default_rng(0)
+        idx = rng.integers(-3000, 3000, 500)
+        for name in columns:
+            gathered = {
+                kind: b.column(name).gather(idx) for kind, b in backends.items()
+            }
+            for kind, arr in gathered.items():
+                np.testing.assert_array_equal(arr, gathered["memory"], err_msg=kind)
+
+    def test_empty_gather(self, columns, column_dir):
+        for kind, backend in all_backends(columns, column_dir).items():
+            out = backend.column("values").gather(np.empty(0, dtype=np.int64))
+            assert out.shape == (0,), kind
+
+    def test_out_of_range_gather_raises(self, columns, column_dir):
+        for kind, backend in all_backends(columns, column_dir).items():
+            with pytest.raises(IndexError):
+                backend.column("values").gather([3000])
+            with pytest.raises(IndexError):
+                backend.column("values").gather([-3001])
+
+    def test_unknown_column_lists_available(self, columns, column_dir):
+        for kind, backend in all_backends(columns, column_dir).items():
+            with pytest.raises(KeyError, match="available columns"):
+                backend.column("nope")
+
+    def test_dense_nbytes_consistent(self, columns, column_dir):
+        expected = sum(np.asarray(v).nbytes for v in columns.values())
+        for kind, backend in all_backends(columns, column_dir).items():
+            assert backend.nbytes == expected, kind
+            assert backend.num_records == 3000
+            assert set(backend.column_names()) == set(columns)
+            assert "values" in backend and "nope" not in backend
+
+    def test_handles_are_not_silently_arrayable(self, columns, column_dir):
+        # np.asarray on a handle must not silently materialize the column;
+        # the explicit adapter is as_dense / to_numpy.
+        handle = ChunkedBackend(column_dir, chunk_size=256).column("values")
+        assert np.asarray(handle).dtype == object
+        assert as_dense(handle).dtype == np.float64
+
+    def test_in_memory_arrays_are_read_only_copies(self):
+        source = np.arange(5, dtype=float)
+        handle = ArrayColumnHandle("a", source)
+        source[0] = 99.0
+        assert handle.to_numpy()[0] == 0.0
+        with pytest.raises(ValueError):
+            handle.to_numpy()[0] = 1.0
+
+    def test_from_table_skips_object_columns(self):
+        from repro.dataset.table import Table
+
+        table = Table(
+            {"x": np.arange(4.0), "k": np.array(list("abcd"), dtype=object)},
+            name="t",
+        )
+        backend = InMemoryBackend.from_table(table)
+        assert backend.column_names() == ["x"]
+
+    def test_is_column_handle(self, columns, column_dir):
+        assert is_column_handle(ArrayColumnHandle("a", np.ones(3)))
+        assert not is_column_handle(np.ones(3))
+
+    def test_backed_handles_pickle_for_process_workers(self, columns, column_dir):
+        for backend in (
+            MmapBackend(column_dir),
+            ChunkedBackend(column_dir, chunk_size=256),
+        ):
+            handle = backend.column("values")
+            handle.gather([1, 2, 3])  # force lazy state open
+            clone = pickle.loads(pickle.dumps(handle))
+            np.testing.assert_array_equal(
+                clone.gather([5, 10]), handle.gather([5, 10])
+            )
+
+
+class TestChunkedResidency:
+    def test_lru_eviction_bounds_residency(self, columns, column_dir):
+        backend = ChunkedBackend(column_dir, chunk_size=256, max_resident_chunks=3)
+        backend.column("values").gather(np.arange(3000))  # touch all 12 chunks
+        info = backend.cache_info()
+        assert info["resident_chunks"] <= 3
+        assert info["evictions"] >= 9
+        assert info["resident_nbytes"] <= 3 * 256 * 8
+
+    def test_repeat_gathers_hit_the_cache(self, columns, column_dir):
+        backend = ChunkedBackend(column_dir, chunk_size=1024, max_resident_chunks=8)
+        idx = np.array([0, 1, 2, 5, 9])
+        backend.column("values").gather(idx)
+        misses = backend.cache_info()["misses"]
+        backend.column("values").gather(idx)
+        info = backend.cache_info()
+        assert info["misses"] == misses  # no new loads
+        assert info["hits"] >= 1
+
+    def test_to_numpy_bypasses_the_lru(self, columns, column_dir):
+        backend = ChunkedBackend(column_dir, chunk_size=256, max_resident_chunks=2)
+        backend.column("values").to_numpy()
+        assert backend.cache_info()["resident_chunks"] == 0
+
+
+class TestIntegrationAdapters:
+    def test_backed_proxy_scores_and_batch(self, columns, column_dir):
+        backend = MmapBackend(column_dir)
+        proxy = BackedProxy(backend, "scores")
+        np.testing.assert_array_equal(np.asarray(proxy.scores()), columns["scores"])
+        np.testing.assert_array_equal(
+            proxy.scores_batch([3, 1, 4]), columns["scores"][[3, 1, 4]]
+        )
+        assert len(proxy) == 3000
+
+    def test_backed_proxy_validates_scores(self, tmp_path):
+        write_column_dir(tmp_path / "bad", {"scores": np.array([0.5, 1.5])})
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            BackedProxy(MmapBackend(tmp_path / "bad"), "scores").scores()
+
+    def test_backed_proxy_argument_errors(self, columns, column_dir):
+        backend = MmapBackend(column_dir)
+        with pytest.raises(ValueError, match="column name"):
+            BackedProxy(backend)
+        with pytest.raises(TypeError, match="DatasetBackend or ColumnHandle"):
+            BackedProxy(np.ones(5))
+
+    def test_backed_label_oracle_matches_dense(self, columns, column_dir):
+        dense = LabelColumnOracle(columns["flag"])
+        backed = LabelColumnOracle(MmapBackend(column_dir).column("flag"))
+        idx = np.array([0, 17, 2999])
+        np.testing.assert_array_equal(
+            backed.evaluate_batch(idx), dense.evaluate_batch(idx)
+        )
+        assert backed(5) == dense(5)
+        np.testing.assert_array_equal(backed.labels, dense.labels)
+
+    def test_backed_threshold_oracle_matches_dense(self, columns, column_dir):
+        dense = ThresholdOracle(columns["count"], threshold=25)
+        backed = ThresholdOracle(
+            ChunkedBackend(column_dir, chunk_size=512).column("count"), threshold=25
+        )
+        idx = np.arange(0, 3000, 7)
+        np.testing.assert_array_equal(
+            backed.evaluate_batch(idx), dense.evaluate_batch(idx)
+        )
+
+    def test_to_backend_kinds(self, tmp_path):
+        scenario = make_dataset("celeba", seed=0, size=2000)
+        memory = to_backend(scenario, kind="memory")
+        mmap = to_backend(scenario, kind="mmap", path=tmp_path / "b")
+        chunked = to_backend(
+            scenario, kind="chunked", path=tmp_path / "b", chunk_size=128
+        )
+        for backend in (memory, mmap, chunked):
+            assert backend.num_records == 2000
+            for col in ("statistic", "proxy_score", "label"):
+                assert col in backend
+            np.testing.assert_array_equal(
+                np.asarray(backend.column("label").to_numpy()), scenario.labels
+            )
+        with pytest.raises(ValueError, match="requires a path"):
+            to_backend(scenario, kind="mmap")
+        with pytest.raises(ValueError, match="unknown backend kind"):
+            to_backend(scenario, kind="warp")
+
+    def test_ingest_scenario_matches_generator(self, tmp_path):
+        manifest = ingest_scenario(
+            "trec05p", tmp_path / "ing", size=3000, seed=4, shard_rows=700,
+            payload_columns=1,
+        )
+        assert manifest["num_records"] == 3000
+        backend = MmapBackend(tmp_path / "ing")
+        scenario = make_dataset("trec05p", seed=4, size=3000)
+        np.testing.assert_array_equal(
+            np.asarray(backend.column("statistic").to_numpy()),
+            scenario.statistic_values,
+        )
+        np.testing.assert_array_equal(
+            np.asarray(backend.column("label").to_numpy()), scenario.labels
+        )
+        assert backend.column("payload_0").dtype == np.float64
+
+    def test_to_backend_refuses_a_stale_directory(self, tmp_path):
+        # A directory left by an earlier export of a *different* scenario
+        # must not be silently served back (same path, new size/seed).
+        first = make_dataset("celeba", seed=0, size=2000)
+        to_backend(first, kind="mmap", path=tmp_path / "d")
+        other_size = make_dataset("celeba", seed=0, size=1000)
+        with pytest.raises(ValueError, match="different dataset"):
+            to_backend(other_size, kind="mmap", path=tmp_path / "d")
+        other_seed = make_dataset("celeba", seed=1, size=2000)
+        with pytest.raises(ValueError, match="different dataset"):
+            to_backend(other_seed, kind="chunked", path=tmp_path / "d")
+        # overwrite=True replaces it; the new contents are then reusable.
+        backend = to_backend(
+            other_seed, kind="mmap", path=tmp_path / "d", overwrite=True
+        )
+        np.testing.assert_array_equal(
+            np.asarray(backend.column("label").to_numpy()), other_seed.labels
+        )
+        to_backend(other_seed, kind="mmap", path=tmp_path / "d")  # no raise
+
+    def test_query_backend_size_mismatch_is_a_planning_error(self, tmp_path):
+        from repro.oracle.simulated import LabelColumnOracle
+        from repro.query.errors import PlanningError
+        from repro.query.executor import QueryContext, execute_query
+
+        scenario = make_dataset("celeba", seed=0, size=2000)
+        backend = to_backend(scenario, kind="mmap", path=tmp_path / "q")
+        context = QueryContext(1500)  # does not match the backend
+        context.register_statistic("stat", "statistic")
+        context.register_predicate(
+            "match", LabelColumnOracle(backend.column("label")), "proxy_score"
+        )
+        query = (
+            "SELECT COUNT(stat) FROM t WHERE match(r) = 'yes' "
+            "ORACLE LIMIT 50 USING p WITH PROBABILITY 0.95"
+        )
+        # COUNT resolves no statistic column, so only the plan-level
+        # record-count guard stands between this and a silently wrong
+        # answer over the mismatched population.
+        with pytest.raises(PlanningError, match="records"):
+            execute_query(query, context, seed=0, backend=backend)
+
+    def test_ingest_shard_size_invariance(self, tmp_path):
+        ingest_scenario(
+            "celeba", tmp_path / "a", size=1500, seed=0, shard_rows=100,
+            payload_columns=1,
+        )
+        ingest_scenario(
+            "celeba", tmp_path / "b", size=1500, seed=0, shard_rows=1500,
+            payload_columns=1,
+        )
+        a, b = MmapBackend(tmp_path / "a"), MmapBackend(tmp_path / "b")
+        for col in a.column_names():
+            if col.startswith("payload"):
+                continue  # payload streams are keyed per shard by design
+            np.testing.assert_array_equal(
+                np.asarray(a.column(col).to_numpy()),
+                np.asarray(b.column(col).to_numpy()),
+                err_msg=col,
+            )

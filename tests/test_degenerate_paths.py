@@ -1,0 +1,357 @@
+"""Degenerate-stratum and extreme-input edge cases across the stack.
+
+Pins two bugfix sweeps:
+
+* **No NaN/inf ever reaches a result** — strata with zero draws, zero
+  positives or a single draw, empty groups, and degenerate minimax
+  problems must produce well-defined estimates/CIs (the paper's
+  conventions: empty mean = 0, singleton variance = 0, all-zero weights
+  = 0), not formula artifacts.  Before the guards, an empty group froze
+  the group-by minimax objective at a constant ``inf`` and the
+  Nelder–Mead simplex churned through inf-inf = NaN arithmetic for its
+  whole iteration budget.
+* **Query scalar finalization under extreme dataset sizes** —
+  ``_estimate_group_count`` and group-by COUNT finalization for
+  ``num_records`` of 0, 1 and far above the sample size, including the
+  multi-oracle stage-2 path.
+"""
+
+import math
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.abae import run_abae
+from repro.core.adaptive import run_abae_sequential, run_abae_until_width
+from repro.core.allocation import (
+    solve_minimax_multi_oracle,
+    solve_minimax_single_oracle,
+)
+from repro.core.groupby import (
+    GroupSpec,
+    run_groupby_multi_oracle,
+    run_groupby_single_oracle,
+)
+from repro.core.results import EstimateResult
+from repro.core.types import StratumSample
+from repro.optim.nelder_mead import nelder_mead
+from repro.oracle.groupkey import GroupKeyOracle, PerGroupOracles
+from repro.oracle.simulated import LabelColumnOracle
+from repro.query.executor import (
+    GroupBinding,
+    QueryContext,
+    _estimate_group_count,
+    execute_query,
+)
+from repro.stats.rng import RandomState
+
+N = 200
+
+
+@pytest.fixture(scope="module")
+def flat_scores():
+    return np.linspace(0.0, 1.0, N)
+
+
+def assert_all_finite(*values):
+    for value in values:
+        if value is None:
+            continue
+        assert isinstance(value, float)
+        assert math.isfinite(value), f"non-finite value leaked: {value!r}"
+
+
+def scalar_query(agg):
+    return (
+        f"SELECT {agg}(stat) FROM t WHERE match(r) = 'yes' "
+        "ORACLE LIMIT 40 USING p WITH PROBABILITY 0.95"
+    )
+
+
+GROUP_QUERY = (
+    "SELECT AVG(stat) FROM t WHERE color(img) = 'x' GROUP BY color(img) "
+    "ORACLE LIMIT 60 USING p WITH PROBABILITY 0.95"
+)
+GROUP_COUNT_QUERY = GROUP_QUERY.replace("AVG", "COUNT")
+
+
+class TestZeroPositiveStrata:
+    """A predicate selecting nothing must yield 0.0 (and CI (0, 0))."""
+
+    @pytest.fixture()
+    def context(self, flat_scores):
+        context = QueryContext(N)
+        context.register_statistic("stat", np.full(N, 2.5))
+        context.register_predicate(
+            "match", LabelColumnOracle(np.zeros(N, dtype=bool)), flat_scores
+        )
+        return context
+
+    @pytest.mark.parametrize("agg", ["AVG", "SUM", "COUNT", "PERCENTAGE"])
+    def test_every_aggregate_is_finite(self, context, agg):
+        result = execute_query(scalar_query(agg), context, seed=0)
+        assert_all_finite(result.value)
+        assert result.value == 0.0
+        if result.ci is not None:
+            assert_all_finite(result.ci.lower, result.ci.upper)
+
+    def test_samplers_directly(self, flat_scores):
+        zeros = np.zeros(N, dtype=bool)
+        stat = np.full(N, 2.5)
+        result = run_abae(
+            flat_scores, LabelColumnOracle(zeros), stat, budget=40,
+            with_ci=True, num_bootstrap=30, rng=RandomState(0),
+        )
+        assert_all_finite(result.estimate, result.ci.lower, result.ci.upper)
+        result = run_abae_sequential(
+            flat_scores, LabelColumnOracle(zeros), stat, budget=60,
+            warmup_per_stratum=3, with_ci=True, num_bootstrap=30,
+            rng=RandomState(0),
+        )
+        assert_all_finite(result.estimate, result.ci.lower, result.ci.upper)
+        result = run_abae_until_width(
+            flat_scores, LabelColumnOracle(zeros), stat, target_width=0.1,
+            max_budget=60, num_bootstrap=20, rng=RandomState(0),
+        )
+        assert_all_finite(result.estimate)
+
+
+class TestSingleDrawStrata:
+    def test_one_record_per_stratum(self):
+        scores = np.linspace(0, 1, 5)
+        labels = np.array([True, False, True, True, False])
+        result = run_abae(
+            scores, LabelColumnOracle(labels), np.arange(5.0), budget=5,
+            num_strata=5, with_ci=True, num_bootstrap=30, rng=RandomState(0),
+        )
+        assert_all_finite(result.estimate, result.ci.lower, result.ci.upper)
+        for estimate in result.strata_estimates:
+            assert_all_finite(estimate.p_hat, estimate.mu_hat, estimate.sigma_hat)
+
+    def test_budget_below_strata_count(self, flat_scores):
+        labels = flat_scores > 0.5
+        result = run_abae(
+            flat_scores, LabelColumnOracle(labels), np.full(N, 2.5), budget=3,
+            num_strata=5, with_ci=True, num_bootstrap=30, rng=RandomState(0),
+        )
+        assert_all_finite(result.estimate, result.ci.lower, result.ci.upper)
+        assert result.oracle_calls <= 3
+
+
+class TestEmptyGroupGroupBy:
+    """Group-by with a registered group no record belongs to."""
+
+    @pytest.fixture()
+    def pieces(self, flat_scores):
+        keys = np.array(["a"] * N, dtype=object)  # group "b" is empty
+        proxies = {"a": flat_scores, "b": 1.0 - flat_scores}
+        return keys, proxies
+
+    def make_context(self, pieces, setting):
+        keys, proxies = pieces
+        context = QueryContext(N)
+        context.register_statistic("stat", np.full(N, 2.5))
+        if setting == "single":
+            binding = GroupBinding(
+                groups=["a", "b"], proxies=proxies,
+                group_key_oracle=GroupKeyOracle(keys, groups=["a", "b"]),
+            )
+        else:
+            binding = GroupBinding(
+                groups=["a", "b"], proxies=proxies,
+                per_group_oracles=PerGroupOracles(keys, groups=["a", "b"]),
+            )
+        context.register_groupby("color", binding)
+        return context
+
+    @pytest.mark.parametrize("setting", ["single", "multi"])
+    @pytest.mark.parametrize("query", [GROUP_QUERY, GROUP_COUNT_QUERY])
+    def test_finite_and_warning_free(self, pieces, setting, query):
+        context = self.make_context(pieces, setting)
+        with warnings.catch_warnings():
+            # The pre-guard minimax objective churned inf-inf = NaN inside
+            # Nelder-Mead ("invalid value encountered in subtract").
+            warnings.simplefilter("error", RuntimeWarning)
+            result = execute_query(query, context, seed=0)
+        for group, value in result.group_values.items():
+            assert_all_finite(value)
+        assert result.group_values["b"] == 0.0
+        for lam in result.details["allocation"].values():
+            assert_all_finite(float(lam))
+
+    @pytest.mark.parametrize("setting", ["single", "multi"])
+    def test_direct_runner_tiny_budget(self, pieces, setting):
+        keys, proxies = pieces
+        specs = [GroupSpec(key=g, proxy=proxies[g]) for g in ["a", "b"]]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            if setting == "single":
+                result = run_groupby_single_oracle(
+                    specs, GroupKeyOracle(keys, groups=["a", "b"]),
+                    np.full(N, 2.5), budget=4, rng=RandomState(0),
+                )
+            else:
+                result = run_groupby_multi_oracle(
+                    specs, PerGroupOracles(keys, groups=["a", "b"]),
+                    np.full(N, 2.5), budget=4, rng=RandomState(0),
+                )
+        for group_result in result.group_results.values():
+            assert_all_finite(group_result.estimate)
+
+
+class TestMinimaxDegenerateInputs:
+    def test_all_infinite_single_oracle_falls_back_to_uniform(self):
+        terms = np.full((3, 3), np.inf)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            lam = solve_minimax_single_oracle(terms, n2=100)
+        np.testing.assert_allclose(lam, np.full(3, 1 / 3))
+
+    def test_all_zero_single_oracle_falls_back_to_uniform(self):
+        # Zero S terms mean zero variance everywhere: nothing to optimize.
+        # Pre-guard this *also* produced a constant-inf objective, because
+        # zero-variance terms were skipped from the inverse-variance sum.
+        lam = solve_minimax_single_oracle(np.zeros((3, 3)), n2=100)
+        np.testing.assert_allclose(lam, np.full(3, 1 / 3))
+
+    def test_one_hopeless_group_does_not_freeze_the_objective(self):
+        terms = np.array([[1.0, np.inf], [2.0, np.inf]])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            lam = solve_minimax_single_oracle(terms, n2=100)
+        assert np.all(np.isfinite(lam))
+        assert lam.sum() == pytest.approx(1.0)
+
+    def test_multi_oracle_hopeless_groups(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            lam = solve_minimax_multi_oracle(np.array([np.inf, np.inf]), n2=50)
+            np.testing.assert_allclose(lam, [0.5, 0.5])
+            lam = solve_minimax_multi_oracle(np.array([1.0, np.inf]), n2=50)
+        assert np.all(np.isfinite(lam))
+
+    def test_nelder_mead_constant_inf_objective_stalls_cleanly(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", RuntimeWarning)
+            result = nelder_mead(lambda x: float("inf"), [0.5, 0.5], max_iter=50)
+        assert result.fun == float("inf")
+        np.testing.assert_allclose(result.x, [0.5, 0.5])
+
+    def test_nelder_mead_still_optimizes_finite_objectives(self):
+        result = nelder_mead(lambda x: float(np.sum((x - 3.0) ** 2)), [0.0, 0.0])
+        np.testing.assert_allclose(result.x, [3.0, 3.0], atol=1e-3)
+
+
+def stratum_sample(stratum, indices, matches, values=None):
+    matches = np.asarray(matches, dtype=bool)
+    if values is None:
+        values = np.where(matches, 1.0, np.nan)
+    return StratumSample(
+        stratum=stratum, indices=np.asarray(indices, dtype=np.int64),
+        matches=matches, values=np.asarray(values, dtype=float),
+    )
+
+
+class TestEstimateGroupCount:
+    """_estimate_group_count under extreme num_records (0, 1, >> samples)."""
+
+    def result_with(self, draws, positives):
+        samples = [
+            stratum_sample(
+                0,
+                np.arange(draws),
+                [i < positives for i in range(draws)],
+            )
+        ]
+        return EstimateResult(estimate=1.0, oracle_calls=draws, samples=samples)
+
+    def test_no_samples_returns_zero(self):
+        empty = EstimateResult(estimate=0.0, oracle_calls=0, samples=[])
+        for num_records in (0, 1, 10**12):
+            assert _estimate_group_count(empty, num_records) == 0.0
+
+    def test_zero_draws_returns_zero(self):
+        result = self.result_with(0, 0)
+        for num_records in (0, 1, 10**12):
+            assert _estimate_group_count(result, num_records) == 0.0
+
+    def test_num_records_zero(self):
+        assert _estimate_group_count(self.result_with(10, 5), 0) == 0.0
+
+    def test_num_records_one(self):
+        assert _estimate_group_count(self.result_with(10, 5), 1) == 0.5
+
+    def test_num_records_far_above_sample(self):
+        value = _estimate_group_count(self.result_with(10, 5), 10**12)
+        assert_all_finite(value)
+        assert value == pytest.approx(0.5 * 10**12)
+
+    def test_all_positive(self):
+        assert _estimate_group_count(self.result_with(8, 8), 100) == 100.0
+
+
+class TestGroupCountFinalizationExtremes:
+    """End-to-end COUNT group-by under tiny and huge dataset sizes."""
+
+    def build_context(self, size, setting):
+        scores = np.linspace(0.1, 0.9, size) if size > 1 else np.array([0.5])
+        keys = np.array(["a"] * size, dtype=object)
+        proxies = {"a": scores}
+        context = QueryContext(size)
+        context.register_statistic("stat", np.ones(size))
+        if setting == "single":
+            binding = GroupBinding(
+                groups=["a"], proxies=proxies,
+                group_key_oracle=GroupKeyOracle(keys, groups=["a"]),
+            )
+        else:
+            binding = GroupBinding(
+                groups=["a"], proxies=proxies,
+                per_group_oracles=PerGroupOracles(keys, groups=["a"]),
+            )
+        context.register_groupby("color", binding)
+        return context
+
+    @pytest.mark.parametrize("setting", ["single", "multi"])
+    def test_single_record_dataset(self, setting):
+        context = self.build_context(1, setting)
+        query = GROUP_COUNT_QUERY.replace("LIMIT 60", "LIMIT 1")
+        result = execute_query(query, context, seed=0, num_strata=1)
+        assert result.group_values["a"] == 1.0
+
+    @pytest.mark.parametrize("setting", ["single", "multi"])
+    def test_sample_far_below_population(self, setting):
+        size = 5000
+        context = self.build_context(size, setting)
+        result = execute_query(GROUP_COUNT_QUERY, context, seed=0)
+        # Every record belongs to the group, so the scaled count must
+        # recover the full population exactly, however few records the
+        # stage-2 sampler actually drew.
+        assert result.group_values["a"] == pytest.approx(size)
+        assert result.oracle_calls <= 60
+
+    def test_multi_oracle_stage2_path_is_exercised(self):
+        # Two groups with members so the minimax stage-2 allocation (not
+        # the uniform fallback) runs under the COUNT finalization.
+        size = 2000
+        rng = np.random.default_rng(3)
+        keys = np.where(rng.random(size) < 0.3, "a", "b").astype(object)
+        scores = np.clip(rng.random(size), 0, 1)
+        proxies = {"a": scores, "b": 1.0 - scores}
+        context = QueryContext(size)
+        context.register_statistic("stat", np.ones(size))
+        context.register_groupby(
+            "color",
+            GroupBinding(
+                groups=["a", "b"], proxies=proxies,
+                per_group_oracles=PerGroupOracles(keys, groups=["a", "b"]),
+            ),
+        )
+        query = GROUP_COUNT_QUERY.replace("LIMIT 60", "LIMIT 400")
+        result = execute_query(query, context, seed=1)
+        total = sum(result.group_values.values())
+        assert_all_finite(*result.group_values.values())
+        # The two group counts partition the dataset (approximately —
+        # each is an independent sampling estimate).
+        assert total == pytest.approx(size, rel=0.25)

@@ -212,6 +212,51 @@ class TestLegacyKwargDeprecation:
             with pytest.raises(PlanningError, match="batch_size"):
                 plan_query(query, batch_size=0)
 
+    def test_warning_points_at_the_caller_line(self, scenario):
+        """Legacy-kwarg deprecations must carry the *caller's* location.
+
+        A warning attributed to ``repro/engine/config.py`` is useless —
+        the user cannot find which of their calls to fix.  Every public
+        entry point (and a direct ``resolve_execution_config`` call) must
+        attribute the warning to this test file.
+        """
+        entry_points = {
+            "resolve_execution_config": lambda: resolve_execution_config(
+                None, "direct", batch_size=7
+            ),
+            "run_abae": lambda: run_abae(
+                scenario.proxy, scenario.make_oracle(),
+                scenario.statistic_values, budget=60,
+                rng=RandomState(0), batch_size=7,
+            ),
+            "run_uniform": lambda: run_uniform(
+                scenario.num_records, scenario.make_oracle(),
+                scenario.statistic_values, budget=60,
+                rng=RandomState(0), num_workers=2,
+            ),
+            "run_abae_sequential": lambda: run_abae_sequential(
+                scenario.proxy, scenario.make_oracle(),
+                scenario.statistic_values, budget=100, warmup_per_stratum=4,
+                rng=RandomState(0), oracle_batch_size=8,
+            ),
+            "ABae.estimate": lambda: ABae(
+                scenario.proxy, scenario.make_oracle(),
+                scenario.statistic_values,
+            ).estimate(budget=60, rng=RandomState(0), batch_size=7),
+            "plan_query": lambda: plan_query(parse_query(QUERY), batch_size=7),
+        }
+        for name, invoke in entry_points.items():
+            with pytest.warns(DeprecationWarning, match="deprecated") as records:
+                invoke()
+            deprecations = [
+                r for r in records if issubclass(r.category, DeprecationWarning)
+            ]
+            assert deprecations, name
+            assert deprecations[0].filename == __file__, (
+                f"{name}: warning attributed to {deprecations[0].filename}, "
+                f"expected the caller's file {__file__}"
+            )
+
     def test_config_path_is_silent(self, scenario):
         """The modern config= path must emit no deprecation warnings at all."""
         with warnings.catch_warnings():

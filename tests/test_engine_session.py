@@ -329,6 +329,109 @@ class TestCheckpointResume:
             fresh.resume(pickle.dumps(payload))
 
 
+class TestCheckpointStructuralValidation:
+    """A checkpoint must refuse to resume on a structurally different run.
+
+    Before the CheckpointError guard, a two-stage checkpoint restored
+    into (say) a uniform pipeline, or into a pipeline stratified with a
+    different K or over a different dataset, silently continued sampling
+    into corrupt state — wrong strata, wrong policy, wrong estimator.
+    """
+
+    def checkpoint(self, scenario, num_strata=5, steps=3):
+        session = two_stage_pipeline(
+            proxy=scenario.proxy, oracle=scenario.make_oracle(),
+            statistic=scenario.statistic_values, budget=400,
+            num_strata=num_strata,
+        ).session(RandomState(0))
+        for _ in range(steps):
+            session.step()
+        return session.checkpoint()
+
+    def test_checkpoint_error_is_exported_and_a_value_error(self):
+        from repro.engine import CheckpointError
+
+        assert issubclass(CheckpointError, ValueError)
+
+    def test_version_mismatch_is_a_checkpoint_error(self, scenario):
+        import pickle
+
+        from repro.engine import CheckpointError
+
+        payload = pickle.loads(self.checkpoint(scenario))
+        payload["version"] = 1
+        fresh = two_stage_pipeline(
+            proxy=scenario.proxy, oracle=scenario.make_oracle(),
+            statistic=scenario.statistic_values, budget=400,
+        )
+        with pytest.raises(CheckpointError, match="checkpoint version"):
+            fresh.resume(pickle.dumps(payload))
+
+    def test_policy_class_mismatch_rejected(self, scenario):
+        from repro.engine import CheckpointError
+        from repro.engine.builders import uniform_pipeline
+
+        blob = self.checkpoint(scenario)
+        mismatched = uniform_pipeline(
+            scenario.num_records, scenario.make_oracle(),
+            scenario.statistic_values, budget=400,
+        )
+        with pytest.raises(CheckpointError, match="policy"):
+            mismatched.resume(blob)
+
+    def test_estimator_class_mismatch_rejected(self, scenario):
+        import pickle
+
+        from repro.engine import CheckpointError
+        from repro.engine.pipeline import StratifiedEstimator
+
+        payload = pickle.loads(self.checkpoint(scenario))
+        payload["estimator"] = StratifiedEstimator()
+        payload["shape"]["estimator_class"] = (
+            "repro.engine.pipeline.StratifiedEstimator"
+        )
+        fresh = two_stage_pipeline(
+            proxy=scenario.proxy, oracle=scenario.make_oracle(),
+            statistic=scenario.statistic_values, budget=400,
+        )
+        with pytest.raises(CheckpointError, match="estimator"):
+            fresh.resume(pickle.dumps(payload))
+
+    def test_stratum_count_mismatch_rejected(self, scenario):
+        from repro.engine import CheckpointError
+
+        blob = self.checkpoint(scenario, num_strata=5)
+        mismatched = two_stage_pipeline(
+            proxy=scenario.proxy, oracle=scenario.make_oracle(),
+            statistic=scenario.statistic_values, budget=400, num_strata=4,
+        )
+        with pytest.raises(CheckpointError, match="strata"):
+            mismatched.resume(blob)
+
+    def test_dataset_size_mismatch_rejected(self, scenario):
+        from repro.engine import CheckpointError
+        from repro.synth import make_dataset
+
+        blob = self.checkpoint(scenario)
+        other = make_dataset("synthetic", seed=0, size=scenario.num_records // 2)
+        mismatched = two_stage_pipeline(
+            proxy=other.proxy, oracle=other.make_oracle(),
+            statistic=other.statistic_values, budget=400,
+        )
+        with pytest.raises(CheckpointError, match="records"):
+            mismatched.resume(blob)
+
+    def test_matching_pipeline_still_resumes(self, scenario):
+        blob = self.checkpoint(scenario)
+        fresh = two_stage_pipeline(
+            proxy=scenario.proxy, oracle=scenario.make_oracle(),
+            statistic=scenario.statistic_values, budget=400,
+        )
+        resumed = fresh.resume(blob)
+        result = drive(resumed)
+        assert result.oracle_calls == 400
+
+
 class TestBudgetTopUp:
     def test_two_stage_top_up_spends_exactly_the_extra(self, scenario):
         session = two_stage_pipeline(

@@ -61,8 +61,23 @@ class TestBernoulliTails:
     def test_larger_deviation_smaller_probability(self):
         assert bernoulli_upper_tail(100, 0.3, 20.0) < bernoulli_upper_tail(100, 0.3, 5.0)
 
-    def test_zero_p_lower_tail_trivial(self):
-        assert bernoulli_lower_tail(100, 0.0, 1.0) == 1.0
+    def test_degenerate_p_tails_are_exactly_zero(self):
+        # A Binomial with p in {0, 1} is a point mass: deviating from the
+        # mean by any positive t is impossible, so the exact tail is 0.
+        # (The pre-fix code returned 1.0 for the p=0 lower tail and a
+        # positive Chernoff value for the others — valid bounds, but not
+        # the trivially correct value the boundary contract promises.)
+        assert bernoulli_lower_tail(100, 0.0, 1.0) == 0.0
+        assert bernoulli_upper_tail(100, 0.0, 1.0) == 0.0
+        assert bernoulli_lower_tail(100, 1.0, 1.0) == 0.0
+        assert bernoulli_upper_tail(100, 1.0, 1.0) == 0.0
+        assert binomial_tail_bound(100, 0.0, 1.0) == 0.0
+        assert binomial_tail_bound(100, 1.0, 1.0) == 0.0
+
+    def test_degenerate_p_zero_deviation_still_trivial(self):
+        # t == 0 wins over the point-mass rule: P(X >= mean) = 1.
+        assert bernoulli_upper_tail(100, 0.0, 0.0) == 1.0
+        assert bernoulli_lower_tail(100, 1.0, 0.0) == 1.0
 
     def test_two_sided_bound_combines(self):
         two_sided = binomial_tail_bound(100, 0.3, 10.0)
@@ -124,3 +139,83 @@ class TestSmallPkThreshold:
             small_pk_threshold(0, 0.05)
         with pytest.raises(ValueError):
             small_pk_threshold(100, 1.5)
+
+
+class TestBoundaryContract:
+    """The one boundary rule, checked uniformly over every bound.
+
+    Every function either returns the trivially correct probability at a
+    domain edge (1.0 at zero deviation, 0.0 for an impossible point-mass
+    tail) or raises ValueError — never a formula artifact.  Hypothesis
+    drives the generic invariants (range, monotonicity) over the interior.
+    """
+
+    ALL_BOUNDS = [
+        ("hoeffding", lambda n, p, t: hoeffding_bound(n, t)),
+        ("upper", bernoulli_upper_tail),
+        ("lower", bernoulli_lower_tail),
+        ("two-sided", binomial_tail_bound),
+        ("sub-gaussian", lambda n, p, t: sub_gaussian_mean_bound(n, 1.0, t)),
+    ]
+
+    def test_n_zero_raises_everywhere(self):
+        for name, bound in self.ALL_BOUNDS:
+            for n in (0, -1):
+                with pytest.raises(ValueError, match="positive"):
+                    bound(n, 0.5, 0.1)
+
+    def test_zero_deviation_is_one_everywhere(self):
+        for name, bound in self.ALL_BOUNDS:
+            assert bound(50, 0.5, 0.0) == 1.0, name
+
+    def test_negative_deviation_raises_everywhere(self):
+        for name, bound in self.ALL_BOUNDS:
+            with pytest.raises(ValueError):
+                bound(50, 0.5, -0.5)
+
+    def test_p_outside_unit_interval_raises(self):
+        for bound in (bernoulli_upper_tail, bernoulli_lower_tail, binomial_tail_bound):
+            for p in (-0.1, 1.1):
+                with pytest.raises(ValueError, match=r"\[0, 1\]"):
+                    bound(10, p, 1.0)
+
+    def test_property_bounds_are_probabilities_and_monotone(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @settings(max_examples=200, deadline=None)
+        @given(
+            n=st.integers(min_value=1, max_value=10_000),
+            p=st.floats(min_value=0.0, max_value=1.0),
+            t=st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+        )
+        def check(n, p, t):
+            for name, bound in self.ALL_BOUNDS:
+                value = bound(n, p, t)
+                assert 0.0 <= value <= 1.0, (name, n, p, t, value)
+                # Non-increasing in the deviation.
+                assert bound(n, p, t + 1.0) <= value + 1e-12, (name, n, p, t)
+            # Degenerate rates give the exact (zero) tail for t > 0.
+            if t > 0 and p in (0.0, 1.0):
+                assert bernoulli_upper_tail(n, p, t) == 0.0
+                assert bernoulli_lower_tail(n, p, t) == 0.0
+
+        check()
+
+    def test_property_tighter_with_more_samples(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @settings(max_examples=100, deadline=None)
+        @given(
+            n=st.integers(min_value=1, max_value=5_000),
+            eps=st.floats(min_value=1e-6, max_value=1.0),
+        )
+        def check(n, eps):
+            assert hoeffding_bound(4 * n, eps) <= hoeffding_bound(n, eps) + 1e-12
+            assert (
+                sub_gaussian_mean_bound(4 * n, 1.0, eps)
+                <= sub_gaussian_mean_bound(n, 1.0, eps) + 1e-12
+            )
+
+        check()
