@@ -1,0 +1,83 @@
+"""Concurrent serving: scheduler parity + TTFE/TTCI SLO percentiles.
+
+Not a paper figure — this pins the engineering claims of the serving
+layer (``repro.serve``):
+
+* **parity** — under the cooperative scheduler, every query's result and
+  oracle accounting is bit-identical to running that query alone, across
+  round-robin and randomized interleavings, asserted inside
+  ``scripts/bench_serve.py`` before any latency numbers are reported;
+* **SLOs** — at 10 and 100 concurrent queries over one shared in-memory
+  backend, both closed-loop (batch) and open-loop (staggered arrivals)
+  shapes complete every query, deliver a first estimate to every client,
+  and reach the calibrated target CI width within each query's budget.
+
+The benchmark script is the single source of truth for the workload;
+this test drives its ``--smoke`` configuration exactly as CI does and
+checks the machine-readable run table it emits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from bench_results import RESULTS_DIR
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SCRIPT = REPO_ROOT / "scripts" / "bench_serve.py"
+
+# Generous CI-machine ceiling; local runs come in far under it.  The point
+# of the gate is catching a scheduling regression that starves queries
+# (p99 TTFE exploding), not micro-benchmarking the hardware.
+MAX_P99_TTFE_MS = 2_000.0
+
+
+def test_perf_serve(results_dir):
+    json_path = results_dir / "BENCH_serve.json"
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    completed = subprocess.run(
+        [
+            sys.executable,
+            str(SCRIPT),
+            "--smoke",
+            "--max-p99-ttfe-ms", str(MAX_P99_TTFE_MS),
+            "--json", str(json_path),
+        ],
+        env=env,
+        cwd=str(REPO_ROOT),
+        capture_output=True,
+        text=True,
+        timeout=900,
+    )
+    print(completed.stdout)
+    # The script exits non-zero on a parity mismatch or a violated gate.
+    assert completed.returncode == 0, (
+        f"bench_serve failed (rc={completed.returncode}):\n"
+        f"{completed.stdout}\n{completed.stderr}"
+    )
+
+    payload = json.loads(json_path.read_text())
+    assert payload["benchmark"] == "serve"
+    assert payload["parity"]["identical"] is True
+    assert payload["failures"] == []
+    assert payload["levels"] == [10, 100]
+    assert payload["gate"]["measured_p99_ttfe_ms"] <= MAX_P99_TTFE_MS
+
+    for level, shapes in payload["results"].items():
+        for shape, report in shapes.items():
+            assert report["completed"] == report["queries"], (level, shape)
+            # Every client saw a first estimate and hit the target CI.
+            assert report["ttfe_ms"]["p99"] is not None
+            assert report["ttci_ms"]["attained"] == 1.0, (level, shape)
+
+    # The run table lands in benchmarks/results/ for the cross-PR perf
+    # trajectory (uploaded as a CI artifact).
+    assert json_path == RESULTS_DIR / "BENCH_serve.json"

@@ -1,0 +1,339 @@
+#!/usr/bin/env python
+"""Concurrent serving benchmark: scheduler parity + TTFE / TT-target-CI SLOs.
+
+Two phases, parity first and gating:
+
+1. **Parity** — before any timing, scheduled execution is asserted
+   bit-identical to solo execution: a mix of pipelines is run under the
+   cooperative scheduler (round-robin and randomized interleavings) and
+   every query's result + oracle-accounting fingerprints must equal its
+   solo baseline.  Serving is scheduling, never semantics.
+
+2. **Load** — at each concurrency level (default 10 / 100 / 1000 live
+   queries over one shared in-memory dataset backend), two Locust-style
+   load shapes are driven through :class:`repro.serve.AQPService`:
+
+   * **closed loop** — all queries submitted up front, scheduler runs to
+     completion (the batch-analytics shape);
+   * **open loop** — queries arrive during execution at a fixed
+     inter-arrival step count (the interactive shape).
+
+   Per query the scheduler records *time-to-first-estimate* (first step
+   that charged an oracle draw) and *time-to-target-CI* (anytime CI-width
+   proxy under a precomputed target); the benchmark reports p50/p99 of
+   both, per level and shape.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_serve.py \
+        [--levels 10,100,1000] [--budget 400] [--smoke] \
+        [--max-p99-ttfe-ms 50] [--json benchmarks/results/BENCH_serve.json]
+
+``--smoke`` shrinks to levels 10 and 100 with a smaller budget (the
+tier-2 CI configuration).  ``--max-p99-ttfe-ms`` gates the closed-loop
+p99 TTFE at the 100-query level; exceeding it (or any parity mismatch)
+exits non-zero.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "tests"))
+
+from harness import scheduled_fingerprints, solo_fingerprint  # noqa: E402
+
+from repro.engine.builders import two_stage_pipeline  # noqa: E402
+from repro.oracle.simulated import LabelColumnOracle  # noqa: E402
+from repro.proxy.base import BackedProxy  # noqa: E402
+from repro.serve import AQPService, approximate_ci_width  # noqa: E402
+from repro.stats.rng import RandomState  # noqa: E402
+from repro.synth import make_dataset, to_backend  # noqa: E402
+
+GATE_LEVEL = 100
+NUM_STRATA = 5
+
+
+def build_workload(size: int, seed: int = 0):
+    """One shared backend and a pipeline factory over it.
+
+    Every query reads the same backend columns (proxy, labels, statistic)
+    — the shared-storage serving shape — while owning its oracle wrapper
+    and RNG, so scheduling stays semantics-free.
+    """
+    scenario = make_dataset("synthetic", seed=seed, size=size)
+    backend = to_backend(scenario, kind="memory")
+    labels = backend.column("label")
+    statistic = backend.column("statistic")
+
+    def factory(budget):
+        return two_stage_pipeline(
+            BackedProxy(backend, "proxy_score"),
+            LabelColumnOracle(labels),
+            statistic,
+            budget=budget,
+            num_strata=NUM_STRATA,
+            with_ci=True,
+            num_bootstrap=20,
+        )
+
+    return factory
+
+
+def percentile(sorted_values, q):
+    """Nearest-rank percentile of an already-sorted list (None if empty)."""
+    if not sorted_values:
+        return None
+    rank = max(0, min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+def pick_target_ci_width(factory, budget, seed=0) -> float:
+    """A target CI width reachable mid-run: the width at ~60% of budget.
+
+    Computed from one solo trajectory and relaxed by 20% so queries with
+    other seeds still attain it well before exhausting their budget.
+    """
+    pipeline = factory(budget)
+    session = pipeline.session(RandomState(seed))
+    width_at_60 = None
+    while session.step():
+        if width_at_60 is None and session.spent >= 0.6 * budget:
+            width_at_60 = approximate_ci_width(session)
+    if width_at_60 is None or width_at_60 != width_at_60:  # NaN guard
+        raise RuntimeError("could not calibrate a target CI width")
+    return 1.2 * width_at_60
+
+
+# ---------------------------------------------------------------------------
+# Phase 1: parity (scheduled == solo, bit for bit)
+# ---------------------------------------------------------------------------
+
+
+def run_parity(factory, budget: int, concurrency: int = 8) -> dict:
+    checked = 0
+    for interleaving in ("round_robin", "random"):
+        seeds = [100 + i for i in range(concurrency)]
+        scheduled = scheduled_fingerprints(
+            [lambda: factory(budget)] * concurrency,
+            seeds,
+            interleaving=interleaving,
+            scheduler_seed=1,
+        )
+        for seed, digest in zip(seeds, scheduled):
+            solo = solo_fingerprint(factory(budget), seed)
+            if digest != solo:
+                raise AssertionError(
+                    f"scheduled result diverged from solo at seed {seed} "
+                    f"under {interleaving} interleaving"
+                )
+            checked += 1
+    return {"queries": checked, "identical": True, "concurrency": concurrency}
+
+
+# ---------------------------------------------------------------------------
+# Phase 2: load shapes
+# ---------------------------------------------------------------------------
+
+
+def summarize(service, handles, wall_s: float) -> dict:
+    ttfe = sorted(
+        h.time_to_first_estimate for h in handles
+        if h.time_to_first_estimate is not None
+    )
+    ttci = sorted(
+        h.time_to_target_ci for h in handles
+        if h.time_to_target_ci is not None
+    )
+    total_spent = sum(h.spent for h in handles)
+    return {
+        "queries": len(handles),
+        "completed": sum(1 for h in handles if h.status == "done"),
+        "wall_s": wall_s,
+        "steps": service.scheduler.total_steps,
+        "oracle_draws": total_spent,
+        "draws_per_s": total_spent / wall_s if wall_s > 0 else None,
+        "ttfe_ms": {
+            "p50": _ms(percentile(ttfe, 0.50)),
+            "p99": _ms(percentile(ttfe, 0.99)),
+            "max": _ms(ttfe[-1] if ttfe else None),
+        },
+        "ttci_ms": {
+            "p50": _ms(percentile(ttci, 0.50)),
+            "p99": _ms(percentile(ttci, 0.99)),
+            "attained": len(ttci) / len(handles) if handles else None,
+        },
+    }
+
+
+def _ms(seconds):
+    return None if seconds is None else seconds * 1000.0
+
+
+def run_closed_loop(factory, budget, level, target_ci_width) -> dict:
+    """All ``level`` queries submitted at t=0, then run to completion."""
+    service = AQPService(interleaving="round_robin")
+    start = time.perf_counter()
+    handles = [
+        service.submit_pipeline(
+            factory(budget), rng=1_000 + i, target_ci_width=target_ci_width
+        )
+        for i in range(level)
+    ]
+    service.run_until_complete()
+    wall = time.perf_counter() - start
+    report = summarize(service, handles, wall)
+    report["shape"] = "closed"
+    return report
+
+
+def run_open_loop(factory, budget, level, target_ci_width) -> dict:
+    """Queries arrive one per fixed step count while the service runs.
+
+    The inter-arrival gap is half a query's own step count, so the live
+    set ramps up to roughly 2x the arrival batch and the service is
+    genuinely concurrent for the whole run — the interactive shape.
+    """
+    steps_per_query = 2 * NUM_STRATA + 1
+    arrival_every = max(1, steps_per_query // 2)
+    service = AQPService(interleaving="round_robin")
+    handles = []
+    start = time.perf_counter()
+    submitted = 0
+    steps_since_arrival = 0
+    while submitted < level or service.live_queries:
+        if submitted < level and (
+            not handles or steps_since_arrival >= arrival_every
+        ):
+            handles.append(
+                service.submit_pipeline(
+                    factory(budget),
+                    rng=5_000 + submitted,
+                    target_ci_width=target_ci_width,
+                )
+            )
+            submitted += 1
+            steps_since_arrival = 0
+        if service.step() is not None:
+            steps_since_arrival += 1
+    wall = time.perf_counter() - start
+    report = summarize(service, handles, wall)
+    report["shape"] = "open"
+    return report
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--levels", default="10,100,1000",
+                        help="comma-separated concurrency levels")
+    parser.add_argument("--size", type=int, default=50_000,
+                        help="records in the shared dataset backend")
+    parser.add_argument("--budget", type=int, default=400,
+                        help="oracle budget per query")
+    parser.add_argument("--parity-concurrency", type=int, default=8)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI configuration: levels 10,100, smaller budget")
+    parser.add_argument("--max-p99-ttfe-ms", type=float, default=None,
+                        help="fail if closed-loop p99 TTFE at the "
+                        f"{GATE_LEVEL}-query level exceeds this")
+    parser.add_argument("--json", type=Path, default=None)
+    args = parser.parse_args()
+
+    levels = [int(x) for x in args.levels.split(",") if x]
+    budget = args.budget
+    if args.smoke:
+        levels = [10, 100]
+        budget = min(budget, 300)
+
+    factory = build_workload(args.size)
+
+    print(f"parity: {args.parity_concurrency} concurrent queries x "
+          "{round_robin, random} vs solo ...")
+    parity = run_parity(factory, min(budget, 300), args.parity_concurrency)
+    print(f"ok: {parity['queries']} scheduled queries bit-identical to solo\n")
+
+    target_ci_width = pick_target_ci_width(factory, budget)
+    print(f"target CI width (anytime proxy): {target_ci_width:.4f}\n")
+
+    results = {}
+    header = (f"{'level':>6} {'shape':>7} {'wall':>8} {'TTFE p50':>10} "
+              f"{'TTFE p99':>10} {'TTCI p50':>10} {'TTCI p99':>10} {'attain':>7}")
+    print(header)
+    for level in levels:
+        per_level = {}
+        for shape, runner in (("closed", run_closed_loop), ("open", run_open_loop)):
+            report = runner(factory, budget, level, target_ci_width)
+            per_level[shape] = report
+            ttfe, ttci = report["ttfe_ms"], report["ttci_ms"]
+            print(
+                f"{level:>6} {shape:>7} {report['wall_s']:>7.2f}s "
+                f"{_fmt(ttfe['p50']):>10} {_fmt(ttfe['p99']):>10} "
+                f"{_fmt(ttci['p50']):>10} {_fmt(ttci['p99']):>10} "
+                f"{ttci['attained'] * 100:>6.0f}%"
+            )
+        results[str(level)] = per_level
+
+    failures = []
+    for level, per_level in results.items():
+        for shape, report in per_level.items():
+            if report["completed"] != report["queries"]:
+                failures.append(
+                    f"level {level}/{shape}: only {report['completed']} of "
+                    f"{report['queries']} queries completed"
+                )
+    gate = None
+    if args.max_p99_ttfe_ms is not None:
+        gate_report = results.get(str(GATE_LEVEL), {}).get("closed")
+        if gate_report is None:
+            failures.append(
+                f"gate requested but level {GATE_LEVEL} was not run"
+            )
+        else:
+            p99 = gate_report["ttfe_ms"]["p99"]
+            gate = {
+                "level": GATE_LEVEL,
+                "max_p99_ttfe_ms": args.max_p99_ttfe_ms,
+                "measured_p99_ttfe_ms": p99,
+            }
+            if p99 is None or p99 > args.max_p99_ttfe_ms:
+                failures.append(
+                    f"closed-loop p99 TTFE at {GATE_LEVEL} queries is "
+                    f"{_fmt(p99)} (limit {args.max_p99_ttfe_ms:.1f}ms)"
+                )
+
+    if args.json is not None:
+        payload = {
+            "schema": 1,
+            "benchmark": "serve",
+            "size": args.size,
+            "budget": budget,
+            "levels": levels,
+            "target_ci_width": target_ci_width,
+            "parity": parity,
+            "results": results,
+            "gate": gate,
+            "failures": failures,
+        }
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\n[written to {args.json}]")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("\nok: parity held and every query met its serving lifecycle")
+    return 0
+
+
+def _fmt(ms):
+    return "n/a" if ms is None else f"{ms:.2f}ms"
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -82,6 +82,8 @@ class SamplingSession:
         self._next_stratum = 0
         self._done = False
         self._result: Optional[EstimateResult] = None
+        self._steps = 0
+        self._last_step_cost = 0
 
     # -- Introspection -------------------------------------------------------------
     @property
@@ -104,6 +106,26 @@ class SamplingSession:
         """The underlying pipeline state (read-only by convention)."""
         return self._state
 
+    @property
+    def steps(self) -> int:
+        """How many units of work :meth:`step` has executed so far.
+
+        Purely observational (the cooperative serving scheduler uses it
+        for per-step cost accounting); it never influences the draw
+        sequence.  Carried through checkpoints.
+        """
+        return self._steps
+
+    @property
+    def last_step_cost(self) -> int:
+        """Oracle draws charged by the most recent :meth:`step`.
+
+        Allocation steps cost 0; a draw step costs that stratum's draw
+        count.  Summed over all steps this equals ``spent`` (minus any
+        initial spend the session was primed with).
+        """
+        return self._last_step_cost
+
     # -- Stepping ------------------------------------------------------------------
     def step(self) -> bool:
         """Advance one unit of work; ``False`` once sampling is complete.
@@ -112,11 +134,15 @@ class SamplingSession:
         next round) or one stratum's draw within the current round.  The
         unit boundaries are part of no contract except granularity: the
         sequence of draws and RNG consumption is identical to
-        :meth:`run`'s.
+        :meth:`run`'s.  Each executed unit advances :attr:`steps` and
+        records its oracle-draw cost in :attr:`last_step_cost` — the
+        per-step accounting the serving scheduler charges against tenant
+        quotas.
         """
         if self._done:
             return False
         state = self._state
+        spent_before = state.spent
         if self._pending is None:
             counts = self._pipeline.policy.next_counts(state)
             if counts is None:
@@ -143,6 +169,8 @@ class SamplingSession:
                     budget=state.budget,
                 )
             )
+            self._steps += 1
+            self._last_step_cost = state.spent - spent_before
             return True
         k = self._next_stratum
         self._pipeline.draw(state, k, self._pending[k])
@@ -150,6 +178,8 @@ class SamplingSession:
         if self._next_stratum >= state.num_strata:
             self._pending = None
             state.round_index += 1
+        self._steps += 1
+        self._last_step_cost = state.spent - spent_before
         return True
 
     def run(self) -> EstimateResult:
@@ -253,6 +283,9 @@ class SamplingSession:
             "pending": self._pending,
             "next_stratum": self._next_stratum,
             "done": self._done,
+            # Observational per-step accounting; optional on restore so v2
+            # checkpoints taken before it existed still resume.
+            "steps": self._steps,
         }
         return pickle.dumps(payload)
 
@@ -307,6 +340,7 @@ class SamplingSession:
         session._pending = payload["pending"]
         session._next_stratum = payload["next_stratum"]
         session._done = payload["done"]
+        session._steps = int(payload.get("steps", 0))
         pipeline._session = session
         return session
 

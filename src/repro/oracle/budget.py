@@ -8,6 +8,7 @@ bugs in allocation logic fail loudly instead of silently overspending.
 
 from __future__ import annotations
 
+import threading
 
 from repro.oracle.base import evaluate_oracle_batch
 
@@ -24,6 +25,10 @@ class OracleBudget:
     The budget is expressed in *invocations* (not dollars) to match the
     paper's cost metric; a caller that wants dollar budgets can divide by
     the oracle's ``cost_per_call``.
+
+    Charges, refunds and resets are atomic (one internal lock), so a
+    budget can back a per-tenant quota shared by concurrently submitted
+    queries — two racing charges can never jointly overshoot the limit.
     """
 
     def __init__(self, limit: int):
@@ -31,6 +36,7 @@ class OracleBudget:
             raise ValueError(f"oracle limit must be non-negative, got {limit}")
         self._limit = int(limit)
         self._spent = 0
+        self._lock = threading.Lock()
 
     @property
     def limit(self) -> int:
@@ -54,16 +60,34 @@ class OracleBudget:
         """Consume ``n`` invocations, raising if the budget would be exceeded."""
         if n < 0:
             raise ValueError(f"cannot charge a negative amount: {n}")
-        if self._spent + n > self._limit:
-            raise OracleBudgetExceededError(
-                f"oracle budget exceeded: limit={self._limit}, spent={self._spent}, "
-                f"attempted additional charge={n}"
-            )
-        self._spent += n
+        with self._lock:
+            if self._spent + n > self._limit:
+                raise OracleBudgetExceededError(
+                    f"oracle budget exceeded: limit={self._limit}, spent={self._spent}, "
+                    f"attempted additional charge={n}"
+                )
+            self._spent += n
+
+    def refund(self, n: int) -> None:
+        """Return ``n`` previously charged invocations to the budget.
+
+        The serving layer's admission control charges a query's full
+        budget up front and refunds the unspent remainder at settlement;
+        a refund can never exceed what was actually charged.
+        """
+        if n < 0:
+            raise ValueError(f"cannot refund a negative amount: {n}")
+        with self._lock:
+            if n > self._spent:
+                raise ValueError(
+                    f"cannot refund {n} invocations: only {self._spent} charged"
+                )
+            self._spent -= n
 
     def reset(self) -> None:
         """Return the budget to its unspent state."""
-        self._spent = 0
+        with self._lock:
+            self._spent = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"OracleBudget(limit={self._limit}, spent={self._spent})"

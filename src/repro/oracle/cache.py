@@ -8,6 +8,7 @@ wrapper so the second lookup is free and does not count as an invocation.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Sequence
 
 import numpy as np
@@ -24,6 +25,15 @@ class CachingOracle(Oracle):
     this wrapper's own counters advance.  ``num_calls`` therefore reports
     the number of distinct records actually labelled, which is exactly the
     quantity the paper's budget refers to.
+
+    The wrapper is thread-safe: the store mutation and the hit/miss
+    bookkeeping happen under one lock, so concurrent callers (the serving
+    layer runs one of these per shared predicate) cannot double-charge a
+    record or lose counter updates.  The lock is held across the inner
+    oracle's miss evaluation — that is what makes hit/miss accounting
+    *exact* under contention (a racing duplicate request waits and then
+    hits) — so, as with every stateful wrapper, compose it *outside*
+    :class:`~repro.core.parallel.ParallelOracle`, never inside.
     """
 
     def __init__(self, oracle: Oracle, name: str = None):
@@ -35,6 +45,7 @@ class CachingOracle(Oracle):
         self._cache: Dict[int, object] = {}
         self._hits = 0
         self._misses = 0
+        self._cache_lock = threading.RLock()
 
     @property
     def inner(self) -> Oracle:
@@ -53,22 +64,24 @@ class CachingOracle(Oracle):
         return len(self._cache)
 
     def clear_cache(self) -> None:
-        self._cache.clear()
-        self._hits = 0
-        self._misses = 0
+        with self._cache_lock:
+            self._cache.clear()
+            self._hits = 0
+            self._misses = 0
 
     def __call__(self, record_index: int):
         key = int(record_index)
-        if key in self._cache:
-            self._hits += 1
-            return self._cache[key]
-        self._misses += 1
-        result = self._inner(key)
-        self._cache[key] = result
-        # Mirror the inner oracle's accounting so this wrapper's counters
-        # can be used interchangeably with the wrapped oracle's.
-        self._record((key,), (result,))
-        return result
+        with self._cache_lock:
+            if key in self._cache:
+                self._hits += 1
+                return self._cache[key]
+            self._misses += 1
+            result = self._inner(key)
+            self._cache[key] = result
+            # Mirror the inner oracle's accounting so this wrapper's counters
+            # can be used interchangeably with the wrapped oracle's.
+            self._record((key,), (result,))
+            return result
 
     def evaluate_batch(self, record_indices: Sequence[int]) -> list:
         """Batched lookup: uncached records hit the inner oracle in one batch.
@@ -79,22 +92,33 @@ class CachingOracle(Oracle):
         hit.
         """
         keys = np.asarray(record_indices, dtype=np.int64).tolist()
-        cache = self._cache
-        pending = []  # unique uncached keys, in first-occurrence order
-        pending_set = set()
-        for key in keys:
-            if key not in cache and key not in pending_set:
-                pending.append(key)
-                pending_set.add(key)
-        if pending:
-            fresh = evaluate_oracle_batch(
-                self._inner, np.asarray(pending, dtype=np.int64)
-            )
-            self._misses += len(pending)
-            cache.update(zip(pending, fresh))
-            self._record(pending, fresh)
-        self._hits += len(keys) - len(pending)
-        return [cache[key] for key in keys]
+        with self._cache_lock:
+            cache = self._cache
+            pending = []  # unique uncached keys, in first-occurrence order
+            pending_set = set()
+            for key in keys:
+                if key not in cache and key not in pending_set:
+                    pending.append(key)
+                    pending_set.add(key)
+            if pending:
+                fresh = evaluate_oracle_batch(
+                    self._inner, np.asarray(pending, dtype=np.int64)
+                )
+                self._misses += len(pending)
+                cache.update(zip(pending, fresh))
+                self._record(pending, fresh)
+            self._hits += len(keys) - len(pending)
+            return [cache[key] for key in keys]
+
+    # -- Pickling (process-backend parallel execution) ----------------------------
+    def __getstate__(self):
+        state = super().__getstate__()
+        state.pop("_cache_lock", None)
+        return state
+
+    def __setstate__(self, state):
+        super().__setstate__(state)
+        self._cache_lock = threading.RLock()
 
     def _evaluate(self, record_index: int):  # pragma: no cover - not used
         return self._inner(record_index)

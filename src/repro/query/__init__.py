@@ -33,7 +33,13 @@ from repro.query.errors import QueryError, ParseError, BindingError
 from repro.query.lexer import Token, TokenKind, tokenize
 from repro.query.parser import parse_query
 from repro.query.planner import QueryPlan, PlanKind, plan_query
-from repro.query.executor import QueryContext, QueryResult, execute_query
+from repro.query.executor import (
+    PreparedQuery,
+    QueryContext,
+    QueryResult,
+    execute_query,
+    prepare_query,
+)
 from repro.query.exact import exact_answer
 
 __all__ = [
@@ -59,5 +65,7 @@ __all__ = [
     "QueryContext",
     "QueryResult",
     "execute_query",
+    "PreparedQuery",
+    "prepare_query",
     "exact_answer",
 ]

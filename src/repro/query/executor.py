@@ -29,6 +29,8 @@ import numpy as np
 
 from repro.core.abae import run_abae
 from repro.core.stratification import stratification_cache_disabled
+from repro.engine.builders import multipred_pipeline, two_stage_pipeline
+from repro.engine.pipeline import SamplingPipeline
 from repro.engine.config import (
     UNSET,
     ExecutionConfig,
@@ -61,7 +63,15 @@ from repro.query.parser import parse_query
 from repro.query.planner import PlanKind, plan_query
 from repro.stats.rng import RandomState
 
-__all__ = ["PredicateBinding", "GroupBinding", "QueryContext", "QueryResult", "execute_query"]
+__all__ = [
+    "PredicateBinding",
+    "GroupBinding",
+    "QueryContext",
+    "QueryResult",
+    "execute_query",
+    "PreparedQuery",
+    "prepare_query",
+]
 
 
 @dataclass
@@ -368,6 +378,167 @@ def execute_query(
 
 
 # ---------------------------------------------------------------------------
+# Session-servable preparation (the serving layer's entry point)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PreparedQuery:
+    """A planned query as a servable pipeline plus its finalizer.
+
+    :func:`prepare_query` performs everything :func:`execute_query` does
+    up to (but not including) running the sampler: parse, plan, validate,
+    bind, stratify.  What remains is a
+    :class:`~repro.engine.pipeline.SamplingPipeline` to be driven
+    step-by-step — the serving layer schedules it among many live
+    queries — and :meth:`finalize` to convert the finished session's
+    :class:`~repro.core.results.EstimateResult` into the
+    :class:`QueryResult` ``execute_query`` would have returned.
+    """
+
+    query: Query
+    plan_kind: PlanKind
+    pipeline: SamplingPipeline
+    num_bootstrap: int
+    with_ci: bool
+
+    @property
+    def budget(self) -> int:
+        """The pipeline's oracle budget (the query's ORACLE LIMIT)."""
+        return self.pipeline.budget
+
+    def finalize(self, result: EstimateResult, rng: RandomState) -> QueryResult:
+        """The query's answer from a finished session's estimate result.
+
+        Pass the *session's own* ``state.rng`` (not a fresh one): the
+        SUM/COUNT aggregate bootstrap then consumes exactly the stream
+        position ``execute_query`` would have, keeping served results
+        bit-identical to solo execution.
+        """
+        if self.plan_kind is PlanKind.MULTI_PREDICATE:
+            # Mirror run_abae_multipred: constituent accounting lives on
+            # the (possibly sharding-wrapped) composite oracle.
+            composite = getattr(self.pipeline.oracle, "inner", self.pipeline.oracle)
+            if hasattr(composite, "total_children_calls"):
+                result.details["constituent_oracle_calls"] = (
+                    composite.total_children_calls
+                )
+        return _finalize_scalar(
+            self.query, result, self.plan_kind, self.num_bootstrap, self.with_ci, rng
+        )
+
+
+def prepare_query(
+    query: Union[str, Query],
+    context: QueryContext,
+    *,
+    num_strata: int = 5,
+    stage1_fraction: float = 0.5,
+    num_bootstrap: int = 1000,
+    with_ci: bool = True,
+    config: Optional[ExecutionConfig] = None,
+    backend=None,
+    oracle_transform: Optional[Callable] = None,
+) -> PreparedQuery:
+    """Parse and plan a query into a servable :class:`PreparedQuery`.
+
+    The construction path is ``execute_query``'s own — same planning,
+    same validation, same binding resolution order, stratification built
+    under the same plan-cache scope — so driving the prepared pipeline's
+    session to completion and calling
+    :meth:`PreparedQuery.finalize` with the session's ``state.rng``
+    reproduces ``execute_query`` bit-for-bit.
+
+    ``oracle_transform(identity, oracle)``, when given, wraps every bound
+    predicate oracle; ``identity`` is the predicate atom's canonical key,
+    stable across queries, which is how the serving layer plugs in its
+    process-wide shared answer cache.  The transform must preserve answer
+    semantics — it may only change *who pays* for a call.
+
+    Only the session-servable plans are supported: a GROUP BY query
+    raises :class:`~repro.query.errors.PlanningError` (serve it through
+    ``execute_query``, which runs its multi-pipeline driver to
+    completion).
+    """
+    if isinstance(query, str):
+        query = parse_query(query)
+    try:
+        config = resolve_execution_config(config, "prepare_query", stacklevel=3)
+    except ExecutionConfigError as exc:
+        raise PlanningError(str(exc)) from None
+    plan = plan_query(
+        query,
+        config=config,
+        backend=backend if backend is not None else context.backend,
+    )
+    if (
+        plan.backend is not None
+        and plan.backend.num_records != context.num_records
+    ):
+        raise PlanningError(
+            f"backend {plan.backend.name!r} has {plan.backend.num_records} "
+            f"records but the context covers {context.num_records}; the "
+            "query would sample the wrong population"
+        )
+    if plan.kind is PlanKind.GROUP_BY:
+        raise PlanningError(
+            "GROUP BY queries are not session-servable: the group-by "
+            "drivers run multiple coupled pipelines; execute them with "
+            "execute_query instead"
+        )
+
+    cache_scope = (
+        nullcontext() if plan.plan_cache else stratification_cache_disabled()
+    )
+    with cache_scope:
+        if plan.kind is PlanKind.MULTI_PREDICATE:
+            expression = _build_expression(
+                query.predicate,
+                context,
+                backend=plan.backend,
+                oracle_transform=oracle_transform,
+            )
+            statistic = _statistic_for(query, context, backend=plan.backend)
+            pipeline = multipred_pipeline(
+                expression=expression,
+                statistic=statistic,
+                budget=query.oracle.limit,
+                num_strata=num_strata,
+                stage1_fraction=stage1_fraction,
+                with_ci=with_ci,
+                alpha=query.alpha,
+                num_bootstrap=num_bootstrap,
+                config=plan.config,
+            )
+        else:
+            atom = plan.atoms[0]
+            binding = context.resolve_predicate(atom)
+            oracle = binding.oracle
+            if oracle_transform is not None:
+                oracle = oracle_transform(atom.key(), oracle)
+            statistic = _statistic_for(query, context, backend=plan.backend)
+            pipeline = two_stage_pipeline(
+                proxy=binding.proxy_object(backend=plan.backend),
+                oracle=oracle,
+                statistic=statistic,
+                budget=query.oracle.limit,
+                num_strata=num_strata,
+                stage1_fraction=stage1_fraction,
+                with_ci=with_ci,
+                alpha=query.alpha,
+                num_bootstrap=num_bootstrap,
+                config=plan.config,
+            )
+    return PreparedQuery(
+        query=query,
+        plan_kind=plan.kind,
+        pipeline=pipeline,
+        num_bootstrap=num_bootstrap,
+        with_ci=with_ci,
+    )
+
+
+# ---------------------------------------------------------------------------
 # Plan execution
 # ---------------------------------------------------------------------------
 
@@ -454,22 +625,43 @@ def _execute_single_predicate(
 
 
 def _build_expression(
-    node: PredicateNode, context: QueryContext, backend=None
+    node: PredicateNode, context: QueryContext, backend=None, oracle_transform=None
 ) -> PredicateExpr:
-    """Translate a WHERE tree into an executable MultiPred expression."""
+    """Translate a WHERE tree into an executable MultiPred expression.
+
+    ``oracle_transform(identity, oracle)``, when given, wraps each leaf
+    oracle; ``identity`` is the atom's canonical key, so the same
+    predicate text maps to the same identity in every query (the serving
+    layer keys its shared cross-query answer cache on it).
+    """
     if isinstance(node, PredicateAtom):
         binding = context.resolve_predicate(node)
+        oracle = binding.oracle
+        if oracle_transform is not None:
+            oracle = oracle_transform(node.key(), oracle)
         return PredicateLeaf(
             proxy=binding.proxy_object(backend=backend),
-            oracle=binding.oracle,
+            oracle=oracle,
             name=node.key(),
         )
     if isinstance(node, NotExpr):
-        return Not(_build_expression(node.operand, context, backend))
+        return Not(
+            _build_expression(node.operand, context, backend, oracle_transform)
+        )
     if isinstance(node, AndExpr):
-        return And([_build_expression(op, context, backend) for op in node.operands])
+        return And(
+            [
+                _build_expression(op, context, backend, oracle_transform)
+                for op in node.operands
+            ]
+        )
     if isinstance(node, OrExpr):
-        return Or([_build_expression(op, context, backend) for op in node.operands])
+        return Or(
+            [
+                _build_expression(op, context, backend, oracle_transform)
+                for op in node.operands
+            ]
+        )
     raise PlanningError(f"unsupported predicate node: {node!r}")
 
 

@@ -1,0 +1,61 @@
+"""repro.serve — the concurrent AQP query service layer.
+
+Many live queries, one process: a cooperative scheduler interleaves
+:meth:`~repro.engine.session.SamplingSession.step` calls across every
+admitted query so all clients stream anytime answers, an admission
+controller enforces per-tenant oracle-budget quotas, and a process-wide
+shared answer cache dedupes identical expensive-predicate calls across
+queries and tenants.  See ``docs/SERVING.md``.
+
+The layering::
+
+    AQPService               submit (pipeline or query text) -> QueryHandle;
+       |                     streaming partial(), checkpoint/resume
+    AdmissionController      reserve -> settle per-tenant quota accounting
+    CooperativeScheduler     round-robin / randomized step interleaving,
+       |                     per-step cost + SLO (TTFE / TT-target-CI)
+    SharedOracleCache        (identity, record) -> answer, cross-query
+
+Determinism: sessions share no mutable state, so any interleaving of any
+set of queries is bit-identical — results and oracle accounting — to
+running each query alone (``tests/test_serve_parity.py``).
+"""
+
+from repro.serve.admission import (
+    Admission,
+    AdmissionController,
+    AdmissionError,
+    ServiceSaturatedError,
+    TenantConcurrencyError,
+    TenantPolicy,
+    TenantQuotaError,
+)
+from repro.serve.cache import CacheStats, SharedCachingOracle, SharedOracleCache
+from repro.serve.scheduler import (
+    INTERLEAVINGS,
+    CooperativeScheduler,
+    QueryStatus,
+    QueryTask,
+    approximate_ci_width,
+)
+from repro.serve.service import AQPService, QueryHandle
+
+__all__ = [
+    "Admission",
+    "AdmissionController",
+    "AdmissionError",
+    "ServiceSaturatedError",
+    "TenantConcurrencyError",
+    "TenantPolicy",
+    "TenantQuotaError",
+    "CacheStats",
+    "SharedCachingOracle",
+    "SharedOracleCache",
+    "INTERLEAVINGS",
+    "CooperativeScheduler",
+    "QueryStatus",
+    "QueryTask",
+    "approximate_ci_width",
+    "AQPService",
+    "QueryHandle",
+]

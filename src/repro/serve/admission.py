@@ -1,0 +1,329 @@
+"""Admission control and per-tenant oracle-budget quotas.
+
+A query enters the service by *reserving* its full oracle budget against
+its tenant's quota (pessimistic admission: a query can never strand the
+service half-way through its budget), and *settles* on completion,
+refunding whatever it reserved but did not spend.  The controller tracks,
+per tenant:
+
+* ``charged`` — oracle draws actually spent by settled (finished,
+  cancelled or suspended) queries;
+* ``reserved`` — budgets of currently live queries;
+* ``live`` — how many of the tenant's queries are in flight.
+
+Invariants (pinned by ``tests/test_serve_admission.py``):
+
+* ``charged + reserved`` never exceeds the tenant's quota;
+* a rejected admission leaves every counter untouched;
+* settling returns exactly ``budget - spent`` to the quota, so budget is
+  conserved: what the tenant can still reserve equals
+  ``quota - charged - reserved`` at all times;
+* suspending a query (checkpoint) settles it at its *actual* spend, and
+  resuming re-reserves only the remainder — a checkpoint/resume cycle
+  charges the tenant exactly what an uninterrupted run charges.
+
+Quota arithmetic is delegated to the thread-safe
+:class:`~repro.oracle.budget.OracleBudget` (reservations ``charge`` it,
+settlements ``refund`` the unspent part), so the ORACLE-LIMIT machinery
+and the serving quotas share one implementation.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.oracle.budget import OracleBudget, OracleBudgetExceededError
+
+__all__ = [
+    "AdmissionError",
+    "ServiceSaturatedError",
+    "TenantConcurrencyError",
+    "TenantQuotaError",
+    "TenantPolicy",
+    "Admission",
+    "AdmissionController",
+]
+
+
+class AdmissionError(RuntimeError):
+    """A query the service refuses to admit."""
+
+
+class ServiceSaturatedError(AdmissionError):
+    """The service-wide live-query ceiling is reached."""
+
+
+class TenantConcurrencyError(AdmissionError):
+    """The tenant already has its maximum number of queries in flight."""
+
+
+class TenantQuotaError(AdmissionError):
+    """The query's budget does not fit in the tenant's remaining quota."""
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Per-tenant limits: ``None`` means unlimited.
+
+    ``oracle_quota`` caps the tenant's total oracle draws (charged +
+    reserved, across all of its queries, ever — call
+    :meth:`AdmissionController.reset_tenant` to start a new accounting
+    period); ``max_concurrent`` caps its in-flight queries.
+    """
+
+    oracle_quota: Optional[int] = None
+    max_concurrent: Optional[int] = None
+
+    def __post_init__(self):
+        if self.oracle_quota is not None and self.oracle_quota < 0:
+            raise ValueError(
+                f"oracle_quota must be non-negative or None, got {self.oracle_quota}"
+            )
+        if self.max_concurrent is not None and self.max_concurrent < 1:
+            raise ValueError(
+                f"max_concurrent must be positive or None, got {self.max_concurrent}"
+            )
+
+
+class _TenantState:
+    __slots__ = ("policy", "quota", "charged", "reserved", "live")
+
+    def __init__(self, policy: TenantPolicy):
+        self.policy = policy
+        self.quota = (
+            None
+            if policy.oracle_quota is None
+            else OracleBudget(policy.oracle_quota)
+        )
+        self.charged = 0
+        self.reserved = 0
+        self.live = 0
+
+
+@dataclass
+class Admission:
+    """One admitted query's reservation (settled exactly once)."""
+
+    tenant: str
+    budget: int
+    admission_id: int
+    settled: bool = False
+    spent: Optional[int] = None
+
+
+class AdmissionController:
+    """Admit, grow, and settle query reservations against tenant quotas.
+
+    ``max_live_queries`` is the service-wide concurrency ceiling (``None``
+    = unbounded); ``default_policy`` applies to tenants that were never
+    explicitly registered via :meth:`set_policy`.
+    """
+
+    def __init__(
+        self,
+        max_live_queries: Optional[int] = None,
+        default_policy: Optional[TenantPolicy] = None,
+    ):
+        if max_live_queries is not None and max_live_queries < 1:
+            raise ValueError(
+                f"max_live_queries must be positive or None, got {max_live_queries}"
+            )
+        self._max_live = max_live_queries
+        self._default_policy = default_policy or TenantPolicy()
+        self._tenants: Dict[str, _TenantState] = {}
+        self._live = 0
+        self._lock = threading.Lock()
+        self._ids = itertools.count()
+
+    # -- Tenant registry ------------------------------------------------------------
+    def set_policy(
+        self,
+        tenant: str,
+        oracle_quota: Optional[int] = None,
+        max_concurrent: Optional[int] = None,
+    ) -> TenantPolicy:
+        """Register (or replace) a tenant's limits.
+
+        Replacing a policy on a tenant with live queries keeps its charged
+        and reserved counters; the new quota must cover them.
+        """
+        policy = TenantPolicy(oracle_quota=oracle_quota, max_concurrent=max_concurrent)
+        with self._lock:
+            state = self._tenants.get(tenant)
+            if state is None:
+                self._tenants[tenant] = _TenantState(policy)
+            else:
+                committed = state.charged + state.reserved
+                if policy.oracle_quota is not None and committed > policy.oracle_quota:
+                    raise ValueError(
+                        f"tenant {tenant!r} already has {committed} draws "
+                        f"charged+reserved; cannot shrink its quota to "
+                        f"{policy.oracle_quota}"
+                    )
+                state.policy = policy
+                state.quota = (
+                    None
+                    if policy.oracle_quota is None
+                    else OracleBudget(policy.oracle_quota)
+                )
+                if state.quota is not None:
+                    state.quota.charge(committed)
+        return policy
+
+    def reset_tenant(self, tenant: str) -> None:
+        """Zero a tenant's charged history (e.g. a new billing period).
+
+        Refuses while the tenant has live queries — a reservation must not
+        silently escape its accounting period.
+        """
+        with self._lock:
+            state = self._tenants.get(tenant)
+            if state is None:
+                return
+            if state.live:
+                raise AdmissionError(
+                    f"tenant {tenant!r} has {state.live} live queries; "
+                    "settle them before resetting its accounting"
+                )
+            state.charged = 0
+            state.reserved = 0
+            if state.quota is not None:
+                state.quota.reset()
+
+    def _state(self, tenant: str) -> _TenantState:
+        state = self._tenants.get(tenant)
+        if state is None:
+            state = _TenantState(self._default_policy)
+            self._tenants[tenant] = state
+        return state
+
+    # -- Admission lifecycle --------------------------------------------------------
+    def admit(self, tenant: str, budget: int) -> Admission:
+        """Reserve ``budget`` oracle draws for one query, or raise.
+
+        Raising leaves every counter exactly as it was — a rejected query
+        has no residual state.
+        """
+        if budget < 0:
+            raise ValueError(f"budget must be non-negative, got {budget}")
+        budget = int(budget)
+        with self._lock:
+            if self._max_live is not None and self._live >= self._max_live:
+                raise ServiceSaturatedError(
+                    f"service is at its ceiling of {self._max_live} live "
+                    f"queries; retry when one settles"
+                )
+            state = self._state(tenant)
+            limit = state.policy.max_concurrent
+            if limit is not None and state.live >= limit:
+                raise TenantConcurrencyError(
+                    f"tenant {tenant!r} already has {state.live} live queries "
+                    f"(max_concurrent={limit})"
+                )
+            if state.quota is not None:
+                try:
+                    state.quota.charge(budget)
+                except OracleBudgetExceededError as exc:
+                    raise TenantQuotaError(
+                        f"tenant {tenant!r} cannot reserve {budget} draws: {exc}"
+                    ) from None
+            state.reserved += budget
+            state.live += 1
+            self._live += 1
+            return Admission(
+                tenant=tenant, budget=budget, admission_id=next(self._ids)
+            )
+
+    def grow(self, admission: Admission, extra: int) -> None:
+        """Reserve ``extra`` more draws for a live query (budget top-up)."""
+        if extra <= 0:
+            raise ValueError(f"extra must be positive, got {extra}")
+        extra = int(extra)
+        with self._lock:
+            if admission.settled:
+                raise AdmissionError(
+                    "cannot grow a settled admission; admit a new query"
+                )
+            state = self._state(admission.tenant)
+            if state.quota is not None:
+                try:
+                    state.quota.charge(extra)
+                except OracleBudgetExceededError as exc:
+                    raise TenantQuotaError(
+                        f"tenant {admission.tenant!r} cannot reserve {extra} "
+                        f"more draws: {exc}"
+                    ) from None
+            state.reserved += extra
+            admission.budget += extra
+
+    def settle(self, admission: Admission, spent: int) -> None:
+        """Release a reservation, charging actual spend and refunding the rest.
+
+        Idempotence is deliberately *not* provided: settling twice is a
+        service bug and raises.  ``spent`` may not exceed the reservation
+        (sessions cannot overspend their budget; a larger value indicates
+        corrupted bookkeeping).
+        """
+        spent = int(spent)
+        if spent < 0:
+            raise ValueError(f"spent must be non-negative, got {spent}")
+        with self._lock:
+            if admission.settled:
+                raise AdmissionError("admission already settled")
+            if spent > admission.budget:
+                raise AdmissionError(
+                    f"query spent {spent} draws against a reservation of "
+                    f"{admission.budget}; budget enforcement failed upstream"
+                )
+            state = self._state(admission.tenant)
+            if state.quota is not None:
+                state.quota.refund(admission.budget - spent)
+            state.reserved -= admission.budget
+            state.charged += spent
+            state.live -= 1
+            self._live -= 1
+            admission.settled = True
+            admission.spent = spent
+
+    def cancel(self, admission: Admission, spent: int = 0) -> None:
+        """Settle a query that will not finish (charging any partial spend)."""
+        self.settle(admission, spent)
+
+    # -- Introspection --------------------------------------------------------------
+    @property
+    def live_queries(self) -> int:
+        with self._lock:
+            return self._live
+
+    def tenant_usage(self, tenant: str) -> Dict[str, Optional[int]]:
+        """A snapshot of one tenant's accounting (zeros if never seen)."""
+        with self._lock:
+            state = self._tenants.get(tenant)
+            if state is None:
+                policy = self._default_policy
+                return {
+                    "charged": 0,
+                    "reserved": 0,
+                    "live": 0,
+                    "quota": policy.oracle_quota,
+                    "remaining": policy.oracle_quota,
+                }
+            quota = state.policy.oracle_quota
+            return {
+                "charged": state.charged,
+                "reserved": state.reserved,
+                "live": state.live,
+                "quota": quota,
+                "remaining": (
+                    None if quota is None else quota - state.charged - state.reserved
+                ),
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AdmissionController(live={self.live_queries}, "
+            f"tenants={len(self._tenants)})"
+        )

@@ -1,0 +1,257 @@
+"""Process-wide shared oracle answer cache: cross-query deduplication.
+
+A serving deployment answers many concurrent queries over the same
+datasets, and different users routinely apply the *same* expensive
+predicate (the same DNN, the same labeling endpoint) to overlapping
+record sets.  :class:`~repro.oracle.cache.CachingOracle` dedupes repeated
+evaluations *within one query*; this module generalizes it into a
+**process-wide store keyed by (oracle identity, record index)** so the
+second query that needs ``count_cars(frame 1234)`` gets the first query's
+answer for free.
+
+Semantics
+---------
+* The cache never changes *answers* — only *who pays*.  A record's cached
+  answer is exactly what the underlying oracle returned when some query
+  first evaluated it, so estimates remain bit-identical with or without
+  sharing (oracles are deterministic per record); only the inner oracle's
+  invocation count shrinks.
+* ``identity`` names the logical oracle, not the wrapper instance: two
+  queries whose oracles share an identity share answers.  Identities must
+  only be shared between oracles that are genuinely interchangeable —
+  answering the same question over the same dataset.
+* Accounting is exact and thread-safe: every lookup is classified as one
+  hit or one miss under the store lock, and a missed record is filled
+  under the same lock, so concurrent queries cannot double-evaluate a
+  record or lose counter updates.  (Fills for the same identity therefore
+  serialize; the cooperative scheduler in :mod:`repro.serve.scheduler`
+  is single-threaded, so this only matters for free-threaded callers.)
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.oracle.base import Oracle, evaluate_oracle_batch
+
+__all__ = ["CacheStats", "SharedOracleCache", "SharedCachingOracle"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A consistent snapshot of the store's accounting."""
+
+    hits: int
+    misses: int
+    entries: int
+    identities: int
+    evictions: int
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.requests
+        return self.hits / total if total else 0.0
+
+
+class SharedOracleCache:
+    """Thread-safe oracle answer store keyed by (identity, record index).
+
+    ``max_entries`` (optional) bounds residency with LRU eviction — purely
+    a memory/performance control: an evicted record is simply re-evaluated
+    (and re-charged) on its next miss, which never changes answers.
+    """
+
+    def __init__(self, max_entries: Optional[int] = None):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(
+                f"max_entries must be a positive integer or None, got {max_entries}"
+            )
+        self._max_entries = max_entries
+        self._store: "OrderedDict[tuple, object]" = OrderedDict()
+        self._lock = threading.RLock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._identities: Dict[str, int] = {}
+
+    @property
+    def max_entries(self) -> Optional[int]:
+        return self._max_entries
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                entries=len(self._store),
+                identities=len(self._identities),
+                evictions=self._evictions,
+            )
+
+    def clear(self) -> None:
+        """Empty the store and zero the accounting."""
+        with self._lock:
+            self._store.clear()
+            self._identities.clear()
+            self._hits = 0
+            self._misses = 0
+            self._evictions = 0
+
+    # -- Core protocol (used by SharedCachingOracle under one lock hold) ----------
+    def fill_batch(self, identity: str, record_indices, evaluate) -> list:
+        """Answers for ``record_indices``, evaluating only uncached records.
+
+        ``evaluate`` is called at most once, with the deduplicated list of
+        uncached record indices in first-occurrence order, and its results
+        are stored under ``identity``.  Returns answers aligned with the
+        request.  The whole operation — classification, fill, accounting —
+        happens under the store lock, so hit/miss counts are exact even
+        under concurrent callers, and no record is ever double-evaluated.
+        """
+        keys = [int(k) for k in np.asarray(record_indices, dtype=np.int64).tolist()]
+        with self._lock:
+            store = self._store
+            pending = []
+            pending_set = set()
+            for key in keys:
+                full_key = (identity, key)
+                if full_key not in store and key not in pending_set:
+                    pending.append(key)
+                    pending_set.add(key)
+            if pending:
+                fresh = evaluate(pending)
+                if len(fresh) != len(pending):
+                    raise ValueError(
+                        f"oracle returned {len(fresh)} answers for "
+                        f"{len(pending)} records"
+                    )
+                for key, value in zip(pending, fresh):
+                    store[(identity, key)] = value
+                self._misses += len(pending)
+                self._identities[identity] = (
+                    self._identities.get(identity, 0) + len(pending)
+                )
+            self._hits += len(keys) - len(pending)
+            answers = []
+            for key in keys:
+                full_key = (identity, key)
+                value = store[full_key]
+                store.move_to_end(full_key)
+                answers.append(value)
+            self._evict_locked()
+            return answers
+
+    def _evict_locked(self) -> None:
+        if self._max_entries is None:
+            return
+        while len(self._store) > self._max_entries:
+            (identity, _), _ = self._store.popitem(last=False)
+            self._evictions += 1
+            remaining = self._identities.get(identity, 0) - 1
+            if remaining > 0:
+                self._identities[identity] = remaining
+            else:
+                self._identities.pop(identity, None)
+
+    # -- Introspection --------------------------------------------------------------
+    def contains(self, identity: str, record_index: int) -> bool:
+        with self._lock:
+            return (identity, int(record_index)) in self._store
+
+    def entries_for(self, identity: str) -> int:
+        """How many records are currently cached under ``identity``."""
+        with self._lock:
+            return self._identities.get(identity, 0)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._store)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        s = self.stats()
+        return (
+            f"SharedOracleCache(entries={s.entries}, identities={s.identities}, "
+            f"hits={s.hits}, misses={s.misses})"
+        )
+
+
+class SharedCachingOracle(Oracle):
+    """An oracle view onto a :class:`SharedOracleCache`.
+
+    The per-query generalization of
+    :class:`~repro.oracle.cache.CachingOracle`: each query wraps its oracle
+    in one of these, and every wrapper sharing a ``(store, identity)`` pair
+    dedupes against the same answers.  Counter semantics match
+    ``CachingOracle`` exactly — this wrapper's ``num_calls`` counts the
+    records *this query* actually paid to label (its misses); hits are
+    free, whether they were filled by this query or by another tenant's.
+    """
+
+    def __init__(
+        self,
+        oracle,
+        store: SharedOracleCache,
+        identity: Optional[str] = None,
+        name: Optional[str] = None,
+    ):
+        inner_name = getattr(oracle, "name", type(oracle).__name__)
+        super().__init__(
+            name=name or f"shared({inner_name})",
+            cost_per_call=getattr(oracle, "cost_per_call", 1.0),
+        )
+        self._inner = oracle
+        self._store = store
+        self._identity = identity if identity is not None else inner_name
+        self._hits = 0
+        self._misses = 0
+
+    @property
+    def inner(self):
+        return self._inner
+
+    @property
+    def store(self) -> SharedOracleCache:
+        return self._store
+
+    @property
+    def identity(self) -> str:
+        return self._identity
+
+    @property
+    def hits(self) -> int:
+        """Lookups this wrapper answered from the shared store."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Records this wrapper paid to label (charged to the inner oracle)."""
+        return self._misses
+
+    def evaluate_batch(self, record_indices: Sequence[int]) -> list:
+        def evaluate(pending):
+            fresh = evaluate_oracle_batch(
+                self._inner, np.asarray(pending, dtype=np.int64)
+            )
+            self._misses += len(pending)
+            self._record(pending, fresh)
+            return fresh
+
+        before = self._misses
+        answers = self._store.fill_batch(self._identity, record_indices, evaluate)
+        self._hits += len(answers) - (self._misses - before)
+        return answers
+
+    def __call__(self, record_index: int):
+        return self.evaluate_batch([record_index])[0]
+
+    def _evaluate(self, record_index: int):  # pragma: no cover - not used
+        return self._inner(record_index)

@@ -1,0 +1,322 @@
+"""Cooperative scheduling of many sampling sessions over shared data.
+
+The engine refactor made every sampler a step-driven
+:class:`~repro.engine.session.SamplingSession`: one ``step()`` is one
+bounded unit of work (an allocation decision or one stratum's draw), and
+``partial_estimate()`` reads an anytime answer between steps without
+touching the random stream.  This module exploits exactly that: a
+:class:`CooperativeScheduler` interleaves ``step()`` calls across many
+live queries, so every client's estimate improves continuously instead of
+queries running to completion one after another.
+
+Determinism contract (pinned by ``tests/test_serve_parity.py``): sessions
+share no mutable state — each owns its RNG, its oracle wrappers and its
+pipeline state — so **any interleaving of steps produces, for every
+query, results and oracle accounting bit-identical to running that query
+alone.**  The scheduler's own randomness (the ``"random"`` interleaving)
+draws from a dedicated :class:`~repro.stats.rng.RandomState` that is
+never shared with any session.
+
+Per-step cost accounting: each :class:`QueryTask` records how many oracle
+draws every step charged (via the session's ``last_step_cost``), its
+time-to-first-estimate, and — when a target CI width is set — its
+time-to-target-CI, the two SLO metrics ``scripts/bench_serve.py``
+reports.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Deque, Dict, List, Optional
+
+from collections import deque
+
+from repro.core.estimators import estimate_all_strata, estimate_mse_plugin
+from repro.engine.session import SamplingSession
+from repro.stats.rng import RandomState
+
+__all__ = [
+    "QueryStatus",
+    "QueryTask",
+    "CooperativeScheduler",
+    "approximate_ci_width",
+    "INTERLEAVINGS",
+]
+
+
+class QueryStatus:
+    """Lifecycle states of a served query (plain strings, not an enum)."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+    SUSPENDED = "suspended"
+
+
+# The normal z-score for a 95% interval; the approximate width below is a
+# monitoring proxy, so the constant is not configurable per query.
+_Z_95 = 1.959963984540054
+
+
+def approximate_ci_width(session: SamplingSession) -> float:
+    """A cheap anytime CI-width proxy for SLO tracking (no RNG consumed).
+
+    Twice the normal-approximation half-width built from the plug-in MSE
+    of the current per-stratum estimates (Proposition 3's leading term,
+    :func:`~repro.core.estimators.estimate_mse_plugin`, with each
+    stratum's *actual* draw count).  This is a monitoring signal — the
+    statistically rigorous interval remains the bootstrap CI computed at
+    finalization — but unlike the bootstrap it never consumes the session
+    RNG, so polling it between steps cannot perturb the draw sequence.
+    Returns ``inf`` until at least one positive record has been drawn.
+    """
+    state = session.state
+    estimates = estimate_all_strata(state.samples)
+    draws = [s.num_draws for s in state.samples]
+    mse = estimate_mse_plugin(estimates, draws)
+    return 2.0 * _Z_95 * mse**0.5
+
+
+class QueryTask:
+    """One served query: a session plus its serving-side bookkeeping.
+
+    ``finalize`` converts the finished session into the task's result
+    (default: ``session.result()``); it runs on the scheduler thread when
+    the session's last step completes.  ``on_settle`` (if given) is called
+    exactly once when the task leaves the live set — done, failed,
+    cancelled or suspended — with this task and its total oracle spend;
+    the service uses it to settle the admission reservation.
+    """
+
+    def __init__(
+        self,
+        session: SamplingSession,
+        *,
+        task_id: str,
+        tenant: str = "default",
+        finalize: Optional[Callable[[SamplingSession], object]] = None,
+        on_settle: Optional[Callable[["QueryTask", int], None]] = None,
+        target_ci_width: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.session = session
+        self.task_id = task_id
+        self.tenant = tenant
+        self.status = QueryStatus.PENDING
+        self.result: object = None
+        self.error: Optional[BaseException] = None
+        self.target_ci_width = target_ci_width
+        self._finalize = finalize
+        self._on_settle = on_settle
+        self._clock = clock
+        self._settled = False
+        # Per-step cost accounting.
+        self.initial_spent = session.spent
+        self.steps = 0
+        self.step_costs: List[int] = []
+        # SLO timestamps (clock units; None until the event happens).
+        self.submitted_at = clock()
+        self.first_estimate_at: Optional[float] = None
+        self.target_ci_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+
+    # -- Introspection --------------------------------------------------------------
+    @property
+    def live(self) -> bool:
+        return self.status in (QueryStatus.PENDING, QueryStatus.RUNNING)
+
+    @property
+    def spent(self) -> int:
+        """Oracle draws this task charged while being served."""
+        return self.session.spent - self.initial_spent
+
+    @property
+    def time_to_first_estimate(self) -> Optional[float]:
+        if self.first_estimate_at is None:
+            return None
+        return self.first_estimate_at - self.submitted_at
+
+    @property
+    def time_to_target_ci(self) -> Optional[float]:
+        if self.target_ci_at is None:
+            return None
+        return self.target_ci_at - self.submitted_at
+
+    def partial_estimate(self):
+        """The query's anytime answer (delegates to the session)."""
+        return self.session.partial_estimate()
+
+    # -- Execution (called by the scheduler) ----------------------------------------
+    def advance(self) -> bool:
+        """Run one session step; ``False`` once the query left the live set."""
+        if not self.live:
+            return False
+        self.status = QueryStatus.RUNNING
+        try:
+            more = self.session.step()
+        except BaseException as exc:
+            self.error = exc
+            self.status = QueryStatus.FAILED
+            self._settle()
+            return False
+        if more:
+            self.steps += 1
+            self.step_costs.append(self.session.last_step_cost)
+            now = self._clock()
+            if self.first_estimate_at is None and self.spent > 0:
+                self.first_estimate_at = now
+            if (
+                self.target_ci_width is not None
+                and self.target_ci_at is None
+                and self.first_estimate_at is not None
+                and approximate_ci_width(self.session) <= self.target_ci_width
+            ):
+                self.target_ci_at = now
+            return True
+        try:
+            self.result = (
+                self._finalize(self.session)
+                if self._finalize is not None
+                else self.session.result()
+            )
+        except BaseException as exc:
+            self.error = exc
+            self.status = QueryStatus.FAILED
+            self._settle()
+            return False
+        self.status = QueryStatus.DONE
+        self.finished_at = self._clock()
+        self._settle()
+        return False
+
+    def mark_cancelled(self) -> None:
+        self.status = QueryStatus.CANCELLED
+        self._settle()
+
+    def mark_suspended(self) -> None:
+        self.status = QueryStatus.SUSPENDED
+        self._settle()
+
+    def _settle(self) -> None:
+        if self._settled:
+            return
+        self._settled = True
+        if self._on_settle is not None:
+            self._on_settle(self, self.spent)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"QueryTask(id={self.task_id!r}, tenant={self.tenant!r}, "
+            f"status={self.status}, spent={self.spent})"
+        )
+
+
+ROUND_ROBIN = "round_robin"
+RANDOM = "random"
+INTERLEAVINGS = (ROUND_ROBIN, RANDOM)
+
+
+class CooperativeScheduler:
+    """Interleave ``step()`` calls across live query tasks.
+
+    ``interleaving`` selects the policy:
+
+    * ``"round_robin"`` — cycle live tasks in submission order, one step
+      each (fair share of steps; the default);
+    * ``"random"`` — pick a uniformly random live task per step, from a
+      dedicated ``RandomState(seed)`` that no session ever touches.
+
+    The scheduler is cooperative and single-threaded: one ``step_once()``
+    runs exactly one session step on the calling thread.  Concurrency here
+    means *interleaved progress*, not parallelism — oracle batches inside
+    a step may still fan out across the engine's worker pools.
+    """
+
+    def __init__(
+        self,
+        interleaving: str = ROUND_ROBIN,
+        seed: int = 0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if interleaving not in INTERLEAVINGS:
+            raise ValueError(
+                f"unknown interleaving {interleaving!r}; "
+                f"expected one of {INTERLEAVINGS}"
+            )
+        self.interleaving = interleaving
+        self.clock = clock
+        self._rng = RandomState(seed)
+        self._queue: Deque[QueryTask] = deque()
+        self._tasks: Dict[str, QueryTask] = {}
+        self.total_steps = 0
+
+    # -- Task management ------------------------------------------------------------
+    def submit(self, task: QueryTask) -> QueryTask:
+        if task.task_id in self._tasks:
+            raise ValueError(f"duplicate task id {task.task_id!r}")
+        self._tasks[task.task_id] = task
+        self._queue.append(task)
+        return task
+
+    def remove(self, task: QueryTask) -> None:
+        """Drop a task from the live rotation (its status is the caller's)."""
+        try:
+            self._queue.remove(task)
+        except ValueError:
+            pass
+
+    @property
+    def live_tasks(self) -> List[QueryTask]:
+        return [t for t in self._queue if t.live]
+
+    @property
+    def num_live(self) -> int:
+        return len(self._queue)
+
+    def task(self, task_id: str) -> QueryTask:
+        return self._tasks[task_id]
+
+    # -- Stepping -------------------------------------------------------------------
+    def _pick(self) -> QueryTask:
+        if self.interleaving == RANDOM and len(self._queue) > 1:
+            index = int(self._rng.integers(0, len(self._queue)))
+            self._queue.rotate(-index)
+        return self._queue.popleft()
+
+    def step_once(self) -> Optional[QueryTask]:
+        """Advance one task by one step; ``None`` when nothing is live.
+
+        A task that stays live after its step re-enters the rotation at
+        the back (for round-robin this is exact fair cycling; for random
+        the rotation point is irrelevant).
+        """
+        while self._queue:
+            task = self._pick()
+            if not task.live:
+                continue
+            self.total_steps += 1
+            if task.advance():
+                self._queue.append(task)
+            return task
+        return None
+
+    def run_until_complete(self, max_steps: Optional[int] = None) -> int:
+        """Drive all live tasks to completion; returns steps executed.
+
+        ``max_steps`` bounds the work (useful for incremental serving
+        loops); the scheduler can be re-entered to continue.
+        """
+        executed = 0
+        while max_steps is None or executed < max_steps:
+            if self.step_once() is None:
+                break
+            executed += 1
+        return executed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CooperativeScheduler({self.interleaving!r}, "
+            f"live={self.num_live}, total_steps={self.total_steps})"
+        )

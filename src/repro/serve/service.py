@@ -1,0 +1,342 @@
+"""The concurrent AQP query service: admission + scheduling + shared cache.
+
+:class:`AQPService` is the serving facade over the pieces in this
+package.  A query enters as either a ready-built
+:class:`~repro.engine.pipeline.SamplingPipeline` (:meth:`submit_pipeline`)
+or as query text bound to a :class:`~repro.query.executor.QueryContext`
+(:meth:`submit_query`, via the query layer's
+:func:`~repro.query.executor.prepare_query` entry point), and is served
+as a :class:`~repro.serve.scheduler.QueryTask`:
+
+1. **admission** — the query's full oracle budget is reserved against its
+   tenant's quota (:mod:`repro.serve.admission`); a rejection raises
+   before any state is created;
+2. **scheduling** — the cooperative scheduler interleaves the query's
+   ``step()`` calls with every other live query's, so all clients stream
+   anytime answers (:meth:`QueryHandle.partial`);
+3. **shared caching** — when the service carries a
+   :class:`~repro.serve.cache.SharedOracleCache`, ``submit_query`` wraps
+   each predicate oracle in a :class:`~repro.serve.cache.SharedCachingOracle`
+   keyed by the predicate's canonical text, so identical expensive-predicate
+   calls are deduplicated across queries and tenants;
+4. **settlement** — on completion (or failure, cancellation, suspension)
+   the reservation is settled at the query's actual spend and the unspent
+   remainder returns to the tenant's quota.
+
+Suspension round-trips through the engine's checkpoint machinery:
+:meth:`checkpoint` settles the admission at the current spend and returns
+the session's bytes; :meth:`resume_pipeline` re-admits only the remaining
+budget, so a checkpoint/resume cycle charges the tenant exactly what an
+uninterrupted run would have.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from typing import Callable, List, Optional, Union
+
+from repro.engine.pipeline import SamplingPipeline
+from repro.serve.admission import Admission, AdmissionController
+from repro.serve.cache import SharedCachingOracle, SharedOracleCache
+from repro.serve.scheduler import (
+    ROUND_ROBIN,
+    CooperativeScheduler,
+    QueryStatus,
+    QueryTask,
+)
+from repro.stats.rng import RandomState
+
+__all__ = ["QueryHandle", "AQPService"]
+
+
+class QueryHandle:
+    """A client's view of one submitted query."""
+
+    def __init__(self, task: QueryTask, admission: Admission):
+        self._task = task
+        self._admission = admission
+
+    @property
+    def task_id(self) -> str:
+        return self._task.task_id
+
+    @property
+    def tenant(self) -> str:
+        return self._task.tenant
+
+    @property
+    def status(self) -> str:
+        return self._task.status
+
+    @property
+    def spent(self) -> int:
+        """Oracle draws charged so far."""
+        return self._task.spent
+
+    @property
+    def steps(self) -> int:
+        return self._task.steps
+
+    @property
+    def step_costs(self) -> List[int]:
+        """Oracle draws charged by each executed step, in step order."""
+        return list(self._task.step_costs)
+
+    @property
+    def time_to_first_estimate(self) -> Optional[float]:
+        return self._task.time_to_first_estimate
+
+    @property
+    def time_to_target_ci(self) -> Optional[float]:
+        return self._task.time_to_target_ci
+
+    def partial(self):
+        """The query's current anytime answer (never perturbs the run)."""
+        return self._task.partial_estimate()
+
+    def result(self):
+        """The finished result; raises the query's own error if it failed."""
+        if self._task.status == QueryStatus.FAILED:
+            raise self._task.error
+        if self._task.status != QueryStatus.DONE:
+            raise RuntimeError(
+                f"query {self.task_id!r} is {self._task.status}; drive the "
+                "service with run_until_complete() or read partial()"
+            )
+        return self._task.result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"QueryHandle({self._task!r})"
+
+
+class AQPService:
+    """Serve many concurrent approximate queries with anytime answers.
+
+    Parameters
+    ----------
+    admission:
+        The :class:`AdmissionController` enforcing tenant quotas and the
+        live-query ceiling (default: a fresh unlimited controller).
+    shared_cache:
+        Optional :class:`SharedOracleCache`; when present, queries
+        submitted through :meth:`submit_query` dedupe oracle calls across
+        queries/tenants per predicate identity.
+    interleaving / scheduler_seed:
+        The scheduler policy (see
+        :class:`~repro.serve.scheduler.CooperativeScheduler`).
+    clock:
+        Injectable time source for SLO timestamps (tests use virtual
+        clocks; production uses ``time.monotonic``).
+    """
+
+    def __init__(
+        self,
+        admission: Optional[AdmissionController] = None,
+        shared_cache: Optional[SharedOracleCache] = None,
+        interleaving: str = ROUND_ROBIN,
+        scheduler_seed: int = 0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.admission = admission or AdmissionController()
+        self.shared_cache = shared_cache
+        self.scheduler = CooperativeScheduler(
+            interleaving=interleaving, seed=scheduler_seed, clock=clock
+        )
+        self._clock = clock
+        self._ids = itertools.count()
+
+    # -- Submission -----------------------------------------------------------------
+    def _next_id(self, tenant: str) -> str:
+        return f"{tenant}-{next(self._ids)}"
+
+    def _enroll(
+        self,
+        session,
+        *,
+        tenant: str,
+        reserve: int,
+        finalize: Optional[Callable] = None,
+        target_ci_width: Optional[float] = None,
+        session_factory: Optional[Callable[[], object]] = None,
+    ) -> QueryHandle:
+        """Admit, build and schedule one task (the single enrollment path).
+
+        ``session_factory`` defers session construction until *after*
+        admission succeeded, so a rejected query creates no session state.
+        """
+        admission = self.admission.admit(tenant, reserve)
+        try:
+            if session is None:
+                session = session_factory()
+        except BaseException:
+            self.admission.cancel(admission)
+            raise
+        task = QueryTask(
+            session,
+            task_id=self._next_id(tenant),
+            tenant=tenant,
+            finalize=finalize,
+            on_settle=lambda _task, spent: self.admission.settle(admission, spent),
+            target_ci_width=target_ci_width,
+            clock=self._clock,
+        )
+        self.scheduler.submit(task)
+        return QueryHandle(task, admission)
+
+    def submit_pipeline(
+        self,
+        pipeline: SamplingPipeline,
+        *,
+        tenant: str = "default",
+        rng: Optional[Union[int, RandomState]] = None,
+        finalize: Optional[Callable] = None,
+        target_ci_width: Optional[float] = None,
+    ) -> QueryHandle:
+        """Admit and schedule a ready-built pipeline.
+
+        The reservation equals ``pipeline.budget`` — the most the session
+        can spend.  ``rng`` may be a seed or a ``RandomState``; as
+        everywhere in the engine, the session owns it exclusively.
+        """
+        if isinstance(rng, int):
+            rng = RandomState(rng)
+        return self._enroll(
+            None,
+            tenant=tenant,
+            reserve=pipeline.budget,
+            finalize=finalize,
+            target_ci_width=target_ci_width,
+            session_factory=lambda: pipeline.session(rng),
+        )
+
+    def submit_query(
+        self,
+        query,
+        context,
+        *,
+        tenant: str = "default",
+        rng: Optional[Union[int, RandomState]] = None,
+        num_strata: int = 5,
+        stage1_fraction: float = 0.5,
+        num_bootstrap: int = 1000,
+        with_ci: bool = True,
+        config=None,
+        backend=None,
+        target_ci_width: Optional[float] = None,
+    ) -> QueryHandle:
+        """Parse, plan, admit and schedule an AQP query.
+
+        The session-servable plans (single- and multi-predicate) are built
+        through :func:`repro.query.executor.prepare_query`; a GROUP BY
+        query raises :class:`~repro.query.errors.PlanningError` there.
+        The finished handle's :meth:`~QueryHandle.result` is a
+        :class:`~repro.query.executor.QueryResult`, exactly as
+        ``execute_query`` would have returned — and bit-identical to it
+        for the same ``rng``, any interleaving, with or without the shared
+        cache (pinned by ``tests/test_serve_parity.py``).
+        """
+        from repro.query.executor import prepare_query
+
+        oracle_transform = None
+        if self.shared_cache is not None:
+            cache = self.shared_cache
+
+            def oracle_transform(identity, oracle):
+                return SharedCachingOracle(oracle, cache, identity=identity)
+
+        prepared = prepare_query(
+            query,
+            context,
+            num_strata=num_strata,
+            stage1_fraction=stage1_fraction,
+            num_bootstrap=num_bootstrap,
+            with_ci=with_ci,
+            config=config,
+            backend=backend,
+            oracle_transform=oracle_transform,
+        )
+        if isinstance(rng, int):
+            rng = RandomState(rng)
+        return self._enroll(
+            None,
+            tenant=tenant,
+            reserve=prepared.pipeline.budget,
+            finalize=lambda session: prepared.finalize(
+                session.result(), session.state.rng
+            ),
+            target_ci_width=target_ci_width,
+            session_factory=lambda: prepared.pipeline.session(rng),
+        )
+
+    # -- Serving loop ---------------------------------------------------------------
+    def step(self):
+        """Advance one query by one step (``None`` when nothing is live)."""
+        return self.scheduler.step_once()
+
+    def run_until_complete(self, max_steps: Optional[int] = None) -> int:
+        """Drive every live query to completion; returns steps executed."""
+        return self.scheduler.run_until_complete(max_steps)
+
+    @property
+    def live_queries(self) -> int:
+        return len(self.scheduler.live_tasks)
+
+    # -- Lifecycle ------------------------------------------------------------------
+    def cancel(self, handle: QueryHandle) -> None:
+        """Abort a live query, charging only what it already spent."""
+        task = handle._task
+        if not task.live:
+            raise RuntimeError(
+                f"query {task.task_id!r} is {task.status}; only live queries "
+                "can be cancelled"
+            )
+        self.scheduler.remove(task)
+        task.mark_cancelled()
+
+    def checkpoint(self, handle: QueryHandle) -> bytes:
+        """Suspend a live query: settle its reservation, return its bytes.
+
+        The tenant is charged exactly the draws spent so far; the unspent
+        reservation returns to its quota.  Resume the bytes later — on
+        this service or another — via :meth:`resume_pipeline` with a
+        freshly built compatible pipeline.
+        """
+        task = handle._task
+        if not task.live:
+            raise RuntimeError(
+                f"query {task.task_id!r} is {task.status}; only live queries "
+                "can be checkpointed"
+            )
+        payload = task.session.checkpoint()
+        self.scheduler.remove(task)
+        task.mark_suspended()
+        return payload
+
+    def resume_pipeline(
+        self,
+        pipeline: SamplingPipeline,
+        checkpoint: bytes,
+        *,
+        tenant: str = "default",
+        finalize: Optional[Callable] = None,
+        target_ci_width: Optional[float] = None,
+    ) -> QueryHandle:
+        """Re-admit a suspended query, reserving only its remaining budget.
+
+        ``pipeline`` must be freshly built with the same logical
+        parameters as the checkpointed run (it contributes the live
+        oracle/statistic; see
+        :meth:`~repro.engine.pipeline.SamplingPipeline.resume`).  The new
+        reservation is ``budget - spent``, so checkpoint/resume cycles
+        conserve the tenant's total charge.
+        """
+        session = pipeline.resume(checkpoint)
+        remaining = max(0, session.budget - session.spent)
+        return self._enroll(
+            session,
+            tenant=tenant,
+            reserve=remaining,
+            finalize=finalize,
+            target_ci_width=target_ci_width,
+        )

@@ -19,6 +19,7 @@ import numpy as np
 import pytest
 
 from harness import (
+    WIDE_GRID_SEEDS,
     assert_statistically_equivalent,
     estimate_fingerprint,
     groupby_fingerprint,
@@ -296,7 +297,12 @@ class TestFacadeAndExecutorMatrix:
 
 @pytest.mark.slow
 class TestWideMatrix:
-    """Tier-2: more seeds, larger budgets, CIs on, both backends."""
+    """Tier-2: spawn-key seeds, larger budgets, CIs on, both backends.
+
+    The seeds come from the shared derandomized list in ``tests/harness.py``
+    (``WIDE_GRID_SEEDS``), so every run — local or CI — sweeps the same
+    grid and any failure reproduces exactly.
+    """
 
     def test_run_abae_wide(self, scenario):
         def run(seed, batch_size, num_workers):
@@ -314,9 +320,9 @@ class TestWideMatrix:
 
         assert_statistically_equivalent(
             run,
-            seeds=(0, 1, 2, 3, 4),
+            seeds=WIDE_GRID_SEEDS,
             batch_sizes=(1, 7, 64, None),
-            num_workers=(1, 2, 3, 4, 8),
+            num_workers=(1, 2, 8),
         )
 
     def test_process_backend_wide(self, scenario):
@@ -333,7 +339,10 @@ class TestWideMatrix:
             )
 
         assert_statistically_equivalent(
-            run, seeds=(0, 1), batch_sizes=(None,), num_workers=(1, 2, 4)
+            run,
+            seeds=WIDE_GRID_SEEDS[:2],
+            batch_sizes=(None,),
+            num_workers=(1, 2, 4),
         )
 
 

@@ -1,0 +1,243 @@
+"""Property tests for admission control and per-tenant quota accounting.
+
+Hypothesis drives random admit / grow / settle schedules and checks the
+controller's invariants (documented in :mod:`repro.serve.admission`):
+
+* no tenant's ``charged + reserved`` ever exceeds its quota;
+* a rejected admission leaves every counter exactly as it was;
+* budget is conserved — settling returns exactly ``budget - spent``, so
+  the final ``charged`` equals the sum of actual spends and nothing
+  leaks or double-counts across tenants;
+* checkpoint/resume of an in-service session charges the tenant exactly
+  what an uninterrupted run charges.
+
+The session-backed tests use ``derandomize=True`` (the repo's pattern
+for sampler-driven properties): hypothesis sweeps a fixed example set,
+so tier-1 runs are reproducible and fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.builders import two_stage_pipeline
+from repro.serve import (
+    AdmissionController,
+    AQPService,
+    ServiceSaturatedError,
+    TenantConcurrencyError,
+    TenantQuotaError,
+)
+from repro.stats.rng import RandomState
+from repro.synth import make_dataset
+
+# One small shared workload for the session-backed properties (module
+# level, not a fixture: hypothesis re-enters the test body per example).
+SCENARIO = make_dataset("synthetic", seed=4, size=3_000)
+SESSION_BUDGET = 150
+
+
+def make_pipeline():
+    return two_stage_pipeline(
+        SCENARIO.proxy,
+        SCENARIO.make_oracle(),
+        SCENARIO.statistic_values,
+        budget=SESSION_BUDGET,
+    )
+
+
+class TestQuotaInvariants:
+    @given(
+        quota=st.integers(min_value=0, max_value=400),
+        budgets=st.lists(
+            st.integers(min_value=0, max_value=250), max_size=15
+        ),
+        data=st.data(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_quota_never_exceeded_and_conserved(self, quota, budgets, data):
+        controller = AdmissionController()
+        controller.set_policy("t", oracle_quota=quota)
+        admissions = []
+        for budget in budgets:
+            before = controller.tenant_usage("t")
+            try:
+                admissions.append(controller.admit("t", budget))
+            except TenantQuotaError:
+                # Rejection is exactly the over-quota case and leaves no
+                # residual state.
+                assert before["remaining"] < budget
+                assert controller.tenant_usage("t") == before
+            usage = controller.tenant_usage("t")
+            assert usage["charged"] + usage["reserved"] <= quota
+        # Settle everything at an arbitrary spend within each reservation.
+        spends = [
+            data.draw(st.integers(min_value=0, max_value=a.budget))
+            for a in admissions
+        ]
+        for admission, spent in zip(admissions, spends):
+            controller.settle(admission, spent)
+        usage = controller.tenant_usage("t")
+        assert usage["charged"] == sum(spends)
+        assert usage["reserved"] == 0
+        assert usage["live"] == 0
+        assert usage["remaining"] == quota - sum(spends)
+
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2),  # tenant index
+                st.integers(min_value=0, max_value=120),  # budget
+                st.booleans(),  # settle immediately?
+            ),
+            max_size=25,
+        ),
+        data=st.data(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_multi_tenant_conservation(self, ops, data):
+        quotas = {"a": 300, "b": 150, "c": None}
+        controller = AdmissionController()
+        for tenant, quota in quotas.items():
+            controller.set_policy(tenant, oracle_quota=quota)
+        tenants = sorted(quotas)
+        expected_charged = dict.fromkeys(tenants, 0)
+        open_admissions = []
+        for tenant_index, budget, settle_now in ops:
+            tenant = tenants[tenant_index]
+            try:
+                admission = controller.admit(tenant, budget)
+            except TenantQuotaError:
+                continue
+            if settle_now:
+                spent = data.draw(
+                    st.integers(min_value=0, max_value=budget)
+                )
+                controller.settle(admission, spent)
+                expected_charged[tenant] += spent
+            else:
+                open_admissions.append((tenant, admission))
+        expected_reserved = dict.fromkeys(tenants, 0)
+        for tenant, admission in open_admissions:
+            expected_reserved[tenant] += admission.budget
+        for tenant in tenants:
+            usage = controller.tenant_usage(tenant)
+            assert usage["charged"] == expected_charged[tenant]
+            assert usage["reserved"] == expected_reserved[tenant]
+            quota = quotas[tenant]
+            if quota is not None:
+                assert usage["charged"] + usage["reserved"] <= quota
+        # One tenant's activity never bleeds into another's books.
+        assert controller.live_queries == len(open_admissions)
+
+    @given(
+        quota=st.integers(min_value=10, max_value=200),
+        extras=st.lists(
+            st.integers(min_value=1, max_value=80), max_size=8
+        ),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_grow_respects_quota(self, quota, extras):
+        controller = AdmissionController()
+        controller.set_policy("t", oracle_quota=quota)
+        admission = controller.admit("t", 10)
+        for extra in extras:
+            usage_before = controller.tenant_usage("t")
+            try:
+                controller.grow(admission, extra)
+            except TenantQuotaError:
+                assert usage_before["remaining"] < extra
+                assert controller.tenant_usage("t") == usage_before
+            usage = controller.tenant_usage("t")
+            assert usage["charged"] + usage["reserved"] <= quota
+            assert usage["reserved"] == admission.budget
+        controller.settle(admission, admission.budget)
+        assert controller.tenant_usage("t")["charged"] == admission.budget
+
+    def test_concurrency_and_service_ceilings(self):
+        controller = AdmissionController(max_live_queries=3)
+        controller.set_policy("t", max_concurrent=2)
+        first = controller.admit("t", 5)
+        controller.admit("t", 5)
+        with pytest.raises(TenantConcurrencyError):
+            controller.admit("t", 5)
+        controller.admit("other", 5)
+        with pytest.raises(ServiceSaturatedError):
+            controller.admit("another", 5)
+        # Settling frees both ceilings.
+        controller.settle(first, 5)
+        controller.admit("t", 5)
+
+
+class TestServiceQuotaProperties:
+    # derandomize=True: a fixed example sweep, reproducible in tier-1.
+    @given(
+        suspend_after=st.integers(min_value=1, max_value=10),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=8, deadline=None, derandomize=True)
+    def test_checkpoint_resume_preserves_quota_charges(
+        self, suspend_after, seed
+    ):
+        # Reference: uninterrupted run under the same quota.
+        solo_controller = AdmissionController()
+        solo_controller.set_policy("t", oracle_quota=2 * SESSION_BUDGET)
+        solo_service = AQPService(admission=solo_controller)
+        solo_handle = solo_service.submit_pipeline(
+            make_pipeline(), tenant="t", rng=seed
+        )
+        solo_service.run_until_complete()
+        solo_charged = solo_controller.tenant_usage("t")["charged"]
+
+        # Interrupted: suspend mid-flight, resume, finish.
+        controller = AdmissionController()
+        controller.set_policy("t", oracle_quota=2 * SESSION_BUDGET)
+        service = AQPService(admission=controller)
+        handle = service.submit_pipeline(
+            make_pipeline(), tenant="t", rng=seed
+        )
+        for _ in range(suspend_after):
+            if service.step() is None:
+                break
+        if handle.status == "suspended" or not service.live_queries:
+            # The query already finished before the suspension point.
+            assert controller.tenant_usage("t")["charged"] == solo_charged
+            return
+        blob = service.checkpoint(handle)
+        mid = controller.tenant_usage("t")
+        # Suspension settles at actual spend and frees the reservation.
+        assert mid["charged"] == handle.spent
+        assert mid["reserved"] == 0
+        resumed = service.resume_pipeline(make_pipeline(), blob, tenant="t")
+        after_resume = controller.tenant_usage("t")
+        # Resume reserves only the remainder.
+        assert (
+            after_resume["charged"] + after_resume["reserved"]
+            == SESSION_BUDGET
+        )
+        service.run_until_complete()
+        final = controller.tenant_usage("t")
+        assert final["charged"] == solo_charged
+        assert final["reserved"] == 0
+        # And the answer is the uninterrupted one, bit for bit.
+        assert (
+            resumed.result().estimate == solo_handle.result().estimate
+        )
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=4, deadline=None, derandomize=True)
+    def test_rejected_query_leaves_service_clean(self, seed):
+        controller = AdmissionController()
+        controller.set_policy("t", oracle_quota=SESSION_BUDGET)
+        service = AQPService(admission=controller)
+        service.submit_pipeline(make_pipeline(), tenant="t", rng=seed)
+        before = controller.tenant_usage("t")
+        live_before = service.live_queries
+        with pytest.raises(TenantQuotaError):
+            service.submit_pipeline(make_pipeline(), tenant="t", rng=seed)
+        assert controller.tenant_usage("t") == before
+        assert service.live_queries == live_before
+        # The admitted query still runs to completion normally.
+        service.run_until_complete()
+        assert controller.tenant_usage("t")["charged"] == SESSION_BUDGET
