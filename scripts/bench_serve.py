@@ -23,16 +23,32 @@ Two phases, parity first and gating:
    proxy under a precomputed target); the benchmark reports p50/p99 of
    both, per level and shape.
 
+3. **Remote arm** (skip with ``--skip-remote``) — the async RPC oracle
+   protocol end to end:
+
+   * **flaky parity** — queries served over a seeded
+     :class:`SimulatedRemoteOracle` with nonzero failure/timeout rates
+     behind a cooperative :class:`AsyncOracle` must be bit-identical to
+     the zero-failure remote run *and* to the plain in-process solo
+     baseline, with zero give-ups (the no-giveup floor) and a nonzero
+     retry count (the flakiness really fired);
+   * **cooperative overlap** — ``--remote-concurrency`` queries over a
+     *slow* remote oracle, cooperative (parked queries yield the
+     scheduler) vs blocking (each step waits out the RPC): the
+     cooperative wall-clock must beat the serialized baseline by at
+     least ``--min-remote-speedup`` when that gate is set.
+
 Usage::
 
     PYTHONPATH=src python scripts/bench_serve.py \
         [--levels 10,100,1000] [--budget 400] [--smoke] \
-        [--max-p99-ttfe-ms 50] [--json benchmarks/results/BENCH_serve.json]
+        [--max-p99-ttfe-ms 50] [--min-remote-speedup 1.3] \
+        [--json benchmarks/results/BENCH_serve.json]
 
 ``--smoke`` shrinks to levels 10 and 100 with a smaller budget (the
 tier-2 CI configuration).  ``--max-p99-ttfe-ms`` gates the closed-loop
-p99 TTFE at the 100-query level; exceeding it (or any parity mismatch)
-exits non-zero.
+p99 TTFE at the 100-query level; exceeding it (or any parity mismatch,
+give-up, or missed speedup floor) exits non-zero.
 """
 
 from __future__ import annotations
@@ -49,7 +65,11 @@ sys.path.insert(0, str(REPO_ROOT / "tests"))
 from harness import scheduled_fingerprints, solo_fingerprint  # noqa: E402
 
 from repro.engine.builders import two_stage_pipeline  # noqa: E402
-from repro.oracle.simulated import LabelColumnOracle  # noqa: E402
+from repro.oracle.remote import AsyncOracle, RemoteEndpoint  # noqa: E402
+from repro.oracle.simulated import (  # noqa: E402
+    LabelColumnOracle,
+    SimulatedRemoteOracle,
+)
 from repro.proxy.base import BackedProxy  # noqa: E402
 from repro.serve import AQPService, approximate_ci_width  # noqa: E402
 from repro.stats.rng import RandomState  # noqa: E402
@@ -227,6 +247,162 @@ def run_open_loop(factory, budget, level, target_ci_width) -> dict:
     return report
 
 
+# ---------------------------------------------------------------------------
+# Phase 3: remote oracle arm (flaky parity + cooperative overlap)
+# ---------------------------------------------------------------------------
+
+
+def run_remote_arm(
+    size: int,
+    budget: int,
+    *,
+    concurrency: int = 32,
+    parity_concurrency: int = 8,
+    per_batch_seconds: float = 0.003,
+) -> dict:
+    """Drive the async RPC oracle protocol through the service layer.
+
+    Returns a report with a ``flaky`` section (parity vs the clean remote
+    run and the plain solo baseline, retry/give-up totals) and an
+    ``overlap`` section (cooperative vs blocking wall-clock over a slow
+    remote oracle).  Parity mismatches raise immediately.
+    """
+    scenario = make_dataset("synthetic", seed=0, size=size)
+    backend = to_backend(scenario, kind="memory")
+    labels = backend.column("label")
+    statistic = backend.column("statistic")
+
+    def pipeline_over(oracle, pipeline_budget):
+        return two_stage_pipeline(
+            BackedProxy(backend, "proxy_score"),
+            oracle,
+            statistic,
+            budget=pipeline_budget,
+            num_strata=NUM_STRATA,
+            with_ci=True,
+            num_bootstrap=20,
+        )
+
+    endpoints = []
+
+    def remote_oracle(
+        *,
+        blocking=False,
+        failure_rate=0.0,
+        timeout_rate=0.0,
+        batch_delay=0.0,
+    ):
+        transport = SimulatedRemoteOracle(
+            labels,
+            per_batch_seconds=batch_delay,
+            failure_rate=failure_rate,
+            timeout_rate=timeout_rate,
+            seed=11,
+        )
+        endpoint = RemoteEndpoint(
+            transport,
+            max_batch_size=2048,
+            max_in_flight=4,
+            max_retries=12,
+            backoff_base=0.0,
+            sleep=lambda s: None,
+        )
+        endpoints.append(endpoint)
+        return AsyncOracle(endpoint, blocking=blocking)
+
+    def close_endpoints():
+        for endpoint in endpoints:
+            endpoint.close()
+        endpoints.clear()
+
+    # -- Flaky parity: flaky cooperative == clean cooperative == plain solo.
+    parity_budget = min(budget, 300)
+    seeds = [300 + i for i in range(parity_concurrency)]
+    solo = [
+        solo_fingerprint(pipeline_over(LabelColumnOracle(labels), parity_budget), s)
+        for s in seeds
+    ]
+    retries = giveups = timeouts = failures = 0
+    for failure_rate, timeout_rate in ((0.0, 0.0), (0.25, 0.10)):
+        scheduled = scheduled_fingerprints(
+            [
+                lambda fr=failure_rate, tr=timeout_rate: pipeline_over(
+                    remote_oracle(failure_rate=fr, timeout_rate=tr),
+                    parity_budget,
+                )
+            ]
+            * parity_concurrency,
+            seeds,
+            interleaving="random",
+            scheduler_seed=2,
+        )
+        if scheduled != solo:
+            raise AssertionError(
+                f"remote run (failure={failure_rate}, timeout={timeout_rate}) "
+                "diverged from the plain solo baseline"
+            )
+        if failure_rate > 0:
+            stats = [e.stats() for e in endpoints]
+            retries = sum(s.retries for s in stats)
+            giveups = sum(s.giveups for s in stats)
+            timeouts = sum(s.timeouts for s in stats)
+            failures = sum(s.failures for s in stats)
+        close_endpoints()
+    flaky = {
+        "queries": 2 * parity_concurrency,
+        "identical": True,
+        "failure_rate": 0.25,
+        "timeout_rate": 0.10,
+        "retries": retries,
+        "timeouts": timeouts,
+        "failures": failures,
+        "giveups": giveups,
+    }
+
+    # -- Cooperative overlap: slow remote, parked queries yield the CPU.
+    overlap_budget = min(budget, 150)
+
+    def timed_service_run(blocking):
+        service = AQPService(interleaving="round_robin")
+        start = time.perf_counter()
+        handles = [
+            service.submit_pipeline(
+                pipeline_over(
+                    remote_oracle(
+                        blocking=blocking, batch_delay=per_batch_seconds
+                    ),
+                    overlap_budget,
+                ),
+                rng=9_000 + i,
+            )
+            for i in range(concurrency)
+        ]
+        service.run_until_complete()
+        wall = time.perf_counter() - start
+        incomplete = sum(1 for h in handles if h.status != "done")
+        close_endpoints()
+        if incomplete:
+            raise AssertionError(
+                f"{incomplete} remote queries did not complete "
+                f"(blocking={blocking})"
+            )
+        return wall
+
+    blocking_wall = timed_service_run(blocking=True)
+    cooperative_wall = timed_service_run(blocking=False)
+    overlap = {
+        "concurrency": concurrency,
+        "per_batch_seconds": per_batch_seconds,
+        "budget": overlap_budget,
+        "blocking_wall_s": blocking_wall,
+        "cooperative_wall_s": cooperative_wall,
+        "speedup": (
+            blocking_wall / cooperative_wall if cooperative_wall > 0 else None
+        ),
+    }
+    return {"flaky": flaky, "overlap": overlap}
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--levels", default="10,100,1000",
@@ -241,6 +417,14 @@ def main() -> int:
     parser.add_argument("--max-p99-ttfe-ms", type=float, default=None,
                         help="fail if closed-loop p99 TTFE at the "
                         f"{GATE_LEVEL}-query level exceeds this")
+    parser.add_argument("--skip-remote", action="store_true",
+                        help="skip the remote oracle arm")
+    parser.add_argument("--remote-concurrency", type=int, default=32,
+                        help="queries in the cooperative-overlap comparison")
+    parser.add_argument("--min-remote-speedup", type=float, default=None,
+                        help="fail if cooperative serving over a slow remote "
+                        "oracle is not at least this much faster than the "
+                        "blocking baseline")
     parser.add_argument("--json", type=Path, default=None)
     args = parser.parse_args()
 
@@ -278,7 +462,44 @@ def main() -> int:
             )
         results[str(level)] = per_level
 
+    remote = None
+    if not args.skip_remote:
+        print(f"\nremote arm: flaky parity x {{0%, 25%+10%}} rates, then "
+              f"{args.remote_concurrency} queries cooperative vs blocking ...")
+        remote = run_remote_arm(
+            args.size, budget, concurrency=args.remote_concurrency
+        )
+        flaky, overlap = remote["flaky"], remote["overlap"]
+        print(
+            f"flaky parity ok: {flaky['queries']} queries bit-identical to "
+            f"solo ({flaky['retries']} retries, {flaky['timeouts']} timeouts, "
+            f"{flaky['giveups']} give-ups)"
+        )
+        print(
+            f"overlap: blocking {overlap['blocking_wall_s']:.2f}s vs "
+            f"cooperative {overlap['cooperative_wall_s']:.2f}s "
+            f"({overlap['speedup']:.1f}x)"
+        )
+
     failures = []
+    if remote is not None:
+        if remote["flaky"]["giveups"] != 0:
+            failures.append(
+                f"remote arm gave up on {remote['flaky']['giveups']} batches "
+                "despite the retry budget (no-giveup floor)"
+            )
+        if remote["flaky"]["retries"] == 0:
+            failures.append(
+                "remote flaky arm recorded zero retries — the fault "
+                "injection never fired"
+            )
+        if args.min_remote_speedup is not None:
+            speedup = remote["overlap"]["speedup"]
+            if speedup is None or speedup < args.min_remote_speedup:
+                failures.append(
+                    f"cooperative remote speedup {speedup} is below the "
+                    f"--min-remote-speedup floor {args.min_remote_speedup}"
+                )
     for level, per_level in results.items():
         for shape, report in per_level.items():
             if report["completed"] != report["queries"]:
@@ -316,6 +537,7 @@ def main() -> int:
             "target_ci_width": target_ci_width,
             "parity": parity,
             "results": results,
+            "remote": remote,
             "gate": gate,
             "failures": failures,
         }

@@ -35,6 +35,7 @@ from repro.engine.pipeline import (
     SamplingPipeline,
     _empty_stratum_sample,
 )
+from repro.oracle.remote import PendingOracleBatch
 
 __all__ = ["SamplingSession", "CheckpointError"]
 
@@ -84,6 +85,14 @@ class SamplingSession:
         self._result: Optional[EstimateResult] = None
         self._steps = 0
         self._last_step_cost = 0
+        # Cooperative remote oracles (AsyncOracle with blocking=False) may
+        # raise PendingOracleBatch from a draw; arm the RNG-rewind path
+        # only for them so the common case stays snapshot-free.
+        oracle = pipeline.oracle
+        self._parkable = bool(getattr(oracle, "parkable", False))
+        self._step_boundary = (
+            getattr(oracle, "step_boundary", None) if self._parkable else None
+        )
 
     # -- Introspection -------------------------------------------------------------
     @property
@@ -173,7 +182,10 @@ class SamplingSession:
             self._last_step_cost = state.spent - spent_before
             return True
         k = self._next_stratum
-        self._pipeline.draw(state, k, self._pending[k])
+        if self._parkable:
+            self._draw_parkable(state, k)
+        else:
+            self._pipeline.draw(state, k, self._pending[k])
         self._next_stratum += 1
         if self._next_stratum >= state.num_strata:
             self._pending = None
@@ -181,6 +193,27 @@ class SamplingSession:
         self._steps += 1
         self._last_step_cost = state.spent - spent_before
         return True
+
+    def _draw_parkable(self, state: PipelineState, k: int) -> None:
+        """One stratum draw against a cooperative (parkable) remote oracle.
+
+        If the oracle's batch is still in flight it raises
+        :class:`~repro.oracle.remote.PendingOracleBatch` *before* any
+        state mutates — only the session RNG was consumed, selecting the
+        records to label.  We rewind that and re-raise, so retrying the
+        step re-selects the identical records and the draw sequence stays
+        bit-for-bit what a blocking run would produce.  After a draw
+        completes, the oracle's per-step replay buffer (which bridges
+        chunked multi-batch draws across park/retry cycles) is cleared.
+        """
+        snapshot = state.rng.generator.bit_generator.state
+        try:
+            self._pipeline.draw(state, k, self._pending[k])
+        except PendingOracleBatch:
+            state.rng.generator.bit_generator.state = snapshot
+            raise
+        if self._step_boundary is not None:
+            self._step_boundary()
 
     def run(self) -> EstimateResult:
         """Drive the session to completion and return the finalized result."""

@@ -18,7 +18,14 @@ result (and, for group-by queries, a group key).  This package provides:
   oracle setting) or one binary oracle per group (multiple oracle setting);
 * :class:`~repro.oracle.cache.CachingOracle` — memoization so repeated
   evaluation of the same record (e.g. sample reuse across stages) is only
-  charged once, matching how a real system would cache DNN outputs.
+  charged once, matching how a real system would cache DNN outputs;
+* :mod:`~repro.oracle.remote` — the async RPC protocol for oracles that
+  are remote services: :class:`~repro.oracle.remote.RemoteEndpoint`
+  (batch coalescing, a concurrency limiter, timeouts, seeded retry
+  backoff) and :class:`~repro.oracle.remote.AsyncOracle` (the adapter,
+  blocking or cooperative), with
+  :class:`~repro.oracle.simulated.SimulatedRemoteOracle` as the hermetic
+  flaky transport for tests (see ``docs/REMOTE_ORACLES.md``).
 """
 
 from repro.oracle.base import (
@@ -31,11 +38,22 @@ from repro.oracle.base import (
 )
 from repro.oracle.budget import BudgetedOracle, OracleBudget, OracleBudgetExceededError
 from repro.oracle.cache import CachingOracle
+from repro.oracle.remote import (
+    AsyncOracle,
+    PendingOracleBatch,
+    RemoteCallError,
+    RemoteCallStats,
+    RemoteCallTimeout,
+    RemoteEndpoint,
+    RemoteGiveUpError,
+    RemoteTicket,
+)
 from repro.oracle.simulated import (
     LabelColumnOracle,
     ThresholdOracle,
     CallableOracle,
     NoisyHumanOracle,
+    SimulatedRemoteOracle,
     LatencyOracle,
 )
 from repro.oracle.composite import AndOracle, OrOracle, NotOracle
@@ -56,7 +74,16 @@ __all__ = [
     "ThresholdOracle",
     "CallableOracle",
     "NoisyHumanOracle",
+    "SimulatedRemoteOracle",
     "LatencyOracle",
+    "AsyncOracle",
+    "RemoteEndpoint",
+    "RemoteTicket",
+    "RemoteCallStats",
+    "RemoteCallError",
+    "RemoteCallTimeout",
+    "RemoteGiveUpError",
+    "PendingOracleBatch",
     "AndOracle",
     "OrOracle",
     "NotOracle",

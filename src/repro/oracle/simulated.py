@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.data.backend import as_dense, is_column_handle
 from repro.oracle.base import PredicateOracle
+from repro.oracle.remote import RemoteCallError, RemoteCallTimeout
 from repro.stats.rng import RandomState
 
 __all__ = [
@@ -29,6 +30,7 @@ __all__ = [
     "ThresholdOracle",
     "CallableOracle",
     "NoisyHumanOracle",
+    "SimulatedRemoteOracle",
     "LatencyOracle",
 ]
 
@@ -227,16 +229,131 @@ class NoisyHumanOracle(PredicateOracle):
         return self._answers[np.asarray(record_indices, dtype=np.int64)]
 
 
-class LatencyOracle(PredicateOracle):
-    """A label-column oracle that simulates real oracle latency.
+class SimulatedRemoteOracle(PredicateOracle):
+    """A label-column oracle behaving like a flaky remote scoring service.
 
     The paper's oracles are DNN inference services or human labelers: each
     request carries a fixed dispatch overhead plus a per-record service
-    time, and the caller mostly *waits*.  This oracle reproduces that wall
-    -clock profile with ``time.sleep`` (which releases the GIL, exactly like
-    a network round-trip or a GPU kernel launch) while the answers stay a
-    deterministic label lookup — so it is the honest workload for measuring
-    the batched / parallel execution engine: results never change, only
+    time, the caller mostly *waits*, and real deployments add partial
+    failure — dropped requests, timeout spikes, rate-limit rejections.
+    This oracle reproduces that profile hermetically:
+
+    * **Latency** — ``time.sleep(per_batch_seconds + per_record_seconds*n)``
+      per request (releases the GIL, exactly like a network round-trip or
+      a GPU kernel launch).
+    * **Failure** — each request may raise
+      :class:`~repro.oracle.remote.RemoteCallError` (``failure_rate``) or
+      :class:`~repro.oracle.remote.RemoteCallTimeout` (``timeout_rate``),
+      drawn from a dedicated ``RandomState(seed)``; or follow an explicit
+      per-attempt ``script`` of ``"ok"`` / ``"fail"`` / ``"timeout"``
+      outcomes (consumed one per request, then falling back to the rates)
+      — the fail-then-succeed shapes retry tests need.
+
+    Failures are decided *before* the latency sleep and the label lookup,
+    and raising an oracle's ``_evaluate_batch`` charges nothing (base
+    accounting runs only on success) — so however flaky the service, the
+    answers any caller eventually receives, and all cost accounting, are
+    bit-identical to a zero-failure run.  Only time changes.  That makes
+    this the honest workload for the retry/timeout machinery of
+    :class:`~repro.oracle.remote.RemoteEndpoint` and for measuring the
+    batched / parallel / cooperative execution engines.
+    """
+
+    def __init__(
+        self,
+        labels: Sequence,
+        *,
+        per_record_seconds: float = 0.0,
+        per_batch_seconds: float = 0.0,
+        failure_rate: float = 0.0,
+        timeout_rate: float = 0.0,
+        script: Optional[Sequence[str]] = None,
+        seed: int = 0,
+        name: str = "remote_oracle",
+        cost_per_call: float = 1.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        super().__init__(name=name, cost_per_call=cost_per_call)
+        if per_record_seconds < 0 or per_batch_seconds < 0:
+            raise ValueError("latencies must be non-negative")
+        if not 0.0 <= failure_rate <= 1.0:
+            raise ValueError(f"failure_rate must be in [0, 1], got {failure_rate}")
+        if not 0.0 <= timeout_rate <= 1.0:
+            raise ValueError(f"timeout_rate must be in [0, 1], got {timeout_rate}")
+        if failure_rate + timeout_rate > 1.0:
+            raise ValueError(
+                "failure_rate + timeout_rate must not exceed 1, got "
+                f"{failure_rate} + {timeout_rate}"
+            )
+        self._source = _BoolColumnSource(labels)
+        self._per_record_seconds = float(per_record_seconds)
+        self._per_batch_seconds = float(per_batch_seconds)
+        self._failure_rate = float(failure_rate)
+        self._timeout_rate = float(timeout_rate)
+        if script is not None:
+            script = list(script)
+            for outcome in script:
+                if outcome not in ("ok", "fail", "timeout"):
+                    raise ValueError(
+                        f"unknown script outcome {outcome!r}; expected "
+                        "'ok', 'fail' or 'timeout'"
+                    )
+        self._script = script
+        self._script_pos = 0
+        self._failure_rng = RandomState(seed)
+        self._sleep = sleep
+
+    @property
+    def labels(self) -> np.ndarray:
+        return self._source.materialize()
+
+    @property
+    def script_exhausted(self) -> bool:
+        """Whether every scripted outcome has been consumed."""
+        return self._script is None or self._script_pos >= len(self._script)
+
+    def _maybe_fail(self, batch_size: int) -> None:
+        outcome = None
+        if self._script is not None and self._script_pos < len(self._script):
+            outcome = self._script[self._script_pos]
+            self._script_pos += 1
+        elif self._failure_rate > 0.0 or self._timeout_rate > 0.0:
+            u = float(self._failure_rng.random())
+            if u < self._timeout_rate:
+                outcome = "timeout"
+            elif u < self._timeout_rate + self._failure_rate:
+                outcome = "fail"
+        if outcome == "timeout":
+            raise RemoteCallTimeout(
+                f"{self.name}: simulated timeout (batch of {batch_size})"
+            )
+        if outcome == "fail":
+            raise RemoteCallError(
+                f"{self.name}: simulated transport failure (batch of {batch_size})"
+            )
+
+    def _simulate_latency(self, batch_size: int) -> None:
+        delay = self._per_batch_seconds + self._per_record_seconds * batch_size
+        if delay > 0:
+            self._sleep(delay)
+
+    def _evaluate(self, record_index: int) -> bool:
+        self._maybe_fail(1)
+        self._simulate_latency(1)
+        return self._source.scalar(record_index)
+
+    def _evaluate_batch(self, record_indices) -> np.ndarray:
+        idx = np.asarray(record_indices, dtype=np.int64)
+        self._maybe_fail(idx.shape[0])
+        self._simulate_latency(idx.shape[0])
+        return self._source.batch(idx)
+
+
+class LatencyOracle(SimulatedRemoteOracle):
+    """A never-failing :class:`SimulatedRemoteOracle` (latency only).
+
+    Kept as the workload for the batched / parallel engine benchmarks,
+    with its original positional signature: results never change, only
     time does.
     """
 
@@ -248,22 +365,10 @@ class LatencyOracle(PredicateOracle):
         name: str = "latency_oracle",
         cost_per_call: float = 1.0,
     ):
-        super().__init__(name=name, cost_per_call=cost_per_call)
-        if per_record_seconds < 0 or per_batch_seconds < 0:
-            raise ValueError("latencies must be non-negative")
-        self._source = _BoolColumnSource(labels)
-        self._per_record_seconds = float(per_record_seconds)
-        self._per_batch_seconds = float(per_batch_seconds)
-
-    @property
-    def labels(self) -> np.ndarray:
-        return self._source.materialize()
-
-    def _evaluate(self, record_index: int) -> bool:
-        time.sleep(self._per_batch_seconds + self._per_record_seconds)
-        return self._source.scalar(record_index)
-
-    def _evaluate_batch(self, record_indices) -> np.ndarray:
-        idx = np.asarray(record_indices, dtype=np.int64)
-        time.sleep(self._per_batch_seconds + self._per_record_seconds * idx.shape[0])
-        return self._source.batch(idx)
+        super().__init__(
+            labels,
+            per_record_seconds=per_record_seconds,
+            per_batch_seconds=per_batch_seconds,
+            name=name,
+            cost_per_call=cost_per_call,
+        )

@@ -13,12 +13,17 @@ The layering::
        |                     streaming partial(), checkpoint/resume
     AdmissionController      reserve -> settle per-tenant quota accounting
     CooperativeScheduler     round-robin / randomized step interleaving,
-       |                     per-step cost + SLO (TTFE / TT-target-CI)
+       |                     per-step cost + SLO (TTFE / TT-target-CI),
+       |                     WAITING parking on in-flight remote batches
     SharedOracleCache        (identity, record) -> answer, cross-query
+    RemoteEndpoint           coalesced remote oracle batches, retries,
+                             timeouts (repro.oracle.remote)
 
 Determinism: sessions share no mutable state, so any interleaving of any
 set of queries is bit-identical — results and oracle accounting — to
-running each query alone (``tests/test_serve_parity.py``).
+running each query alone (``tests/test_serve_parity.py``); with
+cooperative remote oracles this extends across parking, retries and
+failures (``tests/test_serve_remote.py``, ``docs/REMOTE_ORACLES.md``).
 """
 
 from repro.serve.admission import (

@@ -21,11 +21,15 @@ Semantics
   only be shared between oracles that are genuinely interchangeable —
   answering the same question over the same dataset.
 * Accounting is exact and thread-safe: every lookup is classified as one
-  hit or one miss under the store lock, and a missed record is filled
-  under the same lock, so concurrent queries cannot double-evaluate a
-  record or lose counter updates.  (Fills for the same identity therefore
-  serialize; the cooperative scheduler in :mod:`repro.serve.scheduler`
-  is single-threaded, so this only matters for free-threaded callers.)
+  hit or one miss, and counters are only committed once the answers are
+  in hand, so concurrent queries cannot double-evaluate a record or lose
+  counter updates.
+* The **hit path never waits on a fill**: fully-cached lookups complete
+  under one short store-lock hold, while misses evaluate outside the
+  store lock under a *per-identity* fill lock.  A slow remote fill for
+  one identity therefore serializes only lookups of that same identity —
+  unrelated identities (other predicates, other datasets) read and fill
+  concurrently.
 """
 
 from __future__ import annotations
@@ -78,6 +82,9 @@ class SharedOracleCache:
         self._max_entries = max_entries
         self._store: "OrderedDict[tuple, object]" = OrderedDict()
         self._lock = threading.RLock()
+        # One fill lock per identity: misses evaluate under it, outside
+        # the store lock, so slow fills never block other identities.
+        self._fill_locks: Dict[str, threading.Lock] = {}
         self._hits = 0
         self._misses = 0
         self._evictions = 0
@@ -101,54 +108,90 @@ class SharedOracleCache:
         """Empty the store and zero the accounting."""
         with self._lock:
             self._store.clear()
+            self._fill_locks.clear()
             self._identities.clear()
             self._hits = 0
             self._misses = 0
             self._evictions = 0
 
-    # -- Core protocol (used by SharedCachingOracle under one lock hold) ----------
+    # -- Core protocol (used by SharedCachingOracle) --------------------------------
     def fill_batch(self, identity: str, record_indices, evaluate) -> list:
         """Answers for ``record_indices``, evaluating only uncached records.
 
-        ``evaluate`` is called at most once, with the deduplicated list of
-        uncached record indices in first-occurrence order, and its results
-        are stored under ``identity``.  Returns answers aligned with the
-        request.  The whole operation — classification, fill, accounting —
-        happens under the store lock, so hit/miss counts are exact even
-        under concurrent callers, and no record is ever double-evaluated.
+        Fast path: if every record is already cached, the answers are
+        gathered under one short store-lock hold and the call never
+        touches a fill lock.  Otherwise the uncached records (deduplicated,
+        first-occurrence order) are evaluated under this *identity's* fill
+        lock with the store lock released — so a slow fill blocks only
+        same-identity callers, never the hit path of other identities.
+        Concurrent fills of the same identity serialize, and records a
+        racing filler already stored are re-classified as hits rather than
+        re-evaluated; ``evaluate`` runs once per remaining miss set (with
+        a bounded eviction ceiling, at most once per round of the
+        re-classification loop).  Accounting commits only once answers are
+        in hand, so an ``evaluate`` that raises — including a cooperative
+        remote oracle parking mid-fill — charges nothing, and the retried
+        call counts the lookup exactly once.
         """
         keys = [int(k) for k in np.asarray(record_indices, dtype=np.int64).tolist()]
         with self._lock:
-            store = self._store
-            pending = []
-            pending_set = set()
-            for key in keys:
-                full_key = (identity, key)
-                if full_key not in store and key not in pending_set:
-                    pending.append(key)
-                    pending_set.add(key)
-            if pending:
+            answers = self._gather_if_cached_locked(identity, keys)
+            if answers is not None:
+                self._hits += len(keys)
+                return answers
+        with self._identity_fill_lock(identity):
+            charged = 0
+            while True:
+                with self._lock:
+                    store = self._store
+                    pending = []
+                    pending_set = set()
+                    for key in keys:
+                        if (identity, key) not in store and key not in pending_set:
+                            pending.append(key)
+                            pending_set.add(key)
+                    if not pending:
+                        self._hits += max(0, len(keys) - charged)
+                        return self._gather_locked(identity, keys)
                 fresh = evaluate(pending)
                 if len(fresh) != len(pending):
                     raise ValueError(
                         f"oracle returned {len(fresh)} answers for "
                         f"{len(pending)} records"
                     )
-                for key, value in zip(pending, fresh):
-                    store[(identity, key)] = value
-                self._misses += len(pending)
-                self._identities[identity] = (
-                    self._identities.get(identity, 0) + len(pending)
-                )
-            self._hits += len(keys) - len(pending)
-            answers = []
-            for key in keys:
-                full_key = (identity, key)
-                value = store[full_key]
-                store.move_to_end(full_key)
-                answers.append(value)
-            self._evict_locked()
-            return answers
+                with self._lock:
+                    for key, value in zip(pending, fresh):
+                        self._store[(identity, key)] = value
+                    self._misses += len(pending)
+                    self._identities[identity] = (
+                        self._identities.get(identity, 0) + len(pending)
+                    )
+                charged += len(pending)
+
+    def _identity_fill_lock(self, identity: str) -> threading.Lock:
+        with self._lock:
+            lock = self._fill_locks.get(identity)
+            if lock is None:
+                lock = self._fill_locks[identity] = threading.Lock()
+            return lock
+
+    def _gather_if_cached_locked(self, identity: str, keys) -> Optional[list]:
+        store = self._store
+        for key in keys:
+            if (identity, key) not in store:
+                return None
+        return self._gather_locked(identity, keys)
+
+    def _gather_locked(self, identity: str, keys) -> list:
+        answers = []
+        store = self._store
+        for key in keys:
+            full_key = (identity, key)
+            value = store[full_key]
+            store.move_to_end(full_key)
+            answers.append(value)
+        self._evict_locked()
+        return answers
 
     def _evict_locked(self) -> None:
         if self._max_entries is None:

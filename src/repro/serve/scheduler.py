@@ -17,6 +17,15 @@ alone.**  The scheduler's own randomness (the ``"random"`` interleaving)
 draws from a dedicated :class:`~repro.stats.rng.RandomState` that is
 never shared with any session.
 
+Remote oracles extend the contract to *wait overlap*: a query whose step
+hits a still-in-flight :class:`~repro.oracle.remote.AsyncOracle` batch
+(cooperative mode) parks in ``WAITING`` instead of blocking the tick —
+the scheduler steps other queries, polls parked tickets between steps,
+and only blocks (after flushing every involved endpoint) when *every*
+live query is parked.  The session rewinds its RNG before parking, so
+the retried step re-selects identical records and per-query results stay
+bit-identical to a blocking run (pinned by ``tests/test_serve_remote.py``).
+
 Per-step cost accounting: each :class:`QueryTask` records how many oracle
 draws every step charged (via the session's ``last_step_cost``), its
 time-to-first-estimate, and — when a target CI width is set — its
@@ -29,10 +38,11 @@ from __future__ import annotations
 import time
 from typing import Callable, Deque, Dict, List, Optional
 
-from collections import deque
+from collections import OrderedDict, deque
 
 from repro.core.estimators import estimate_all_strata, estimate_mse_plugin
 from repro.engine.session import SamplingSession
+from repro.oracle.remote import PendingOracleBatch, RemoteTicket
 from repro.stats.rng import RandomState
 
 __all__ = [
@@ -45,10 +55,17 @@ __all__ = [
 
 
 class QueryStatus:
-    """Lifecycle states of a served query (plain strings, not an enum)."""
+    """Lifecycle states of a served query (plain strings, not an enum).
+
+    ``WAITING`` is the parked state: the query's next step is blocked on
+    a still-in-flight remote oracle batch.  A waiting query is live — it
+    stays in the rotation and resumes the moment its ticket resolves —
+    but the scheduler skips it while the batch is pending.
+    """
 
     PENDING = "pending"
     RUNNING = "running"
+    WAITING = "waiting"
     DONE = "done"
     FAILED = "failed"
     CANCELLED = "cancelled"
@@ -112,6 +129,8 @@ class QueryTask:
         self._on_settle = on_settle
         self._clock = clock
         self._settled = False
+        # The remote ticket a WAITING task is parked on (else None).
+        self.waiting_on: Optional[RemoteTicket] = None
         # Per-step cost accounting.
         self.initial_spent = session.spent
         self.steps = 0
@@ -125,7 +144,11 @@ class QueryTask:
     # -- Introspection --------------------------------------------------------------
     @property
     def live(self) -> bool:
-        return self.status in (QueryStatus.PENDING, QueryStatus.RUNNING)
+        return self.status in (
+            QueryStatus.PENDING,
+            QueryStatus.RUNNING,
+            QueryStatus.WAITING,
+        )
 
     @property
     def spent(self) -> int:
@@ -149,31 +172,57 @@ class QueryTask:
         return self.session.partial_estimate()
 
     # -- Execution (called by the scheduler) ----------------------------------------
+    def remote_ready(self) -> bool:
+        """Whether a WAITING task's parked batch has resolved.
+
+        Polling also gives the endpoint its ``max_delay`` launch check, so
+        queued sub-batches cannot starve while the scheduler cycles.
+        """
+        ticket = self.waiting_on
+        return ticket is None or ticket.poll()
+
     def advance(self) -> bool:
-        """Run one session step; ``False`` once the query left the live set."""
+        """Run one session step; ``False`` once the query left the live set.
+
+        Step cost is measured as the session's spend delta across the
+        call, so the invariant ``sum(step_costs) == spent`` holds for
+        every lifecycle — including the *final* step: a completing
+        ``step()`` that charged draws still appends its cost, counts in
+        ``steps`` and can set ``first_estimate_at`` / ``target_ci_at``.
+        A step that parks on a pending remote batch charges nothing,
+        records nothing, and leaves the task live in ``WAITING``.
+        """
         if not self.live:
             return False
         self.status = QueryStatus.RUNNING
+        spent_before = self.session.spent
         try:
             more = self.session.step()
+        except PendingOracleBatch as pending:
+            self.status = QueryStatus.WAITING
+            self.waiting_on = pending.ticket
+            return True
         except BaseException as exc:
             self.error = exc
             self.status = QueryStatus.FAILED
             self._settle()
             return False
-        if more:
+        self.waiting_on = None
+        cost = self.session.spent - spent_before
+        if more or cost:
             self.steps += 1
-            self.step_costs.append(self.session.last_step_cost)
-            now = self._clock()
-            if self.first_estimate_at is None and self.spent > 0:
-                self.first_estimate_at = now
-            if (
-                self.target_ci_width is not None
-                and self.target_ci_at is None
-                and self.first_estimate_at is not None
-                and approximate_ci_width(self.session) <= self.target_ci_width
-            ):
-                self.target_ci_at = now
+            self.step_costs.append(cost)
+        now = self._clock()
+        if self.first_estimate_at is None and self.spent > 0:
+            self.first_estimate_at = now
+        if (
+            self.target_ci_width is not None
+            and self.target_ci_at is None
+            and self.first_estimate_at is not None
+            and approximate_ci_width(self.session) <= self.target_ci_width
+        ):
+            self.target_ci_at = now
+        if more:
             return True
         try:
             self.result = (
@@ -192,10 +241,12 @@ class QueryTask:
         return False
 
     def mark_cancelled(self) -> None:
+        self.waiting_on = None
         self.status = QueryStatus.CANCELLED
         self._settle()
 
     def mark_suspended(self) -> None:
+        self.waiting_on = None
         self.status = QueryStatus.SUSPENDED
         self._settle()
 
@@ -231,7 +282,16 @@ class CooperativeScheduler:
     The scheduler is cooperative and single-threaded: one ``step_once()``
     runs exactly one session step on the calling thread.  Concurrency here
     means *interleaved progress*, not parallelism — oracle batches inside
-    a step may still fan out across the engine's worker pools.
+    a step may still fan out across the engine's worker pools, and a
+    cooperative remote oracle's in-flight batches overlap with other
+    queries' steps (see the module docstring).
+
+    ``retain_settled`` bounds memory in a long-running service: settled
+    tasks (done / failed / cancelled / suspended) beyond the newest
+    ``retain_settled`` are evicted from the lookup table, so per-query
+    state no longer accumulates forever.  ``None`` (the default) keeps
+    every settled task — the PR-6 behaviour, right for batch drivers that
+    collect results at the end.
     """
 
     def __init__(
@@ -239,17 +299,25 @@ class CooperativeScheduler:
         interleaving: str = ROUND_ROBIN,
         seed: int = 0,
         clock: Callable[[], float] = time.monotonic,
+        retain_settled: Optional[int] = None,
     ):
         if interleaving not in INTERLEAVINGS:
             raise ValueError(
                 f"unknown interleaving {interleaving!r}; "
                 f"expected one of {INTERLEAVINGS}"
             )
+        if retain_settled is not None and retain_settled < 0:
+            raise ValueError(
+                f"retain_settled must be >= 0 or None, got {retain_settled}"
+            )
         self.interleaving = interleaving
         self.clock = clock
+        self.retain_settled = retain_settled
         self._rng = RandomState(seed)
         self._queue: Deque[QueryTask] = deque()
         self._tasks: Dict[str, QueryTask] = {}
+        # Settled task ids, oldest first — the eviction order.
+        self._settled_order: "OrderedDict[str, None]" = OrderedDict()
         self.total_steps = 0
 
     # -- Task management ------------------------------------------------------------
@@ -267,16 +335,49 @@ class CooperativeScheduler:
         except ValueError:
             pass
 
+    def retire(self, task: QueryTask) -> None:
+        """Remove a task from the rotation and, if settled, start its
+        retention countdown (evicting older settled tasks past the knob)."""
+        self.remove(task)
+        if not task.live:
+            self._note_settled(task)
+
+    def _note_settled(self, task: QueryTask) -> None:
+        tid = task.task_id
+        if tid not in self._tasks or tid in self._settled_order:
+            return
+        self._settled_order[tid] = None
+        if self.retain_settled is not None:
+            while len(self._settled_order) > self.retain_settled:
+                old, _ = self._settled_order.popitem(last=False)
+                self._tasks.pop(old, None)
+
     @property
     def live_tasks(self) -> List[QueryTask]:
         return [t for t in self._queue if t.live]
 
     @property
     def num_live(self) -> int:
-        return len(self._queue)
+        """Live (pending / running / waiting) tasks in the rotation.
+
+        Counts what :attr:`live_tasks` returns — cancelled or suspended
+        tasks still sitting in the rotation are excluded.
+        """
+        return sum(1 for t in self._queue if t.live)
+
+    @property
+    def num_settled(self) -> int:
+        """Settled tasks currently retained for result pickup."""
+        return len(self._settled_order)
 
     def task(self, task_id: str) -> QueryTask:
-        return self._tasks[task_id]
+        try:
+            return self._tasks[task_id]
+        except KeyError:
+            raise KeyError(
+                f"unknown task id {task_id!r} (never submitted, or settled "
+                "and evicted past the retain_settled window)"
+            ) from None
 
     # -- Stepping -------------------------------------------------------------------
     def _pick(self) -> QueryTask:
@@ -290,17 +391,56 @@ class CooperativeScheduler:
 
         A task that stays live after its step re-enters the rotation at
         the back (for round-robin this is exact fair cycling; for random
-        the rotation point is irrelevant).
+        the rotation point is irrelevant).  WAITING tasks whose remote
+        batch is still in flight are skipped — they keep their place at
+        the back of the rotation — and when *every* live task is parked
+        the scheduler flushes the involved endpoints and blocks until the
+        oldest-picked ticket resolves, then resumes stepping.  Settled
+        tasks are dropped from the rotation as they are encountered and
+        enter the ``retain_settled`` eviction window.
         """
-        while self._queue:
-            task = self._pick()
-            if not task.live:
-                continue
-            self.total_steps += 1
-            if task.advance():
-                self._queue.append(task)
-            return task
-        return None
+        while True:
+            waiting: List[QueryTask] = []
+            stepped: Optional[QueryTask] = None
+            while self._queue:
+                task = self._pick()
+                if not task.live:
+                    self._note_settled(task)
+                    continue
+                if task.status == QueryStatus.WAITING and not task.remote_ready():
+                    waiting.append(task)
+                    continue
+                self.total_steps += 1
+                if task.advance():
+                    self._queue.append(task)
+                else:
+                    self._note_settled(task)
+                stepped = task
+                break
+            self._queue.extend(waiting)
+            if stepped is not None:
+                return stepped
+            if not waiting:
+                return None
+            self._await_remote(waiting)
+
+    def _await_remote(self, waiting: List[QueryTask]) -> None:
+        """Every live task is parked: flush and block until one resolves.
+
+        Flushing each distinct endpoint first guarantees progress — every
+        parked ticket's batch is then launched or in flight, so the wait
+        always terminates (with results or a give-up error).
+        """
+        tickets = [t.waiting_on for t in waiting if t.waiting_on is not None]
+        if not tickets:
+            return
+        flushed: List[object] = []
+        for ticket in tickets:
+            endpoint = ticket.endpoint
+            if not any(e is endpoint for e in flushed):
+                flushed.append(endpoint)
+                endpoint.flush()
+        tickets[0].wait()
 
     def run_until_complete(self, max_steps: Optional[int] = None) -> int:
         """Drive all live tasks to completion; returns steps executed.

@@ -128,6 +128,11 @@ class AQPService:
     clock:
         Injectable time source for SLO timestamps (tests use virtual
         clocks; production uses ``time.monotonic``).
+    retain_settled:
+        Bound on settled tasks kept for result pickup (see
+        :class:`~repro.serve.scheduler.CooperativeScheduler`); ``None``
+        keeps all — set it in long-running services so memory does not
+        grow per query served.
     """
 
     def __init__(
@@ -137,11 +142,15 @@ class AQPService:
         interleaving: str = ROUND_ROBIN,
         scheduler_seed: int = 0,
         clock: Callable[[], float] = time.monotonic,
+        retain_settled: Optional[int] = None,
     ):
         self.admission = admission or AdmissionController()
         self.shared_cache = shared_cache
         self.scheduler = CooperativeScheduler(
-            interleaving=interleaving, seed=scheduler_seed, clock=clock
+            interleaving=interleaving,
+            seed=scheduler_seed,
+            clock=clock,
+            retain_settled=retain_settled,
         )
         self._clock = clock
         self._ids = itertools.count()
@@ -291,8 +300,8 @@ class AQPService:
                 f"query {task.task_id!r} is {task.status}; only live queries "
                 "can be cancelled"
             )
-        self.scheduler.remove(task)
         task.mark_cancelled()
+        self.scheduler.retire(task)
 
     def checkpoint(self, handle: QueryHandle) -> bytes:
         """Suspend a live query: settle its reservation, return its bytes.
@@ -309,8 +318,8 @@ class AQPService:
                 "can be checkpointed"
             )
         payload = task.session.checkpoint()
-        self.scheduler.remove(task)
         task.mark_suspended()
+        self.scheduler.retire(task)
         return payload
 
     def resume_pipeline(

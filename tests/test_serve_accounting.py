@@ -1,0 +1,279 @@
+"""Serve-layer accounting invariants (the bugfix sweep's regression pins).
+
+Three bugs this suite keeps dead:
+
+* ``QueryTask.advance`` dropped the *final* step's cost — a completing
+  ``step()`` that charged draws appended nothing to ``step_costs`` (so
+  ``sum(step_costs) != spent``) and never set ``first_estimate_at`` for
+  a query whose only spend happened on its last step.
+* ``CooperativeScheduler.num_live`` counted cancelled/suspended tasks
+  still sitting in the rotation deque.
+* ``_tasks`` retained every settled task forever; ``retain_settled``
+  now bounds it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.multipred import And, Not, Or, PredicateLeaf
+from repro.engine.builders import (
+    multipred_pipeline,
+    sequential_pipeline,
+    two_stage_pipeline,
+    uniform_pipeline,
+    until_width_pipeline,
+)
+from repro.serve import AQPService
+from repro.serve.scheduler import (
+    CooperativeScheduler,
+    QueryStatus,
+    QueryTask,
+)
+from repro.stats.rng import RandomState
+from repro.synth import make_dataset, make_multipred_scenario
+
+FAMILIES = ("two_stage", "uniform", "sequential", "until_width", "multipred")
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return make_dataset("synthetic", seed=0, size=6_000)
+
+
+@pytest.fixture(scope="module")
+def multipred_scenario():
+    return make_multipred_scenario("synthetic", seed=5, size=6_000)
+
+
+def pipeline_factory(family, scenario, multipred_scenario):
+    sc = scenario
+    if family == "two_stage":
+        return lambda: two_stage_pipeline(
+            sc.proxy,
+            sc.make_oracle(),
+            sc.statistic_values,
+            budget=320,
+            with_ci=True,
+            num_bootstrap=20,
+        )
+    if family == "uniform":
+        return lambda: uniform_pipeline(
+            sc.num_records,
+            sc.make_oracle(),
+            sc.statistic_values,
+            budget=240,
+            with_ci=True,
+            num_bootstrap=20,
+        )
+    if family == "sequential":
+        return lambda: sequential_pipeline(
+            sc.proxy,
+            sc.make_oracle(),
+            sc.statistic_values,
+            budget=260,
+        )
+    if family == "until_width":
+        return lambda: until_width_pipeline(
+            sc.proxy,
+            sc.make_oracle(),
+            sc.statistic_values,
+            target_width=0.7,
+            max_budget=320,
+            num_bootstrap=40,
+        )
+    if family == "multipred":
+        mp = multipred_scenario
+
+        def build():
+            leaves = [
+                PredicateLeaf(mp.proxies[n], mp.make_oracle(n), name=n)
+                for n in mp.predicate_names
+            ]
+            return multipred_pipeline(
+                Or([And(leaves), Not(leaves[0])]),
+                mp.statistic_values,
+                budget=280,
+            )
+
+        return build
+    raise ValueError(family)
+
+
+def make_task(factory, seed, task_id="q"):
+    pipeline = factory()
+    return QueryTask(pipeline.session(RandomState(seed)), task_id=task_id)
+
+
+class _StubSession:
+    """A scripted session: ``costs[i]`` is step *i*'s charge; the last
+    scripted step returns ``False`` (completion) while still charging.
+
+    Pins the final-step accounting directly, independent of any sampler's
+    step layout.
+    """
+
+    def __init__(self, costs):
+        self._costs = list(costs)
+        self._i = 0
+        self.spent = 0
+
+    def step(self):
+        self.spent += self._costs[self._i]
+        self._i += 1
+        return self._i < len(self._costs)
+
+    def result(self):
+        return {"spent": self.spent}
+
+    def partial_estimate(self):  # pragma: no cover - not exercised
+        return None
+
+
+class TestStepCostInvariant:
+    @pytest.mark.parametrize("family", FAMILIES)
+    def test_sum_step_costs_equals_spent(self, family, scenario, multipred_scenario):
+        factory = pipeline_factory(family, scenario, multipred_scenario)
+        scheduler = CooperativeScheduler(interleaving="random", seed=2)
+        tasks = [make_task(factory, 3 + 1000 * i, f"q{i}") for i in range(3)]
+        for task in tasks:
+            scheduler.submit(task)
+        scheduler.run_until_complete()
+        for task in tasks:
+            assert task.status == QueryStatus.DONE
+            assert task.spent > 0
+            assert sum(task.step_costs) == task.spent, family
+            assert len(task.step_costs) == task.steps
+            assert all(c >= 0 for c in task.step_costs)
+            # Any query that spent must have a first-estimate timestamp,
+            # even if its only spend landed on its final step.
+            assert task.first_estimate_at is not None
+            assert task.finished_at is not None
+            assert task.first_estimate_at <= task.finished_at
+
+    def test_final_step_cost_is_recorded(self):
+        """A completing step that charged draws still counts (stub pin)."""
+        task = QueryTask(_StubSession([10, 0, 7]), task_id="stub")
+        assert task.advance()  # step 0: cost 10
+        assert task.advance()  # step 1: cost 0, still running
+        assert not task.advance()  # final step: cost 7, completes
+        assert task.status == QueryStatus.DONE
+        assert task.step_costs == [10, 0, 7]
+        assert task.steps == 3
+        assert sum(task.step_costs) == task.spent == 17
+
+    def test_first_estimate_set_by_spending_final_step(self):
+        """A query whose *only* spend is its last step gets the SLO stamp."""
+        task = QueryTask(_StubSession([12]), task_id="stub")
+        assert not task.advance()
+        assert task.status == QueryStatus.DONE
+        assert task.step_costs == [12]
+        assert task.first_estimate_at is not None
+
+    def test_zero_cost_final_step_not_counted(self):
+        """A free completing step (pure finalization) adds no phantom step."""
+        task = QueryTask(_StubSession([5, 0]), task_id="stub")
+        assert task.advance()
+        assert not task.advance()
+        assert task.step_costs == [5]
+        assert task.steps == 1
+        assert sum(task.step_costs) == task.spent == 5
+
+
+class TestNumLive:
+    def test_cancelled_and_suspended_in_rotation_not_counted(self, scenario):
+        factory = pipeline_factory("two_stage", scenario, None)
+        scheduler = CooperativeScheduler()
+        tasks = [make_task(factory, i, f"q{i}") for i in range(4)]
+        for task in tasks:
+            scheduler.submit(task)
+        assert scheduler.num_live == 4
+        scheduler.step_once()
+        # Settle two tasks *without* retiring them: they are still queued
+        # in the rotation, and num_live must see through that.
+        tasks[1].mark_cancelled()
+        tasks[2].mark_suspended()
+        assert scheduler.num_live == 2
+        scheduler.run_until_complete()
+        assert scheduler.num_live == 0
+        assert tasks[0].status == QueryStatus.DONE
+        assert tasks[3].status == QueryStatus.DONE
+        assert tasks[1].status == QueryStatus.CANCELLED
+        assert tasks[2].status == QueryStatus.SUSPENDED
+
+
+class TestRetention:
+    def test_scheduler_evicts_oldest_settled(self, scenario):
+        factory = pipeline_factory("uniform", scenario, None)
+        scheduler = CooperativeScheduler(retain_settled=2)
+        tasks = [make_task(factory, i, f"q{i}") for i in range(5)]
+        for task in tasks:
+            scheduler.submit(task)
+        scheduler.run_until_complete()
+        assert scheduler.num_settled == 2
+        assert scheduler.num_live == 0
+        # The two newest-settled ids remain addressable; older raise.
+        retained = [t.task_id for t in tasks if t.task_id in
+                    [i for i in scheduler._tasks]]
+        assert len(retained) == 2
+        evicted = [t for t in tasks if t.task_id not in scheduler._tasks]
+        assert len(evicted) == 3
+        with pytest.raises(KeyError):
+            scheduler.task(evicted[0].task_id)
+        for tid in retained:
+            assert scheduler.task(tid).status == QueryStatus.DONE
+
+    def test_retain_zero_keeps_nothing(self, scenario):
+        factory = pipeline_factory("uniform", scenario, None)
+        scheduler = CooperativeScheduler(retain_settled=0)
+        task = make_task(factory, 0)
+        scheduler.submit(task)
+        scheduler.run_until_complete()
+        assert scheduler.num_settled == 0
+        with pytest.raises(KeyError):
+            scheduler.task("q")
+        # The caller's own reference still has the full record.
+        assert task.status == QueryStatus.DONE
+        assert sum(task.step_costs) == task.spent
+
+    def test_default_retains_everything(self, scenario):
+        factory = pipeline_factory("uniform", scenario, None)
+        scheduler = CooperativeScheduler()
+        tasks = [make_task(factory, i, f"q{i}") for i in range(3)]
+        for task in tasks:
+            scheduler.submit(task)
+        scheduler.run_until_complete()
+        assert scheduler.num_settled == 3
+        for task in tasks:
+            assert scheduler.task(task.task_id) is task
+
+    def test_retain_validation(self):
+        with pytest.raises(ValueError, match="retain_settled"):
+            CooperativeScheduler(retain_settled=-1)
+
+    def test_service_retention_and_handles_survive(self, scenario):
+        factory = pipeline_factory("two_stage", scenario, None)
+        service = AQPService(retain_settled=1)
+        handles = [
+            service.submit_pipeline(factory(), rng=10 + i) for i in range(3)
+        ]
+        service.run_until_complete()
+        assert service.scheduler.num_settled == 1
+        # Handles hold the task directly: results survive eviction.
+        for h in handles:
+            assert h.status == QueryStatus.DONE
+            assert h.result() is not None
+            assert sum(h.step_costs) == h.spent
+
+    def test_cancel_retires_from_lookup(self, scenario):
+        factory = pipeline_factory("two_stage", scenario, None)
+        service = AQPService(retain_settled=0)
+        h1 = service.submit_pipeline(factory(), rng=1)
+        h2 = service.submit_pipeline(factory(), rng=2)
+        service.scheduler.step_once()
+        service.cancel(h1)
+        assert h1.status == QueryStatus.CANCELLED
+        with pytest.raises(KeyError):
+            service.scheduler.task(h1.task_id)
+        service.run_until_complete()
+        assert h2.status == QueryStatus.DONE
