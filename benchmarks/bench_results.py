@@ -10,7 +10,12 @@ like ``pytest benchmarks/test_x.py tests/test_y.py``.
 from __future__ import annotations
 
 import json
+import sys
 from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.data.diskio import atomic_write_text  # noqa: E402
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -28,7 +33,7 @@ BENCH_DATASETS = ("night-street", "celeba", "trec05p")
 def write_result(results_dir: Path, name: str, text: str) -> None:
     """Persist one experiment's text table and echo it to stdout."""
     path = results_dir / f"{name}.txt"
-    path.write_text(text + "\n")
+    atomic_write_text(path, text + "\n")
     print(f"\n{text}\n[written to {path}]")
 
 
@@ -41,6 +46,8 @@ def write_json_result(results_dir: Path, name: str, payload: dict) -> Path:
     across commits rather than parsing log output.
     """
     path = results_dir / f"BENCH_{name}.json"
-    path.write_text(json.dumps({"schema": 1, **payload}, indent=2) + "\n")
+    # Atomic so a CI artifact upload racing (or a crash interrupting) the
+    # write never captures a truncated JSON document.
+    atomic_write_text(path, json.dumps({"schema": 1, **payload}, indent=2) + "\n")
     print(f"[json written to {path}]")
     return path

@@ -1,0 +1,361 @@
+#!/usr/bin/env python
+"""Crash-recovery benchmark: the zero-divergence kill matrix + replay cost.
+
+The crash-recover-compare loop of :mod:`repro.serve.chaos`, swept as a
+benchmark (docs/RESILIENCE.md):
+
+1. **Baseline** — per oracle mode, the three-family workload (two_stage /
+   uniform / sequential, one tenant each) runs uninterrupted through the
+   *same* journaled service path as every chaos arm, so arms differ only
+   in the kill.
+
+2. **Kill matrix** — a seeded grid of scheduler-step kill points
+   (default >= 20 per mode, from :class:`ChaosPolicy`) across oracle
+   modes ``plain`` (in-process), ``blocking`` and ``cooperative`` (flaky
+   :class:`SimulatedRemoteOracle` behind the async RPC endpoint).  Each
+   arm: run to the kill point, abandon the service (the in-process
+   ``kill -9``), :meth:`AQPService.recover` into a fresh service, drive
+   to completion.  **Zero divergence is the gate**: every recovered
+   query's estimate fingerprint and every tenant's charge must equal the
+   uninterrupted baseline, or the run exits non-zero.
+
+3. **Tamper arms** — torn-tail and appended-garbage journals (the
+   torn-write crash artifacts) recover through the same comparison.
+
+Per recovered arm the script records *recovery latency* (the
+``AQPService.recover`` call: replay + rebuild + re-admission) and the
+number of journal records replayed; it reports p50/p99/max latency and
+aggregate replay throughput (records/s).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_recovery.py \
+        [--kills 20] [--max-step 60] [--modes plain,blocking,cooperative] \
+        [--smoke] [--max-p99-recovery-ms 500] \
+        [--json benchmarks/results/BENCH_recovery.json]
+
+``--smoke`` shrinks to 8 kill points over the plain + cooperative modes
+(the tier-2 CI configuration).  ``--max-p99-recovery-ms`` gates recovery
+latency; any divergence, too-few recovered arms, or a blown gate exits
+non-zero.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "tests"))
+
+from harness import estimate_fingerprint  # noqa: E402
+
+from repro.engine.builders import (  # noqa: E402
+    sequential_pipeline,
+    two_stage_pipeline,
+    uniform_pipeline,
+)
+from repro.oracle import (  # noqa: E402
+    AsyncOracle,
+    RemoteEndpoint,
+    SimulatedRemoteOracle,
+)
+from repro.serve.chaos import (  # noqa: E402
+    ChaosPolicy,
+    ChaosQuery,
+    append_garbage,
+    crash_recover_run,
+    tear_journal_tail,
+)
+from repro.synth import make_dataset  # noqa: E402
+
+BUDGETS = {"two_stage": 320, "uniform": 240, "sequential": 260}
+MODES = ("plain", "blocking", "cooperative")
+JOURNAL_EVERY = 5  # crash_recover_run's snapshot cadence (task steps)
+QUERIES = (
+    ChaosQuery("two_stage", tenant="a", seed=3),
+    ChaosQuery("uniform", tenant="b", seed=7),
+    ChaosQuery("sequential", tenant="c", seed=5),
+)
+
+
+def build_registry(scenario, mode, endpoints):
+    """``recovery_key -> pipeline factory`` for one oracle mode.
+
+    Remote modes rebuild a fresh seeded flaky endpoint per factory call —
+    exactly what recovery does in production, where oracles are not
+    picklable and must be reconstructed from the registry.
+    """
+    sc = scenario
+
+    def make_oracle(family):
+        if mode == "plain":
+            return sc.make_oracle()
+        transport = SimulatedRemoteOracle(
+            sc.labels,
+            failure_rate=0.2,
+            timeout_rate=0.05,
+            seed=11,
+            name=f"{family}_remote",
+        )
+        endpoint = RemoteEndpoint(
+            transport,
+            max_batch_size=64,
+            max_in_flight=2,
+            max_retries=10,
+            backoff_base=0.0,
+            sleep=lambda s: None,
+        )
+        endpoints.append(endpoint)
+        return AsyncOracle(endpoint, blocking=(mode == "blocking"))
+
+    return {
+        "two_stage": lambda: two_stage_pipeline(
+            sc.proxy,
+            make_oracle("two_stage"),
+            sc.statistic_values,
+            budget=BUDGETS["two_stage"],
+            with_ci=True,
+            num_bootstrap=20,
+        ),
+        "uniform": lambda: uniform_pipeline(
+            sc.num_records,
+            make_oracle("uniform"),
+            sc.statistic_values,
+            budget=BUDGETS["uniform"],
+            with_ci=True,
+            num_bootstrap=20,
+        ),
+        "sequential": lambda: sequential_pipeline(
+            sc.proxy,
+            make_oracle("sequential"),
+            sc.statistic_values,
+            budget=BUDGETS["sequential"],
+        ),
+    }
+
+
+def percentile(sorted_values, q):
+    """Nearest-rank percentile of an already-sorted list (None if empty)."""
+    if not sorted_values:
+        return None
+    rank = max(0, min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+def diverges(arm, baseline):
+    """A human-readable divergence description, or None when bit-identical."""
+    if arm.statuses != baseline.statuses:
+        return f"statuses {arm.statuses} != baseline {baseline.statuses}"
+    if set(arm.results) != set(baseline.results):
+        return "recovered task-id set differs from baseline"
+    for task_id, reference in baseline.results.items():
+        if estimate_fingerprint(arm.results[task_id]) != estimate_fingerprint(
+            reference
+        ):
+            return f"query {task_id} estimate diverged after recovery"
+    if arm.charged != baseline.charged:
+        return f"charges {arm.charged} != baseline {baseline.charged}"
+    return None
+
+
+def run_mode(scenario, mode, kill_steps, work_dir, tamper_kill=None):
+    """Sweep one oracle mode's kill grid; returns the per-mode report."""
+    endpoints = []
+    registry = build_registry(scenario, mode, endpoints)
+
+    def close_endpoints():
+        for endpoint in endpoints:
+            endpoint.close()
+        endpoints.clear()
+
+    start = time.perf_counter()
+    baseline = crash_recover_run(
+        work_dir / "baseline", registry, QUERIES, kill_step=None
+    )
+    if not baseline.completed_before_kill:
+        raise AssertionError(f"{mode}: baseline arm did not complete")
+    baseline_wall = time.perf_counter() - start
+
+    arms = []
+    divergences = []
+    tampers = {}
+    if tamper_kill is not None:
+        policy = ChaosPolicy(seed=4)
+        tampers = {
+            "tear": lambda d: tear_journal_tail(d, policy.tear_bytes(64)),
+            "garbage": lambda d: append_garbage(d),
+        }
+
+    plans = [(f"kill@{k}", k, None) for k in kill_steps]
+    plans += [(f"tamper:{name}", tamper_kill, fn) for name, fn in tampers.items()]
+    for label, kill, tamper in plans:
+        arm = crash_recover_run(
+            work_dir / label.replace(":", "-").replace("@", "-"),
+            registry,
+            QUERIES,
+            kill_step=kill,
+            tamper=tamper,
+        )
+        arms.append((label, arm))
+        if not arm.completed_before_kill:
+            problem = diverges(arm, baseline)
+            if problem is not None:
+                divergences.append(f"{mode} {label}: {problem}")
+    close_endpoints()
+
+    recovered = [(label, a) for label, a in arms if not a.completed_before_kill]
+    latencies = sorted(a.recovery_seconds for _, a in recovered)
+    replayed = sum(a.replayed_records for _, a in recovered)
+    replay_seconds = sum(a.recovery_seconds for _, a in recovered)
+    return {
+        "mode": mode,
+        "kill_steps": list(kill_steps),
+        "arms": len(arms),
+        "recovered": len(recovered),
+        "completed_before_kill": len(arms) - len(recovered),
+        "tamper_arms": sorted(tampers),
+        "divergences": divergences,
+        "baseline_wall_s": baseline_wall,
+        "recovery_ms": {
+            "p50": _ms(percentile(latencies, 0.50)),
+            "p99": _ms(percentile(latencies, 0.99)),
+            "max": _ms(latencies[-1] if latencies else None),
+        },
+        "replayed_records": replayed,
+        "replay_records_per_s": (
+            replayed / replay_seconds if replay_seconds > 0 else None
+        ),
+    }
+
+
+def _ms(seconds):
+    return None if seconds is None else seconds * 1000.0
+
+
+def _fmt(ms):
+    return "n/a" if ms is None else f"{ms:.2f}ms"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=6_000,
+                        help="records in the synthetic dataset")
+    parser.add_argument("--kills", type=int, default=20,
+                        help="seeded kill points per oracle mode")
+    parser.add_argument("--max-step", type=int, default=60,
+                        help="kill points drawn from [0, max-step)")
+    parser.add_argument("--modes", default=",".join(MODES),
+                        help="comma-separated subset of plain,blocking,cooperative")
+    parser.add_argument("--chaos-seed", type=int, default=2,
+                        help="seed for the kill-point grid")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI configuration: 8 kill points, "
+                        "plain + cooperative modes")
+    parser.add_argument("--min-recovered-fraction", type=float, default=0.5,
+                        help="fail unless at least this fraction of each "
+                        "mode's arms genuinely exercised recovery")
+    parser.add_argument("--max-p99-recovery-ms", type=float, default=None,
+                        help="fail if any mode's p99 recovery latency "
+                        "exceeds this")
+    parser.add_argument("--json", type=Path, default=None)
+    args = parser.parse_args()
+
+    kills, max_step = args.kills, args.max_step
+    modes = [m for m in args.modes.split(",") if m]
+    if args.smoke:
+        kills, max_step = 8, 28
+        modes = ["plain", "cooperative"]
+    for mode in modes:
+        if mode not in MODES:
+            parser.error(f"unknown mode {mode!r} (choose from {MODES})")
+
+    scenario = make_dataset("synthetic", seed=0, size=args.size)
+    # Same seeded grid for every mode: modes differ only in the oracle.
+    kill_steps = ChaosPolicy(seed=args.chaos_seed).kill_steps(
+        kills, max_step=max_step
+    )
+    # Tamper once every task has journaled a post-submit snapshot (task
+    # step >= journal_every), so the tear can only cost re-executable
+    # post-snapshot work — never a submit record, whose loss would model
+    # a crash before the durable admission ack and legitimately drop the
+    # query.  Still early enough that every family is live at the kill.
+    tamper_kill = (JOURNAL_EVERY + 1) * len(QUERIES)
+
+    print(
+        f"kill matrix: {len(kill_steps)} kill points x "
+        f"{len(QUERIES)} families x modes {modes} (+2 tamper arms/mode)"
+    )
+    results = {}
+    failures = []
+    header = (f"{'mode':>12} {'arms':>5} {'recov':>6} {'p50':>10} "
+              f"{'p99':>10} {'replay rec/s':>13} {'diverged':>9}")
+    print(header)
+    for mode in modes:
+        with tempfile.TemporaryDirectory(prefix=f"bench-recovery-{mode}-") as tmp:
+            report = run_mode(
+                scenario, mode, kill_steps, Path(tmp), tamper_kill=tamper_kill
+            )
+        results[mode] = report
+        rec = report["recovery_ms"]
+        print(
+            f"{mode:>12} {report['arms']:>5} {report['recovered']:>6} "
+            f"{_fmt(rec['p50']):>10} {_fmt(rec['p99']):>10} "
+            f"{report['replay_records_per_s'] or 0:>13.0f} "
+            f"{len(report['divergences']):>9}"
+        )
+        failures.extend(report["divergences"])
+        if report["recovered"] < args.min_recovered_fraction * report["arms"]:
+            failures.append(
+                f"{mode}: only {report['recovered']} of {report['arms']} arms "
+                "exercised recovery — the kill grid is too late"
+            )
+        if (
+            args.max_p99_recovery_ms is not None
+            and rec["p99"] is not None
+            and rec["p99"] > args.max_p99_recovery_ms
+        ):
+            failures.append(
+                f"{mode}: p99 recovery latency {rec['p99']:.1f}ms exceeds "
+                f"the --max-p99-recovery-ms gate {args.max_p99_recovery_ms}"
+            )
+
+    if args.json is not None:
+        payload = {
+            "schema": 1,
+            "benchmark": "recovery",
+            "size": args.size,
+            "modes": modes,
+            "kill_points": len(kill_steps),
+            "max_step": max_step,
+            "chaos_seed": args.chaos_seed,
+            "families": sorted(BUDGETS),
+            "budgets": BUDGETS,
+            "zero_divergence": not any(
+                r["divergences"] for r in results.values()
+            ),
+            "results": results,
+            "failures": failures,
+        }
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\n[written to {args.json}]")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    total_recovered = sum(r["recovered"] for r in results.values())
+    print(
+        f"\nok: {total_recovered} recovered arms bit-identical to their "
+        "uninterrupted baselines (zero divergence)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

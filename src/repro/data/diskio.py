@@ -25,6 +25,7 @@ strings (``"<U8"``) or integer codes before ingest.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Dict, Mapping, Optional, Sequence, Union
 
@@ -35,6 +36,7 @@ __all__ = [
     "FORMAT_VERSION",
     "MANIFEST_NAME",
     "ColumnDirWriter",
+    "atomic_write_text",
     "write_column_dir",
     "read_manifest",
     "column_file",
@@ -45,6 +47,23 @@ FORMAT_VERSION = 1
 MANIFEST_NAME = "manifest.json"
 
 PathLike = Union[str, Path]
+
+
+def atomic_write_text(path: PathLike, text: str) -> Path:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    A reader never observes a half-written file: either the old content
+    (or absence) or the complete new content.  The temp file lives in the
+    destination directory so the replace stays on one filesystem.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with tmp.open("w") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    return path
 
 
 def _element_array(name: str, values: Sequence) -> np.ndarray:
@@ -200,8 +219,10 @@ class ColumnDirWriter:
                 for col_name, dtype_str in self._dtypes.items()
             },
         }
-        (self._directory / MANIFEST_NAME).write_text(
-            json.dumps(manifest, indent=2) + "\n"
+        # Atomic: the manifest is the directory's commit record — a crash
+        # mid-write must not leave a directory that parses as half a schema.
+        atomic_write_text(
+            self._directory / MANIFEST_NAME, json.dumps(manifest, indent=2) + "\n"
         )
         self._finalized = True
         return self._directory

@@ -341,8 +341,12 @@ class SamplingSession:
         uniform pipeline), or a stratification shape (strata count /
         record count) that does not match — any of which would silently
         continue into a corrupt draw sequence if allowed through.
+        Truncated or garbage bytes (a torn file, a bad journal frame)
+        also raise :class:`CheckpointError` — never a raw
+        ``pickle``/``EOFError`` — with the byte length and underlying
+        error in the message.
         """
-        payload = pickle.loads(checkpoint)
+        payload = _decode_checkpoint(checkpoint)
         if payload.get("version") != _CHECKPOINT_VERSION:
             raise CheckpointError(
                 f"unsupported checkpoint version {payload.get('version')!r}; "
@@ -376,6 +380,63 @@ class SamplingSession:
         session._steps = int(payload.get("steps", 0))
         pipeline._session = session
         return session
+
+
+def _decode_checkpoint(checkpoint: bytes) -> dict:
+    """Unpickle checkpoint bytes defensively.
+
+    Any corruption — truncation mid-stream, bit flips, bytes that were
+    never a checkpoint — surfaces as :class:`CheckpointError` with the
+    payload length and the decoder's own error, instead of a raw
+    ``pickle.UnpicklingError`` / ``EOFError`` / ``AttributeError`` leaking
+    from deep inside the pickle machinery.
+    """
+    if not isinstance(checkpoint, (bytes, bytearray, memoryview)):
+        raise CheckpointError(
+            f"checkpoint must be bytes, got {type(checkpoint).__name__}"
+        )
+    data = bytes(checkpoint)
+    try:
+        payload = pickle.loads(data)
+    except Exception as exc:
+        raise CheckpointError(
+            f"corrupt checkpoint: {len(data)} byte(s) failed to decode "
+            f"({type(exc).__name__}: {exc})"
+        ) from exc
+    if not isinstance(payload, dict):
+        raise CheckpointError(
+            f"corrupt checkpoint: decoded to {type(payload).__name__}, "
+            "expected a payload dict"
+        )
+    missing = [
+        key
+        for key in ("version", "state", "policy", "estimator", "pending",
+                    "next_stratum", "done")
+        if key not in payload
+    ]
+    if missing:
+        raise CheckpointError(
+            f"corrupt checkpoint: payload is missing key(s) {missing} "
+            f"(decoded from {len(data)} byte(s))"
+        )
+    state = payload["state"]
+    if not isinstance(state, dict):
+        raise CheckpointError(
+            "corrupt checkpoint: 'state' decoded to "
+            f"{type(state).__name__}, expected a dict"
+        )
+    state_missing = [
+        key
+        for key in ("stratification", "pool", "rng", "budget", "spent",
+                    "samples", "rounds", "round_index", "details", "ci")
+        if key not in state
+    ]
+    if state_missing:
+        raise CheckpointError(
+            f"corrupt checkpoint: state block is missing key(s) "
+            f"{state_missing} (decoded from {len(data)} byte(s))"
+        )
+    return payload
 
 
 def _class_name(obj) -> str:

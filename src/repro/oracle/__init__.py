@@ -44,6 +44,7 @@ from repro.oracle.remote import (
     RemoteCallError,
     RemoteCallStats,
     RemoteCallTimeout,
+    RemoteCircuitOpenError,
     RemoteEndpoint,
     RemoteGiveUpError,
     RemoteTicket,
@@ -83,6 +84,7 @@ __all__ = [
     "RemoteCallError",
     "RemoteCallTimeout",
     "RemoteGiveUpError",
+    "RemoteCircuitOpenError",
     "PendingOracleBatch",
     "AndOracle",
     "OrOracle",

@@ -68,6 +68,7 @@ __all__ = [
     "RemoteCallError",
     "RemoteCallTimeout",
     "RemoteGiveUpError",
+    "RemoteCircuitOpenError",
     "PendingOracleBatch",
     "RemoteCallStats",
     "RemoteTicket",
@@ -89,6 +90,15 @@ class RemoteGiveUpError(RemoteCallError):
 
     Raised to every caller whose sub-request rode the abandoned batch;
     ``__cause__`` carries the last attempt's error.
+    """
+
+
+class RemoteCircuitOpenError(RemoteGiveUpError):
+    """A batch rejected without a transport attempt: the breaker is open.
+
+    Subclasses :class:`RemoteGiveUpError` so every degradation path that
+    handles a give-up (the serving scheduler's ``DegradedResult`` path)
+    also covers fast-fail under an open circuit.
     """
 
 
@@ -133,6 +143,14 @@ class RemoteCallStats:
     giveups: int
     pending_requests: int
     in_flight_batches: int
+    # Circuit-breaker accounting (all zero/"closed" when disabled):
+    # the current consecutive-give-up run, how many times the breaker
+    # tripped, batches rejected without a transport attempt while open,
+    # and the current state ("closed" / "open" / "half_open").
+    giveup_streak: int = 0
+    breaker_opens: int = 0
+    short_circuits: int = 0
+    breaker_state: str = "closed"
 
     @property
     def coalesced(self) -> int:
@@ -239,6 +257,14 @@ class RemoteEndpoint:
         before re-attempt ``i`` where ``u`` is drawn from a dedicated
         ``RandomState(seed)`` — deterministic, and never shared with any
         sampling session.
+    breaker_threshold / breaker_cooldown:
+        Optional circuit breaker on give-up streaks.  After
+        ``breaker_threshold`` *consecutive* give-ups the breaker opens:
+        batches fail fast with :class:`RemoteCircuitOpenError` (no
+        transport attempt, no retry sleeps) until ``breaker_cooldown``
+        seconds pass, then one probe batch is admitted (half-open) — its
+        success closes the breaker, another give-up re-opens it.
+        ``None`` (default) disables the breaker entirely.
     clock / sleep:
         Injectable time sources (tests use virtual clocks and recording
         sleepers; production uses ``time.monotonic`` / ``time.sleep``).
@@ -256,6 +282,8 @@ class RemoteEndpoint:
         backoff_base: float = 0.05,
         backoff_multiplier: float = 2.0,
         jitter_fraction: float = 0.1,
+        breaker_threshold: Optional[int] = None,
+        breaker_cooldown: float = 30.0,
         seed: int = 0,
         name: Optional[str] = None,
         clock: Callable[[], float] = time.monotonic,
@@ -279,6 +307,14 @@ class RemoteEndpoint:
         if not 0.0 <= jitter_fraction <= 1.0:
             raise ValueError(
                 f"jitter_fraction must be in [0, 1], got {jitter_fraction}"
+            )
+        if breaker_threshold is not None and breaker_threshold < 1:
+            raise ValueError(
+                f"breaker_threshold must be >= 1 or None, got {breaker_threshold}"
+            )
+        if breaker_cooldown < 0:
+            raise ValueError(
+                f"breaker_cooldown must be >= 0, got {breaker_cooldown}"
             )
         self.transport = transport
         self.name = name or getattr(transport, "name", type(transport).__name__)
@@ -307,6 +343,16 @@ class RemoteEndpoint:
         self._failures = 0
         self._giveups = 0
         self._in_flight = 0
+        # Circuit breaker (state mutated under the lock).
+        self.breaker_threshold = (
+            None if breaker_threshold is None else int(breaker_threshold)
+        )
+        self.breaker_cooldown = float(breaker_cooldown)
+        self._breaker_state = "closed"
+        self._breaker_opened_at: Optional[float] = None
+        self._giveup_streak = 0
+        self._breaker_opens = 0
+        self._short_circuits = 0
 
     # -- Submission -----------------------------------------------------------------
     def submit(self, record_indices) -> RemoteTicket:
@@ -404,8 +450,75 @@ class RemoteEndpoint:
         delay = self.backoff_base * self.backoff_multiplier**retry_index
         return delay * (1.0 + self.jitter_fraction * u)
 
+    # -- Circuit breaker -------------------------------------------------------------
+    @property
+    def breaker_state(self) -> str:
+        """The breaker's current state: ``closed`` / ``open`` / ``half_open``."""
+        with self._lock:
+            return self._breaker_state
+
+    def reset_breaker(self) -> None:
+        """Force the breaker closed and clear the give-up streak (operator
+        override after the remote service is known healthy again)."""
+        with self._lock:
+            self._breaker_state = "closed"
+            self._breaker_opened_at = None
+            self._giveup_streak = 0
+
+    def _breaker_allows(self) -> bool:
+        """Whether a batch may attempt the transport; transitions
+        open -> half_open once the cooldown elapsed."""
+        if self.breaker_threshold is None:
+            return True
+        with self._lock:
+            if self._breaker_state == "open":
+                opened_at = self._breaker_opened_at
+                if (
+                    opened_at is not None
+                    and (self.clock() - opened_at) >= self.breaker_cooldown
+                ):
+                    self._breaker_state = "half_open"
+                    return True
+                return False
+            return True
+
+    def _note_batch_success(self) -> None:
+        with self._lock:
+            self._giveup_streak = 0
+            if self._breaker_state != "closed":
+                self._breaker_state = "closed"
+                self._breaker_opened_at = None
+
+    def _note_giveup(self) -> None:
+        with self._lock:
+            self._giveups += 1
+            self._giveup_streak += 1
+            if self.breaker_threshold is None:
+                return
+            should_open = (
+                self._breaker_state == "half_open"  # failed probe re-opens
+                or self._giveup_streak >= self.breaker_threshold
+            )
+            if should_open and self._breaker_state != "open":
+                self._breaker_opens += 1
+                self._breaker_state = "open"
+                self._breaker_opened_at = self.clock()
+
     def _run_batch(self, merged: np.ndarray, tickets: List[RemoteTicket]) -> None:
         try:
+            if not self._breaker_allows():
+                with self._lock:
+                    self._short_circuits += 1
+                    streak = self._giveup_streak
+                self._resolve_error(
+                    tickets,
+                    RemoteCircuitOpenError(
+                        f"{self.name}: circuit breaker open after {streak} "
+                        f"consecutive give-ups; batch of {merged.shape[0]} "
+                        "records rejected without a transport attempt"
+                    ),
+                )
+                return
             attempt = 0
             last_error: Optional[RemoteCallError] = None
             while True:
@@ -441,11 +554,11 @@ class RemoteEndpoint:
                     self._resolve_error(tickets, exc)
                     return
                 else:
+                    self._note_batch_success()
                     self._scatter(merged, results, tickets)
                     return
                 if attempt >= self.max_retries:
-                    with self._lock:
-                        self._giveups += 1
+                    self._note_giveup()
                     giveup = RemoteGiveUpError(
                         f"{self.name}: batch of {merged.shape[0]} records "
                         f"abandoned after {attempt + 1} attempts"
@@ -488,6 +601,10 @@ class RemoteEndpoint:
                 giveups=self._giveups,
                 pending_requests=len(self._queue),
                 in_flight_batches=self._in_flight,
+                giveup_streak=self._giveup_streak,
+                breaker_opens=self._breaker_opens,
+                short_circuits=self._short_circuits,
+                breaker_state=self._breaker_state,
             )
 
     def close(self) -> None:

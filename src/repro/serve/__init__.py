@@ -10,20 +10,27 @@ queries and tenants.  See ``docs/SERVING.md``.
 The layering::
 
     AQPService               submit (pipeline or query text) -> QueryHandle;
-       |                     streaming partial(), checkpoint/resume
+       |                     streaming partial(), checkpoint/resume,
+       |                     recover() after a crash
     AdmissionController      reserve -> settle per-tenant quota accounting
     CooperativeScheduler     round-robin / randomized step interleaving,
        |                     per-step cost + SLO (TTFE / TT-target-CI),
-       |                     WAITING parking on in-flight remote batches
+       |                     WAITING parking on in-flight remote batches,
+       |                     deadline / give-up -> DegradedResult
     SharedOracleCache        (identity, record) -> answer, cross-query
+    ServiceJournal           CRC-framed write-ahead log of submits,
+       |                     snapshots and settlements (serve.journal;
+       |                     serve.recovery replays it)
     RemoteEndpoint           coalesced remote oracle batches, retries,
-                             timeouts (repro.oracle.remote)
+                             timeouts, circuit breaker (repro.oracle.remote)
 
 Determinism: sessions share no mutable state, so any interleaving of any
 set of queries is bit-identical — results and oracle accounting — to
 running each query alone (``tests/test_serve_parity.py``); with
 cooperative remote oracles this extends across parking, retries and
-failures (``tests/test_serve_remote.py``, ``docs/REMOTE_ORACLES.md``).
+failures (``tests/test_serve_remote.py``, ``docs/REMOTE_ORACLES.md``),
+and with a journal across process crashes (``tests/test_serve_chaos.py``,
+``docs/RESILIENCE.md``).
 """
 
 from repro.serve.admission import (
@@ -36,9 +43,25 @@ from repro.serve.admission import (
     TenantQuotaError,
 )
 from repro.serve.cache import CacheStats, SharedCachingOracle, SharedOracleCache
+from repro.serve.chaos import (
+    ChaosOutcome,
+    ChaosPolicy,
+    ChaosQuery,
+    FailureBurstTransport,
+    StallingSharedCache,
+    crash_recover_run,
+)
+from repro.serve.journal import (
+    JournalError,
+    JournalReplay,
+    ServiceJournal,
+    TornTail,
+)
+from repro.serve.recovery import RecoveredQuery, RecoveryReport, recover_service
 from repro.serve.scheduler import (
     INTERLEAVINGS,
     CooperativeScheduler,
+    DegradedResult,
     QueryStatus,
     QueryTask,
     approximate_ci_width,
@@ -56,8 +79,22 @@ __all__ = [
     "CacheStats",
     "SharedCachingOracle",
     "SharedOracleCache",
+    "ChaosOutcome",
+    "ChaosPolicy",
+    "ChaosQuery",
+    "FailureBurstTransport",
+    "StallingSharedCache",
+    "crash_recover_run",
+    "JournalError",
+    "JournalReplay",
+    "ServiceJournal",
+    "TornTail",
+    "RecoveredQuery",
+    "RecoveryReport",
+    "recover_service",
     "INTERLEAVINGS",
     "CooperativeScheduler",
+    "DegradedResult",
     "QueryStatus",
     "QueryTask",
     "approximate_ci_width",

@@ -1,0 +1,369 @@
+"""Deterministic chaos injection for the crash-safe serving stack.
+
+Everything here is *seeded*: a :class:`ChaosPolicy` derives kill points,
+tear sizes and failure-burst windows from one
+:class:`~repro.stats.rng.RandomState`, so every chaos scenario — however
+vicious — reproduces bit-for-bit from its seed.  The pieces compose into
+the crash-recover-compare loop (``tests/test_serve_chaos.py``,
+``scripts/bench_recovery.py``):
+
+1. build a journaled :class:`~repro.serve.service.AQPService` and submit
+   a workload (:class:`ChaosQuery` specs against a ``recovery_key ->
+   pipeline factory`` registry);
+2. drive it with :func:`run_until_kill` to a seeded kill point and
+   *abandon* the service object — the in-process simulation of a process
+   death (no finalizers run, no settlements happen, the journal simply
+   stops);
+3. optionally maul the journal (:func:`tear_journal_tail` /
+   :func:`append_garbage` — torn-write and corrupt-tail crash artifacts);
+4. :meth:`AQPService.recover` into a fresh service, drive it to
+   completion, and compare every query's result fingerprint and every
+   tenant's charge against the uninterrupted baseline — the
+   zero-divergence assertion.
+
+Failure bursts (:class:`FailureBurstTransport`) and slow-cache stalls
+(:class:`StallingSharedCache`) attack the *oracle* path rather than the
+journal: the first drives retries/give-ups (and the breaker +
+``DegradedResult`` degradation contract), the second injects latency
+into shared-cache fills without ever changing an answer.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.oracle.base import PredicateOracle
+from repro.oracle.remote import RemoteCallError
+from repro.serve.admission import AdmissionController
+from repro.serve.cache import SharedOracleCache
+from repro.serve.journal import ServiceJournal
+from repro.serve.recovery import RecoveryReport, _build_from_registry
+from repro.serve.service import AQPService
+from repro.stats.rng import RandomState
+
+__all__ = [
+    "ChaosPolicy",
+    "ChaosQuery",
+    "ChaosOutcome",
+    "FailureBurstTransport",
+    "StallingSharedCache",
+    "run_until_kill",
+    "newest_segment",
+    "tear_journal_tail",
+    "append_garbage",
+    "crash_recover_run",
+]
+
+
+class ChaosPolicy:
+    """A seeded source of chaos-injection plans.
+
+    One policy instance = one reproducible chaos scenario; every draw
+    comes from its private :class:`~repro.stats.rng.RandomState`, never
+    from any session's.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = int(seed)
+        self._rng = RandomState(seed)
+
+    def kill_steps(self, count: int, max_step: int, min_step: int = 0) -> List[int]:
+        """``count`` distinct scheduler-step kill points in
+        ``[min_step, max_step)``, sorted ascending."""
+        if max_step <= min_step:
+            raise ValueError(
+                f"empty kill range [{min_step}, {max_step})"
+            )
+        span = max_step - min_step
+        points: set = set()
+        # Sample without replacement when the range allows; degenerate
+        # tiny ranges just return the whole range.
+        if span <= count:
+            return list(range(min_step, max_step))
+        while len(points) < count:
+            points.add(min_step + int(self._rng.integers(0, span)))
+        return sorted(points)
+
+    def tear_bytes(self, max_bytes: int) -> int:
+        """How many tail bytes a simulated torn write destroys (>= 1)."""
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        return 1 + int(self._rng.integers(0, max_bytes))
+
+    def failure_burst(self, max_start: int, max_length: int) -> "tuple":
+        """A ``(first_failing_attempt, num_failures)`` transport window."""
+        start = int(self._rng.integers(0, max(1, max_start)))
+        length = 1 + int(self._rng.integers(0, max(1, max_length)))
+        return start, length
+
+
+class FailureBurstTransport(PredicateOracle):
+    """An oracle transport that fails a deterministic window of attempts.
+
+    Attempts (batch invocations) numbered ``fail_from`` through
+    ``fail_from + fail_count - 1`` raise
+    :class:`~repro.oracle.remote.RemoteCallError`; all others answer from
+    the label column.  ``fail_count=None`` means *fail forever from
+    ``fail_from`` on* — the permanent-outage shape that drives an
+    endpoint through its retries into give-up (and, with a breaker
+    configured, trips it open).  Failures precede any accounting, so the
+    answers that do come back are identical to a healthy run's.
+    """
+
+    def __init__(
+        self,
+        labels: Sequence,
+        *,
+        fail_from: int = 0,
+        fail_count: Optional[int] = None,
+        name: str = "burst_oracle",
+        cost_per_call: float = 1.0,
+    ):
+        super().__init__(name=name, cost_per_call=cost_per_call)
+        self._labels = np.asarray(labels)
+        self.fail_from = int(fail_from)
+        self.fail_count = None if fail_count is None else int(fail_count)
+        self.attempts = 0
+
+    def _in_burst(self) -> bool:
+        attempt = self.attempts
+        self.attempts += 1
+        if attempt < self.fail_from:
+            return False
+        if self.fail_count is None:
+            return True
+        return attempt < self.fail_from + self.fail_count
+
+    def _evaluate(self, record_index: int):
+        if self._in_burst():
+            raise RemoteCallError(
+                f"{self.name}: injected failure (attempt {self.attempts - 1})"
+            )
+        return bool(self._labels[record_index])
+
+    def _evaluate_batch(self, record_indices):
+        if self._in_burst():
+            raise RemoteCallError(
+                f"{self.name}: injected failure (attempt {self.attempts - 1})"
+            )
+        idx = np.asarray(record_indices, dtype=np.int64)
+        return self._labels[idx].astype(bool)
+
+
+class StallingSharedCache(SharedOracleCache):
+    """A :class:`SharedOracleCache` that stalls every N-th fill.
+
+    The stall happens *before* the underlying fill — latency injection
+    only; hit/miss behaviour, commit semantics and answers are untouched,
+    which is exactly the slow-cache chaos contract (time changes, results
+    do not).
+    """
+
+    def __init__(
+        self,
+        *args,
+        stall_every: int = 3,
+        stall_seconds: float = 0.001,
+        sleep: Callable[[float], None] = time.sleep,
+        **kwargs,
+    ):
+        super().__init__(*args, **kwargs)
+        if stall_every < 1:
+            raise ValueError(f"stall_every must be >= 1, got {stall_every}")
+        self.stall_every = int(stall_every)
+        self.stall_seconds = float(stall_seconds)
+        self._sleep = sleep
+        self.stalls = 0
+        self._fills = 0
+
+    def fill_batch(self, identity, record_indices, evaluate):
+        self._fills += 1
+        if self._fills % self.stall_every == 0:
+            self.stalls += 1
+            self._sleep(self.stall_seconds)
+        return super().fill_batch(identity, record_indices, evaluate)
+
+
+# ---------------------------------------------------------------------------
+# Journal tampering (torn-write crash artifacts)
+# ---------------------------------------------------------------------------
+
+
+def newest_segment(journal_dir: Union[str, Path]) -> Optional[Path]:
+    """The authoritative (newest) segment file, or ``None`` if empty."""
+    replay = ServiceJournal.replay(journal_dir)
+    return replay.segment_path
+
+
+def tear_journal_tail(journal_dir: Union[str, Path], nbytes: int) -> int:
+    """Truncate up to ``nbytes`` off the newest segment (never the magic).
+
+    Returns the bytes actually removed — the torn-write artifact a crash
+    mid-``write`` leaves behind.
+    """
+    path = newest_segment(journal_dir)
+    if path is None:
+        return 0
+    size = path.stat().st_size
+    keep = max(8, size - int(nbytes))  # never tear the 8-byte magic
+    removed = size - keep
+    if removed > 0:
+        with open(path, "r+b") as handle:
+            handle.truncate(keep)
+    return removed
+
+
+def append_garbage(journal_dir: Union[str, Path], data: bytes = b"\xde\xad\xbe\xef") -> int:
+    """Append non-frame bytes to the newest segment (a corrupt tail)."""
+    path = newest_segment(journal_dir)
+    if path is None:
+        return 0
+    with open(path, "ab") as handle:
+        handle.write(data)
+    return len(data)
+
+
+# ---------------------------------------------------------------------------
+# The crash-recover-compare loop
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChaosQuery:
+    """One workload query: a registry key plus its serving parameters."""
+
+    key: str
+    tenant: str = "default"
+    seed: int = 0
+    target_ci_width: Optional[float] = None
+    deadline: Optional[float] = None
+
+
+@dataclass
+class ChaosOutcome:
+    """What one chaos arm produced, in baseline-comparable form."""
+
+    kill_step: Optional[int]
+    completed_before_kill: bool
+    results: Dict[str, object] = field(default_factory=dict)
+    statuses: Dict[str, str] = field(default_factory=dict)
+    charged: Dict[str, int] = field(default_factory=dict)
+    recovery_seconds: Optional[float] = None
+    replayed_records: int = 0
+    report: Optional[RecoveryReport] = None
+
+
+def run_until_kill(service, kill_after_steps: Optional[int]) -> bool:
+    """Drive a service; ``True`` if it completed before the kill point.
+
+    ``kill_after_steps=None`` never kills (the baseline arm).  Killing is
+    simply *stopping*: the caller then abandons the service object, which
+    is the in-process analogue of ``kill -9`` — no settlement, no journal
+    close, no admission refunds.
+    """
+    executed = 0
+    while True:
+        if kill_after_steps is not None and executed >= kill_after_steps:
+            return False
+        if service.step() is None:
+            return True
+        executed += 1
+
+
+def _collect_charged(admission: AdmissionController, tenants) -> Dict[str, int]:
+    return {t: admission.tenant_usage(t)["charged"] for t in sorted(set(tenants))}
+
+
+def crash_recover_run(
+    journal_dir: Union[str, Path],
+    registry,
+    queries: Sequence[ChaosQuery],
+    *,
+    kill_step: Optional[int],
+    journal_every: int = 5,
+    admission_factory: Callable[[], AdmissionController] = AdmissionController,
+    tamper: Optional[Callable[[Union[str, Path]], None]] = None,
+    fsync: bool = False,
+    **service_kwargs,
+) -> ChaosOutcome:
+    """One chaos arm: submit, kill at ``kill_step``, recover, finish.
+
+    The service journals to ``journal_dir`` (which must start empty for a
+    fresh arm); ``registry`` builds each query's pipeline both at
+    submission and at recovery, exactly as a production deployment would
+    rebuild its (unpicklable) oracles.  ``tamper``, if given, mauls the
+    journal between the kill and the recovery (torn tails, garbage).
+    ``kill_step=None`` runs the uninterrupted baseline through the *same*
+    journaled service path, so baseline and chaos arms differ only in the
+    kill.  Returns results/statuses per task id and charges per tenant —
+    the fingerprint-comparable outcome.
+    """
+    journal_dir = Path(journal_dir)
+    service = None
+    outcome = ChaosOutcome(kill_step=kill_step, completed_before_kill=False)
+    tenants = [q.tenant for q in queries]
+
+    service = AQPService(
+        admission=admission_factory(),
+        journal=ServiceJournal(journal_dir, fsync=fsync),
+        journal_every=journal_every,
+        **service_kwargs,
+    )
+    handles = []
+    for query in queries:
+        pipeline, finalize = _build_from_registry(registry, query.key)
+        handles.append(
+            service.submit_pipeline(
+                pipeline,
+                tenant=query.tenant,
+                rng=query.seed,
+                finalize=finalize,
+                target_ci_width=query.target_ci_width,
+                recovery_key=query.key,
+                deadline=query.deadline,
+            )
+        )
+    completed = run_until_kill(service, kill_step)
+    if completed:
+        outcome.completed_before_kill = True
+        outcome.results = {h.task_id: h.result() for h in handles}
+        outcome.statuses = {h.task_id: h.status for h in handles}
+        outcome.charged = _collect_charged(service.admission, tenants)
+        service.journal.close()
+        return outcome
+
+    # --- the crash: abandon `service` without any cleanup ---
+    if tamper is not None:
+        tamper(journal_dir)
+
+    started = time.perf_counter()
+    recovered, report = AQPService.recover(
+        journal_dir,
+        registry,
+        admission=admission_factory(),
+        fsync=fsync,
+        journal_every=journal_every,
+        **service_kwargs,
+    )
+    outcome.recovery_seconds = time.perf_counter() - started
+    outcome.replayed_records = report.records_replayed
+    outcome.report = report
+    recovered.run_until_complete()
+
+    results: Dict[str, object] = dict(report.results())
+    statuses: Dict[str, str] = {q.task_id: q.status for q in report.settled}
+    for handle in report.restored:
+        results[handle.task_id] = handle.result()
+        statuses[handle.task_id] = handle.status
+    for query in report.unrecoverable:
+        statuses[query.task_id] = query.status
+    outcome.results = results
+    outcome.statuses = statuses
+    outcome.charged = _collect_charged(recovered.admission, tenants)
+    recovered.journal.close()
+    return outcome

@@ -1,0 +1,316 @@
+"""Durable write-ahead journal of service events (crash-safe serving).
+
+The serving layer's availability story (docs/RESILIENCE.md) rests on one
+file format: an append-only segment of CRC-framed, pickled event records.
+:class:`ServiceJournal` owns a directory of numbered segments; the newest
+segment is the live one, and compaction (:meth:`ServiceJournal.rotate`)
+writes a fresh segment through a temp file + ``os.replace`` so a crash at
+any byte leaves either the old complete segment or the new complete
+segment — never a half-written mix.
+
+Frame format (little-endian)::
+
+    +----------------+----------------+----------------------+
+    | payload length | CRC-32 of     | pickled record       |
+    | uint32         | payload uint32 | (`payload length` B) |
+    +----------------+----------------+----------------------+
+
+A segment starts with the 8-byte magic ``b"RPROWAL1"``.  Reads are
+prefix-replays: decoding stops at the first incomplete or corrupt frame
+(a *torn tail* — the expected artifact of a crash mid-``write``), and
+:func:`read_segment` reports where and why it stopped.  Opening a journal
+for append truncates the torn tail away, so the next record lands on a
+clean frame boundary.
+
+Durability knob: ``fsync=True`` (the default) fsyncs after every append
+and before every rotation rename — the crash-consistency configuration.
+Tests and benchmarks that simulate crashes by *abandoning* the process
+(never by powering off the page cache) run with ``fsync=False`` for
+speed; the byte stream written is identical.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import re
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, List, Optional, Tuple, Union
+
+__all__ = [
+    "SEGMENT_MAGIC",
+    "TornTail",
+    "JournalReplay",
+    "JournalError",
+    "ServiceJournal",
+    "read_segment",
+]
+
+SEGMENT_MAGIC = b"RPROWAL1"
+_HEADER = struct.Struct("<II")  # (payload_length, crc32)
+_SEGMENT_RE = re.compile(r"^segment-(\d{8})\.wal$")
+_MAX_RECORD_BYTES = 1 << 30  # length-field sanity bound: 1 GiB
+
+
+class JournalError(RuntimeError):
+    """A journal directory or segment is structurally unusable.
+
+    Raised for *whole-file* problems (bad magic, unwritable directory) —
+    never for a torn tail, which is an expected crash artifact reported
+    through :class:`TornTail` instead.
+    """
+
+
+@dataclass(frozen=True)
+class TornTail:
+    """Where and why a segment's prefix-replay stopped.
+
+    ``valid_bytes`` is the offset of the last complete frame boundary —
+    everything before it decoded cleanly; everything from it on is the
+    crash artifact that reopening the journal truncates away.
+    """
+
+    valid_bytes: int
+    discarded_bytes: int
+    reason: str
+
+
+@dataclass(frozen=True)
+class JournalReplay:
+    """The decoded state of a journal directory."""
+
+    records: List[dict]
+    torn_tail: Optional[TornTail]
+    segment_path: Optional[Path]
+    segment_index: Optional[int]
+
+
+def _encode_record(record: dict) -> bytes:
+    payload = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def read_segment(path: Union[str, Path]) -> Tuple[List[dict], Optional[TornTail]]:
+    """Prefix-replay one segment file.
+
+    Returns the cleanly decoded records and, if decoding stopped before
+    the end of the file, a :class:`TornTail` describing the cut.  A
+    missing or wrong magic raises :class:`JournalError` — that is not a
+    crash artifact but a file that was never a journal segment.
+    """
+    path = Path(path)
+    data = path.read_bytes()
+    if len(data) < len(SEGMENT_MAGIC) or not data.startswith(SEGMENT_MAGIC):
+        raise JournalError(
+            f"{path}: not a journal segment (bad magic "
+            f"{data[: len(SEGMENT_MAGIC)]!r}, expected {SEGMENT_MAGIC!r})"
+        )
+    records: List[dict] = []
+    offset = len(SEGMENT_MAGIC)
+    torn: Optional[TornTail] = None
+    total = len(data)
+    while offset < total:
+        if offset + _HEADER.size > total:
+            torn = TornTail(offset, total - offset, "truncated frame header")
+            break
+        length, crc = _HEADER.unpack_from(data, offset)
+        if length > _MAX_RECORD_BYTES:
+            torn = TornTail(offset, total - offset, f"implausible frame length {length}")
+            break
+        body_start = offset + _HEADER.size
+        body_end = body_start + length
+        if body_end > total:
+            torn = TornTail(
+                offset,
+                total - offset,
+                f"truncated payload ({total - body_start} of {length} bytes)",
+            )
+            break
+        payload = data[body_start:body_end]
+        if zlib.crc32(payload) != crc:
+            torn = TornTail(offset, total - offset, "crc mismatch")
+            break
+        try:
+            record = pickle.loads(payload)
+        except Exception as exc:  # pragma: no cover - crc makes this near-impossible
+            torn = TornTail(offset, total - offset, f"undecodable payload: {exc!r}")
+            break
+        records.append(record)
+        offset = body_end
+    return records, torn
+
+
+def _segment_index(path: Path) -> Optional[int]:
+    match = _SEGMENT_RE.match(path.name)
+    return int(match.group(1)) if match else None
+
+
+def _list_segments(directory: Path) -> List[Tuple[int, Path]]:
+    segments = []
+    if directory.is_dir():
+        for child in directory.iterdir():
+            index = _segment_index(child)
+            if index is not None:
+                segments.append((index, child))
+    segments.sort()
+    return segments
+
+
+class ServiceJournal:
+    """An append-only, crash-truncating journal over numbered segments.
+
+    Opening a journal directory picks (or creates) the newest segment,
+    prefix-replays it and **truncates any torn tail** so appends resume on
+    a clean frame boundary.  The records that survived the truncation are
+    exposed as :attr:`opened_records` — :func:`ServiceJournal.replay` is
+    the read-only way to get the same view without taking the append
+    handle.
+
+    :meth:`rotate` is compaction: it writes a complete replacement
+    segment to ``<name>.tmp``, fsyncs it, atomically ``os.replace``\\ s it
+    into the next segment number and only then unlinks older segments —
+    at every intermediate crash point the directory still holds exactly
+    one authoritative (newest, complete) segment.  Stale ``*.tmp`` files
+    from crashed rotations are ignored by replay and cleaned up on open.
+    """
+
+    def __init__(self, directory: Union[str, Path], *, fsync: bool = True):
+        self.directory = Path(directory)
+        self.fsync = bool(fsync)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        for stale in self.directory.glob("*.tmp"):
+            stale.unlink(missing_ok=True)
+        segments = _list_segments(self.directory)
+        self.opened_records: List[dict] = []
+        self.truncated_tail: Optional[TornTail] = None
+        if segments:
+            self._index, path = segments[-1]
+            records, torn = read_segment(path)
+            self.opened_records = records
+            self.truncated_tail = torn
+            if torn is not None:
+                with open(path, "r+b") as handle:
+                    handle.truncate(torn.valid_bytes)
+                    self._sync(handle)
+            self._path = path
+            self._handle: Optional[IO[bytes]] = open(path, "ab")
+        else:
+            self._index = 1
+            self._path = self.directory / f"segment-{self._index:08d}.wal"
+            self._handle = open(self._path, "xb")
+            self._handle.write(SEGMENT_MAGIC)
+            self._flush()
+
+    # -- Introspection ---------------------------------------------------------------
+    @property
+    def segment_path(self) -> Path:
+        return self._path
+
+    @property
+    def segment_index(self) -> int:
+        return self._index
+
+    @property
+    def closed(self) -> bool:
+        return self._handle is None
+
+    # -- Writing ---------------------------------------------------------------------
+    def _sync(self, handle: IO[bytes]) -> None:
+        if self.fsync:
+            os.fsync(handle.fileno())
+
+    def _flush(self) -> None:
+        assert self._handle is not None
+        self._handle.flush()
+        self._sync(self._handle)
+
+    def append(self, record: dict) -> None:
+        """Durably append one event record (a picklable dict)."""
+        if self._handle is None:
+            raise JournalError(f"{self.directory}: journal is closed")
+        self._handle.write(_encode_record(record))
+        self._flush()
+
+    def rotate(self, records: List[dict]) -> Path:
+        """Atomically replace the journal's contents with ``records``.
+
+        This is compaction, not archival: the caller supplies the full
+        compacted state (e.g. one settled-summary record per finished
+        query plus one submit record per live query), and the journal
+        swaps to a fresh segment holding exactly those records.
+        """
+        if self._handle is None:
+            raise JournalError(f"{self.directory}: journal is closed")
+        next_index = self._index + 1
+        final = self.directory / f"segment-{next_index:08d}.wal"
+        tmp = self.directory / f"segment-{next_index:08d}.tmp"
+        with open(tmp, "wb") as handle:
+            handle.write(SEGMENT_MAGIC)
+            for record in records:
+                handle.write(_encode_record(record))
+            handle.flush()
+            self._sync(handle)
+        os.replace(tmp, final)
+        self._sync_directory()
+        # The new segment is authoritative from the os.replace on; now the
+        # old handle and older segments can go.
+        self._handle.close()
+        for index, path in _list_segments(self.directory):
+            if index < next_index:
+                path.unlink(missing_ok=True)
+        self._index = next_index
+        self._path = final
+        self._handle = open(final, "ab")
+        return final
+
+    def _sync_directory(self) -> None:
+        if not self.fsync:
+            return
+        try:
+            fd = os.open(self.directory, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform without dir-open
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+            self._sync(self._handle)
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "ServiceJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- Reading ---------------------------------------------------------------------
+    @staticmethod
+    def replay(directory: Union[str, Path]) -> JournalReplay:
+        """Read-only prefix-replay of a journal directory.
+
+        The **newest** segment is authoritative (rotation only unlinks
+        older segments after the replacement is fully durable).  A
+        missing directory, or one with no segments, replays to zero
+        records — the empty journal.
+        """
+        directory = Path(directory)
+        segments = _list_segments(directory)
+        if not segments:
+            return JournalReplay([], None, None, None)
+        index, path = segments[-1]
+        records, torn = read_segment(path)
+        return JournalReplay(records, torn, path, index)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ServiceJournal({str(self.directory)!r}, "
+            f"segment={self._index}, fsync={self.fsync})"
+        )

@@ -1,0 +1,398 @@
+"""Crash recovery: rebuild an :class:`~repro.serve.service.AQPService`
+from its journal.
+
+:func:`recover_service` (exposed as ``AQPService.recover``) replays the
+newest journal segment and reconstructs the service the crash destroyed:
+
+* **settled queries** are re-charged to their tenants at their exact
+  settled spend — ``spent_total - origin_spent``, the same number the
+  uninterrupted run billed — and their journaled results (when they
+  pickled) are surfaced through :meth:`RecoveryReport.results`;
+* **live queries** are resumed from their last snapshot: the
+  ``registry`` maps each query's ``recovery_key`` to a zero-arg factory
+  returning a freshly built compatible pipeline (or a ``(pipeline,
+  finalize)`` pair), the snapshot bytes resume through the engine's
+  validated checkpoint path, the tenant is pre-charged the snapshot
+  spend, and the task re-enters the scheduler under its *original* task
+  id with exactly its remaining budget reserved;
+* **unrecoverable live queries** (no ``recovery_key``, no registry
+  entry, or corrupt snapshot bytes) are settled at their snapshot spend
+  and reported — a crash never silently loses a tenant's charge;
+* the journal is **compacted** by an atomic segment rotation: one
+  ``settled`` summary per finished query plus one fresh ``submit``
+  (carrying the *original* ``origin_spent``) per resumed query, which is
+  what makes recovery idempotent — recovering the same directory twice
+  charges every tenant exactly once.
+
+Determinism: a resumed session re-executes the steps lost after its last
+snapshot against the identical RNG state the snapshot froze, so the
+recovered run's final estimates and per-query oracle accounting are
+bit-identical to the uninterrupted run (pinned across the chaos
+kill-point matrix in ``tests/test_serve_chaos.py``).  The only
+non-recoverable cost is the oracle work of those lost steps, which a
+real deployment re-pays — bounded by ``journal_every``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import pickle
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.engine.session import CheckpointError
+from repro.serve.admission import AdmissionController
+from repro.serve.journal import ServiceJournal, TornTail
+from repro.serve.scheduler import QueryStatus
+
+__all__ = ["RecoveredQuery", "RecoveryReport", "recover_service"]
+
+# Journal record types that mean the task is no longer live.  "settled"
+# is the rotation summary a previous recovery wrote; "unrecoverable" a
+# live task a previous recovery could not resume.
+_TERMINAL_TYPES = (
+    QueryStatus.DONE,
+    QueryStatus.FAILED,
+    QueryStatus.CANCELLED,
+    QueryStatus.SUSPENDED,
+    QueryStatus.DEGRADED,
+    "settled",
+    "unrecoverable",
+)
+
+_ID_SUFFIX_RE = re.compile(r"-(\d+)$")
+
+
+@dataclass(frozen=True)
+class RecoveredQuery:
+    """One journaled query's post-recovery disposition."""
+
+    task_id: str
+    tenant: str
+    status: str
+    charged: int
+    recovery_key: Optional[str] = None
+    result: object = None
+    error: Optional[str] = None
+    checkpoint: Optional[bytes] = None
+    reason: Optional[str] = None
+
+
+@dataclass
+class RecoveryReport:
+    """What :func:`recover_service` found and did."""
+
+    journal_dir: Path
+    records_replayed: int
+    torn_tail: Optional[TornTail]
+    settled: List[RecoveredQuery] = field(default_factory=list)
+    restored: List[object] = field(default_factory=list)  # QueryHandles
+    unrecoverable: List[RecoveredQuery] = field(default_factory=list)
+
+    def results(self) -> Dict[str, object]:
+        """Recovered results of settled queries, by task id (only those
+        whose result survived pickling into the journal)."""
+        return {
+            q.task_id: q.result for q in self.settled if q.result is not None
+        }
+
+    @property
+    def charged(self) -> Dict[str, int]:
+        """Total re-charged spend per tenant (settled + unrecoverable;
+        live restorations' pre-charges are in the admission controller)."""
+        totals: Dict[str, int] = {}
+        for query in itertools.chain(self.settled, self.unrecoverable):
+            totals[query.tenant] = totals.get(query.tenant, 0) + query.charged
+        return totals
+
+
+class _Fold:
+    """Per-task journal fold: the latest submit / snapshot / terminal."""
+
+    __slots__ = ("submit", "snap_spent", "checkpoint", "terminal")
+
+    def __init__(self, submit: dict):
+        self.submit = submit
+        self.snap_spent = int(submit.get("snap_spent", submit.get("origin_spent", 0)))
+        self.checkpoint: Optional[bytes] = submit.get("checkpoint")
+        self.terminal: Optional[dict] = None
+
+
+def _fold_records(records: List[dict]) -> "Dict[str, object]":
+    """Group the replayed records per task id, newest state winning.
+
+    Stray snapshot/terminal records without a preceding submit (possible
+    only if an operator hand-pruned segments) are tolerated and dropped —
+    there is nothing safe to rebuild from them.
+    """
+    folds: "Dict[str, object]" = {}
+    for record in records:
+        rtype = record.get("type")
+        task_id = record.get("task_id")
+        if rtype == "submit":
+            folds[task_id] = _Fold(record)
+        elif rtype == "snapshot":
+            fold = folds.get(task_id)
+            if fold is not None and fold.terminal is None:
+                fold.snap_spent = int(record["spent"])
+                fold.checkpoint = record["checkpoint"]
+        elif rtype in _TERMINAL_TYPES:
+            if rtype in ("settled", "unrecoverable"):
+                # Rotation summaries are self-contained; synthesize a fold.
+                fold = _Fold(
+                    {
+                        "task_id": task_id,
+                        "tenant": record.get("tenant", "default"),
+                        "recovery_key": record.get("recovery_key"),
+                        "origin_spent": 0,
+                        "snap_spent": record.get("charged", 0),
+                        "checkpoint": record.get("checkpoint"),
+                    }
+                )
+                fold.terminal = record
+                folds[task_id] = fold
+            else:
+                fold = folds.get(task_id)
+                if fold is not None:
+                    fold.terminal = record
+        # Unknown record types are skipped (forward compatibility).
+    return folds
+
+
+def _build_from_registry(registry, key: str):
+    """Resolve a recovery key to ``(pipeline, finalize)`` or ``None``."""
+    if registry is None or key is None:
+        return None
+    if hasattr(registry, "get"):
+        factory = registry.get(key)
+        if factory is None:
+            return None
+        built = factory()
+    else:
+        try:
+            built = registry(key)
+        except KeyError:
+            return None
+    if built is None:
+        return None
+    if isinstance(built, (tuple, list)) and len(built) == 2:
+        return built[0], built[1]
+    return built, None
+
+
+def _charge_settled(admission: AdmissionController, tenant: str, charged: int) -> None:
+    """Reconstruct one settled query's charge: reserve then settle at it."""
+    if charged <= 0:
+        # Touch the tenant so its usage row exists even at zero charge.
+        admission.tenant_usage(tenant)
+        return
+    handle = admission.admit(tenant, charged)
+    admission.settle(handle, charged)
+
+
+def _advance_ids(service, folds) -> None:
+    """Move the service's id counter past every journaled numeric suffix,
+    so post-recovery submissions cannot collide with restored ids."""
+    highest = -1
+    for task_id in folds:
+        match = _ID_SUFFIX_RE.search(str(task_id))
+        if match:
+            highest = max(highest, int(match.group(1)))
+    service._ids = itertools.count(highest + 1)
+
+
+def _settled_summary(fold: _Fold, status: str, charged: int, **extra) -> dict:
+    record = {
+        "type": "settled",
+        "task_id": fold.submit["task_id"],
+        "tenant": fold.submit.get("tenant", "default"),
+        "recovery_key": fold.submit.get("recovery_key"),
+        "status": status,
+        "charged": int(charged),
+    }
+    record.update(extra)
+    return record
+
+
+def recover_service(
+    path: Union[str, Path],
+    registry=None,
+    *,
+    admission: Optional[AdmissionController] = None,
+    fsync: bool = True,
+    journal_every: int = 25,
+    **service_kwargs,
+) -> Tuple[object, RecoveryReport]:
+    """Rebuild a crashed service from the journal at ``path``.
+
+    Returns ``(service, report)``: a fresh
+    :class:`~repro.serve.service.AQPService` journaling to the same
+    directory, with every journaled tenant re-admitted at its exact
+    settled spend and every recoverable live query re-enrolled under its
+    original task id, plus the :class:`RecoveryReport` describing what
+    was replayed.  ``registry`` maps ``recovery_key`` to a zero-arg
+    pipeline factory (or is a callable taking the key; it may return a
+    ``(pipeline, finalize)`` pair).  Remaining keyword arguments are
+    forwarded to the service constructor (``interleaving``,
+    ``scheduler_seed``, ``clock``, ``shared_cache``, ...).
+    """
+    from repro.serve.service import AQPService
+
+    path = Path(path)
+    replay = ServiceJournal.replay(path)
+    folds = _fold_records(replay.records)
+
+    # Opening for append truncates any torn tail; the fold above already
+    # ignored it (prefix replay stops at the first bad frame).
+    journal = ServiceJournal(path, fsync=fsync)
+    service = AQPService(
+        admission=admission or AdmissionController(),
+        journal=journal,
+        journal_every=journal_every,
+        **service_kwargs,
+    )
+
+    report = RecoveryReport(
+        journal_dir=path,
+        records_replayed=len(replay.records),
+        torn_tail=replay.torn_tail,
+    )
+    rotation: List[dict] = []
+
+    for task_id, fold in folds.items():
+        submit = fold.submit
+        tenant = submit.get("tenant", "default")
+        key = submit.get("recovery_key")
+        origin = int(submit.get("origin_spent", 0))
+        terminal = fold.terminal
+
+        if terminal is not None:
+            rtype = terminal["type"]
+            if rtype in ("settled", "unrecoverable"):
+                status = terminal.get("status", rtype)
+                charged = int(terminal.get("charged", 0))
+                result_bytes = terminal.get("result")
+                error = terminal.get("error")
+                checkpoint = terminal.get("checkpoint")
+            else:
+                status = rtype
+                charged = max(0, int(terminal.get("spent_total", origin)) - origin)
+                result_bytes = terminal.get("result")
+                error = terminal.get("error")
+                checkpoint = terminal.get("checkpoint")
+            _charge_settled(service.admission, tenant, charged)
+            result = None
+            if result_bytes is not None:
+                try:
+                    result = pickle.loads(result_bytes)
+                except Exception:
+                    result = None
+            recovered = RecoveredQuery(
+                task_id=task_id,
+                tenant=tenant,
+                status=status,
+                charged=charged,
+                recovery_key=key,
+                result=result,
+                error=error,
+                checkpoint=checkpoint,
+            )
+            if status == "unrecoverable":
+                report.unrecoverable.append(recovered)
+                rotation.append(
+                    _settled_summary(
+                        fold, "unrecoverable", charged,
+                        checkpoint=checkpoint,
+                        reason=terminal.get("reason"),
+                    )
+                )
+            else:
+                report.settled.append(recovered)
+                summary_extra = {}
+                if result_bytes is not None:
+                    summary_extra["result"] = result_bytes
+                if error is not None:
+                    summary_extra["error"] = error
+                if checkpoint is not None:
+                    summary_extra["checkpoint"] = checkpoint
+                rotation.append(
+                    _settled_summary(fold, status, charged, **summary_extra)
+                )
+            continue
+
+        # Live at the crash: pre-charge the snapshot spend, then resume.
+        snap_spent = int(fold.snap_spent)
+        pre_charge = max(0, snap_spent - origin)
+
+        def _abandon(reason: str) -> None:
+            _charge_settled(service.admission, tenant, pre_charge)
+            recovered = RecoveredQuery(
+                task_id=task_id,
+                tenant=tenant,
+                status="unrecoverable",
+                charged=pre_charge,
+                recovery_key=key,
+                checkpoint=fold.checkpoint,
+                reason=reason,
+            )
+            report.unrecoverable.append(recovered)
+            rotation.append(
+                _settled_summary(
+                    fold, "unrecoverable", pre_charge,
+                    checkpoint=fold.checkpoint, reason=reason,
+                )
+            )
+
+        built = _build_from_registry(registry, key)
+        if built is None:
+            _abandon(
+                "no recovery_key recorded" if key is None
+                else f"registry has no factory for {key!r}"
+            )
+            continue
+        pipeline, finalize = built
+        try:
+            session = pipeline.resume(fold.checkpoint)
+        except CheckpointError as exc:
+            _abandon(f"snapshot failed to resume: {exc}")
+            continue
+
+        _charge_settled(service.admission, tenant, pre_charge)
+        reserve = max(0, session.budget - session.spent)
+        handle = service._enroll(
+            session,
+            tenant=tenant,
+            reserve=reserve,
+            finalize=finalize,
+            target_ci_width=submit.get("target_ci_width"),
+            recovery_key=key,
+            deadline=submit.get("deadline"),
+            task_id=task_id,
+            journal_submit=False,
+            origin_spent=origin,
+        )
+        report.restored.append(handle)
+        rotation.append(
+            {
+                "type": "submit",
+                "task_id": task_id,
+                "tenant": tenant,
+                "recovery_key": key,
+                "budget": int(session.budget),
+                "reserve": int(reserve),
+                # The *original* origin survives every rotation, so a
+                # second recovery charges snapshot - origin, never
+                # snapshot - snapshot: no double-charging, no undercharge.
+                "origin_spent": origin,
+                "snap_spent": snap_spent,
+                "target_ci_width": submit.get("target_ci_width"),
+                "deadline": submit.get("deadline"),
+                "checkpoint": fold.checkpoint,
+            }
+        )
+
+    journal.rotate(rotation)
+    _advance_ids(service, folds)
+    return service, report

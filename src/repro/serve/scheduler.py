@@ -36,18 +36,20 @@ reports.
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 from typing import Callable, Deque, Dict, List, Optional
 
 from collections import OrderedDict, deque
 
 from repro.core.estimators import estimate_all_strata, estimate_mse_plugin
 from repro.engine.session import SamplingSession
-from repro.oracle.remote import PendingOracleBatch, RemoteTicket
+from repro.oracle.remote import PendingOracleBatch, RemoteGiveUpError, RemoteTicket
 from repro.stats.rng import RandomState
 
 __all__ = [
     "QueryStatus",
     "QueryTask",
+    "DegradedResult",
     "CooperativeScheduler",
     "approximate_ci_width",
     "INTERLEAVINGS",
@@ -61,6 +63,12 @@ class QueryStatus:
     a still-in-flight remote oracle batch.  A waiting query is live — it
     stays in the rotation and resumes the moment its ticket resolves —
     but the scheduler skips it while the batch is pending.
+
+    ``DEGRADED`` is the graceful-degradation terminal state: the query
+    could not run to completion (remote oracle gave up, or its deadline
+    expired) but still *answered* — its result is a
+    :class:`DegradedResult` carrying the last anytime estimate instead of
+    a raised error.  See docs/RESILIENCE.md.
     """
 
     PENDING = "pending"
@@ -70,6 +78,32 @@ class QueryStatus:
     FAILED = "failed"
     CANCELLED = "cancelled"
     SUSPENDED = "suspended"
+    DEGRADED = "degraded"
+
+
+@dataclass(frozen=True)
+class DegradedResult:
+    """A best-effort answer from a query that could not finish cleanly.
+
+    The anytime-AQP contract means there is almost always *an* answer:
+    ``estimate`` is the session's ``partial_estimate()`` at the moment
+    the query degraded (an engine-level
+    :class:`~repro.core.types.EstimateResult`, not passed through any
+    query-layer ``finalize``), or ``None`` if the query degraded before
+    drawing a single positive record.  ``reason`` is a short machine
+    code (``"remote_giveup"`` or ``"deadline"``); ``detail`` is the
+    human-readable story.
+    """
+
+    estimate: object
+    reason: str
+    detail: str
+    spent: int
+    degraded: bool = True
+
+    # Machine codes for `reason`.
+    REMOTE_GIVEUP = "remote_giveup"
+    DEADLINE = "deadline"
 
 
 # The normal z-score for a 95% interval; the approximate width below is a
@@ -103,8 +137,17 @@ class QueryTask:
     (default: ``session.result()``); it runs on the scheduler thread when
     the session's last step completes.  ``on_settle`` (if given) is called
     exactly once when the task leaves the live set — done, failed,
-    cancelled or suspended — with this task and its total oracle spend;
-    the service uses it to settle the admission reservation.
+    cancelled, suspended or degraded — with this task and its total oracle
+    spend; the service uses it to settle the admission reservation.  The
+    spend passed to ``on_settle`` is frozen as :attr:`settled_spent`, so
+    late work (e.g. an orphaned remote batch committing answers into a
+    shared cache after a cancel) can never shift what was billed.
+
+    ``deadline`` (seconds on this task's ``clock``, measured from
+    submission) is a soft completion SLO: a task caught past it degrades
+    to its anytime estimate instead of running further.  ``on_step`` (if
+    given) runs after every *completed* step while the task is still
+    live — the service's journal snapshot hook.
     """
 
     def __init__(
@@ -115,9 +158,13 @@ class QueryTask:
         tenant: str = "default",
         finalize: Optional[Callable[[SamplingSession], object]] = None,
         on_settle: Optional[Callable[["QueryTask", int], None]] = None,
+        on_step: Optional[Callable[["QueryTask"], None]] = None,
         target_ci_width: Optional[float] = None,
+        deadline: Optional[float] = None,
         clock: Callable[[], float] = time.monotonic,
     ):
+        if deadline is not None and deadline <= 0:
+            raise ValueError(f"deadline must be positive seconds, got {deadline}")
         self.session = session
         self.task_id = task_id
         self.tenant = tenant
@@ -125,10 +172,13 @@ class QueryTask:
         self.result: object = None
         self.error: Optional[BaseException] = None
         self.target_ci_width = target_ci_width
+        self.deadline = deadline
         self._finalize = finalize
         self._on_settle = on_settle
+        self._on_step = on_step
         self._clock = clock
         self._settled = False
+        self.settled_spent: Optional[int] = None
         # The remote ticket a WAITING task is parked on (else None).
         self.waiting_on: Optional[RemoteTicket] = None
         # Per-step cost accounting.
@@ -181,6 +231,44 @@ class QueryTask:
         ticket = self.waiting_on
         return ticket is None or ticket.poll()
 
+    def deadline_remaining(self) -> Optional[float]:
+        """Seconds until the deadline (``None`` when no deadline is set)."""
+        if self.deadline is None:
+            return None
+        return max(0.0, self.deadline - (self._clock() - self.submitted_at))
+
+    def maybe_degrade_deadline(self) -> bool:
+        """Degrade a live task whose deadline has expired; True if it did.
+
+        The scheduler calls this on parked (``WAITING``) tasks it would
+        otherwise skip, so a query blocked on a slow remote still honours
+        its deadline: it settles with its last anytime estimate instead
+        of waiting indefinitely for the batch.
+        """
+        if not self.live or self.deadline is None:
+            return False
+        if (self._clock() - self.submitted_at) < self.deadline:
+            return False
+        self._degrade(
+            DegradedResult.DEADLINE,
+            f"deadline of {self.deadline}s expired with {self.spent} draws spent",
+        )
+        return True
+
+    def _degrade(self, reason: str, detail: str) -> None:
+        """Terminal transition to DEGRADED: anytime estimate, no raise."""
+        try:
+            estimate = self.session.partial_estimate()
+        except BaseException:
+            estimate = None
+        self.waiting_on = None
+        self.result = DegradedResult(
+            estimate=estimate, reason=reason, detail=detail, spent=self.spent
+        )
+        self.status = QueryStatus.DEGRADED
+        self.finished_at = self._clock()
+        self._settle()
+
     def advance(self) -> bool:
         """Run one session step; ``False`` once the query left the live set.
 
@@ -191,8 +279,18 @@ class QueryTask:
         ``steps`` and can set ``first_estimate_at`` / ``target_ci_at``.
         A step that parks on a pending remote batch charges nothing,
         records nothing, and leaves the task live in ``WAITING``.
+
+        Graceful degradation: a step raising
+        :class:`~repro.oracle.remote.RemoteGiveUpError` (retries
+        exhausted, or the endpoint's circuit breaker open) degrades the
+        task to its anytime estimate instead of failing it; the same
+        happens when the task is caught past its ``deadline``.  Every
+        other exception still fails the task and is re-raised to the
+        client by :meth:`~repro.serve.service.QueryHandle.result`.
         """
         if not self.live:
+            return False
+        if self.maybe_degrade_deadline():
             return False
         self.status = QueryStatus.RUNNING
         spent_before = self.session.spent
@@ -202,6 +300,9 @@ class QueryTask:
             self.status = QueryStatus.WAITING
             self.waiting_on = pending.ticket
             return True
+        except RemoteGiveUpError as exc:
+            self._degrade(DegradedResult.REMOTE_GIVEUP, str(exc))
+            return False
         except BaseException as exc:
             self.error = exc
             self.status = QueryStatus.FAILED
@@ -223,7 +324,10 @@ class QueryTask:
         ):
             self.target_ci_at = now
         if more:
-            return True
+            if self._on_step is not None:
+                self._on_step(self)
+            # The hook may have cancelled or suspended the task.
+            return self.live
         try:
             self.result = (
                 self._finalize(self.session)
@@ -254,8 +358,12 @@ class QueryTask:
         if self._settled:
             return
         self._settled = True
+        # Freeze the billed spend at settle time: an orphaned remote batch
+        # that commits into a shared cache *after* a cancel must not shift
+        # what the tenant was charged.
+        self.settled_spent = self.spent
         if self._on_settle is not None:
-            self._on_settle(self, self.spent)
+            self._on_settle(self, self.settled_spent)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -408,6 +516,13 @@ class CooperativeScheduler:
                     self._note_settled(task)
                     continue
                 if task.status == QueryStatus.WAITING and not task.remote_ready():
+                    if task.maybe_degrade_deadline():
+                        # Parked past its deadline: settles with its
+                        # anytime estimate; the orphaned batch may still
+                        # resolve later but can no longer affect billing.
+                        self._note_settled(task)
+                        stepped = task
+                        break
                     waiting.append(task)
                     continue
                 self.total_steps += 1
@@ -417,7 +532,14 @@ class CooperativeScheduler:
                     self._note_settled(task)
                 stepped = task
                 break
-            self._queue.extend(waiting)
+            # Re-queue only tasks still live: a skipped WAITING task may
+            # have been cancelled (e.g. from an on_step journal hook or
+            # another thread) while it sat in the local list.
+            for task in waiting:
+                if task.live:
+                    self._queue.append(task)
+                else:
+                    self._note_settled(task)
             if stepped is not None:
                 return stepped
             if not waiting:
@@ -429,7 +551,10 @@ class CooperativeScheduler:
 
         Flushing each distinct endpoint first guarantees progress — every
         parked ticket's batch is then launched or in flight, so the wait
-        always terminates (with results or a give-up error).
+        always terminates (with results or a give-up error).  When any
+        parked task carries a deadline, the block is bounded by the
+        soonest remaining deadline so an expired task degrades on the
+        next pass instead of waiting out a slow batch.
         """
         tickets = [t.waiting_on for t in waiting if t.waiting_on is not None]
         if not tickets:
@@ -440,7 +565,12 @@ class CooperativeScheduler:
             if not any(e is endpoint for e in flushed):
                 flushed.append(endpoint)
                 endpoint.flush()
-        tickets[0].wait()
+        timeout: Optional[float] = None
+        for task in waiting:
+            remaining = task.deadline_remaining()
+            if remaining is not None:
+                timeout = remaining if timeout is None else min(timeout, remaining)
+        tickets[0].wait(timeout)
 
     def run_until_complete(self, max_steps: Optional[int] = None) -> int:
         """Drive all live tasks to completion; returns steps executed.

@@ -28,17 +28,27 @@ Suspension round-trips through the engine's checkpoint machinery:
 the session's bytes; :meth:`resume_pipeline` re-admits only the remaining
 budget, so a checkpoint/resume cycle charges the tenant exactly what an
 uninterrupted run would have.
+
+Crash safety (docs/RESILIENCE.md): give the service a
+:class:`~repro.serve.journal.ServiceJournal` and every submission,
+periodic step snapshot (``journal_every``) and settlement is durably
+recorded; after a crash, :meth:`AQPService.recover` replays the journal,
+re-admits every tenant at its exact settled spend, and resumes every live
+query from its last snapshot — deterministic re-execution makes the
+recovered run's estimates bit-identical to the uninterrupted one.
 """
 
 from __future__ import annotations
 
 import itertools
+import pickle
 import time
 from typing import Callable, List, Optional, Union
 
 from repro.engine.pipeline import SamplingPipeline
 from repro.serve.admission import Admission, AdmissionController
 from repro.serve.cache import SharedCachingOracle, SharedOracleCache
+from repro.serve.journal import ServiceJournal
 from repro.serve.scheduler import (
     ROUND_ROBIN,
     CooperativeScheduler,
@@ -48,6 +58,19 @@ from repro.serve.scheduler import (
 from repro.stats.rng import RandomState
 
 __all__ = ["QueryHandle", "AQPService"]
+
+
+def _try_pickle(value) -> Optional[bytes]:
+    """Pickle a result for the journal, or ``None`` if it refuses.
+
+    Journal durability must never fail a query: a result that happens to
+    hold something unpicklable is simply not recoverable by value (the
+    settled spend still is).
+    """
+    try:
+        return pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:
+        return None
 
 
 class QueryHandle:
@@ -96,10 +119,16 @@ class QueryHandle:
         return self._task.partial_estimate()
 
     def result(self):
-        """The finished result; raises the query's own error if it failed."""
+        """The finished result; raises the query's own error if it failed.
+
+        A ``DEGRADED`` query does *not* raise: its result is a
+        :class:`~repro.serve.scheduler.DegradedResult` carrying the last
+        anytime estimate plus the degradation reason — the graceful-
+        degradation contract (docs/RESILIENCE.md).
+        """
         if self._task.status == QueryStatus.FAILED:
             raise self._task.error
-        if self._task.status != QueryStatus.DONE:
+        if self._task.status not in (QueryStatus.DONE, QueryStatus.DEGRADED):
             raise RuntimeError(
                 f"query {self.task_id!r} is {self._task.status}; drive the "
                 "service with run_until_complete() or read partial()"
@@ -133,6 +162,13 @@ class AQPService:
         :class:`~repro.serve.scheduler.CooperativeScheduler`); ``None``
         keeps all — set it in long-running services so memory does not
         grow per query served.
+    journal / journal_every:
+        Optional :class:`~repro.serve.journal.ServiceJournal` making the
+        service crash-safe: every submit (with a step-0 checkpoint),
+        every ``journal_every``-th completed step (a fresh snapshot) and
+        every settlement is durably recorded, and
+        :meth:`AQPService.recover` rebuilds the service from the journal
+        after a crash.  ``None`` (default) serves without durability.
     """
 
     def __init__(
@@ -143,9 +179,15 @@ class AQPService:
         scheduler_seed: int = 0,
         clock: Callable[[], float] = time.monotonic,
         retain_settled: Optional[int] = None,
+        journal: Optional[ServiceJournal] = None,
+        journal_every: int = 25,
     ):
+        if journal_every < 1:
+            raise ValueError(f"journal_every must be >= 1, got {journal_every}")
         self.admission = admission or AdmissionController()
         self.shared_cache = shared_cache
+        self.journal = journal
+        self.journal_every = int(journal_every)
         self.scheduler = CooperativeScheduler(
             interleaving=interleaving,
             seed=scheduler_seed,
@@ -168,11 +210,20 @@ class AQPService:
         finalize: Optional[Callable] = None,
         target_ci_width: Optional[float] = None,
         session_factory: Optional[Callable[[], object]] = None,
+        recovery_key: Optional[str] = None,
+        deadline: Optional[float] = None,
+        task_id: Optional[str] = None,
+        journal_submit: bool = True,
+        origin_spent: Optional[int] = None,
     ) -> QueryHandle:
         """Admit, build and schedule one task (the single enrollment path).
 
         ``session_factory`` defers session construction until *after*
         admission succeeded, so a rejected query creates no session state.
+        ``task_id`` / ``journal_submit`` / ``origin_spent`` exist for
+        recovery, which re-enrolls journaled tasks under their original
+        ids without re-journaling the submit (the rotated segment already
+        carries it).
         """
         admission = self.admission.admit(tenant, reserve)
         try:
@@ -181,17 +232,85 @@ class AQPService:
         except BaseException:
             self.admission.cancel(admission)
             raise
+
+        def on_settle(task: QueryTask, spent: int) -> None:
+            self.admission.settle(admission, spent)
+            self._journal_settle(task)
+
         task = QueryTask(
             session,
-            task_id=self._next_id(tenant),
+            task_id=task_id or self._next_id(tenant),
             tenant=tenant,
             finalize=finalize,
-            on_settle=lambda _task, spent: self.admission.settle(admission, spent),
+            on_settle=on_settle,
+            on_step=self._journal_step if self.journal is not None else None,
             target_ci_width=target_ci_width,
+            deadline=deadline,
             clock=self._clock,
         )
+        task.recovery_key = recovery_key
+        # The absolute session spend at *original* submission — the zero
+        # point of the tenant's charge for this query.  Propagated through
+        # recovery rotations so re-recovered runs never double-charge.
+        task.origin_spent = (
+            int(session.spent) if origin_spent is None else int(origin_spent)
+        )
+        if self.journal is not None and journal_submit:
+            self.journal.append(
+                {
+                    "type": "submit",
+                    "task_id": task.task_id,
+                    "tenant": tenant,
+                    "recovery_key": recovery_key,
+                    "budget": int(session.budget),
+                    "reserve": int(reserve),
+                    "origin_spent": task.origin_spent,
+                    "snap_spent": int(session.spent),
+                    "target_ci_width": target_ci_width,
+                    "deadline": deadline,
+                    # A step-0 checkpoint: every journaled query is
+                    # resumable even if the process dies before the first
+                    # periodic snapshot lands.
+                    "checkpoint": session.checkpoint(),
+                }
+            )
         self.scheduler.submit(task)
         return QueryHandle(task, admission)
+
+    # -- Journaling -----------------------------------------------------------------
+    def _journal_step(self, task: QueryTask) -> None:
+        """Per-step hook: a fresh snapshot every ``journal_every`` steps."""
+        if self.journal is None or task.steps == 0:
+            return
+        if task.steps % self.journal_every != 0:
+            return
+        self.journal.append(
+            {
+                "type": "snapshot",
+                "task_id": task.task_id,
+                "spent": int(task.session.spent),
+                "checkpoint": task.session.checkpoint(),
+            }
+        )
+
+    def _journal_settle(self, task: QueryTask) -> None:
+        """Terminal record: how the task left the live set, at what spend."""
+        if self.journal is None:
+            return
+        record = {
+            "type": task.status,
+            "task_id": task.task_id,
+            "spent_total": int(task.session.spent),
+        }
+        if task.status in (QueryStatus.DONE, QueryStatus.DEGRADED):
+            record["result"] = _try_pickle(task.result)
+        elif task.status == QueryStatus.FAILED:
+            record["error"] = repr(task.error)
+        elif task.status == QueryStatus.SUSPENDED:
+            # checkpoint() is a pure read, so re-taking it here yields the
+            # exact bytes the suspending caller received.
+            record["checkpoint"] = task.session.checkpoint()
+        self.journal.append(record)
 
     def submit_pipeline(
         self,
@@ -201,12 +320,20 @@ class AQPService:
         rng: Optional[Union[int, RandomState]] = None,
         finalize: Optional[Callable] = None,
         target_ci_width: Optional[float] = None,
+        recovery_key: Optional[str] = None,
+        deadline: Optional[float] = None,
     ) -> QueryHandle:
         """Admit and schedule a ready-built pipeline.
 
         The reservation equals ``pipeline.budget`` — the most the session
         can spend.  ``rng`` may be a seed or a ``RandomState``; as
         everywhere in the engine, the session owns it exclusively.
+
+        ``recovery_key`` names the pipeline recipe in the registry passed
+        to :meth:`recover` — a journaled query without one is charged but
+        not resumed after a crash.  ``deadline`` (seconds from
+        submission) degrades the query to its anytime estimate instead of
+        letting it run past its SLO.
         """
         if isinstance(rng, int):
             rng = RandomState(rng)
@@ -217,6 +344,8 @@ class AQPService:
             finalize=finalize,
             target_ci_width=target_ci_width,
             session_factory=lambda: pipeline.session(rng),
+            recovery_key=recovery_key,
+            deadline=deadline,
         )
 
     def submit_query(
@@ -233,6 +362,8 @@ class AQPService:
         config=None,
         backend=None,
         target_ci_width: Optional[float] = None,
+        recovery_key: Optional[str] = None,
+        deadline: Optional[float] = None,
     ) -> QueryHandle:
         """Parse, plan, admit and schedule an AQP query.
 
@@ -276,6 +407,8 @@ class AQPService:
             ),
             target_ci_width=target_ci_width,
             session_factory=lambda: prepared.pipeline.session(rng),
+            recovery_key=recovery_key,
+            deadline=deadline,
         )
 
     # -- Serving loop ---------------------------------------------------------------
@@ -330,6 +463,8 @@ class AQPService:
         tenant: str = "default",
         finalize: Optional[Callable] = None,
         target_ci_width: Optional[float] = None,
+        recovery_key: Optional[str] = None,
+        deadline: Optional[float] = None,
     ) -> QueryHandle:
         """Re-admit a suspended query, reserving only its remaining budget.
 
@@ -348,4 +483,23 @@ class AQPService:
             reserve=remaining,
             finalize=finalize,
             target_ci_width=target_ci_width,
+            recovery_key=recovery_key,
+            deadline=deadline,
         )
+
+    # -- Crash recovery ---------------------------------------------------------------
+    @classmethod
+    def recover(cls, path, registry=None, **kwargs):
+        """Rebuild a crashed service from its journal directory.
+
+        Replays the newest journal segment, re-admits every tenant at its
+        exact settled spend, resumes every live query from its last
+        snapshot (via ``registry``: a ``recovery_key -> pipeline factory``
+        mapping, or a callable taking the key), compacts the journal and
+        returns ``(service, report)``.  See
+        :func:`repro.serve.recovery.recover_service` for the full
+        semantics and docs/RESILIENCE.md for the guarantees.
+        """
+        from repro.serve.recovery import recover_service
+
+        return recover_service(path, registry, **kwargs)

@@ -107,6 +107,22 @@ class TestDiskFormat:
         with pytest.raises(FileNotFoundError, match="column directory"):
             MmapBackend(tmp_path)
 
+    def test_finalize_leaves_no_tmp_behind(self, columns, column_dir):
+        # The manifest is written atomically (temp + os.replace): a reader
+        # racing finalize sees either no manifest or a complete one, and the
+        # finished directory never contains the intermediate file.
+        assert not list(column_dir.glob("*.tmp"))
+        assert json.loads((column_dir / MANIFEST_NAME).read_text())["columns"]
+
+    def test_atomic_write_text_replaces_whole_file(self, tmp_path):
+        from repro.data.diskio import atomic_write_text
+
+        target = tmp_path / "out.json"
+        target.write_text("stale and much longer than the replacement")
+        atomic_write_text(target, "fresh")
+        assert target.read_text() == "fresh"
+        assert not list(tmp_path.glob("*.tmp"))
+
     def test_unsupported_version_rejected(self, columns, column_dir):
         manifest = json.loads((column_dir / MANIFEST_NAME).read_text())
         manifest["version"] = 999

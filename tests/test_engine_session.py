@@ -432,6 +432,87 @@ class TestCheckpointStructuralValidation:
         assert result.oracle_calls == 400
 
 
+class TestCheckpointByteHardening:
+    """Corrupt checkpoint *bytes* must fail as CheckpointError, not leak.
+
+    Checkpoints now live in crash artifacts — journal frames, torn files
+    (docs/RESILIENCE.md) — so ``resume`` sees truncated and garbage byte
+    strings, not just structurally-wrong payloads.  Every such input must
+    surface as :class:`CheckpointError` with the byte length and the
+    decoder's own error in the message, never a raw ``pickle``/``EOFError``
+    from deep inside the unpickling machinery.
+    """
+
+    def fresh(self, scenario):
+        return two_stage_pipeline(
+            proxy=scenario.proxy, oracle=scenario.make_oracle(),
+            statistic=scenario.statistic_values, budget=400,
+        )
+
+    def good_checkpoint(self, scenario, steps=3):
+        session = self.fresh(scenario).session(RandomState(0))
+        for _ in range(steps):
+            session.step()
+        return session.checkpoint()
+
+    @pytest.mark.parametrize("cut_fraction", [0.0, 0.3, 0.9])
+    def test_truncated_bytes(self, scenario, cut_fraction):
+        from repro.engine import CheckpointError
+
+        blob = self.good_checkpoint(scenario)
+        truncated = blob[: int(len(blob) * cut_fraction)]
+        with pytest.raises(CheckpointError, match="corrupt checkpoint") as info:
+            self.fresh(scenario).resume(truncated)
+        # The message carries byte-offset context for the operator.
+        assert f"{len(truncated)} byte(s)" in str(info.value)
+
+    def test_garbage_bytes(self, scenario):
+        from repro.engine import CheckpointError
+
+        with pytest.raises(CheckpointError, match="corrupt checkpoint"):
+            self.fresh(scenario).resume(b"\x00\xde\xad\xbe\xef" * 7)
+
+    def test_non_bytes_rejected(self, scenario):
+        from repro.engine import CheckpointError
+
+        with pytest.raises(CheckpointError, match="must be bytes"):
+            self.fresh(scenario).resume({"version": 2})
+
+    def test_pickled_non_dict_rejected(self, scenario):
+        import pickle
+
+        from repro.engine import CheckpointError
+
+        with pytest.raises(CheckpointError, match="expected a payload dict"):
+            self.fresh(scenario).resume(pickle.dumps([1, 2, 3]))
+
+    def test_missing_payload_keys_rejected(self, scenario):
+        import pickle
+
+        from repro.engine import CheckpointError
+
+        payload = pickle.loads(self.good_checkpoint(scenario))
+        del payload["pending"], payload["done"]
+        with pytest.raises(CheckpointError, match="missing key") as info:
+            self.fresh(scenario).resume(pickle.dumps(payload))
+        assert "pending" in str(info.value) and "done" in str(info.value)
+
+    def test_missing_state_keys_rejected(self, scenario):
+        import pickle
+
+        from repro.engine import CheckpointError
+
+        payload = pickle.loads(self.good_checkpoint(scenario))
+        del payload["state"]["rng"]
+        with pytest.raises(CheckpointError, match="state block is missing"):
+            self.fresh(scenario).resume(pickle.dumps(payload))
+
+    def test_intact_bytes_still_resume(self, scenario):
+        blob = self.good_checkpoint(scenario)
+        result = drive(self.fresh(scenario).resume(blob))
+        assert result.oracle_calls == 400
+
+
 class TestBudgetTopUp:
     def test_two_stage_top_up_spends_exactly_the_extra(self, scenario):
         session = two_stage_pipeline(

@@ -10,10 +10,18 @@ Three bugs this suite keeps dead:
   still sitting in the rotation deque.
 * ``_tasks`` retained every settled task forever; ``retain_settled``
   now bounds it.
+
+Plus the cancel-while-parked freeze: cancelling a WAITING query settles
+its refund exactly once at the parked spend, and the orphaned in-flight
+remote batch completing afterwards must not move the tenant's charge
+(``QueryTask.settled_spent``).
 """
 
 from __future__ import annotations
 
+import threading
+
+import numpy as np
 import pytest
 
 from repro.core.multipred import And, Not, Or, PredicateLeaf
@@ -24,7 +32,8 @@ from repro.engine.builders import (
     uniform_pipeline,
     until_width_pipeline,
 )
-from repro.serve import AQPService
+from repro.oracle import AsyncOracle, RemoteEndpoint
+from repro.serve import AdmissionController, AQPService, TenantPolicy
 from repro.serve.scheduler import (
     CooperativeScheduler,
     QueryStatus,
@@ -277,3 +286,90 @@ class TestRetention:
             service.scheduler.task(h1.task_id)
         service.run_until_complete()
         assert h2.status == QueryStatus.DONE
+
+
+class _GateTransport:
+    """Blocks batch evaluation until released — a deterministic handle on
+    "the remote batch is still in flight" (same idiom as the remote
+    scheduler tests)."""
+
+    name = "gated"
+
+    def __init__(self, labels, timeout=30.0):
+        self._labels = np.asarray(labels, dtype=bool)
+        self._gate = threading.Event()
+        self._timeout = timeout
+        self.calls = 0
+
+    def release(self):
+        self._gate.set()
+
+    def evaluate_batch(self, record_indices):
+        if not self._gate.wait(self._timeout):  # pragma: no cover - hang guard
+            raise RuntimeError("gate never released")
+        self.calls += 1
+        return self._labels[np.asarray(record_indices, dtype=np.int64)]
+
+
+class TestCancelWhileParked:
+    def test_refund_exactly_once_despite_orphan_completion(self, scenario):
+        admission = AdmissionController(
+            default_policy=TenantPolicy(oracle_quota=1_000)
+        )
+        service = AQPService(admission=admission)
+        transport = _GateTransport(scenario.labels)
+        endpoint = RemoteEndpoint(
+            transport, max_batch_size=512, backoff_base=0.0, sleep=lambda s: None
+        )
+        pipeline = two_stage_pipeline(
+            scenario.proxy,
+            AsyncOracle(endpoint, blocking=False),
+            scenario.statistic_values,
+            budget=160,
+            with_ci=True,
+            num_bootstrap=10,
+        )
+        try:
+            handle = service.submit_pipeline(pipeline, rng=3, tenant="acme")
+            task = handle._task
+            settles = []
+            inner = task._on_settle
+            task._on_settle = lambda t, spent: (
+                settles.append(spent),
+                inner(t, spent),
+            )
+            for _ in range(50):
+                service.step()
+                if task.status == QueryStatus.WAITING:
+                    break
+            assert task.status == QueryStatus.WAITING
+            parked_spent = task.spent
+
+            service.cancel(handle)
+            assert task.status == QueryStatus.CANCELLED
+            assert task.waiting_on is None
+            assert settles == [parked_spent]
+            assert task.settled_spent == parked_spent
+            usage = admission.tenant_usage("acme")
+            assert usage["charged"] == parked_spent
+            assert usage["reserved"] == 0
+            assert usage["live"] == 0
+            assert usage["remaining"] == 1_000 - parked_spent
+
+            # Let the orphaned batch run to completion (close joins the
+            # worker pool, so the commit has definitely happened by here).
+            transport.release()
+            endpoint.close()
+            assert transport.calls == 1
+
+            # Exactly once: the late completion neither re-settles nor
+            # shifts the frozen charge.
+            assert settles == [parked_spent]
+            assert task.settled_spent == parked_spent
+            after = admission.tenant_usage("acme")
+            assert after["charged"] == parked_spent
+            assert after["reserved"] == 0
+            assert after["remaining"] == 1_000 - parked_spent
+        finally:
+            transport.release()
+            endpoint.close()

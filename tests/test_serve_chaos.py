@@ -1,0 +1,572 @@
+"""Chaos injection: kill points, oracle outages, torn tails, slow caches.
+
+The acceptance matrix for crash-safe serving (docs/RESILIENCE.md): for a
+seeded grid of scheduler-step kill points, sampler families and remote
+modes, the crash-recover-compare loop of
+:func:`repro.serve.chaos.crash_recover_run` must produce **bit-identical
+per-query estimates and tenant charges** to the uninterrupted baseline.
+Tier-1 keeps the grid small (one family pair, plain oracles, a handful of
+kill points); ``@pytest.mark.slow`` widens to >= 20 kill points x 3
+sampler families x blocking/cooperative remote oracles — the matrix
+``scripts/bench_recovery.py`` also sweeps.
+
+The non-journal chaos shapes ride along: a permanent oracle outage must
+*degrade* a query to its anytime estimate (never hang, never raise), the
+endpoint circuit breaker must open on a give-up streak and short-circuit
+while open, a deadline must degrade a query under a virtual clock, and a
+stalling shared cache must change timings but never answers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from harness import estimate_fingerprint
+from repro.engine.builders import (
+    sequential_pipeline,
+    two_stage_pipeline,
+    uniform_pipeline,
+)
+from repro.oracle import AsyncOracle, RemoteEndpoint, SimulatedRemoteOracle
+from repro.oracle.remote import RemoteCircuitOpenError, RemoteGiveUpError
+from repro.serve import (
+    AQPService,
+    DegradedResult,
+    QueryStatus,
+    SharedOracleCache,
+)
+from repro.serve.chaos import (
+    ChaosPolicy,
+    ChaosQuery,
+    FailureBurstTransport,
+    StallingSharedCache,
+    append_garbage,
+    crash_recover_run,
+    tear_journal_tail,
+)
+from repro.synth import make_dataset
+
+BUDGETS = {"two_stage": 320, "uniform": 240, "sequential": 260}
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return make_dataset("synthetic", seed=0, size=6_000)
+
+
+def plain_registry(scenario):
+    sc = scenario
+    return {
+        "two_stage": lambda: two_stage_pipeline(
+            sc.proxy,
+            sc.make_oracle(),
+            sc.statistic_values,
+            budget=BUDGETS["two_stage"],
+            with_ci=True,
+            num_bootstrap=20,
+        ),
+        "uniform": lambda: uniform_pipeline(
+            sc.num_records,
+            sc.make_oracle(),
+            sc.statistic_values,
+            budget=BUDGETS["uniform"],
+            with_ci=True,
+            num_bootstrap=20,
+        ),
+        "sequential": lambda: sequential_pipeline(
+            sc.proxy,
+            sc.make_oracle(),
+            sc.statistic_values,
+            budget=BUDGETS["sequential"],
+        ),
+    }
+
+
+def remote_registry(scenario, *, blocking, endpoints):
+    """Each factory builds a fresh seeded flaky remote stack per call."""
+    sc = scenario
+
+    def make_oracle(family):
+        transport = SimulatedRemoteOracle(
+            sc.labels,
+            failure_rate=0.2,
+            timeout_rate=0.05,
+            seed=11,
+            name=f"{family}_remote",
+        )
+        endpoint = RemoteEndpoint(
+            transport,
+            max_batch_size=64,
+            max_in_flight=2,
+            max_retries=10,
+            backoff_base=0.0,
+            sleep=lambda s: None,
+        )
+        endpoints.append(endpoint)
+        return AsyncOracle(endpoint, blocking=blocking)
+
+    return {
+        "two_stage": lambda: two_stage_pipeline(
+            sc.proxy,
+            make_oracle("two_stage"),
+            sc.statistic_values,
+            budget=BUDGETS["two_stage"],
+            with_ci=True,
+            num_bootstrap=20,
+        ),
+        "uniform": lambda: uniform_pipeline(
+            sc.num_records,
+            make_oracle("uniform"),
+            sc.statistic_values,
+            budget=BUDGETS["uniform"],
+            with_ci=True,
+            num_bootstrap=20,
+        ),
+        "sequential": lambda: sequential_pipeline(
+            sc.proxy,
+            make_oracle("sequential"),
+            sc.statistic_values,
+            budget=BUDGETS["sequential"],
+        ),
+    }
+
+
+def assert_arm_matches_baseline(arm, baseline, context):
+    assert arm.statuses == baseline.statuses, context
+    assert set(arm.results) == set(baseline.results), context
+    for task_id, reference in baseline.results.items():
+        assert estimate_fingerprint(arm.results[task_id]) == estimate_fingerprint(
+            reference
+        ), f"{context}: query {task_id} diverged after recovery"
+    assert arm.charged == baseline.charged, context
+
+
+class TestCrashRecoverMatrix:
+    def test_small_grid_plain_oracles(self, scenario, tmp_path):
+        registry = plain_registry(scenario)
+        queries = [
+            ChaosQuery("two_stage", tenant="a", seed=3),
+            ChaosQuery("uniform", tenant="b", seed=7),
+        ]
+        baseline = crash_recover_run(
+            tmp_path / "base", registry, queries, kill_step=None
+        )
+        assert baseline.completed_before_kill
+        kill_steps = ChaosPolicy(seed=1).kill_steps(6, max_step=28)
+        for kill in kill_steps:
+            arm = crash_recover_run(
+                tmp_path / f"kill{kill}", registry, queries, kill_step=kill
+            )
+            if arm.completed_before_kill:
+                continue  # late kill point: nothing to recover
+            assert arm.replayed_records > 0
+            assert arm.recovery_seconds is not None
+            assert_arm_matches_baseline(arm, baseline, f"kill@{kill}")
+
+    def test_torn_tail_and_garbage_arms(self, scenario, tmp_path):
+        registry = plain_registry(scenario)
+        queries = [ChaosQuery("two_stage", tenant="a", seed=3)]
+        baseline = crash_recover_run(
+            tmp_path / "base", registry, queries, kill_step=None
+        )
+        policy = ChaosPolicy(seed=4)
+        tampers = {
+            "tear": lambda d: tear_journal_tail(d, policy.tear_bytes(64)),
+            "garbage": lambda d: append_garbage(d),
+        }
+        for name, tamper in tampers.items():
+            arm = crash_recover_run(
+                tmp_path / name,
+                registry,
+                queries,
+                kill_step=9,
+                tamper=tamper,
+            )
+            assert not arm.completed_before_kill
+            assert_arm_matches_baseline(arm, baseline, name)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("blocking", [True, False])
+    def test_wide_grid_remote_modes(self, scenario, tmp_path, blocking):
+        """Tier-2: >= 20 kill points x 3 families x this remote mode."""
+        endpoints = []
+        registry = remote_registry(scenario, blocking=blocking, endpoints=endpoints)
+        queries = [
+            ChaosQuery("two_stage", tenant="a", seed=3),
+            ChaosQuery("uniform", tenant="b", seed=7),
+            ChaosQuery("sequential", tenant="c", seed=5),
+        ]
+        mode = "blocking" if blocking else "cooperative"
+        baseline = crash_recover_run(
+            tmp_path / f"base-{mode}", registry, queries, kill_step=None
+        )
+        assert baseline.completed_before_kill
+        kill_steps = ChaosPolicy(seed=2).kill_steps(20, max_step=60)
+        assert len(kill_steps) >= 20
+        recovered_arms = 0
+        for kill in kill_steps:
+            arm = crash_recover_run(
+                tmp_path / f"{mode}-kill{kill}",
+                registry,
+                queries,
+                kill_step=kill,
+            )
+            if not arm.completed_before_kill:
+                recovered_arms += 1
+                assert_arm_matches_baseline(arm, baseline, f"{mode} kill@{kill}")
+        assert recovered_arms >= 15  # the grid genuinely exercised recovery
+        for endpoint in endpoints:
+            endpoint.close()
+
+
+class TestGracefulDegradation:
+    def test_permanent_outage_degrades_to_anytime_estimate(self, scenario):
+        # The oracle answers for a while, then the backend goes down for
+        # good: retries exhaust, and instead of raising, the query settles
+        # DEGRADED carrying its last anytime estimate.
+        transport = FailureBurstTransport(
+            scenario.labels, fail_from=4, fail_count=None
+        )
+        endpoint = RemoteEndpoint(
+            transport,
+            max_batch_size=64,
+            max_retries=2,
+            backoff_base=0.0,
+            sleep=lambda s: None,
+        )
+        pipeline = two_stage_pipeline(
+            scenario.proxy,
+            AsyncOracle(endpoint, blocking=True),
+            scenario.statistic_values,
+            budget=320,
+            with_ci=True,
+            num_bootstrap=20,
+        )
+        service = AQPService()
+        handle = service.submit_pipeline(pipeline, tenant="t", rng=3)
+        service.run_until_complete()
+        assert handle.status == QueryStatus.DEGRADED
+        result = handle.result()  # does NOT raise
+        assert isinstance(result, DegradedResult)
+        assert result.degraded and result.reason == DegradedResult.REMOTE_GIVEUP
+        assert result.spent == handle.spent > 0
+        assert result.estimate is not None  # the anytime answer survived
+        # Settled exactly at the partial spend; nothing left reserved.
+        usage = service.admission.tenant_usage("t")
+        assert usage["charged"] == handle.spent
+        assert usage["reserved"] == 0 and usage["live"] == 0
+        endpoint.close()
+
+    def test_outage_before_first_draw_degrades_with_no_estimate(self, scenario):
+        transport = FailureBurstTransport(
+            scenario.labels, fail_from=0, fail_count=None
+        )
+        endpoint = RemoteEndpoint(
+            transport,
+            max_batch_size=64,
+            max_retries=1,
+            backoff_base=0.0,
+            sleep=lambda s: None,
+        )
+        pipeline = two_stage_pipeline(
+            scenario.proxy,
+            AsyncOracle(endpoint, blocking=True),
+            scenario.statistic_values,
+            budget=320,
+        )
+        service = AQPService()
+        handle = service.submit_pipeline(pipeline, rng=3)
+        service.run_until_complete()
+        assert handle.status == QueryStatus.DEGRADED
+        assert handle.result().spent == 0
+        endpoint.close()
+
+    def test_healthy_queries_unaffected_by_degraded_peer(self, scenario):
+        transport = FailureBurstTransport(
+            scenario.labels, fail_from=2, fail_count=None
+        )
+        endpoint = RemoteEndpoint(
+            transport,
+            max_batch_size=64,
+            max_retries=1,
+            backoff_base=0.0,
+            sleep=lambda s: None,
+        )
+        doomed = two_stage_pipeline(
+            scenario.proxy,
+            AsyncOracle(endpoint, blocking=True),
+            scenario.statistic_values,
+            budget=320,
+        )
+        healthy = two_stage_pipeline(
+            scenario.proxy,
+            scenario.make_oracle(),
+            scenario.statistic_values,
+            budget=320,
+            with_ci=True,
+            num_bootstrap=20,
+        )
+        solo = two_stage_pipeline(
+            scenario.proxy,
+            scenario.make_oracle(),
+            scenario.statistic_values,
+            budget=320,
+            with_ci=True,
+            num_bootstrap=20,
+        )
+        service = AQPService()
+        doomed_handle = service.submit_pipeline(doomed, rng=1)
+        healthy_handle = service.submit_pipeline(healthy, rng=9)
+        service.run_until_complete()
+        assert doomed_handle.status == QueryStatus.DEGRADED
+        assert healthy_handle.status == QueryStatus.DONE
+        from repro.stats.rng import RandomState
+
+        assert estimate_fingerprint(healthy_handle.result()) == estimate_fingerprint(
+            solo.run(RandomState(9))
+        )
+        endpoint.close()
+
+    def test_deadline_degrades_under_virtual_clock(self, scenario):
+        now = [0.0]
+
+        def clock():
+            now[0] += 1.0
+            return now[0]
+
+        service = AQPService(clock=clock)
+        handle = service.submit_pipeline(
+            two_stage_pipeline(
+                scenario.proxy,
+                scenario.make_oracle(),
+                scenario.statistic_values,
+                budget=320,
+            ),
+            tenant="t",
+            rng=3,
+            deadline=6.0,
+        )
+        service.run_until_complete()
+        assert handle.status == QueryStatus.DEGRADED
+        result = handle.result()
+        assert result.reason == DegradedResult.DEADLINE
+        assert "deadline" in result.detail
+        assert 0 < handle.spent < 320  # it degraded mid-run, having answered
+        usage = service.admission.tenant_usage("t")
+        assert usage["charged"] == handle.spent and usage["reserved"] == 0
+
+    def test_degraded_result_survives_the_journal(self, scenario, tmp_path):
+        from repro.serve import AdmissionController, ServiceJournal
+
+        transport = FailureBurstTransport(
+            scenario.labels, fail_from=4, fail_count=None
+        )
+        endpoint = RemoteEndpoint(
+            transport,
+            max_batch_size=64,
+            max_retries=1,
+            backoff_base=0.0,
+            sleep=lambda s: None,
+        )
+        service = AQPService(
+            admission=AdmissionController(),
+            journal=ServiceJournal(tmp_path, fsync=False),
+        )
+        handle = service.submit_pipeline(
+            two_stage_pipeline(
+                scenario.proxy,
+                AsyncOracle(endpoint, blocking=True),
+                scenario.statistic_values,
+                budget=320,
+            ),
+            tenant="t",
+            rng=3,
+        )
+        service.run_until_complete()
+        assert handle.status == QueryStatus.DEGRADED
+        spent = handle.spent  # crash: abandon `service`
+
+        recovered, report = AQPService.recover(tmp_path, fsync=False)
+        (settled,) = report.settled
+        assert settled.status == QueryStatus.DEGRADED
+        assert settled.charged == spent
+        restored = report.results()[settled.task_id]
+        assert isinstance(restored, DegradedResult)
+        assert restored.reason == DegradedResult.REMOTE_GIVEUP
+        assert recovered.admission.tenant_usage("t")["charged"] == spent
+        recovered.journal.close()
+        endpoint.close()
+
+
+class TestCircuitBreaker:
+    def make_endpoint(self, scenario, clock, **kwargs):
+        transport = FailureBurstTransport(
+            scenario.labels, fail_from=0, fail_count=None
+        )
+        endpoint = RemoteEndpoint(
+            transport,
+            max_batch_size=8,
+            max_retries=1,
+            backoff_base=0.0,
+            sleep=lambda s: None,
+            breaker_threshold=2,
+            breaker_cooldown=10.0,
+            clock=clock,
+            **kwargs,
+        )
+        return transport, endpoint
+
+    def submit_and_expect_giveup(self, endpoint, records):
+        ticket = endpoint.submit(records)
+        ticket.wait()
+        with pytest.raises(RemoteGiveUpError):
+            ticket.result()
+        return ticket
+
+    def test_giveup_streak_opens_then_short_circuits(self, scenario):
+        now = [0.0]
+        transport, endpoint = self.make_endpoint(scenario, lambda: now[0])
+        attempts_before_open = None
+        for i in range(5):
+            self.submit_and_expect_giveup(endpoint, [4 * i, 4 * i + 1])
+            if endpoint.breaker_state == "open" and attempts_before_open is None:
+                attempts_before_open = transport.attempts
+        stats = endpoint.stats()
+        assert endpoint.breaker_state == "open"
+        assert stats.breaker_opens == 1
+        assert stats.giveup_streak >= 2
+        # Short-circuited batches never reached the transport.
+        assert stats.short_circuits == 3
+        assert transport.attempts == attempts_before_open
+        endpoint.close()
+
+    def test_short_circuit_error_is_a_giveup_subclass(self, scenario):
+        now = [0.0]
+        _, endpoint = self.make_endpoint(scenario, lambda: now[0])
+        for i in range(3):
+            ticket = endpoint.submit([i])
+            ticket.wait()
+        ticket = endpoint.submit([99])
+        ticket.wait()
+        with pytest.raises(RemoteCircuitOpenError):
+            ticket.result()
+        # ...which means schedulers treat it exactly like retry exhaustion.
+        assert issubclass(RemoteCircuitOpenError, RemoteGiveUpError)
+        endpoint.close()
+
+    def test_cooldown_half_opens_and_success_closes(self, scenario):
+        now = [0.0]
+        transport, endpoint = self.make_endpoint(scenario, lambda: now[0])
+        for i in range(3):
+            self.submit_and_expect_giveup(endpoint, [i])
+        assert endpoint.breaker_state == "open"
+        # Cooldown elapses; the next batch is the half-open probe (the
+        # open -> half_open transition happens at launch), and the
+        # transport has recovered.
+        transport.fail_from = 10**9
+        now[0] += 10.5
+        ticket = endpoint.submit([1, 2, 3])
+        ticket.wait()
+        assert list(ticket.result()) == [bool(scenario.labels[i]) for i in (1, 2, 3)]
+        assert endpoint.breaker_state == "closed"
+        assert endpoint.stats().giveup_streak == 0
+        endpoint.close()
+
+    def test_half_open_probe_failure_reopens(self, scenario):
+        now = [0.0]
+        transport, endpoint = self.make_endpoint(scenario, lambda: now[0])
+        for i in range(3):
+            self.submit_and_expect_giveup(endpoint, [i])
+        opens_before = endpoint.stats().breaker_opens
+        now[0] += 10.5  # half-open; the transport is still down
+        self.submit_and_expect_giveup(endpoint, [50])
+        assert endpoint.breaker_state == "open"
+        assert endpoint.stats().breaker_opens == opens_before + 1
+        endpoint.close()
+
+    def test_breaker_off_by_default(self, scenario):
+        transport = FailureBurstTransport(
+            scenario.labels, fail_from=0, fail_count=None
+        )
+        endpoint = RemoteEndpoint(
+            transport, max_retries=1, backoff_base=0.0, sleep=lambda s: None
+        )
+        for i in range(6):
+            self.submit_and_expect_giveup(endpoint, [i])
+        # Without a threshold every batch still reaches the transport.
+        assert endpoint.breaker_state == "closed"
+        assert endpoint.stats().short_circuits == 0
+        endpoint.close()
+
+    def test_reset_breaker(self, scenario):
+        now = [0.0]
+        transport, endpoint = self.make_endpoint(scenario, lambda: now[0])
+        for i in range(3):
+            self.submit_and_expect_giveup(endpoint, [i])
+        assert endpoint.breaker_state == "open"
+        endpoint.reset_breaker()
+        assert endpoint.breaker_state == "closed"
+        assert endpoint.stats().giveup_streak == 0
+        endpoint.close()
+
+
+class TestStallingCache:
+    def test_stalls_change_time_never_answers(self, scenario):
+        from repro.query.executor import QueryContext
+
+        def make_context():
+            context = QueryContext(scenario.num_records)
+            context.register_statistic("views", scenario.statistic_values)
+            context.register_predicate(
+                "is_match", scenario.make_oracle(), scenario.proxy
+            )
+            return context
+
+        query = (
+            "SELECT AVG(views(rec)) FROM t WHERE is_match(rec) "
+            "ORACLE LIMIT 300 USING proxy WITH PROBABILITY 0.95"
+        )
+        slept = []
+        stalling = StallingSharedCache(
+            stall_every=2, stall_seconds=0.001, sleep=slept.append
+        )
+        plain = SharedOracleCache()
+        results = {}
+        for name, cache in (("stalling", stalling), ("plain", plain)):
+            service = AQPService(shared_cache=cache)
+            handle = service.submit_query(
+                query, make_context(), rng=8, num_bootstrap=40
+            )
+            service.run_until_complete()
+            results[name] = handle.result()
+        assert stalling.stalls == len(slept) > 0
+        assert results["stalling"].value == results["plain"].value
+        assert (
+            results["stalling"].ci.lower,
+            results["stalling"].ci.upper,
+        ) == (results["plain"].ci.lower, results["plain"].ci.upper)
+        # Same hit/miss accounting: latency injection is invisible to it.
+        assert stalling.stats().misses == plain.stats().misses
+        assert stalling.stats().hits == plain.stats().hits
+
+
+class TestChaosPolicyDeterminism:
+    def test_same_seed_same_plan(self):
+        a, b = ChaosPolicy(seed=9), ChaosPolicy(seed=9)
+        assert a.kill_steps(10, max_step=100) == b.kill_steps(10, max_step=100)
+        assert a.tear_bytes(64) == b.tear_bytes(64)
+        assert a.failure_burst(10, 5) == b.failure_burst(10, 5)
+
+    def test_distinct_seeds_distinct_plans(self):
+        assert ChaosPolicy(seed=1).kill_steps(10, max_step=1000) != ChaosPolicy(
+            seed=2
+        ).kill_steps(10, max_step=1000)
+
+    def test_tiny_kill_range_degenerates_to_every_step(self):
+        assert ChaosPolicy(seed=0).kill_steps(10, max_step=4, min_step=1) == [1, 2, 3]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="empty kill range"):
+            ChaosPolicy(seed=0).kill_steps(3, max_step=2, min_step=2)
+        with pytest.raises(ValueError, match="max_bytes"):
+            ChaosPolicy(seed=0).tear_bytes(0)

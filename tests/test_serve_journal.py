@@ -1,0 +1,185 @@
+"""The service journal: CRC framing, torn tails, atomic rotation.
+
+The write-ahead log under crash-safe serving (docs/RESILIENCE.md) has one
+correctness story: *prefix replay*.  Whatever a crash does to the tail of
+the live segment — a half-written frame header, a truncated payload, a
+corrupted byte, appended garbage — replay returns exactly the records
+whose frames decoded cleanly, reports where and why it stopped, and
+reopening for append truncates the damage so the next record lands on a
+clean frame boundary.  Rotation (compaction) must be atomic: at every
+crash point the directory holds exactly one authoritative segment.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.journal import (
+    SEGMENT_MAGIC,
+    JournalError,
+    ServiceJournal,
+    read_segment,
+)
+
+
+def records(n, **extra):
+    return [{"type": "event", "n": i, **extra} for i in range(n)]
+
+
+class TestFraming:
+    def test_roundtrip(self, tmp_path):
+        with ServiceJournal(tmp_path, fsync=False) as journal:
+            for record in records(5, payload=b"\x00" * 100):
+                journal.append(record)
+        replay = ServiceJournal.replay(tmp_path)
+        assert replay.records == records(5, payload=b"\x00" * 100)
+        assert replay.torn_tail is None
+        assert replay.segment_index == 1
+
+    def test_empty_directory_replays_to_nothing(self, tmp_path):
+        replay = ServiceJournal.replay(tmp_path / "never_created")
+        assert replay.records == [] and replay.segment_path is None
+
+    def test_fresh_journal_is_magic_only(self, tmp_path):
+        journal = ServiceJournal(tmp_path, fsync=False)
+        journal.close()
+        assert journal.segment_path.read_bytes() == SEGMENT_MAGIC
+        assert ServiceJournal.replay(tmp_path).records == []
+
+    def test_bad_magic_raises(self, tmp_path):
+        path = tmp_path / "segment-00000001.wal"
+        path.write_bytes(b"NOTAWAL!" + b"\x00" * 32)
+        with pytest.raises(JournalError, match="bad magic"):
+            read_segment(path)
+
+    def test_closed_journal_rejects_writes(self, tmp_path):
+        journal = ServiceJournal(tmp_path, fsync=False)
+        journal.close()
+        assert journal.closed
+        with pytest.raises(JournalError, match="closed"):
+            journal.append({"type": "event"})
+        with pytest.raises(JournalError, match="closed"):
+            journal.rotate([])
+
+
+class TestTornTails:
+    def write_clean(self, tmp_path, n=4):
+        with ServiceJournal(tmp_path, fsync=False) as journal:
+            for record in records(n):
+                journal.append(record)
+            return journal.segment_path
+
+    @pytest.mark.parametrize("cut", [1, 3, 7])
+    def test_truncated_tail_replays_prefix(self, tmp_path, cut):
+        path = self.write_clean(tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-cut])
+        replayed, torn = read_segment(path)
+        # The last frame is damaged; everything before it survives.
+        assert replayed == records(3)
+        assert torn is not None
+        assert torn.valid_bytes + torn.discarded_bytes == len(data) - cut
+        assert "truncated" in torn.reason
+
+    def test_truncated_header(self, tmp_path):
+        path = self.write_clean(tmp_path, n=1)
+        with open(path, "ab") as handle:
+            handle.write(b"\x09")  # one lone byte of a next frame header
+        replayed, torn = read_segment(path)
+        assert replayed == records(1)
+        assert torn.reason == "truncated frame header"
+        assert torn.discarded_bytes == 1
+
+    def test_corrupt_payload_byte_fails_crc(self, tmp_path):
+        path = self.write_clean(tmp_path, n=3)
+        data = bytearray(path.read_bytes())
+        data[-1] ^= 0xFF  # flip a bit inside the last frame's payload
+        path.write_bytes(bytes(data))
+        replayed, torn = read_segment(path)
+        assert replayed == records(2)
+        assert torn.reason == "crc mismatch"
+
+    def test_implausible_length_field(self, tmp_path):
+        path = self.write_clean(tmp_path, n=2)
+        import struct
+
+        with open(path, "ab") as handle:
+            handle.write(struct.pack("<II", 1 << 31, 0) + b"garbage")
+        replayed, torn = read_segment(path)
+        assert replayed == records(2)
+        assert "implausible frame length" in torn.reason
+
+    def test_reopen_truncates_and_appends_cleanly(self, tmp_path):
+        path = self.write_clean(tmp_path)
+        clean_size = path.stat().st_size
+        with open(path, "ab") as handle:
+            handle.write(b"\xde\xad\xbe\xef")
+        journal = ServiceJournal(tmp_path, fsync=False)
+        # Open reported the damage, kept the clean prefix, cut the tail.
+        assert journal.opened_records == records(4)
+        assert journal.truncated_tail is not None
+        assert path.stat().st_size == clean_size
+        journal.append({"type": "event", "n": 99})
+        journal.close()
+        replay = ServiceJournal.replay(tmp_path)
+        assert replay.records == records(4) + [{"type": "event", "n": 99}]
+        assert replay.torn_tail is None
+
+
+class TestRotation:
+    def test_rotate_replaces_contents_atomically(self, tmp_path):
+        journal = ServiceJournal(tmp_path, fsync=False)
+        for record in records(6):
+            journal.append(record)
+        compacted = [{"type": "settled", "task_id": "t-0", "charged": 120}]
+        new_path = journal.rotate(compacted)
+        assert journal.segment_index == 2
+        assert new_path.name == "segment-00000002.wal"
+        # The old segment is gone; the new one is the only authority.
+        assert sorted(p.name for p in tmp_path.iterdir()) == [new_path.name]
+        assert ServiceJournal.replay(tmp_path).records == compacted
+        # The rotated journal keeps accepting appends.
+        journal.append({"type": "event", "n": 7})
+        journal.close()
+        assert ServiceJournal.replay(tmp_path).records == compacted + [
+            {"type": "event", "n": 7}
+        ]
+
+    def test_newest_segment_wins_even_with_stragglers(self, tmp_path):
+        # A crash between os.replace and the old-segment unlink leaves two
+        # segments; replay must read only the newest.
+        journal = ServiceJournal(tmp_path, fsync=False)
+        journal.append({"type": "event", "n": 0})
+        journal.close()
+        old = journal.segment_path.read_bytes()
+        journal = ServiceJournal(tmp_path, fsync=False)
+        journal.rotate([{"type": "settled", "task_id": "t-0"}])
+        journal.close()
+        (tmp_path / "segment-00000001.wal").write_bytes(old)  # resurrect
+        replay = ServiceJournal.replay(tmp_path)
+        assert replay.segment_index == 2
+        assert replay.records == [{"type": "settled", "task_id": "t-0"}]
+
+    def test_stale_tmp_from_crashed_rotation_is_cleaned(self, tmp_path):
+        journal = ServiceJournal(tmp_path, fsync=False)
+        journal.append({"type": "event", "n": 0})
+        journal.close()
+        # A rotation that died before its os.replace leaves only a .tmp.
+        stale = tmp_path / "segment-00000002.tmp"
+        stale.write_bytes(SEGMENT_MAGIC + b"half a frame")
+        replay = ServiceJournal.replay(tmp_path)
+        assert replay.records == [{"type": "event", "n": 0}]
+        journal = ServiceJournal(tmp_path, fsync=False)
+        assert not stale.exists()
+        journal.close()
+
+    def test_fsync_mode_writes_identical_bytes(self, tmp_path):
+        with ServiceJournal(tmp_path / "a", fsync=True) as durable:
+            for record in records(3):
+                durable.append(record)
+        with ServiceJournal(tmp_path / "b", fsync=False) as fast:
+            for record in records(3):
+                fast.append(record)
+        assert (
+            durable.segment_path.read_bytes() == fast.segment_path.read_bytes()
+        )

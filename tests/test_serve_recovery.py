@@ -1,0 +1,478 @@
+"""Crash recovery: replay the journal, charge exactly once, resume exactly.
+
+The recovery contract (docs/RESILIENCE.md) in three clauses, each pinned
+here:
+
+* **Determinism** — a query resumed from its last journal snapshot
+  re-executes the lost steps against the RNG state the snapshot froze, so
+  its final estimate fingerprint is bit-identical to the uninterrupted
+  run (the wide kill-point matrix lives in ``tests/test_serve_chaos.py``;
+  this file pins the edge cases: empty journal, submit-only journal,
+  terminal-before-snapshot, torn tails).
+* **Conservation** — every tenant's post-recovery charge equals what the
+  uninterrupted run would have billed, for *any* crash point (a
+  derandomized hypothesis property), and recovering the same directory
+  twice charges exactly once (rotation preserves ``origin_spent``).
+* **No silent loss** — a live query that cannot be resumed (no
+  ``recovery_key``, missing registry entry, corrupt snapshot bytes) is
+  reported as unrecoverable *and still charged* at its snapshot spend.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from harness import estimate_fingerprint, solo_fingerprint
+from repro.engine.builders import two_stage_pipeline, uniform_pipeline
+from repro.serve import (
+    AdmissionController,
+    AQPService,
+    QueryStatus,
+    ServiceJournal,
+)
+from repro.serve.chaos import tear_journal_tail
+from repro.stats.rng import RandomState
+from repro.synth import make_dataset
+
+BUDGET = 320
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return make_dataset("synthetic", seed=0, size=6_000)
+
+
+def make_pipeline(scenario, budget=BUDGET):
+    return two_stage_pipeline(
+        scenario.proxy,
+        scenario.make_oracle(),
+        scenario.statistic_values,
+        budget=budget,
+        with_ci=True,
+        num_bootstrap=20,
+    )
+
+
+def make_registry(scenario):
+    return {
+        "two_stage": lambda: make_pipeline(scenario),
+        "uniform": lambda: uniform_pipeline(
+            scenario.num_records,
+            scenario.make_oracle(),
+            scenario.statistic_values,
+            budget=240,
+            with_ci=True,
+            num_bootstrap=20,
+        ),
+    }
+
+
+def journaled_service(tmp_path, **kwargs):
+    return AQPService(
+        admission=AdmissionController(),
+        journal=ServiceJournal(tmp_path, fsync=False),
+        journal_every=kwargs.pop("journal_every", 5),
+        **kwargs,
+    )
+
+
+def run_steps(service, n):
+    for _ in range(n):
+        if service.step() is None:
+            return False
+    return True
+
+
+class TestParityAndAccounting:
+    def test_journal_on_matches_journal_off(self, scenario, tmp_path):
+        plain = AQPService()
+        plain_handle = plain.submit_pipeline(make_pipeline(scenario), rng=11)
+        plain.run_until_complete()
+
+        service = journaled_service(tmp_path)
+        handle = service.submit_pipeline(
+            make_pipeline(scenario), rng=11, recovery_key="two_stage"
+        )
+        service.run_until_complete()
+        assert estimate_fingerprint(handle.result()) == estimate_fingerprint(
+            plain_handle.result()
+        )
+        # The journal recorded the full lifecycle: submit, snapshots, done.
+        types = [r["type"] for r in ServiceJournal.replay(tmp_path).records]
+        assert types[0] == "submit"
+        assert types[-1] == QueryStatus.DONE
+        assert "snapshot" in types
+        service.journal.close()
+
+    def test_kill_recover_resumes_bit_identical(self, scenario, tmp_path):
+        solo_digest, _ = solo_fingerprint(make_pipeline(scenario), 11)
+        registry = make_registry(scenario)
+        service = journaled_service(tmp_path)
+        service.submit_pipeline(
+            make_pipeline(scenario),
+            rng=11,
+            tenant="t",
+            recovery_key="two_stage",
+        )
+        assert run_steps(service, 12)  # crash mid-run: abandon `service`
+
+        recovered, report = AQPService.recover(
+            tmp_path, registry, admission=AdmissionController(), fsync=False
+        )
+        assert len(report.restored) == 1 and not report.unrecoverable
+        recovered.run_until_complete()
+        handle = report.restored[0]
+        assert handle.status == QueryStatus.DONE
+        assert estimate_fingerprint(handle.result()) == solo_digest
+        # Conservation: the tenant paid exactly the uninterrupted spend.
+        usage = recovered.admission.tenant_usage("t")
+        assert usage["charged"] == handle.result().oracle_calls
+        assert usage["reserved"] == 0 and usage["live"] == 0
+        recovered.journal.close()
+
+    def test_finished_results_survive_the_crash(self, scenario, tmp_path):
+        service = journaled_service(tmp_path)
+        handle = service.submit_pipeline(
+            make_pipeline(scenario), rng=3, tenant="t", recovery_key="two_stage"
+        )
+        service.run_until_complete()
+        done_digest = estimate_fingerprint(handle.result())
+        spent = handle.spent  # crash now: abandon `service`
+
+        recovered, report = AQPService.recover(
+            tmp_path,
+            make_registry(scenario),
+            admission=AdmissionController(),
+            fsync=False,
+        )
+        assert not report.restored and not report.unrecoverable
+        (settled,) = report.settled
+        assert settled.status == QueryStatus.DONE
+        assert settled.charged == spent
+        assert estimate_fingerprint(report.results()[settled.task_id]) == done_digest
+        assert recovered.admission.tenant_usage("t")["charged"] == spent
+        recovered.journal.close()
+
+    def test_double_recover_charges_exactly_once(self, scenario, tmp_path):
+        solo_digest, _ = solo_fingerprint(make_pipeline(scenario), 11)
+        registry = make_registry(scenario)
+        service = journaled_service(tmp_path)
+        service.submit_pipeline(
+            make_pipeline(scenario), rng=11, tenant="t", recovery_key="two_stage"
+        )
+        assert run_steps(service, 7)  # first crash, mid-run
+
+        first, report1 = AQPService.recover(
+            tmp_path, registry, admission=AdmissionController(), fsync=False
+        )
+        charged_after_first = first.admission.tenant_usage("t")["charged"]
+        assert run_steps(first, 2)  # second crash, post-rotation, still live
+
+        second, report2 = AQPService.recover(
+            tmp_path, registry, admission=AdmissionController(), fsync=False
+        )
+        # The rotated submit preserved the original origin_spent, so the
+        # second recovery's pre-charge is still (snapshot - 0), not
+        # (snapshot - snapshot): no double-charge, no undercharge.
+        assert len(report2.restored) == 1
+        second.run_until_complete()
+        handle = report2.restored[0]
+        assert estimate_fingerprint(handle.result()) == solo_digest
+        usage = second.admission.tenant_usage("t")
+        assert usage["charged"] == handle.result().oracle_calls
+        assert charged_after_first <= usage["charged"]
+        first.journal.close()
+        second.journal.close()
+
+
+class TestEdgeCases:
+    def test_empty_journal_recovers_to_empty_service(self, tmp_path):
+        recovered, report = AQPService.recover(
+            tmp_path / "fresh", registry=None, fsync=False
+        )
+        assert report.records_replayed == 0
+        assert not report.settled and not report.restored
+        assert recovered.live_queries == 0
+        recovered.journal.close()
+
+    def test_submit_only_journal_resumes_from_step_zero(self, scenario, tmp_path):
+        solo_digest, _ = solo_fingerprint(make_pipeline(scenario), 7)
+        # journal_every huge: the crash happens before any snapshot, so
+        # recovery falls back to the submit record's step-0 checkpoint.
+        service = journaled_service(tmp_path, journal_every=10_000)
+        service.submit_pipeline(
+            make_pipeline(scenario), rng=7, tenant="t", recovery_key="two_stage"
+        )
+        assert run_steps(service, 9)  # crash: draws spent, zero snapshots
+
+        recovered, report = AQPService.recover(
+            tmp_path,
+            make_registry(scenario),
+            admission=AdmissionController(),
+            fsync=False,
+            journal_every=10_000,
+        )
+        (handle,) = report.restored
+        # Nothing was snapshotted, so the resumed session restarts at zero
+        # spend and the tenant's pre-charge is zero — lost work is re-paid,
+        # never double-billed.
+        assert recovered.admission.tenant_usage("t")["charged"] == 0
+        recovered.run_until_complete()
+        assert estimate_fingerprint(handle.result()) == solo_digest
+        assert (
+            recovered.admission.tenant_usage("t")["charged"]
+            == handle.result().oracle_calls
+        )
+        recovered.journal.close()
+
+    def test_crash_before_any_step(self, scenario, tmp_path):
+        solo_digest, _ = solo_fingerprint(make_pipeline(scenario), 5)
+        service = journaled_service(tmp_path)
+        service.submit_pipeline(
+            make_pipeline(scenario), rng=5, recovery_key="two_stage"
+        )  # crash between submit and the first step
+        recovered, report = AQPService.recover(
+            tmp_path, make_registry(scenario), fsync=False
+        )
+        (handle,) = report.restored
+        recovered.run_until_complete()
+        assert estimate_fingerprint(handle.result()) == solo_digest
+        recovered.journal.close()
+
+    def test_post_recovery_ids_do_not_collide(self, scenario, tmp_path):
+        service = journaled_service(tmp_path)
+        service.submit_pipeline(
+            make_pipeline(scenario), rng=1, recovery_key="two_stage"
+        )
+        assert run_steps(service, 4)  # crash
+
+        recovered, report = AQPService.recover(
+            tmp_path, make_registry(scenario), fsync=False
+        )
+        fresh = recovered.submit_pipeline(
+            make_pipeline(scenario), rng=2, recovery_key="two_stage"
+        )
+        assert fresh.task_id != report.restored[0].task_id
+        recovered.run_until_complete()
+        assert fresh.status == QueryStatus.DONE
+        recovered.journal.close()
+
+    def test_torn_tail_resumes_from_surviving_snapshot(self, scenario, tmp_path):
+        solo_digest, _ = solo_fingerprint(make_pipeline(scenario), 11)
+        service = journaled_service(tmp_path, journal_every=3)
+        service.submit_pipeline(
+            make_pipeline(scenario), rng=11, tenant="t", recovery_key="two_stage"
+        )
+        assert run_steps(service, 10)  # crash...
+        removed = tear_journal_tail(tmp_path, 10)  # ...mid-write
+        assert removed > 0
+
+        recovered, report = AQPService.recover(
+            tmp_path, make_registry(scenario), fsync=False
+        )
+        assert report.torn_tail is not None
+        (handle,) = report.restored
+        recovered.run_until_complete()
+        assert estimate_fingerprint(handle.result()) == solo_digest
+        recovered.journal.close()
+
+
+class TestUnrecoverable:
+    def test_no_recovery_key_is_charged_and_reported(self, scenario, tmp_path):
+        service = journaled_service(tmp_path)
+        service.submit_pipeline(make_pipeline(scenario), rng=1, tenant="t")
+        assert run_steps(service, 12)  # crash; snapshots exist, no key
+
+        recovered, report = AQPService.recover(
+            tmp_path, make_registry(scenario), fsync=False
+        )
+        (lost,) = report.unrecoverable
+        assert lost.status == "unrecoverable"
+        assert "no recovery_key" in lost.reason
+        assert lost.charged > 0
+        assert recovered.admission.tenant_usage("t")["charged"] == lost.charged
+        assert report.charged == {"t": lost.charged}
+        recovered.journal.close()
+
+    def test_missing_registry_entry(self, scenario, tmp_path):
+        service = journaled_service(tmp_path)
+        service.submit_pipeline(
+            make_pipeline(scenario), rng=1, recovery_key="retired_recipe"
+        )
+        assert run_steps(service, 8)  # crash
+        recovered, report = AQPService.recover(
+            tmp_path, make_registry(scenario), fsync=False
+        )
+        (lost,) = report.unrecoverable
+        assert "retired_recipe" in lost.reason
+        recovered.journal.close()
+
+    def test_corrupt_snapshot_bytes(self, scenario, tmp_path):
+        # A hand-built journal whose snapshot is garbage: the hardened
+        # engine checkpoint decoder rejects it (CheckpointError) and
+        # recovery converts that into an unrecoverable entry, not a crash.
+        journal = ServiceJournal(tmp_path, fsync=False)
+        journal.append(
+            {
+                "type": "submit",
+                "task_id": "t-0",
+                "tenant": "t",
+                "recovery_key": "two_stage",
+                "budget": BUDGET,
+                "reserve": BUDGET,
+                "origin_spent": 0,
+                "snap_spent": 40,
+                "target_ci_width": None,
+                "deadline": None,
+                "checkpoint": b"\x00not a checkpoint",
+            }
+        )
+        journal.close()
+        recovered, report = AQPService.recover(
+            tmp_path, make_registry(scenario), fsync=False
+        )
+        (lost,) = report.unrecoverable
+        assert "snapshot failed to resume" in lost.reason
+        assert lost.charged == 40
+        assert recovered.admission.tenant_usage("t")["charged"] == 40
+        recovered.journal.close()
+
+    def test_unrecoverable_survives_re_recovery(self, scenario, tmp_path):
+        service = journaled_service(tmp_path)
+        service.submit_pipeline(make_pipeline(scenario), rng=1, tenant="t")
+        assert run_steps(service, 12)  # crash, no recovery_key
+        first, report1 = AQPService.recover(tmp_path, fsync=False)
+        charged = report1.unrecoverable[0].charged
+        first.journal.close()  # crash again, post-rotation
+        second, report2 = AQPService.recover(tmp_path, fsync=False)
+        (lost,) = report2.unrecoverable
+        assert lost.charged == charged  # rotation kept the exact charge
+        assert second.admission.tenant_usage("t")["charged"] == charged
+        second.journal.close()
+
+
+class TestRegistryShapes:
+    def test_tuple_registry_restores_finalize(self, scenario, tmp_path):
+        solo_digest, _ = solo_fingerprint(make_pipeline(scenario), 9)
+        registry = {
+            "wrapped": lambda: (
+                make_pipeline(scenario),
+                lambda session: ("wrapped", session.result()),
+            )
+        }
+        service = journaled_service(tmp_path)
+        pipeline, finalize = registry["wrapped"]()
+        service.submit_pipeline(
+            pipeline, rng=9, finalize=finalize, recovery_key="wrapped"
+        )
+        assert run_steps(service, 10)  # crash
+
+        recovered, report = AQPService.recover(tmp_path, registry, fsync=False)
+        recovered.run_until_complete()
+        tag, result = report.restored[0].result()
+        assert tag == "wrapped"
+        assert estimate_fingerprint(result) == solo_digest
+        recovered.journal.close()
+
+    def test_callable_registry(self, scenario, tmp_path):
+        def registry(key):
+            if key != "two_stage":
+                raise KeyError(key)
+            return make_pipeline(scenario)
+
+        service = journaled_service(tmp_path)
+        service.submit_pipeline(
+            make_pipeline(scenario), rng=4, recovery_key="two_stage"
+        )
+        service.submit_pipeline(
+            make_pipeline(scenario), rng=5, recovery_key="unknown"
+        )
+        assert run_steps(service, 10)  # crash
+        recovered, report = AQPService.recover(tmp_path, registry, fsync=False)
+        assert len(report.restored) == 1 and len(report.unrecoverable) == 1
+        recovered.run_until_complete()
+        assert report.restored[0].status == QueryStatus.DONE
+        recovered.journal.close()
+
+
+class TestSuspension:
+    def test_suspended_checkpoint_round_trips_the_crash(self, scenario, tmp_path):
+        solo_digest, _ = solo_fingerprint(make_pipeline(scenario), 13)
+        service = journaled_service(tmp_path)
+        handle = service.submit_pipeline(
+            make_pipeline(scenario), rng=13, tenant="t", recovery_key="two_stage"
+        )
+        for _ in range(5):
+            service.step()
+        blob = service.checkpoint(handle)
+        suspended_spent = handle.spent  # crash: abandon `service`
+
+        recovered, report = AQPService.recover(
+            tmp_path, make_registry(scenario), fsync=False
+        )
+        (settled,) = report.settled
+        assert settled.status == QueryStatus.SUSPENDED
+        assert settled.charged == suspended_spent
+        # The journaled checkpoint is the same bytes the caller received,
+        # and resumes to the identical uninterrupted result.
+        assert settled.checkpoint == blob
+        resumed = recovered.resume_pipeline(
+            make_pipeline(scenario), settled.checkpoint, tenant="t"
+        )
+        recovered.run_until_complete()
+        assert estimate_fingerprint(resumed.result()) == solo_digest
+        usage = recovered.admission.tenant_usage("t")
+        assert usage["charged"] == resumed.result().oracle_calls
+        recovered.journal.close()
+
+
+class TestBudgetConservationProperty:
+    @settings(max_examples=12, deadline=None, derandomize=True)
+    @given(
+        kill_step=st.integers(min_value=0, max_value=80),
+        seed=st.integers(min_value=0, max_value=3),
+    )
+    def test_any_crash_point_conserves_tenant_budget(
+        self, tmp_path_factory, kill_step, seed
+    ):
+        # For ANY crash point: recover, run to completion, and the tenant's
+        # charge equals the uninterrupted run's exact spend — never more
+        # (double-charge) and never less (silent loss).
+        scenario = make_dataset("synthetic", seed=0, size=6_000)
+        tmp_path = tmp_path_factory.mktemp("wal")
+        registry = make_registry(scenario)
+        solo = make_pipeline(scenario).run(RandomState(seed))
+
+        service = journaled_service(tmp_path, journal_every=4)
+        handle = service.submit_pipeline(
+            make_pipeline(scenario), rng=seed, tenant="t", recovery_key="two_stage"
+        )
+        run_steps(service, kill_step)
+        # crash: abandon `service` — whether the query was pending, mid-run,
+        # or already finished when the process died.
+        recovered, report = AQPService.recover(
+            tmp_path, registry, admission=AdmissionController(), fsync=False
+        )
+        recovered.run_until_complete()
+        assert recovered.admission.tenant_usage("t")["charged"] == solo.oracle_calls
+        assert not report.unrecoverable
+        if report.restored:
+            (restored,) = report.restored
+            result = restored.result()
+        else:  # finished before the crash: the journaled result survives
+            (result,) = report.results().values()
+        assert estimate_fingerprint(result) == estimate_fingerprint(solo)
+        recovered.journal.close()
+
+
+def test_recovered_query_report_is_picklable(scenario, tmp_path):
+    # Operational surface: recovery reports travel through logs/RPC.
+    service = journaled_service(tmp_path)
+    service.submit_pipeline(make_pipeline(scenario), rng=1, tenant="t")
+    assert run_steps(service, 8)
+    _, report = AQPService.recover(tmp_path, fsync=False)
+    clone = pickle.loads(pickle.dumps(report.unrecoverable[0]))
+    assert clone.tenant == "t"
