@@ -1,0 +1,83 @@
+"""Kernel dispatch layer: parity and speedup floors.
+
+Not a paper figure — this pins the engineering claim of the
+``repro.kernels`` dispatch layer: the extracted per-draw inner loops
+(pool gathers/mask updates, the priority core, group-by bucketing, the
+minimax objectives, integer spreads, the bootstrap resampling core) are
+bit-identical to the pre-kernel-layer loops on every backend, the NumPy
+reference path is no slower than the loops it replaced, and the numba
+backend — when importable — reaches a >= 3x aggregate speedup on the
+natively-ported families.
+
+The benchmark script is the single source of truth for the workloads and
+the legacy-loop reconstructions; this test drives it exactly as CI does
+and checks the machine-readable run table it emits.  Without numba the
+native floor is recorded as skipped, never failed — the numba leg of the
+CI matrix is where the floor is enforced.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from bench_results import RESULTS_DIR
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SCRIPT = REPO_ROOT / "scripts" / "bench_kernels.py"
+
+MIN_SPEEDUP = 3.0
+NUMPY_FLOOR = 0.9
+
+
+def test_perf_kernels(results_dir):
+    json_path = results_dir / "BENCH_kernels.json"
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    completed = subprocess.run(
+        [
+            sys.executable,
+            str(SCRIPT),
+            "--smoke",
+            "--min-speedup", str(MIN_SPEEDUP),
+            "--numpy-floor", str(NUMPY_FLOOR),
+            "--json", str(json_path),
+        ],
+        env=env,
+        cwd=str(REPO_ROOT),
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    print(completed.stdout)
+    # The script exits non-zero on a parity failure or a missed floor.
+    assert completed.returncode == 0, (
+        f"bench_kernels failed (rc={completed.returncode}):\n"
+        f"{completed.stdout}\n{completed.stderr}"
+    )
+
+    payload = json.loads(json_path.read_text())
+    assert payload["benchmark"] == "kernels"
+    assert payload["parity"]["identical"] is True
+    assert payload["parity"]["families"] == len(payload["families"])
+    assert payload["numpy_speedup"] >= NUMPY_FLOOR, (
+        f"numpy reference kernels only {payload['numpy_speedup']:.2f}x "
+        f"the legacy loops (floor {NUMPY_FLOOR}x)"
+    )
+    if payload["numba"]["available"]:
+        assert payload["numba"]["native_speedup"] >= MIN_SPEEDUP, (
+            f"numba backend only {payload['numba']['native_speedup']:.2f}x "
+            f"the legacy loops on native families (floor {MIN_SPEEDUP}x)"
+        )
+    else:
+        assert payload["numba"]["skipped"] is True
+        assert payload["numba"]["native_speedup"] is None
+    # The run table lands in benchmarks/results/ for the cross-PR perf
+    # trajectory (uploaded as a CI artifact).
+    assert json_path == RESULTS_DIR / "BENCH_kernels.json"

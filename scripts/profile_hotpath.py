@@ -1,0 +1,257 @@
+#!/usr/bin/env python
+"""Micro-profiling harness: per-kernel time share for each sampler family.
+
+Wraps the resolved :class:`repro.kernels.KernelSet` in a
+``perf_counter_ns`` accumulator, runs each sampler family end-to-end on a
+small fixed-seed workload, and reports how much of the family's wall
+clock each dispatched kernel accounts for — the measurement that decides
+which inner loop is worth porting to a native backend next.
+
+The wrapper times the *dispatched* implementations, so running under
+``REPRO_KERNEL=numpy`` vs ``REPRO_KERNEL=numba`` shows exactly where the
+native backend moves the needle (selection never changes results — only
+these timings).
+
+Usage::
+
+    PYTHONPATH=src python scripts/profile_hotpath.py [--size 20000] \
+        [--families abae,sequential,until_width,groupby] [--cprofile]
+
+``--cprofile`` additionally prints the top cumulative-time functions per
+family from :mod:`cProfile`, for drilling past the kernel layer.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import pstats
+import time
+from typing import Callable, Dict, List
+
+import numpy as np
+
+
+class TimingKernelSet:
+    """A KernelSet proxy that accumulates per-kernel wall time.
+
+    Mirrors the real set's interface (``backend``, ``native_kernels``,
+    attribute-style kernel access, ``names()``/``in``/``[]``) so every
+    consumer — pools, policies, the bootstrap, the group-by bucketing —
+    uses it unmodified.
+    """
+
+    def __init__(self, inner, accumulator: Dict[str, List[int]]):
+        self.backend = inner.backend
+        self.native_kernels = inner.native_kernels
+        self._inner = inner
+        self._acc = accumulator
+        for name in inner.names():
+            setattr(self, name, self._wrap(name, inner[name]))
+
+    def _wrap(self, name: str, fn: Callable) -> Callable:
+        acc = self._acc
+
+        def timed(*args, **kwargs):
+            start = time.perf_counter_ns()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                cell = acc.setdefault(name, [0, 0])
+                cell[0] += time.perf_counter_ns() - start
+                cell[1] += 1
+
+        return timed
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._inner
+
+    def __getitem__(self, name: str) -> Callable:
+        return getattr(self, name)
+
+    def names(self):
+        return self._inner.names()
+
+
+def install_timing_dispatch(accumulator: Dict[str, List[int]]) -> None:
+    """Route every kernel_set() resolution through the timing proxy.
+
+    Consumers bind ``kernel_set`` two ways: function-local imports (the
+    config resolver, the allocation rounding) pick up a patch of
+    ``repro.kernels.kernel_set`` at call time, while module-level imports
+    need their own binding replaced.  Patch both.
+    """
+    import repro.core.allocation as allocation_mod
+    import repro.core.bootstrap as bootstrap_mod
+    import repro.core.groupby as groupby_mod
+    import repro.engine.pipeline as pipeline_mod
+    import repro.engine.policies as policies_mod
+    import repro.kernels as kernels_mod
+
+    real_kernel_set = kernels_mod.kernel_set
+    proxies: Dict[int, TimingKernelSet] = {}
+
+    def timing_kernel_set(hint=None):
+        inner = real_kernel_set(hint)
+        proxy = proxies.get(id(inner))
+        if proxy is None:
+            proxy = proxies[id(inner)] = TimingKernelSet(inner, accumulator)
+        return proxy
+
+    for mod in (
+        kernels_mod,
+        allocation_mod,
+        bootstrap_mod,
+        groupby_mod,
+        pipeline_mod,
+        policies_mod,
+    ):
+        mod.kernel_set = timing_kernel_set
+
+
+# ---------------------------------------------------------------------------
+# Sampler-family workloads (small, fixed-seed)
+# ---------------------------------------------------------------------------
+
+
+def make_workloads(size: int):
+    from repro.core.abae import run_abae
+    from repro.core.adaptive import run_abae_sequential, run_abae_until_width
+    from repro.core.groupby import GroupSpec, run_groupby_single_oracle
+    from repro.oracle.simulated import LabelColumnOracle
+    from repro.stats.rng import RandomState
+    from repro.synth import make_dataset, make_groupby_scenario
+
+    scenario = make_dataset("celeba", seed=0, size=size)
+    groupby_scenario = make_groupby_scenario(
+        "celeba", setting="single", seed=5, size=size
+    )
+    budget = max(1000, size // 4)
+
+    def abae():
+        run_abae(
+            scenario.proxy,
+            LabelColumnOracle(scenario.labels),
+            scenario.statistic_values,
+            budget=budget,
+            num_strata=5,
+            with_ci=True,
+            rng=RandomState(1),
+        )
+
+    def sequential():
+        run_abae_sequential(
+            scenario.proxy,
+            LabelColumnOracle(scenario.labels),
+            scenario.statistic_values,
+            budget=budget // 2,
+            num_strata=5,
+            batch_size=50,
+            rng=RandomState(1),
+        )
+
+    def until_width():
+        run_abae_until_width(
+            scenario.proxy,
+            LabelColumnOracle(scenario.labels),
+            scenario.statistic_values,
+            target_width=0.02,
+            max_budget=budget,
+            num_strata=5,
+            batch_size=100,
+            num_bootstrap=200,
+            rng=RandomState(1),
+        )
+
+    def groupby():
+        run_groupby_single_oracle(
+            groups=[
+                GroupSpec(key=g, proxy=groupby_scenario.proxies[g])
+                for g in groupby_scenario.groups
+            ],
+            oracle=groupby_scenario.make_single_oracle(),
+            statistic=groupby_scenario.statistic_values,
+            budget=budget // 2,
+            rng=RandomState(1),
+        )
+
+    return {
+        "abae": abae,
+        "sequential": sequential,
+        "until_width": until_width,
+        "groupby": groupby,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=20_000, help="dataset size")
+    parser.add_argument(
+        "--families",
+        type=lambda s: s.split(","),
+        default=["abae", "sequential", "until_width", "groupby"],
+        help="comma-separated sampler families to profile",
+    )
+    parser.add_argument(
+        "--cprofile",
+        action="store_true",
+        help="also print cProfile top functions per family",
+    )
+    parser.add_argument("--top", type=int, default=12, help="cProfile rows")
+    args = parser.parse_args()
+
+    accumulator: Dict[str, List[int]] = {}
+    install_timing_dispatch(accumulator)
+    workloads = make_workloads(args.size)
+
+    unknown = [f for f in args.families if f not in workloads]
+    if unknown:
+        parser.error(
+            f"unknown families {unknown!r}; choose from {sorted(workloads)}"
+        )
+
+    from repro.kernels import kernel_set
+
+    print(f"dispatched backend: {kernel_set().backend}  (size={args.size})\n")
+
+    for family in args.families:
+        accumulator.clear()
+        run = workloads[family]
+        run()  # warm caches (stratification, jit) outside the measurement
+        accumulator.clear()
+        start = time.perf_counter_ns()
+        if args.cprofile:
+            profiler = cProfile.Profile()
+            profiler.enable()
+            run()
+            profiler.disable()
+        else:
+            run()
+        wall_ns = time.perf_counter_ns() - start
+
+        kernel_ns = sum(cell[0] for cell in accumulator.values())
+        print(f"== {family}: wall {wall_ns / 1e6:.1f}ms, "
+              f"kernels {kernel_ns / 1e6:.1f}ms "
+              f"({100.0 * kernel_ns / max(wall_ns, 1):.1f}% of wall)")
+        print(f"{'kernel':>26} {'calls':>8} {'total':>10} {'share':>7}")
+        for name, (ns, calls) in sorted(
+            accumulator.items(), key=lambda item: -item[1][0]
+        ):
+            print(
+                f"{name:>26} {calls:>8} {ns / 1e6:>8.2f}ms "
+                f"{100.0 * ns / max(wall_ns, 1):>6.1f}%"
+            )
+        if args.cprofile:
+            stream = io.StringIO()
+            stats = pstats.Stats(profiler, stream=stream)
+            stats.sort_stats("cumulative").print_stats(args.top)
+            print(stream.getvalue())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

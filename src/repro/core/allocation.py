@@ -25,6 +25,7 @@ from typing import List, Sequence
 
 import numpy as np
 
+from repro.kernels import kernel_set
 from repro.stats.sampling import proportional_integer_allocation
 
 __all__ = [
@@ -237,30 +238,22 @@ def solve_minimax_single_oracle(error_terms: np.ndarray, n2: int) -> np.ndarray:
             f"got shape {error_terms.shape}"
         )
     num_groups = error_terms.shape[0]
-    finite = np.isfinite(error_terms)
-    # A group is informative when some stratification holds a finite,
-    # positive S term (zero terms mean zero variance: nothing to optimize).
-    informative = [
-        g
-        for g in range(num_groups)
-        if bool(np.any(finite[:, g] & (error_terms[:, g] > 0)))
-    ]
-    if not informative:
+    # A (stratification, group) cell is usable when its S term is finite
+    # and positive; a group is informative when any of its cells is (zero
+    # terms mean zero variance: nothing to optimize).  Both masks are
+    # computed once — the solver evaluates the objective hundreds of
+    # times, so the per-evaluation work is one vectorized kernel call
+    # instead of a nested Python loop.
+    usable = np.isfinite(error_terms) & (error_terms > 0)
+    informative = usable.any(axis=0)
+    if not informative.any():
         return np.full(num_groups, 1.0 / num_groups)
+    kernels = kernel_set()
 
     def objective(lam: np.ndarray) -> float:
-        worst = 0.0
-        for g in informative:
-            inverse_sum = 0.0
-            for l in range(num_groups):
-                term = error_terms[l, g]
-                if not np.isfinite(term) or term <= 0:
-                    continue
-                variance = term / max(lam[l] * n2, _EPS)
-                inverse_sum += 1.0 / variance
-            combined = 1.0 / inverse_sum if inverse_sum > 0 else float("inf")
-            worst = max(worst, combined)
-        return worst
+        return kernels.minimax_single_objective(
+            error_terms, usable, informative, lam, n2, _EPS
+        )
 
     result = minimize_on_simplex(objective, num_groups)
     return result.x
@@ -288,20 +281,15 @@ def solve_minimax_multi_oracle(error_terms: np.ndarray, n2: int) -> np.ndarray:
             f"{error_terms.shape}"
         )
     num_groups = error_terms.shape[0]
-    informative = [
-        g
-        for g in range(num_groups)
-        if np.isfinite(error_terms[g]) and error_terms[g] > 0
-    ]
-    if not informative:
+    informative = np.isfinite(error_terms) & (error_terms > 0)
+    if not informative.any():
         return np.full(num_groups, 1.0 / num_groups)
+    kernels = kernel_set()
 
     def objective(lam: np.ndarray) -> float:
-        worst = 0.0
-        for g in informative:
-            variance = error_terms[g] / max(lam[g] * n2, _EPS)
-            worst = max(worst, variance)
-        return worst
+        return kernels.minimax_multi_objective(
+            error_terms, informative, lam, n2, _EPS
+        )
 
     result = minimize_on_simplex(objective, num_groups)
     return result.x

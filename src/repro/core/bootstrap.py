@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.core.results import ConfidenceInterval
 from repro.core.types import StratumSample
+from repro.kernels import kernel_set
 from repro.stats.rng import RandomState
 
 __all__ = [
@@ -44,6 +45,7 @@ def bootstrap_estimates(
     if not samples:
         raise ValueError("bootstrap requires at least one stratum of samples")
     rng = rng or RandomState(0)
+    kernels = kernel_set()
 
     num_strata = len(samples)
     p_star = np.zeros((num_bootstrap, num_strata))
@@ -58,11 +60,10 @@ def bootstrap_estimates(
         values = np.where(sample.matches, sample.values, 0.0)
         # (num_bootstrap, n) index matrix of resampled positions.
         resample_idx = rng.integers(0, n, size=(num_bootstrap, n))
-        resampled_matches = matches[resample_idx]
-        resampled_values = values[resample_idx]
-        positives = resampled_matches.sum(axis=1)
+        positives, sums = kernels.bootstrap_resample_stats(
+            matches, values, resample_idx
+        )
         p_star[:, k] = positives / n
-        sums = (resampled_values * resampled_matches).sum(axis=1)
         with np.errstate(invalid="ignore", divide="ignore"):
             mu_star[:, k] = np.where(positives > 0, sums / np.maximum(positives, 1), 0.0)
 
@@ -94,6 +95,7 @@ def _per_stratum_bootstrap(
     rng: RandomState,
 ) -> tuple:
     """Shared resampling core: bootstrap matrices of p*_k and mu*_k."""
+    kernels = kernel_set()
     num_strata = len(samples)
     p_star = np.zeros((num_bootstrap, num_strata))
     mu_star = np.zeros((num_bootstrap, num_strata))
@@ -104,11 +106,10 @@ def _per_stratum_bootstrap(
         matches = sample.matches.astype(float)
         values = np.where(sample.matches, sample.values, 0.0)
         resample_idx = rng.integers(0, n, size=(num_bootstrap, n))
-        resampled_matches = matches[resample_idx]
-        resampled_values = values[resample_idx]
-        positives = resampled_matches.sum(axis=1)
+        positives, sums = kernels.bootstrap_resample_stats(
+            matches, values, resample_idx
+        )
         p_star[:, k] = positives / n
-        sums = (resampled_values * resampled_matches).sum(axis=1)
         mu_star[:, k] = np.where(positives > 0, sums / np.maximum(positives, 1), 0.0)
     return p_star, mu_star
 

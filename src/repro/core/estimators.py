@@ -21,6 +21,7 @@ from repro.stats.descriptive import safe_mean, safe_std
 __all__ = [
     "estimate_stratum",
     "estimate_all_strata",
+    "estimate_arrays",
     "combine_estimates",
     "combined_estimate_from_samples",
     "estimate_mse_plugin",
@@ -51,6 +52,31 @@ def estimate_stratum(sample: StratumSample) -> StratumEstimate:
 def estimate_all_strata(samples: Sequence[StratumSample]) -> List[StratumEstimate]:
     """Per-stratum estimates for every stratum, in stratum order."""
     return [estimate_stratum(sample) for sample in samples]
+
+
+def estimate_arrays(samples: Sequence[StratumSample]):
+    """``(p, mu, sigma, draws)`` columns over strata, as float64 ndarrays.
+
+    Field-for-field bit-identical to building :class:`StratumEstimate`
+    objects with :func:`estimate_all_strata` and re-collecting their
+    attributes into arrays — the same ``safe_mean`` / ``safe_std``
+    reductions run per stratum — but without allocating the objects or
+    the per-attribute list comprehensions.  This is the sequential
+    policy's per-reallocation hot path.
+    """
+    num_strata = len(samples)
+    p = np.empty(num_strata, dtype=float)
+    mu = np.empty(num_strata, dtype=float)
+    sigma = np.empty(num_strata, dtype=float)
+    draws = np.empty(num_strata, dtype=float)
+    for k, sample in enumerate(samples):
+        num_draws = sample.num_draws
+        p[k] = (sample.num_positive / num_draws) if num_draws else 0.0
+        positives = sample.positive_values
+        mu[k] = safe_mean(positives, default=0.0)
+        sigma[k] = safe_std(positives, ddof=1, default=0.0)
+        draws[k] = float(num_draws)
+    return p, mu, sigma, draws
 
 
 def combine_estimates(estimates: Sequence[StratumEstimate]) -> float:

@@ -48,7 +48,8 @@ from repro.core.parallel import parallelize_oracle
 from repro.core.results import ConfidenceInterval, EstimateResult
 from repro.core.stratification import Stratification
 from repro.core.types import StratumSample
-from repro.engine.config import ExecutionConfig, ProgressEvent
+from repro.engine.config import ExecutionConfig, ProgressEvent, resolve_kernel_set
+from repro.kernels import KernelSet, kernel_set
 from repro.stats.rng import RandomState
 from repro.stats.sampling import sample_without_replacement
 
@@ -187,24 +188,52 @@ class StratumPool:
     into the sorted stratum.  Candidate order is the stratum's ascending
     record order — deterministic by construction, and identical to the
     dataset-length drawn-mask gathers the monolithic samplers used.
+
+    Both operations dispatch through a :class:`~repro.kernels.KernelSet`
+    (``kernels=None`` resolves the default backend, honouring
+    ``REPRO_KERNEL``); backend choice never changes which records are
+    candidates or the order they appear in.
     """
 
-    __slots__ = ("_strata", "_available", "remaining")
+    __slots__ = ("_strata", "_available", "remaining", "_kernels")
 
-    def __init__(self, strata: Sequence[np.ndarray]):
+    def __init__(
+        self,
+        strata: Sequence[np.ndarray],
+        kernels: Optional[KernelSet] = None,
+    ):
         self._strata = [np.asarray(s, dtype=np.int64) for s in strata]
         self._available = [np.ones(s.size, dtype=bool) for s in self._strata]
         self.remaining = np.array([s.size for s in self._strata], dtype=np.int64)
+        self._kernels = kernels if kernels is not None else kernel_set()
 
     @classmethod
-    def from_stratification(cls, stratification: Stratification) -> "StratumPool":
+    def from_stratification(
+        cls,
+        stratification: Stratification,
+        kernels: Optional[KernelSet] = None,
+    ) -> "StratumPool":
         return cls(
-            [stratification.stratum(k) for k in range(stratification.num_strata)]
+            [stratification.stratum(k) for k in range(stratification.num_strata)],
+            kernels=kernels,
         )
 
     @property
     def num_strata(self) -> int:
         return len(self._strata)
+
+    @property
+    def kernels(self) -> KernelSet:
+        """The kernel set this pool dispatches through (policies reuse it)."""
+        return self._kernels
+
+    def rebind_kernels(self, kernels: KernelSet) -> None:
+        """Swap the dispatch table (used when restoring a checkpoint).
+
+        Safe at any point in a run: backends are bit-identical by
+        contract, so rebinding never changes candidates or draw order.
+        """
+        self._kernels = kernels
 
     def stratum(self, k: int) -> np.ndarray:
         """The full (sorted) index view of stratum ``k``."""
@@ -212,14 +241,39 @@ class StratumPool:
 
     def candidates(self, k: int) -> np.ndarray:
         """Record indices of stratum ``k`` not yet drawn (ascending order)."""
-        return self._strata[k][self._available[k]]
+        return self._kernels.gather_candidates(self._strata[k], self._available[k])
 
     def mark_drawn(self, k: int, indices: np.ndarray) -> None:
         if len(indices) == 0:
             return
-        positions = np.searchsorted(self._strata[k], indices)
-        self._available[k][positions] = False
-        self.remaining[k] -= len(indices)
+        drawn = np.asarray(indices, dtype=np.int64)
+        count = self._kernels.mark_drawn(self._strata[k], self._available[k], drawn)
+        self.remaining[k] -= count
+
+    # -- Pickling ------------------------------------------------------------------
+    # Pools are pickled inside session checkpoints.  A KernelSet holds
+    # function objects (possibly jitted dispatchers), so checkpoints store
+    # only the backend *name* and re-resolve on restore — falling back to
+    # the default backend when the saved one is unavailable in the
+    # restoring process (safe: backends are bit-identical by contract).
+    def __getstate__(self):
+        return {
+            "_strata": self._strata,
+            "_available": self._available,
+            "remaining": self.remaining,
+            "_kernel_backend": self._kernels.backend,
+        }
+
+    def __setstate__(self, state):
+        if isinstance(state, tuple):  # pre-kernel __slots__ pickle format
+            state = {**(state[0] or {}), **(state[1] or {})}
+        self._strata = state["_strata"]
+        self._available = state["_available"]
+        self.remaining = state["remaining"]
+        try:
+            self._kernels = kernel_set(state.get("_kernel_backend"))
+        except ValueError:
+            self._kernels = kernel_set("numpy")
 
 
 class PipelineState:
@@ -442,6 +496,7 @@ class SamplingPipeline:
                 "provide exactly one of stratification= or strata="
             )
         self.config = config or ExecutionConfig()
+        self.kernels = resolve_kernel_set(self.config)
         self.oracle = parallelize_oracle(
             oracle, self.config.num_workers, self.config.parallel_backend
         )
@@ -461,9 +516,11 @@ class SamplingPipeline:
     # -- Session construction ------------------------------------------------------
     def _make_state(self, rng: Optional[RandomState]) -> PipelineState:
         if self.stratification is not None:
-            pool = StratumPool.from_stratification(self.stratification)
+            pool = StratumPool.from_stratification(
+                self.stratification, kernels=self.kernels
+            )
         else:
-            pool = StratumPool(self._strata)
+            pool = StratumPool(self._strata, kernels=self.kernels)
         state = PipelineState(
             pool=pool,
             rng=self.config.make_rng(rng),

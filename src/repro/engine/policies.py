@@ -28,8 +28,13 @@ import numpy as np
 from repro.core import allocation as allocation_module
 from repro.core.allocation import bounded_allocation
 from repro.core.bootstrap import bootstrap_confidence_interval
-from repro.core.estimators import combine_estimates, estimate_all_strata
+from repro.core.estimators import (
+    combine_estimates,
+    estimate_all_strata,
+    estimate_arrays,
+)
 from repro.core.types import SamplingBudget, StratumSample
+from repro.kernels import KernelSet, kernel_set
 from repro.engine.pipeline import (
     AllocationPolicy,
     PipelineState,
@@ -81,9 +86,8 @@ class TwoStageAllocationPolicy(AllocationPolicy):
             # (repro.experiments.ablations) can swap the rule by patching
             # repro.core.allocation.allocation_from_estimates.
             weights = allocation_module.allocation_from_estimates(stage1_estimates)
-            capacities = [int(r) for r in state.pool.remaining]
             counts = bounded_allocation(
-                weights, self.split.stage2_total, capacities
+                weights, self.split.stage2_total, state.pool.remaining
             )
             state.details.update(
                 {
@@ -103,9 +107,8 @@ class TwoStageAllocationPolicy(AllocationPolicy):
         weights = allocation_module.allocation_from_estimates(
             estimate_all_strata(state.samples)
         )
-        capacities = [int(r) for r in state.pool.remaining]
         self._extension_rounds.append(
-            bounded_allocation(weights, extra, capacities)
+            bounded_allocation(weights, extra, state.pool.remaining)
         )
 
 
@@ -181,7 +184,10 @@ class UniformEstimator(StratifiedEstimator):
 # ---------------------------------------------------------------------------
 
 
-def marginal_variance_reduction(samples: Sequence[StratumSample]) -> np.ndarray:
+def marginal_variance_reduction(
+    samples: Sequence[StratumSample],
+    kernels: Optional[KernelSet] = None,
+) -> np.ndarray:
     """Priority score per stratum: estimated variance removed by one more draw.
 
     The estimator's variance has two per-stratum components:
@@ -200,24 +206,23 @@ def marginal_variance_reduction(samples: Sequence[StratumSample]) -> np.ndarray:
     uncertain, and a criterion based on ``sigma_hat_k`` alone would starve it
     (and inflate the final error).  Strata with no draws yet receive an
     exploration bonus equal to the largest known priority.
+
+    The estimate columns come from :func:`estimate_arrays` (no per-call
+    object/listcomp churn) and the element-wise core dispatches through
+    the ``priority_core`` kernel; the two float reductions (``p_all``,
+    ``mu_all``) stay in NumPy here so every backend shares them
+    bit-for-bit (see :mod:`repro.kernels`).
     """
-    estimates = estimate_all_strata(samples)
-    p = np.array([e.p_hat for e in estimates])
-    sigma = np.array([e.sigma_hat for e in estimates])
-    mu = np.array([e.mu_hat for e in estimates])
-    draws = np.array([s.num_draws for s in samples], dtype=float)
+    if kernels is None:
+        kernels = kernel_set()
+    p, mu, sigma, draws = estimate_arrays(samples)
     p_all = p.sum()
     if p_all == 0:
         # Nothing known yet anywhere: explore uniformly.
         return np.ones(len(samples))
     w = p / p_all
     mu_all = float(np.dot(w, mu))
-
-    with np.errstate(divide="ignore", invalid="ignore"):
-        within = np.where(p > 0, w**2 * sigma**2 / np.maximum(p, 1e-12), 0.0)
-        weight_uncertainty = ((mu - mu_all) / p_all) ** 2 * p * (1.0 - p)
-        contribution = (within + weight_uncertainty) / np.maximum(draws, 1.0)
-        priority = contribution / np.maximum(draws + 1.0, 1.0)
+    priority = kernels.priority_core(p, sigma, mu, draws, float(p_all), mu_all)
 
     unexplored = draws == 0
     if unexplored.any():
@@ -254,7 +259,8 @@ class SequentialAllocationPolicy(AllocationPolicy):
         if state.spent >= state.budget:
             return None
         this_batch = min(self.reallocation_batch, state.budget - state.spent)
-        priorities = marginal_variance_reduction(state.samples)
+        kernels = state.pool.kernels
+        priorities = marginal_variance_reduction(state.samples, kernels=kernels)
         # Mask out exhausted strata.
         priorities[state.pool.remaining == 0] = 0.0
         total_priority = priorities.sum()
@@ -263,10 +269,7 @@ class SequentialAllocationPolicy(AllocationPolicy):
         # Spread the batch proportionally to priority rather than sending it
         # all to the argmax, so one noisy priority estimate cannot distort
         # the allocation for a whole batch.
-        weights = priorities / total_priority
-        counts = np.floor(weights * this_batch).astype(int)
-        counts[int(np.argmax(weights))] += this_batch - int(counts.sum())
-        return counts
+        return kernels.floor_spread(priorities / total_priority, this_batch)
 
 
 # ---------------------------------------------------------------------------
@@ -329,18 +332,16 @@ class UntilWidthAllocationPolicy(AllocationPolicy):
         )
         if state.ci.width <= self.target_width or state.spent >= state.budget:
             return None
-        priorities = marginal_variance_reduction(state.samples)
+        kernels = state.pool.kernels
+        priorities = marginal_variance_reduction(state.samples, kernels=kernels)
         priorities[state.pool.remaining == 0] = 0.0
         total_priority = priorities.sum()
         if total_priority == 0:
             return None
         # Spread the batch across strata proportionally to priority, so a
         # single noisy priority estimate cannot hog the whole batch.
-        weights = priorities / total_priority
         batch = min(self.reallocation_batch, state.budget - state.spent)
-        counts = np.floor(weights * batch).astype(int)
-        counts[int(np.argmax(weights))] += batch - int(counts.sum())
-        return counts
+        return kernels.floor_spread(priorities / total_priority, batch)
 
 
 class UntilWidthEstimator(StratifiedEstimator):
@@ -381,5 +382,4 @@ class BoundedExploitPolicy(AllocationPolicy):
         if self._issued:
             return None
         self._issued = True
-        capacities = [int(r) for r in state.pool.remaining]
-        return bounded_allocation(self.weights, self.total, capacities)
+        return bounded_allocation(self.weights, self.total, state.pool.remaining)

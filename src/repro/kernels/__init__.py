@@ -1,0 +1,44 @@
+"""repro.kernels — registered sampler inner-loop kernels with dispatch.
+
+The engine's per-draw hot loops (stratum pool gathers and mask updates,
+the sequential policy's reallocation priority, group-by bucketing,
+allocation integerization, bootstrap resampling, minimax objectives)
+live here as named kernels with a pure-NumPy reference implementation
+and, when numba is importable, jitted native bodies for the bit-exact
+subset.  Resolve a :class:`KernelSet` once and call kernels
+attribute-style:
+
+    from repro.kernels import kernel_set
+    kernels = kernel_set("auto")        # or "numpy" / "numba"
+    fresh = kernels.gather_candidates(stratum, available)
+
+Backend choice never changes results — see docs/PERFORMANCE.md for the
+dispatch rules and the bit-identity contract.
+"""
+
+from repro.kernels.registry import (
+    KERNEL_BACKENDS,
+    KERNEL_ENV_VAR,
+    KernelSet,
+    kernel_set,
+    numba_available,
+    register_kernel,
+    registered_kernels,
+    resolve_backend_name,
+    validate_kernel_hint,
+)
+
+# Importing the reference module registers every kernel's NumPy body.
+from repro.kernels import reference  # noqa: F401  (registration side effect)
+
+__all__ = [
+    "KERNEL_BACKENDS",
+    "KERNEL_ENV_VAR",
+    "KernelSet",
+    "kernel_set",
+    "numba_available",
+    "register_kernel",
+    "registered_kernels",
+    "resolve_backend_name",
+    "validate_kernel_hint",
+]

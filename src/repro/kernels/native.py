@@ -1,0 +1,197 @@
+"""Optional numba-jitted kernel bodies.
+
+Importing this module requires numba; the registry imports it lazily the
+first time a ``"numba"`` kernel set is resolved and downgrades to the
+NumPy reference when the import fails, so the package never hard-depends
+on numba being installed.
+
+Only the provably bit-exact kernels get a native body: integer/boolean
+bookkeeping (gathers, binary-search mask updates, bucketing) and strictly
+element-wise float arithmetic written to apply the same operations in the
+same per-element order as the reference (no ``**`` — numba may route
+``pow`` through libm; explicit multiplication matches NumPy's squaring
+fast path bit-for-bit).  Kernels whose reference semantics include float
+reductions or argsort tie-breaking are deliberately absent — they stay on
+the reference implementation for every backend (see
+:mod:`repro.kernels.reference`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numba
+import numpy as np
+from numba import njit
+
+from repro.kernels.registry import register_kernel
+
+__all__ = [
+    "gather_candidates",
+    "mark_drawn",
+    "filter_undrawn",
+    "bucket_by_stratum",
+    "priority_core",
+    "floor_spread",
+    "NUMBA_VERSION",
+]
+
+NUMBA_VERSION = getattr(numba, "__version__", "unknown")
+
+
+@njit(cache=True)
+def _gather_candidates(stratum, available):
+    n = stratum.shape[0]
+    out = np.empty(n, np.int64)
+    j = 0
+    for i in range(n):
+        if available[i]:
+            out[j] = stratum[i]
+            j += 1
+    return out[:j]
+
+
+@register_kernel("gather_candidates", backend="numba")
+def gather_candidates(stratum: np.ndarray, available: np.ndarray) -> np.ndarray:
+    return _gather_candidates(stratum, available)
+
+
+@njit(cache=True)
+def _mark_drawn(stratum, available, drawn):
+    n = stratum.shape[0]
+    for j in range(drawn.shape[0]):
+        d = drawn[j]
+        lo = 0
+        hi = n
+        while lo < hi:  # searchsorted(..., side="left")
+            mid = (lo + hi) >> 1
+            if stratum[mid] < d:
+                lo = mid + 1
+            else:
+                hi = mid
+        available[lo] = False
+    return drawn.shape[0]
+
+
+@register_kernel("mark_drawn", backend="numba")
+def mark_drawn(
+    stratum: np.ndarray, available: np.ndarray, drawn: np.ndarray
+) -> int:
+    return int(_mark_drawn(stratum, available, drawn))
+
+
+@njit(cache=True)
+def _filter_undrawn(stratum, drawn_mask):
+    n = stratum.shape[0]
+    out = np.empty(n, np.int64)
+    j = 0
+    for i in range(n):
+        if not drawn_mask[stratum[i]]:
+            out[j] = stratum[i]
+            j += 1
+    return out[:j]
+
+
+@register_kernel("filter_undrawn", backend="numba")
+def filter_undrawn(stratum: np.ndarray, drawn_mask: np.ndarray) -> np.ndarray:
+    return _filter_undrawn(stratum, drawn_mask)
+
+
+@njit(cache=True)
+def _bucket_core(assignment, indices, matched, values, num_strata):
+    n = indices.shape[0]
+    counts = np.zeros(num_strata, np.int64)
+    stratum_of = np.empty(n, np.int64)
+    for i in range(n):
+        k = assignment[indices[i]]
+        stratum_of[i] = k
+        counts[k] += 1
+    offsets = np.zeros(num_strata + 1, np.int64)
+    for k in range(num_strata):
+        offsets[k + 1] = offsets[k] + counts[k]
+    out_idx = np.empty(n, np.int64)
+    out_match = np.empty(n, np.uint8)
+    out_vals = np.empty(n, np.float64)
+    cursor = offsets[:num_strata].copy()
+    for i in range(n):
+        k = stratum_of[i]
+        pos = cursor[k]
+        out_idx[pos] = indices[i]
+        if matched[i]:
+            out_match[pos] = 1
+            out_vals[pos] = values[i]
+        else:
+            out_match[pos] = 0
+            out_vals[pos] = np.nan
+        cursor[k] += 1
+    return offsets, out_idx, out_match, out_vals
+
+
+@register_kernel("bucket_by_stratum", backend="numba")
+def bucket_by_stratum(
+    assignment: np.ndarray,
+    indices: np.ndarray,
+    matched: np.ndarray,
+    values: np.ndarray,
+    num_strata: int,
+) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    offsets, out_idx, out_match, out_vals = _bucket_core(
+        assignment, indices, matched, values, num_strata
+    )
+    matches = out_match.view(np.bool_)
+    out: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    for k in range(num_strata):
+        lo = int(offsets[k])
+        hi = int(offsets[k + 1])
+        out.append((out_idx[lo:hi], matches[lo:hi], out_vals[lo:hi]))
+    return out
+
+
+@njit(cache=True)
+def _priority_core(p, sigma, mu, draws, p_all, mu_all):
+    n = p.shape[0]
+    out = np.empty(n, np.float64)
+    for i in range(n):
+        w = p[i] / p_all
+        if p[i] > 0:
+            within = (w * w) * (sigma[i] * sigma[i]) / max(p[i], 1e-12)
+        else:
+            within = 0.0
+        d = (mu[i] - mu_all) / p_all
+        weight_uncertainty = d * d * p[i] * (1.0 - p[i])
+        contribution = (within + weight_uncertainty) / max(draws[i], 1.0)
+        out[i] = contribution / max(draws[i] + 1.0, 1.0)
+    return out
+
+
+@register_kernel("priority_core", backend="numba")
+def priority_core(
+    p: np.ndarray,
+    sigma: np.ndarray,
+    mu: np.ndarray,
+    draws: np.ndarray,
+    p_all: float,
+    mu_all: float,
+) -> np.ndarray:
+    return _priority_core(p, sigma, mu, draws, float(p_all), float(mu_all))
+
+
+@njit(cache=True)
+def _floor_spread(weights, batch):
+    n = weights.shape[0]
+    counts = np.empty(n, np.int64)
+    total = 0
+    best = 0
+    for i in range(n):
+        c = np.int64(np.floor(weights[i] * batch))
+        counts[i] = c
+        total += c
+        if weights[i] > weights[best]:  # first-max, as np.argmax
+            best = i
+    counts[best] += batch - total
+    return counts
+
+
+@register_kernel("floor_spread", backend="numba")
+def floor_spread(weights: np.ndarray, batch: int) -> np.ndarray:
+    return _floor_spread(weights, int(batch))

@@ -1,0 +1,213 @@
+"""Kernel registry and runtime dispatch.
+
+The sampler inner loops are registered here as named *kernels*, each with
+one or more backend implementations:
+
+* ``"numpy"`` — the pure-NumPy reference.  Always present, always
+  complete: it defines the bitwise contract every other backend must
+  reproduce exactly.
+* ``"numba"`` — optional JIT-compiled implementations, auto-detected at
+  import.  Only kernels whose work is integer / boolean / element-wise
+  float arithmetic get a jitted body (those operations are IEEE-exact, so
+  bit-identity to the reference is provable); kernels whose reference
+  semantics involve float *reductions* (``np.sum``'s pairwise
+  accumulation, ``np.dot``) keep the NumPy implementation on every
+  backend, because a sequential jitted reduction cannot reproduce
+  pairwise summation bit-for-bit.
+
+Backend selection ("dispatch") happens once per consumer — a
+:class:`KernelSet` is resolved from a hint and then used attribute-style
+with zero per-call indirection:
+
+    >>> kernels = kernel_set("auto")
+    >>> fresh = kernels.gather_candidates(stratum, available)
+
+The hint is one of :data:`KERNEL_BACKENDS`; ``"auto"`` consults the
+``REPRO_KERNEL`` environment variable and then picks the fastest
+available backend (numba when importable, numpy otherwise).  Selection
+never changes results — that is the layer's contract, pinned by the
+parity tests and asserted cell-by-cell by ``scripts/bench_kernels.py``
+before any timing.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Optional
+
+__all__ = [
+    "KERNEL_BACKENDS",
+    "KERNEL_ENV_VAR",
+    "KernelSet",
+    "kernel_set",
+    "register_kernel",
+    "registered_kernels",
+    "numba_available",
+    "resolve_backend_name",
+    "validate_kernel_hint",
+]
+
+#: Every value the ``kernel=`` execution hint (and ``REPRO_KERNEL``) accepts.
+KERNEL_BACKENDS = ("auto", "numpy", "numba")
+
+#: Environment variable consulted when the hint is ``"auto"`` (or omitted).
+KERNEL_ENV_VAR = "REPRO_KERNEL"
+
+# name -> backend -> implementation
+_REGISTRY: Dict[str, Dict[str, Callable]] = {}
+
+# Resolved KernelSet cache, keyed by concrete backend name.
+_SETS: Dict[str, "KernelSet"] = {}
+
+_NUMBA_AVAILABLE: Optional[bool] = None
+
+
+def numba_available() -> bool:
+    """Whether the optional numba backend can be imported (cached)."""
+    global _NUMBA_AVAILABLE
+    if _NUMBA_AVAILABLE is None:
+        try:
+            import numba  # noqa: F401
+
+            _NUMBA_AVAILABLE = True
+        except Exception:
+            _NUMBA_AVAILABLE = False
+    return _NUMBA_AVAILABLE
+
+
+def validate_kernel_hint(hint: str, source: str = "kernel") -> None:
+    """Reject unknown kernel names with the allowed values listed.
+
+    Raises a plain :class:`ValueError`; the execution config re-raises it
+    through the shared :class:`~repro.engine.config.ExecutionConfigError`
+    path (and the planner as a ``PlanningError``), matching the
+    ``backend=`` / ``plan_cache=`` hint error contract.
+    """
+    if not isinstance(hint, str) or hint not in KERNEL_BACKENDS:
+        raise ValueError(
+            f"{source} must be one of {KERNEL_BACKENDS!r}, got {hint!r}"
+        )
+
+
+def resolve_backend_name(hint: Optional[str] = None) -> str:
+    """Resolve a hint to a concrete backend name (``"numpy"``/``"numba"``).
+
+    ``None`` and ``"auto"`` consult ``REPRO_KERNEL`` first; an unset (or
+    ``"auto"``) environment picks numba when importable and numpy
+    otherwise.  An *explicit* ``"numba"`` — from the hint or the
+    environment — raises when numba is not importable, so a forced
+    backend never silently degrades.
+    """
+    if hint is None:
+        hint = "auto"
+    validate_kernel_hint(hint)
+    if hint == "auto":
+        env = os.environ.get(KERNEL_ENV_VAR)
+        if env:
+            validate_kernel_hint(env, source=f"{KERNEL_ENV_VAR} environment variable")
+            hint = env
+    if hint == "auto":
+        return "numba" if numba_available() else "numpy"
+    if hint == "numba" and not numba_available():
+        raise ValueError(
+            "kernel backend 'numba' was requested but numba is not "
+            "importable in this environment; install numba or use "
+            "kernel='auto' / 'numpy'"
+        )
+    return hint
+
+
+def register_kernel(name: str, backend: str = "numpy") -> Callable:
+    """Decorator: register ``fn`` as kernel ``name`` for ``backend``."""
+    if backend not in ("numpy", "numba"):
+        raise ValueError(
+            f"kernels register under a concrete backend ('numpy' or "
+            f"'numba'), got {backend!r}"
+        )
+
+    def decorate(fn: Callable) -> Callable:
+        _REGISTRY.setdefault(name, {})[backend] = fn
+        _SETS.clear()  # late registration invalidates resolved sets
+        return fn
+
+    return decorate
+
+
+def registered_kernels() -> Dict[str, Dict[str, Callable]]:
+    """A copy of the registry: kernel name -> backend -> implementation."""
+    return {name: dict(impls) for name, impls in _REGISTRY.items()}
+
+
+class KernelSet:
+    """The resolved implementations for one backend, attribute-accessible.
+
+    ``backend`` is the concrete backend name; ``native_kernels`` lists the
+    kernels with a true backend-specific body (the rest fall back to the
+    NumPy reference — by design, see the module docstring).
+    """
+
+    def __init__(self, backend: str, table: Dict[str, Callable],
+                 native: frozenset):
+        self.backend = backend
+        self.native_kernels = native
+        self._table = dict(table)
+        for name, fn in table.items():
+            setattr(self, name, fn)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._table
+
+    def __getitem__(self, name: str) -> Callable:
+        return self._table[name]
+
+    def names(self):
+        return sorted(self._table)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"KernelSet(backend={self.backend!r}, "
+            f"kernels={len(self._table)}, "
+            f"native={sorted(self.native_kernels)})"
+        )
+
+
+def _build_set(backend: str) -> KernelSet:
+    table: Dict[str, Callable] = {}
+    native = set()
+    for name, impls in _REGISTRY.items():
+        if "numpy" not in impls:
+            raise RuntimeError(
+                f"kernel {name!r} has no NumPy reference implementation; "
+                "every kernel must register its reference first"
+            )
+        fn = impls["numpy"]
+        if backend != "numpy" and backend in impls:
+            fn = impls[backend]
+            native.add(name)
+        table[name] = fn
+    return KernelSet(backend, table, frozenset(native))
+
+
+def kernel_set(hint: Optional[str] = None) -> KernelSet:
+    """The :class:`KernelSet` for ``hint`` (resolved, cached per backend).
+
+    Resolution re-reads ``REPRO_KERNEL`` on every call (so tests and CI
+    legs can flip the environment), but the built sets are cached by
+    concrete backend name.
+    """
+    backend = resolve_backend_name(hint)
+    cached = _SETS.get(backend)
+    if cached is None:
+        if backend == "numba":
+            # Import compiles nothing eagerly; jitted bodies specialize on
+            # first call.  Import failure downgrades to the reference set
+            # rather than erroring: numba advertised itself importable but
+            # could not initialize (e.g. an llvmlite/ABI mismatch).
+            try:
+                from repro.kernels import native  # noqa: F401
+            except Exception:
+                backend = "numpy"
+        cached = _SETS.get(backend)
+        if cached is None:
+            cached = _SETS[backend] = _build_set(backend)
+    return cached

@@ -97,13 +97,9 @@ def proportional_integer_allocation(
     if np.all(w == 0):
         # Degenerate case: nothing informative, spread evenly.
         w = np.ones_like(w)
-    w = w / w.sum()
-    raw = w * total
-    base = np.floor(raw).astype(int)
-    leftover = total - int(base.sum())
-    if leftover > 0:
-        remainders = raw - base
-        order = np.argsort(-remainders)
-        for idx in order[:leftover]:
-            base[idx] += 1
-    return base.tolist()
+    # The rounding core is a registered kernel (reference-only on every
+    # backend: equal-remainder argsort tie order is part of the bitwise
+    # contract); validation above stays the caller's job.
+    from repro.kernels import kernel_set
+
+    return kernel_set().largest_remainder(w, int(total)).tolist()
