@@ -447,7 +447,9 @@ def main() -> int:
         }
         for arm in arms:
             ks = sets[arm]
-            row[f"{arm}_seconds"] = time_call(lambda: family["kernel"](ks))
+            row[f"{arm}_seconds"] = time_call(
+                lambda fam=family, ks=ks: fam["kernel"](ks)
+            )
         rows.append(row)
 
     def aggregate(arm: str, native_only: bool) -> float:

@@ -1,0 +1,91 @@
+"""Machine-checkable concurrency annotations.
+
+These are runtime no-ops (beyond attaching metadata) whose payload is the
+*static* contract they declare: the ``lock-discipline`` rule in
+:mod:`repro.analysis.rules.locks` reads them from the AST and flags any
+mutation of guarded state that is not inside a ``with self.<lock>`` block.
+
+Usage::
+
+    @guarded_by("_lock", "_store", "_hits", "_misses")
+    class SharedOracleCache:
+        def __init__(self):
+            self._lock = threading.RLock()
+            self._store = {}          # only mutated under self._lock
+            ...
+
+Several decorators stack when a class holds more than one lock; the
+merged mapping is attached as ``__guarded_fields__`` (lock attribute name
+-> tuple of guarded field names) so the contract is also introspectable
+at runtime (the lockwatch fixture uses it to label instrumented locks).
+
+Conventions honoured by the checker:
+
+* ``__init__`` / ``__new__`` / ``__getstate__`` / ``__setstate__`` /
+  ``__del__`` may mutate guarded fields freely — construction and
+  (un)pickling happen before the object is shared;
+* a method whose name ends in ``_locked`` asserts that *its caller*
+  holds the lock (the repo-wide naming convention), so its direct
+  mutations are not flagged;
+* anything else needs an explicit suppression comment
+  (``# repro-lint: disable=lock-discipline``) with a justification.
+
+For module-level state guarded by a module-level lock, declare::
+
+    guard_module_globals("_POOLS_LOCK", "_POOLS")
+
+at module scope; the checker applies the same discipline to assignments
+and mutations of those global names inside the module's functions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+__all__ = ["guarded_by", "guard_module_globals"]
+
+#: Attribute attached to annotated classes: lock name -> guarded fields.
+GUARDED_ATTR = "__guarded_fields__"
+
+
+def guarded_by(lock: str, *fields: str):
+    """Class decorator declaring that ``fields`` are only mutated under
+    ``self.<lock>``.
+
+    ``lock`` and every field must be attribute names (strings); the
+    checker reads them straight from the decorator call in the AST, so
+    they must be string literals at the call site.
+    """
+    if not isinstance(lock, str) or not lock:
+        raise TypeError(f"lock must be a non-empty attribute name, got {lock!r}")
+    if not fields:
+        raise TypeError("guarded_by needs at least one guarded field name")
+    for name in fields:
+        if not isinstance(name, str) or not name:
+            raise TypeError(f"guarded field names must be strings, got {name!r}")
+
+    def decorate(cls):
+        existing: Dict[str, Tuple[str, ...]] = dict(getattr(cls, GUARDED_ATTR, {}))
+        merged = tuple(dict.fromkeys(existing.get(lock, ()) + fields))
+        existing[lock] = merged
+        setattr(cls, GUARDED_ATTR, existing)
+        return cls
+
+    return decorate
+
+
+def guard_module_globals(lock: str, *names: str) -> None:
+    """Declare module-level globals guarded by a module-level lock.
+
+    A no-op at runtime; the ``lock-discipline`` rule reads the call from
+    the module AST and checks that the named globals are only assigned or
+    mutated inside ``with <lock>:`` blocks (``_locked``-suffixed helper
+    functions excepted, as for methods).
+    """
+    if not isinstance(lock, str) or not lock:
+        raise TypeError(f"lock must be a non-empty global name, got {lock!r}")
+    if not names:
+        raise TypeError("guard_module_globals needs at least one global name")
+    for name in names:
+        if not isinstance(name, str) or not name:
+            raise TypeError(f"guarded global names must be strings, got {name!r}")

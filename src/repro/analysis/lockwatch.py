@@ -1,0 +1,350 @@
+"""Runtime lock-order detection: the dynamic half of the thread-safety
+contract.
+
+The static ``lock-discipline`` rule proves that guarded state is only
+touched under its lock; it cannot prove that locks are *ordered* — that
+no two code paths ever acquire the same pair of locks in opposite order,
+the classic recipe for a deadlock that only fires under production
+interleavings.  :class:`LockWatcher` closes that gap dynamically:
+
+* every instrumented lock acquisition is recorded against the set of
+  locks the acquiring thread already holds, building a process-wide
+  **acquisition-order graph** whose nodes are lock *sites* (one node per
+  ``module:Class.__init__`` creation site, so all instances of
+  ``SharedOracleCache._lock`` aggregate into one node);
+* before the acquisition proceeds, the watcher checks whether the new
+  ``held -> wanted`` edges close a cycle in that graph.  A cycle means
+  two paths disagree about lock order — a deadlock waiting for the right
+  interleaving — and the watcher either raises
+  :class:`LockOrderViolation` at the exact acquisition site
+  (``raise_on_cycle=True``, the test default) or records it for a
+  post-run :meth:`~LockWatcher.assert_clean`.
+
+Instrumentation is either explicit (:meth:`LockWatcher.wrap` /
+:meth:`LockWatcher.instrument` an existing lock attribute) or blanket:
+:meth:`LockWatcher.patch_threading` swaps ``threading.Lock`` /
+``threading.RLock`` for watched constructors inside a ``with`` block, so
+every lock the code under test creates feeds the graph — this is what the
+``lockwatch`` pytest fixture uses to run the real serve / remote / chaos
+suites under observation (enable it suite-wide with ``REPRO_LOCKWATCH=1``;
+see docs/STATIC_ANALYSIS.md).
+
+The watcher never changes blocking semantics: acquisitions and releases
+delegate to the real lock, reentrant acquisition of an ``RLock`` adds no
+edges, and ``threading.Condition`` keeps working (the wrapper implements
+the ``_release_save`` / ``_acquire_restore`` / ``_is_owned`` protocol).
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import _thread
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Set, Tuple
+
+__all__ = [
+    "LockOrderViolation",
+    "WatchedLock",
+    "LockWatcher",
+    "active_watcher",
+]
+
+# The currently threading-patched watcher (at most one at a time).
+_ACTIVE: Optional["LockWatcher"] = None
+
+
+def active_watcher() -> Optional["LockWatcher"]:
+    """The watcher currently patched into ``threading``, if any."""
+    return _ACTIVE
+
+
+class LockOrderViolation(RuntimeError):
+    """Two code paths acquire the same locks in incompatible orders.
+
+    ``cycle`` is the closed path of lock-site names, e.g.
+    ``("a._lock", "b._lock", "a._lock")``: each consecutive pair was
+    observed nested in that order somewhere in the process.
+    """
+
+    def __init__(self, cycle: Tuple[str, ...], message: str):
+        super().__init__(message)
+        self.cycle = cycle
+
+
+class _Held:
+    """One entry in a thread's held-lock stack."""
+
+    __slots__ = ("lock", "count")
+
+    def __init__(self, lock: "WatchedLock", count: int = 1):
+        self.lock = lock
+        self.count = count
+
+
+class WatchedLock:
+    """A drop-in ``Lock``/``RLock`` proxy that reports to a watcher."""
+
+    def __init__(self, inner, name: str, watcher: "LockWatcher",
+                 reentrant: bool):
+        self._inner = inner
+        self.name = name
+        self._watcher = watcher
+        self._reentrant = reentrant
+
+    # -- Lock protocol --------------------------------------------------------------
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        held = self._watcher._held_stack()
+        entry = self._find(held)
+        if entry is not None:
+            # Already held by this thread: an RLock reacquisition, or a
+            # non-blocking ownership probe on a plain lock (as
+            # threading.Condition's _is_owned fallback does).  Neither
+            # observes a new ordering, so no edges.
+            ok = self._inner.acquire(blocking, timeout)
+            if ok:
+                entry.count += 1
+            return ok
+        self._watcher._observe(self, held)
+        ok = self._inner.acquire(blocking, timeout)
+        if ok:
+            held.append(_Held(self))
+        return ok
+
+    def release(self) -> None:
+        held = self._watcher._held_stack()
+        entry = self._find(held)
+        self._inner.release()
+        if entry is not None:
+            entry.count -= 1
+            if entry.count <= 0:
+                held.remove(entry)
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.release()
+        return False
+
+    def _find(self, held: List[_Held]) -> Optional[_Held]:
+        for entry in reversed(held):
+            if entry.lock is self:
+                return entry
+        return None
+
+    # -- threading.Condition protocol ------------------------------------------------
+    # Condition uses these (when present) to fully release an RLock around
+    # a wait; the held-stack must drop and restore the entry with them.
+    def _release_save(self):
+        held = self._watcher._held_stack()
+        entry = self._find(held)
+        count = entry.count if entry is not None else 1
+        if entry is not None:
+            held.remove(entry)
+        if hasattr(self._inner, "_release_save"):
+            state = self._inner._release_save()
+        else:
+            self._inner.release()
+            state = None
+        return (state, count)
+
+    def _acquire_restore(self, saved):
+        state, count = saved
+        if hasattr(self._inner, "_acquire_restore"):
+            self._inner._acquire_restore(state)
+        else:
+            self._inner.acquire()
+        self._watcher._held_stack().append(_Held(self, count))
+
+    def _is_owned(self) -> bool:
+        return self._find(self._watcher._held_stack()) is not None
+
+    # -- Pickling: watched locks travel like locks (they do not) ----------------------
+    def __getstate__(self):  # pragma: no cover - locks are dropped upstream
+        raise TypeError("cannot pickle a WatchedLock (drop it in __getstate__)")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WatchedLock({self.name!r}, reentrant={self._reentrant})"
+
+
+class LockWatcher:
+    """Records the process-wide lock acquisition-order graph.
+
+    ``raise_on_cycle=True`` (the default) raises
+    :class:`LockOrderViolation` at the acquisition that would close a
+    cycle — the stack trace points at one of the two conflicting sites.
+    With ``raise_on_cycle=False`` violations accumulate in
+    :meth:`violations` for a post-run :meth:`assert_clean`.
+    """
+
+    def __init__(self, raise_on_cycle: bool = True):
+        self.raise_on_cycle = raise_on_cycle
+        # name -> set of names acquired while `name` was held.
+        self._edges: Dict[str, Set[str]] = {}
+        self._violations: List[LockOrderViolation] = []
+        self._local = threading.local()
+        # Guards the graph itself; a raw lock so the watcher never watches
+        # (or deadlocks on) its own bookkeeping.
+        self._graph_lock = _thread.allocate_lock()
+
+    # -- Instrumentation -------------------------------------------------------------
+    def wrap(self, lock, name: str) -> WatchedLock:
+        """Wrap an existing lock object under the given site name."""
+        if isinstance(lock, WatchedLock):
+            return lock
+        reentrant = _is_rlock(lock)
+        return WatchedLock(lock, name, self, reentrant)
+
+    def instrument(self, obj, attr: str, name: Optional[str] = None) -> WatchedLock:
+        """Replace ``obj.<attr>`` with a watched wrapper in place."""
+        lock = getattr(obj, attr)
+        label = name or f"{type(obj).__name__}.{attr}"
+        watched = self.wrap(lock, label)
+        setattr(obj, attr, watched)
+        return watched
+
+    @contextmanager
+    def patch_threading(self):
+        """Swap ``threading.Lock``/``RLock`` for watched constructors.
+
+        Every lock created inside the block is wrapped, with its site name
+        derived from the creating frame (``module:qualname``), so all
+        instances created at one code site share a graph node.  At most
+        one watcher may be patched at a time.
+        """
+        global _ACTIVE
+        if _ACTIVE is not None:
+            raise RuntimeError("another LockWatcher is already patched into threading")
+        real_lock, real_rlock = threading.Lock, threading.RLock
+        watcher = self
+
+        def make_lock():
+            return WatchedLock(real_lock(), _creation_site(), watcher, False)
+
+        def make_rlock():
+            return WatchedLock(real_rlock(), _creation_site(), watcher, True)
+
+        threading.Lock = make_lock
+        threading.RLock = make_rlock
+        _ACTIVE = self
+        try:
+            yield self
+        finally:
+            threading.Lock = real_lock
+            threading.RLock = real_rlock
+            _ACTIVE = None
+
+    # -- Graph recording (called from WatchedLock) -----------------------------------
+    def _held_stack(self) -> List[_Held]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _observe(self, lock: WatchedLock, held: List[_Held]) -> None:
+        if not held:
+            with self._graph_lock:
+                self._edges.setdefault(lock.name, set())
+            return
+        wanted = lock.name
+        with self._graph_lock:
+            self._edges.setdefault(wanted, set())
+            cycle: Optional[Tuple[str, ...]] = None
+            for entry in held:
+                holder = entry.lock.name
+                if holder == wanted:
+                    # Distinct instances of the same lock site nested
+                    # (e.g. two ThreadPoolExecutors' shutdown locks, two
+                    # cache instances).  Order *within* a site cannot be
+                    # asserted without per-instance identity, so no edge
+                    # — cross-site inversions are still caught.
+                    continue
+                edges = self._edges.setdefault(holder, set())
+                if wanted not in edges:
+                    path = self._path(wanted, holder)
+                    if path is not None:
+                        cycle = tuple(path) + (wanted,)
+                        break
+                    edges.add(wanted)
+            if cycle is None:
+                return
+            violation = LockOrderViolation(
+                cycle,
+                "lock-order cycle: " + " -> ".join(cycle)
+                + f" (thread {threading.current_thread().name!r} holds "
+                + ", ".join(e.lock.name for e in held)
+                + f" and wants {wanted})",
+            )
+            self._violations.append(violation)
+        if self.raise_on_cycle:
+            raise violation
+
+    def _path(self, start: str, goal: str) -> Optional[List[str]]:
+        """A path start -> ... -> goal in the edge graph, if one exists."""
+        stack: List[Tuple[str, List[str]]] = [(start, [start])]
+        seen = {start}
+        while stack:
+            node, path = stack.pop()
+            if node == goal:
+                return path
+            for nxt in self._edges.get(node, ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, path + [nxt]))
+        return None
+
+    # -- Reporting -------------------------------------------------------------------
+    def edges(self) -> Dict[str, Tuple[str, ...]]:
+        """A snapshot of the acquisition-order graph."""
+        with self._graph_lock:
+            return {name: tuple(sorted(to)) for name, to in self._edges.items()}
+
+    def violations(self) -> List[LockOrderViolation]:
+        with self._graph_lock:
+            return list(self._violations)
+
+    def num_sites(self) -> int:
+        with self._graph_lock:
+            return len(self._edges)
+
+    def assert_clean(self) -> None:
+        """Raise the first recorded violation, if any."""
+        found = self.violations()
+        if found:
+            raise found[0]
+
+    def reset(self) -> None:
+        with self._graph_lock:
+            self._edges.clear()
+            self._violations.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        with self._graph_lock:
+            n_edges = sum(len(v) for v in self._edges.values())
+            return (
+                f"LockWatcher(sites={len(self._edges)}, edges={n_edges}, "
+                f"violations={len(self._violations)})"
+            )
+
+
+def _is_rlock(lock) -> bool:
+    return "RLock" in type(lock).__name__
+
+
+def _creation_site() -> str:
+    """Name the code site creating a lock: ``module:qualname``."""
+    frame = sys._getframe(1)
+    this_file = __file__
+    while frame is not None:
+        code = frame.f_code
+        if code.co_filename != this_file and "threading" not in code.co_filename:
+            qualname = getattr(code, "co_qualname", code.co_name)
+            module = frame.f_globals.get("__name__", "?")
+            return f"{module}:{qualname}"
+        frame = frame.f_back
+    return "<unknown>"  # pragma: no cover - stack always has a caller

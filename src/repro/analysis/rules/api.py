@@ -1,0 +1,181 @@
+"""The ``api-hygiene`` rule: ``__all__`` is real and documented.
+
+Two clauses:
+
+1. **per module** — every name in a module's ``__all__`` is actually
+   bound at module level (a def, class, assignment or import), and no
+   name appears twice.  A dangling ``__all__`` entry turns
+   ``from repro.x import *`` into an ``AttributeError`` at a customer
+   call site, which no test that imports names explicitly will catch;
+2. **for the package root** — every public name exported by
+   ``repro/__init__.py`` is mentioned in ``docs/API.md`` (word-boundary
+   match), so the façade cannot silently outgrow its documentation.
+   ``__version__`` is exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, List, Optional, Set
+
+from repro.analysis.linter import FileContext, Finding, Project, Rule
+
+__all__ = ["ApiHygieneRule"]
+
+_ROOT_INIT = "src/repro/__init__.py"
+_API_DOC = "docs/API.md"
+_DOC_EXEMPT = {"__version__"}
+
+
+def _all_entries(tree: ast.Module):
+    """(assign node, list of (name, entry node)) for a module's __all__."""
+    for node in tree.body:
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+            value = node.value
+        elif isinstance(node, ast.AugAssign):
+            targets = [node.target]
+            value = node.value
+        else:
+            continue
+        if not any(isinstance(t, ast.Name) and t.id == "__all__" for t in targets):
+            continue
+        entries = []
+        if isinstance(value, (ast.List, ast.Tuple)):
+            for element in value.elts:
+                if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                    entries.append((element.value, element))
+        yield node, entries
+
+
+def _module_bindings(tree: ast.Module) -> Set[str]:
+    """Names bound at module level (defs, classes, assigns, imports)."""
+    bound: Set[str] = set()
+
+    def add_target(target: ast.AST):
+        if isinstance(target, ast.Name):
+            bound.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                add_target(element)
+        elif isinstance(target, ast.Starred):
+            add_target(target.value)
+
+    def scan(body):
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                bound.add(node.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    add_target(target)
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                add_target(node.target)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue  # star imports defeat static binding checks
+                    bound.add(alias.asname or alias.name)
+            elif isinstance(node, (ast.If, ast.Try)):
+                scan(node.body)
+                scan(getattr(node, "orelse", []))
+                for handler in getattr(node, "handlers", []):
+                    scan(handler.body)
+                scan(getattr(node, "finalbody", []))
+            elif isinstance(node, (ast.With, ast.For, ast.While)):
+                scan(node.body)
+                scan(getattr(node, "orelse", []))
+
+    scan(tree.body)
+    return bound
+
+
+class ApiHygieneRule(Rule):
+    name = "api-hygiene"
+    description = (
+        "__all__ entries are bound and unique; the package façade's exports "
+        "are documented in docs/API.md"
+    )
+    ids = ("api-hygiene",)
+
+    def _finding(self, path: str, node: Optional[ast.AST], message: str,
+                 suggestion: Optional[str] = None) -> Finding:
+        return Finding(
+            rule="api-hygiene",
+            path=path,
+            line=getattr(node, "lineno", 1) if node is not None else 1,
+            col=getattr(node, "col_offset", 0) if node is not None else 0,
+            message=message,
+            suggestion=suggestion,
+        )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        has_star_import = any(
+            isinstance(node, ast.ImportFrom)
+            and any(alias.name == "*" for alias in node.names)
+            for node in ast.walk(ctx.tree)
+        )
+        bound = _module_bindings(ctx.tree)
+        for _assign, entries in _all_entries(ctx.tree):
+            seen: Set[str] = set()
+            for name, node in entries:
+                if name in seen:
+                    findings.append(
+                        self._finding(
+                            ctx.rel,
+                            node,
+                            f"duplicate __all__ entry {name!r}",
+                            "remove the repeated entry",
+                        )
+                    )
+                seen.add(name)
+                if name not in bound and not has_star_import:
+                    findings.append(
+                        self._finding(
+                            ctx.rel,
+                            node,
+                            f"__all__ names {name!r} but the module never binds "
+                            "it; star-imports of this module will fail",
+                            "bind (or import) the name at module level, or drop "
+                            "it from __all__",
+                        )
+                    )
+        return findings
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        root = project.get(_ROOT_INIT)
+        if root is None:
+            return findings
+        doc = project.read_text(_API_DOC)
+        if doc is None:
+            findings.append(
+                self._finding(
+                    _ROOT_INIT,
+                    None,
+                    f"{_API_DOC} is missing, so the façade exports cannot be "
+                    "checked against the documentation",
+                )
+            )
+            return findings
+        for _assign, entries in _all_entries(root.tree):
+            for name, node in entries:
+                if name in _DOC_EXEMPT:
+                    continue
+                if not re.search(rf"\b{re.escape(name)}\b", doc):
+                    findings.append(
+                        self._finding(
+                            _ROOT_INIT,
+                            node,
+                            f"public export {name!r} is not mentioned anywhere "
+                            f"in {_API_DOC}",
+                            f"document {name!r} in {_API_DOC} (or stop "
+                            "exporting it)",
+                        )
+                    )
+        return findings

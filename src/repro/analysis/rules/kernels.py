@@ -1,0 +1,172 @@
+"""The ``kernel-contract`` rule: the registry's bit-identity invariants.
+
+The kernel layer's contract (see ``repro/kernels/registry.py``) has three
+statically checkable clauses:
+
+1. every kernel registered in ``native.py`` has a NumPy reference in
+   ``reference.py`` under the same name — the reference defines the
+   bitwise contract, so a native-only kernel is untestable;
+2. a native kernel's signature (parameter names, order, arity) matches
+   its reference exactly — the dispatcher swaps implementations
+   attribute-style, so a drifted signature breaks call sites only on the
+   numba leg;
+3. no kernel in ``FLOAT_REDUCTION_KERNELS`` ever gains a non-reference
+   registration (a sequential native reduction cannot reproduce NumPy's
+   pairwise summation bit-for-bit), and every name in that set actually
+   exists in the reference — a stale entry means the fence guards
+   nothing.
+
+This is a project rule: it reads the three kernel modules from the parsed
+tree (``registry.py`` for the ``FLOAT_REDUCTION_KERNELS`` literal,
+``reference.py`` / ``native.py`` for ``@register_kernel`` functions).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.linter import Finding, Project, Rule
+
+__all__ = ["KernelContractRule"]
+
+_REGISTRY = "src/repro/kernels/registry.py"
+_REFERENCE = "src/repro/kernels/reference.py"
+_NATIVE = "src/repro/kernels/native.py"
+
+
+def _registered(tree: ast.Module) -> Dict[str, Tuple[ast.FunctionDef, Tuple[str, ...]]]:
+    """kernel name -> (function node, parameter names) for one module."""
+    out: Dict[str, Tuple[ast.FunctionDef, Tuple[str, ...]]] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.FunctionDef):
+            continue
+        for deco in node.decorator_list:
+            if not isinstance(deco, ast.Call):
+                continue
+            func = deco.func
+            name = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else None
+            )
+            if name != "register_kernel" or not deco.args:
+                continue
+            first = deco.args[0]
+            if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                args = node.args
+                params = tuple(
+                    a.arg
+                    for a in (args.posonlyargs + args.args + args.kwonlyargs)
+                )
+                out[first.value] = (node, params)
+    return out
+
+
+def _reduction_set(tree: ast.Module) -> Optional[Tuple[ast.AST, Tuple[str, ...]]]:
+    """The FLOAT_REDUCTION_KERNELS literal from registry.py, if present."""
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == "FLOAT_REDUCTION_KERNELS"
+            for t in node.targets
+        ):
+            continue
+        names: List[str] = []
+        for literal in ast.walk(node.value):
+            if isinstance(literal, ast.Constant) and isinstance(literal.value, str):
+                names.append(literal.value)
+        return node, tuple(names)
+    return None
+
+
+class KernelContractRule(Rule):
+    name = "kernel-contract"
+    description = (
+        "native kernels mirror the NumPy reference exactly; float-reduction "
+        "kernels never gain a native override"
+    )
+    ids = ("kernel-contract",)
+
+    def check_project(self, project: Project) -> Iterable[Finding]:
+        findings: List[Finding] = []
+
+        def report(path: str, node: Optional[ast.AST], message: str,
+                   suggestion: Optional[str] = None):
+            findings.append(
+                Finding(
+                    rule="kernel-contract",
+                    path=path,
+                    line=getattr(node, "lineno", 1) if node is not None else 1,
+                    col=getattr(node, "col_offset", 0) if node is not None else 0,
+                    message=message,
+                    suggestion=suggestion,
+                )
+            )
+
+        registry_ctx = project.get(_REGISTRY)
+        reference_ctx = project.get(_REFERENCE)
+        native_ctx = project.get(_NATIVE)
+        if reference_ctx is None or registry_ctx is None:
+            # Scanning a partial tree (single file / tests): nothing to check.
+            return findings
+
+        reference = _registered(reference_ctx.tree)
+        native = _registered(native_ctx.tree) if native_ctx is not None else {}
+
+        for name, (node, params) in sorted(native.items()):
+            ref = reference.get(name)
+            if ref is None:
+                report(
+                    _NATIVE,
+                    node,
+                    f"native kernel {name!r} has no NumPy reference in "
+                    "kernels/reference.py; the reference defines the bitwise "
+                    "contract",
+                    "register a reference implementation first (same name, "
+                    "same signature)",
+                )
+                continue
+            ref_params = ref[1]
+            if params != ref_params:
+                report(
+                    _NATIVE,
+                    node,
+                    f"native kernel {name!r} signature {params!r} differs "
+                    f"from the reference {ref_params!r}",
+                    "make the parameter names and order identical to the "
+                    "reference",
+                )
+
+        reduction = _reduction_set(registry_ctx.tree)
+        if reduction is None:
+            report(
+                _REGISTRY,
+                None,
+                "registry.py no longer defines the FLOAT_REDUCTION_KERNELS "
+                "literal the contract is checked against",
+                "restore the frozenset of float-reduction kernel names",
+            )
+            return findings
+        reduction_node, reduction_names = reduction
+
+        for name in reduction_names:
+            if name not in reference:
+                report(
+                    _REGISTRY,
+                    reduction_node,
+                    f"FLOAT_REDUCTION_KERNELS entry {name!r} is not a "
+                    "registered reference kernel; a stale entry guards nothing",
+                    "remove the entry or register the kernel in reference.py",
+                )
+            if name in native:
+                report(
+                    _NATIVE,
+                    native[name][0],
+                    f"float-reduction kernel {name!r} must not gain a native "
+                    "override (sequential reductions cannot match pairwise "
+                    "summation bit-for-bit)",
+                    "delete the native registration; the reference runs on "
+                    "every backend",
+                )
+
+        return findings

@@ -1,0 +1,329 @@
+"""The ``lock-discipline`` rule: guarded state is only mutated under its
+lock.
+
+Classes declare their contract with :func:`repro.analysis.annotations.guarded_by`
+(string literals, read straight from the decorator call in the AST);
+modules declare theirs with ``guard_module_globals``.  This rule walks
+every method / function and flags any mutation of a guarded attribute (or
+module global) that is not lexically inside a ``with self.<lock>:`` (resp.
+``with <LOCK>:``) block.
+
+"Mutation" covers:
+
+* assignment / augmented assignment / annotated assignment / ``del`` to
+  ``self.<field>`` (or the bare global name);
+* assignment or deletion through a subscript of the field
+  (``self._store[k] = v``, ``del self._store[k]``);
+* calls to well-known mutator methods on the field
+  (``self._queue.append(...)``, ``self._cache.pop(...)``, ...).
+
+Exemptions (see :mod:`repro.analysis.annotations` for the rationale):
+``__init__`` / ``__new__`` / ``__getstate__`` / ``__setstate__`` /
+``__del__``, and any function whose name ends in ``_locked`` (the
+repo-wide "caller holds the lock" convention).  Reads are deliberately
+not checked — several hot paths do racy-but-benign unlocked reads with a
+locked re-check, and flagging them would bury the real signal.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.linter import FileContext, Finding, Rule
+
+__all__ = ["LockDisciplineRule", "EXEMPT_METHODS", "MUTATOR_METHODS"]
+
+EXEMPT_METHODS = {"__init__", "__new__", "__getstate__", "__setstate__", "__del__"}
+
+#: Method names that mutate their receiver in place.
+MUTATOR_METHODS = {
+    "append",
+    "appendleft",
+    "extend",
+    "extendleft",
+    "insert",
+    "add",
+    "remove",
+    "discard",
+    "pop",
+    "popleft",
+    "popitem",
+    "clear",
+    "update",
+    "setdefault",
+    "move_to_end",
+    "rotate",
+    "sort",
+    "reverse",
+}
+
+
+def _decorator_guards(cls: ast.ClassDef) -> Dict[str, Tuple[str, ...]]:
+    """lock name -> guarded fields, from stacked @guarded_by decorators."""
+    guards: Dict[str, Tuple[str, ...]] = {}
+    for deco in cls.decorator_list:
+        if not isinstance(deco, ast.Call):
+            continue
+        func = deco.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        if name != "guarded_by" or not deco.args:
+            continue
+        literals = [
+            arg.value
+            for arg in deco.args
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str)
+        ]
+        if len(literals) != len(deco.args) or len(literals) < 2:
+            continue  # non-literal args: the runtime decorator validates
+        lock, fields = literals[0], tuple(literals[1:])
+        guards[lock] = tuple(dict.fromkeys(guards.get(lock, ()) + fields))
+    return guards
+
+
+def _module_guards(tree: ast.Module) -> Dict[str, Tuple[str, ...]]:
+    """lock global -> guarded globals, from guard_module_globals(...) calls."""
+    guards: Dict[str, Tuple[str, ...]] = {}
+    for node in tree.body:
+        if not (isinstance(node, ast.Expr) and isinstance(node.value, ast.Call)):
+            continue
+        call = node.value
+        func = call.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        if name != "guard_module_globals" or not call.args:
+            continue
+        literals = [
+            arg.value
+            for arg in call.args
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str)
+        ]
+        if len(literals) != len(call.args) or len(literals) < 2:
+            continue
+        lock, names = literals[0], tuple(literals[1:])
+        guards[lock] = tuple(dict.fromkeys(guards.get(lock, ()) + names))
+    return guards
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """The attribute name if ``node`` is ``self.<attr>``, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+class _FunctionChecker(ast.NodeVisitor):
+    """Walk one function body tracking ``with``-held locks.
+
+    ``field_to_lock`` maps each guarded name to its lock.  ``is_self``
+    selects attribute mode (``self.<field>``) vs module-global mode (bare
+    names).  Nested function/class definitions get a fresh walk only in
+    module-global mode (closures still touch the globals); in attribute
+    mode nested defs are skipped — they rebind ``self`` semantics we
+    cannot track.
+    """
+
+    def __init__(
+        self,
+        field_to_lock: Dict[str, str],
+        is_self: bool,
+        report,
+    ):
+        self.field_to_lock = field_to_lock
+        self.is_self = is_self
+        self.report = report
+        self.held: List[str] = []
+
+    # -- lock tracking ---------------------------------------------------------------
+    def visit_With(self, node: ast.With) -> None:
+        acquired: List[str] = []
+        for item in node.items:
+            lock = self._lock_name(item.context_expr)
+            if lock is not None:
+                acquired.append(lock)
+        self.held.extend(acquired)
+        for stmt in node.body:
+            self.visit(stmt)
+        for item in node.items:
+            self.visit(item.context_expr)
+        del self.held[len(self.held) - len(acquired):]
+
+    visit_AsyncWith = visit_With
+
+    def _lock_name(self, expr: ast.AST) -> Optional[str]:
+        if self.is_self:
+            return _self_attr(expr)
+        if isinstance(expr, ast.Name):
+            return expr.id
+        return None
+
+    def _guarded(self, name: Optional[str]) -> Optional[str]:
+        """The lock for ``name`` if it is guarded and not currently held."""
+        if name is None:
+            return None
+        lock = self.field_to_lock.get(name)
+        if lock is None or lock in self.held:
+            return None
+        return lock
+
+    def _target_name(self, node: ast.AST) -> Optional[str]:
+        """The guarded base name of an assignment/delete/mutation target."""
+        # Peel subscripts/attribute chains down to the rooted access.
+        while isinstance(node, ast.Subscript):
+            node = node.value
+        if self.is_self:
+            return _self_attr(node)
+        if isinstance(node, ast.Name):
+            return node.id
+        return None
+
+    def _flag(self, node: ast.AST, name: str, lock: str, verb: str) -> None:
+        subject = f"self.{name}" if self.is_self else name
+        holder = f"self.{lock}" if self.is_self else lock
+        self.report(
+            node,
+            f"{verb} of guarded {'attribute' if self.is_self else 'global'} "
+            f"`{subject}` outside `with {holder}`",
+            f"wrap the mutation in `with {holder}:`, or rename the enclosing "
+            "function with a `_locked` suffix if the caller holds the lock",
+        )
+
+    # -- mutation sites ---------------------------------------------------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_target(target)
+        self.visit(node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_target(node.target)
+        self.visit(node.value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._check_target(node.target)
+            self.visit(node.value)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._check_target(target)
+
+    def _check_target(self, target: ast.AST) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._check_target(element)
+            return
+        if isinstance(target, ast.Starred):
+            self._check_target(target.value)
+            return
+        name = self._target_name(target)
+        lock = self._guarded(name)
+        if lock is not None:
+            self._flag(target, name, lock, "mutation")
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in MUTATOR_METHODS:
+            name = self._target_name(func.value)
+            lock = self._guarded(name)
+            if lock is not None:
+                self._flag(node, name, lock, f"`.{func.attr}()` mutation")
+        self.generic_visit(node)
+
+    # -- nested definitions -----------------------------------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        if self.is_self:
+            return  # nested def: `self` tracking does not transfer
+        if node.name.endswith("_locked") or node.name in EXEMPT_METHODS:
+            return
+        # Closures share module globals; check the body with a fresh
+        # held-stack (the closure may run after the with-block exits).
+        nested = _FunctionChecker(self.field_to_lock, self.is_self, self.report)
+        for stmt in node.body:
+            nested.visit(stmt)
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        if self.is_self:
+            return
+        nested = _FunctionChecker(self.field_to_lock, self.is_self, self.report)
+        nested.visit(node.body)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        return  # nested class bodies have their own scoping
+
+
+class LockDisciplineRule(Rule):
+    name = "lock-discipline"
+    description = (
+        "@guarded_by / guard_module_globals state must only be mutated "
+        "while holding the declared lock"
+    )
+    ids = ("lock-discipline",)
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+
+        def reporter(node: ast.AST, message: str, suggestion: str):
+            findings.append(
+                Finding(
+                    rule="lock-discipline",
+                    path=ctx.rel,
+                    line=getattr(node, "lineno", 1),
+                    col=getattr(node, "col_offset", 0),
+                    message=message,
+                    suggestion=suggestion,
+                )
+            )
+
+        # Class-level contracts.
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            guards = _decorator_guards(node)
+            if not guards:
+                continue
+            field_to_lock = {
+                field: lock for lock, fields in guards.items() for field in fields
+            }
+            for item in node.body:
+                if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if item.name in EXEMPT_METHODS or item.name.endswith("_locked"):
+                    continue
+                checker = _FunctionChecker(field_to_lock, True, reporter)
+                for stmt in item.body:
+                    checker.visit(stmt)
+
+        # Module-level contracts.  Methods are checked too: a classmethod
+        # mutating a module-global cache is just as racy as a function.
+        module_guards = _module_guards(ctx.tree)
+        if module_guards:
+            global_to_lock = {
+                name: lock for lock, names in module_guards.items() for name in names
+            }
+            functions = [
+                item for item in ctx.tree.body
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            ]
+            for item in ctx.tree.body:
+                if isinstance(item, ast.ClassDef):
+                    functions.extend(
+                        member for member in item.body
+                        if isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    )
+            for item in functions:
+                if item.name in EXEMPT_METHODS or item.name.endswith("_locked"):
+                    continue
+                checker = _FunctionChecker(global_to_lock, False, reporter)
+                for stmt in item.body:
+                    checker.visit(stmt)
+
+        return findings

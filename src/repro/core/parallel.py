@@ -57,6 +57,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis.annotations import guard_module_globals
 from repro.oracle.base import Oracle, PredicateOracle, evaluate_oracle_batch
 from repro.oracle.composite import _CompositeOracle
 from repro.stats.rng import RandomState, spawn_shard_streams
@@ -145,6 +146,7 @@ def shard_slices(total: int, num_shards: int) -> Iterator[slice]:
 
 _POOLS: Dict[Tuple[str, str, int], Executor] = {}
 _POOLS_LOCK = threading.Lock()
+guard_module_globals("_POOLS_LOCK", "_POOLS")
 
 
 def _get_pool(purpose: str, backend: str, num_workers: int) -> Executor:

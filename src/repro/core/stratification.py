@@ -44,6 +44,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis.annotations import guard_module_globals
 from repro.proxy.base import Proxy
 from repro.stats.rng import RandomState
 
@@ -76,6 +77,9 @@ _SCORES_CACHE: "OrderedDict[Tuple, Stratification]" = OrderedDict()
 _SCORES_CACHE_MAX_ENTRIES = 128
 _SCORES_CACHE_MAX_RECORDS = 20_000_000
 _SCORES_CACHE_RECORDS = 0
+guard_module_globals(
+    "_CACHE_LOCK", "_SCORES_CACHE", "_SCORES_CACHE_RECORDS"
+)
 # Identity cache: proxy object -> {(K, descending): Stratification}.  Weak
 # keys so caching never extends a proxy's lifetime.
 _PROXY_CACHE: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()

@@ -24,6 +24,7 @@ from typing import Dict, List, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.analysis.annotations import guarded_by
 from repro.data.backend import ColumnHandle, DatasetBackend
 from repro.data.diskio import column_file, read_manifest
 
@@ -33,6 +34,7 @@ DEFAULT_CHUNK_SIZE = 65_536
 PathLike = Union[str, Path]
 
 
+@guarded_by("_lock", "_chunks", "hits", "misses", "evictions")
 class _ChunkCache:
     """Backend-wide LRU of resident chunks, shared across columns.
 

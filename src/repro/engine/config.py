@@ -139,8 +139,12 @@ class ExecutionConfig:
     kernel: str = "auto"
 
     def __post_init__(self):
-        for message in self._validation_errors():
-            raise ExecutionConfigError(message)
+        messages = list(self._validation_errors())
+        if messages:
+            # One raise covering every invalid field: a caller fixing a
+            # config learns all the problems (and all the allowed values)
+            # in one round trip instead of one per attempt.
+            raise ExecutionConfigError("; ".join(messages))
 
     def _validation_errors(self):
         """Yield one message per invalid field (the shared error path)."""

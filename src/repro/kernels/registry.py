@@ -36,6 +36,7 @@ import os
 from typing import Callable, Dict, Optional
 
 __all__ = [
+    "FLOAT_REDUCTION_KERNELS",
     "KERNEL_BACKENDS",
     "KERNEL_ENV_VAR",
     "KernelSet",
@@ -49,6 +50,21 @@ __all__ = [
 
 #: Every value the ``kernel=`` execution hint (and ``REPRO_KERNEL``) accepts.
 KERNEL_BACKENDS = ("auto", "numpy", "numba")
+
+#: Kernels whose reference semantics involve float reductions (pairwise
+#: ``np.sum``, ``np.dot``, ``np.partition``-then-sum).  A sequential
+#: jitted reduction cannot reproduce NumPy's pairwise accumulation
+#: bit-for-bit, so these may never gain a non-``numpy`` registration —
+#: enforced at registration time below and statically by the
+#: ``kernel-contract`` lint rule (which reads this literal from the AST).
+FLOAT_REDUCTION_KERNELS = frozenset(
+    {
+        "largest_remainder",
+        "bootstrap_resample_stats",
+        "minimax_single_objective",
+        "minimax_multi_objective",
+    }
+)
 
 #: Environment variable consulted when the hint is ``"auto"`` (or omitted).
 KERNEL_ENV_VAR = "REPRO_KERNEL"
@@ -123,6 +139,12 @@ def register_kernel(name: str, backend: str = "numpy") -> Callable:
         raise ValueError(
             f"kernels register under a concrete backend ('numpy' or "
             f"'numba'), got {backend!r}"
+        )
+    if backend != "numpy" and name in FLOAT_REDUCTION_KERNELS:
+        raise ValueError(
+            f"kernel {name!r} is a float-reduction kernel and keeps the "
+            "NumPy reference on every backend (a sequential native "
+            "reduction cannot reproduce pairwise summation bit-for-bit)"
         )
 
     def decorate(fn: Callable) -> Callable:

@@ -126,7 +126,8 @@ def _single_run(
     iterations = 0
     converged = False
 
-    for iterations in range(1, max_iter + 1):
+    while iterations < max_iter:
+        iterations += 1
         order = np.argsort(values)
         simplex = simplex[order]
         values = values[order]

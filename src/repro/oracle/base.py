@@ -16,6 +16,8 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.analysis.annotations import guarded_by
+
 __all__ = [
     "OracleCallRecord",
     "ColumnarCallLog",
@@ -130,6 +132,7 @@ class ColumnarCallLog:
         ]
 
 
+@guarded_by("_account_lock", "_num_calls", "_log")
 class Oracle(abc.ABC):
     """Base class for anything that answers per-record questions at a cost.
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import threading
 
+from repro.analysis.annotations import guarded_by
 from repro.oracle.base import evaluate_oracle_batch
 
 __all__ = ["OracleBudget", "OracleBudgetExceededError", "BudgetedOracle"]
@@ -19,6 +20,7 @@ class OracleBudgetExceededError(RuntimeError):
     """Raised when an oracle invocation would exceed the user's ORACLE LIMIT."""
 
 
+@guarded_by("_lock", "_spent")
 class OracleBudget:
     """A counter of remaining oracle invocations.
 

@@ -13,11 +13,13 @@ from typing import Dict, Sequence
 
 import numpy as np
 
+from repro.analysis.annotations import guarded_by
 from repro.oracle.base import Oracle, evaluate_oracle_batch
 
 __all__ = ["CachingOracle"]
 
 
+@guarded_by("_cache_lock", "_cache", "_hits", "_misses")
 class CachingOracle(Oracle):
     """Memoizes another oracle's results by record index.
 

@@ -54,13 +54,14 @@ worker pool, not the engine's, provides the parallelism.
 from __future__ import annotations
 
 import threading
-import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import clock as repro_clock
+from repro.analysis.annotations import guarded_by
 from repro.oracle.base import Oracle, evaluate_oracle_batch
 from repro.stats.rng import RandomState
 
@@ -222,6 +223,26 @@ class RemoteTicket:
         return f"RemoteTicket({len(self.record_indices)} records, {state})"
 
 
+@guarded_by(
+    "_lock",
+    "_queue",
+    "_executor",
+    "_closed",
+    "_requests",
+    "_records",
+    "_batches",
+    "_attempts",
+    "_retries",
+    "_timeouts",
+    "_failures",
+    "_giveups",
+    "_in_flight",
+    "_breaker_state",
+    "_breaker_opened_at",
+    "_giveup_streak",
+    "_breaker_opens",
+    "_short_circuits",
+)
 class RemoteEndpoint:
     """Client-side batching, concurrency limiting and retry engine.
 
@@ -286,8 +307,8 @@ class RemoteEndpoint:
         breaker_cooldown: float = 30.0,
         seed: int = 0,
         name: Optional[str] = None,
-        clock: Callable[[], float] = time.monotonic,
-        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = repro_clock.monotonic,
+        sleep: Callable[[float], None] = repro_clock.sleep,
     ):
         if max_batch_size < 1:
             raise ValueError(f"max_batch_size must be >= 1, got {max_batch_size}")

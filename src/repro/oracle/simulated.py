@@ -15,11 +15,11 @@ bit-identical to the dense path.
 
 from __future__ import annotations
 
-import time
 from typing import Callable, Optional, Sequence
 
 import numpy as np
 
+from repro.clock import sleep as _default_sleep
 from repro.data.backend import as_dense, is_column_handle
 from repro.oracle.base import PredicateOracle
 from repro.oracle.remote import RemoteCallError, RemoteCallTimeout
@@ -238,7 +238,7 @@ class SimulatedRemoteOracle(PredicateOracle):
     failure — dropped requests, timeout spikes, rate-limit rejections.
     This oracle reproduces that profile hermetically:
 
-    * **Latency** — ``time.sleep(per_batch_seconds + per_record_seconds*n)``
+    * **Latency** — ``sleep(per_batch_seconds + per_record_seconds*n)``
       per request (releases the GIL, exactly like a network round-trip or
       a GPU kernel launch).
     * **Failure** — each request may raise
@@ -271,7 +271,7 @@ class SimulatedRemoteOracle(PredicateOracle):
         seed: int = 0,
         name: str = "remote_oracle",
         cost_per_call: float = 1.0,
-        sleep: Callable[[float], None] = time.sleep,
+        sleep: Callable[[float], None] = _default_sleep,
     ):
         super().__init__(name=name, cost_per_call=cost_per_call)
         if per_record_seconds < 0 or per_batch_seconds < 0:

@@ -35,6 +35,7 @@ import threading
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.analysis.annotations import guarded_by
 from repro.oracle.budget import OracleBudget, OracleBudgetExceededError
 
 __all__ = [
@@ -114,6 +115,7 @@ class Admission:
     spent: Optional[int] = None
 
 
+@guarded_by("_lock", "_tenants", "_live")
 class AdmissionController:
     """Admit, grow, and settle query reservations against tenant quotas.
 
@@ -193,7 +195,7 @@ class AdmissionController:
             if state.quota is not None:
                 state.quota.reset()
 
-    def _state(self, tenant: str) -> _TenantState:
+    def _state_locked(self, tenant: str) -> _TenantState:
         state = self._tenants.get(tenant)
         if state is None:
             state = _TenantState(self._default_policy)
@@ -216,7 +218,7 @@ class AdmissionController:
                     f"service is at its ceiling of {self._max_live} live "
                     f"queries; retry when one settles"
                 )
-            state = self._state(tenant)
+            state = self._state_locked(tenant)
             limit = state.policy.max_concurrent
             if limit is not None and state.live >= limit:
                 raise TenantConcurrencyError(
@@ -247,7 +249,7 @@ class AdmissionController:
                 raise AdmissionError(
                     "cannot grow a settled admission; admit a new query"
                 )
-            state = self._state(admission.tenant)
+            state = self._state_locked(admission.tenant)
             if state.quota is not None:
                 try:
                     state.quota.charge(extra)
@@ -278,7 +280,7 @@ class AdmissionController:
                     f"query spent {spent} draws against a reservation of "
                     f"{admission.budget}; budget enforcement failed upstream"
                 )
-            state = self._state(admission.tenant)
+            state = self._state_locked(admission.tenant)
             if state.quota is not None:
                 state.quota.refund(admission.budget - spent)
             state.reserved -= admission.budget

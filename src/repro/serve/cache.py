@@ -41,6 +41,7 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
+from repro.analysis.annotations import guarded_by
 from repro.oracle.base import Oracle, evaluate_oracle_batch
 
 __all__ = ["CacheStats", "SharedOracleCache", "SharedCachingOracle"]
@@ -66,6 +67,15 @@ class CacheStats:
         return self.hits / total if total else 0.0
 
 
+@guarded_by(
+    "_lock",
+    "_store",
+    "_fill_locks",
+    "_hits",
+    "_misses",
+    "_evictions",
+    "_identities",
+)
 class SharedOracleCache:
     """Thread-safe oracle answer store keyed by (identity, record index).
 
@@ -204,6 +214,14 @@ class SharedOracleCache:
                 self._identities[identity] = remaining
             else:
                 self._identities.pop(identity, None)
+                # The identity left the store entirely: drop its fill lock
+                # too, or a churning identity population (per-tenant
+                # oracles, rotating datasets) grows _fill_locks without
+                # bound.  A racing filler holding the popped lock stays
+                # correct — fills re-check the store under _lock and
+                # commit idempotently — it just loses the dedup benefit
+                # for that one round.
+                self._fill_locks.pop(identity, None)
 
     # -- Introspection --------------------------------------------------------------
     def contains(self, identity: str, record_index: int) -> bool:

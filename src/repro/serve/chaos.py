@@ -30,13 +30,13 @@ into shared-cache fills without ever changing an answer.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.clock import monotonic as _monotonic, sleep as _default_sleep
 from repro.oracle.base import PredicateOracle
 from repro.oracle.remote import RemoteCallError
 from repro.serve.admission import AdmissionController
@@ -169,7 +169,7 @@ class StallingSharedCache(SharedOracleCache):
         *args,
         stall_every: int = 3,
         stall_seconds: float = 0.001,
-        sleep: Callable[[float], None] = time.sleep,
+        sleep: Callable[[float], None] = _default_sleep,
         **kwargs,
     ):
         super().__init__(*args, **kwargs)
@@ -341,7 +341,7 @@ def crash_recover_run(
     if tamper is not None:
         tamper(journal_dir)
 
-    started = time.perf_counter()
+    started = _monotonic()
     recovered, report = AQPService.recover(
         journal_dir,
         registry,
@@ -350,7 +350,7 @@ def crash_recover_run(
         journal_every=journal_every,
         **service_kwargs,
     )
-    outcome.recovery_seconds = time.perf_counter() - started
+    outcome.recovery_seconds = _monotonic() - started
     outcome.replayed_records = report.records_replayed
     outcome.report = report
     recovered.run_until_complete()

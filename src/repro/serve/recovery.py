@@ -326,7 +326,17 @@ def recover_service(
         snap_spent = int(fold.snap_spent)
         pre_charge = max(0, snap_spent - origin)
 
-        def _abandon(reason: str) -> None:
+        def _abandon(
+            reason: str,
+            *,
+            # Early-bound so the helper can never see a later iteration's
+            # query even if it escapes this one (flake8-bugbear B023).
+            task_id=task_id,
+            tenant=tenant,
+            key=key,
+            fold=fold,
+            pre_charge=pre_charge,
+        ) -> None:
             _charge_settled(service.admission, tenant, pre_charge)
             recovered = RecoveredQuery(
                 task_id=task_id,

@@ -35,12 +35,12 @@ reports.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Callable, Deque, Dict, List, Optional
 
 from collections import OrderedDict, deque
 
+from repro import clock as repro_clock
 from repro.core.estimators import estimate_all_strata, estimate_mse_plugin
 from repro.engine.session import SamplingSession
 from repro.oracle.remote import PendingOracleBatch, RemoteGiveUpError, RemoteTicket
@@ -161,7 +161,7 @@ class QueryTask:
         on_step: Optional[Callable[["QueryTask"], None]] = None,
         target_ci_width: Optional[float] = None,
         deadline: Optional[float] = None,
-        clock: Callable[[], float] = time.monotonic,
+        clock: Callable[[], float] = repro_clock.monotonic,
     ):
         if deadline is not None and deadline <= 0:
             raise ValueError(f"deadline must be positive seconds, got {deadline}")
@@ -406,7 +406,7 @@ class CooperativeScheduler:
         self,
         interleaving: str = ROUND_ROBIN,
         seed: int = 0,
-        clock: Callable[[], float] = time.monotonic,
+        clock: Callable[[], float] = repro_clock.monotonic,
         retain_settled: Optional[int] = None,
     ):
         if interleaving not in INTERLEAVINGS:

@@ -42,9 +42,9 @@ from __future__ import annotations
 
 import itertools
 import pickle
-import time
 from typing import Callable, List, Optional, Union
 
+from repro import clock as repro_clock
 from repro.engine.pipeline import SamplingPipeline
 from repro.serve.admission import Admission, AdmissionController
 from repro.serve.cache import SharedCachingOracle, SharedOracleCache
@@ -177,7 +177,7 @@ class AQPService:
         shared_cache: Optional[SharedOracleCache] = None,
         interleaving: str = ROUND_ROBIN,
         scheduler_seed: int = 0,
-        clock: Callable[[], float] = time.monotonic,
+        clock: Callable[[], float] = repro_clock.monotonic,
         retain_settled: Optional[int] = None,
         journal: Optional[ServiceJournal] = None,
         journal_every: int = 25,

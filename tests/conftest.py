@@ -8,9 +8,12 @@ same scenario.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
+from repro.analysis.lockwatch import LockWatcher, active_watcher
 from repro.oracle.simulated import LabelColumnOracle
 from repro.proxy.noise import BetaNoiseProxy
 from repro.stats.rng import RandomState
@@ -58,6 +61,45 @@ def groupby_single_scenario():
 @pytest.fixture(scope="session")
 def groupby_multi_scenario():
     return make_groupby_scenario("synthetic", setting="multi", seed=5, size=MEDIUM_SIZE)
+
+
+@pytest.fixture()
+def lockwatch():
+    """Run the test under runtime lock-order detection.
+
+    Every ``threading.Lock``/``RLock`` created inside the test is
+    instrumented; a lock-order cycle raises
+    :class:`~repro.analysis.lockwatch.LockOrderViolation` at the
+    acquisition that closes it, and teardown re-asserts the graph stayed
+    acyclic.  If the suite-wide ``REPRO_LOCKWATCH=1`` watcher is already
+    patched in, that one is reused (``patch_threading`` is exclusive).
+    """
+    existing = active_watcher()
+    if existing is not None:
+        yield existing
+        existing.assert_clean()
+        return
+    watcher = LockWatcher(raise_on_cycle=True)
+    with watcher.patch_threading():
+        yield watcher
+    watcher.assert_clean()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _lockwatch_env():
+    """Suite-wide lock-order detection, gated on ``REPRO_LOCKWATCH=1``.
+
+    The CI ``analysis`` job runs one serve/remote/chaos leg with this
+    enabled, so the real concurrency suites execute under an instrumented
+    acquisition-order graph and any lock-order inversion fails the build.
+    """
+    if os.environ.get("REPRO_LOCKWATCH") != "1":
+        yield None
+        return
+    watcher = LockWatcher(raise_on_cycle=True)
+    with watcher.patch_threading():
+        yield watcher
+    watcher.assert_clean()
 
 
 @pytest.fixture()

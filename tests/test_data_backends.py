@@ -149,14 +149,14 @@ class TestBackendProtocol:
             assert out.shape == (0,), kind
 
     def test_out_of_range_gather_raises(self, columns, column_dir):
-        for kind, backend in all_backends(columns, column_dir).items():
+        for _kind, backend in all_backends(columns, column_dir).items():
             with pytest.raises(IndexError):
                 backend.column("values").gather([3000])
             with pytest.raises(IndexError):
                 backend.column("values").gather([-3001])
 
     def test_unknown_column_lists_available(self, columns, column_dir):
-        for kind, backend in all_backends(columns, column_dir).items():
+        for _kind, backend in all_backends(columns, column_dir).items():
             with pytest.raises(KeyError, match="available columns"):
                 backend.column("nope")
 

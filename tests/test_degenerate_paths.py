@@ -174,7 +174,7 @@ class TestEmptyGroupGroupBy:
             # Nelder-Mead ("invalid value encountered in subtract").
             warnings.simplefilter("error", RuntimeWarning)
             result = execute_query(query, context, seed=0)
-        for group, value in result.group_values.items():
+        for _group, value in result.group_values.items():
             assert_all_finite(value)
         assert result.group_values["b"] == 0.0
         for lam in result.details["allocation"].values():

@@ -301,6 +301,27 @@ class TestSharedCache:
         oracle.evaluate_batch([1])
         assert oracle.num_calls == before + 1
 
+    def test_fill_locks_do_not_grow_under_identity_churn(self):
+        # Regression: the per-identity fill locks used to outlive their
+        # identities, so a churning identity population (rotating tenants
+        # or datasets) grew _fill_locks without bound.  Eviction of an
+        # identity's last record must drop its fill lock too.
+        store = SharedOracleCache(max_entries=4)
+        for round_num in range(50):
+            identity = f"tenant-{round_num}"
+            oracle = SharedCachingOracle(
+                CallableOracle(lambda i: True, name=identity),
+                store,
+                identity=identity,
+            )
+            oracle.evaluate_batch([0, 1])
+        # At most the resident identities (<= max_entries) plus the one
+        # currently filling can hold a lock; 50 churned identities must not.
+        assert len(store._fill_locks) <= store.stats().identities + 1
+        assert len(store._fill_locks) <= 4
+        store.clear()
+        assert len(store._fill_locks) == 0
+
 
 class TestThreadSafety:
     def test_caching_oracle_exact_accounting_under_threads(self):

@@ -159,7 +159,7 @@ class TestBoundaryContract:
     ]
 
     def test_n_zero_raises_everywhere(self):
-        for name, bound in self.ALL_BOUNDS:
+        for _name, bound in self.ALL_BOUNDS:
             for n in (0, -1):
                 with pytest.raises(ValueError, match="positive"):
                     bound(n, 0.5, 0.1)
@@ -169,7 +169,7 @@ class TestBoundaryContract:
             assert bound(50, 0.5, 0.0) == 1.0, name
 
     def test_negative_deviation_raises_everywhere(self):
-        for name, bound in self.ALL_BOUNDS:
+        for _name, bound in self.ALL_BOUNDS:
             with pytest.raises(ValueError):
                 bound(50, 0.5, -0.5)
 
